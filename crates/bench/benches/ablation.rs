@@ -1,0 +1,72 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! pointer-translation strategy (lazy vs eager vs hybrid) and the L3
+//! contention transform, measured as executed-translation counts and
+//! simulated kernel time on a streaming kernel.
+
+use concord_compiler::{lower_for_gpu, GpuConfig, Strategy};
+use concord_energy::SystemConfig;
+use concord_gpusim::GpuSim;
+use concord_svm::{SharedAllocator, SharedRegion, VtableArea};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const STREAM_SRC: &str = r#"
+class K {
+public:
+    float* a; int n; float* out;
+    void operator()(int i) {
+        float s = 0.0f;
+        for (int j = 0; j < n; j++) { s += a[j]; }
+        out[i] = s;
+    }
+};
+"#;
+
+fn run_config(cfg: GpuConfig) -> f64 {
+    let lp = concord_frontend::compile(STREAM_SRC).expect("compile");
+    let art = lower_for_gpu(&lp.module, cfg);
+    let kf = art
+        .module
+        .functions
+        .iter()
+        .position(|f| f.kernel.is_some())
+        .map(|i| concord_ir::FuncId(i as u32))
+        .expect("kernel");
+    let reserved = VtableArea::reserve_for(art.module.classes.len());
+    let mut region = SharedRegion::new(1 << 22, reserved);
+    let mut heap = SharedAllocator::new(&region);
+    VtableArea::install(&mut region, &art.module).expect("vtables");
+    let n = 256u32;
+    let inner = 128i32;
+    let a = heap.malloc(inner as u64 * 4).expect("alloc");
+    let out = heap.malloc(n as u64 * 4).expect("alloc");
+    let body = heap.malloc(24).expect("alloc");
+    region.write_ptr(body, a).expect("write");
+    region.write_i32(body.offset(8), inner).expect("write");
+    region.write_ptr(body.offset(16), out).expect("write");
+    let mut sim = GpuSim::new(SystemConfig::ultrabook().gpu);
+    let r = sim.parallel_for(&mut region, &art.module, kf, body, n).expect("run");
+    r.critical_cycles
+}
+
+fn bench_translation_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_strategy");
+    group.sample_size(10);
+    for (name, strategy) in
+        [("lazy", Strategy::Lazy), ("eager", Strategy::Eager), ("hybrid", Strategy::Hybrid)]
+    {
+        let cfg = GpuConfig { strategy, l3opt: false, gpu_cores: 40 };
+        group.bench_function(name, |b| b.iter(|| run_config(cfg)));
+    }
+    group.finish();
+}
+
+fn bench_l3opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l3opt");
+    group.sample_size(10);
+    group.bench_function("off", |b| b.iter(|| run_config(GpuConfig::ptropt(40))));
+    group.bench_function("on", |b| b.iter(|| run_config(GpuConfig::all(40))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation_strategies, bench_l3opt);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks: one group per paper figure, timing the
+//! simulator-driven workload pipeline at Tiny scale (regression tracking
+//! for the harness itself; the figures use the dedicated binaries).
+
+use concord_bench::figure_row;
+use concord_energy::SystemConfig;
+use concord_workloads::{all_workloads, measure, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_workload_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_pipeline");
+    group.sample_size(10);
+    for w in all_workloads() {
+        let name = w.spec().name;
+        // One representative measurement per workload (GPU+ALL, Ultrabook).
+        group.bench_function(format!("{name}/gpu_all_ultrabook"), |b| {
+            b.iter(|| {
+                measure(
+                    w.as_ref(),
+                    SystemConfig::ultrabook(),
+                    concord_compiler::GpuConfig::all(40),
+                    Scale::Tiny,
+                    concord_runtime::Target::Gpu,
+                )
+                .expect("measurement")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_row");
+    group.sample_size(10);
+    let w = concord_workloads::bfs::Bfs;
+    group.bench_function("bfs/ultrabook_all_configs", |b| {
+        b.iter(|| figure_row(&w, SystemConfig::ultrabook(), Scale::Tiny).expect("row"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_measurement, bench_full_row);
+criterion_main!(benches);

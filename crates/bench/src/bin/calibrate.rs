@@ -1,0 +1,32 @@
+//! Internal calibration dump: raw per-workload times and counters for both
+//! devices (not a paper figure; used to tune the timing model).
+use concord_energy::SystemConfig;
+use concord_workloads::{all_workloads, measure, Scale};
+use concord_runtime::Target;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("--small") => Scale::Small,
+        _ => Scale::Tiny,
+    };
+    for system in [SystemConfig::ultrabook(), SystemConfig::desktop()] {
+        println!("== {} ==", system.name);
+        for w in all_workloads() {
+            let name = w.spec().name;
+            let cfg = concord_compiler::GpuConfig::all(system.gpu.eus);
+            let cpu = measure(w.as_ref(), system, cfg, scale, Target::Cpu).unwrap();
+            let gpu = measure(w.as_ref(), system, cfg, scale, Target::Gpu).unwrap();
+            println!(
+                "{name:<20} cpu {:>9.3}ms | gpu {:>9.3}ms busy={:<4.2} winsts={:<9} tx={:<9} cont={:<8} trans={:<9} | speed {:>5.2}x energy {:>5.2}x off={} v={}{}",
+                cpu.totals.seconds*1e3,
+                gpu.totals.seconds*1e3, gpu.totals.avg_busy_fraction(),
+                gpu.totals.insts, gpu.totals.transactions, gpu.totals.contended,
+                gpu.totals.translations,
+                cpu.totals.seconds/gpu.totals.seconds,
+                cpu.totals.joules/gpu.totals.joules,
+                gpu.totals.offloads,
+                cpu.verified as u8, gpu.verified as u8,
+            );
+        }
+    }
+}

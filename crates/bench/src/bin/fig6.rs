@@ -1,0 +1,43 @@
+//! Regenerates Figure 6: percentage of IR operations that are control-flow
+//! and memory related, per workload (the paper's static irregularity
+//! measure, collected at the IR level over each kernel's closure).
+
+use concord_ir::stats::kernel_closure_stats;
+use concord_workloads::all_workloads;
+
+fn main() {
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let spec = w.spec();
+        let lp = concord_frontend::compile(spec.source).expect("workload compiles");
+        // Measure the optimized CPU module, like compiling with -O2.
+        let mut module = lp.module.clone();
+        concord_compiler::optimize_for_cpu(&mut module);
+        let k = lp.kernel(spec.kernel_class).expect("kernel exists");
+        let mut stats = kernel_closure_stats(&module, k.operator_fn);
+        if let Some(j) = k.join_fn {
+            stats = stats + kernel_closure_stats(&module, j);
+        }
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:>5.1}%", stats.control_pct()),
+            format!("{:>5.1}%", stats.memory_pct()),
+            format!("{:>5.1}%", 100.0 - stats.irregularity_pct()),
+            format!("{:>5.1}%", stats.irregularity_pct()),
+            format!("{}", stats.total()),
+        ]);
+    }
+    println!("Figure 6: percent of IR operations that are control-flow and memory related\n");
+    print!(
+        "{}",
+        concord_bench::render_table(
+            &["Benchmark", "control", "memory", "remaining", "control+memory", "total ops"],
+            &rows
+        )
+    );
+    println!();
+    println!(
+        "The paper reads >25% control+memory as 'more than one in four instructions is \
+         control flow or memory'."
+    );
+}

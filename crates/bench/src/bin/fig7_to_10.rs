@@ -1,0 +1,83 @@
+//! Regenerates Figures 7–10: runtime speedup and energy savings relative
+//! to multicore CPU execution, for the four GPU configurations, on the
+//! Ultrabook (Figures 7+8) and the desktop (Figures 9+10).
+//!
+//! Usage:
+//!
+//! ```text
+//! fig7_to_10 [--system ultrabook|desktop|both] [--tiny|--small|--medium]
+//! ```
+
+use concord_bench::{figure_rows, geomean, render_table, FigureRow};
+use concord_energy::SystemConfig;
+use concord_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--tiny") {
+        Scale::Tiny
+    } else if args.iter().any(|a| a == "--medium") {
+        Scale::Medium
+    } else {
+        Scale::Small
+    };
+    let system_arg = args
+        .iter()
+        .position(|a| a == "--system")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("both");
+    let systems: Vec<SystemConfig> = match system_arg {
+        "ultrabook" => vec![SystemConfig::ultrabook()],
+        "desktop" => vec![SystemConfig::desktop()],
+        _ => vec![SystemConfig::ultrabook(), SystemConfig::desktop()],
+    };
+    for system in systems {
+        let (fig_speed, fig_energy) =
+            if system.name == "ultrabook" { (7, 8) } else { (9, 10) };
+        eprintln!("running {} ({} workloads x 5 measurements)...", system.name, 9);
+        let rows = figure_rows(system, scale).expect("figure rows");
+        print_figure(
+            &format!(
+                "Figure {fig_speed}: runtime speedup vs multicore CPU ({})",
+                system.name
+            ),
+            &rows,
+            FigureRow::speedup,
+        );
+        print_figure(
+            &format!(
+                "Figure {fig_energy}: energy savings vs multicore CPU ({})",
+                system.name
+            ),
+            &rows,
+            FigureRow::energy_savings,
+        );
+    }
+}
+
+fn print_figure(title: &str, rows: &[FigureRow], metric: fn(&FigureRow, usize) -> f64) {
+    println!("{title}\n");
+    let mut table = Vec::new();
+    for row in rows {
+        assert!(row.all_verified(), "{}: verification failed", row.name);
+        let mut cells = vec![row.name.to_string()];
+        for i in 0..4 {
+            cells.push(format!("{:.2}x", metric(row, i)));
+        }
+        table.push(cells);
+    }
+    let mut means = vec!["geomean".to_string()];
+    for i in 0..4 {
+        means.push(format!("{:.2}x", geomean(rows.iter().map(|r| metric(r, i)))));
+    }
+    table.push(means);
+    print!(
+        "{}",
+        render_table(
+            &["Benchmark", "GPU", "GPU+PTROPT", "GPU+L3OPT", "GPU+ALL"],
+            &table
+        )
+    );
+    println!();
+}

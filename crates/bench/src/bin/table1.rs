@@ -1,0 +1,49 @@
+//! Regenerates Table 1: workload origins and static characteristics.
+
+use concord_workloads::{all_workloads, Scale};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let spec = w.spec();
+        let lp = concord_frontend::compile(spec.source).expect("workload compiles");
+        // Build once so a broken generator fails loudly here rather than in
+        // the figure harness.
+        let mut cc = concord_runtime::Concord::new(
+            concord_energy::SystemConfig::ultrabook(),
+            spec.source,
+            concord_runtime::Options::default(),
+        )
+        .expect("runtime");
+        let _ = w.build(&mut cc, scale).expect("build");
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.origin.to_string(),
+            format!("{}", lp.source_info.total_lines),
+            format!("{}", lp.source_info.device_lines),
+            spec.data_structure.to_string(),
+            spec.construct.to_string(),
+        ]);
+    }
+    println!("Table 1: Concord workloads and their characteristics (scale: {scale:?})\n");
+    print!(
+        "{}",
+        concord_bench::render_table(
+            &["Benchmark", "Origin", "LoC", "Device LoC", "Data structure", "Parallel construct"],
+            &rows
+        )
+    );
+    println!();
+    println!(
+        "LoC counts are for the kernel-language port (the paper's Table 1 counts full C++ sources)."
+    );
+}
+
+fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("--tiny") => Scale::Tiny,
+        Some("--medium") => Scale::Medium,
+        _ => Scale::Small,
+    }
+}

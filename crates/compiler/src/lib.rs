@@ -1,0 +1,342 @@
+//! # concord-compiler
+//!
+//! Optimization passes and GPU lowering for the Concord reproduction
+//! (Barik et al., CGO 2014).
+//!
+//! Two pipelines mirror the paper's Figure 2:
+//!
+//! * [`optimize_for_cpu`] — classical cleanups for host-side execution:
+//!   register promotion, constant folding, CSE, DCE, CFG simplification.
+//!   Virtual calls stay virtual (the CPU has function pointers).
+//! * [`lower_for_gpu`] — the GPU path: devirtualization (§3.2), the
+//!   optional L3 cache-contention loop transform (§4.2), SVM pointer
+//!   translation under a configurable strategy (§3.1/§4.1), then the same
+//!   classical cleanups.
+//!
+//! The four evaluation configurations of Figures 7–10 map to
+//! [`GpuConfig`] values via [`GpuConfig::baseline`], [`GpuConfig::ptropt`],
+//! [`GpuConfig::l3opt`], and [`GpuConfig::all`].
+//!
+//! ## Example
+//!
+//! ```
+//! use concord_compiler::{lower_for_gpu, GpuConfig};
+//!
+//! let src = r#"
+//!     class K {
+//!     public:
+//!         float* a; float out;
+//!         void operator()(int i) { out = a[i]; }
+//!     };
+//! "#;
+//! let program = concord_frontend::compile(src)?;
+//! let gpu = lower_for_gpu(&program.module, GpuConfig::ptropt(7));
+//! assert!(concord_ir::verify::verify_module(&gpu.module).is_ok());
+//! # Ok::<(), concord_frontend::CompileError>(())
+//! ```
+
+pub mod codegen;
+pub mod passes {
+    //! Individual IR-to-IR passes.
+    pub mod constfold;
+    pub mod cse;
+    pub mod dce;
+    pub mod devirt;
+    pub mod field_promote;
+    pub mod inline;
+    pub mod l3opt;
+    pub mod mem2reg;
+    pub mod simplify_cfg;
+    pub mod svm_lower;
+}
+
+pub use passes::svm_lower::Strategy;
+
+use concord_ir::Module;
+
+/// Configuration of the GPU lowering pipeline — one per evaluated
+/// configuration in §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// Pointer-translation placement (§4.1). `Lazy` is the paper's `GPU`
+    /// baseline; `Hybrid` is `GPU+PTROPT`.
+    pub strategy: Strategy,
+    /// Apply the cache-line contention loop transform (§4.2).
+    pub l3opt: bool,
+    /// Number of GPU cores (W in Figure 5).
+    pub gpu_cores: u32,
+}
+
+impl GpuConfig {
+    /// The paper's `GPU` configuration: straightforward per-dereference
+    /// translation, no contention transform.
+    pub fn baseline(gpu_cores: u32) -> Self {
+        GpuConfig { strategy: Strategy::Lazy, l3opt: false, gpu_cores }
+    }
+
+    /// `GPU+PTROPT` (§4.1).
+    pub fn ptropt(gpu_cores: u32) -> Self {
+        GpuConfig { strategy: Strategy::Hybrid, l3opt: false, gpu_cores }
+    }
+
+    /// `GPU+L3OPT` (§4.2).
+    pub fn l3opt(gpu_cores: u32) -> Self {
+        GpuConfig { strategy: Strategy::Lazy, l3opt: true, gpu_cores }
+    }
+
+    /// `GPU+ALL`: both optimizations.
+    pub fn all(gpu_cores: u32) -> Self {
+        GpuConfig { strategy: Strategy::Hybrid, l3opt: true, gpu_cores }
+    }
+}
+
+/// Statistics accumulated over a pipeline run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Allocas promoted to SSA registers.
+    pub promoted_allocas: usize,
+    /// Instructions removed by DCE.
+    pub dce_removed: usize,
+    /// Instructions merged by CSE.
+    pub cse_merged: usize,
+    /// Constants folded.
+    pub folded: usize,
+    /// Pointer translations inserted by SVM lowering.
+    pub translations_inserted: usize,
+    /// Virtual call sites devirtualized (mono + poly).
+    pub devirtualized: usize,
+    /// Inner loops rotated by the L3 transform.
+    pub l3_loops: usize,
+    /// Call sites inlined.
+    pub inlined: usize,
+    /// Body-field loads promoted to entry-block loads (§4 register
+    /// promotion across loop iterations).
+    pub field_loads_promoted: usize,
+}
+
+/// Result of GPU lowering: the rewritten module plus statistics.
+#[derive(Debug, Clone)]
+pub struct GpuArtifact {
+    /// The GPU-lowered module (all kernels and helpers rewritten).
+    pub module: Module,
+    /// Pipeline statistics.
+    pub stats: PipelineStats,
+}
+
+impl GpuArtifact {
+    /// The embedded OpenCL-style program text (Figure 1 right-hand side).
+    pub fn opencl_source(&self) -> String {
+        codegen::emit_program(&self.module)
+    }
+}
+
+fn classical_cleanups(module: &mut Module, stats: &mut PipelineStats) {
+    stats.inlined +=
+        passes::inline::run_module(module, passes::inline::DEFAULT_THRESHOLD).inlined;
+    for f in module.functions.iter_mut() {
+        stats.field_loads_promoted += passes::field_promote::run(f).loads_promoted;
+        stats.promoted_allocas += passes::mem2reg::run(f);
+        passes::simplify_cfg::run(f);
+        stats.folded += passes::constfold::run(f);
+        passes::simplify_cfg::run(f);
+        stats.cse_merged += passes::cse::run(f);
+        stats.dce_removed += passes::dce::run(f);
+        passes::simplify_cfg::run(f);
+    }
+}
+
+/// Optimize a module for multicore-CPU execution.
+///
+/// Virtual calls are left in vtable-dispatch form; the CPU interpreter
+/// resolves them through the shared-region vtables like a real CPU would.
+pub fn optimize_for_cpu(module: &mut Module) -> PipelineStats {
+    let mut stats = PipelineStats::default();
+    classical_cleanups(module, &mut stats);
+    debug_assert!(concord_ir::verify::verify_module(module).is_ok());
+    stats
+}
+
+/// Lower a module for GPU execution under `config`.
+///
+/// The input module is cloned; the host keeps the original for CPU
+/// execution of the same kernels (the "same C++ code runs on either
+/// device" property of §2).
+pub fn lower_for_gpu(module: &Module, config: GpuConfig) -> GpuArtifact {
+    let mut m = module.clone();
+    let mut stats = PipelineStats::default();
+    // Devirtualize first: the vptr loads it introduces are shared-memory
+    // accesses that SVM lowering must see.
+    let d = passes::devirt::run_module(&mut m);
+    stats.devirtualized = d.monomorphic + d.polymorphic;
+    // Inline the (now direct) small targets, as LLVM -O2 would.
+    stats.inlined = passes::inline::run_module(&mut m, passes::inline::DEFAULT_THRESHOLD).inlined;
+    // Promote locals early so induction variables are phis (needed by the
+    // L3 loop recognizer) and translation twins don't chase allocas.
+    for f in m.functions.iter_mut() {
+        stats.field_loads_promoted += passes::field_promote::run(f).loads_promoted;
+        stats.promoted_allocas += passes::mem2reg::run(f);
+        passes::simplify_cfg::run(f);
+        stats.folded += passes::constfold::run(f);
+        passes::simplify_cfg::run(f);
+    }
+    if config.l3opt {
+        for f in m.functions.iter_mut() {
+            stats.l3_loops += passes::l3opt::run(f, config.gpu_cores).loops_transformed;
+        }
+    }
+    for f in m.functions.iter_mut() {
+        let s = passes::svm_lower::run(f, config.strategy);
+        stats.translations_inserted += s.translations_inserted;
+    }
+    // Cleanups after lowering: CSE merges duplicate translations with a
+    // dominating occurrence; DCE deletes unused hybrid twins.
+    for f in m.functions.iter_mut() {
+        stats.cse_merged += passes::cse::run(f);
+        stats.dce_removed += passes::dce::run(f);
+        passes::simplify_cfg::run(f);
+    }
+    debug_assert!(
+        concord_ir::verify::verify_module(&m).is_ok(),
+        "GPU pipeline produced invalid IR: {:?}",
+        concord_ir::verify::verify_module(&m)
+    );
+    GpuArtifact { module: m, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_frontend::compile;
+
+    const RAYTRACE_MINI: &str = r#"
+        class Shape {
+        public:
+            float x; float y; float r;
+            virtual float hit(float px, float py) { return -1.0f; }
+        };
+        class Sphere : public Shape {
+        public:
+            float hit(float px, float py) {
+                float dx = px - x; float dy = py - y;
+                return dx*dx + dy*dy - r*r;
+            }
+        };
+        class Plane : public Shape {
+        public:
+            float hit(float px, float py) { return py - y; }
+        };
+        class Tracer {
+        public:
+            Shape** shapes; int n; float* out;
+            void operator()(int i) {
+                float best = 1000000.0f;
+                float px = (float)(i % 64);
+                float py = (float)(i / 64);
+                for (int s = 0; s < n; s++) {
+                    float t = shapes[s]->hit(px, py);
+                    if (t >= 0.0f && t < best) best = t;
+                }
+                out[i] = best;
+            }
+        };
+    "#;
+
+    #[test]
+    fn cpu_pipeline_keeps_virtual_calls() {
+        let mut lp = compile(RAYTRACE_MINI).unwrap();
+        optimize_for_cpu(&mut lp.module);
+        let kf = lp.kernel("Tracer").unwrap().operator_fn;
+        let f = lp.module.function(kf);
+        assert!(f
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, concord_ir::Op::CallVirtual { .. })));
+        assert!(concord_ir::verify::verify_module(&lp.module).is_ok());
+    }
+
+    #[test]
+    fn gpu_pipeline_eliminates_virtual_calls_everywhere() {
+        let lp = compile(RAYTRACE_MINI).unwrap();
+        for cfg in [
+            GpuConfig::baseline(7),
+            GpuConfig::ptropt(7),
+            GpuConfig::l3opt(7),
+            GpuConfig::all(7),
+        ] {
+            let art = lower_for_gpu(&lp.module, cfg);
+            for f in &art.module.functions {
+                assert!(
+                    !f.blocks.iter().flat_map(|b| &b.insts).any(|&i| matches!(
+                        f.inst(i).op,
+                        concord_ir::Op::CallVirtual { .. }
+                    )),
+                    "virtual call survived GPU lowering under {cfg:?}"
+                );
+            }
+            assert!(art.stats.devirtualized >= 1);
+        }
+    }
+
+    #[test]
+    fn ptropt_inserts_fewer_loop_translations_than_lazy() {
+        // Static count: hybrid + DCE ends with fewer in-loop translations
+        // for a loop-invariant pointer than lazy.
+        let src = r#"
+            class K {
+            public:
+                float* a; int n; float out;
+                void operator()(int i) {
+                    float s = 0.0f;
+                    for (int j = 0; j < n; j++) { s += a[j]; }
+                    out = s;
+                }
+            };
+        "#;
+        let lp = compile(src).unwrap();
+        let lazy = lower_for_gpu(&lp.module, GpuConfig::baseline(7));
+        let hybrid = lower_for_gpu(&lp.module, GpuConfig::ptropt(7));
+        let count_in = |m: &Module| -> usize {
+            let kf = m.functions.iter().position(|f| f.kernel.is_some()).unwrap();
+            let f = &m.functions[kf];
+            // Translations outside the entry block (the loop lives there).
+            f.block_ids()
+                .skip(1)
+                .flat_map(|b| f.block(b).insts.clone())
+                .filter(|&i| matches!(f.inst(i).op, concord_ir::Op::CpuToGpu(_)))
+                .count()
+        };
+        let lazy_in = count_in(&lazy.module);
+        let hybrid_in = count_in(&hybrid.module);
+        assert!(
+            hybrid_in < lazy_in,
+            "hybrid should hoist loop translations: lazy={lazy_in} hybrid={hybrid_in}"
+        );
+    }
+
+    #[test]
+    fn l3_config_rotates_loops() {
+        let src = r#"
+            class K {
+            public:
+                float* a; int n; float out;
+                void operator()(int i) {
+                    float s = 0.0f;
+                    for (int j = 0; j < n; j++) { s += a[j]; }
+                    out = s;
+                }
+            };
+        "#;
+        let lp = compile(src).unwrap();
+        let art = lower_for_gpu(&lp.module, GpuConfig::all(7));
+        assert_eq!(art.stats.l3_loops, 1);
+    }
+
+    #[test]
+    fn opencl_source_dump_mentions_svm() {
+        let lp = compile(RAYTRACE_MINI).unwrap();
+        let art = lower_for_gpu(&lp.module, GpuConfig::baseline(7));
+        let text = art.opencl_source();
+        assert!(text.contains("AS_GPU_PTR"));
+        assert!(text.contains("__kernel"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Constant folding: evaluate operations on constants at compile time and
+//! turn conditional branches on constants into unconditional ones.
+
+use concord_ir::eval::{eval_bin, eval_cast, eval_fcmp, eval_icmp, Value};
+use concord_ir::function::Function;
+use concord_ir::inst::{Op, ValueId};
+use concord_ir::types::Type;
+
+fn const_value(f: &Function, v: ValueId) -> Option<Value> {
+    let inst = f.inst(v);
+    match &inst.op {
+        Op::ConstInt(i) => Some(Value::I(*i)),
+        Op::ConstFloat(x) => Some(Value::F(*x)),
+        Op::ConstNull => inst.ty.addr_space().map(|sp| Value::Ptr(0, sp)),
+        _ => None,
+    }
+}
+
+fn materialize(v: Value, ty: Type) -> Option<Op> {
+    match v {
+        Value::I(i) => Some(Op::ConstInt(i)),
+        Value::F(x) => Some(Op::ConstFloat(x)),
+        Value::Ptr(0, _) => Some(Op::ConstNull),
+        Value::Ptr(..) => None, // non-null pointer constants stay symbolic
+    }
+    .filter(|_| ty != Type::Void)
+}
+
+/// Run constant folding. Returns the number of folded instructions.
+pub fn run(f: &mut Function) -> usize {
+    let mut folded = 0;
+    for i in 0..f.insts.len() {
+        let id = ValueId(i as u32);
+        let ty = f.inst(id).ty;
+        let new_op = match &f.inst(id).op {
+            Op::Bin(op, a, b) => {
+                let (Some(av), Some(bv)) = (const_value(f, *a), const_value(f, *b)) else {
+                    continue;
+                };
+                match eval_bin(*op, av, bv, ty) {
+                    Ok(v) => materialize(v, ty),
+                    Err(_) => None, // keep trapping ops (e.g. div by zero)
+                }
+            }
+            Op::Icmp(p, a, b) => {
+                let (Some(av), Some(bv)) = (const_value(f, *a), const_value(f, *b)) else {
+                    continue;
+                };
+                materialize(eval_icmp(*p, av, bv), ty)
+            }
+            Op::Fcmp(p, a, b) => {
+                let (Some(av), Some(bv)) = (const_value(f, *a), const_value(f, *b)) else {
+                    continue;
+                };
+                materialize(eval_fcmp(*p, av, bv), ty)
+            }
+            Op::Cast(op, a) => {
+                let Some(av) = const_value(f, *a) else { continue };
+                let from = f.inst(*a).ty;
+                materialize(eval_cast(*op, av, from, ty), ty)
+            }
+            Op::Select(c, a, b) => {
+                let Some(cv) = const_value(f, *c) else { continue };
+                let winner = if cv.as_bool() { *a } else { *b };
+                // Fold to a copy via a no-op add? Instead substitute uses.
+                // Handled below via the use-rewrite path.
+                Some(Op::Bin(concord_ir::BinOp::Add, winner, winner))
+                    .filter(|_| false) // placeholder: selects folded separately
+            }
+            Op::CondBr(c, t, e) => {
+                let Some(cv) = const_value(f, *c) else { continue };
+                Some(Op::Br(if cv.as_bool() { *t } else { *e }))
+            }
+            _ => continue,
+        };
+        if let Some(op) = new_op {
+            f.inst_mut(id).op = op;
+            folded += 1;
+        }
+    }
+    // Fold constant selects by rewriting uses.
+    let mut replace: Vec<(ValueId, ValueId)> = Vec::new();
+    for i in 0..f.insts.len() {
+        let id = ValueId(i as u32);
+        if let Op::Select(c, a, b) = &f.inst(id).op {
+            if let Some(cv) = const_value(f, *c) {
+                replace.push((id, if cv.as_bool() { *a } else { *b }));
+            }
+        }
+    }
+    folded += replace.len();
+    if !replace.is_empty() {
+        for inst in f.insts.iter_mut() {
+            inst.op.map_operands(|v| {
+                replace.iter().find(|(from, _)| *from == v).map(|(_, to)| *to).unwrap_or(v)
+            });
+        }
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_ir::builder::FunctionBuilder;
+    use concord_ir::inst::{BinOp, ICmp};
+
+    #[test]
+    fn folds_arithmetic() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::I32);
+        let x = b.i32(6);
+        let y = b.i32(7);
+        let m = b.bin(BinOp::Mul, x, y);
+        b.ret(Some(m));
+        let mut f = b.build();
+        assert_eq!(run(&mut f), 1);
+        assert_eq!(f.inst(m).op, Op::ConstInt(42));
+    }
+
+    #[test]
+    fn folds_constant_branch() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let x = b.i32(1);
+        let y = b.i32(2);
+        let c = b.icmp(ICmp::Slt, x, y);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.build();
+        let folded = run(&mut f);
+        assert!(folded >= 2); // icmp + condbr
+        let term = f.terminator(concord_ir::BlockId(0)).unwrap();
+        assert_eq!(f.inst(term).op, Op::Br(t));
+    }
+
+    #[test]
+    fn keeps_trapping_constants() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::I32);
+        let x = b.i32(1);
+        let z = b.i32(0);
+        let d = b.bin(BinOp::SDiv, x, z);
+        b.ret(Some(d));
+        let mut f = b.build();
+        run(&mut f);
+        assert!(matches!(f.inst(d).op, Op::Bin(..)), "div by zero must not fold away");
+    }
+
+    #[test]
+    fn folds_casts() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::F32);
+        let x = b.i32(3);
+        let c = b.cast(concord_ir::CastOp::SiToFp, x, Type::F32);
+        b.ret(Some(c));
+        let mut f = b.build();
+        assert_eq!(run(&mut f), 1);
+        assert_eq!(f.inst(c).op, Op::ConstFloat(3.0));
+    }
+
+    #[test]
+    fn folds_select_on_constant() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32, Type::I32], Type::I32);
+        let a = b.param(0);
+        let c = b.param(1);
+        let t = b.const_int(1, Type::I1);
+        let s = b.select(t, a, c);
+        b.ret(Some(s));
+        let mut f = b.build();
+        assert_eq!(run(&mut f), 1);
+        // Return now uses the selected value directly.
+        let ret = f.terminator(concord_ir::BlockId(0)).unwrap();
+        assert_eq!(f.inst(ret).op, Op::Ret(Some(a)));
+    }
+}

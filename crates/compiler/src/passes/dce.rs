@@ -1,0 +1,107 @@
+//! Dead code elimination.
+//!
+//! Removes side-effect-free instructions whose results are never used.
+//! This is the pass that makes the hybrid pointer-translation strategy of
+//! §4.1 work: the SVM lowering creates a GPU twin for *every* shared-pointer
+//! definition, and DCE deletes the twins (and chains of dead pointer
+//! arithmetic) that no dereference ever consumed.
+
+use concord_ir::function::Function;
+use concord_ir::Op;
+use std::collections::HashSet;
+
+/// Run DCE on one function. Returns the number of instructions removed.
+pub fn run(f: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        // Collect all used value ids.
+        let mut used: HashSet<u32> = HashSet::new();
+        for b in f.block_ids() {
+            for &i in &f.block(b).insts {
+                for op in f.inst(i).op.operands() {
+                    used.insert(op.0);
+                }
+            }
+        }
+        // Drop unused, side-effect-free instructions.
+        let mut removed = 0;
+        for bi in 0..f.blocks.len() {
+            let block = &f.blocks[bi];
+            let keep: Vec<_> = block
+                .insts
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let inst = &f.insts[i.0 as usize];
+                    // Params stay: their ids are the function's ABI.
+                    let removable = !inst.op.has_side_effects()
+                        && !matches!(inst.op, Op::Param(_));
+                    let dead = !used.contains(&i.0) && removable;
+                    if dead {
+                        removed += 1;
+                    }
+                    !dead
+                })
+                .collect();
+            f.blocks[bi].insts = keep;
+        }
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_ir::builder::FunctionBuilder;
+    use concord_ir::inst::BinOp;
+    use concord_ir::types::{AddrSpace, Type};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let p = b.param(0);
+        let one = b.i32(1);
+        let dead1 = b.bin(BinOp::Add, p, one);
+        let _dead2 = b.bin(BinOp::Mul, dead1, dead1);
+        b.ret(Some(p));
+        let mut f = b.build();
+        let removed = run(&mut f);
+        assert_eq!(removed, 3); // const, add, mul
+        assert!(concord_ir::verify::verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr(AddrSpace::Cpu)], Type::Void);
+        let p = b.param(0);
+        let v = b.i32(7);
+        b.store(p, v);
+        b.ret(None);
+        let mut f = b.build();
+        assert_eq!(run(&mut f), 0);
+    }
+
+    #[test]
+    fn keeps_trapping_division() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32, Type::I32], Type::Void);
+        let x = b.param(0);
+        let y = b.param(1);
+        let _div = b.bin(BinOp::SDiv, x, y); // may trap; must stay
+        b.ret(None);
+        let mut f = b.build();
+        assert_eq!(run(&mut f), 0);
+    }
+
+    #[test]
+    fn removes_unused_translation_twins() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr(AddrSpace::Cpu)], Type::Void);
+        let p = b.param(0);
+        let _twin = b.cpu_to_gpu(p); // never dereferenced
+        b.ret(None);
+        let mut f = b.build();
+        assert_eq!(run(&mut f), 1);
+    }
+}

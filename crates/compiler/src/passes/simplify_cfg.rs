@@ -1,0 +1,243 @@
+//! CFG cleanup: remove unreachable blocks, merge trivial block chains, and
+//! collapse single-incoming phis.
+
+use concord_ir::function::Function;
+use concord_ir::inst::{BlockId, Op, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Run CFG simplification. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut local = false;
+        local |= remove_unreachable(f);
+        local |= merge_chains(f);
+        local |= collapse_trivial_phis(f);
+        if !local {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Drop blocks unreachable from the entry and prune phi edges from them.
+fn remove_unreachable(f: &mut Function) -> bool {
+    let mut reachable: HashSet<BlockId> = HashSet::new();
+    let mut work = vec![f.entry()];
+    while let Some(b) = work.pop() {
+        if reachable.insert(b) {
+            work.extend(f.successors(b));
+        }
+    }
+    if reachable.len() == f.blocks.len() {
+        return false;
+    }
+    // Remap ids: compact reachable blocks, preserving order.
+    let mut map: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut new_blocks = Vec::new();
+    for b in f.block_ids() {
+        if reachable.contains(&b) {
+            map.insert(b, BlockId(new_blocks.len() as u32));
+            new_blocks.push(f.block(b).clone());
+        }
+    }
+    f.blocks = new_blocks;
+    // Rewrite terminators and phis. Arena instructions that belonged to a
+    // removed block may reference removed targets; they are not in any
+    // block anymore, so any mapping keeps them harmless.
+    let entry = BlockId(0);
+    let remap = |b: &BlockId| map.get(b).copied().unwrap_or(entry);
+    for inst in f.insts.iter_mut() {
+        match &mut inst.op {
+            Op::Br(t) => *t = remap(t),
+            Op::CondBr(_, t, e) => {
+                *t = remap(t);
+                *e = remap(e);
+            }
+            Op::Phi(incoming) => {
+                incoming.retain(|(pred, _)| map.contains_key(pred));
+                for (pred, _) in incoming.iter_mut() {
+                    *pred = map[pred];
+                }
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Merge `a -> b` when `a` ends in an unconditional branch to `b` and `b`
+/// has exactly one predecessor.
+fn merge_chains(f: &mut Function) -> bool {
+    let preds = f.predecessors();
+    let mut changed = false;
+    for a in f.block_ids().collect::<Vec<_>>() {
+        let Some(term) = f.terminator(a) else { continue };
+        let Op::Br(b) = f.inst(term).op else { continue };
+        if b == a || preds[&b].len() != 1 {
+            continue;
+        }
+        // b's phis have a single incoming edge (from a): collapse them.
+        let b_insts = f.block(b).insts.clone();
+        let mut replace: Vec<(ValueId, ValueId)> = Vec::new();
+        let mut moved = Vec::new();
+        for id in b_insts {
+            if let Op::Phi(incoming) = &f.inst(id).op {
+                assert_eq!(incoming.len(), 1, "single-pred block phi arity");
+                replace.push((id, incoming[0].1));
+            } else {
+                moved.push(id);
+            }
+        }
+        for inst in f.insts.iter_mut() {
+            inst.op.map_operands(|v| {
+                replace.iter().find(|(from, _)| *from == v).map(|(_, to)| *to).unwrap_or(v)
+            });
+        }
+        // Splice: drop a's terminator, append b's (non-phi) instructions.
+        let a_block = f.block_mut(a);
+        a_block.insts.pop();
+        a_block.insts.extend(moved);
+        // Make b empty and unreachable; successors' phis must now name `a`.
+        let succs = f.successors(a);
+        for s in succs {
+            let s_insts = f.block(s).insts.clone();
+            for id in s_insts {
+                if let Op::Phi(incoming) = &mut f.inst_mut(id).op {
+                    for (pred, _) in incoming.iter_mut() {
+                        if *pred == b {
+                            *pred = a;
+                        }
+                    }
+                }
+            }
+        }
+        // Leave b as a stub that remove_unreachable will clean up.
+        let stub = f.push_inst(Op::Unreachable, concord_ir::Type::Void);
+        f.block_mut(b).insts = vec![stub];
+        changed = true;
+        break; // topology changed; recompute preds on the next run() round
+    }
+    changed
+}
+
+/// Replace phis that have one unique incoming value with that value.
+fn collapse_trivial_phis(f: &mut Function) -> bool {
+    let mut replace: Vec<(ValueId, ValueId)> = Vec::new();
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            if let Op::Phi(incoming) = &f.inst(id).op {
+                let mut vals: Vec<ValueId> =
+                    incoming.iter().map(|(_, v)| *v).filter(|v| *v != id).collect();
+                vals.dedup();
+                if !incoming.is_empty() && vals.len() == 1 {
+                    replace.push((id, vals[0]));
+                }
+            }
+        }
+    }
+    if replace.is_empty() {
+        return false;
+    }
+    for inst in f.insts.iter_mut() {
+        inst.op.map_operands(|v| {
+            replace.iter().find(|(from, _)| *from == v).map(|(_, to)| *to).unwrap_or(v)
+        });
+    }
+    // Remove the collapsed phis from their blocks.
+    let dead: HashSet<u32> = replace.iter().map(|(from, _)| from.0).collect();
+    for b in 0..f.blocks.len() {
+        f.blocks[b].insts.retain(|i| !dead.contains(&i.0));
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_ir::builder::FunctionBuilder;
+    use concord_ir::inst::ICmp;
+    use concord_ir::types::Type;
+
+    #[test]
+    fn removes_unreachable_blocks() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let mut f = b.build();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+        assert!(concord_ir::verify::verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn merges_linear_chains() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let p = b.param(0);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        b.br(b1);
+        b.switch_to(b1);
+        b.br(b2);
+        b.switch_to(b2);
+        b.ret(Some(p));
+        let mut f = b.build();
+        assert!(run(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+        assert!(concord_ir::verify::verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn preserves_diamonds() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let p = b.param(0);
+        let z = b.i32(0);
+        let c = b.icmp(ICmp::Sgt, p, z);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let one = b.i32(1);
+        b.br(j);
+        b.switch_to(e);
+        let two = b.i32(2);
+        b.br(j);
+        b.switch_to(j);
+        let x = b.phi(Type::I32, vec![(t, one), (e, two)]);
+        b.ret(Some(x));
+        let mut f = b.build();
+        run(&mut f);
+        assert_eq!(f.blocks.len(), 4, "diamond must be preserved");
+        assert!(concord_ir::verify::verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn collapses_single_value_phi() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32, Type::I1], Type::I32);
+        let p = b.param(0);
+        let c = b.param(1);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        // Both edges carry the same value.
+        let x = b.phi(Type::I32, vec![(t, p), (e, p)]);
+        b.ret(Some(x));
+        let mut f = b.build();
+        assert!(run(&mut f));
+        assert!(concord_ir::verify::verify_function(&f).is_ok());
+        // The phi is gone; ret uses p directly.
+        let last_block = BlockId((f.blocks.len() - 1) as u32);
+        let ret = f.terminator(last_block).unwrap();
+        assert_eq!(f.inst(ret).op, Op::Ret(Some(p)));
+    }
+}

@@ -1,0 +1,396 @@
+//! SVM pointer-translation lowering (§3.1) and its optimization (§4.1).
+//!
+//! On the GPU, every dereference of a shared (CPU-space) pointer must first
+//! add the runtime constant `svm_const = gpu_base - cpu_base`. Where those
+//! translations are placed is a real performance decision (Figure 4):
+//!
+//! * [`Strategy::Lazy`] — translate at **every dereference site**. This is
+//!   the straightforward §3.1 codegen (the `AS_GPU_PTR` macro of Figure 1)
+//!   and the paper's baseline `GPU` configuration. Pointers loaded in a
+//!   loop are re-translated each iteration.
+//! * [`Strategy::Eager`] — translate each pointer **once at its
+//!   definition**, and convert *back* to the CPU representation whenever
+//!   the pointer value is stored to memory. Good for loop-invariant
+//!   pointers, wasteful when pointers are loaded only to be stored
+//!   (Figure 4's `b[i] = a[i]` pattern).
+//! * [`Strategy::Hybrid`] — the paper's optimization (`PTROPT`): keep
+//!   **both representations** for every pointer definition. Dereferences
+//!   use the GPU twin; value uses (stores, calls, compares, phis) use the
+//!   original CPU representation. Dead-code elimination then deletes every
+//!   twin that no dereference consumed, and CSE merges twins that share a
+//!   dominating definition.
+//!
+//! All three strategies produce semantically equivalent code; the GPU
+//! simulator charges cycles for each executed translation, which is how the
+//! `GPU` vs `GPU+PTROPT` configurations of Figures 7–10 differ.
+
+use concord_ir::function::Function;
+use concord_ir::inst::{Op, ValueId};
+use concord_ir::types::{AddrSpace, Type};
+use std::collections::HashMap;
+
+/// Pointer-translation placement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Translate at every dereference (baseline `GPU` configuration).
+    #[default]
+    Lazy,
+    /// Translate at definitions; convert back at value-stores.
+    Eager,
+    /// Dual representation + DCE (`GPU+PTROPT`, §4.1).
+    Hybrid,
+}
+
+/// Statistics from one lowering run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SvmLowerStats {
+    /// Translations inserted (before cleanup passes).
+    pub translations_inserted: usize,
+    /// Dereference sites rewritten.
+    pub derefs_rewritten: usize,
+}
+
+/// Whether a value is a statically CPU-space pointer.
+fn is_cpu_ptr(f: &Function, v: ValueId) -> bool {
+    f.inst(v).ty == Type::Ptr(AddrSpace::Cpu)
+}
+
+/// Rewrite a function for GPU execution under the given strategy.
+///
+/// After this pass, every load/store whose address was a CPU-space pointer
+/// goes through a `cpu_to_gpu` translation; the GPU memory system will
+/// fault on any untranslated CPU pointer, so correctness of this pass is
+/// load-bearing for the whole GPU pipeline.
+pub fn run(f: &mut Function, strategy: Strategy) -> SvmLowerStats {
+    match strategy {
+        Strategy::Lazy => run_lazy(f),
+        Strategy::Eager => run_defsite(f, true),
+        Strategy::Hybrid => run_defsite(f, false),
+    }
+}
+
+/// Insert a translation immediately before each dereference.
+fn run_lazy(f: &mut Function) -> SvmLowerStats {
+    let mut stats = SvmLowerStats::default();
+    for bi in 0..f.blocks.len() {
+        let mut idx = 0;
+        while idx < f.blocks[bi].insts.len() {
+            let id = f.blocks[bi].insts[idx];
+            let ptr_operand = match f.inst(id).op {
+                Op::Load(p) if is_cpu_ptr(f, p) => Some(p),
+                Op::Store { ptr, .. } if is_cpu_ptr(f, ptr) => Some(ptr),
+                _ => None,
+            };
+            // Atomics also dereference their first operand (device_malloc's
+            // argument is a size, not a pointer).
+            let ptr_operand = ptr_operand.or(match &f.inst(id).op {
+                Op::IntrinsicCall(i, args)
+                    if i.is_memory() && *i != concord_ir::Intrinsic::DeviceMalloc =>
+                {
+                    args.first().copied().filter(|&p| is_cpu_ptr(f, p))
+                }
+                _ => None,
+            });
+            if let Some(p) = ptr_operand {
+                let twin = f.push_inst(Op::CpuToGpu(p), Type::Ptr(AddrSpace::Gpu));
+                f.blocks[bi].insts.insert(idx, twin);
+                idx += 1;
+                let inst = f.inst_mut(f.blocks[bi].insts[idx]);
+                match &mut inst.op {
+                    Op::Load(lp) => *lp = twin,
+                    Op::Store { ptr, .. } => *ptr = twin,
+                    Op::IntrinsicCall(_, args) => args[0] = twin,
+                    _ => unreachable!(),
+                }
+                stats.translations_inserted += 1;
+                stats.derefs_rewritten += 1;
+            }
+            idx += 1;
+        }
+    }
+    stats
+}
+
+/// Definition-site translation: create a GPU twin right after each
+/// CPU-pointer definition; dereferences use the twin. With `eager_stores`,
+/// stored pointer *values* are converted back from the twin
+/// (translate-then-untranslate, Figure 4's wasted work); otherwise stored
+/// values keep the original CPU representation (hybrid).
+fn run_defsite(f: &mut Function, eager_stores: bool) -> SvmLowerStats {
+    let mut stats = SvmLowerStats::default();
+    // 1. Find every definition of a CPU-space pointer value that can be
+    //    dereferenced: params, loads, geps, phis, selects, calls, casts.
+    let mut twin_of: HashMap<ValueId, ValueId> = HashMap::new();
+    for bi in 0..f.blocks.len() {
+        let mut idx = 0;
+        while idx < f.blocks[bi].insts.len() {
+            let id = f.blocks[bi].insts[idx];
+            let defines_cpu_ptr = is_cpu_ptr(f, id)
+                && matches!(
+                    f.inst(id).op,
+                    Op::Param(_)
+                        | Op::Load(_)
+                        | Op::Gep { .. }
+                        | Op::Phi(_)
+                        | Op::Select(..)
+                        | Op::Call { .. }
+                        | Op::CallVirtual { .. }
+                        | Op::IntrinsicCall(..)
+                        | Op::Cast(..)
+                );
+            if defines_cpu_ptr {
+                // Address arithmetic propagates the dual representation
+                // without a new translation: if the base already has a GPU
+                // twin, the gep's twin is the same arithmetic performed in
+                // the GPU domain (`gpu_base + off`). This is the heart of
+                // §4.1 — the translation happens once at the root pointer's
+                // definition (hoisted out of any loop the arithmetic is in),
+                // and DCE later removes whichever representation of the gep
+                // chain went unused.
+                let twin_op = match f.inst(id).op {
+                    Op::Gep { base, offset } => match twin_of.get(&base) {
+                        Some(&tb) => Op::Gep { base: tb, offset },
+                        None => Op::CpuToGpu(id),
+                    },
+                    _ => Op::CpuToGpu(id),
+                };
+                let is_translation = matches!(twin_op, Op::CpuToGpu(_));
+                let twin = f.push_inst(twin_op, Type::Ptr(AddrSpace::Gpu));
+                // Insert after the def — but after the whole phi group if
+                // the def is a phi (phis must stay at the block head).
+                let mut insert_at = idx + 1;
+                if matches!(f.inst(id).op, Op::Phi(_)) {
+                    while insert_at < f.blocks[bi].insts.len()
+                        && matches!(f.inst(f.blocks[bi].insts[insert_at]).op, Op::Phi(_))
+                    {
+                        insert_at += 1;
+                    }
+                }
+                f.blocks[bi].insts.insert(insert_at, twin);
+                twin_of.insert(id, twin);
+                if is_translation {
+                    stats.translations_inserted += 1;
+                }
+            }
+            idx += 1;
+        }
+    }
+    // 2. Rewrite dereference sites to use the twin; under eager stores,
+    //    also rewrite stored pointer values to go through the twin + back.
+    for bi in 0..f.blocks.len() {
+        let mut idx = 0;
+        while idx < f.blocks[bi].insts.len() {
+            let id = f.blocks[bi].insts[idx];
+            match f.inst(id).op.clone() {
+                Op::Load(p) => {
+                    if let Some(&t) = twin_of.get(&p) {
+                        if let Op::Load(lp) = &mut f.inst_mut(id).op {
+                            *lp = t;
+                        }
+                        stats.derefs_rewritten += 1;
+                    }
+                }
+                Op::Store { ptr, val } => {
+                    if let Some(&t) = twin_of.get(&ptr) {
+                        if let Op::Store { ptr: sp, .. } = &mut f.inst_mut(id).op {
+                            *sp = t;
+                        }
+                        stats.derefs_rewritten += 1;
+                    }
+                    if eager_stores && is_cpu_ptr(f, val) {
+                        if let Some(&t) = twin_of.get(&val) {
+                            // Store the value as GpuToCpu(twin): the eager
+                            // strategy keeps pointers in GPU form and pays a
+                            // conversion back at every value store.
+                            let back =
+                                f.push_inst(Op::GpuToCpu(t), Type::Ptr(AddrSpace::Cpu));
+                            f.blocks[bi].insts.insert(idx, back);
+                            idx += 1;
+                            let id2 = f.blocks[bi].insts[idx];
+                            if let Op::Store { val: sv, .. } = &mut f.inst_mut(id2).op {
+                                *sv = back;
+                            }
+                            stats.translations_inserted += 1;
+                        }
+                    }
+                }
+                Op::IntrinsicCall(i, args)
+                    if i.is_memory() && i != concord_ir::Intrinsic::DeviceMalloc =>
+                {
+                    if let Some(&t) = args.first().and_then(|p| twin_of.get(p)) {
+                        if let Op::IntrinsicCall(_, args) = &mut f.inst_mut(id).op {
+                            args[0] = t;
+                        }
+                        stats.derefs_rewritten += 1;
+                    }
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_ir::builder::FunctionBuilder;
+    use concord_ir::verify::verify_function;
+
+    /// p: Node** — loop body loads q=p[i] and stores q into out[i]
+    /// (the Figure 4 pattern, straight-line version).
+    fn load_store_pattern() -> Function {
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![Type::Ptr(AddrSpace::Cpu), Type::Ptr(AddrSpace::Cpu)],
+            Type::Void,
+        );
+        let a = b.param(0);
+        let out = b.param(1);
+        let q = b.load(a, Type::Ptr(AddrSpace::Cpu)); // q = *a (a pointer value)
+        b.store(out, q); // *out = q (q never dereferenced)
+        b.ret(None);
+        b.build()
+    }
+
+    #[test]
+    fn lazy_translates_each_deref() {
+        let mut f = load_store_pattern();
+        let stats = run(&mut f, Strategy::Lazy);
+        assert_eq!(stats.derefs_rewritten, 2); // one load, one store
+        assert_eq!(stats.translations_inserted, 2);
+        assert!(verify_function(&f).is_ok());
+        let count = f.insts.iter().filter(|i| matches!(i.op, Op::CpuToGpu(_))).count();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn hybrid_stores_cpu_representation() {
+        let mut f = load_store_pattern();
+        run(&mut f, Strategy::Hybrid);
+        super::super::dce::run(&mut f);
+        assert!(verify_function(&f).is_ok());
+        // q's twin is never used (q is only stored) and DCE removed it:
+        // only translations for the two dereferenced params remain.
+        let twins = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&i| matches!(f.inst(i).op, Op::CpuToGpu(_)))
+            .count();
+        assert_eq!(twins, 2, "a and out twins only");
+        // The stored value is still the CPU-representation load result.
+        let store = f
+            .insts
+            .iter()
+            .find_map(|i| match &i.op {
+                Op::Store { val, .. } => Some(*val),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(f.inst(store).op, Op::Load(_)));
+    }
+
+    #[test]
+    fn eager_converts_back_at_stores() {
+        let mut f = load_store_pattern();
+        run(&mut f, Strategy::Eager);
+        super::super::dce::run(&mut f);
+        assert!(verify_function(&f).is_ok());
+        // Eager keeps the wasteful translate + untranslate pair.
+        let backs = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&i| matches!(f.inst(i).op, Op::GpuToCpu(_)))
+            .count();
+        assert_eq!(backs, 1, "eager stores convert the value back");
+    }
+
+    #[test]
+    fn all_strategies_cover_every_deref() {
+        // After lowering, no load/store may use a raw CPU pointer.
+        for strat in [Strategy::Lazy, Strategy::Eager, Strategy::Hybrid] {
+            let mut f = load_store_pattern();
+            run(&mut f, strat);
+            for b in f.block_ids() {
+                for &i in &f.block(b).insts {
+                    match &f.inst(i).op {
+                        Op::Load(p) => {
+                            assert_ne!(
+                                f.inst(*p).ty,
+                                Type::Ptr(AddrSpace::Cpu),
+                                "{strat:?}: untranslated load"
+                            );
+                        }
+                        Op::Store { ptr, .. } => {
+                            assert_ne!(
+                                f.inst(*ptr).ty,
+                                Type::Ptr(AddrSpace::Cpu),
+                                "{strat:?}: untranslated store"
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn atomics_get_translated() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr(AddrSpace::Cpu)], Type::I32);
+        let p = b.param(0);
+        let one = b.i32(1);
+        let old = b.intrinsic(
+            concord_ir::Intrinsic::AtomicAddI32,
+            vec![p, one],
+            Type::I32,
+        );
+        b.ret(Some(old));
+        let mut f = b.build();
+        let stats = run(&mut f, Strategy::Lazy);
+        assert_eq!(stats.derefs_rewritten, 1);
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn phi_twins_insert_after_phi_group() {
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![Type::Ptr(AddrSpace::Cpu), Type::Ptr(AddrSpace::Cpu), Type::I1],
+            Type::I32,
+        );
+        let p = b.param(0);
+        let q = b.param(1);
+        let c = b.param(2);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let sel = b.phi(Type::Ptr(AddrSpace::Cpu), vec![(t, p), (e, q)]);
+        let v = b.load(sel, Type::I32);
+        b.ret(Some(v));
+        let mut f = b.build();
+        run(&mut f, Strategy::Hybrid);
+        super::super::dce::run(&mut f);
+        assert!(verify_function(&f).is_ok(), "{:?}", verify_function(&f));
+    }
+
+    #[test]
+    fn private_pointers_untouched() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::I32);
+        let slot = b.alloca(4, 4);
+        let v = b.load(slot, Type::I32);
+        b.ret(Some(v));
+        let mut f = b.build();
+        let stats = run(&mut f, Strategy::Lazy);
+        assert_eq!(stats.translations_inserted, 0);
+    }
+}

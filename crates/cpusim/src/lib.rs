@@ -1,0 +1,524 @@
+//! # concord-cpusim
+//!
+//! Multicore-CPU execution substrate: a scalar IR interpreter with a
+//! timing model (superscalar issue, gshare branch prediction, L1 + shared
+//! LLC caches) and `parallel_for` / `parallel_reduce` drivers that split
+//! the iteration space across cores, as TBB would (§2.2).
+//!
+//! The same IR that the GPU simulator runs in SIMT fashion runs here
+//! scalar, one work-item at a time per core — the "same C++ code on either
+//! device" property of Concord.
+
+pub mod cache;
+pub mod interp;
+pub mod predictor;
+
+pub use cache::Cache;
+pub use interp::{
+    classify_raw, CoreCtx, Counters, Interp, LayoutCache, PrivateMem, WorkIds, PRIVATE_BASE,
+};
+pub use predictor::Gshare;
+
+use concord_energy::CpuConfig;
+use concord_ir::eval::{Trap, Value};
+use concord_ir::types::AddrSpace;
+use concord_ir::{FuncId, Module};
+use concord_svm::{CpuAddr, SharedRegion, VtableArea};
+
+/// Result of a multicore execution phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuReport {
+    /// Wall-clock seconds (max over cores, plus fork/join overhead).
+    pub seconds: f64,
+    /// Cycles of the slowest core.
+    pub critical_cycles: f64,
+    /// Summed counters over all cores.
+    pub counters: Counters,
+    /// Branch misprediction rate over all cores.
+    pub branch_miss_rate: f64,
+    /// L1 hit rate over all cores.
+    pub l1_hit_rate: f64,
+}
+
+/// Multicore CPU simulator.
+///
+/// Owns per-core microarchitectural state and the shared LLC; drives
+/// parallel constructs by statically chunking the iteration space.
+pub struct CpuSim {
+    cfg: CpuConfig,
+    cores: Vec<CoreCtx>,
+    privates: Vec<PrivateMem>,
+    llc: Cache,
+    layouts: LayoutCache,
+    /// Per-work-item instruction budget (runaway-loop guard).
+    pub step_budget_per_item: u64,
+}
+
+impl CpuSim {
+    /// Build a simulator for a CPU configuration.
+    pub fn new(cfg: CpuConfig) -> Self {
+        let cores = (0..cfg.cores).map(|_| CoreCtx::new(&cfg)).collect();
+        let privates = (0..cfg.cores).map(|_| PrivateMem::new(1 << 20)).collect();
+        CpuSim {
+            llc: Cache::new(cfg.llc_bytes, 16),
+            cfg,
+            cores,
+            privates,
+            layouts: LayoutCache::new(),
+            step_budget_per_item: 200_000_000,
+        }
+    }
+
+    /// The configuration this simulator models.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Accumulated cycles on core 0 (used to time host-side helper calls
+    /// such as the sequential join chain after a GPU reduction).
+    pub fn core0_cycles(&self) -> f64 {
+        self.cores[0].cycles
+    }
+
+    fn reset_timing(&mut self) {
+        for c in &mut self.cores {
+            c.cycles = 0.0;
+            c.counters = Counters::default();
+        }
+    }
+
+    fn report(&self, fork_join_overhead_s: f64) -> CpuReport {
+        let critical = self.cores.iter().map(|c| c.cycles).fold(0.0, f64::max);
+        let mut counters = Counters::default();
+        let mut preds = 0u64;
+        let mut miss = 0u64;
+        let mut l1h = 0u64;
+        let mut l1m = 0u64;
+        for c in &self.cores {
+            counters.insts += c.counters.insts;
+            counters.loads += c.counters.loads;
+            counters.stores += c.counters.stores;
+            counters.branches += c.counters.branches;
+            counters.calls += c.counters.calls;
+            counters.translations += c.counters.translations;
+            preds += c.predictor.predictions();
+            miss += c.predictor.mispredictions();
+            l1h += c.l1.hits();
+            l1m += c.l1.misses();
+        }
+        CpuReport {
+            seconds: critical / (self.cfg.freq_ghz * 1e9) + fork_join_overhead_s,
+            critical_cycles: critical,
+            counters,
+            branch_miss_rate: if preds == 0 { 0.0 } else { miss as f64 / preds as f64 },
+            l1_hit_rate: if l1h + l1m == 0 { 1.0 } else { l1h as f64 / (l1h + l1m) as f64 },
+        }
+    }
+
+    /// Run a single function call on core 0 (host-side helper, e.g. the
+    /// sequential `join` chain of a reduction).
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the callee.
+    pub fn call(
+        &mut self,
+        region: &mut SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        args: &[Value],
+    ) -> Result<Option<Value>, Trap> {
+        let mut interp = Interp {
+            module,
+            region,
+            vtables,
+            private: &mut self.privates[0],
+            core: &mut self.cores[0],
+            cfg: &self.cfg,
+            llc: &mut self.llc,
+            ids: WorkIds::default(),
+            step_budget: self.step_budget_per_item,
+            max_depth: 64,
+        };
+        interp.call(&mut self.layouts, func, args)
+    }
+
+    /// Execute `parallel_for_hetero(n, body)` across all cores: iteration
+    /// `i` calls `func(body, i)`. Returns the timing report.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel.
+    pub fn parallel_for(
+        &mut self,
+        region: &mut SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        n: u32,
+    ) -> Result<CpuReport, Trap> {
+        self.reset_timing();
+        let cores = self.cfg.cores.max(1);
+        let chunk = n.div_ceil(cores);
+        for core_idx in 0..cores as usize {
+            let lo = core_idx as u32 * chunk;
+            let hi = ((core_idx as u32 + 1) * chunk).min(n);
+            for i in lo..hi {
+                let mut interp = Interp {
+                    module,
+                    region,
+                    vtables,
+                    private: &mut self.privates[core_idx],
+                    core: &mut self.cores[core_idx],
+                    cfg: &self.cfg,
+                    llc: &mut self.llc,
+                    ids: WorkIds {
+                        global: i as i64,
+                        local: 0,
+                        group: i as i64,
+                        size: n as i64,
+                    },
+                    step_budget: self.step_budget_per_item,
+                    max_depth: 64,
+                };
+                interp.call(
+                    &mut self.layouts,
+                    func,
+                    &[Value::Ptr(body.0, AddrSpace::Cpu), Value::I(i as i64)],
+                )?;
+            }
+        }
+        // TBB-like fork/join overhead.
+        Ok(self.report(5e-6))
+    }
+
+    /// Execute `parallel_reduce_hetero(n, body)`: each core accumulates its
+    /// chunk into a private copy of the body, then the copies are joined
+    /// into the original sequentially, exactly as TBB would.
+    ///
+    /// `body_size` is the byte size of the body object; `scratch` must
+    /// provide per-core body-sized slots in the shared region.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel or joins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_reduce(
+        &mut self,
+        region: &mut SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        n: u32,
+        scratch: &[CpuAddr],
+    ) -> Result<CpuReport, Trap> {
+        self.reset_timing();
+        let cores = (self.cfg.cores.max(1) as usize).min(scratch.len());
+        assert!(cores >= 1, "need at least one scratch slot");
+        // Copy the body into each core's accumulator.
+        for &slot in scratch.iter().take(cores) {
+            let bytes = region.read_bytes(body.0, AddrSpace::Cpu, body_size)?.to_vec();
+            region.write_bytes(slot.0, AddrSpace::Cpu, &bytes)?;
+        }
+        let chunk = n.div_ceil(cores as u32);
+        for (core_idx, &acc) in scratch.iter().take(cores).enumerate() {
+            let lo = core_idx as u32 * chunk;
+            let hi = ((core_idx as u32 + 1) * chunk).min(n);
+            for i in lo..hi {
+                let mut interp = Interp {
+                    module,
+                    region,
+                    vtables,
+                    private: &mut self.privates[core_idx],
+                    core: &mut self.cores[core_idx],
+                    cfg: &self.cfg,
+                    llc: &mut self.llc,
+                    ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: n as i64 },
+                    step_budget: self.step_budget_per_item,
+                    max_depth: 64,
+                };
+                interp.call(
+                    &mut self.layouts,
+                    func,
+                    &[Value::Ptr(acc.0, AddrSpace::Cpu), Value::I(i as i64)],
+                )?;
+            }
+        }
+        // Sequential join on core 0: body.join(acc_k) for each core.
+        for &slot in scratch.iter().take(cores) {
+            self.call(
+                region,
+                vtables,
+                module,
+                join,
+                &[Value::Ptr(body.0, AddrSpace::Cpu), Value::Ptr(slot.0, AddrSpace::Cpu)],
+            )?;
+        }
+        Ok(self.report(5e-6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_frontend::compile;
+    use concord_svm::SharedAllocator;
+
+    /// Set up a region + vtables for a compiled program.
+    fn setup(
+        lp: &concord_frontend::LoweredProgram,
+        capacity: u64,
+    ) -> (SharedRegion, SharedAllocator, VtableArea) {
+        let reserved = VtableArea::reserve_for(lp.module.classes.len());
+        let mut region = SharedRegion::new(capacity, reserved);
+        let heap = SharedAllocator::new(&region);
+        let vt = VtableArea::install(&mut region, &lp.module).unwrap();
+        (region, heap, vt)
+    }
+
+    #[test]
+    fn figure1_builds_a_linked_list() {
+        let src = r#"
+            struct Node { Node* next; };
+            class LoopBody {
+            public:
+                Node* nodes;
+                void operator()(int i) { nodes[i].next = &(nodes[i+1]); }
+            };
+        "#;
+        let mut lp = compile(src).unwrap();
+        concord_compiler::optimize_for_cpu(&mut lp.module);
+        let (mut region, mut heap, vt) = setup(&lp, 1 << 20);
+        let n = 100u32;
+        let nodes = heap.malloc((n as u64 + 1) * 8).unwrap();
+        let body = heap.malloc(8).unwrap();
+        region.write_ptr(body, nodes).unwrap();
+        let k = lp.kernel("LoopBody").unwrap();
+        let mut sim = CpuSim::new(concord_energy::SystemConfig::ultrabook().cpu);
+        let report = sim
+            .parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, n)
+            .unwrap();
+        // Walk the list: node[i].next == &node[i+1].
+        for i in 0..n as u64 {
+            let next = region.read_ptr(CpuAddr(nodes.0 + i * 8)).unwrap();
+            assert_eq!(next.0, nodes.0 + (i + 1) * 8);
+        }
+        assert!(report.seconds > 0.0);
+        assert!(report.counters.stores >= n as u64);
+    }
+
+    #[test]
+    fn virtual_dispatch_executes_correct_override() {
+        let src = r#"
+            class Shape {
+            public:
+                float r;
+                virtual float area() { return 0.0f; }
+            };
+            class Circle : public Shape {
+            public:
+                float area() { return 3.0f * r * r; }
+            };
+            class K {
+            public:
+                Shape* s; float out;
+                void operator()(int i) { out = s->area(); }
+            };
+        "#;
+        let mut lp = compile(src).unwrap();
+        concord_compiler::optimize_for_cpu(&mut lp.module);
+        let (mut region, mut heap, vt) = setup(&lp, 1 << 20);
+        // Create a Circle: vptr = vtable of class 1, r = 2.0.
+        let circle = heap.malloc(16).unwrap();
+        region
+            .write_ptr(circle, VtableArea::addr_of(concord_ir::ClassId(1)))
+            .unwrap();
+        region.write_f32(circle.offset(8), 2.0).unwrap();
+        let body = heap.malloc(16).unwrap();
+        region.write_ptr(body, circle).unwrap();
+        let k = lp.kernel("K").unwrap();
+        let mut sim = CpuSim::new(concord_energy::SystemConfig::desktop().cpu);
+        sim.parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 1).unwrap();
+        let out = region.read_f32(body.offset(8)).unwrap();
+        assert_eq!(out, 12.0, "Circle::area must run, not Shape::area");
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let src = r#"
+            class Sum {
+            public:
+                float* data; float acc;
+                void operator()(int i) { acc += data[i]; }
+                void join(Sum* other) { acc += other->acc; }
+            };
+        "#;
+        let mut lp = compile(src).unwrap();
+        concord_compiler::optimize_for_cpu(&mut lp.module);
+        let (mut region, mut heap, vt) = setup(&lp, 1 << 20);
+        let n = 1000u32;
+        let data = heap.malloc(n as u64 * 4).unwrap();
+        for i in 0..n {
+            region.write_f32(CpuAddr(data.0 + i as u64 * 4), 1.0).unwrap();
+        }
+        let body = heap.malloc(16).unwrap();
+        region.write_ptr(body, data).unwrap();
+        region.write_f32(body.offset(8), 0.0).unwrap();
+        let scratch: Vec<CpuAddr> = (0..4).map(|_| heap.malloc(16).unwrap()).collect();
+        let k = lp.kernel("Sum").unwrap();
+        let mut sim = CpuSim::new(concord_energy::SystemConfig::desktop().cpu);
+        sim.parallel_reduce(
+            &mut region,
+            &vt,
+            &lp.module,
+            k.operator_fn,
+            k.join_fn.unwrap(),
+            body,
+            16,
+            n,
+            &scratch,
+        )
+        .unwrap();
+        let total = region.read_f32(body.offset(8)).unwrap();
+        assert_eq!(total, n as f32);
+    }
+
+    #[test]
+    fn gpu_lowered_code_runs_identically() {
+        // Differential check: the GPU-lowered module (with translations)
+        // interpreted scalar must compute the same result.
+        let src = r#"
+            struct Node { Node* next; int v; };
+            class K {
+            public:
+                Node* head; int out;
+                void operator()(int i) {
+                    int s = 0;
+                    Node* p = head;
+                    while (p != nullptr) { s += p->v; p = p->next; }
+                    out = s;
+                }
+            };
+        "#;
+        let lp = compile(src).unwrap();
+        for strategy in [
+            concord_compiler::GpuConfig::baseline(7),
+            concord_compiler::GpuConfig::ptropt(7),
+            concord_compiler::GpuConfig::all(7),
+        ] {
+            let art = concord_compiler::lower_for_gpu(&lp.module, strategy);
+            let (mut region, mut heap, vt) = setup(&lp, 1 << 20);
+            // Three nodes: 5 -> 7 -> 30.
+            let nodes = heap.malloc(3 * 16).unwrap();
+            for (i, v) in [5, 7, 30].iter().enumerate() {
+                let a = CpuAddr(nodes.0 + i as u64 * 16);
+                let next =
+                    if i < 2 { CpuAddr(nodes.0 + (i as u64 + 1) * 16) } else { CpuAddr::NULL };
+                region.write_ptr(a, next).unwrap();
+                region.write_i32(a.offset(8), *v).unwrap();
+            }
+            let body = heap.malloc(16).unwrap();
+            region.write_ptr(body, nodes).unwrap();
+            let kf = art
+                .module
+                .functions
+                .iter()
+                .position(|f| f.kernel == Some(concord_ir::KernelKind::ForBody))
+                .map(|i| FuncId(i as u32))
+                .unwrap();
+            let mut sim = CpuSim::new(concord_energy::SystemConfig::ultrabook().cpu);
+            sim.parallel_for(&mut region, &vt, &art.module, kf, body, 1).unwrap();
+            assert_eq!(region.read_i32(body.offset(8)).unwrap(), 42);
+        }
+    }
+
+    #[test]
+    fn runaway_loop_hits_step_budget() {
+        let src = r#"
+            class K {
+            public:
+                int out;
+                void operator()(int i) {
+                    int x = 0;
+                    while (true) { x += 1; }
+                    out = x;
+                }
+            };
+        "#;
+        let mut lp = compile(src).unwrap();
+        concord_compiler::optimize_for_cpu(&mut lp.module);
+        let (mut region, mut heap, vt) = setup(&lp, 1 << 16);
+        let body = heap.malloc(8).unwrap();
+        let k = lp.kernel("K").unwrap();
+        let mut sim = CpuSim::new(concord_energy::SystemConfig::ultrabook().cpu);
+        sim.step_budget_per_item = 10_000;
+        let err = sim
+            .parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 1)
+            .unwrap_err();
+        assert_eq!(err, Trap::StepLimitExceeded);
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let src = r#"
+            struct Node { Node* next; int v; };
+            class K {
+            public:
+                Node* head; int out;
+                void operator()(int i) { out = head->v; }
+            };
+        "#;
+        let mut lp = compile(src).unwrap();
+        concord_compiler::optimize_for_cpu(&mut lp.module);
+        let (mut region, mut heap, vt) = setup(&lp, 1 << 16);
+        let body = heap.malloc(16).unwrap();
+        region.write_ptr(body, CpuAddr::NULL).unwrap();
+        let k = lp.kernel("K").unwrap();
+        let mut sim = CpuSim::new(concord_energy::SystemConfig::ultrabook().cpu);
+        let err = sim
+            .parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 1)
+            .unwrap_err();
+        assert!(matches!(err, Trap::BadAddress { .. }));
+    }
+
+    #[test]
+    fn timing_scales_with_work() {
+        let src = r#"
+            class K {
+            public:
+                float* a; int n;
+                void operator()(int i) {
+                    float s = 0.0f;
+                    for (int j = 0; j < n; j++) { s += (float)j; }
+                    a[i] = s;
+                }
+            };
+        "#;
+        let mut lp = compile(src).unwrap();
+        concord_compiler::optimize_for_cpu(&mut lp.module);
+        let (mut region, mut heap, vt) = setup(&lp, 1 << 20);
+        let a = heap.malloc(64 * 4).unwrap();
+        let body = heap.malloc(16).unwrap();
+        region.write_ptr(body, a).unwrap();
+        let k = lp.kernel("K").unwrap();
+        let mut t = Vec::new();
+        for n_inner in [10i32, 100] {
+            region.write_i32(body.offset(8), n_inner).unwrap();
+            let mut sim = CpuSim::new(concord_energy::SystemConfig::ultrabook().cpu);
+            let r = sim
+                .parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 64)
+                .unwrap();
+            t.push(r.critical_cycles);
+        }
+        assert!(t[1] > t[0] * 4.0, "10x inner work must cost visibly more: {t:?}");
+    }
+}

@@ -1,0 +1,331 @@
+//! # concord-energy
+//!
+//! Device configurations and the package-energy model for the two systems
+//! evaluated in the paper (§5.1):
+//!
+//! * an **Ultrabook** with a 1.7 GHz dual-core i7-4650U and an integrated
+//!   HD Graphics 5000 GPU (40 EUs, 200 MHz–1.1 GHz, 15 W TDP), and
+//! * a **desktop** with a 3.4 GHz quad-core i7-4770 and an integrated
+//!   HD Graphics 4600 GPU (20 EUs, 350 MHz–1.25 GHz, 84 W TDP).
+//!
+//! The paper measures package energy by sampling
+//! `MSR_PKG_ENERGY_STATUS`; [`EnergyMeter`] reproduces that interface over
+//! the simulators' timing output. Package power during a phase is modeled
+//! as a base (uncore) draw plus per-device active draw; GPU active power
+//! scales with EU issue occupancy, which is what makes memory-bound
+//! workloads like BarnesHut *slower yet more energy-efficient* on the
+//! desktop GPU (§5.2.2).
+
+use std::fmt;
+
+/// CPU-side parameters of a system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Physical cores used by `parallel_for` work.
+    pub cores: u32,
+    /// Clock in GHz.
+    pub freq_ghz: f64,
+    /// Effective superscalar issue rate (instructions/cycle) for non-memory
+    /// operations, folding in out-of-order overlap.
+    pub ipc: f64,
+    /// Branch misprediction penalty in cycles.
+    pub branch_miss_penalty: f64,
+    /// L1 data cache size in bytes (per core).
+    pub l1_bytes: u64,
+    /// Shared last-level cache size in bytes.
+    pub llc_bytes: u64,
+    /// L1 hit cost in cycles (mostly hidden by OoO execution).
+    pub l1_hit_cycles: f64,
+    /// LLC hit cost in cycles.
+    pub llc_hit_cycles: f64,
+    /// Memory access cost in cycles after OoO/prefetch overlap.
+    pub mem_cycles: f64,
+    /// Active power per busy core in watts.
+    pub core_active_watts: f64,
+}
+
+/// GPU-side parameters of a system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Execution units.
+    pub eus: u32,
+    /// Hardware thread (warp) slots per EU.
+    pub threads_per_eu: u32,
+    /// SIMD lanes per hardware thread.
+    pub simd_width: u32,
+    /// Clock in GHz (sustained turbo).
+    pub freq_ghz: f64,
+    /// Shared (non-banked) GPU L3 size in bytes.
+    pub l3_bytes: u64,
+    /// L3 hit cost in cycles.
+    pub l3_hit_cycles: f64,
+    /// Memory access cost in cycles (before latency hiding).
+    pub mem_cycles: f64,
+    /// Same-line cross-EU contention penalty in cycles (the L3 is not
+    /// banked; see §4.2).
+    pub contention_penalty: f64,
+    /// Per-work-item private memory in bytes.
+    pub private_bytes: u64,
+    /// Work-group local memory in bytes.
+    pub local_bytes: u64,
+    /// Maximum GPU active power in watts at full issue occupancy.
+    pub max_active_watts: f64,
+    /// GPU active-power floor while a kernel is resident (clocks up).
+    pub idle_active_watts: f64,
+    /// One-time OpenCL JIT compilation cost per kernel, in milliseconds.
+    pub jit_ms: f64,
+    /// Per-offload launch + pin/unpin fence cost, in microseconds.
+    pub launch_us: f64,
+}
+
+/// A full evaluation platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Package base (uncore + idle) power in watts.
+    pub package_base_watts: f64,
+    /// Host-core power while driving/waiting on a GPU offload.
+    pub host_assist_watts: f64,
+    /// CPU parameters.
+    pub cpu: CpuConfig,
+    /// GPU parameters.
+    pub gpu: GpuConfig,
+}
+
+impl SystemConfig {
+    /// The 15 W Ultrabook: dual-core 1.7 GHz CPU + HD Graphics 5000
+    /// (40 EUs at up to 1.1 GHz).
+    pub fn ultrabook() -> Self {
+        SystemConfig {
+            name: "ultrabook",
+            package_base_watts: 2.0,
+            host_assist_watts: 1.0,
+            cpu: CpuConfig {
+                cores: 2,
+                freq_ghz: 1.7,
+                // Effective IR-ops per cycle: Haswell retires ~4 uops/cycle
+                // and one IR op lowers to about one uop.
+                ipc: 4.0,
+                branch_miss_penalty: 14.0,
+                l1_bytes: 32 * 1024,
+                llc_bytes: 4 * 1024 * 1024,
+                l1_hit_cycles: 1.0,
+                llc_hit_cycles: 12.0,
+                mem_cycles: 110.0,
+                core_active_watts: 4.0,
+            },
+            gpu: GpuConfig {
+                eus: 40,
+                threads_per_eu: 7,
+                simd_width: 16,
+                freq_ghz: 1.0,
+                l3_bytes: 512 * 1024,
+                l3_hit_cycles: 50.0,
+                mem_cycles: 320.0,
+                contention_penalty: 10.0,
+                private_bytes: 8 * 1024,
+                local_bytes: 64 * 1024,
+                max_active_watts: 16.0,
+                idle_active_watts: 6.0,
+                jit_ms: 0.005,
+                launch_us: 1.5,
+            },
+        }
+    }
+
+    /// The 84 W desktop: quad-core 3.4 GHz CPU + HD Graphics 4600
+    /// (20 EUs at up to 1.25 GHz).
+    pub fn desktop() -> Self {
+        SystemConfig {
+            name: "desktop",
+            package_base_watts: 8.0,
+            host_assist_watts: 2.0,
+            cpu: CpuConfig {
+                cores: 4,
+                freq_ghz: 3.4,
+                ipc: 4.5,
+                branch_miss_penalty: 14.0,
+                l1_bytes: 32 * 1024,
+                llc_bytes: 8 * 1024 * 1024,
+                l1_hit_cycles: 1.0,
+                llc_hit_cycles: 10.0,
+                // The desktop CPU has far more effective memory bandwidth
+                // per core (dual-channel DDR3-1600 + deep OoO): §5.2.2's
+                // reason GPU speedups evaporate on the desktop.
+                mem_cycles: 70.0,
+                core_active_watts: 13.0,
+            },
+            gpu: GpuConfig {
+                eus: 20,
+                threads_per_eu: 7,
+                simd_width: 16,
+                freq_ghz: 1.15,
+                l3_bytes: 256 * 1024,
+                l3_hit_cycles: 50.0,
+                mem_cycles: 300.0,
+                contention_penalty: 10.0,
+                private_bytes: 8 * 1024,
+                local_bytes: 64 * 1024,
+                // Package draw during GPU phases includes uncore + memory
+                // activity, calibrated to the paper's desktop energy ratios.
+                max_active_watts: 43.0,
+                idle_active_watts: 18.0,
+                jit_ms: 0.005,
+                launch_us: 1.2,
+            },
+        }
+    }
+}
+
+/// Result of timing one execution phase on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseReport {
+    /// Wall-clock seconds for the phase.
+    pub seconds: f64,
+    /// For GPU phases: fraction of EU cycles spent issuing (0–1).
+    /// For CPU phases: fraction of cores busy (usually 1.0).
+    pub busy_fraction: f64,
+}
+
+/// Which device ran a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// Multicore CPU execution.
+    Cpu,
+    /// Integrated GPU execution.
+    Gpu,
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Device::Cpu => f.write_str("CPU"),
+            Device::Gpu => f.write_str("GPU"),
+        }
+    }
+}
+
+/// Package-energy accumulator, the `MSR_PKG_ENERGY_STATUS` analogue.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    joules: f64,
+    seconds: f64,
+}
+
+impl EnergyMeter {
+    /// A meter with zero accumulated energy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Package power in watts for a phase on `device`.
+    pub fn phase_power(system: &SystemConfig, device: Device, report: PhaseReport) -> f64 {
+        match device {
+            Device::Cpu => {
+                system.package_base_watts
+                    + system.cpu.cores as f64
+                        * system.cpu.core_active_watts
+                        * report.busy_fraction
+            }
+            Device::Gpu => {
+                let g = &system.gpu;
+                system.package_base_watts
+                    + system.host_assist_watts
+                    + g.idle_active_watts
+                    + (g.max_active_watts - g.idle_active_watts) * report.busy_fraction
+            }
+        }
+    }
+
+    /// Record a phase: accumulates `power × time`.
+    pub fn record(&mut self, system: &SystemConfig, device: Device, report: PhaseReport) {
+        let p = Self::phase_power(system, device, report);
+        self.joules += p * report.seconds;
+        self.seconds += report.seconds;
+    }
+
+    /// Total accumulated package energy in joules.
+    pub fn joules(&self) -> f64 {
+        self.joules
+    }
+
+    /// Total accumulated wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_shapes_match_paper() {
+        let ub = SystemConfig::ultrabook();
+        let dt = SystemConfig::desktop();
+        assert_eq!(ub.gpu.eus, 40);
+        assert_eq!(dt.gpu.eus, 20);
+        assert_eq!(ub.cpu.cores, 2);
+        assert_eq!(dt.cpu.cores, 4);
+        assert_eq!(ub.gpu.threads_per_eu, 7);
+        assert_eq!(ub.gpu.simd_width, 16);
+        assert!(dt.cpu.freq_ghz > ub.cpu.freq_ghz);
+    }
+
+    #[test]
+    fn cpu_phase_power_scales_with_cores() {
+        let ub = SystemConfig::ultrabook();
+        let p = EnergyMeter::phase_power(
+            &ub,
+            Device::Cpu,
+            PhaseReport { seconds: 1.0, busy_fraction: 1.0 },
+        );
+        assert!((p - (2.0 + 2.0 * 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_power_scales_with_occupancy() {
+        let dt = SystemConfig::desktop();
+        let busy = EnergyMeter::phase_power(
+            &dt,
+            Device::Gpu,
+            PhaseReport { seconds: 1.0, busy_fraction: 1.0 },
+        );
+        let stalled = EnergyMeter::phase_power(
+            &dt,
+            Device::Gpu,
+            PhaseReport { seconds: 1.0, busy_fraction: 0.2 },
+        );
+        assert!(busy > stalled);
+        assert!(stalled > dt.package_base_watts);
+    }
+
+    #[test]
+    fn desktop_gpu_draws_less_than_its_cpu() {
+        // The §5.2.2 effect depends on this: equal-time GPU execution must
+        // still save energy on the desktop.
+        let dt = SystemConfig::desktop();
+        let cpu = EnergyMeter::phase_power(
+            &dt,
+            Device::Cpu,
+            PhaseReport { seconds: 1.0, busy_fraction: 1.0 },
+        );
+        let gpu = EnergyMeter::phase_power(
+            &dt,
+            Device::Gpu,
+            PhaseReport { seconds: 1.0, busy_fraction: 1.0 },
+        );
+        assert!(gpu < cpu);
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let ub = SystemConfig::ultrabook();
+        let mut m = EnergyMeter::new();
+        m.record(&ub, Device::Cpu, PhaseReport { seconds: 2.0, busy_fraction: 1.0 });
+        m.record(&ub, Device::Gpu, PhaseReport { seconds: 1.0, busy_fraction: 0.5 });
+        assert!(m.joules() > 0.0);
+        assert!((m.seconds() - 3.0).abs() < 1e-12);
+    }
+}

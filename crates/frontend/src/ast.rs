@@ -1,0 +1,315 @@
+//! Abstract syntax tree for the kernel language.
+
+use crate::diag::Span;
+
+/// A source-level type expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `void`.
+    Void,
+    /// `bool`.
+    Bool,
+    /// `int` (32-bit signed).
+    Int,
+    /// `uint` / `unsigned` (32-bit unsigned).
+    UInt,
+    /// `long` (64-bit signed).
+    Long,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// A struct/class by name.
+    Named(String),
+    /// Pointer to a type.
+    Ptr(Box<TypeExpr>),
+}
+
+impl TypeExpr {
+    /// Wrap in `levels` levels of pointer.
+    pub fn pointered(self, levels: usize) -> TypeExpr {
+        let mut t = self;
+        for _ in 0..levels {
+            t = TypeExpr::Ptr(Box::new(t));
+        }
+        t
+    }
+}
+
+/// Binary operators in source form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+/// Unary operators in source form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise not.
+    BitNot,
+    /// Pointer dereference.
+    Deref,
+    /// Address-of.
+    AddrOf,
+}
+
+/// An expression with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Location for diagnostics.
+    pub span: Span,
+    /// The expression kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal; `bool` is true for an `f`-suffixed (f32) literal.
+    FloatLit(f64, bool),
+    /// `true`/`false`.
+    BoolLit(bool),
+    /// `nullptr`.
+    Null,
+    /// Variable, parameter, or implicit-member reference.
+    Ident(String),
+    /// `this`.
+    This,
+    /// Binary operation (may resolve to an overloaded operator method).
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Assignment `lhs = rhs`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Compound assignment `lhs op= rhs`.
+    CompoundAssign(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Pre/post increment/decrement; `bool` is true for prefix form.
+    IncDec {
+        /// +1 or -1.
+        delta: i64,
+        /// Prefix (`++x`) vs postfix (`x++`).
+        prefix: bool,
+        /// The lvalue.
+        target: Box<Expr>,
+    },
+    /// Free function or intrinsic call.
+    Call(String, Vec<Expr>),
+    /// Method call `obj.m(args)` / `p->m(args)`; `bool` is true for `->`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// `->` (true) or `.` (false).
+        through_ptr: bool,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Field access `obj.f` / `p->f`; `bool` is true for `->`.
+    Field {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// `->` (true) or `.` (false).
+        through_ptr: bool,
+        /// Field name.
+        field: String,
+    },
+    /// Indexing `p[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// C-style cast `(type)expr`.
+    Cast(TypeExpr, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration `type name[n] = init;`.
+    Local {
+        /// Declared type.
+        ty: TypeExpr,
+        /// Variable name.
+        name: String,
+        /// Fixed array length, if `name[len]` form.
+        array_len: Option<u64>,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then else`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) body`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) body`.
+    For {
+        /// Initializer (a full statement: local or expression).
+        init: Option<Box<Stmt>>,
+        /// Loop condition (absent = always true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?;`.
+    Return(Option<Expr>, Span),
+    /// `break;`.
+    Break(Span),
+    /// `continue;`.
+    Continue(Span),
+    /// Nested block.
+    Block(Vec<Stmt>),
+}
+
+/// A function or method parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: TypeExpr,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A free function or method definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name (methods: unqualified; `operator()` is spelled
+    /// `operator()`, overloaded operators `operator+` etc.).
+    pub name: String,
+    /// Return type.
+    pub ret: TypeExpr,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Whether declared `virtual` (methods only).
+    pub is_virtual: bool,
+    /// Location of the declaration.
+    pub span: Span,
+}
+
+/// A data member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Field type.
+    pub ty: TypeExpr,
+    /// Field name.
+    pub name: String,
+    /// Fixed inline-array length, if any.
+    pub array_len: Option<u64>,
+    /// Location.
+    pub span: Span,
+}
+
+/// A struct or class definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDecl {
+    /// Type name.
+    pub name: String,
+    /// Base classes in declaration order (multiple inheritance flattens
+    /// bases at increasing offsets).
+    pub bases: Vec<String>,
+    /// Data members.
+    pub fields: Vec<FieldDecl>,
+    /// Methods.
+    pub methods: Vec<FuncDecl>,
+    /// Location.
+    pub span: Span,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// Struct/class definition.
+    Struct(StructDecl),
+    /// Free function definition.
+    Func(FuncDecl),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+impl Program {
+    /// All struct declarations.
+    pub fn structs(&self) -> impl Iterator<Item = &StructDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Struct(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// All free functions.
+    pub fn funcs(&self) -> impl Iterator<Item = &FuncDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Func(f) => Some(f),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointered_wraps() {
+        let t = TypeExpr::Int.pointered(2);
+        assert_eq!(t, TypeExpr::Ptr(Box::new(TypeExpr::Ptr(Box::new(TypeExpr::Int)))));
+    }
+
+    #[test]
+    fn program_filters() {
+        let p = Program {
+            decls: vec![
+                Decl::Struct(StructDecl {
+                    name: "S".into(),
+                    bases: vec![],
+                    fields: vec![],
+                    methods: vec![],
+                    span: Span::default(),
+                }),
+                Decl::Func(FuncDecl {
+                    name: "f".into(),
+                    ret: TypeExpr::Void,
+                    params: vec![],
+                    body: vec![],
+                    is_virtual: false,
+                    span: Span::default(),
+                }),
+            ],
+        };
+        assert_eq!(p.structs().count(), 1);
+        assert_eq!(p.funcs().count(), 1);
+    }
+}

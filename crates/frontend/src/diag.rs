@@ -1,0 +1,80 @@
+//! Diagnostics for the kernel-language compiler.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compile-time error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Where the error was detected.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Create an error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        CompileError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A restriction violation (§2.1 of the paper): the construct compiles for
+/// the CPU but cannot be offloaded to the GPU. The runtime responds by
+/// executing the parallel construct on the CPU and emitting this warning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestrictionWarning {
+    /// Function in which the violation occurs.
+    pub function: String,
+    /// What rule was violated.
+    pub message: String,
+}
+
+impl fmt::Display for RestrictionWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warning: `{}` cannot run on the GPU ({}); falling back to CPU",
+            self.function, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_includes_location() {
+        let e = CompileError::new(Span { line: 3, col: 7 }, "bad thing");
+        assert_eq!(e.to_string(), "error at 3:7: bad thing");
+    }
+
+    #[test]
+    fn warning_display_mentions_fallback() {
+        let w = RestrictionWarning { function: "op".into(), message: "recursion".into() };
+        assert!(w.to_string().contains("falling back to CPU"));
+    }
+}

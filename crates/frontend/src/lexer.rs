@@ -1,0 +1,422 @@
+//! Lexer for the Concord kernel language, a C++ subset.
+
+use crate::diag::{CompileError, Span};
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal (a trailing `f` marks `float`, else `double`).
+    Float(f64, bool),
+    // Keywords.
+    KwStruct,
+    KwClass,
+    KwPublic,
+    KwPrivate,
+    KwProtected,
+    KwVirtual,
+    KwOperator,
+    KwThis,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwTrue,
+    KwFalse,
+    KwNullptr,
+    KwConst,
+    KwVoid,
+    KwBool,
+    KwInt,
+    KwUInt,
+    KwLong,
+    KwFloat,
+    KwDouble,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Shl,
+    Shr,
+    PlusPlus,
+    MinusMinus,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Float(v, _) => write!(f, "float `{v}`"),
+            Tok::Eof => f.write_str("end of input"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Location in the source.
+    pub span: Span,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "struct" => Tok::KwStruct,
+        "class" => Tok::KwClass,
+        "public" => Tok::KwPublic,
+        "private" => Tok::KwPrivate,
+        "protected" => Tok::KwProtected,
+        "virtual" => Tok::KwVirtual,
+        "operator" => Tok::KwOperator,
+        "this" => Tok::KwThis,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "for" => Tok::KwFor,
+        "return" => Tok::KwReturn,
+        "break" => Tok::KwBreak,
+        "continue" => Tok::KwContinue,
+        "true" => Tok::KwTrue,
+        "false" => Tok::KwFalse,
+        "nullptr" | "NULL" => Tok::KwNullptr,
+        "const" => Tok::KwConst,
+        "void" => Tok::KwVoid,
+        "bool" => Tok::KwBool,
+        "int" => Tok::KwInt,
+        "uint" | "unsigned" => Tok::KwUInt,
+        "long" => Tok::KwLong,
+        "float" => Tok::KwFloat,
+        "double" => Tok::KwDouble,
+        _ => return None,
+    })
+}
+
+/// Tokenize `src`. `//` and `/* */` comments are skipped.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for unterminated comments, malformed numbers,
+/// or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! span {
+        () => {
+            Span { line, col }
+        };
+    }
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let sp = span!();
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(1),
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!(1);
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                bump!(2);
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(sp, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!(2);
+                        break;
+                    }
+                    bump!(1);
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                let mut is_hex = false;
+                if c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    is_hex = true;
+                    bump!(2);
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        bump!(1);
+                    }
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!(1);
+                    }
+                    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                    {
+                        is_float = true;
+                        bump!(1);
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            bump!(1);
+                        }
+                    }
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+                            j += 1;
+                        }
+                        if bytes.get(j).is_some_and(|b| b.is_ascii_digit()) {
+                            is_float = true;
+                            bump!(j - i);
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                bump!(1);
+                            }
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let mut f32_suffix = false;
+                if i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F') {
+                    f32_suffix = true;
+                    is_float = true;
+                    bump!(1);
+                }
+                let tok = if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new(sp, format!("bad float literal `{text}`")))?;
+                    Tok::Float(v, f32_suffix)
+                } else if is_hex {
+                    let v = i64::from_str_radix(&text[2..], 16)
+                        .map_err(|_| CompileError::new(sp, format!("bad hex literal `{text}`")))?;
+                    Tok::Int(v)
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new(sp, format!("bad int literal `{text}`")))?;
+                    Tok::Int(v)
+                };
+                out.push(Token { tok, span: sp });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!(1);
+                }
+                let text = &src[start..i];
+                let tok = keyword(text).unwrap_or_else(|| Tok::Ident(text.to_string()));
+                out.push(Token { tok, span: sp });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let (tok, len) = match two {
+                    "->" => (Tok::Arrow, 2),
+                    "==" => (Tok::Eq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "+=" => (Tok::PlusAssign, 2),
+                    "-=" => (Tok::MinusAssign, 2),
+                    "*=" => (Tok::StarAssign, 2),
+                    "/=" => (Tok::SlashAssign, 2),
+                    "++" => (Tok::PlusPlus, 2),
+                    "--" => (Tok::MinusMinus, 2),
+                    _ => {
+                        let t = match c {
+                            b'(' => Tok::LParen,
+                            b')' => Tok::RParen,
+                            b'{' => Tok::LBrace,
+                            b'}' => Tok::RBrace,
+                            b'[' => Tok::LBracket,
+                            b']' => Tok::RBracket,
+                            b';' => Tok::Semi,
+                            b',' => Tok::Comma,
+                            b':' => Tok::Colon,
+                            b'?' => Tok::Question,
+                            b'.' => Tok::Dot,
+                            b'+' => Tok::Plus,
+                            b'-' => Tok::Minus,
+                            b'*' => Tok::Star,
+                            b'/' => Tok::Slash,
+                            b'%' => Tok::Percent,
+                            b'&' => Tok::Amp,
+                            b'|' => Tok::Pipe,
+                            b'^' => Tok::Caret,
+                            b'~' => Tok::Tilde,
+                            b'!' => Tok::Bang,
+                            b'=' => Tok::Assign,
+                            b'<' => Tok::Lt,
+                            b'>' => Tok::Gt,
+                            other => {
+                                return Err(CompileError::new(
+                                    sp,
+                                    format!("unexpected character `{}`", other as char),
+                                ))
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                out.push(Token { tok, span: sp });
+                bump!(len);
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, span: span!() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("struct Node virtual x"),
+            vec![
+                Tok::KwStruct,
+                Tok::Ident("Node".into()),
+                Tok::KwVirtual,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            toks("42 0x1f 3.5 2.0f 1e3 7f"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(31),
+                Tok::Float(3.5, false),
+                Tok::Float(2.0, true),
+                Tok::Float(1000.0, false),
+                Tok::Float(7.0, true),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            toks("-> == != <= >= && || << >> += ++"),
+            vec![
+                Tok::Arrow,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::PlusAssign,
+                Tok::PlusPlus,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // line comment\n b /* block\n comment */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].span, Span { line: 1, col: 1 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn null_aliases() {
+        assert_eq!(toks("nullptr NULL"), vec![Tok::KwNullptr, Tok::KwNullptr, Tok::Eof]);
+    }
+}

@@ -1,0 +1,781 @@
+//! Recursive-descent parser for the kernel language.
+
+use crate::ast::*;
+use crate::diag::{CompileError, Span};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parse a full translation unit.
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, known_types: Vec::new(), depth: 0 };
+    p.program()
+}
+
+// Each parenthesis level costs two depth units (expr + unary); the limit
+// also bounds AST depth so that the recursive lowering stays comfortably
+// within thread stacks even in debug builds.
+const MAX_EXPR_DEPTH: u32 = 128;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Names of structs/classes declared so far (needed to disambiguate
+    /// `Name x;` declarations from expressions).
+    known_types: Vec<String>,
+    /// Current expression nesting depth (guards the recursive descent
+    /// against stack exhaustion on adversarial input).
+    depth: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.span(),
+                format!("expected {t}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(CompileError::new(self.span(), format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut decls = Vec::new();
+        while self.peek() != &Tok::Eof {
+            match self.peek() {
+                Tok::KwStruct | Tok::KwClass => {
+                    let s = self.struct_decl()?;
+                    self.known_types.push(s.name.clone());
+                    decls.push(Decl::Struct(s));
+                }
+                _ => {
+                    let f = self.func_decl()?;
+                    decls.push(Decl::Func(f));
+                }
+            }
+        }
+        Ok(Program { decls })
+    }
+
+    /// Is a type expression starting at the cursor? (Used to distinguish
+    /// declarations from expressions inside blocks.)
+    fn at_type(&self) -> bool {
+        match self.peek() {
+            Tok::KwVoid | Tok::KwBool | Tok::KwInt | Tok::KwUInt | Tok::KwLong | Tok::KwFloat
+            | Tok::KwDouble | Tok::KwConst => true,
+            Tok::Ident(name) => {
+                // `Name x`, `Name* x` are declarations if Name is a known type.
+                self.known_types.iter().any(|t| t == name)
+                    && matches!(self.peek2(), Tok::Ident(_) | Tok::Star)
+            }
+            _ => false,
+        }
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, CompileError> {
+        let _ = self.eat(&Tok::KwConst);
+        let base = match self.bump() {
+            Tok::KwVoid => TypeExpr::Void,
+            Tok::KwBool => TypeExpr::Bool,
+            Tok::KwInt => TypeExpr::Int,
+            Tok::KwUInt => {
+                // allow "unsigned int"
+                let _ = self.eat(&Tok::KwInt);
+                TypeExpr::UInt
+            }
+            Tok::KwLong => TypeExpr::Long,
+            Tok::KwFloat => TypeExpr::Float,
+            Tok::KwDouble => TypeExpr::Double,
+            Tok::Ident(name) => TypeExpr::Named(name),
+            other => {
+                return Err(CompileError::new(self.span(), format!("expected type, found {other}")))
+            }
+        };
+        let mut levels = 0;
+        loop {
+            if self.eat(&Tok::Star) {
+                levels += 1;
+                let _ = self.eat(&Tok::KwConst);
+            } else {
+                break;
+            }
+        }
+        Ok(base.pointered(levels))
+    }
+
+    fn struct_decl(&mut self) -> Result<StructDecl, CompileError> {
+        let span = self.span();
+        self.bump(); // struct/class
+        let name = self.expect_ident()?;
+        // Register early so methods can reference the type (incl. itself).
+        if !self.known_types.contains(&name) {
+            self.known_types.push(name.clone());
+        }
+        let mut bases = Vec::new();
+        if self.eat(&Tok::Colon) {
+            loop {
+                // access specifier on the base is parsed and ignored
+                let _ = self.eat(&Tok::KwPublic) || self.eat(&Tok::KwPrivate) || self.eat(&Tok::KwProtected);
+                bases.push(self.expect_ident()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            // access specifiers
+            if matches!(self.peek(), Tok::KwPublic | Tok::KwPrivate | Tok::KwProtected) {
+                self.bump();
+                self.expect(&Tok::Colon)?;
+                continue;
+            }
+            let mspan = self.span();
+            let is_virtual = self.eat(&Tok::KwVirtual);
+            let ty = self.type_expr()?;
+            // operator() / operator+ ... or named member
+            let name = if self.eat(&Tok::KwOperator) {
+                match self.bump() {
+                    Tok::LParen => {
+                        self.expect(&Tok::RParen)?;
+                        "operator()".to_string()
+                    }
+                    Tok::Plus => "operator+".to_string(),
+                    Tok::Minus => "operator-".to_string(),
+                    Tok::Star => "operator*".to_string(),
+                    Tok::Slash => "operator/".to_string(),
+                    other => {
+                        return Err(CompileError::new(
+                            mspan,
+                            format!("unsupported overloaded operator {other}"),
+                        ))
+                    }
+                }
+            } else {
+                self.expect_ident()?
+            };
+            if self.peek() == &Tok::LParen {
+                // method
+                let params = self.param_list()?;
+                let _ = self.eat(&Tok::KwConst);
+                let body = if self.peek() == &Tok::LBrace {
+                    self.block()?
+                } else {
+                    self.expect(&Tok::Semi)?;
+                    return Err(CompileError::new(
+                        mspan,
+                        "method declarations without bodies are not supported",
+                    ));
+                };
+                methods.push(FuncDecl { name, ret: ty, params, body, is_virtual, span: mspan });
+            } else {
+                // field(s): `ty a, b[4];`
+                if is_virtual {
+                    return Err(CompileError::new(mspan, "`virtual` on a data member"));
+                }
+                let mut fname = name;
+                loop {
+                    let array_len = if self.eat(&Tok::LBracket) {
+                        let n = match self.bump() {
+                            Tok::Int(v) if v > 0 => v as u64,
+                            other => {
+                                return Err(CompileError::new(
+                                    mspan,
+                                    format!("expected positive array length, found {other}"),
+                                ))
+                            }
+                        };
+                        self.expect(&Tok::RBracket)?;
+                        Some(n)
+                    } else {
+                        None
+                    };
+                    fields.push(FieldDecl { ty: ty.clone(), name: fname, array_len, span: mspan });
+                    if self.eat(&Tok::Comma) {
+                        fname = self.expect_ident()?;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Semi)?;
+            }
+        }
+        let _ = self.eat(&Tok::Semi);
+        Ok(StructDecl { name, bases, fields, methods, span })
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, CompileError> {
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let ty = self.type_expr()?;
+                let name = self.expect_ident()?;
+                params.push(Param { ty, name });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(params)
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, CompileError> {
+        let span = self.span();
+        let ret = self.type_expr()?;
+        let name = self.expect_ident()?;
+        let params = self.param_list()?;
+        let body = self.block()?;
+        Ok(FuncDecl { name, ret, params, body, is_virtual: false, span })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        match self.peek() {
+            Tok::LBrace => Ok(Stmt::Block(self.block()?)),
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then_body = self.stmt_as_block()?;
+                let else_body = if self.eat(&Tok::KwElse) { self.stmt_as_block()? } else { Vec::new() };
+                Ok(Stmt::If(cond, then_body, else_body))
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                let cond = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                let step = if self.peek() == &Tok::RParen { None } else { Some(self.expr()?) };
+                self.expect(&Tok::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let e = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(e, span))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Break(span))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Continue(span))
+            }
+            _ => self.simple_stmt(),
+        }
+    }
+
+    /// A statement that is either a local declaration or an expression,
+    /// terminated by `;` (used standalone and as a `for` initializer).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        if self.at_type() {
+            let ty = self.type_expr()?;
+            let name = self.expect_ident()?;
+            let array_len = if self.eat(&Tok::LBracket) {
+                let n = match self.bump() {
+                    Tok::Int(v) if v > 0 => v as u64,
+                    other => {
+                        return Err(CompileError::new(
+                            span,
+                            format!("expected positive array length, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(&Tok::RBracket)?;
+                Some(n)
+            } else {
+                None
+            };
+            let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+            self.expect(&Tok::Semi)?;
+            Ok(Stmt::Local { ty, name, array_len, init, span })
+        } else {
+            let e = self.expr()?;
+            self.expect(&Tok::Semi)?;
+            Ok(Stmt::Expr(e))
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.peek() == &Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(CompileError::new(self.span(), "expression too deeply nested"));
+        }
+        let r = self.assignment();
+        self.depth -= 1;
+        r
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.ternary()?;
+        let span = self.span();
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(BinaryOp::Add),
+            Tok::MinusAssign => Some(BinaryOp::Sub),
+            Tok::StarAssign => Some(BinaryOp::Mul),
+            Tok::SlashAssign => Some(BinaryOp::Div),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assignment()?; // right-associative
+        Ok(Expr {
+            span,
+            kind: match op {
+                None => ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+                Some(op) => ExprKind::CompoundAssign(op, Box::new(lhs), Box::new(rhs)),
+            },
+        })
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.binary(0)?;
+        if self.peek() == &Tok::Question {
+            let span = self.span();
+            self.bump();
+            let a = self.expr()?;
+            self.expect(&Tok::Colon)?;
+            let b = self.ternary()?;
+            Ok(Expr { span, kind: ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)) })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn bin_op_at(&self, level: u8) -> Option<BinaryOp> {
+        let t = self.peek();
+        let (op, l) = match t {
+            Tok::OrOr => (BinaryOp::Or, 0),
+            Tok::AndAnd => (BinaryOp::And, 1),
+            Tok::Pipe => (BinaryOp::BitOr, 2),
+            Tok::Caret => (BinaryOp::BitXor, 3),
+            Tok::Amp => (BinaryOp::BitAnd, 4),
+            Tok::Eq => (BinaryOp::Eq, 5),
+            Tok::Ne => (BinaryOp::Ne, 5),
+            Tok::Lt => (BinaryOp::Lt, 6),
+            Tok::Le => (BinaryOp::Le, 6),
+            Tok::Gt => (BinaryOp::Gt, 6),
+            Tok::Ge => (BinaryOp::Ge, 6),
+            Tok::Shl => (BinaryOp::Shl, 7),
+            Tok::Shr => (BinaryOp::Shr, 7),
+            Tok::Plus => (BinaryOp::Add, 8),
+            Tok::Minus => (BinaryOp::Sub, 8),
+            Tok::Star => (BinaryOp::Mul, 9),
+            Tok::Slash => (BinaryOp::Div, 9),
+            Tok::Percent => (BinaryOp::Rem, 9),
+            _ => return None,
+        };
+        (l == level).then_some(op)
+    }
+
+    fn binary(&mut self, level: u8) -> Result<Expr, CompileError> {
+        if level > 9 {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        while let Some(op) = self.bin_op_at(level) {
+            let span = self.span();
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr { span, kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(CompileError::new(self.span(), "expression too deeply nested"));
+        }
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        let op = match self.peek() {
+            Tok::Minus => Some(UnaryOp::Neg),
+            Tok::Bang => Some(UnaryOp::Not),
+            Tok::Tilde => Some(UnaryOp::BitNot),
+            Tok::Star => Some(UnaryOp::Deref),
+            Tok::Amp => Some(UnaryOp::AddrOf),
+            Tok::PlusPlus | Tok::MinusMinus => {
+                let delta = if self.peek() == &Tok::PlusPlus { 1 } else { -1 };
+                self.bump();
+                let target = self.unary()?;
+                return Ok(Expr {
+                    span,
+                    kind: ExprKind::IncDec { delta, prefix: true, target: Box::new(target) },
+                });
+            }
+            // C-style cast: `(type) expr` — lookahead for a type keyword or
+            // a known type name followed by `)` or `*`.
+            Tok::LParen => {
+                let is_cast = match self.peek2() {
+                    Tok::KwVoid | Tok::KwBool | Tok::KwInt | Tok::KwUInt | Tok::KwLong
+                    | Tok::KwFloat | Tok::KwDouble => true,
+                    Tok::Ident(name) => {
+                        self.known_types.iter().any(|t| t == name)
+                            && matches!(
+                                self.tokens.get(self.pos + 2).map(|t| &t.tok),
+                                Some(Tok::RParen) | Some(Tok::Star)
+                            )
+                    }
+                    _ => false,
+                };
+                if is_cast {
+                    self.bump(); // (
+                    let ty = self.type_expr()?;
+                    self.expect(&Tok::RParen)?;
+                    let inner = self.unary()?;
+                    return Ok(Expr { span, kind: ExprKind::Cast(ty, Box::new(inner)) });
+                }
+                None
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.unary()?;
+            return Ok(Expr { span, kind: ExprKind::Unary(op, Box::new(inner)) });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let span = self.span();
+            match self.peek() {
+                Tok::LParen => {
+                    // call on an identifier: plain call; on other exprs it is
+                    // `operator()` — only supported via the runtime, reject.
+                    if let ExprKind::Ident(name) = &e.kind {
+                        let name = name.clone();
+                        let args = self.call_args()?;
+                        e = Expr { span: e.span, kind: ExprKind::Call(name, args) };
+                    } else {
+                        return Err(CompileError::new(
+                            span,
+                            "calls through expressions (function pointers) are not supported",
+                        ));
+                    }
+                }
+                Tok::Dot | Tok::Arrow => {
+                    let through_ptr = self.peek() == &Tok::Arrow;
+                    self.bump();
+                    let name = if self.eat(&Tok::KwOperator) {
+                        self.expect(&Tok::LParen)?;
+                        self.expect(&Tok::RParen)?;
+                        "operator()".to_string()
+                    } else {
+                        self.expect_ident()?
+                    };
+                    if self.peek() == &Tok::LParen {
+                        let args = self.call_args()?;
+                        e = Expr {
+                            span,
+                            kind: ExprKind::MethodCall {
+                                recv: Box::new(e),
+                                through_ptr,
+                                method: name,
+                                args,
+                            },
+                        };
+                    } else {
+                        e = Expr {
+                            span,
+                            kind: ExprKind::Field { recv: Box::new(e), through_ptr, field: name },
+                        };
+                    }
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    e = Expr { span, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                }
+                Tok::PlusPlus | Tok::MinusMinus => {
+                    let delta = if self.peek() == &Tok::PlusPlus { 1 } else { -1 };
+                    self.bump();
+                    e = Expr {
+                        span,
+                        kind: ExprKind::IncDec { delta, prefix: false, target: Box::new(e) },
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        let kind = match self.bump() {
+            Tok::Int(v) => ExprKind::IntLit(v),
+            Tok::Float(v, f32_suffix) => ExprKind::FloatLit(v, f32_suffix),
+            Tok::KwTrue => ExprKind::BoolLit(true),
+            Tok::KwFalse => ExprKind::BoolLit(false),
+            Tok::KwNullptr => ExprKind::Null,
+            Tok::KwThis => ExprKind::This,
+            Tok::Ident(s) => ExprKind::Ident(s),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                return Ok(e);
+            }
+            other => {
+                return Err(CompileError::new(span, format!("expected expression, found {other}")))
+            }
+        };
+        Ok(Expr { span, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_example() {
+        // The paper's Figure 1 LoopBody, adapted to the kernel language.
+        let src = r#"
+            struct Node { Node* next; };
+            class LoopBody {
+            public:
+                Node* nodes;
+                void operator()(int i) {
+                    nodes[i].next = &(nodes[i+1]);
+                }
+            };
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.structs().count(), 2);
+        let body = p.structs().nth(1).unwrap();
+        assert_eq!(body.methods[0].name, "operator()");
+        assert_eq!(body.fields[0].name, "nodes");
+    }
+
+    #[test]
+    fn parses_inheritance_and_virtual() {
+        let src = r#"
+            class Shape {
+            public:
+                float r;
+                virtual float area() { return 0.0f; }
+            };
+            class Circle : public Shape {
+            public:
+                float area() { return 3.14f * r * r; }
+            };
+        "#;
+        let p = parse(src).unwrap();
+        let circle = p.structs().nth(1).unwrap();
+        assert_eq!(circle.bases, vec!["Shape".to_string()]);
+        assert!(p.structs().next().unwrap().methods[0].is_virtual);
+    }
+
+    #[test]
+    fn parses_multiple_inheritance() {
+        let src = "class A { int x; }; class B { int y; }; class C : public A, public B { int z; };";
+        let p = parse(src).unwrap();
+        let c = p.structs().nth(2).unwrap();
+        assert_eq!(c.bases, vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) {
+                    if (i % 2 == 0) continue;
+                    while (s < 100) { s += i; break; }
+                }
+                return s;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let f = p.funcs().next().unwrap();
+        assert_eq!(f.name, "f");
+        assert_eq!(f.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_pointer_expressions() {
+        let src = "int f(int** a, int* b) { *b = **a; return (*a)[3]; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_casts() {
+        let src = "float f(int x) { return (float)x * 0.5f; }";
+        assert!(parse(src).is_ok());
+        let src2 = "struct S { int x; }; long g(S* p) { return (long)((S*)p)->x; }";
+        assert!(parse(src2).is_ok());
+    }
+
+    #[test]
+    fn parses_ternary_and_logic() {
+        let src = "int f(int a, int b) { return a > b && b != 0 ? a / b : 0; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_operator_overload() {
+        let src = r#"
+            struct vec3 {
+                float x; float y; float z;
+                vec3 operator+(vec3 o) {
+                    vec3 r;
+                    r.x = x + o.x; r.y = y + o.y; r.z = z + o.z;
+                    return r;
+                }
+            };
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.structs().next().unwrap().methods[0].name, "operator+");
+    }
+
+    #[test]
+    fn rejects_call_through_expression() {
+        let src = "int f(int* a) { return a[0](); }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("function pointers"));
+    }
+
+    #[test]
+    fn parses_field_arrays_and_multi_declarators() {
+        let src = "struct S { int a, b; float w[4]; };";
+        let p = parse(src).unwrap();
+        let s = p.structs().next().unwrap();
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields[2].array_len, Some(4));
+    }
+
+    #[test]
+    fn parses_local_arrays() {
+        let src = "void f() { int stack[64]; stack[0] = 1; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn error_carries_location() {
+        let err = parse("int f( { }").unwrap_err();
+        assert_eq!(err.span.line, 1);
+        assert!(err.span.col > 1);
+    }
+
+    #[test]
+    fn method_call_chains() {
+        let src = r#"
+            struct V { float x; float n() { return x; } };
+            float f(V* v) { return v->n() + (*v).n(); }
+        "#;
+        assert!(parse(src).is_ok());
+    }
+}

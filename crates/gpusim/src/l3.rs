@@ -1,0 +1,181 @@
+//! The GPU's shared, non-banked L3 cache with cross-EU same-line
+//! contention tracking.
+//!
+//! §4.2: "The integrated GPUs use an unified L3 cache for all GPU cores...
+//! This cache is not banked and thus suffers from contention among multiple
+//! GPU cores trying to access the same data in a cache line at the same
+//! time." The simulator models "at the same time" as: another EU touched
+//! the same line in the same scheduling wave, at a nearby position in its
+//! own access stream. Two EUs streaming an array in the same order collide
+//! on every line; the §4.2 loop rotation de-phases them.
+
+use concord_cpusim::Cache;
+
+const RECENT_PER_LINE: usize = 8;
+
+/// Outcome of one L3 lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L3Access {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// Whether another EU accessed the same line concurrently.
+    pub contended: bool,
+}
+
+/// Shared GPU L3.
+#[derive(Debug)]
+pub struct GpuL3 {
+    cache: Cache,
+    /// line → recent (wave, eu, stream position) accesses.
+    recent: std::collections::HashMap<u64, [(u32, u32, u64); RECENT_PER_LINE]>,
+    recent_len: std::collections::HashMap<u64, u8>,
+    /// Window (in per-warp access-stream positions) within which two
+    /// accesses in the same wave count as simultaneous.
+    window: u64,
+    hits: u64,
+    misses: u64,
+    contentions: u64,
+}
+
+impl GpuL3 {
+    /// An L3 of `bytes` capacity with the given contention window.
+    pub fn new(bytes: u64, window: u64) -> Self {
+        GpuL3 {
+            cache: Cache::new(bytes, 16),
+            recent: std::collections::HashMap::new(),
+            recent_len: std::collections::HashMap::new(),
+            window,
+            hits: 0,
+            misses: 0,
+            contentions: 0,
+        }
+    }
+
+    /// Look up `addr` for EU `eu` in scheduling wave `wave`, at position
+    /// `seq` of the requesting warp's access stream.
+    pub fn access(&mut self, addr: u64, eu: u32, wave: u32, seq: u64) -> L3Access {
+        let line = addr >> 6;
+        let hit = self.cache.access(addr);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        let entries = self.recent.entry(line).or_insert([(0, 0, 0); RECENT_PER_LINE]);
+        let len = self.recent_len.entry(line).or_insert(0);
+        let mut contended = false;
+        for &(w, e, s) in entries.iter().take(*len as usize) {
+            if w == wave && e != eu && s.abs_diff(seq) <= self.window {
+                contended = true;
+                break;
+            }
+        }
+        // Keep the most recent accesses (ring overwrite).
+        let slot = if (*len as usize) < RECENT_PER_LINE {
+            let s = *len as usize;
+            *len += 1;
+            s
+        } else {
+            (seq % RECENT_PER_LINE as u64) as usize
+        };
+        entries[slot] = (wave, eu, seq);
+        if contended {
+            self.contentions += 1;
+        }
+        L3Access { hit, contended }
+    }
+
+    /// L3 hit rate over all accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            1.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+
+    /// Number of contended accesses observed.
+    pub fn contentions(&self) -> u64 {
+        self.contentions
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Drop cached contents and the contention history (between kernels).
+    pub fn flush(&mut self) {
+        self.cache.flush();
+        self.recent.clear();
+        self.recent_len.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_order_streams_contend() {
+        let mut l3 = GpuL3::new(256 * 1024, 32);
+        // EU 0 and EU 1 walk the same 64 lines in the same order in wave 0.
+        for (seq, i) in (0..64u64).enumerate() {
+            l3.access(i * 64, 0, 0, seq as u64);
+        }
+        let mut contended = 0;
+        for (seq, i) in (0..64u64).enumerate() {
+            if l3.access(i * 64, 1, 0, seq as u64).contended {
+                contended += 1;
+            }
+        }
+        assert_eq!(contended, 64, "in-phase streams collide on every line");
+    }
+
+    #[test]
+    fn rotated_streams_do_not_contend() {
+        let mut l3 = GpuL3::new(256 * 1024, 16);
+        let n = 256u64;
+        // EU 0 starts at 0; EU 1 starts at 128 (the §4.2 rotation).
+        for seq in 0..n {
+            l3.access((seq % n) * 64, 0, 0, seq);
+        }
+        let mut contended = 0;
+        for seq in 0..n {
+            let line = (seq + 128) % n;
+            if l3.access(line * 64, 1, 0, seq).contended {
+                contended += 1;
+            }
+        }
+        assert!(
+            contended < 8,
+            "rotated phases must avoid same-line concurrency: {contended}"
+        );
+    }
+
+    #[test]
+    fn different_waves_do_not_contend() {
+        let mut l3 = GpuL3::new(256 * 1024, 32);
+        l3.access(0, 0, 0, 0);
+        let a = l3.access(0, 1, 1, 0); // other EU but a later wave
+        assert!(!a.contended);
+    }
+
+    #[test]
+    fn same_eu_never_contends_with_itself() {
+        let mut l3 = GpuL3::new(256 * 1024, 32);
+        l3.access(0, 3, 0, 0);
+        assert!(!l3.access(0, 3, 0, 1).contended);
+    }
+
+    #[test]
+    fn hit_tracking() {
+        let mut l3 = GpuL3::new(256 * 1024, 32);
+        assert!(!l3.access(0x100, 0, 0, 0).hit);
+        assert!(l3.access(0x100, 0, 0, 1).hit);
+        assert!(l3.hit_rate() > 0.4);
+        l3.flush();
+        assert!(!l3.access(0x100, 0, 0, 2).hit);
+    }
+}

@@ -1,0 +1,677 @@
+//! # concord-gpusim
+//!
+//! SIMT integrated-GPU simulator for the Concord reproduction: execution
+//! units with multiple hardware-thread slots, 16-wide SIMD warps with
+//! divergence handling, a memory system with coalescing, latency hiding,
+//! and a shared non-banked L3 that exhibits the cross-EU same-line
+//! contention §4.2 optimizes against.
+//!
+//! The simulator executes the *GPU-lowered* IR (after devirtualization and
+//! SVM pointer-translation lowering); dereferencing an untranslated
+//! CPU-space pointer faults, so compiler bugs surface as traps, exactly
+//! like on the real hardware.
+
+pub mod l3;
+pub mod warp;
+
+pub use l3::{GpuL3, L3Access};
+pub use warp::{active, gpu_classify, GpuSpace, Lane, Mask, MetaCache, Warp, WarpTiming, LOCAL_BASE};
+
+use concord_cpusim::interp::{PrivateMem, WorkIds};
+use concord_energy::GpuConfig;
+use concord_ir::eval::{Trap, Value};
+use concord_ir::types::AddrSpace;
+use concord_ir::{FuncId, Module};
+use concord_svm::{CpuAddr, SharedRegion};
+
+/// Result of one GPU kernel launch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuReport {
+    /// Kernel wall-clock seconds (critical EU path + launch overhead).
+    pub seconds: f64,
+    /// Cycles of the busiest EU.
+    pub critical_cycles: f64,
+    /// Fraction of occupied-EU time spent issuing (0–1); drives the
+    /// GPU active-power estimate.
+    pub busy_fraction: f64,
+    /// Total warp-instructions issued.
+    pub insts: u64,
+    /// Pointer translations executed.
+    pub translations: u64,
+    /// Shared-memory transactions.
+    pub transactions: u64,
+    /// Contended transactions (same line, different EU, same wave).
+    pub contended: u64,
+    /// L3 hit rate for the launch.
+    pub l3_hit_rate: f64,
+    /// Number of warps executed.
+    pub warps: u64,
+}
+
+/// The GPU simulator: owns the L3 and drives warps over the grid.
+pub struct GpuSim {
+    cfg: GpuConfig,
+    l3: GpuL3,
+    /// Per-warp-item instruction budget (runaway-loop guard).
+    pub step_budget_per_warp: u64,
+}
+
+impl GpuSim {
+    /// Build a simulator for a GPU configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        GpuSim { l3: GpuL3::new(cfg.l3_bytes, 64), cfg, step_budget_per_warp: 400_000_000 }
+    }
+
+    /// The configuration this simulator models.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    fn make_lanes(&self, w: u64, n: u32, width: u32) -> (Vec<Lane>, Mask) {
+        let mut lanes = Vec::with_capacity(width as usize);
+        let mut mask: Mask = 0;
+        for l in 0..width {
+            let gid = w * width as u64 + l as u64;
+            if gid < n as u64 {
+                mask |= 1 << l;
+            }
+            lanes.push(Lane {
+                private: PrivateMem::new(self.cfg.private_bytes),
+                ids: WorkIds {
+                    global: gid as i64,
+                    local: l as i64,
+                    group: w as i64,
+                    size: n as i64,
+                },
+            });
+        }
+        (lanes, mask)
+    }
+
+    fn finish_report(
+        &self,
+        eu_cycles: &[f64],
+        eu_issue: &[f64],
+        totals: WarpTiming,
+        warps: u64,
+    ) -> GpuReport {
+        let critical = eu_cycles.iter().copied().fold(0.0, f64::max);
+        let total_busy: f64 = eu_issue.iter().sum();
+        let total_time: f64 = eu_cycles.iter().sum();
+        let busy_fraction = if total_time > 0.0 { (total_busy / total_time).min(1.0) } else { 0.0 };
+        GpuReport {
+            seconds: critical / (self.cfg.freq_ghz * 1e9) + self.cfg.launch_us * 1e-6,
+            critical_cycles: critical,
+            busy_fraction,
+            insts: totals.insts,
+            translations: totals.translations,
+            transactions: totals.transactions,
+            contended: totals.contended,
+            l3_hit_rate: self.l3.hit_rate(),
+            warps,
+        }
+    }
+
+    /// Launch `parallel_for_hetero(n, body)` on the GPU: work-item `i`
+    /// executes `func(body, i)` in a SIMD lane.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`]: missing translations, faults, runaway loops.
+    pub fn parallel_for(
+        &mut self,
+        region: &mut SharedRegion,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        n: u32,
+    ) -> Result<GpuReport, Trap> {
+        self.l3.flush();
+        let width = self.cfg.simd_width;
+        let eus = self.cfg.eus as usize;
+        let warps = (n as u64).div_ceil(width as u64);
+        let hiding = (warps as f64 / eus as f64).clamp(1.0, self.cfg.threads_per_eu as f64);
+        let mut eu_cycles = vec![0.0f64; eus];
+        let mut eu_issue = vec![0.0f64; eus];
+        let mut totals = WarpTiming::default();
+        let mut meta = MetaCache::new();
+        for w in 0..warps {
+            let eu = (w % eus as u64) as u32;
+            let wave = (w / eus as u64) as u32;
+            let (lanes, mask) = self.make_lanes(w, n, width);
+            let mut warp = Warp {
+                module,
+                region,
+                cfg: &self.cfg,
+                l3: &mut self.l3,
+                meta: &mut meta,
+                lanes,
+                local: vec![0; self.cfg.local_bytes as usize],
+                eu,
+                wave,
+                seq: 0,
+                timing: WarpTiming::default(),
+                step_budget: self.step_budget_per_warp,
+                hiding,
+            };
+            let args: Vec<Vec<Value>> = (0..width as usize)
+                .map(|l| {
+                    vec![
+                        Value::Ptr(body.0, AddrSpace::Cpu),
+                        Value::I((w * width as u64 + l as u64) as i64),
+                    ]
+                })
+                .collect();
+            warp.exec_function(mask, func, &args, 0)?;
+            let t = warp.timing;
+            eu_cycles[eu as usize] += t.issue + t.stall;
+            eu_issue[eu as usize] += t.issue;
+            totals.insts += t.insts;
+            totals.translations += t.translations;
+            totals.transactions += t.transactions;
+            totals.contended += t.contended;
+        }
+        Ok(self.finish_report(&eu_cycles, &eu_issue, totals, warps))
+    }
+
+    /// Launch `parallel_reduce_hetero(n, body)` on the GPU (§3.3):
+    ///
+    /// 1. each lane copies the body into its private memory,
+    /// 2. runs `operator()` on its private copy,
+    /// 3. copies the private copy into work-group local memory,
+    /// 4. the warp tree-reduces the local copies with `join`, and
+    /// 5. lane 0's result is written to the warp's slot in `scratch`.
+    ///
+    /// The caller (runtime) joins the per-warp partials on the host.
+    ///
+    /// `scratch` must hold one body-sized shared slot per warp.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`]; also if `scratch` is shorter than the warp count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_reduce(
+        &mut self,
+        region: &mut SharedRegion,
+        module: &Module,
+        func: FuncId,
+        join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        n: u32,
+        scratch: &[CpuAddr],
+    ) -> Result<GpuReport, Trap> {
+        self.l3.flush();
+        let width = self.cfg.simd_width;
+        let eus = self.cfg.eus as usize;
+        let warps = (n as u64).div_ceil(width as u64);
+        assert!(
+            scratch.len() as u64 >= warps,
+            "need one scratch slot per warp ({warps}), got {}",
+            scratch.len()
+        );
+        assert!(
+            body_size * width as u64 <= self.cfg.local_bytes,
+            "body copies exceed local memory; the runtime should have fallen back"
+        );
+        let hiding = (warps as f64 / eus as f64).clamp(1.0, self.cfg.threads_per_eu as f64);
+        let mut eu_cycles = vec![0.0f64; eus];
+        let mut eu_issue = vec![0.0f64; eus];
+        let mut totals = WarpTiming::default();
+        let mut meta = MetaCache::new();
+        for w in 0..warps {
+            let eu = (w % eus as u64) as u32;
+            let wave = (w / eus as u64) as u32;
+            let (lanes, mask) = self.make_lanes(w, n, width);
+            let mut warp = Warp {
+                module,
+                region,
+                cfg: &self.cfg,
+                l3: &mut self.l3,
+                meta: &mut meta,
+                lanes,
+                local: vec![0; self.cfg.local_bytes as usize],
+                eu,
+                wave,
+                seq: 0,
+                timing: WarpTiming::default(),
+                step_budget: self.step_budget_per_warp,
+                hiding,
+            };
+            // 1. Private body copies. Reserve a pseudo-frame per lane.
+            let mut priv_copy = vec![0u64; width as usize];
+            for l in active(mask, width as usize) {
+                let base = warp.lanes[l].private.push_frame_public(body_size)?;
+                let addr = concord_cpusim::PRIVATE_BASE + base;
+                priv_copy[l] = addr;
+                warp.lane_memcpy(l, addr, body.to_gpu().0, body_size)?;
+            }
+            // 2. operator() on private copies.
+            let args: Vec<Vec<Value>> = (0..width as usize)
+                .map(|l| {
+                    vec![
+                        Value::Ptr(priv_copy[l], AddrSpace::Private),
+                        Value::I((w * width as u64 + l as u64) as i64),
+                    ]
+                })
+                .collect();
+            warp.exec_function(mask, func, &args, 0)?;
+            // 3. Private → local.
+            for l in active(mask, width as usize) {
+                let local_slot = LOCAL_BASE + l as u64 * body_size;
+                warp.lane_memcpy(l, local_slot, priv_copy[l], body_size)?;
+            }
+            // 4. Tree reduction in local memory.
+            let lane_count = (n as u64 - w * width as u64).min(width as u64) as usize;
+            let mut stride = (width / 2) as usize;
+            while stride >= 1 {
+                let mut jmask: Mask = 0;
+                for l in 0..width as usize {
+                    if l < stride && l + stride < lane_count {
+                        jmask |= 1 << l;
+                    }
+                }
+                if jmask != 0 {
+                    let jargs: Vec<Vec<Value>> = (0..width as usize)
+                        .map(|l| {
+                            vec![
+                                Value::Ptr(LOCAL_BASE + l as u64 * body_size, AddrSpace::Local),
+                                Value::Ptr(
+                                    LOCAL_BASE + (l + stride) as u64 * body_size,
+                                    AddrSpace::Local,
+                                ),
+                            ]
+                        })
+                        .collect();
+                    warp.exec_function(jmask, join, &jargs, 0)?;
+                }
+                stride /= 2;
+            }
+            // 5. Lane 0's local copy → the warp's shared scratch slot.
+            if lane_count > 0 {
+                warp.lane_memcpy(0, scratch[w as usize].to_gpu().0, LOCAL_BASE, body_size)?;
+            }
+            let t = warp.timing;
+            eu_cycles[eu as usize] += t.issue + t.stall;
+            eu_issue[eu as usize] += t.issue;
+            totals.insts += t.insts;
+            totals.translations += t.translations;
+            totals.transactions += t.transactions;
+            totals.contended += t.contended;
+        }
+        Ok(self.finish_report(&eu_cycles, &eu_issue, totals, warps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_compiler::{lower_for_gpu, GpuConfig as PipelineConfig};
+    use concord_frontend::compile;
+    use concord_svm::{SharedAllocator, VtableArea};
+
+    fn gpu_module(
+        src: &str,
+        cfg: PipelineConfig,
+    ) -> (Module, FuncId, Option<FuncId>) {
+        let lp = compile(src).unwrap();
+        assert!(lp.warnings.is_empty(), "{:?}", lp.warnings);
+        let art = lower_for_gpu(&lp.module, cfg);
+        let kf = art
+            .module
+            .functions
+            .iter()
+            .position(|f| f.kernel == Some(concord_ir::KernelKind::ForBody))
+            .map(|i| FuncId(i as u32))
+            .unwrap();
+        let jf = art
+            .module
+            .functions
+            .iter()
+            .position(|f| f.kernel == Some(concord_ir::KernelKind::ReduceJoin))
+            .map(|i| FuncId(i as u32));
+        (art.module, kf, jf)
+    }
+
+    fn setup(module: &Module, capacity: u64) -> (SharedRegion, SharedAllocator) {
+        let reserved = VtableArea::reserve_for(module.classes.len());
+        let mut region = SharedRegion::new(capacity, reserved);
+        let heap = SharedAllocator::new(&region);
+        VtableArea::install(&mut region, module).unwrap();
+        (region, heap)
+    }
+
+    const FIG1: &str = r#"
+        struct Node { Node* next; };
+        class LoopBody {
+        public:
+            Node* nodes;
+            void operator()(int i) { nodes[i].next = &(nodes[i+1]); }
+        };
+    "#;
+
+    #[test]
+    fn figure1_runs_on_gpu_with_all_strategies() {
+        for cfg in [
+            PipelineConfig::baseline(7),
+            PipelineConfig::ptropt(7),
+            PipelineConfig::l3opt(7),
+            PipelineConfig::all(7),
+        ] {
+            let (module, kf, _) = gpu_module(FIG1, cfg);
+            let (mut region, mut heap) = setup(&module, 1 << 20);
+            let n = 100u32;
+            let nodes = heap.malloc((n as u64 + 1) * 8).unwrap();
+            let body = heap.malloc(8).unwrap();
+            region.write_ptr(body, nodes).unwrap();
+            let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
+            let r = sim.parallel_for(&mut region, &module, kf, body, n).unwrap();
+            for i in 0..n as u64 {
+                let next = region.read_ptr(CpuAddr(nodes.0 + i * 8)).unwrap();
+                assert_eq!(next.0, nodes.0 + (i + 1) * 8, "under {cfg:?}");
+            }
+            assert!(r.seconds > 0.0);
+            assert!(r.translations > 0, "GPU code must translate pointers");
+        }
+    }
+
+    #[test]
+    fn eager_strategy_stores_cpu_representation() {
+        // Figure 1 stores pointer *values*; eager translation converts them
+        // back to CPU representation before the store (the §4.1 wasted
+        // work). The stored bytes must still be CPU-space pointers.
+        use concord_compiler::Strategy;
+        let cfg = PipelineConfig { strategy: Strategy::Eager, l3opt: false, gpu_cores: 7 };
+        let (module, kf, _) = gpu_module(FIG1, cfg);
+        let (mut region, mut heap) = setup(&module, 1 << 20);
+        let n = 48u32;
+        let nodes = heap.malloc((n as u64 + 1) * 8).unwrap();
+        let body = heap.malloc(8).unwrap();
+        region.write_ptr(body, nodes).unwrap();
+        let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
+        let r = sim.parallel_for(&mut region, &module, kf, body, n).unwrap();
+        for i in 0..n as u64 {
+            let next = region.read_ptr(CpuAddr(nodes.0 + i * 8)).unwrap();
+            assert_eq!(next.0, nodes.0 + (i + 1) * 8, "stored pointer must be CPU-space");
+        }
+        // Eager executes both directions of translation.
+        assert!(r.translations > 0);
+    }
+
+    #[test]
+    fn untranslated_code_faults_on_gpu() {
+        // Running the CPU module (no SVM lowering) on the GPU must trap
+        // with a wrong-address-space fault — the SVM invariant check.
+        let lp = compile(FIG1).unwrap();
+        let k = lp.kernel("LoopBody").unwrap();
+        let (mut region, mut heap) = setup(&lp.module, 1 << 20);
+        let nodes = heap.malloc(101 * 8).unwrap();
+        let body = heap.malloc(8).unwrap();
+        region.write_ptr(body, nodes).unwrap();
+        let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
+        let err = sim
+            .parallel_for(&mut region, &lp.module, k.operator_fn, body, 4)
+            .unwrap_err();
+        assert!(
+            matches!(err, Trap::WrongAddressSpace { found: AddrSpace::Cpu, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn divergence_costs_cycles() {
+        // Same instruction count per item, but one version diverges per
+        // lane: divergent version must take more warp cycles.
+        let uniform = r#"
+            class K {
+            public:
+                float* a;
+                void operator()(int i) {
+                    float x = 1.0f;
+                    for (int j = 0; j < 32; j++) { x = x * 1.5f + 0.25f; }
+                    a[i] = x;
+                }
+            };
+        "#;
+        let divergent = r#"
+            class K {
+            public:
+                float* a;
+                void operator()(int i) {
+                    float x = 1.0f;
+                    if (i % 2 == 0) {
+                        for (int j = 0; j < 32; j++) { x = x * 1.5f + 0.25f; }
+                    } else {
+                        for (int j = 0; j < 32; j++) { x = x * 0.5f + 0.75f; }
+                    }
+                    a[i] = x;
+                }
+            };
+        "#;
+        let mut cycles = Vec::new();
+        for src in [uniform, divergent] {
+            let (module, kf, _) = gpu_module(src, PipelineConfig::all(7));
+            let (mut region, mut heap) = setup(&module, 1 << 20);
+            let n = 64u32;
+            let a = heap.malloc(n as u64 * 4).unwrap();
+            let body = heap.malloc(8).unwrap();
+            region.write_ptr(body, a).unwrap();
+            let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
+            let r = sim.parallel_for(&mut region, &module, kf, body, n).unwrap();
+            cycles.push(r.critical_cycles);
+        }
+        assert!(
+            cycles[1] > cycles[0] * 1.5,
+            "divergent warps must serialize both paths: uniform={} divergent={}",
+            cycles[0],
+            cycles[1]
+        );
+    }
+
+    #[test]
+    fn coalesced_access_beats_strided() {
+        let coalesced = r#"
+            class K {
+            public:
+                float* a; float* b;
+                void operator()(int i) { b[i] = a[i] * 2.0f; }
+            };
+        "#;
+        let strided = r#"
+            class K {
+            public:
+                float* a; float* b;
+                void operator()(int i) { b[i] = a[i * 16] * 2.0f; }
+            };
+        "#;
+        let mut tx = Vec::new();
+        for src in [coalesced, strided] {
+            let (module, kf, _) = gpu_module(src, PipelineConfig::all(7));
+            let (mut region, mut heap) = setup(&module, 1 << 22);
+            let n = 256u32;
+            let a = heap.malloc(n as u64 * 16 * 4).unwrap();
+            let b = heap.malloc(n as u64 * 4).unwrap();
+            let body = heap.malloc(16).unwrap();
+            region.write_ptr(body, a).unwrap();
+            region.write_ptr(body.offset(8), b).unwrap();
+            let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
+            let r = sim.parallel_for(&mut region, &module, kf, body, n).unwrap();
+            tx.push(r.transactions);
+        }
+        assert!(
+            tx[1] > tx[0] * 4,
+            "strided access must generate more transactions: {tx:?}"
+        );
+    }
+
+    #[test]
+    fn ptropt_reduces_executed_translations() {
+        let src = r#"
+            class K {
+            public:
+                float* a; int n; float* out;
+                void operator()(int i) {
+                    float s = 0.0f;
+                    for (int j = 0; j < n; j++) { s += a[j]; }
+                    out[i] = s;
+                }
+            };
+        "#;
+        let mut trans = Vec::new();
+        for cfg in [PipelineConfig::baseline(7), PipelineConfig::ptropt(7)] {
+            let (module, kf, _) = gpu_module(src, cfg);
+            let (mut region, mut heap) = setup(&module, 1 << 20);
+            let n = 32u32;
+            let inner = 64i32;
+            let a = heap.malloc(inner as u64 * 4).unwrap();
+            let out = heap.malloc(n as u64 * 4).unwrap();
+            let body = heap.malloc(24).unwrap();
+            region.write_ptr(body, a).unwrap();
+            region.write_i32(body.offset(8), inner).unwrap();
+            region.write_ptr(body.offset(16), out).unwrap();
+            let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
+            let r = sim.parallel_for(&mut region, &module, kf, body, n).unwrap();
+            trans.push(r.translations);
+        }
+        assert!(
+            trans[1] * 2 < trans[0],
+            "PTROPT must cut executed translations: lazy={} hybrid={}",
+            trans[0],
+            trans[1]
+        );
+    }
+
+    #[test]
+    fn l3opt_reduces_contention() {
+        let src = r#"
+            class K {
+            public:
+                float* a; int n; float* out;
+                void operator()(int i) {
+                    float s = 0.0f;
+                    for (int j = 0; j < n; j++) { s += a[j]; }
+                    out[i] = s;
+                }
+            };
+        "#;
+        let mut contended = Vec::new();
+        for cfg in [PipelineConfig::ptropt(40), PipelineConfig::all(40)] {
+            let (module, kf, _) = gpu_module(src, cfg);
+            let (mut region, mut heap) = setup(&module, 1 << 22);
+            let n = 40 * 16u32; // one warp per EU, all in wave 0
+            let inner = 512i32;
+            let a = heap.malloc(inner as u64 * 4).unwrap();
+            let out = heap.malloc(n as u64 * 4).unwrap();
+            let body = heap.malloc(24).unwrap();
+            region.write_ptr(body, a).unwrap();
+            region.write_i32(body.offset(8), inner).unwrap();
+            region.write_ptr(body.offset(16), out).unwrap();
+            let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
+            let r = sim.parallel_for(&mut region, &module, kf, body, n).unwrap();
+            contended.push(r.contended);
+        }
+        assert!(
+            contended[1] * 2 < contended[0],
+            "L3OPT must reduce same-line contention: off={} on={}",
+            contended[0],
+            contended[1]
+        );
+    }
+
+    #[test]
+    fn gpu_reduce_sums() {
+        let src = r#"
+            class Sum {
+            public:
+                float* data; float acc;
+                void operator()(int i) { acc += data[i]; }
+                void join(Sum* other) { acc += other->acc; }
+            };
+        "#;
+        let (module, kf, jf) = gpu_module(src, PipelineConfig::all(7));
+        let (mut region, mut heap) = setup(&module, 1 << 20);
+        let n = 100u32;
+        let data = heap.malloc(n as u64 * 4).unwrap();
+        for i in 0..n {
+            region.write_f32(CpuAddr(data.0 + i as u64 * 4), (i + 1) as f32).unwrap();
+        }
+        let body = heap.malloc(16).unwrap();
+        region.write_ptr(body, data).unwrap();
+        region.write_f32(body.offset(8), 0.0).unwrap();
+        let warps = (n as u64).div_ceil(16);
+        let scratch: Vec<CpuAddr> =
+            (0..warps).map(|_| heap.malloc(16).unwrap()).collect();
+        let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
+        sim.parallel_reduce(&mut region, &module, kf, jf.unwrap(), body, 16, n, &scratch)
+            .unwrap();
+        // Sum the per-warp partials: 1 + 2 + ... + 100 = 5050.
+        let mut total = 0.0f32;
+        for s in &scratch {
+            total += region.read_f32(s.offset(8)).unwrap();
+        }
+        assert_eq!(total, 5050.0);
+    }
+
+    #[test]
+    fn occupancy_reflects_memory_boundness() {
+        let compute = r#"
+            class K {
+            public:
+                float* a;
+                void operator()(int i) {
+                    float x = (float)i;
+                    for (int j = 0; j < 64; j++) { x = x * 1.01f + 0.5f; }
+                    a[i] = x;
+                }
+            };
+        "#;
+        let membound = r#"
+            class K {
+            public:
+                float* a; int* idx; int n;
+                void operator()(int i) {
+                    int k = idx[i];
+                    float s = 0.0f;
+                    for (int j = 0; j < 16; j++) {
+                        k = idx[k];
+                        s += a[k];
+                    }
+                    a[i] = s;
+                }
+            };
+        "#;
+        let (m1, k1, _) = gpu_module(compute, PipelineConfig::all(7));
+        let (mut r1, mut h1) = setup(&m1, 1 << 22);
+        let n = 512u32;
+        let a1 = h1.malloc(n as u64 * 4).unwrap();
+        let b1 = h1.malloc(8).unwrap();
+        r1.write_ptr(b1, a1).unwrap();
+        let mut sim = GpuSim::new(concord_energy::SystemConfig::desktop().gpu);
+        let rep1 = sim.parallel_for(&mut r1, &m1, k1, b1, n).unwrap();
+
+        let (m2, k2, _) = gpu_module(membound, PipelineConfig::all(7));
+        let (mut r2, mut h2) = setup(&m2, 1 << 24);
+        let big = 1 << 16u64;
+        let a2 = h2.malloc(big * 4).unwrap();
+        let idx = h2.malloc(big * 4).unwrap();
+        // Scatter the index chain widely (deterministic LCG).
+        let mut x = 12345u64;
+        for i in 0..big {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            r2.write_i32(CpuAddr(idx.0 + i * 4), (x % big) as i32).unwrap();
+        }
+        let b2 = h2.malloc(24).unwrap();
+        r2.write_ptr(b2, a2).unwrap();
+        r2.write_ptr(b2.offset(8), idx).unwrap();
+        r2.write_i32(b2.offset(16), big as i32).unwrap();
+        let mut sim2 = GpuSim::new(concord_energy::SystemConfig::desktop().gpu);
+        let rep2 = sim2.parallel_for(&mut r2, &m2, k2, b2, n).unwrap();
+
+        assert!(
+            rep1.busy_fraction > rep2.busy_fraction + 0.15,
+            "pointer chasing must lower occupancy: compute={} membound={}",
+            rep1.busy_fraction,
+            rep2.busy_fraction
+        );
+    }
+}

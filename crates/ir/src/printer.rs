@@ -1,0 +1,127 @@
+//! Textual rendering of IR functions and modules, for debugging, golden
+//! tests, and the OpenCL-style kernel dump (§3 Figure 1 analogue).
+
+use crate::function::{Function, Module};
+use crate::inst::{Op, ValueId};
+use std::fmt::Write;
+
+/// Render one instruction.
+fn write_inst(out: &mut String, f: &Function, id: ValueId) {
+    let inst = f.inst(id);
+    let lhs = if inst.ty == crate::types::Type::Void {
+        String::new()
+    } else {
+        format!("{id} = ")
+    };
+    let body = match &inst.op {
+        Op::Param(i) => format!("param {i}"),
+        Op::ConstInt(v) => format!("const.{} {v}", inst.ty),
+        Op::ConstFloat(v) => format!("const.{} {v}", inst.ty),
+        Op::ConstNull => format!("null.{}", inst.ty),
+        Op::Bin(op, a, b) => format!("{} {a}, {b}", op.mnemonic()),
+        Op::Icmp(p, a, b) => format!("icmp.{} {a}, {b}", p.mnemonic()),
+        Op::Fcmp(p, a, b) => format!("fcmp.{} {a}, {b}", p.mnemonic()),
+        Op::Cast(op, v) => format!("{} {v} to {}", op.mnemonic(), inst.ty),
+        Op::Select(c, a, b) => format!("select {c}, {a}, {b}"),
+        Op::Alloca { size, align } => format!("alloca {size}, align {align}"),
+        Op::Load(p) => format!("load.{} {p}", inst.ty),
+        Op::Store { ptr, val } => format!("store {val}, {ptr}"),
+        Op::Gep { base, offset } => format!("gep {base}, {offset}"),
+        Op::CpuToGpu(v) => format!("cpu_to_gpu {v}"),
+        Op::GpuToCpu(v) => format!("gpu_to_cpu {v}"),
+        Op::Phi(incoming) => {
+            let parts: Vec<String> =
+                incoming.iter().map(|(b, v)| format!("[{b}, {v}]")).collect();
+            format!("phi {}", parts.join(", "))
+        }
+        Op::Call { callee, args } => {
+            let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("call {callee}({})", parts.join(", "))
+        }
+        Op::CallVirtual { static_class, slot, obj, args } => {
+            let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("vcall {static_class}#{slot} {obj}({})", parts.join(", "))
+        }
+        Op::IntrinsicCall(i, args) => {
+            let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("intrinsic {}({})", i.name(), parts.join(", "))
+        }
+        Op::Br(b) => format!("br {b}"),
+        Op::CondBr(c, t, e) => format!("condbr {c}, {t}, {e}"),
+        Op::Ret(Some(v)) => format!("ret {v}"),
+        Op::Ret(None) => "ret".to_string(),
+        Op::Unreachable => "unreachable".to_string(),
+    };
+    let _ = writeln!(out, "  {lhs}{body}");
+}
+
+/// Render a whole function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
+    let kernel_tag = match f.kernel {
+        Some(crate::function::KernelKind::ForBody) => " [kernel:for]",
+        Some(crate::function::KernelKind::ReduceJoin) => " [kernel:join]",
+        None => "",
+    };
+    let _ = writeln!(out, "func {}({}) -> {}{} {{", f.name, params.join(", "), f.ret, kernel_tag);
+    for b in f.block_ids() {
+        let _ = writeln!(out, "{b}:");
+        for &i in &f.block(b).insts {
+            write_inst(&mut out, f, i);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for (i, s) in m.structs.iter().enumerate() {
+        let _ = writeln!(out, "struct %struct.{i} ; {} (size {}, align {})", s.name, s.size, s.align);
+        for fld in &s.fields {
+            let cnt = if fld.count > 1 { format!("[{}]", fld.count) } else { String::new() };
+            let _ = writeln!(out, "  +{}: {} {}{}", fld.offset, fld.ty, fld.name, cnt);
+        }
+    }
+    for (i, c) in m.classes.iter().enumerate() {
+        let slots: Vec<String> = c.vtable.iter().map(|f| f.to_string()).collect();
+        let _ = writeln!(out, "class class.{i} ; {} vtable [{}]", c.name, slots.join(", "));
+    }
+    for f in &m.functions {
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_stable_text() {
+        let mut b = FunctionBuilder::new("add1", vec![Type::I32], Type::I32);
+        let p = b.param(0);
+        let one = b.i32(1);
+        let s = b.bin(BinOp::Add, p, one);
+        b.ret(Some(s));
+        let text = print_function(&b.build());
+        assert!(text.contains("func add1(i32) -> i32 {"));
+        assert!(text.contains("%1 = const.i32 1"));
+        assert!(text.contains("%2 = add %0, %1"));
+        assert!(text.contains("ret %2"));
+    }
+
+    #[test]
+    fn kernel_tag_is_printed() {
+        let mut f = FunctionBuilder::new("op", vec![], Type::Void);
+        f.ret(None);
+        let mut f = f.build();
+        f.kernel = Some(crate::function::KernelKind::ForBody);
+        assert!(print_function(&f).contains("[kernel:for]"));
+    }
+}

@@ -1,0 +1,301 @@
+//! IR verifier: structural invariants every pass must preserve.
+
+use crate::function::{Function, Module};
+use crate::inst::{BlockId, Op};
+use crate::types::Type;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A verifier failure, with enough context to locate the bug.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// Function where the violation was found.
+    pub function: String,
+    /// Block where the violation was found, if block-local.
+    pub block: Option<BlockId>,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "verify error in {} at {}: {}", self.function, b, self.message),
+            None => write!(f, "verify error in {}: {}", self.function, self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a single function.
+///
+/// Checks:
+/// * every block ends in exactly one terminator, which is its last instruction;
+/// * no instruction appears in more than one block;
+/// * branch targets are valid block ids;
+/// * phi nodes appear only at the head of a block and cover exactly the
+///   block's predecessors;
+/// * operands refer to instructions that exist;
+/// * stores and loads use pointer operands; `CpuToGpu`/`GpuToCpu` operate on
+///   pointers of the correct space.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let err = |block: Option<BlockId>, message: String| VerifyError {
+        function: f.name.clone(),
+        block,
+        message,
+    };
+    let mut placed: HashSet<u32> = HashSet::new();
+    let preds = f.predecessors();
+    for b in f.block_ids() {
+        let insts = &f.block(b).insts;
+        if insts.is_empty() {
+            return Err(err(Some(b), "empty block".into()));
+        }
+        for (pos, &id) in insts.iter().enumerate() {
+            if id.0 as usize >= f.insts.len() {
+                return Err(err(Some(b), format!("instruction {id} out of range")));
+            }
+            if !placed.insert(id.0) {
+                return Err(err(Some(b), format!("instruction {id} placed twice")));
+            }
+            let inst = f.inst(id);
+            let is_last = pos == insts.len() - 1;
+            if inst.op.is_terminator() != is_last {
+                return Err(err(
+                    Some(b),
+                    format!("terminator placement violation at {id}: mid-block terminator or non-terminator tail"),
+                ));
+            }
+            for target in inst.op.successors() {
+                if target.0 as usize >= f.blocks.len() {
+                    return Err(err(Some(b), format!("branch to missing block {target}")));
+                }
+            }
+            for opnd in inst.op.operands() {
+                if opnd.0 as usize >= f.insts.len() {
+                    return Err(err(Some(b), format!("operand {opnd} of {id} out of range")));
+                }
+            }
+            match &inst.op {
+                Op::Phi(incoming) => {
+                    // Phis must be at the head of the block (after other phis).
+                    let head_ok = insts[..pos]
+                        .iter()
+                        .all(|&p| matches!(f.inst(p).op, Op::Phi(_)));
+                    if !head_ok {
+                        return Err(err(Some(b), format!("phi {id} not at block head")));
+                    }
+                    let mut seen: HashSet<BlockId> = HashSet::new();
+                    for &(pred, _) in incoming {
+                        if !seen.insert(pred) {
+                            return Err(err(
+                                Some(b),
+                                format!("phi {id} has duplicate predecessor {pred}"),
+                            ));
+                        }
+                        if !preds[&b].contains(&pred) {
+                            return Err(err(
+                                Some(b),
+                                format!("phi {id} names non-predecessor {pred}"),
+                            ));
+                        }
+                    }
+                    let expected: HashSet<BlockId> = preds[&b].iter().copied().collect();
+                    if seen != expected {
+                        return Err(err(
+                            Some(b),
+                            format!(
+                                "phi {id} covers {} of {} predecessors",
+                                seen.len(),
+                                expected.len()
+                            ),
+                        ));
+                    }
+                }
+                Op::Load(p) => {
+                    if !f.inst(*p).ty.is_ptr() {
+                        return Err(err(Some(b), format!("load {id} from non-pointer {p}")));
+                    }
+                    if inst.ty == Type::Void {
+                        return Err(err(Some(b), format!("load {id} of void")));
+                    }
+                }
+                Op::Store { ptr, .. }
+                    if !f.inst(*ptr).ty.is_ptr() => {
+                        return Err(err(Some(b), format!("store {id} to non-pointer {ptr}")));
+                    }
+                Op::Gep { base, .. }
+                    if !f.inst(*base).ty.is_ptr() => {
+                        return Err(err(Some(b), format!("gep {id} on non-pointer {base}")));
+                    }
+                Op::CpuToGpu(v) => {
+                    let vt = f.inst(*v).ty;
+                    if vt != Type::Ptr(crate::types::AddrSpace::Cpu) {
+                        return Err(err(
+                            Some(b),
+                            format!("cpu_to_gpu {id} applied to {vt}, expected ptr(cpu)"),
+                        ));
+                    }
+                }
+                Op::GpuToCpu(v) => {
+                    let vt = f.inst(*v).ty;
+                    if vt != Type::Ptr(crate::types::AddrSpace::Gpu) {
+                        return Err(err(
+                            Some(b),
+                            format!("gpu_to_cpu {id} applied to {vt}, expected ptr(gpu)"),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify every function in a module, plus module-level invariants
+/// (vtable slots refer to existing functions; class layouts exist).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for c in &m.classes {
+        for f in &c.vtable {
+            if f.0 as usize >= m.functions.len() {
+                return Err(VerifyError {
+                    function: format!("<class {}>", c.name),
+                    block: None,
+                    message: format!("vtable slot refers to missing function {f}"),
+                });
+            }
+        }
+        if c.layout.0 as usize >= m.structs.len() {
+            return Err(VerifyError {
+                function: format!("<class {}>", c.name),
+                block: None,
+                message: "class layout refers to missing struct".into(),
+            });
+        }
+    }
+    for f in &m.functions {
+        verify_function(f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{ICmp, ValueId};
+    use crate::types::{AddrSpace, Type};
+
+    #[test]
+    fn well_formed_function_passes() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let p = b.param(0);
+        b.ret(Some(p));
+        assert!(verify_function(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn missing_terminator_fails() {
+        let b = FunctionBuilder::new("f", vec![Type::I32], Type::Void);
+        let e = verify_function(&b.build()).unwrap_err();
+        assert!(e.message.contains("terminator"));
+    }
+
+    #[test]
+    fn empty_block_fails() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        b.new_block();
+        b.ret(None);
+        let e = verify_function(&b.build()).unwrap_err();
+        assert!(e.message.contains("empty block"));
+    }
+
+    #[test]
+    fn phi_must_cover_predecessors() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let p = b.param(0);
+        let z = b.i32(0);
+        let c = b.icmp(ICmp::Sgt, p, z);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let one = b.i32(1);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        // Phi only covers one of two predecessors.
+        let x = b.phi(Type::I32, vec![(t, one)]);
+        b.ret(Some(x));
+        let err = verify_function(&b.build()).unwrap_err();
+        assert!(err.message.contains("predecessors"), "{}", err.message);
+    }
+
+    #[test]
+    fn load_from_non_pointer_fails() {
+        let mut b = FunctionBuilder::new("f", vec![Type::I32], Type::I32);
+        let p = b.param(0);
+        let v = b.load(p, Type::I32);
+        b.ret(Some(v));
+        let e = verify_function(&b.build()).unwrap_err();
+        assert!(e.message.contains("non-pointer"));
+    }
+
+    #[test]
+    fn cpu_to_gpu_requires_cpu_pointer() {
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr(AddrSpace::Gpu)], Type::Void);
+        let p = b.param(0);
+        let _ = b.cpu_to_gpu(p);
+        b.ret(None);
+        let e = verify_function(&b.build()).unwrap_err();
+        assert!(e.message.contains("cpu_to_gpu"));
+    }
+
+    #[test]
+    fn branch_to_missing_block_fails() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        b.br(crate::inst::BlockId(7));
+        let e = verify_function(&b.build()).unwrap_err();
+        assert!(e.message.contains("missing block"));
+    }
+
+    #[test]
+    fn operand_out_of_range_fails() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        b.emit(crate::inst::Op::Ret(Some(ValueId(99))), Type::Void);
+        let e = verify_function(&b.build()).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn module_vtable_bounds_checked() {
+        let mut m = Module::new();
+        let layout = m.add_struct(crate::types::StructDef {
+            name: "S".into(),
+            fields: vec![],
+            size: 8,
+            align: 8,
+            class_id: None,
+        });
+        m.add_class(crate::function::ClassInfo {
+            name: "C".into(),
+            layout,
+            bases: vec![],
+            vtable: vec![crate::inst::FuncId(3)],
+        });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("missing function"));
+    }
+}

@@ -1,0 +1,659 @@
+//! # concord-runtime
+//!
+//! The Concord runtime (§3): compiles a kernel-language program once,
+//! holds the shared virtual memory region, and dispatches
+//! `parallel_for_hetero` / `parallel_reduce_hetero` calls to the CPU or
+//! GPU simulator — with JIT caching of GPU binaries (§3.4), memory
+//! consistency fences at offload boundaries (§2.3), CPU fallback for
+//! kernels that violate GPU restrictions (§2.1), and package-energy
+//! accounting (§5.1).
+//!
+//! ## Example
+//!
+//! ```
+//! use concord_runtime::{Concord, Options, Target};
+//!
+//! # fn main() -> Result<(), concord_runtime::RuntimeError> {
+//! let src = r#"
+//!     struct Node { Node* next; };
+//!     class LoopBody {
+//!     public:
+//!         Node* nodes;
+//!         void operator()(int i) { nodes[i].next = &(nodes[i+1]); }
+//!     };
+//! "#;
+//! let mut cc = Concord::new(concord_energy::SystemConfig::ultrabook(), src, Options::default())?;
+//! let nodes = cc.malloc(101 * 8)?;
+//! let body = cc.malloc(8)?;
+//! cc.region_mut().write_ptr(body, nodes)?;
+//! let report = cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu)?;
+//! assert!(report.seconds > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use concord_compiler::{lower_for_gpu, GpuArtifact, GpuConfig};
+use concord_cpusim::CpuSim;
+use concord_energy::{Device, EnergyMeter, PhaseReport, SystemConfig};
+use concord_frontend::{CompileError, LoweredProgram};
+use concord_gpusim::GpuSim;
+use concord_ir::eval::{Trap, Value};
+use concord_ir::types::AddrSpace;
+use concord_ir::FuncId;
+use concord_svm::{AllocError, CpuAddr, SharedAllocator, SharedRegion, VtableArea};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Any error the runtime can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Kernel-language compilation failed.
+    Compile(CompileError),
+    /// Shared-region allocation failed.
+    Alloc(AllocError),
+    /// A kernel trapped at runtime.
+    Trap(Trap),
+    /// The named kernel class does not exist.
+    NoSuchKernel(String),
+    /// `parallel_reduce_hetero` on a class without a `join` method.
+    NoJoin(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Compile(e) => write!(f, "{e}"),
+            RuntimeError::Alloc(e) => write!(f, "{e}"),
+            RuntimeError::Trap(t) => write!(f, "kernel trapped: {t}"),
+            RuntimeError::NoSuchKernel(n) => write!(f, "no kernel class named `{n}`"),
+            RuntimeError::NoJoin(n) => {
+                write!(f, "class `{n}` has no join method for parallel_reduce")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<CompileError> for RuntimeError {
+    fn from(e: CompileError) -> Self {
+        RuntimeError::Compile(e)
+    }
+}
+
+impl From<AllocError> for RuntimeError {
+    fn from(e: AllocError) -> Self {
+        RuntimeError::Alloc(e)
+    }
+}
+
+impl From<Trap> for RuntimeError {
+    fn from(t: Trap) -> Self {
+        RuntimeError::Trap(t)
+    }
+}
+
+/// Requested execution device — the third argument of
+/// `parallel_for_hetero(n, body, on_CPU)` in the paper's API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Run on the multicore CPU.
+    Cpu,
+    /// Run on the integrated GPU (falls back to CPU when the kernel
+    /// violates a GPU restriction, with a warning — §2.1).
+    Gpu,
+}
+
+/// Runtime construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Shared-region capacity in bytes.
+    pub region_bytes: u64,
+    /// GPU compilation configuration (which of the paper's four evaluated
+    /// configurations to use).
+    pub gpu_config: Option<GpuConfig>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { region_bytes: 64 << 20, gpu_config: None }
+    }
+}
+
+/// Result of one heterogeneous construct invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OffloadReport {
+    /// Wall-clock seconds for the construct (including fences, launch, and
+    /// first-launch JIT compilation for GPU execution).
+    pub seconds: f64,
+    /// Package energy in joules for the construct.
+    pub joules: f64,
+    /// True when the construct actually ran on the GPU.
+    pub on_gpu: bool,
+    /// True when a GPU request fell back to the CPU (restriction).
+    pub fell_back: bool,
+    /// Executed pointer translations (GPU only).
+    pub translations: u64,
+    /// Shared-memory transactions (GPU only).
+    pub transactions: u64,
+    /// Contended transactions (GPU only).
+    pub contended: u64,
+    /// GPU EU issue occupancy (GPU only).
+    pub busy_fraction: f64,
+    /// GPU L3 hit rate (GPU only).
+    pub l3_hit_rate: f64,
+    /// Instructions executed (device-level).
+    pub insts: u64,
+}
+
+/// The Concord runtime context.
+pub struct Concord {
+    system: SystemConfig,
+    program: LoweredProgram,
+    gpu_artifact: GpuArtifact,
+    region: SharedRegion,
+    heap: SharedAllocator,
+    vtables: VtableArea,
+    cpu: CpuSim,
+    gpu: GpuSim,
+    meter: EnergyMeter,
+    jitted: HashSet<FuncId>,
+    /// Kernels that cannot run on the GPU (restriction warnings).
+    cpu_only: HashSet<String>,
+}
+
+impl std::fmt::Debug for Concord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Concord")
+            .field("system", &self.system.name)
+            .field("kernels", &self.program.kernels.len())
+            .field("region_bytes", &self.region.capacity())
+            .field("energy_joules", &self.meter.joules())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Concord {
+    /// Compile `source` and set up the shared region, vtables, and both
+    /// device simulators for `system`.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors and vtable installation faults.
+    pub fn new(system: SystemConfig, source: &str, opts: Options) -> Result<Self, RuntimeError> {
+        let mut program = concord_frontend::compile(source)?;
+        let gpu_cfg = opts.gpu_config.unwrap_or(GpuConfig::all(system.gpu.eus));
+        let gpu_artifact = lower_for_gpu(&program.module, gpu_cfg);
+        concord_compiler::optimize_for_cpu(&mut program.module);
+        let reserved = VtableArea::reserve_for(program.module.classes.len());
+        let mut region = SharedRegion::new(opts.region_bytes, reserved);
+        let heap = SharedAllocator::new(&region);
+        let vtables = VtableArea::install(&mut region, &program.module)?;
+        // The frontend emits one warning per affected kernel root; map each
+        // back to its kernel class conservatively (a warning anywhere marks
+        // every kernel that can reach the offending function — the frontend
+        // already scoped the check to kernel closures).
+        let cpu_only: HashSet<String> = if program.warnings.is_empty() {
+            HashSet::new()
+        } else {
+            program.kernels.iter().map(|k| k.class_name.clone()).collect()
+        };
+        Ok(Concord {
+            cpu: CpuSim::new(system.cpu),
+            gpu: GpuSim::new(system.gpu),
+            system,
+            program,
+            gpu_artifact,
+            region,
+            heap,
+            vtables,
+            meter: EnergyMeter::new(),
+            jitted: HashSet::new(),
+            cpu_only,
+        })
+    }
+
+    /// The compiled program (kernels, signatures, source statistics).
+    pub fn program(&self) -> &LoweredProgram {
+        &self.program
+    }
+
+    /// The GPU-lowered artifact (module + pipeline statistics).
+    pub fn gpu_artifact(&self) -> &GpuArtifact {
+        &self.gpu_artifact
+    }
+
+    /// The system configuration.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// Shared-region access.
+    pub fn region(&self) -> &SharedRegion {
+        &self.region
+    }
+
+    /// Mutable shared-region access (host-side data structure building).
+    pub fn region_mut(&mut self) -> &mut SharedRegion {
+        &mut self.region
+    }
+
+    /// Allocate in the shared region (the `malloc` redirection of §3.1).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Alloc`] when the region is exhausted.
+    pub fn malloc(&mut self, bytes: u64) -> Result<CpuAddr, RuntimeError> {
+        Ok(self.heap.malloc(bytes)?)
+    }
+
+    /// Free a shared allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Alloc`] on invalid frees.
+    pub fn free(&mut self, addr: CpuAddr) -> Result<(), RuntimeError> {
+        Ok(self.heap.free(addr)?)
+    }
+
+    /// Total package energy accumulated so far (the
+    /// `MSR_PKG_ENERGY_STATUS` reading).
+    pub fn energy_joules(&self) -> f64 {
+        self.meter.joules()
+    }
+
+    /// Enable device-side allocation (`device_malloc` in kernel code) by
+    /// carving a `bytes`-sized arena out of the shared region. Lifts the
+    /// §2.1 "no memory allocation on GPU" restriction the paper plans as
+    /// future work. Without this call, `device_malloc` returns null.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Alloc`] when the region cannot fit the arena.
+    pub fn enable_device_heap(&mut self, bytes: u64) -> Result<(), RuntimeError> {
+        let arena = self.heap.malloc(bytes)?;
+        self.region.init_device_heap(arena, bytes)?;
+        Ok(())
+    }
+
+    fn kernel(&self, class: &str) -> Result<concord_frontend::KernelInfo, RuntimeError> {
+        self.program
+            .kernel(class)
+            .cloned()
+            .ok_or_else(|| RuntimeError::NoSuchKernel(class.to_string()))
+    }
+
+    fn gpu_func(&self, cpu_fn: FuncId) -> FuncId {
+        // Function ids are stable across the clone taken by lower_for_gpu.
+        cpu_fn
+    }
+
+    /// `parallel_for_hetero(n, body, device)`: run the `operator()` of
+    /// `class` over `[0, n)`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown kernel class, or a runtime trap.
+    pub fn parallel_for_hetero(
+        &mut self,
+        class: &str,
+        body: CpuAddr,
+        n: u32,
+        target: Target,
+    ) -> Result<OffloadReport, RuntimeError> {
+        let k = self.kernel(class)?;
+        let use_gpu = target == Target::Gpu && !self.cpu_only.contains(class);
+        let fell_back = target == Target::Gpu && !use_gpu;
+        if use_gpu {
+            // Offload start: CPU→GPU consistency fence + pinning (§2.3).
+            self.region.fence_to_gpu();
+            let gpu_fn = self.gpu_func(k.operator_fn);
+            let mut seconds_extra = 0.0;
+            if self.jitted.insert(gpu_fn) {
+                seconds_extra += self.system.gpu.jit_ms * 1e-3;
+            }
+            let r = self
+                .gpu
+                .parallel_for(&mut self.region, &self.gpu_artifact.module, gpu_fn, body, n)
+                .map_err(RuntimeError::Trap)?;
+            self.region.fence_to_cpu();
+            let phase =
+                PhaseReport { seconds: r.seconds + seconds_extra, busy_fraction: r.busy_fraction };
+            let before = self.meter.joules();
+            self.meter.record(&self.system, Device::Gpu, phase);
+            Ok(OffloadReport {
+                seconds: phase.seconds,
+                joules: self.meter.joules() - before,
+                on_gpu: true,
+                fell_back: false,
+                translations: r.translations,
+                transactions: r.transactions,
+                contended: r.contended,
+                busy_fraction: r.busy_fraction,
+                l3_hit_rate: r.l3_hit_rate,
+                insts: r.insts,
+            })
+        } else {
+            let r = self
+                .cpu
+                .parallel_for(&mut self.region, &self.vtables, &self.program.module, k.operator_fn, body, n)
+                .map_err(RuntimeError::Trap)?;
+            let phase = PhaseReport { seconds: r.seconds, busy_fraction: 1.0 };
+            let before = self.meter.joules();
+            self.meter.record(&self.system, Device::Cpu, phase);
+            Ok(OffloadReport {
+                seconds: r.seconds,
+                joules: self.meter.joules() - before,
+                on_gpu: false,
+                fell_back,
+                insts: r.counters.insts,
+                ..Default::default()
+            })
+        }
+    }
+
+    /// `parallel_reduce_hetero(n, body, device)`: run `operator()` over
+    /// `[0, n)` accumulating into per-worker copies, then combine with
+    /// `join` (hierarchically through GPU local memory when on the GPU,
+    /// §3.3).
+    ///
+    /// # Errors
+    ///
+    /// Unknown kernel class, missing `join`, or a runtime trap.
+    pub fn parallel_reduce_hetero(
+        &mut self,
+        class: &str,
+        body: CpuAddr,
+        n: u32,
+        target: Target,
+    ) -> Result<OffloadReport, RuntimeError> {
+        let k = self.kernel(class)?;
+        let join = k.join_fn.ok_or_else(|| RuntimeError::NoJoin(class.to_string()))?;
+        let body_size = k.body_size;
+        // Local memory must fit one body copy per lane; otherwise the
+        // runtime performs the reduction sequentially on the CPU (§3.3:
+        // "if local memory is insufficient").
+        let fits_local =
+            body_size * self.system.gpu.simd_width as u64 <= self.system.gpu.local_bytes;
+        let use_gpu =
+            target == Target::Gpu && !self.cpu_only.contains(class) && fits_local;
+        let fell_back = target == Target::Gpu && !use_gpu;
+        if use_gpu {
+            self.region.fence_to_gpu();
+            let gpu_fn = self.gpu_func(k.operator_fn);
+            let gpu_join = self.gpu_func(join);
+            let mut seconds_extra = 0.0;
+            if self.jitted.insert(gpu_fn) {
+                seconds_extra += self.system.gpu.jit_ms * 1e-3;
+            }
+            let warps = (n as u64).div_ceil(self.system.gpu.simd_width as u64);
+            let scratch: Vec<CpuAddr> = (0..warps)
+                .map(|_| self.heap.malloc(body_size))
+                .collect::<Result<_, _>>()?;
+            let r = self
+                .gpu
+                .parallel_reduce(
+                    &mut self.region,
+                    &self.gpu_artifact.module,
+                    gpu_fn,
+                    gpu_join,
+                    body,
+                    body_size,
+                    n,
+                    &scratch,
+                )
+                .map_err(RuntimeError::Trap)?;
+            self.region.fence_to_cpu();
+            // Host-side final join of the per-warp partials (sequential,
+            // using the original CPU-compiled join).
+            let host_cycles_before = self.cpu.core0_cycles();
+            for &slot in &scratch {
+                self.cpu
+                    .call(
+                        &mut self.region,
+                        &self.vtables,
+                        &self.program.module,
+                        join,
+                        &[
+                            Value::Ptr(body.0, AddrSpace::Cpu),
+                            Value::Ptr(slot.0, AddrSpace::Cpu),
+                        ],
+                    )
+                    .map_err(RuntimeError::Trap)?;
+            }
+            let host_seconds = (self.cpu.core0_cycles() - host_cycles_before)
+                / (self.system.cpu.freq_ghz * 1e9);
+            for slot in scratch {
+                self.heap.free(slot)?;
+            }
+            let gpu_phase =
+                PhaseReport { seconds: r.seconds + seconds_extra, busy_fraction: r.busy_fraction };
+            let host_phase = PhaseReport {
+                seconds: host_seconds,
+                busy_fraction: 1.0 / self.system.cpu.cores as f64,
+            };
+            let before = self.meter.joules();
+            self.meter.record(&self.system, Device::Gpu, gpu_phase);
+            self.meter.record(&self.system, Device::Cpu, host_phase);
+            Ok(OffloadReport {
+                seconds: gpu_phase.seconds + host_seconds,
+                joules: self.meter.joules() - before,
+                on_gpu: true,
+                fell_back: false,
+                translations: r.translations,
+                transactions: r.transactions,
+                contended: r.contended,
+                busy_fraction: r.busy_fraction,
+                l3_hit_rate: r.l3_hit_rate,
+                insts: r.insts,
+            })
+        } else {
+            let cores = self.system.cpu.cores as usize;
+            let scratch: Vec<CpuAddr> = (0..cores)
+                .map(|_| self.heap.malloc(body_size))
+                .collect::<Result<_, _>>()?;
+            let r = self
+                .cpu
+                .parallel_reduce(
+                    &mut self.region,
+                    &self.vtables,
+                    &self.program.module,
+                    k.operator_fn,
+                    join,
+                    body,
+                    body_size,
+                    n,
+                    &scratch,
+                )
+                .map_err(RuntimeError::Trap)?;
+            for slot in scratch {
+                self.heap.free(slot)?;
+            }
+            let phase = PhaseReport { seconds: r.seconds, busy_fraction: 1.0 };
+            let before = self.meter.joules();
+            self.meter.record(&self.system, Device::Cpu, phase);
+            Ok(OffloadReport {
+                seconds: r.seconds,
+                joules: self.meter.joules() - before,
+                on_gpu: false,
+                fell_back,
+                insts: r.counters.insts,
+                ..Default::default()
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = r#"
+        struct Node { Node* next; };
+        class LoopBody {
+        public:
+            Node* nodes;
+            void operator()(int i) { nodes[i].next = &(nodes[i+1]); }
+        };
+    "#;
+
+    #[test]
+    fn same_source_runs_on_both_devices() {
+        for target in [Target::Cpu, Target::Gpu] {
+            let mut cc =
+                Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+            let nodes = cc.malloc(101 * 8).unwrap();
+            let body = cc.malloc(8).unwrap();
+            cc.region_mut().write_ptr(body, nodes).unwrap();
+            let r = cc.parallel_for_hetero("LoopBody", body, 100, target).unwrap();
+            assert_eq!(r.on_gpu, target == Target::Gpu);
+            for i in 0..100u64 {
+                let next = cc.region().read_ptr(CpuAddr(nodes.0 + i * 8)).unwrap();
+                assert_eq!(next.0, nodes.0 + (i + 1) * 8);
+            }
+            assert!(r.joules > 0.0);
+        }
+    }
+
+    #[test]
+    fn jit_cost_charged_once() {
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+        let nodes = cc.malloc(101 * 8).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, nodes).unwrap();
+        let first = cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu).unwrap();
+        let second = cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu).unwrap();
+        let jit = SystemConfig::ultrabook().gpu.jit_ms * 1e-3;
+        assert!(
+            first.seconds > second.seconds + jit * 0.9,
+            "first launch must include the JIT cost: {} vs {}",
+            first.seconds,
+            second.seconds
+        );
+    }
+
+    #[test]
+    fn fences_wrap_offloads() {
+        let mut cc = Concord::new(SystemConfig::desktop(), FIG1, Options::default()).unwrap();
+        let nodes = cc.malloc(101 * 8).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, nodes).unwrap();
+        cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu).unwrap();
+        let c = cc.region().consistency();
+        assert_eq!(c.fences_to_gpu, 1);
+        assert_eq!(c.fences_to_cpu, 1);
+        assert!(!c.pinned);
+        // CPU execution does not fence.
+        cc.parallel_for_hetero("LoopBody", body, 100, Target::Cpu).unwrap();
+        assert_eq!(cc.region().consistency().fences_to_gpu, 1);
+    }
+
+    #[test]
+    fn recursive_kernel_falls_back_to_cpu() {
+        let src = r#"
+            int f(int n) { if (n < 2) return 1; return n * f(n - 1) + f(n - 2); }
+            class K {
+            public:
+                int out;
+                void operator()(int i) { out = f(i); }
+            };
+        "#;
+        let mut cc = Concord::new(SystemConfig::ultrabook(), src, Options::default()).unwrap();
+        assert!(!cc.program().warnings.is_empty());
+        let body = cc.malloc(8).unwrap();
+        let r = cc.parallel_for_hetero("K", body, 4, Target::Gpu).unwrap();
+        assert!(r.fell_back);
+        assert!(!r.on_gpu);
+    }
+
+    #[test]
+    fn reduce_on_both_devices_agrees() {
+        let src = r#"
+            class Sum {
+            public:
+                float* data; float acc;
+                void operator()(int i) { acc += data[i]; }
+                void join(Sum* other) { acc += other->acc; }
+            };
+        "#;
+        let mut results = Vec::new();
+        for target in [Target::Cpu, Target::Gpu] {
+            let mut cc =
+                Concord::new(SystemConfig::desktop(), src, Options::default()).unwrap();
+            let n = 200u32;
+            let data = cc.malloc(n as u64 * 4).unwrap();
+            for i in 0..n {
+                cc.region_mut()
+                    .write_f32(CpuAddr(data.0 + i as u64 * 4), (i % 7) as f32)
+                    .unwrap();
+            }
+            let body = cc.malloc(16).unwrap();
+            cc.region_mut().write_ptr(body, data).unwrap();
+            cc.region_mut().write_f32(body.offset(8), 0.0).unwrap();
+            cc.parallel_reduce_hetero("Sum", body, n, target).unwrap();
+            results.push(cc.region().read_f32(body.offset(8)).unwrap());
+        }
+        assert_eq!(results[0], results[1], "CPU and GPU reductions must agree");
+    }
+
+    #[test]
+    fn unknown_kernel_is_an_error() {
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+        let body = cc.malloc(8).unwrap();
+        let err = cc.parallel_for_hetero("Nope", body, 1, Target::Cpu).unwrap_err();
+        assert!(matches!(err, RuntimeError::NoSuchKernel(_)));
+    }
+
+    #[test]
+    fn reduce_without_join_is_an_error() {
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+        let body = cc.malloc(8).unwrap();
+        let err = cc.parallel_reduce_hetero("LoopBody", body, 1, Target::Cpu).unwrap_err();
+        assert!(matches!(err, RuntimeError::NoJoin(_)));
+    }
+
+    #[test]
+    fn reduce_falls_back_when_body_exceeds_local_memory() {
+        // 16 lanes × body_size must fit in 64 KiB of local memory; a body
+        // with a giant inline array cannot, so the runtime must run the
+        // reduction on the CPU instead (§3.3 "if local memory is
+        // insufficient").
+        let src = r#"
+            class Big {
+            public:
+                float* data;
+                float pad[1200];
+                float acc;
+                void operator()(int i) { acc += data[i]; }
+                void join(Big* other) { acc += other->acc; }
+            };
+        "#;
+        let mut cc = Concord::new(SystemConfig::ultrabook(), src, Options::default()).unwrap();
+        let k = cc.program().kernel("Big").unwrap().body_size;
+        assert!(k * 16 > SystemConfig::ultrabook().gpu.local_bytes);
+        let n = 32u32;
+        let data = cc.malloc(n as u64 * 4).unwrap();
+        for i in 0..n {
+            cc.region_mut().write_f32(CpuAddr(data.0 + i as u64 * 4), 2.0).unwrap();
+        }
+        let body = cc.malloc(k).unwrap();
+        cc.region_mut().write_ptr(body, data).unwrap();
+        let r = cc.parallel_reduce_hetero("Big", body, n, Target::Gpu).unwrap();
+        assert!(r.fell_back, "oversized reduce body must fall back to CPU");
+        assert!(!r.on_gpu);
+        let acc = cc.region().read_f32(body.offset(8 + 1200 * 4)).unwrap();
+        assert_eq!(acc, 64.0);
+    }
+
+    #[test]
+    fn energy_meter_accumulates_across_offloads() {
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+        let nodes = cc.malloc(101 * 8).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, nodes).unwrap();
+        cc.parallel_for_hetero("LoopBody", body, 100, Target::Cpu).unwrap();
+        let e1 = cc.energy_joules();
+        cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu).unwrap();
+        assert!(cc.energy_joules() > e1);
+    }
+}

@@ -1,0 +1,266 @@
+//! First-fit free-list allocator for the shared region.
+//!
+//! Concord redirects the application's `malloc`/`free` to routines that
+//! allocate in the shared region (§3.1), so that every heap object a kernel
+//! might touch is addressable from both devices. This module is that
+//! allocator: a classic header-based free list with coalescing.
+
+use crate::region::{CpuAddr, SharedRegion, CPU_BASE};
+use std::fmt;
+
+const ALIGN: u64 = 16;
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough contiguous free space for the request.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Largest free block currently available.
+        largest_free: u64,
+    },
+    /// `free` called with a pointer that was not returned by `malloc` (or
+    /// was already freed).
+    InvalidFree(CpuAddr),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested, largest_free } => write!(
+                f,
+                "shared region exhausted: requested {requested} bytes, largest free block {largest_free}"
+            ),
+            AllocError::InvalidFree(a) => write!(f, "invalid free of {a}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreeBlock {
+    /// Offset from the region base.
+    off: u64,
+    /// Size in bytes.
+    size: u64,
+}
+
+/// Shared-region heap allocator.
+///
+/// Tracks free space as a sorted list of free blocks; allocations carry no
+/// in-memory header (sizes are tracked on the host side, like a real
+/// segregated metadata allocator) so kernel bugs cannot corrupt allocator
+/// state.
+#[derive(Debug, Clone)]
+pub struct SharedAllocator {
+    free: Vec<FreeBlock>,
+    live: Vec<(u64, u64)>, // (off, size), sorted by off
+    /// Total bytes currently allocated.
+    allocated: u64,
+    /// High-water mark of allocated bytes.
+    peak: u64,
+}
+
+impl SharedAllocator {
+    /// Create an allocator managing the unreserved part of `region`.
+    pub fn new(region: &SharedRegion) -> Self {
+        let start = round_up(region.reserved(), ALIGN);
+        // The top of the region holds the device-heap descriptor.
+        let end = region
+            .capacity()
+            .saturating_sub(crate::region::DEVICE_HEAP_DESC_BYTES);
+        let size = end.saturating_sub(start);
+        SharedAllocator {
+            free: vec![FreeBlock { off: start, size }],
+            live: Vec::new(),
+            allocated: 0,
+            peak: 0,
+        }
+    }
+
+    /// Allocate `size` bytes (16-byte aligned). Zero-size requests allocate
+    /// one aligned unit so every allocation has a distinct address.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when no free block fits.
+    pub fn malloc(&mut self, size: u64) -> Result<CpuAddr, AllocError> {
+        let size = round_up(size.max(1), ALIGN);
+        let pos = self.free.iter().position(|b| b.size >= size);
+        let Some(pos) = pos else {
+            return Err(AllocError::OutOfMemory {
+                requested: size,
+                largest_free: self.free.iter().map(|b| b.size).max().unwrap_or(0),
+            });
+        };
+        let block = self.free[pos];
+        let addr_off = block.off;
+        if block.size == size {
+            self.free.remove(pos);
+        } else {
+            self.free[pos] = FreeBlock { off: block.off + size, size: block.size - size };
+        }
+        let idx = self.live.partition_point(|&(o, _)| o < addr_off);
+        self.live.insert(idx, (addr_off, size));
+        self.allocated += size;
+        self.peak = self.peak.max(self.allocated);
+        Ok(CpuAddr(CPU_BASE + addr_off))
+    }
+
+    /// Free a previously allocated block, coalescing with neighbours.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] for unknown or double-freed pointers.
+    pub fn free(&mut self, addr: CpuAddr) -> Result<(), AllocError> {
+        let off = addr.0.wrapping_sub(CPU_BASE);
+        let idx = self
+            .live
+            .binary_search_by_key(&off, |&(o, _)| o)
+            .map_err(|_| AllocError::InvalidFree(addr))?;
+        let (_, size) = self.live.remove(idx);
+        self.allocated -= size;
+        // Insert into the sorted free list and coalesce.
+        let pos = self.free.partition_point(|b| b.off < off);
+        self.free.insert(pos, FreeBlock { off, size });
+        // Coalesce with next.
+        if pos + 1 < self.free.len() && self.free[pos].off + self.free[pos].size == self.free[pos + 1].off
+        {
+            self.free[pos].size += self.free[pos + 1].size;
+            self.free.remove(pos + 1);
+        }
+        // Coalesce with previous.
+        if pos > 0 && self.free[pos - 1].off + self.free[pos - 1].size == self.free[pos].off {
+            self.free[pos - 1].size += self.free[pos].size;
+            self.free.remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of free blocks (fragmentation indicator).
+    pub fn free_block_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total free bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|b| b.size).sum()
+    }
+}
+
+fn round_up(v: u64, align: u64) -> u64 {
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::SharedRegion;
+
+    fn setup(cap: u64) -> (SharedRegion, SharedAllocator) {
+        let r = SharedRegion::new(cap, 0);
+        let a = SharedAllocator::new(&r);
+        (r, a)
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let (_, mut a) = setup(4096);
+        let x = a.malloc(24).unwrap();
+        let y = a.malloc(8).unwrap();
+        assert_eq!(x.0 % 16, 0);
+        assert_eq!(y.0 % 16, 0);
+        assert!(y.0 >= x.0 + 32, "second block must start after the first (rounded)");
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let (_, mut a) = setup(4096);
+        let x = a.malloc(64).unwrap();
+        a.free(x).unwrap();
+        let y = a.malloc(64).unwrap();
+        assert_eq!(x, y, "freed block should be reused first-fit");
+    }
+
+    #[test]
+    fn coalescing_restores_full_block() {
+        let (_, mut a) = setup(4096);
+        let blocks: Vec<CpuAddr> = (0..8).map(|_| a.malloc(64).unwrap()).collect();
+        // Free in a scrambled order to exercise both coalesce directions.
+        for &i in &[3usize, 1, 2, 0, 7, 5, 6, 4] {
+            a.free(blocks[i]).unwrap();
+        }
+        assert_eq!(a.free_block_count(), 1);
+        assert_eq!(a.free_bytes(), 4096 - crate::region::DEVICE_HEAP_DESC_BYTES);
+        assert_eq!(a.allocated(), 0);
+    }
+
+    #[test]
+    fn out_of_memory_reports_largest_free() {
+        // 16 bytes at the top belong to the device-heap descriptor.
+        let (_, mut a) = setup(256 + crate::region::DEVICE_HEAP_DESC_BYTES);
+        let _x = a.malloc(128).unwrap();
+        let err = a.malloc(256).unwrap_err();
+        match err {
+            AllocError::OutOfMemory { requested, largest_free } => {
+                assert_eq!(requested, 256);
+                assert_eq!(largest_free, 128);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (_, mut a) = setup(1024);
+        let x = a.malloc(16).unwrap();
+        a.free(x).unwrap();
+        assert_eq!(a.free(x), Err(AllocError::InvalidFree(x)));
+    }
+
+    #[test]
+    fn invalid_free_rejected() {
+        let (_, mut a) = setup(1024);
+        let _ = a.malloc(16).unwrap();
+        assert!(matches!(a.free(CpuAddr(CPU_BASE + 8)), Err(AllocError::InvalidFree(_))));
+    }
+
+    #[test]
+    fn zero_sized_allocations_distinct() {
+        let (_, mut a) = setup(1024);
+        let x = a.malloc(0).unwrap();
+        let y = a.malloc(0).unwrap();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn respects_reserved_watermark() {
+        let r = SharedRegion::new(1024, 100);
+        let mut a = SharedAllocator::new(&r);
+        let x = a.malloc(8).unwrap();
+        assert!(x.0 >= CPU_BASE + 112, "allocation must sit above reserved area (rounded)");
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let (_, mut a) = setup(4096);
+        let x = a.malloc(512).unwrap();
+        let y = a.malloc(512).unwrap();
+        a.free(x).unwrap();
+        a.free(y).unwrap();
+        assert_eq!(a.peak(), 1024);
+        assert_eq!(a.allocated(), 0);
+    }
+}

@@ -1,0 +1,511 @@
+//! The shared virtual memory region.
+//!
+//! Following §3.1 of the paper: at program startup Concord creates one
+//! virtual memory region shared between CPU and GPU. All data the GPU may
+//! touch lives here (`malloc`/`free` are redirected to this region's
+//! allocator). The CPU addresses the region at `cpu_base + offset`; the GPU
+//! addresses the same bytes at `gpu_base + offset` (a surface offset behind
+//! a constant binding-table entry). Translation between the two views is a
+//! single add of the runtime constant `svm_const = gpu_base - cpu_base`.
+//!
+//! In this reproduction the two bases are deliberately different so that a
+//! missing translation is a *fault*, exactly as on the real hardware.
+
+use concord_ir::eval::{Trap, Value};
+use concord_ir::types::{AddrSpace, Type};
+use std::fmt;
+
+/// Base of the CPU view of the shared region.
+pub const CPU_BASE: u64 = 0x4000_0000_0000;
+
+/// Base of the GPU view of the shared region.
+pub const GPU_BASE: u64 = 0x7000_0000_0000;
+
+/// The runtime translation constant: `gpu_base - cpu_base` (§3.1).
+pub const SVM_CONST: u64 = GPU_BASE.wrapping_sub(CPU_BASE);
+
+/// Bytes reserved at the *top* of the region for the device-heap
+/// descriptor: `[cursor: u64][limit: u64]` (see `device_malloc`).
+pub const DEVICE_HEAP_DESC_BYTES: u64 = 16;
+
+/// A CPU-space address into the shared region.
+///
+/// Newtype so host code cannot confuse the two pointer representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpuAddr(pub u64);
+
+/// A GPU-space address into the shared region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GpuAddr(pub u64);
+
+impl CpuAddr {
+    /// The null CPU pointer.
+    pub const NULL: CpuAddr = CpuAddr(0);
+
+    /// Translate to the GPU representation (adds `SVM_CONST`).
+    pub fn to_gpu(self) -> GpuAddr {
+        GpuAddr(self.0.wrapping_add(SVM_CONST))
+    }
+
+    /// Whether this is the null pointer.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Offset this address by `bytes`.
+    pub fn offset(self, bytes: u64) -> CpuAddr {
+        CpuAddr(self.0 + bytes)
+    }
+}
+
+impl GpuAddr {
+    /// Translate back to the CPU representation.
+    pub fn to_cpu(self) -> CpuAddr {
+        CpuAddr(self.0.wrapping_sub(SVM_CONST))
+    }
+}
+
+impl fmt::Display for CpuAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for GpuAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu:{:#x}", self.0)
+    }
+}
+
+/// Consistency / pinning bookkeeping for offload boundaries (§2.3).
+///
+/// Concord guarantees CPU writes are visible to the GPU at the start of an
+/// offload, and GPU writes are visible to the CPU at the end. The region
+/// tracks fence counts and whether the region is currently pinned for GPU
+/// kernel execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Consistency {
+    /// Number of CPU→GPU fences performed (offload starts).
+    pub fences_to_gpu: u64,
+    /// Number of GPU→CPU fences performed (offload ends).
+    pub fences_to_cpu: u64,
+    /// Whether the region is pinned for an in-flight GPU kernel.
+    pub pinned: bool,
+}
+
+/// The shared memory region: backing store plus address-space resolution.
+#[derive(Debug, Clone)]
+pub struct SharedRegion {
+    data: Vec<u8>,
+    consistency: Consistency,
+    /// Bytes reserved at the start of the region (vtables & global symbols,
+    /// §3.2); the allocator hands out memory above this watermark.
+    reserved: u64,
+}
+
+impl SharedRegion {
+    /// Create a region of `capacity` bytes with `reserved` bytes set aside
+    /// at the bottom for vtables and shared global symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserved > capacity`.
+    pub fn new(capacity: u64, reserved: u64) -> Self {
+        assert!(reserved <= capacity, "reserved exceeds capacity");
+        SharedRegion {
+            data: vec![0u8; capacity as usize],
+            consistency: Consistency::default(),
+            reserved,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Bytes reserved at the bottom of the region.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Consistency bookkeeping.
+    pub fn consistency(&self) -> Consistency {
+        self.consistency
+    }
+
+    /// CPU address of the device-heap cursor cell (the limit cell is 8
+    /// bytes above it). Devices bump the cursor atomically to serve
+    /// `device_malloc`.
+    pub fn device_heap_cursor(&self) -> CpuAddr {
+        CpuAddr(CPU_BASE + self.capacity() - DEVICE_HEAP_DESC_BYTES)
+    }
+
+    /// Initialize the device heap to serve allocations from
+    /// `[arena, arena + bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// Region faults (the region is too small for the descriptor).
+    pub fn init_device_heap(&mut self, arena: CpuAddr, bytes: u64) -> Result<(), Trap> {
+        let cell = self.device_heap_cursor();
+        self.write_i64(cell, arena.0 as i64)?;
+        self.write_i64(cell.offset(8), (arena.0 + bytes) as i64)?;
+        Ok(())
+    }
+
+    /// Serve one `device_malloc(size)`: bump the cursor (16-byte aligned),
+    /// returning null on exhaustion or when no heap was initialized.
+    ///
+    /// # Errors
+    ///
+    /// Region faults reading/writing the descriptor.
+    pub fn device_malloc(&mut self, size: u64) -> Result<CpuAddr, Trap> {
+        let cell = self.device_heap_cursor();
+        let cursor = self.read_i64(cell)? as u64;
+        let limit = self.read_i64(cell.offset(8))? as u64;
+        if cursor == 0 {
+            return Ok(CpuAddr::NULL); // heap not enabled
+        }
+        let base = cursor.div_ceil(16) * 16;
+        let size = size.max(1);
+        if base + size > limit {
+            return Ok(CpuAddr::NULL);
+        }
+        self.write_i64(cell, (base + size) as i64)?;
+        Ok(CpuAddr(base))
+    }
+
+    /// CPU→GPU fence: make CPU writes visible and pin the region for kernel
+    /// execution. Called by the runtime at offload start.
+    pub fn fence_to_gpu(&mut self) {
+        self.consistency.fences_to_gpu += 1;
+        self.consistency.pinned = true;
+    }
+
+    /// GPU→CPU fence: make GPU writes visible and unpin. Called by the
+    /// runtime at offload end.
+    pub fn fence_to_cpu(&mut self) {
+        self.consistency.fences_to_cpu += 1;
+        self.consistency.pinned = false;
+    }
+
+    /// Resolve an address in a space to a byte offset in the backing store.
+    ///
+    /// # Errors
+    ///
+    /// * [`Trap::WrongAddressSpace`] when given a private/local pointer
+    ///   (those are device-internal and never resolve into shared memory);
+    /// * [`Trap::BadAddress`] when the address is null or out of bounds.
+    pub fn resolve(&self, addr: u64, space: AddrSpace, len: u64) -> Result<u64, Trap> {
+        let base = match space {
+            AddrSpace::Cpu => CPU_BASE,
+            AddrSpace::Gpu => GPU_BASE,
+            other => {
+                return Err(Trap::WrongAddressSpace { found: other, expected: AddrSpace::Cpu })
+            }
+        };
+        let off = addr.wrapping_sub(base);
+        if addr == 0 || off.checked_add(len).is_none_or(|end| end > self.capacity()) {
+            return Err(Trap::BadAddress { addr, space });
+        }
+        Ok(off)
+    }
+
+    /// Read raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn read_bytes(&self, addr: u64, space: AddrSpace, len: u64) -> Result<&[u8], Trap> {
+        let off = self.resolve(addr, space, len)? as usize;
+        Ok(&self.data[off..off + len as usize])
+    }
+
+    /// Write raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn write_bytes(&mut self, addr: u64, space: AddrSpace, bytes: &[u8]) -> Result<(), Trap> {
+        let off = self.resolve(addr, space, bytes.len() as u64)? as usize;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Read a typed value.
+    ///
+    /// Pointer loads yield **CPU-space** pointers — the SVM invariant:
+    /// pointers stored in shared memory are always in the CPU
+    /// representation, regardless of which device reads them.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn read_value(&self, addr: u64, space: AddrSpace, ty: Type) -> Result<Value, Trap> {
+        let size = ty.size();
+        let bytes = self.read_bytes(addr, space, size)?;
+        Ok(match ty {
+            Type::I1 | Type::I8 => Value::I(bytes[0] as i8 as i64),
+            Type::I16 => Value::I(i16::from_le_bytes([bytes[0], bytes[1]]) as i64),
+            Type::I32 => {
+                Value::I(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as i64)
+            }
+            Type::I64 => Value::I(i64::from_le_bytes(bytes.try_into().unwrap())),
+            Type::F32 => Value::F(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+                as f64),
+            Type::F64 => Value::F(f64::from_le_bytes(bytes.try_into().unwrap())),
+            Type::Ptr(_) => {
+                Value::Ptr(u64::from_le_bytes(bytes.try_into().unwrap()), AddrSpace::Cpu)
+            }
+            Type::Void => unreachable!("load of void rejected by the verifier"),
+        })
+    }
+
+    /// Write a typed value.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`SharedRegion::resolve`] errors, storing a pointer
+    /// value that is *not* in CPU representation returns
+    /// [`Trap::WrongAddressSpace`]: letting a GPU-space pointer escape into
+    /// shared memory would corrupt the data structure for the CPU, which is
+    /// exactly the class of bug the SVM lowering pass must prevent (§4.1).
+    pub fn write_value(&mut self, addr: u64, space: AddrSpace, v: Value, ty: Type) -> Result<(), Trap> {
+        let bytes: Vec<u8> = match ty {
+            Type::I1 | Type::I8 => vec![v.as_i() as u8],
+            Type::I16 => (v.as_i() as i16).to_le_bytes().to_vec(),
+            Type::I32 => (v.as_i() as i32).to_le_bytes().to_vec(),
+            Type::I64 => v.as_i().to_le_bytes().to_vec(),
+            Type::F32 => (v.as_f() as f32).to_le_bytes().to_vec(),
+            Type::F64 => v.as_f().to_le_bytes().to_vec(),
+            Type::Ptr(_) => {
+                let (a, sp) = v.as_ptr();
+                if sp != AddrSpace::Cpu && a != 0 {
+                    return Err(Trap::WrongAddressSpace { found: sp, expected: AddrSpace::Cpu });
+                }
+                a.to_le_bytes().to_vec()
+            }
+            Type::Void => unreachable!("store of void rejected by the verifier"),
+        };
+        self.write_bytes(addr, space, &bytes)
+    }
+
+    /// Convenience: read an `i32` through a CPU address.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn read_i32(&self, addr: CpuAddr) -> Result<i32, Trap> {
+        Ok(self.read_value(addr.0, AddrSpace::Cpu, Type::I32)?.as_i() as i32)
+    }
+
+    /// Convenience: write an `i32` through a CPU address.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn write_i32(&mut self, addr: CpuAddr, v: i32) -> Result<(), Trap> {
+        self.write_value(addr.0, AddrSpace::Cpu, Value::I(v as i64), Type::I32)
+    }
+
+    /// Convenience: read an `f32` through a CPU address.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn read_f32(&self, addr: CpuAddr) -> Result<f32, Trap> {
+        Ok(self.read_value(addr.0, AddrSpace::Cpu, Type::F32)?.as_f() as f32)
+    }
+
+    /// Convenience: write an `f32` through a CPU address.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn write_f32(&mut self, addr: CpuAddr, v: f32) -> Result<(), Trap> {
+        self.write_value(addr.0, AddrSpace::Cpu, Value::F(v as f64), Type::F32)
+    }
+
+    /// Convenience: read an `i64` through a CPU address.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn read_i64(&self, addr: CpuAddr) -> Result<i64, Trap> {
+        Ok(self.read_value(addr.0, AddrSpace::Cpu, Type::I64)?.as_i())
+    }
+
+    /// Convenience: write an `i64` through a CPU address.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn write_i64(&mut self, addr: CpuAddr, v: i64) -> Result<(), Trap> {
+        self.write_value(addr.0, AddrSpace::Cpu, Value::I(v), Type::I64)
+    }
+
+    /// Convenience: read a shared pointer (CPU representation) from memory.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn read_ptr(&self, addr: CpuAddr) -> Result<CpuAddr, Trap> {
+        let v = self.read_value(addr.0, AddrSpace::Cpu, Type::Ptr(AddrSpace::Cpu))?;
+        Ok(CpuAddr(v.as_ptr().0))
+    }
+
+    /// Convenience: write a shared pointer.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedRegion::resolve`].
+    pub fn write_ptr(&mut self, addr: CpuAddr, target: CpuAddr) -> Result<(), Trap> {
+        self.write_value(
+            addr.0,
+            AddrSpace::Cpu,
+            Value::Ptr(target.0, AddrSpace::Cpu),
+            Type::Ptr(AddrSpace::Cpu),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_round_trips() {
+        let c = CpuAddr(CPU_BASE + 0x1234);
+        assert_eq!(c.to_gpu().to_cpu(), c);
+        assert_eq!(c.to_gpu().0, GPU_BASE + 0x1234);
+    }
+
+    #[test]
+    fn same_bytes_visible_from_both_spaces() {
+        let mut r = SharedRegion::new(4096, 0);
+        let cpu = CPU_BASE + 64;
+        let gpu = GPU_BASE + 64;
+        r.write_value(cpu, AddrSpace::Cpu, Value::I(0x5a5a), Type::I32).unwrap();
+        let v = r.read_value(gpu, AddrSpace::Gpu, Type::I32).unwrap();
+        assert_eq!(v, Value::I(0x5a5a));
+    }
+
+    #[test]
+    fn cpu_pointer_does_not_resolve_as_gpu() {
+        let r = SharedRegion::new(4096, 0);
+        // A CPU address presented as a GPU-space pointer is out of the GPU
+        // surface's bounds: the fault the SVM pass prevents.
+        let err = r.read_value(CPU_BASE + 8, AddrSpace::Gpu, Type::I32).unwrap_err();
+        assert!(matches!(err, Trap::BadAddress { .. }));
+    }
+
+    #[test]
+    fn null_and_out_of_bounds_fault() {
+        let r = SharedRegion::new(128, 0);
+        assert!(matches!(
+            r.read_value(0, AddrSpace::Cpu, Type::I32),
+            Err(Trap::BadAddress { .. })
+        ));
+        assert!(matches!(
+            r.read_value(CPU_BASE + 126, AddrSpace::Cpu, Type::I32),
+            Err(Trap::BadAddress { .. })
+        ));
+        // Last valid word is fine.
+        assert!(r.read_value(CPU_BASE + 124, AddrSpace::Cpu, Type::I32).is_ok());
+    }
+
+    #[test]
+    fn private_pointer_never_resolves() {
+        let r = SharedRegion::new(128, 0);
+        let err = r.read_value(0x10, AddrSpace::Private, Type::I32).unwrap_err();
+        assert!(matches!(err, Trap::WrongAddressSpace { .. }));
+    }
+
+    #[test]
+    fn stored_pointers_are_cpu_representation() {
+        let mut r = SharedRegion::new(4096, 0);
+        let slot = CPU_BASE + 16;
+        // Storing a GPU-space pointer into shared memory is a compiler bug.
+        let err = r
+            .write_value(
+                slot,
+                AddrSpace::Cpu,
+                Value::Ptr(GPU_BASE + 32, AddrSpace::Gpu),
+                Type::Ptr(AddrSpace::Gpu),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Trap::WrongAddressSpace { .. }));
+        // CPU-space pointers store fine and read back tagged Cpu, even when
+        // read through the GPU view.
+        r.write_value(
+            slot,
+            AddrSpace::Cpu,
+            Value::Ptr(CPU_BASE + 32, AddrSpace::Cpu),
+            Type::Ptr(AddrSpace::Cpu),
+        )
+        .unwrap();
+        let v = r
+            .read_value(slot + SVM_CONST, AddrSpace::Gpu, Type::Ptr(AddrSpace::Cpu))
+            .unwrap();
+        assert_eq!(v, Value::Ptr(CPU_BASE + 32, AddrSpace::Cpu));
+    }
+
+    #[test]
+    fn null_pointer_value_can_be_stored() {
+        let mut r = SharedRegion::new(4096, 0);
+        r.write_value(
+            CPU_BASE + 8,
+            AddrSpace::Cpu,
+            Value::Ptr(0, AddrSpace::Gpu),
+            Type::Ptr(AddrSpace::Gpu),
+        )
+        .unwrap();
+        assert_eq!(r.read_ptr(CpuAddr(CPU_BASE + 8)).unwrap(), CpuAddr::NULL);
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let mut r = SharedRegion::new(4096, 0);
+        let a = CpuAddr(CPU_BASE + 8);
+        r.write_f32(a, 3.5).unwrap();
+        assert_eq!(r.read_f32(a).unwrap(), 3.5);
+        r.write_i64(a, -12345).unwrap();
+        assert_eq!(r.read_i64(a).unwrap(), -12345);
+        r.write_i32(a, -7).unwrap();
+        assert_eq!(r.read_i32(a).unwrap(), -7);
+    }
+
+    #[test]
+    fn narrow_types_round_trip() {
+        let mut r = SharedRegion::new(4096, 0);
+        r.write_value(CPU_BASE + 3, AddrSpace::Cpu, Value::I(-2), Type::I8).unwrap();
+        assert_eq!(
+            r.read_value(CPU_BASE + 3, AddrSpace::Cpu, Type::I8).unwrap(),
+            Value::I(-2)
+        );
+        r.write_value(CPU_BASE + 10, AddrSpace::Cpu, Value::I(-300), Type::I16).unwrap();
+        assert_eq!(
+            r.read_value(CPU_BASE + 10, AddrSpace::Cpu, Type::I16).unwrap(),
+            Value::I(-300)
+        );
+    }
+
+    #[test]
+    fn fences_toggle_pinning() {
+        let mut r = SharedRegion::new(128, 0);
+        assert!(!r.consistency().pinned);
+        r.fence_to_gpu();
+        assert!(r.consistency().pinned);
+        assert_eq!(r.consistency().fences_to_gpu, 1);
+        r.fence_to_cpu();
+        assert!(!r.consistency().pinned);
+        assert_eq!(r.consistency().fences_to_cpu, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved exceeds capacity")]
+    fn reserved_bounds_checked() {
+        let _ = SharedRegion::new(16, 32);
+    }
+}

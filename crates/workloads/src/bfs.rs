@@ -1,0 +1,167 @@
+//! Breadth-first search (Galois): level-synchronized BFS over a CSR graph.
+//!
+//! Each round, work item `i` expands node `i` if it is on the current
+//! frontier level; the host repeats rounds until no node was updated.
+//! Memory irregularity comes from the input-dependent neighbor lists.
+
+use crate::graph::{self, CsrOnDevice, Graph};
+use crate::{Construct, Instance, RunTotals, Scale, Spec, Workload};
+use concord_runtime::{Concord, RuntimeError, Target};
+use concord_svm::CpuAddr;
+
+const SOURCE: &str = r#"
+// Level-synchronized BFS over CSR (Galois-style, Concord port).
+class BFSBody {
+public:
+    int* row_off;
+    int* cols;
+    int* level;
+    int* changed;
+    int cur;
+    void operator()(int i) {
+        if (level[i] == cur) {
+            for (int e = row_off[i]; e < row_off[i+1]; e++) {
+                int d = cols[e];
+                if (level[d] < 0) {
+                    level[d] = cur + 1;
+                    changed[0] = 1;
+                }
+            }
+        }
+    }
+};
+"#;
+
+/// The BFS workload definition.
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs;
+
+/// Built BFS instance.
+pub struct BfsInstance {
+    graph: Graph,
+    csr: CsrOnDevice,
+    level: CpuAddr,
+    changed: CpuAddr,
+    body: CpuAddr,
+    source_node: u32,
+}
+
+impl Workload for Bfs {
+    fn spec(&self) -> Spec {
+        Spec {
+            name: "BFS",
+            origin: "Galois",
+            data_structure: "graph",
+            construct: Construct::ParallelFor,
+            kernel_class: "BFSBody",
+            source: SOURCE,
+        }
+    }
+
+    fn build(&self, cc: &mut Concord, scale: Scale) -> Result<Box<dyn Instance>, RuntimeError> {
+        let (w, h) = match scale {
+            Scale::Tiny => (12, 12),
+            Scale::Small => (64, 64),
+            Scale::Medium => (110, 110),
+        };
+        let graph = graph::road_network(w, h, 0xBF5);
+        let csr = graph::upload_csr(cc, &graph)?;
+        let level = cc.malloc(csr.n as u64 * 4)?;
+        let changed = cc.malloc(4)?;
+        // Body: row_off, cols, level, changed pointers + cur int.
+        let body = cc.malloc(5 * 8)?;
+        cc.region_mut().write_ptr(body, csr.row_off)?;
+        cc.region_mut().write_ptr(body.offset(8), csr.cols)?;
+        cc.region_mut().write_ptr(body.offset(16), level)?;
+        cc.region_mut().write_ptr(body.offset(24), changed)?;
+        let mut inst =
+            BfsInstance { graph, csr, level, changed, body, source_node: 0 };
+        inst.reset(cc)?;
+        Ok(Box::new(inst))
+    }
+}
+
+impl Instance for BfsInstance {
+    fn run(&mut self, cc: &mut Concord, target: Target) -> Result<RunTotals, RuntimeError> {
+        let mut totals = RunTotals::default();
+        let mut cur = 0i32;
+        loop {
+            cc.region_mut().write_i32(self.changed, 0)?;
+            cc.region_mut().write_i32(self.body.offset(32), cur)?;
+            let r = cc.parallel_for_hetero("BFSBody", self.body, self.csr.n, target)?;
+            totals.absorb(&r);
+            if cc.region().read_i32(self.changed)? == 0 {
+                break;
+            }
+            cur += 1;
+            assert!(cur <= self.csr.n as i32, "BFS failed to converge");
+        }
+        Ok(totals)
+    }
+
+    fn verify(&self, cc: &Concord) -> Result<(), String> {
+        let expected = graph::reference_bfs(&self.graph, self.source_node);
+        for (i, &e) in expected.iter().enumerate() {
+            let got = cc
+                .region()
+                .read_i32(CpuAddr(self.level.0 + i as u64 * 4))
+                .map_err(|t| t.to_string())?;
+            if got != e {
+                return Err(format!("node {i}: level {got}, expected {e}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, cc: &mut Concord) -> Result<(), RuntimeError> {
+        for i in 0..self.csr.n as u64 {
+            cc.region_mut().write_i32(CpuAddr(self.level.0 + i * 4), -1)?;
+        }
+        cc.region_mut()
+            .write_i32(CpuAddr(self.level.0 + self.source_node as u64 * 4), 0)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_energy::SystemConfig;
+    use concord_runtime::Options;
+
+    fn run_on(target: Target) -> (f64, bool) {
+        let w = Bfs;
+        let mut cc =
+            Concord::new(SystemConfig::ultrabook(), w.spec().source, Options::default()).unwrap();
+        let mut inst = w.build(&mut cc, Scale::Tiny).unwrap();
+        let totals = inst.run(&mut cc, target).unwrap();
+        let ok = inst.verify(&cc).is_ok();
+        (totals.seconds, ok)
+    }
+
+    #[test]
+    fn bfs_cpu_matches_reference() {
+        let (s, ok) = run_on(Target::Cpu);
+        assert!(ok);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn bfs_gpu_matches_reference() {
+        let (_, ok) = run_on(Target::Gpu);
+        assert!(ok);
+    }
+
+    #[test]
+    fn bfs_rerun_after_reset_matches() {
+        let w = Bfs;
+        let mut cc =
+            Concord::new(SystemConfig::desktop(), w.spec().source, Options::default()).unwrap();
+        let mut inst = w.build(&mut cc, Scale::Tiny).unwrap();
+        inst.run(&mut cc, Target::Cpu).unwrap();
+        assert!(inst.verify(&cc).is_ok());
+        inst.reset(&mut cc).unwrap();
+        inst.run(&mut cc, Target::Gpu).unwrap();
+        assert!(inst.verify(&cc).is_ok());
+    }
+}

@@ -1,0 +1,159 @@
+//! Connected components (Galois): topology-driven label propagation — each
+//! node repeatedly adopts the minimum label among itself and its neighbors
+//! until no label changes.
+
+use crate::graph::{self, CsrOnDevice, Graph};
+use crate::{Construct, Instance, RunTotals, Scale, Spec, Workload};
+use concord_runtime::{Concord, RuntimeError, Target};
+use concord_svm::CpuAddr;
+
+const SOURCE: &str = r#"
+// Label-propagation connected components over CSR (Galois-style).
+class CCBody {
+public:
+    int* row_off;
+    int* cols;
+    int* comp;
+    int* changed;
+    void operator()(int i) {
+        int c = comp[i];
+        int best = c;
+        for (int e = row_off[i]; e < row_off[i+1]; e++) {
+            int nc = comp[cols[e]];
+            if (nc < best) {
+                best = nc;
+            }
+        }
+        if (best < c) {
+            comp[i] = best;    // only work item i writes comp[i]
+            changed[0] = 1;
+        }
+    }
+};
+"#;
+
+/// The ConnectedComponent workload definition.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectedComponent;
+
+/// Built instance.
+pub struct CcInstance {
+    graph: Graph,
+    csr: CsrOnDevice,
+    comp: CpuAddr,
+    changed: CpuAddr,
+    body: CpuAddr,
+}
+
+impl Workload for ConnectedComponent {
+    fn spec(&self) -> Spec {
+        Spec {
+            name: "ConnectedComponent",
+            origin: "Galois",
+            data_structure: "graph",
+            construct: Construct::ParallelFor,
+            kernel_class: "CCBody",
+            source: SOURCE,
+        }
+    }
+
+    fn build(&self, cc: &mut Concord, scale: Scale) -> Result<Box<dyn Instance>, RuntimeError> {
+        let (w, h) = match scale {
+            Scale::Tiny => (10, 10),
+            Scale::Small => (64, 64),
+            Scale::Medium => (90, 90),
+        };
+        // More deletions than the default generator: disconnects the grid
+        // into several components, which is the point of the workload.
+        let mut graph = graph::road_network(w, h, 0xCC);
+        // Cut a vertical seam to guarantee ≥2 components.
+        let seam = w / 2;
+        for u in 0..graph.n {
+            graph.adj[u].retain(|&(v, _)| {
+                let ux = u % w;
+                let vx = v as usize % w;
+                !(ux == seam - 1 && vx == seam || ux == seam && vx == seam - 1)
+            });
+        }
+        let csr = graph::upload_csr(cc, &graph)?;
+        let comp = cc.malloc(csr.n as u64 * 4)?;
+        let changed = cc.malloc(4)?;
+        let body = cc.malloc(4 * 8)?;
+        cc.region_mut().write_ptr(body, csr.row_off)?;
+        cc.region_mut().write_ptr(body.offset(8), csr.cols)?;
+        cc.region_mut().write_ptr(body.offset(16), comp)?;
+        cc.region_mut().write_ptr(body.offset(24), changed)?;
+        let mut inst = CcInstance { graph, csr, comp, changed, body };
+        inst.reset(cc)?;
+        Ok(Box::new(inst))
+    }
+}
+
+impl Instance for CcInstance {
+    fn run(&mut self, cc: &mut Concord, target: Target) -> Result<RunTotals, RuntimeError> {
+        let mut totals = RunTotals::default();
+        let mut rounds = 0u32;
+        loop {
+            cc.region_mut().write_i32(self.changed, 0)?;
+            let r = cc.parallel_for_hetero("CCBody", self.body, self.csr.n, target)?;
+            totals.absorb(&r);
+            rounds += 1;
+            if cc.region().read_i32(self.changed)? == 0 {
+                break;
+            }
+            assert!(rounds <= self.csr.n, "label propagation failed to converge");
+        }
+        Ok(totals)
+    }
+
+    fn verify(&self, cc: &Concord) -> Result<(), String> {
+        let expected = graph::reference_components(&self.graph);
+        for (i, &e) in expected.iter().enumerate() {
+            let got = cc
+                .region()
+                .read_i32(CpuAddr(self.comp.0 + i as u64 * 4))
+                .map_err(|t| t.to_string())?;
+            if got != e {
+                return Err(format!("node {i}: component {got}, expected {e}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, cc: &mut Concord) -> Result<(), RuntimeError> {
+        for i in 0..self.csr.n as u64 {
+            cc.region_mut().write_i32(CpuAddr(self.comp.0 + i * 4), i as i32)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_energy::SystemConfig;
+    use concord_runtime::Options;
+
+    #[test]
+    fn components_match_union_find_on_both_devices() {
+        for target in [Target::Cpu, Target::Gpu] {
+            let w = ConnectedComponent;
+            let mut cc =
+                Concord::new(SystemConfig::ultrabook(), w.spec().source, Options::default())
+                    .unwrap();
+            let mut inst = w.build(&mut cc, Scale::Tiny).unwrap();
+            inst.run(&mut cc, target).unwrap();
+            inst.verify(&cc).unwrap();
+        }
+    }
+
+    #[test]
+    fn seam_produces_multiple_components() {
+        let w = ConnectedComponent;
+        let mut cc =
+            Concord::new(SystemConfig::desktop(), w.spec().source, Options::default()).unwrap();
+        let mut inst = w.build(&mut cc, Scale::Tiny).unwrap();
+        inst.run(&mut cc, Target::Cpu).unwrap();
+        inst.verify(&cc).unwrap();
+    }
+}

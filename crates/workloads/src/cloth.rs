@@ -1,0 +1,270 @@
+//! ClothPhysics (Intel "Petme" soft-body demo): a cloth modeled as a graph
+//! of points joined by springs. Each step computes per-node spring forces
+//! by traversing the node's neighbor list, and *reduces* the total elastic
+//! energy across the cloth — the paper's one `parallel_reduce_hetero`
+//! workload (Table 1).
+
+use crate::{Construct, Instance, RunTotals, Scale, Spec, Workload};
+use concord_runtime::{Concord, RuntimeError, Target};
+use concord_svm::CpuAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SOURCE: &str = r#"
+// Cloth spring forces + elastic energy reduction (Intel Petme port).
+class ClothBody {
+public:
+    float* px; float* py; float* pz;
+    int* s_off;
+    int* s_dst;
+    float* rest;
+    float* fx; float* fy; float* fz;
+    float k;
+    float energy;
+    void operator()(int i) {
+        float xi = px[i];
+        float yi = py[i];
+        float zi = pz[i];
+        float fxa = 0.0f;
+        float fya = 0.0f;
+        float fza = 0.0f;
+        float e = 0.0f;
+        for (int s = s_off[i]; s < s_off[i+1]; s++) {
+            int j = s_dst[s];
+            float dx = px[j] - xi;
+            float dy = py[j] - yi;
+            float dz = pz[j] - zi;
+            float len = sqrtf(dx*dx + dy*dy + dz*dz) + 0.000001f;
+            float stretch = len - rest[s];
+            e += 0.5f * k * stretch * stretch;
+            float f = k * stretch / len;
+            fxa += f * dx;
+            fya += f * dy;
+            fza += f * dz;
+        }
+        fx[i] = fxa;
+        fy[i] = fya;
+        fz[i] = fza;
+        energy += e;
+    }
+    void join(ClothBody* other) {
+        energy += other->energy;
+    }
+};
+"#;
+
+/// The ClothPhysics workload definition.
+#[derive(Debug, Clone, Copy)]
+pub struct ClothPhysics;
+
+/// Built instance.
+pub struct ClothInstance {
+    body: CpuAddr,
+    fx: CpuAddr,
+    fy: CpuAddr,
+    fz: CpuAddr,
+    expected_forces: Vec<[f32; 3]>,
+    expected_energy: f32,
+    n: u32,
+}
+
+impl Workload for ClothPhysics {
+    fn spec(&self) -> Spec {
+        Spec {
+            name: "ClothPhysics",
+            origin: "Intel",
+            data_structure: "graph",
+            construct: Construct::ParallelReduce,
+            kernel_class: "ClothBody",
+            source: SOURCE,
+        }
+    }
+
+    fn build(&self, cc: &mut Concord, scale: Scale) -> Result<Box<dyn Instance>, RuntimeError> {
+        let (w, h) = match scale {
+            Scale::Tiny => (10usize, 10usize),
+            Scale::Small => (48, 48),
+            Scale::Medium => (100, 100),
+        };
+        let n = w * h;
+        let mut rng = StdRng::seed_from_u64(0xC107);
+        // Cloth grid, slightly perturbed so springs are stretched.
+        let positions: Vec<[f32; 3]> = (0..n)
+            .map(|i| {
+                let x = (i % w) as f32 * 0.1;
+                let y = (i / w) as f32 * 0.1;
+                [
+                    x + rng.gen_range(-0.02..0.02f32),
+                    y + rng.gen_range(-0.02..0.02f32),
+                    rng.gen_range(-0.03..0.03f32),
+                ]
+            })
+            .collect();
+        // Springs: structural (4-neighborhood) + shear (diagonals).
+        let idx = |x: usize, y: usize| y * w + x;
+        let mut springs: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+        for y in 0..h {
+            for x in 0..w {
+                let u = idx(x, y);
+                let link = |springs: &mut Vec<Vec<(u32, f32)>>, v: usize, rest: f32| {
+                    springs[u].push((v as u32, rest));
+                    springs[v].push((u as u32, rest));
+                };
+                if x + 1 < w {
+                    link(&mut springs, idx(x + 1, y), 0.1);
+                }
+                if y + 1 < h {
+                    link(&mut springs, idx(x, y + 1), 0.1);
+                }
+                if x + 1 < w && y + 1 < h {
+                    link(&mut springs, idx(x + 1, y + 1), 0.1414);
+                }
+            }
+        }
+        let m: usize = springs.iter().map(|s| s.len()).sum();
+        let k_spring = 5.0f32;
+        // Upload.
+        let px = cc.malloc(n as u64 * 4)?;
+        let py = cc.malloc(n as u64 * 4)?;
+        let pz = cc.malloc(n as u64 * 4)?;
+        for (i, p) in positions.iter().enumerate() {
+            cc.region_mut().write_f32(CpuAddr(px.0 + i as u64 * 4), p[0])?;
+            cc.region_mut().write_f32(CpuAddr(py.0 + i as u64 * 4), p[1])?;
+            cc.region_mut().write_f32(CpuAddr(pz.0 + i as u64 * 4), p[2])?;
+        }
+        let s_off = cc.malloc((n as u64 + 1) * 4)?;
+        let s_dst = cc.malloc(m as u64 * 4)?;
+        let rest = cc.malloc(m as u64 * 4)?;
+        let mut off = 0u32;
+        let mut e_i = 0u64;
+        for (i, sl) in springs.iter().enumerate() {
+            cc.region_mut().write_i32(CpuAddr(s_off.0 + i as u64 * 4), off as i32)?;
+            for &(dst, r) in sl {
+                cc.region_mut().write_i32(CpuAddr(s_dst.0 + e_i * 4), dst as i32)?;
+                cc.region_mut().write_f32(CpuAddr(rest.0 + e_i * 4), r)?;
+                e_i += 1;
+            }
+            off += sl.len() as u32;
+        }
+        cc.region_mut().write_i32(CpuAddr(s_off.0 + n as u64 * 4), off as i32)?;
+        let fx = cc.malloc(n as u64 * 4)?;
+        let fy = cc.malloc(n as u64 * 4)?;
+        let fz = cc.malloc(n as u64 * 4)?;
+        // Body layout: 9 pointers, then k, energy.
+        let body = cc.malloc(9 * 8 + 8)?;
+        for (slot, addr) in
+            [px, py, pz, s_off, s_dst, rest, fx, fy, fz].iter().enumerate()
+        {
+            cc.region_mut().write_ptr(body.offset(slot as u64 * 8), *addr)?;
+        }
+        cc.region_mut().write_f32(body.offset(72), k_spring)?;
+        cc.region_mut().write_f32(body.offset(76), 0.0)?;
+        // Reference (f32 arithmetic mirroring the kernel).
+        let mut expected_forces = vec![[0.0f32; 3]; n];
+        let mut expected_energy = 0.0f32;
+        for i in 0..n {
+            let mut e = 0.0f32;
+            let mut f = [0.0f32; 3];
+            for &(j, r) in &springs[i] {
+                let d = [
+                    positions[j as usize][0] - positions[i][0],
+                    positions[j as usize][1] - positions[i][1],
+                    positions[j as usize][2] - positions[i][2],
+                ];
+                let len = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt() + 1e-6f32;
+                let stretch = len - r;
+                e += 0.5 * k_spring * stretch * stretch;
+                let fm = k_spring * stretch / len;
+                for k in 0..3 {
+                    f[k] += fm * d[k];
+                }
+            }
+            expected_forces[i] = f;
+            expected_energy += e;
+        }
+        Ok(Box::new(ClothInstance {
+            body,
+            fx,
+            fy,
+            fz,
+            expected_forces,
+            expected_energy,
+            n: n as u32,
+        }))
+    }
+}
+
+impl Instance for ClothInstance {
+    fn run(&mut self, cc: &mut Concord, target: Target) -> Result<RunTotals, RuntimeError> {
+        let mut totals = RunTotals::default();
+        let r = cc.parallel_reduce_hetero("ClothBody", self.body, self.n, target)?;
+        totals.absorb(&r);
+        Ok(totals)
+    }
+
+    fn verify(&self, cc: &Concord) -> Result<(), String> {
+        for (i, e) in self.expected_forces.iter().enumerate() {
+            let got = [
+                cc.region().read_f32(CpuAddr(self.fx.0 + i as u64 * 4)).map_err(|t| t.to_string())?,
+                cc.region().read_f32(CpuAddr(self.fy.0 + i as u64 * 4)).map_err(|t| t.to_string())?,
+                cc.region().read_f32(CpuAddr(self.fz.0 + i as u64 * 4)).map_err(|t| t.to_string())?,
+            ];
+            for k in 0..3 {
+                if (got[k] - e[k]).abs() > 1e-3 {
+                    return Err(format!("node {i} axis {k}: {} vs {}", got[k], e[k]));
+                }
+            }
+        }
+        // The reduced energy lives in the original body (join order varies
+        // by device, so allow relative FP slack — §2.2 explicitly does not
+        // guarantee float determinism in reductions).
+        let energy =
+            cc.region().read_f32(CpuAddr(self.body.0 + 76)).map_err(|t| t.to_string())?;
+        let rel = ((energy - self.expected_energy) / self.expected_energy.max(1e-6)).abs();
+        if rel > 1e-3 {
+            return Err(format!(
+                "total energy {energy} vs expected {} (rel err {rel})",
+                self.expected_energy
+            ));
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, cc: &mut Concord) -> Result<(), RuntimeError> {
+        cc.region_mut().write_f32(CpuAddr(self.body.0 + 76), 0.0)?;
+        for i in 0..self.n as u64 {
+            cc.region_mut().write_f32(CpuAddr(self.fx.0 + i * 4), 0.0)?;
+            cc.region_mut().write_f32(CpuAddr(self.fy.0 + i * 4), 0.0)?;
+            cc.region_mut().write_f32(CpuAddr(self.fz.0 + i * 4), 0.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_energy::SystemConfig;
+    use concord_runtime::Options;
+
+    #[test]
+    fn forces_and_energy_match_reference_cpu() {
+        let w = ClothPhysics;
+        let mut cc =
+            Concord::new(SystemConfig::desktop(), w.spec().source, Options::default()).unwrap();
+        let mut inst = w.build(&mut cc, Scale::Tiny).unwrap();
+        inst.run(&mut cc, Target::Cpu).unwrap();
+        inst.verify(&cc).unwrap();
+    }
+
+    #[test]
+    fn forces_and_energy_match_reference_gpu() {
+        let w = ClothPhysics;
+        let mut cc =
+            Concord::new(SystemConfig::ultrabook(), w.spec().source, Options::default()).unwrap();
+        let mut inst = w.build(&mut cc, Scale::Tiny).unwrap();
+        let totals = inst.run(&mut cc, Target::Gpu).unwrap();
+        assert!(totals.used_gpu, "cloth body must fit in local memory");
+        inst.verify(&cc).unwrap();
+    }
+}

@@ -1,0 +1,266 @@
+//! Synthetic graph generation and CSR upload.
+//!
+//! The paper's graph workloads (BFS, SSSP, ConnectedComponent) run on the
+//! Western-USA road network (|V| = 6.2M, |E| = 15.2M, average degree ≈ 2.4,
+//! near-planar, large diameter). We cannot ship that input, so
+//! [`road_network`] generates a scaled synthetic stand-in with the same
+//! character: a 2-D grid with random deletions (keeping it connected-ish),
+//! occasional diagonal shortcuts, and positive integer weights.
+
+use concord_runtime::{Concord, RuntimeError};
+use concord_svm::CpuAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An adjacency-list graph with edge weights.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Number of nodes.
+    pub n: usize,
+    /// Adjacency: `adj[u]` = list of `(v, weight)`.
+    pub adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl Graph {
+    /// Total directed edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum()
+    }
+
+    /// CSR row-offset array (length `n + 1`).
+    pub fn row_offsets(&self) -> Vec<u32> {
+        let mut off = Vec::with_capacity(self.n + 1);
+        let mut acc = 0u32;
+        off.push(0);
+        for a in &self.adj {
+            acc += a.len() as u32;
+            off.push(acc);
+        }
+        off
+    }
+}
+
+/// Generate a road-network-like graph with ~`width × height` nodes.
+///
+/// Edges are bidirectional (stored in both adjacency lists) with weights in
+/// `1..=max_w`, mimicking road segment lengths.
+pub fn road_network(width: usize, height: usize, seed: u64) -> Graph {
+    let n = width * height;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    let idx = |x: usize, y: usize| (y * width + x) as u32;
+    let add = |adj: &mut Vec<Vec<(u32, u32)>>, u: u32, v: u32, w: u32| {
+        adj[u as usize].push((v, w));
+        adj[v as usize].push((u, w));
+    };
+    for y in 0..height {
+        for x in 0..width {
+            let u = idx(x, y);
+            // Grid edges with 10% random deletions (dead ends, like roads).
+            if x + 1 < width && rng.gen_range(0..10) != 0 {
+                let w = rng.gen_range(1..=9);
+                add(&mut adj, u, idx(x + 1, y), w);
+            }
+            if y + 1 < height && rng.gen_range(0..10) != 0 {
+                let w = rng.gen_range(1..=9);
+                add(&mut adj, u, idx(x, y + 1), w);
+            }
+            // Rare diagonal shortcut (highway ramps).
+            if x + 1 < width && y + 1 < height && rng.gen_range(0..25) == 0 {
+                let w = rng.gen_range(3..=14);
+                add(&mut adj, u, idx(x + 1, y + 1), w);
+            }
+        }
+    }
+    Graph { n, adj }
+}
+
+/// A CSR graph uploaded into the shared region.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrOnDevice {
+    /// `row_off` array base (n+1 ints).
+    pub row_off: CpuAddr,
+    /// Column indices (m ints).
+    pub cols: CpuAddr,
+    /// Edge weights (m ints).
+    pub weights: CpuAddr,
+    /// Node count.
+    pub n: u32,
+    /// Directed edge count.
+    pub m: u32,
+}
+
+/// Upload a graph in CSR form.
+///
+/// # Errors
+///
+/// Allocation failures or region faults.
+pub fn upload_csr(cc: &mut Concord, g: &Graph) -> Result<CsrOnDevice, RuntimeError> {
+    let n = g.n;
+    let m = g.edge_count();
+    let row_off = cc.malloc((n as u64 + 1) * 4)?;
+    let cols = cc.malloc((m as u64).max(1) * 4)?;
+    let weights = cc.malloc((m as u64).max(1) * 4)?;
+    let offs = g.row_offsets();
+    for (i, &o) in offs.iter().enumerate() {
+        cc.region_mut().write_i32(CpuAddr(row_off.0 + i as u64 * 4), o as i32)?;
+    }
+    let mut e = 0u64;
+    for a in &g.adj {
+        for &(v, w) in a {
+            cc.region_mut().write_i32(CpuAddr(cols.0 + e * 4), v as i32)?;
+            cc.region_mut().write_i32(CpuAddr(weights.0 + e * 4), w as i32)?;
+            e += 1;
+        }
+    }
+    Ok(CsrOnDevice { row_off, cols, weights, n: n as u32, m: m as u32 })
+}
+
+/// Reference BFS levels from `src` (-1 = unreachable).
+pub fn reference_bfs(g: &Graph, src: u32) -> Vec<i32> {
+    let mut level = vec![-1i32; g.n];
+    level[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut cur = 0;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &(v, _) in &g.adj[u as usize] {
+                if level[v as usize] < 0 {
+                    level[v as usize] = cur + 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+        cur += 1;
+    }
+    level
+}
+
+/// Reference single-source shortest paths (Dijkstra), `i32::MAX/2` =
+/// unreachable sentinel matching the kernels.
+pub fn reference_sssp(g: &Graph, src: u32) -> Vec<i32> {
+    const INF: i32 = 1_000_000_000;
+    let mut dist = vec![INF; g.n];
+    dist[src as usize] = 0;
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0i64, src)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if d as i32 > dist[u as usize] {
+            continue;
+        }
+        for &(v, w) in &g.adj[u as usize] {
+            let nd = d as i32 + w as i32;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(std::cmp::Reverse((nd as i64, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Reference connected-component labels: each node gets the minimum node
+/// id in its component.
+pub fn reference_components(g: &Graph) -> Vec<i32> {
+    let mut comp: Vec<i32> = (0..g.n as i32).collect();
+    // Union-find with path compression.
+    fn find(comp: &mut [i32], x: i32) -> i32 {
+        let mut r = x;
+        while comp[r as usize] != r {
+            r = comp[r as usize];
+        }
+        let mut c = x;
+        while comp[c as usize] != c {
+            let nxt = comp[c as usize];
+            comp[c as usize] = r;
+            c = nxt;
+        }
+        r
+    }
+    for u in 0..g.n {
+        for &(v, _) in &g.adj[u] {
+            let ru = find(&mut comp, u as i32);
+            let rv = find(&mut comp, v as i32);
+            if ru != rv {
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                comp[hi as usize] = lo;
+            }
+        }
+    }
+    (0..g.n).map(|u| find(&mut comp, u as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = road_network(8, 8, 42);
+        let b = road_network(8, 8, 42);
+        assert_eq!(a.adj, b.adj);
+        let c = road_network(8, 8, 43);
+        assert_ne!(a.adj, c.adj);
+    }
+
+    #[test]
+    fn degree_is_road_like() {
+        let g = road_network(40, 40, 7);
+        let avg = g.edge_count() as f64 / g.n as f64;
+        assert!(avg > 2.0 && avg < 5.0, "average degree {avg} out of road-network range");
+    }
+
+    #[test]
+    fn csr_offsets_are_consistent() {
+        let g = road_network(10, 10, 1);
+        let off = g.row_offsets();
+        assert_eq!(off.len(), g.n + 1);
+        assert_eq!(*off.last().unwrap() as usize, g.edge_count());
+        for w in off.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn reference_bfs_levels_are_monotone_along_edges() {
+        let g = road_network(12, 12, 3);
+        let lv = reference_bfs(&g, 0);
+        for u in 0..g.n {
+            if lv[u] < 0 {
+                continue;
+            }
+            for &(v, _) in &g.adj[u] {
+                assert!(lv[v as usize] >= 0);
+                assert!((lv[v as usize] - lv[u]).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_sssp_satisfies_triangle_inequality() {
+        let g = road_network(10, 10, 9);
+        let d = reference_sssp(&g, 0);
+        for u in 0..g.n {
+            if d[u] >= 1_000_000_000 {
+                continue;
+            }
+            for &(v, w) in &g.adj[u] {
+                assert!(d[v as usize] <= d[u] + w as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_with_bfs_reachability() {
+        let g = road_network(9, 9, 5);
+        let comp = reference_components(&g);
+        let lv = reference_bfs(&g, 0);
+        for u in 0..g.n {
+            let same_comp = comp[u] == comp[0];
+            let reachable = lv[u] >= 0;
+            assert_eq!(same_comp, reachable, "node {u}");
+        }
+    }
+}

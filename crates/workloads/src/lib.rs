@@ -1,0 +1,295 @@
+//! # concord-workloads
+//!
+//! The nine irregular, pointer-intensive workloads of the Concord
+//! evaluation (Table 1), ported to the kernel language:
+//!
+//! | Workload | Structure | Construct |
+//! |---|---|---|
+//! | BarnesHut | octree | `parallel_for_hetero` |
+//! | BFS | CSR graph | `parallel_for_hetero` |
+//! | BTree | n-ary tree | `parallel_for_hetero` |
+//! | ClothPhysics | spring graph | `parallel_reduce_hetero` |
+//! | ConnectedComponent | CSR graph | `parallel_for_hetero` |
+//! | FaceDetect | classifier cascade | `parallel_for_hetero` |
+//! | Raytracer | scene graph (virtual dispatch) | `parallel_for_hetero` |
+//! | SkipList | tower linked lists | `parallel_for_hetero` |
+//! | SSSP | CSR graph + atomics | `parallel_for_hetero` |
+//!
+//! Each workload provides a deterministic input generator, a builder that
+//! lays the data structure out in shared virtual memory, a driver that
+//! runs the paper's algorithm (iterating kernels to fixpoint where
+//! appropriate), and a verifier against a native Rust reference.
+
+pub mod barneshut;
+pub mod bfs;
+pub mod btree;
+pub mod cc;
+pub mod cloth;
+pub mod facedetect;
+pub mod graph;
+pub mod raytrace;
+pub mod skiplist;
+pub mod sssp;
+
+use concord_runtime::{Concord, OffloadReport, Options, RuntimeError, Target};
+use std::fmt;
+
+/// Which heterogeneous construct a workload uses (Table 1, last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Construct {
+    /// `parallel_for_hetero`.
+    ParallelFor,
+    /// `parallel_reduce_hetero`.
+    ParallelReduce,
+}
+
+impl fmt::Display for Construct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Construct::ParallelFor => f.write_str("parallel_for_hetero"),
+            Construct::ParallelReduce => f.write_str("parallel_reduce_hetero"),
+        }
+    }
+}
+
+/// Input scale for a workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast debug-test sizes.
+    Tiny,
+    /// Default harness sizes (used by the figure benchmarks).
+    Small,
+    /// Larger sweep sizes (release-mode benchmarks).
+    Medium,
+}
+
+/// Static description of a workload (the Table 1 row).
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Workload name as in the paper.
+    pub name: &'static str,
+    /// Paper origin (Galois, Rodinia, OpenCV, in-house...).
+    pub origin: &'static str,
+    /// Key data structure.
+    pub data_structure: &'static str,
+    /// Parallel construct used.
+    pub construct: Construct,
+    /// Body class name in the kernel source.
+    pub kernel_class: &'static str,
+    /// Kernel-language source of the whole program.
+    pub source: &'static str,
+}
+
+/// Aggregated statistics over a workload run (possibly many offloads).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTotals {
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+    /// Total package joules.
+    pub joules: f64,
+    /// Number of construct invocations.
+    pub offloads: u32,
+    /// Whether any invocation ran on the GPU.
+    pub used_gpu: bool,
+    /// Whether any GPU request fell back to the CPU.
+    pub fell_back: bool,
+    /// Summed executed pointer translations.
+    pub translations: u64,
+    /// Summed shared-memory transactions.
+    pub transactions: u64,
+    /// Summed contended transactions.
+    pub contended: u64,
+    /// Summed executed instructions.
+    pub insts: u64,
+    /// Time-weighted GPU occupancy accumulator (internal).
+    busy_weighted: f64,
+    gpu_seconds: f64,
+}
+
+impl RunTotals {
+    /// Fold one offload report into the totals.
+    pub fn absorb(&mut self, r: &OffloadReport) {
+        self.seconds += r.seconds;
+        self.joules += r.joules;
+        self.offloads += 1;
+        self.used_gpu |= r.on_gpu;
+        self.fell_back |= r.fell_back;
+        self.translations += r.translations;
+        self.transactions += r.transactions;
+        self.contended += r.contended;
+        self.insts += r.insts;
+        if r.on_gpu {
+            self.busy_weighted += r.busy_fraction * r.seconds;
+            self.gpu_seconds += r.seconds;
+        }
+    }
+
+    /// Time-weighted average GPU occupancy over GPU phases.
+    pub fn avg_busy_fraction(&self) -> f64 {
+        if self.gpu_seconds > 0.0 {
+            self.busy_weighted / self.gpu_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A workload definition: static spec + builder.
+pub trait Workload {
+    /// The Table 1 row.
+    fn spec(&self) -> Spec;
+
+    /// Generate the input, upload it into `cc`'s shared region, and return
+    /// a runnable instance.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures or region faults.
+    fn build(&self, cc: &mut Concord, scale: Scale) -> Result<Box<dyn Instance>, RuntimeError>;
+}
+
+/// A built workload instance bound to one [`Concord`] context.
+pub trait Instance {
+    /// Run the workload's algorithm to completion on `target`.
+    ///
+    /// # Errors
+    ///
+    /// Runtime traps.
+    fn run(&mut self, cc: &mut Concord, target: Target) -> Result<RunTotals, RuntimeError>;
+
+    /// Check device results against the native reference.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first mismatch.
+    fn verify(&self, cc: &Concord) -> Result<(), String>;
+
+    /// Reset output state so the instance can run again (e.g. on the other
+    /// device).
+    ///
+    /// # Errors
+    ///
+    /// Region faults.
+    fn reset(&mut self, cc: &mut Concord) -> Result<(), RuntimeError>;
+}
+
+/// All nine workloads in the paper's Table 1 order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(barneshut::BarnesHut),
+        Box::new(bfs::Bfs),
+        Box::new(btree::BTree),
+        Box::new(cloth::ClothPhysics),
+        Box::new(cc::ConnectedComponent),
+        Box::new(facedetect::FaceDetect),
+        Box::new(raytrace::Raytracer),
+        Box::new(skiplist::SkipList),
+        Box::new(sssp::Sssp),
+    ]
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Aggregated run statistics.
+    pub totals: RunTotals,
+    /// Whether verification passed.
+    pub verified: bool,
+}
+
+/// Build a fresh context for `workload` on `system` under `gpu_config`,
+/// run it on `target`, verify, and return the measurement.
+///
+/// # Errors
+///
+/// Compile, allocation, or trap errors.
+pub fn measure(
+    workload: &dyn Workload,
+    system: concord_energy::SystemConfig,
+    gpu_config: concord_compiler::GpuConfig,
+    scale: Scale,
+    target: Target,
+) -> Result<Measurement, RuntimeError> {
+    let spec = workload.spec();
+    let opts = Options { gpu_config: Some(gpu_config), ..Options::default() };
+    let mut cc = Concord::new(system, spec.source, opts)?;
+    let mut inst = workload.build(&mut cc, scale)?;
+    let totals = inst.run(&mut cc, target)?;
+    let verified = inst.verify(&cc).is_ok();
+    Ok(Measurement { totals, verified })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_workloads_present() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 9);
+        let names: Vec<&str> = ws.iter().map(|w| w.spec().name).collect();
+        for expected in [
+            "BarnesHut",
+            "BFS",
+            "BTree",
+            "ClothPhysics",
+            "ConnectedComponent",
+            "FaceDetect",
+            "Raytracer",
+            "SkipList",
+            "SSSP",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn cloth_uses_reduce_everyone_else_for() {
+        for w in all_workloads() {
+            let s = w.spec();
+            if s.name == "ClothPhysics" {
+                assert_eq!(s.construct, Construct::ParallelReduce);
+            } else {
+                assert_eq!(s.construct, Construct::ParallelFor);
+            }
+        }
+    }
+
+    #[test]
+    fn every_workload_compiles() {
+        for w in all_workloads() {
+            let s = w.spec();
+            let lp = concord_frontend::compile(s.source)
+                .unwrap_or_else(|e| panic!("{} fails to compile: {e}", s.name));
+            assert!(
+                lp.kernel(s.kernel_class).is_some(),
+                "{}: kernel class {} not found",
+                s.name,
+                s.kernel_class
+            );
+            assert!(lp.warnings.is_empty(), "{}: {:?}", s.name, lp.warnings);
+        }
+    }
+
+    #[test]
+    fn totals_absorb_accumulates() {
+        let mut t = RunTotals::default();
+        t.absorb(&concord_runtime::OffloadReport {
+            seconds: 1.0,
+            joules: 10.0,
+            on_gpu: true,
+            busy_fraction: 0.5,
+            ..Default::default()
+        });
+        t.absorb(&concord_runtime::OffloadReport {
+            seconds: 1.0,
+            joules: 5.0,
+            on_gpu: true,
+            busy_fraction: 1.0,
+            ..Default::default()
+        });
+        assert_eq!(t.offloads, 2);
+        assert!((t.avg_busy_fraction() - 0.75).abs() < 1e-9);
+        assert_eq!(t.joules, 15.0);
+    }
+}

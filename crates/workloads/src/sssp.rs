@@ -1,0 +1,150 @@
+//! Single-source shortest path (Galois): Bellman-Ford over a weighted CSR
+//! graph, relaxing edges with atomic-min until a fixpoint.
+
+use crate::graph::{self, CsrOnDevice, Graph};
+use crate::{Construct, Instance, RunTotals, Scale, Spec, Workload};
+use concord_runtime::{Concord, RuntimeError, Target};
+use concord_svm::CpuAddr;
+
+const INF: i32 = 1_000_000_000;
+
+const SOURCE: &str = r#"
+// Bellman-Ford SSSP over weighted CSR (Galois-style, Concord port).
+class SSSPBody {
+public:
+    int* row_off;
+    int* cols;
+    int* w;
+    int* dist;
+    int* changed;
+    void operator()(int i) {
+        int di = dist[i];
+        if (di < 1000000000) {
+            for (int e = row_off[i]; e < row_off[i+1]; e++) {
+                int nd = di + w[e];
+                int old = atomic_min(&dist[cols[e]], nd);
+                if (nd < old) {
+                    changed[0] = 1;
+                }
+            }
+        }
+    }
+};
+"#;
+
+/// The SSSP workload definition.
+#[derive(Debug, Clone, Copy)]
+pub struct Sssp;
+
+/// Built SSSP instance.
+pub struct SsspInstance {
+    graph: Graph,
+    csr: CsrOnDevice,
+    dist: CpuAddr,
+    changed: CpuAddr,
+    body: CpuAddr,
+    source_node: u32,
+}
+
+impl Workload for Sssp {
+    fn spec(&self) -> Spec {
+        Spec {
+            name: "SSSP",
+            origin: "Galois",
+            data_structure: "graph",
+            construct: Construct::ParallelFor,
+            kernel_class: "SSSPBody",
+            source: SOURCE,
+        }
+    }
+
+    fn build(&self, cc: &mut Concord, scale: Scale) -> Result<Box<dyn Instance>, RuntimeError> {
+        let (w, h) = match scale {
+            Scale::Tiny => (10, 10),
+            Scale::Small => (64, 64),
+            Scale::Medium => (90, 90),
+        };
+        let graph = graph::road_network(w, h, 0x555);
+        let csr = graph::upload_csr(cc, &graph)?;
+        let dist = cc.malloc(csr.n as u64 * 4)?;
+        let changed = cc.malloc(4)?;
+        let body = cc.malloc(5 * 8)?;
+        cc.region_mut().write_ptr(body, csr.row_off)?;
+        cc.region_mut().write_ptr(body.offset(8), csr.cols)?;
+        cc.region_mut().write_ptr(body.offset(16), csr.weights)?;
+        cc.region_mut().write_ptr(body.offset(24), dist)?;
+        cc.region_mut().write_ptr(body.offset(32), changed)?;
+        let mut inst = SsspInstance { graph, csr, dist, changed, body, source_node: 0 };
+        inst.reset(cc)?;
+        Ok(Box::new(inst))
+    }
+}
+
+impl Instance for SsspInstance {
+    fn run(&mut self, cc: &mut Concord, target: Target) -> Result<RunTotals, RuntimeError> {
+        let mut totals = RunTotals::default();
+        let mut rounds = 0u32;
+        loop {
+            cc.region_mut().write_i32(self.changed, 0)?;
+            let r = cc.parallel_for_hetero("SSSPBody", self.body, self.csr.n, target)?;
+            totals.absorb(&r);
+            rounds += 1;
+            if cc.region().read_i32(self.changed)? == 0 {
+                break;
+            }
+            assert!(rounds <= self.csr.n + 1, "Bellman-Ford failed to converge");
+        }
+        Ok(totals)
+    }
+
+    fn verify(&self, cc: &Concord) -> Result<(), String> {
+        let expected = graph::reference_sssp(&self.graph, self.source_node);
+        for (i, &e) in expected.iter().enumerate() {
+            let got = cc
+                .region()
+                .read_i32(CpuAddr(self.dist.0 + i as u64 * 4))
+                .map_err(|t| t.to_string())?;
+            if got != e {
+                return Err(format!("node {i}: dist {got}, expected {e}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, cc: &mut Concord) -> Result<(), RuntimeError> {
+        for i in 0..self.csr.n as u64 {
+            cc.region_mut().write_i32(CpuAddr(self.dist.0 + i * 4), INF)?;
+        }
+        cc.region_mut()
+            .write_i32(CpuAddr(self.dist.0 + self.source_node as u64 * 4), 0)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_energy::SystemConfig;
+    use concord_runtime::Options;
+
+    #[test]
+    fn sssp_cpu_matches_dijkstra() {
+        let w = Sssp;
+        let mut cc =
+            Concord::new(SystemConfig::desktop(), w.spec().source, Options::default()).unwrap();
+        let mut inst = w.build(&mut cc, Scale::Tiny).unwrap();
+        inst.run(&mut cc, Target::Cpu).unwrap();
+        inst.verify(&cc).unwrap();
+    }
+
+    #[test]
+    fn sssp_gpu_matches_dijkstra() {
+        let w = Sssp;
+        let mut cc =
+            Concord::new(SystemConfig::ultrabook(), w.spec().source, Options::default()).unwrap();
+        let mut inst = w.build(&mut cc, Scale::Tiny).unwrap();
+        let totals = inst.run(&mut cc, Target::Gpu).unwrap();
+        assert!(totals.used_gpu);
+        inst.verify(&cc).unwrap();
+    }
+}

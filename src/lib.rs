@@ -1,0 +1,49 @@
+//! # Concord
+//!
+//! Facade crate for the Concord reproduction (Barik et al., *Efficient
+//! Mapping of Irregular C++ Applications to Integrated GPUs*, CGO 2014):
+//! re-exports the full public API of every workspace crate.
+//!
+//! Start with [`runtime::Concord`] — compile a kernel-language program,
+//! allocate pointer-containing data structures in shared virtual memory,
+//! and run `parallel_for_hetero` / `parallel_reduce_hetero` on either the
+//! simulated multicore CPU or the simulated integrated GPU:
+//!
+//! ```
+//! use concord::energy::SystemConfig;
+//! use concord::runtime::{Concord, Options, Target};
+//!
+//! # fn main() -> Result<(), concord::runtime::RuntimeError> {
+//! let src = r#"
+//!     class Scale {
+//!     public:
+//!         float* a;
+//!         void operator()(int i) { a[i] = a[i] * 2.0f; }
+//!     };
+//! "#;
+//! let mut cc = Concord::new(SystemConfig::ultrabook(), src, Options::default())?;
+//! let a = cc.malloc(64 * 4)?;
+//! for i in 0..64 {
+//!     cc.region_mut().write_f32(concord::svm::CpuAddr(a.0 + i * 4), i as f32)?;
+//! }
+//! let body = cc.malloc(8)?;
+//! cc.region_mut().write_ptr(body, a)?;
+//! cc.parallel_for_hetero("Scale", body, 64, Target::Gpu)?;
+//! assert_eq!(cc.region().read_f32(concord::svm::CpuAddr(a.0 + 12))?, 6.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the architecture overview, `LANGUAGE.md` for the
+//! kernel language, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured evaluation.
+
+pub use concord_compiler as compiler;
+pub use concord_cpusim as cpusim;
+pub use concord_energy as energy;
+pub use concord_frontend as frontend;
+pub use concord_gpusim as gpusim;
+pub use concord_ir as ir;
+pub use concord_runtime as runtime;
+pub use concord_svm as svm;
+pub use concord_workloads as workloads;

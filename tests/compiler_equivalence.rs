@@ -1,0 +1,98 @@
+//! Property-based differential testing of the compiler pipelines: randomly
+//! generated straight-line + loop kernels must compute identical results
+//! under every optimization configuration and on both devices.
+
+use concord::energy::SystemConfig;
+use concord::runtime::{Concord, Options, Target};
+use concord::svm::CpuAddr;
+use proptest::prelude::*;
+
+/// A tiny random-kernel generator: expressions over the body's `a` array,
+/// the induction index, and accumulators, with a bounded inner loop.
+#[derive(Debug, Clone)]
+struct KernelSpec {
+    terms: Vec<(u8, i32)>, // (op selector, constant)
+    inner_n: u8,
+}
+
+fn kernel_source(spec: &KernelSpec) -> String {
+    let mut body = String::from("int acc = i;\n");
+    for (k, (op, c)) in spec.terms.iter().enumerate() {
+        let c = *c as i64;
+        let line = match op % 5 {
+            0 => format!("acc = acc + a[(i + {k}) % n] * {c};"),
+            1 => format!("acc = acc ^ ({c} + a[i % n]);"),
+            2 => format!("if (acc > {c}) {{ acc = acc - a[(i * 7 + {k}) % n]; }}"),
+            3 => format!("acc = (acc << 1) + {};", c % 17),
+            _ => format!("acc = acc * 3 + {};", c % 13),
+        };
+        body.push_str(&line);
+        body.push('\n');
+    }
+    format!(
+        r#"
+        class K {{
+        public:
+            int* a; int n; int* out;
+            void operator()(int i) {{
+                {body}
+                for (int j = 0; j < {inner}; j++) {{
+                    acc += a[j % n] + j;
+                }}
+                out[i] = acc;
+            }}
+        }};
+        "#,
+        body = body,
+        inner = spec.inner_n,
+    )
+}
+
+fn run_spec(spec: &KernelSpec, target: Target, cfg: concord::compiler::GpuConfig) -> Vec<i32> {
+    let src = kernel_source(spec);
+    let opts = Options { gpu_config: Some(cfg), ..Options::default() };
+    let mut cc = Concord::new(SystemConfig::ultrabook(), &src, opts).expect("compiles");
+    let n = 24u32;
+    let items = 40u32;
+    let a = cc.malloc(n as u64 * 4).expect("alloc");
+    for i in 0..n {
+        cc.region_mut()
+            .write_i32(CpuAddr(a.0 + i as u64 * 4), (i as i32) * 5 - 31)
+            .expect("write");
+    }
+    let out = cc.malloc(items as u64 * 4).expect("alloc");
+    let body = cc.malloc(24).expect("alloc");
+    cc.region_mut().write_ptr(body, a).expect("write");
+    cc.region_mut().write_i32(body.offset(8), n as i32).expect("write");
+    cc.region_mut().write_ptr(body.offset(16), out).expect("write");
+    cc.parallel_for_hetero("K", body, items, target).expect("runs");
+    (0..items as u64)
+        .map(|i| cc.region().read_i32(CpuAddr(out.0 + i * 4)).expect("read"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CPU, and all four GPU pipelines, agree on randomly generated kernels.
+    #[test]
+    fn random_kernels_agree_everywhere(
+        terms in proptest::collection::vec((any::<u8>(), -100i32..100), 1..6),
+        inner_n in 0u8..12,
+    ) {
+        use concord::compiler::{GpuConfig, Strategy};
+        let spec = KernelSpec { terms, inner_n };
+        let reference = run_spec(&spec, Target::Cpu, GpuConfig::all(40));
+        for cfg in [
+            GpuConfig::baseline(40),
+            GpuConfig::ptropt(40),
+            GpuConfig::l3opt(40),
+            GpuConfig::all(40),
+            GpuConfig { strategy: Strategy::Eager, l3opt: false, gpu_cores: 40 },
+            GpuConfig { strategy: Strategy::Eager, l3opt: true, gpu_cores: 40 },
+        ] {
+            let got = run_spec(&spec, Target::Gpu, cfg);
+            prop_assert_eq!(&got, &reference, "config {:?} diverged", cfg);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Tests for the device-side allocation extension (`device_malloc`):
+//! the §2.1 restriction the paper lists as future work, lifted here.
+
+use concord::energy::SystemConfig;
+use concord::runtime::{Concord, Options, Target};
+use concord::svm::CpuAddr;
+
+/// Each work item allocates its own node on the device and links it into a
+/// per-item slot table; a second kernel then reads back through the
+/// pointers.
+const SRC: &str = r#"
+    struct Node { int v; int pad; };
+    class Alloc {
+    public:
+        Node** slots; int* failed;
+        void operator()(int i) {
+            Node* n = (Node*)device_malloc(16);
+            if (n == nullptr) {
+                atomic_add(&failed[0], 1);
+            } else {
+                n->v = i * 11;
+                slots[i] = n;
+            }
+        }
+    };
+    class Read {
+    public:
+        Node** slots; int* out;
+        void operator()(int i) {
+            Node* n = slots[i];
+            out[i] = n != nullptr ? n->v : -1;
+        }
+    };
+"#;
+
+fn run(target: Target, heap_bytes: Option<u64>) -> (Vec<i32>, i32) {
+    let mut cc =
+        Concord::new(SystemConfig::ultrabook(), SRC, Options::default()).expect("compile");
+    if let Some(b) = heap_bytes {
+        cc.enable_device_heap(b).expect("heap");
+    }
+    let n = 100u32;
+    let slots = cc.malloc(n as u64 * 8).expect("alloc");
+    let failed = cc.malloc(4).expect("alloc");
+    let out = cc.malloc(n as u64 * 4).expect("alloc");
+    let body = cc.malloc(16).expect("alloc");
+    cc.region_mut().write_ptr(body, slots).expect("write");
+    cc.region_mut().write_ptr(body.offset(8), failed).expect("write");
+    cc.parallel_for_hetero("Alloc", body, n, target).expect("alloc kernel");
+    let body2 = cc.malloc(16).expect("alloc");
+    cc.region_mut().write_ptr(body2, slots).expect("write");
+    cc.region_mut().write_ptr(body2.offset(8), out).expect("write");
+    cc.parallel_for_hetero("Read", body2, n, target).expect("read kernel");
+    let vals = (0..n as u64)
+        .map(|i| cc.region().read_i32(CpuAddr(out.0 + i * 4)).expect("read"))
+        .collect();
+    let fails = cc.region().read_i32(failed).expect("read");
+    (vals, fails)
+}
+
+#[test]
+fn device_allocation_works_on_both_devices() {
+    for target in [Target::Cpu, Target::Gpu] {
+        let (vals, fails) = run(target, Some(64 * 1024));
+        assert_eq!(fails, 0, "{target:?}: no allocation should fail");
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(v, i as i32 * 11, "{target:?}: node {i}");
+        }
+    }
+}
+
+#[test]
+fn exhausted_heap_returns_null() {
+    // 100 allocations of 16 bytes need 1600 bytes; give only 512.
+    let (vals, fails) = run(Target::Gpu, Some(512));
+    assert!(fails > 0, "some allocations must fail");
+    assert!(vals.iter().any(|&v| v == -1));
+    assert!(vals.iter().any(|&v| v != -1), "early allocations succeed");
+}
+
+#[test]
+fn without_heap_every_allocation_is_null() {
+    let (vals, fails) = run(Target::Gpu, None);
+    assert_eq!(fails, 100);
+    assert!(vals.iter().all(|&v| v == -1));
+}
+
+#[test]
+fn device_allocations_do_not_collide() {
+    // Distinct addresses: write through every returned pointer, then check
+    // every value (a collision would overwrite a neighbour).
+    let (vals, fails) = run(Target::Gpu, Some(1 << 20));
+    assert_eq!(fails, 0);
+    let distinct: std::collections::HashSet<i32> = vals.iter().copied().collect();
+    assert_eq!(distinct.len(), vals.len());
+}

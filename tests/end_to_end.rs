@@ -1,0 +1,187 @@
+//! Integration tests spanning the whole stack: kernel-language source →
+//! frontend → compiler pipelines → runtime → both device simulators →
+//! verified results in shared virtual memory.
+
+use concord::energy::SystemConfig;
+use concord::runtime::{Concord, Options, RuntimeError, Target};
+use concord::svm::CpuAddr;
+
+/// A pointer-churning kernel: builds a doubly-linked structure and
+/// aggregates over it — exercises shared-pointer stores (CPU
+/// representation invariant), loads, and arithmetic.
+const POINTER_CHURN: &str = r#"
+    struct Node { Node* next; Node* prev; int v; };
+    class Link {
+    public:
+        Node* nodes; int n;
+        void operator()(int i) {
+            nodes[i].next = i + 1 < n ? &(nodes[i+1]) : (Node*)0;
+            nodes[i].prev = i > 0 ? &(nodes[i-1]) : (Node*)0;
+            nodes[i].v = i * 3;
+        }
+    };
+    class Walk {
+    public:
+        Node* nodes; int n; int* out;
+        void operator()(int i) {
+            // Walk forward two, back one, accumulate.
+            Node* p = &(nodes[i]);
+            int s = p->v;
+            if (p->next != nullptr) { p = p->next; s += p->v; }
+            if (p->next != nullptr) { p = p->next; s += p->v; }
+            if (p->prev != nullptr) { p = p->prev; s += p->v; }
+            out[i] = s;
+        }
+    };
+"#;
+
+fn churn_on(target: Target, system: SystemConfig) -> Result<Vec<i32>, RuntimeError> {
+    let mut cc = Concord::new(system, POINTER_CHURN, Options::default())?;
+    let n = 500u32;
+    let nodes = cc.malloc(n as u64 * 24)?;
+    let out = cc.malloc(n as u64 * 4)?;
+    let link_body = cc.malloc(16)?;
+    cc.region_mut().write_ptr(link_body, nodes)?;
+    cc.region_mut().write_i32(link_body.offset(8), n as i32)?;
+    cc.parallel_for_hetero("Link", link_body, n, target)?;
+    let walk_body = cc.malloc(24)?;
+    cc.region_mut().write_ptr(walk_body, nodes)?;
+    cc.region_mut().write_i32(walk_body.offset(8), n as i32)?;
+    cc.region_mut().write_ptr(walk_body.offset(16), out)?;
+    cc.parallel_for_hetero("Walk", walk_body, n, target)?;
+    (0..n as u64).map(|i| cc.region().read_i32(CpuAddr(out.0 + i * 4))).collect::<Result<_, _>>().map_err(Into::into)
+}
+
+#[test]
+fn pointer_structures_agree_across_devices_and_systems() {
+    let expected: Vec<i32> = (0..500i32)
+        .map(|i| {
+            // forward two (clamped), back one — mirrored from the kernel.
+            let mut p = i;
+            let mut s = p * 3;
+            if p + 1 < 500 {
+                p += 1;
+                s += p * 3;
+            }
+            if p + 1 < 500 {
+                p += 1;
+                s += p * 3;
+            }
+            if p > 0 {
+                p -= 1;
+                s += p * 3;
+            }
+            s
+        })
+        .collect();
+    for system in [SystemConfig::ultrabook(), SystemConfig::desktop()] {
+        for target in [Target::Cpu, Target::Gpu] {
+            let got = churn_on(target, system).expect("run succeeds");
+            assert_eq!(got, expected, "{target:?} on {}", system.name);
+        }
+    }
+}
+
+#[test]
+fn all_four_gpu_configs_compute_identical_results() {
+    use concord::compiler::GpuConfig;
+    let mut outputs = Vec::new();
+    for cfg in [
+        GpuConfig::baseline(40),
+        GpuConfig::ptropt(40),
+        GpuConfig::l3opt(40),
+        GpuConfig::all(40),
+    ] {
+        let opts = Options { gpu_config: Some(cfg), ..Options::default() };
+        let mut cc = Concord::new(SystemConfig::ultrabook(), POINTER_CHURN, opts)
+            .expect("compile");
+        let n = 200u32;
+        let nodes = cc.malloc(n as u64 * 24).expect("alloc");
+        let out = cc.malloc(n as u64 * 4).expect("alloc");
+        let link = cc.malloc(16).expect("alloc");
+        cc.region_mut().write_ptr(link, nodes).expect("write");
+        cc.region_mut().write_i32(link.offset(8), n as i32).expect("write");
+        cc.parallel_for_hetero("Link", link, n, Target::Gpu).expect("link");
+        let walk = cc.malloc(24).expect("alloc");
+        cc.region_mut().write_ptr(walk, nodes).expect("write");
+        cc.region_mut().write_i32(walk.offset(8), n as i32).expect("write");
+        cc.region_mut().write_ptr(walk.offset(16), out).expect("write");
+        cc.parallel_for_hetero("Walk", walk, n, Target::Gpu).expect("walk");
+        let vals: Vec<i32> = (0..n as u64)
+            .map(|i| cc.region().read_i32(CpuAddr(out.0 + i * 4)).expect("read"))
+            .collect();
+        outputs.push(vals);
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn opencl_dump_shows_svm_translation_and_kernels() {
+    let cc = Concord::new(SystemConfig::ultrabook(), POINTER_CHURN, Options::default())
+        .expect("compile");
+    let text = cc.gpu_artifact().opencl_source();
+    assert!(text.contains("__kernel"));
+    assert!(text.contains("AS_GPU_PTR"));
+    assert!(text.contains("svm_const"));
+}
+
+#[test]
+fn energy_and_time_accumulate_consistently() {
+    let mut cc = Concord::new(SystemConfig::desktop(), POINTER_CHURN, Options::default())
+        .expect("compile");
+    let n = 300u32;
+    let nodes = cc.malloc(n as u64 * 24).expect("alloc");
+    let body = cc.malloc(16).expect("alloc");
+    cc.region_mut().write_ptr(body, nodes).expect("write");
+    cc.region_mut().write_i32(body.offset(8), n as i32).expect("write");
+    let r1 = cc.parallel_for_hetero("Link", body, n, Target::Cpu).expect("cpu");
+    let r2 = cc.parallel_for_hetero("Link", body, n, Target::Gpu).expect("gpu");
+    assert!(r1.seconds > 0.0 && r2.seconds > 0.0);
+    assert!(r1.joules > 0.0 && r2.joules > 0.0);
+    let total = cc.energy_joules();
+    assert!((total - (r1.joules + r2.joules)).abs() < 1e-12);
+}
+
+#[test]
+fn compile_errors_surface_with_location() {
+    let err = Concord::new(
+        SystemConfig::ultrabook(),
+        "class K { public: void operator()(int i) { undeclared = 1; } };",
+        Options::default(),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("unknown identifier"), "{msg}");
+    assert!(msg.contains("1:"), "location expected: {msg}");
+}
+
+#[test]
+fn function_pointer_calls_are_rejected_at_parse_time() {
+    let err = Concord::new(
+        SystemConfig::ultrabook(),
+        "class K { public: int* f; void operator()(int i) { f[0](); } };",
+        Options::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("function pointers"));
+}
+
+#[test]
+fn multiple_kernels_share_one_region() {
+    // Link writes, Walk reads; data persists across offloads through the
+    // shared region with consistency fences in between.
+    let mut cc = Concord::new(SystemConfig::ultrabook(), POINTER_CHURN, Options::default())
+        .expect("compile");
+    let n = 64u32;
+    let nodes = cc.malloc(n as u64 * 24).expect("alloc");
+    let link = cc.malloc(16).expect("alloc");
+    cc.region_mut().write_ptr(link, nodes).expect("write");
+    cc.region_mut().write_i32(link.offset(8), n as i32).expect("write");
+    cc.parallel_for_hetero("Link", link, n, Target::Gpu).expect("gpu link");
+    // Host reads what the GPU wrote (post-fence visibility).
+    let first_next = cc.region().read_ptr(nodes).expect("read");
+    assert_eq!(first_next.0, nodes.0 + 24);
+    let fences = cc.region().consistency();
+    assert_eq!(fences.fences_to_gpu, 1);
+    assert_eq!(fences.fences_to_cpu, 1);
+}

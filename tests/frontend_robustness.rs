@@ -1,0 +1,92 @@
+//! Robustness tests on the frontend: the lexer/parser must never panic on
+//! arbitrary input, and diagnostics must carry locations.
+
+use concord::frontend::{compile, parser};
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser returns `Ok` or `Err` — never panics — on arbitrary
+    /// ASCII-ish soup.
+    #[test]
+    fn parser_never_panics_on_garbage(src in "[ -~\\n]{0,400}") {
+        let _ = parser::parse(&src);
+    }
+
+    /// Mutations of a valid program (deleting one character) never panic
+    /// and usually produce located errors.
+    #[test]
+    fn parser_survives_single_deletions(idx in 0usize..200) {
+        let base = r#"
+            struct Node { Node* next; int v; };
+            class K {
+            public:
+                Node* nodes; int n; int* out;
+                void operator()(int i) {
+                    int s = 0;
+                    for (int j = 0; j < n; j++) { s += nodes[j].v; }
+                    out[i] = s;
+                }
+            };
+        "#;
+        if idx < base.len() && base.is_char_boundary(idx) && base.is_char_boundary(idx + 1) {
+            let mutated = format!("{}{}", &base[..idx], &base[idx + 1..]);
+            let _ = compile(&mutated);
+        }
+    }
+}
+
+#[test]
+fn diagnostics_have_useful_locations() {
+    let cases = [
+        ("struct S { int x }\n", "expected"),              // missing semicolon
+        ("void f() { int x = ; }", "expected expression"), // missing init
+        ("void f() { y = 1; }", "unknown identifier"),
+        ("void f(Unknown* p) { }", "unknown type"),
+        ("void f() { return 1; }", "returning a value from void"),
+        ("int f() { continue; }", "outside a loop"),
+    ];
+    for (src, needle) in cases {
+        let err = compile(src).expect_err(src);
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{src}: {msg}");
+        assert!(err.span.line >= 1);
+    }
+}
+
+#[test]
+fn deep_expressions_parse_up_to_the_guard() {
+    let mut expr = String::from("1");
+    for _ in 0..40 {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("int f() {{ return {expr}; }}");
+    assert!(compile(&src).is_ok());
+}
+
+#[test]
+fn pathological_nesting_errors_instead_of_overflowing() {
+    let mut expr = String::from("1");
+    for _ in 0..5000 {
+        expr = format!("({expr}");
+    }
+    let src = format!("int f() {{ return {expr}; }}");
+    let err = compile(&src).expect_err("must not accept unbounded nesting");
+    assert!(err.to_string().contains("deeply nested"), "{err}");
+}
+
+#[test]
+fn printer_round_trips_stable_output() {
+    let src = r#"
+        class K {
+        public:
+            float* a; float out;
+            void operator()(int i) { out = a[i] * 2.0f; }
+        };
+    "#;
+    let lp = compile(src).unwrap();
+    let text1 = concord::ir::printer::print_module(&lp.module);
+    let lp2 = compile(src).unwrap();
+    let text2 = concord::ir::printer::print_module(&lp2.module);
+    assert_eq!(text1, text2, "compilation is deterministic");
+    assert!(text1.contains("[kernel:for]"));
+}

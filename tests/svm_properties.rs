@@ -1,0 +1,104 @@
+//! Property-based tests on the SVM substrate: allocator invariants,
+//! typed-memory round trips, and address translation.
+
+use concord::svm::{CpuAddr, SharedAllocator, SharedRegion, CPU_BASE, SVM_CONST};
+use proptest::prelude::*;
+
+proptest! {
+    /// Random malloc/free sequences: live allocations are always disjoint,
+    /// aligned, in-bounds, and frees restore the bytes for reuse.
+    #[test]
+    fn allocator_keeps_live_blocks_disjoint(
+        ops in proptest::collection::vec((any::<bool>(), 1u64..512), 1..120)
+    ) {
+        let region = SharedRegion::new(1 << 16, 0);
+        let mut heap = SharedAllocator::new(&region);
+        let mut live: Vec<(CpuAddr, u64)> = Vec::new();
+        for (is_alloc, size) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(addr) = heap.malloc(size) {
+                    // In-bounds and aligned.
+                    prop_assert_eq!(addr.0 % 16, 0);
+                    prop_assert!(addr.0 >= CPU_BASE);
+                    prop_assert!(addr.0 + size <= CPU_BASE + region.capacity());
+                    // Disjoint from every live block.
+                    for &(other, osz) in &live {
+                        let a = addr.0..addr.0 + size;
+                        let b = other.0..other.0 + osz;
+                        prop_assert!(a.end <= b.start || b.end <= a.start,
+                            "overlap: {:?} vs {:?}", a, b);
+                    }
+                    live.push((addr, size));
+                }
+            } else {
+                let (addr, _) = live.swap_remove(size as usize % live.len());
+                prop_assert!(heap.free(addr).is_ok());
+            }
+        }
+        // Free everything: the arena must coalesce back to one block.
+        for (addr, _) in live {
+            prop_assert!(heap.free(addr).is_ok());
+        }
+        prop_assert_eq!(heap.free_block_count(), 1);
+        prop_assert_eq!(heap.allocated(), 0);
+    }
+
+    /// Typed reads observe exactly what typed writes stored, through either
+    /// address space view.
+    #[test]
+    fn typed_round_trip_through_both_views(
+        off in 0u64..1000,
+        i in any::<i32>(),
+        f in any::<f32>(),
+        use_gpu_view in any::<bool>()
+    ) {
+        use concord::ir::eval::Value;
+        use concord::ir::types::{AddrSpace, Type};
+        let mut region = SharedRegion::new(8192, 0);
+        let aligned = CPU_BASE + off * 8;
+        region.write_value(aligned, AddrSpace::Cpu, Value::I(i as i64), Type::I32).unwrap();
+        let read_addr = if use_gpu_view { aligned + SVM_CONST } else { aligned };
+        let sp = if use_gpu_view { AddrSpace::Gpu } else { AddrSpace::Cpu };
+        prop_assert_eq!(region.read_value(read_addr, sp, Type::I32).unwrap(), Value::I(i as i64));
+        if f.is_finite() {
+            region.write_value(aligned, AddrSpace::Cpu, Value::F(f as f64), Type::F32).unwrap();
+            prop_assert_eq!(
+                region.read_value(read_addr, sp, Type::F32).unwrap(),
+                Value::F(f as f64)
+            );
+        }
+    }
+
+    /// Address translation is a bijection on the region.
+    #[test]
+    fn translation_round_trips(off in 0u64..(1u64 << 40)) {
+        let c = CpuAddr(CPU_BASE + off);
+        prop_assert_eq!(c.to_gpu().to_cpu(), c);
+        prop_assert_eq!(c.to_gpu().0 - c.0, SVM_CONST);
+    }
+
+    /// The interpreter's integer semantics match native wrapping arithmetic
+    /// at i32 width.
+    #[test]
+    fn eval_bin_matches_native_i32(a in any::<i32>(), b in any::<i32>()) {
+        use concord::ir::eval::{eval_bin, Value};
+        use concord::ir::{BinOp, Type};
+        let cases = [
+            (BinOp::Add, a.wrapping_add(b)),
+            (BinOp::Sub, a.wrapping_sub(b)),
+            (BinOp::Mul, a.wrapping_mul(b)),
+            (BinOp::And, a & b),
+            (BinOp::Or, a | b),
+            (BinOp::Xor, a ^ b),
+        ];
+        for (op, expected) in cases {
+            let got = eval_bin(op, Value::I(a as i64), Value::I(b as i64), Type::I32).unwrap();
+            prop_assert_eq!(got, Value::I(expected as i64));
+        }
+        if b != 0 {
+            let got =
+                eval_bin(BinOp::SDiv, Value::I(a as i64), Value::I(b as i64), Type::I32).unwrap();
+            prop_assert_eq!(got, Value::I(a.wrapping_div(b) as i64));
+        }
+    }
+}
