@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full CI gate: tier-1 (build + test) plus formatting and lints.
+#
+#   ./ci.sh
+#
+# Everything must pass for a change to land.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI green"

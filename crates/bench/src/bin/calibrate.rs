@@ -1,8 +1,8 @@
 //! Internal calibration dump: raw per-workload times and counters for both
 //! devices (not a paper figure; used to tune the timing model).
 use concord_energy::SystemConfig;
-use concord_workloads::{all_workloads, measure, Scale};
 use concord_runtime::Target;
+use concord_workloads::{all_workloads, measure, Scale};
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {

@@ -33,23 +33,16 @@ fn main() {
         _ => vec![SystemConfig::ultrabook(), SystemConfig::desktop()],
     };
     for system in systems {
-        let (fig_speed, fig_energy) =
-            if system.name == "ultrabook" { (7, 8) } else { (9, 10) };
+        let (fig_speed, fig_energy) = if system.name == "ultrabook" { (7, 8) } else { (9, 10) };
         eprintln!("running {} ({} workloads x 5 measurements)...", system.name, 9);
         let rows = figure_rows(system, scale).expect("figure rows");
         print_figure(
-            &format!(
-                "Figure {fig_speed}: runtime speedup vs multicore CPU ({})",
-                system.name
-            ),
+            &format!("Figure {fig_speed}: runtime speedup vs multicore CPU ({})", system.name),
             &rows,
             FigureRow::speedup,
         );
         print_figure(
-            &format!(
-                "Figure {fig_energy}: energy savings vs multicore CPU ({})",
-                system.name
-            ),
+            &format!("Figure {fig_energy}: energy savings vs multicore CPU ({})", system.name),
             &rows,
             FigureRow::energy_savings,
         );
@@ -72,12 +65,6 @@ fn print_figure(title: &str, rows: &[FigureRow], metric: fn(&FigureRow, usize) -
         means.push(format!("{:.2}x", geomean(rows.iter().map(|r| metric(r, i)))));
     }
     table.push(means);
-    print!(
-        "{}",
-        render_table(
-            &["Benchmark", "GPU", "GPU+PTROPT", "GPU+L3OPT", "GPU+ALL"],
-            &table
-        )
-    );
+    print!("{}", render_table(&["Benchmark", "GPU", "GPU+PTROPT", "GPU+L3OPT", "GPU+ALL"], &table));
     println!();
 }

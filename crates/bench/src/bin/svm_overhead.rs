@@ -164,9 +164,7 @@ fn run_concord(system: SystemConfig, sc: &Scene, w: usize, h: usize) -> (f64, Ve
     let plane = cc.malloc(24).expect("alloc");
     cc.region_mut().write_ptr(plane, plane_vt).expect("write");
     cc.region_mut().write_f32(plane.offset(12), sc.plane_y).expect("write");
-    cc.region_mut()
-        .write_ptr(CpuAddr(ptrs.0 + sc.spheres.len() as u64 * 8), plane)
-        .expect("write");
+    cc.region_mut().write_ptr(CpuAddr(ptrs.0 + sc.spheres.len() as u64 * 8), plane).expect("write");
     let n = (w * h) as u32;
     let image = cc.malloc(n as u64 * 4).expect("alloc");
     let body = cc.malloc(40).expect("alloc");
@@ -179,12 +177,15 @@ fn run_concord(system: SystemConfig, sc: &Scene, w: usize, h: usize) -> (f64, Ve
     cc.parallel_for_hetero("RayBody", body, n, Target::Gpu).expect("warmup");
     let r = cc.parallel_for_hetero("RayBody", body, n, Target::Gpu).expect("run");
     if std::env::var("SVM_DEBUG").is_ok() {
-        eprintln!("concord {w}x{h}: insts={} tx={} trans={} busy={:.2}", r.insts, r.transactions, r.translations, r.busy_fraction);
+        eprintln!(
+            "concord {w}x{h}: insts={} tx={} trans={} busy={:.2}",
+            r.insts, r.transactions, r.translations, r.busy_fraction
+        );
     }
     let img = (0..n as u64)
         .map(|i| cc.region().read_f32(CpuAddr(image.0 + i * 4)).expect("read"))
         .collect();
-    (r.seconds, img)
+    (r.total_seconds(), img)
 }
 
 fn run_flat(system: SystemConfig, sc: &Scene, w: usize, h: usize) -> (f64, Vec<f32>) {
@@ -219,19 +220,24 @@ fn run_flat(system: SystemConfig, sc: &Scene, w: usize, h: usize) -> (f64, Vec<f
     cc.parallel_for_hetero("FlatRayBody", body, n, Target::Gpu).expect("warmup");
     let r = cc.parallel_for_hetero("FlatRayBody", body, n, Target::Gpu).expect("run");
     if std::env::var("SVM_DEBUG").is_ok() {
-        eprintln!("flat    {w}x{h}: insts={} tx={} trans={} busy={:.2}", r.insts, r.transactions, r.translations, r.busy_fraction);
+        eprintln!(
+            "flat    {w}x{h}: insts={} tx={} trans={} busy={:.2}",
+            r.insts, r.transactions, r.translations, r.busy_fraction
+        );
     }
     let img = (0..n as u64)
         .map(|i| cc.region().read_f32(CpuAddr(image.0 + i * 4)).expect("read"))
         .collect();
-    (r.seconds, img)
+    (r.total_seconds(), img)
 }
 
 fn main() {
     let sizes: &[(usize, usize)] = &[(32, 24), (64, 48), (128, 96), (192, 144)];
     let sc = scene(16);
     let system = SystemConfig::ultrabook();
-    println!("Section 5.4: overhead of software SVM (Concord Raytracer vs hand-flattened OpenCL port)\n");
+    println!(
+        "Section 5.4: overhead of software SVM (Concord Raytracer vs hand-flattened OpenCL port)\n"
+    );
     let mut rows = Vec::new();
     for &(w, h) in sizes {
         eprintln!("rendering {w}x{h}...");
@@ -256,5 +262,7 @@ fn main() {
             &rows
         )
     );
-    println!("\nThe paper reports negligible overhead for small images and ~6% at the largest size.");
+    println!(
+        "\nThe paper reports negligible overhead for small images and ~6% at the largest size."
+    );
 }

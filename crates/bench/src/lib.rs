@@ -86,10 +86,7 @@ pub fn figure_row(
 ///
 /// Propagates the first failing workload run.
 pub fn figure_rows(system: SystemConfig, scale: Scale) -> Result<Vec<FigureRow>, RuntimeError> {
-    all_workloads()
-        .iter()
-        .map(|w| figure_row(w.as_ref(), system, scale))
-        .collect()
+    all_workloads().iter().map(|w| figure_row(w.as_ref(), system, scale)).collect()
 }
 
 /// Geometric mean helper for figure summaries.
@@ -123,10 +120,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &mut out,
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-    );
+    line(&mut out, &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(&mut out, row);
     }

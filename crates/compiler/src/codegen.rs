@@ -36,12 +36,8 @@ fn v(id: ValueId) -> String {
 /// Emit OpenCL-style source for one (GPU-lowered) function.
 pub fn emit_function(m: &Module, f: &Function, as_kernel: bool) -> String {
     let mut out = String::new();
-    let params: Vec<String> = f
-        .params
-        .iter()
-        .enumerate()
-        .map(|(i, t)| format!("{} p{i}", ctype(*t)))
-        .collect();
+    let params: Vec<String> =
+        f.params.iter().enumerate().map(|(i, t)| format!("{} p{i}", ctype(*t))).collect();
     let qual = if as_kernel { "__kernel " } else { "" };
     let _ = writeln!(
         out,
@@ -86,11 +82,15 @@ pub fn emit_function(m: &Module, f: &Function, as_kernel: bool) -> String {
                 Op::Fcmp(p, a, bb) => {
                     format!("{lhs}fcmp_{}({}, {});", p.mnemonic(), v(*a), v(*bb))
                 }
-                Op::Cast(op, a) => format!("{lhs}({})({}); /* {} */", ctype(inst.ty), v(*a), op.mnemonic()),
+                Op::Cast(op, a) => {
+                    format!("{lhs}({})({}); /* {} */", ctype(inst.ty), v(*a), op.mnemonic())
+                }
                 Op::Select(c, a, bb) => format!("{lhs}{} ? {} : {};", v(*c), v(*a), v(*bb)),
                 Op::Alloca { size, .. } => format!("{lhs}__private_alloc({size});"),
                 Op::Load(p) => format!("{lhs}*({}*)({});", ctype(inst.ty), v(*p)),
-                Op::Store { ptr, val } => format!("*({}*)({}) = {};", ctype(f.inst(*val).ty), v(*ptr), v(*val)),
+                Op::Store { ptr, val } => {
+                    format!("*({}*)({}) = {};", ctype(f.inst(*val).ty), v(*ptr), v(*val))
+                }
                 Op::Gep { base, offset } => format!("{lhs}{} + {};", v(*base), v(*offset)),
                 Op::CpuToGpu(p) => format!("{lhs}AS_GPU_PTR({}); /* + svm_const */", v(*p)),
                 Op::GpuToCpu(p) => format!("{lhs}AS_CPU_PTR({}); /* - svm_const */", v(*p)),
@@ -100,7 +100,11 @@ pub fn emit_function(m: &Module, f: &Function, as_kernel: bool) -> String {
                     format!("{lhs}PHI({});", parts.join(", "))
                 }
                 Op::Call { callee, args } => {
-                    let name = m.function(*callee).name.replace("::", "_").replace("operator()", "operator_call");
+                    let name = m
+                        .function(*callee)
+                        .name
+                        .replace("::", "_")
+                        .replace("operator()", "operator_call");
                     let parts: Vec<String> = args.iter().map(|a| v(*a)).collect();
                     format!("{lhs}{name}({});", parts.join(", "))
                 }

@@ -53,6 +53,7 @@ pub mod passes {
 pub use passes::svm_lower::Strategy;
 
 use concord_ir::Module;
+use concord_trace::{Tracer, Track};
 
 /// Configuration of the GPU lowering pipeline — one per evaluated
 /// configuration in §5.
@@ -130,19 +131,70 @@ impl GpuArtifact {
     }
 }
 
-fn classical_cleanups(module: &mut Module, stats: &mut PipelineStats) {
-    stats.inlined +=
-        passes::inline::run_module(module, passes::inline::DEFAULT_THRESHOLD).inlined;
-    for f in module.functions.iter_mut() {
-        stats.field_loads_promoted += passes::field_promote::run(f).loads_promoted;
-        stats.promoted_allocas += passes::mem2reg::run(f);
-        passes::simplify_cfg::run(f);
-        stats.folded += passes::constfold::run(f);
-        passes::simplify_cfg::run(f);
-        stats.cse_merged += passes::cse::run(f);
-        stats.dce_removed += passes::dce::run(f);
-        passes::simplify_cfg::run(f);
+/// Live IR instructions: those reachable from block instruction lists
+/// (the arena also holds detached instructions, which don't execute).
+fn live_insts(module: &Module) -> usize {
+    module.functions.iter().map(|f| f.blocks.iter().map(|b| b.insts.len()).sum::<usize>()).sum()
+}
+
+/// Run one named pass over the module inside a compiler-track span whose
+/// End event carries the live-instruction-count delta. The closure returns
+/// the pass's own statistic (forwarded to the caller).
+fn traced_pass(
+    tracer: &Tracer,
+    module: &mut Module,
+    name: &'static str,
+    pass: impl FnOnce(&mut Module) -> usize,
+) -> usize {
+    if !tracer.enabled() {
+        return pass(module);
     }
+    let before = live_insts(module);
+    let mut span = tracer.span(Track::Compiler, name);
+    let n = pass(module);
+    let after = live_insts(module);
+    span.arg("insts_before", before);
+    span.arg("insts_after", after);
+    span.arg("insts_delta", after as i64 - before as i64);
+    n
+}
+
+/// Sum a per-function pass over every function in the module.
+fn each_fn(module: &mut Module, pass: impl Fn(&mut concord_ir::Function) -> usize) -> usize {
+    module.functions.iter_mut().map(pass).sum()
+}
+
+fn classical_cleanups(module: &mut Module, stats: &mut PipelineStats, tracer: &Tracer) {
+    stats.inlined += traced_pass(tracer, module, "inline", |m| {
+        passes::inline::run_module(m, passes::inline::DEFAULT_THRESHOLD).inlined
+    });
+    stats.field_loads_promoted += traced_pass(tracer, module, "field_promote", |m| {
+        each_fn(m, |f| passes::field_promote::run(f).loads_promoted)
+    });
+    stats.promoted_allocas +=
+        traced_pass(tracer, module, "mem2reg", |m| each_fn(m, passes::mem2reg::run));
+    traced_pass(tracer, module, "simplify_cfg", |m| {
+        each_fn(m, |f| {
+            passes::simplify_cfg::run(f);
+            0
+        })
+    });
+    stats.folded +=
+        traced_pass(tracer, module, "constfold", |m| each_fn(m, passes::constfold::run));
+    traced_pass(tracer, module, "simplify_cfg", |m| {
+        each_fn(m, |f| {
+            passes::simplify_cfg::run(f);
+            0
+        })
+    });
+    stats.cse_merged += traced_pass(tracer, module, "cse", |m| each_fn(m, passes::cse::run));
+    stats.dce_removed += traced_pass(tracer, module, "dce", |m| each_fn(m, passes::dce::run));
+    traced_pass(tracer, module, "simplify_cfg", |m| {
+        each_fn(m, |f| {
+            passes::simplify_cfg::run(f);
+            0
+        })
+    });
 }
 
 /// Optimize a module for multicore-CPU execution.
@@ -150,8 +202,14 @@ fn classical_cleanups(module: &mut Module, stats: &mut PipelineStats) {
 /// Virtual calls are left in vtable-dispatch form; the CPU interpreter
 /// resolves them through the shared-region vtables like a real CPU would.
 pub fn optimize_for_cpu(module: &mut Module) -> PipelineStats {
+    optimize_for_cpu_traced(module, &Tracer::disabled())
+}
+
+/// [`optimize_for_cpu`] with per-pass tracing spans on the compiler track.
+pub fn optimize_for_cpu_traced(module: &mut Module, tracer: &Tracer) -> PipelineStats {
+    let _pipeline = tracer.span(Track::Compiler, "optimize_for_cpu");
     let mut stats = PipelineStats::default();
-    classical_cleanups(module, &mut stats);
+    classical_cleanups(module, &mut stats, tracer);
     debug_assert!(concord_ir::verify::verify_module(module).is_ok());
     stats
 }
@@ -162,39 +220,66 @@ pub fn optimize_for_cpu(module: &mut Module) -> PipelineStats {
 /// execution of the same kernels (the "same C++ code runs on either
 /// device" property of §2).
 pub fn lower_for_gpu(module: &Module, config: GpuConfig) -> GpuArtifact {
+    lower_for_gpu_traced(module, config, &Tracer::disabled())
+}
+
+/// [`lower_for_gpu`] with per-pass tracing spans on the compiler track.
+// Stats fields are filled as the pipeline runs; folding them into one
+// initializer would obscure the pass ordering, which is the point here.
+#[allow(clippy::field_reassign_with_default)]
+pub fn lower_for_gpu_traced(module: &Module, config: GpuConfig, tracer: &Tracer) -> GpuArtifact {
+    let _pipeline = tracer.span(Track::Compiler, "lower_for_gpu");
     let mut m = module.clone();
     let mut stats = PipelineStats::default();
     // Devirtualize first: the vptr loads it introduces are shared-memory
     // accesses that SVM lowering must see.
-    let d = passes::devirt::run_module(&mut m);
-    stats.devirtualized = d.monomorphic + d.polymorphic;
+    stats.devirtualized = traced_pass(tracer, &mut m, "devirt", |m| {
+        let d = passes::devirt::run_module(m);
+        d.monomorphic + d.polymorphic
+    });
     // Inline the (now direct) small targets, as LLVM -O2 would.
-    stats.inlined = passes::inline::run_module(&mut m, passes::inline::DEFAULT_THRESHOLD).inlined;
+    stats.inlined = traced_pass(tracer, &mut m, "inline", |m| {
+        passes::inline::run_module(m, passes::inline::DEFAULT_THRESHOLD).inlined
+    });
     // Promote locals early so induction variables are phis (needed by the
     // L3 loop recognizer) and translation twins don't chase allocas.
-    for f in m.functions.iter_mut() {
-        stats.field_loads_promoted += passes::field_promote::run(f).loads_promoted;
-        stats.promoted_allocas += passes::mem2reg::run(f);
-        passes::simplify_cfg::run(f);
-        stats.folded += passes::constfold::run(f);
-        passes::simplify_cfg::run(f);
-    }
+    stats.field_loads_promoted += traced_pass(tracer, &mut m, "field_promote", |m| {
+        each_fn(m, |f| passes::field_promote::run(f).loads_promoted)
+    });
+    stats.promoted_allocas +=
+        traced_pass(tracer, &mut m, "mem2reg", |m| each_fn(m, passes::mem2reg::run));
+    traced_pass(tracer, &mut m, "simplify_cfg", |m| {
+        each_fn(m, |f| {
+            passes::simplify_cfg::run(f);
+            0
+        })
+    });
+    stats.folded +=
+        traced_pass(tracer, &mut m, "constfold", |m| each_fn(m, passes::constfold::run));
+    traced_pass(tracer, &mut m, "simplify_cfg", |m| {
+        each_fn(m, |f| {
+            passes::simplify_cfg::run(f);
+            0
+        })
+    });
     if config.l3opt {
-        for f in m.functions.iter_mut() {
-            stats.l3_loops += passes::l3opt::run(f, config.gpu_cores).loops_transformed;
-        }
+        stats.l3_loops += traced_pass(tracer, &mut m, "l3opt", |m| {
+            each_fn(m, |f| passes::l3opt::run(f, config.gpu_cores).loops_transformed)
+        });
     }
-    for f in m.functions.iter_mut() {
-        let s = passes::svm_lower::run(f, config.strategy);
-        stats.translations_inserted += s.translations_inserted;
-    }
+    stats.translations_inserted += traced_pass(tracer, &mut m, "svm_lower", |m| {
+        each_fn(m, |f| passes::svm_lower::run(f, config.strategy).translations_inserted)
+    });
     // Cleanups after lowering: CSE merges duplicate translations with a
     // dominating occurrence; DCE deletes unused hybrid twins.
-    for f in m.functions.iter_mut() {
-        stats.cse_merged += passes::cse::run(f);
-        stats.dce_removed += passes::dce::run(f);
-        passes::simplify_cfg::run(f);
-    }
+    stats.cse_merged += traced_pass(tracer, &mut m, "cse", |m| each_fn(m, passes::cse::run));
+    stats.dce_removed += traced_pass(tracer, &mut m, "dce", |m| each_fn(m, passes::dce::run));
+    traced_pass(tracer, &mut m, "simplify_cfg", |m| {
+        each_fn(m, |f| {
+            passes::simplify_cfg::run(f);
+            0
+        })
+    });
     debug_assert!(
         concord_ir::verify::verify_module(&m).is_ok(),
         "GPU pipeline produced invalid IR: {:?}",
@@ -247,29 +332,23 @@ mod tests {
         optimize_for_cpu(&mut lp.module);
         let kf = lp.kernel("Tracer").unwrap().operator_fn;
         let f = lp.module.function(kf);
-        assert!(f
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, concord_ir::Op::CallVirtual { .. })));
+        assert!(f.insts.iter().any(|i| matches!(i.op, concord_ir::Op::CallVirtual { .. })));
         assert!(concord_ir::verify::verify_module(&lp.module).is_ok());
     }
 
     #[test]
     fn gpu_pipeline_eliminates_virtual_calls_everywhere() {
         let lp = compile(RAYTRACE_MINI).unwrap();
-        for cfg in [
-            GpuConfig::baseline(7),
-            GpuConfig::ptropt(7),
-            GpuConfig::l3opt(7),
-            GpuConfig::all(7),
-        ] {
+        for cfg in
+            [GpuConfig::baseline(7), GpuConfig::ptropt(7), GpuConfig::l3opt(7), GpuConfig::all(7)]
+        {
             let art = lower_for_gpu(&lp.module, cfg);
             for f in &art.module.functions {
                 assert!(
-                    !f.blocks.iter().flat_map(|b| &b.insts).any(|&i| matches!(
-                        f.inst(i).op,
-                        concord_ir::Op::CallVirtual { .. }
-                    )),
+                    !f.blocks
+                        .iter()
+                        .flat_map(|b| &b.insts)
+                        .any(|&i| matches!(f.inst(i).op, concord_ir::Op::CallVirtual { .. })),
                     "virtual call survived GPU lowering under {cfg:?}"
                 );
             }

@@ -64,8 +64,8 @@ pub fn run(f: &mut Function) -> usize {
                 let winner = if cv.as_bool() { *a } else { *b };
                 // Fold to a copy via a no-op add? Instead substitute uses.
                 // Handled below via the use-rewrite path.
-                Some(Op::Bin(concord_ir::BinOp::Add, winner, winner))
-                    .filter(|_| false) // placeholder: selects folded separately
+                Some(Op::Bin(concord_ir::BinOp::Add, winner, winner)).filter(|_| false)
+                // placeholder: selects folded separately
             }
             Op::CondBr(c, t, e) => {
                 let Some(cv) = const_value(f, *c) else { continue };

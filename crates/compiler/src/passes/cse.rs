@@ -59,10 +59,7 @@ pub fn run(f: &mut Function) -> usize {
             f.inst_mut(id).op = op;
             let Some(key) = key_of(f, id) else { continue };
             if let Some(cands) = avail.get(&key) {
-                if let Some(&(_, existing)) = cands
-                    .iter()
-                    .find(|(cb, _)| dom.dominates(*cb, b))
-                {
+                if let Some(&(_, existing)) = cands.iter().find(|(cb, _)| dom.dominates(*cb, b)) {
                     if existing != id {
                         replace.insert(id, existing);
                         continue;
@@ -140,11 +137,7 @@ mod tests {
         b.ret(Some(s));
         let mut f = b.build();
         run(&mut f);
-        let loads = f
-            .insts
-            .iter()
-            .filter(|i| matches!(i.op, Op::Load(_)))
-            .count();
+        let loads = f.insts.iter().filter(|i| matches!(i.op, Op::Load(_))).count();
         assert_eq!(loads, 2);
     }
 

@@ -34,8 +34,7 @@ pub fn run(f: &mut Function) -> usize {
                 .filter(|&i| {
                     let inst = &f.insts[i.0 as usize];
                     // Params stay: their ids are the function's ABI.
-                    let removable = !inst.op.has_side_effects()
-                        && !matches!(inst.op, Op::Param(_));
+                    let removable = !inst.op.has_side_effects() && !matches!(inst.op, Op::Param(_));
                     let dead = !used.contains(&i.0) && removable;
                     if dead {
                         removed += 1;

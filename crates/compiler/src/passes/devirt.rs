@@ -235,8 +235,11 @@ mod tests {
                 .any(|&i| matches!(f.inst(i).op, Op::CallVirtual { .. })),
             "no virtual calls may remain in any block"
         );
-        assert!(concord_ir::verify::verify_function(f).is_ok(), "{:?}",
-            concord_ir::verify::verify_function(f));
+        assert!(
+            concord_ir::verify::verify_function(f).is_ok(),
+            "{:?}",
+            concord_ir::verify::verify_function(f)
+        );
         // Three direct calls now exist.
         let calls = f
             .blocks

@@ -76,15 +76,11 @@ pub fn run(f: &mut Function) -> FieldPromoteStats {
     // Entry-block insertion point: before the terminator.
     let entry = f.entry();
     let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
-    let mut ordered: Vec<((i64, concord_ir::Type), Vec<ValueId>)> =
-        groups.into_iter().collect();
+    let mut ordered: Vec<((i64, concord_ir::Type), Vec<ValueId>)> = groups.into_iter().collect();
     ordered.sort_by_key(|((c, _), _)| *c);
     for ((offset, ty), loads) in ordered {
         let off_const = f.push_inst(Op::ConstInt(offset), concord_ir::Type::I64);
-        let addr = f.push_inst(
-            Op::Gep { base: param0, offset: off_const },
-            f.inst(param0).ty,
-        );
+        let addr = f.push_inst(Op::Gep { base: param0, offset: off_const }, f.inst(param0).ty);
         let hoisted = f.push_inst(Op::Load(addr), ty);
         let at = f.block(entry).insts.len() - 1;
         f.block_mut(entry).insts.splice(at..at, [off_const, addr, hoisted]);
@@ -133,8 +129,11 @@ mod tests {
         let f = m.function_mut(kf);
         let stats = run(f);
         assert!(stats.loads_promoted >= 2, "n and a reloads fold: {stats:?}");
-        assert!(concord_ir::verify::verify_function(f).is_ok(), "{:?}",
-            concord_ir::verify::verify_function(f));
+        assert!(
+            concord_ir::verify::verify_function(f).is_ok(),
+            "{:?}",
+            concord_ir::verify::verify_function(f)
+        );
         // Only one load per body field remains (in the entry block).
         let loads_of_param0: usize = f
             .blocks
@@ -215,8 +214,7 @@ mod tests {
             region.write_ptr(body, a).unwrap();
             region.write_i32(body.offset(8), 4).unwrap();
             region.write_ptr(body.offset(16), out).unwrap();
-            let mut sim =
-                concord_cpusim::CpuSim::new(concord_energy::SystemConfig::desktop().cpu);
+            let mut sim = concord_cpusim::CpuSim::new(concord_energy::SystemConfig::desktop().cpu);
             sim.parallel_for(&mut region, &vt, &m, kf, body, 8).unwrap();
             let vals: Vec<i32> = (0..8u64)
                 .map(|i| region.read_i32(concord_svm::CpuAddr(out.0 + i * 4)).unwrap())

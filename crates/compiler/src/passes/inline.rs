@@ -140,10 +140,7 @@ pub fn run(module: &mut Module, func_id: FuncId, threshold: usize) -> InlineStat
             } else {
                 let phi = caller.push_inst(
                     Op::Phi(
-                        ret_edges
-                            .iter()
-                            .map(|(b, v)| (*b, v.expect("non-void return")))
-                            .collect(),
+                        ret_edges.iter().map(|(b, v)| (*b, v.expect("non-void return"))).collect(),
                     ),
                     call_ty,
                 );
@@ -203,14 +200,17 @@ mod tests {
         assert_eq!(stats.inlined, 2);
         let f = lp.module.function(kf);
         assert!(
-            !f.blocks.iter().flat_map(|b| &b.insts).any(|&i| matches!(
-                f.inst(i).op,
-                Op::Call { .. }
-            )),
+            !f.blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .any(|&i| matches!(f.inst(i).op, Op::Call { .. })),
             "all calls inlined"
         );
-        assert!(concord_ir::verify::verify_function(f).is_ok(), "{:?}",
-            concord_ir::verify::verify_function(f));
+        assert!(
+            concord_ir::verify::verify_function(f).is_ok(),
+            "{:?}",
+            concord_ir::verify::verify_function(f)
+        );
     }
 
     #[test]
@@ -231,8 +231,11 @@ mod tests {
         let kf = lp.kernel("K").unwrap().operator_fn;
         assert_eq!(run(&mut lp.module, kf, DEFAULT_THRESHOLD).inlined, 1);
         let f = lp.module.function(kf);
-        assert!(concord_ir::verify::verify_function(f).is_ok(), "{:?}",
-            concord_ir::verify::verify_function(f));
+        assert!(
+            concord_ir::verify::verify_function(f).is_ok(),
+            "{:?}",
+            concord_ir::verify::verify_function(f)
+        );
         // The multi-return callee produced a phi at the continuation.
         assert!(f.insts.iter().any(|i| matches!(i.op, Op::Phi(_))));
     }
@@ -289,9 +292,7 @@ mod tests {
             let x = heap.malloc(n as u64 * 4).unwrap();
             let out = heap.malloc(n as u64 * 4).unwrap();
             for i in 0..n {
-                region
-                    .write_f32(concord_svm::CpuAddr(x.0 + i as u64 * 4), i as f32)
-                    .unwrap();
+                region.write_f32(concord_svm::CpuAddr(x.0 + i as u64 * 4), i as f32).unwrap();
             }
             let body = heap.malloc(16).unwrap();
             region.write_ptr(body, x).unwrap();

@@ -103,11 +103,8 @@ fn recognize(f: &Function, l: &concord_ir::analysis::Loop) -> Option<CountedLoop
     // Bound must be loop-invariant: defined outside the loop, or in the
     // header before the compare (e.g. a field load `this->n`, which the
     // frontend re-emits per iteration but whose address is invariant).
-    let bound_in_body = l
-        .blocks
-        .iter()
-        .filter(|&&b| b != l.header)
-        .any(|&b| f.block(b).insts.contains(&bound));
+    let bound_in_body =
+        l.blocks.iter().filter(|&&b| b != l.header).any(|&b| f.block(b).insts.contains(&bound));
     if bound_in_body {
         return None;
     }
@@ -125,8 +122,7 @@ pub fn run(f: &mut Function, gpu_cores: u32) -> L3OptStats {
     let _ = &dom;
     let innermost: Vec<_> = loops.iter().filter(|l| l.is_innermost(&loops)).collect();
     // Collect rewrites first (recognition borrows f immutably).
-    let recognized: Vec<CountedLoop> =
-        innermost.iter().filter_map(|l| recognize(f, l)).collect();
+    let recognized: Vec<CountedLoop> = innermost.iter().filter_map(|l| recognize(f, l)).collect();
     for cl in recognized {
         // start = (group_id() % W) * 61, computed once in the entry block
         // (right before its terminator so all operands dominate uses).
@@ -212,15 +208,16 @@ mod tests {
         super::super::simplify_cfg::run(f);
         let stats = run(f, 7);
         assert_eq!(stats.loops_transformed, 1);
-        assert!(concord_ir::verify::verify_function(f).is_ok(), "{:?}",
-            concord_ir::verify::verify_function(f));
+        assert!(
+            concord_ir::verify::verify_function(f).is_ok(),
+            "{:?}",
+            concord_ir::verify::verify_function(f)
+        );
         // The rotation introduces an SRem on the bound.
         let has_rem = f.insts.iter().any(|i| matches!(i.op, Op::Bin(BinOp::SRem, ..)));
         assert!(has_rem);
-        let has_gid = f
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, Op::IntrinsicCall(Intrinsic::GroupId, _)));
+        let has_gid =
+            f.insts.iter().any(|i| matches!(i.op, Op::IntrinsicCall(Intrinsic::GroupId, _)));
         assert!(has_gid);
     }
 

@@ -161,13 +161,8 @@ fn promote_one(
         },
         ty,
     );
-    let pos = f
-        .block(f.entry())
-        .insts
-        .iter()
-        .position(|&i| i == alloca)
-        .map(|p| p + 1)
-        .unwrap_or(0);
+    let pos =
+        f.block(f.entry()).insts.iter().position(|&i| i == alloca).map(|p| p + 1).unwrap_or(0);
     f.block_mut(f.entry()).insts.insert(pos, zero);
 
     struct Frame {
@@ -279,21 +274,20 @@ mod tests {
     fn promotes_diamond_local() {
         let mut f = diamond_with_local();
         assert_eq!(run(&mut f), 1);
-        assert!(concord_ir::verify::verify_function(&f).is_ok(), "{:?}",
-            concord_ir::verify::verify_function(&f));
+        assert!(
+            concord_ir::verify::verify_function(&f).is_ok(),
+            "{:?}",
+            concord_ir::verify::verify_function(&f)
+        );
         // No allocas, loads, or stores remain.
-        assert!(!f
-            .insts
-            .iter()
-            .enumerate()
-            .any(|(i, inst)| f.blocks.iter().any(|b| b.insts.contains(&ValueId(i as u32)))
-                && matches!(inst.op, Op::Alloca { .. } | Op::Load(_) | Op::Store { .. })));
-        // A phi was introduced at the join.
-        let has_phi = f
+        assert!(!f.insts.iter().enumerate().any(|(i, inst)| f
             .blocks
             .iter()
-            .flat_map(|b| &b.insts)
-            .any(|&i| matches!(f.inst(i).op, Op::Phi(_)));
+            .any(|b| b.insts.contains(&ValueId(i as u32)))
+            && matches!(inst.op, Op::Alloca { .. } | Op::Load(_) | Op::Store { .. })));
+        // A phi was introduced at the join.
+        let has_phi =
+            f.blocks.iter().flat_map(|b| &b.insts).any(|&i| matches!(f.inst(i).op, Op::Phi(_)));
         assert!(has_phi);
     }
 
@@ -324,25 +318,21 @@ mod tests {
         b.ret(Some(out));
         let mut f = b.build();
         assert_eq!(run(&mut f), 1);
-        assert!(concord_ir::verify::verify_function(&f).is_ok(), "{:?}",
-            concord_ir::verify::verify_function(&f));
+        assert!(
+            concord_ir::verify::verify_function(&f).is_ok(),
+            "{:?}",
+            concord_ir::verify::verify_function(&f)
+        );
         // Loop-carried phi in the header.
-        let header_has_phi = f
-            .block(header)
-            .insts
-            .iter()
-            .any(|&i| matches!(f.inst(i).op, Op::Phi(_)));
+        let header_has_phi =
+            f.block(header).insts.iter().any(|&i| matches!(f.inst(i).op, Op::Phi(_)));
         assert!(header_has_phi);
     }
 
     #[test]
     fn skips_escaping_alloca() {
         // The address is stored somewhere: not promotable.
-        let mut b = FunctionBuilder::new(
-            "f",
-            vec![Type::Ptr(AddrSpace::Cpu)],
-            Type::Void,
-        );
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr(AddrSpace::Cpu)], Type::Void);
         let out = b.param(0);
         let slot = b.alloca(8, 8);
         b.store(out, slot); // escape

@@ -202,8 +202,7 @@ fn run_defsite(f: &mut Function, eager_stores: bool) -> SvmLowerStats {
                             // Store the value as GpuToCpu(twin): the eager
                             // strategy keeps pointers in GPU form and pays a
                             // conversion back at every value store.
-                            let back =
-                                f.push_inst(Op::GpuToCpu(t), Type::Ptr(AddrSpace::Cpu));
+                            let back = f.push_inst(Op::GpuToCpu(t), Type::Ptr(AddrSpace::Cpu));
                             f.blocks[bi].insts.insert(idx, back);
                             idx += 1;
                             let id2 = f.blocks[bi].insts[idx];
@@ -343,11 +342,7 @@ mod tests {
         let mut b = FunctionBuilder::new("f", vec![Type::Ptr(AddrSpace::Cpu)], Type::I32);
         let p = b.param(0);
         let one = b.i32(1);
-        let old = b.intrinsic(
-            concord_ir::Intrinsic::AtomicAddI32,
-            vec![p, one],
-            Type::I32,
-        );
+        let old = b.intrinsic(concord_ir::Intrinsic::AtomicAddI32, vec![p, one], Type::I32);
         b.ret(Some(old));
         let mut f = b.build();
         let stats = run(&mut f, Strategy::Lazy);

@@ -26,14 +26,7 @@ impl Cache {
         let line = 64u64;
         let lines = (bytes / line).max(1) as usize;
         let sets = (lines / ways).max(1);
-        Cache {
-            line_shift: 6,
-            sets,
-            ways,
-            tags: vec![u64::MAX; sets * ways],
-            hits: 0,
-            misses: 0,
-        }
+        Cache { line_shift: 6, sets, ways, tags: vec![u64::MAX; sets * ways], hits: 0, misses: 0 }
     }
 
     /// The cache line index of an address.
@@ -105,7 +98,7 @@ mod tests {
     fn lru_evicts_oldest() {
         // Two-way cache with very few sets: force conflict.
         let mut c = Cache::new(256, 2); // 4 lines, 2 sets × 2 ways
-        // Three lines mapping to the same set (stride = sets*64 = 128).
+                                        // Three lines mapping to the same set (stride = sets*64 = 128).
         assert!(!c.access(0));
         assert!(!c.access(128));
         assert!(!c.access(256)); // evicts line 0

@@ -280,10 +280,9 @@ impl<'a> Interp<'a> {
         self.charge_mem(addr, space);
         match space {
             AddrSpace::Private => self.private.read(addr, ty),
-            AddrSpace::Local => Err(Trap::WrongAddressSpace {
-                found: AddrSpace::Local,
-                expected: AddrSpace::Cpu,
-            }),
+            AddrSpace::Local => {
+                Err(Trap::WrongAddressSpace { found: AddrSpace::Local, expected: AddrSpace::Cpu })
+            }
             sp => {
                 let v = self.region.read_value(addr, sp, ty)?;
                 // Pointer loads from shared memory come back CPU-tagged;
@@ -302,10 +301,9 @@ impl<'a> Interp<'a> {
         self.charge_mem(addr, space);
         match space {
             AddrSpace::Private => self.private.write(addr, v, ty),
-            AddrSpace::Local => Err(Trap::WrongAddressSpace {
-                found: AddrSpace::Local,
-                expected: AddrSpace::Cpu,
-            }),
+            AddrSpace::Local => {
+                Err(Trap::WrongAddressSpace { found: AddrSpace::Local, expected: AddrSpace::Cpu })
+            }
             sp => {
                 // Private-range pointer values must never escape to shared
                 // memory; the region traps on non-CPU pointer stores, which
@@ -375,14 +373,20 @@ impl<'a> Interp<'a> {
                 self.core.counters.insts += 1;
                 self.core.cycles += 1.0 / self.cfg.ipc;
                 if self.step_budget == 0 {
-                    break 'outer Err(Trap::StepLimitExceeded);
+                    break 'outer Err(Trap::StepLimitExceeded {
+                        kernel: f.name.clone(),
+                        global_id: self.ids.global,
+                    });
                 }
                 self.step_budget -= 1;
             }
             for idx in phi_count..f.block(block).insts.len() {
                 let id = f.block(block).insts[idx];
                 if self.step_budget == 0 {
-                    break 'outer Err(Trap::StepLimitExceeded);
+                    break 'outer Err(Trap::StepLimitExceeded {
+                        kernel: f.name.clone(),
+                        global_id: self.ids.global,
+                    });
                 }
                 self.step_budget -= 1;
                 self.core.counters.insts += 1;
@@ -416,23 +420,24 @@ impl<'a> Interp<'a> {
                     }
                     Op::Icmp(p, a, b) => {
                         self.core.cycles += 1.0 / self.cfg.ipc;
-                        regs[id.0 as usize] =
-                            Some(eval_icmp(*p, get(&regs, *a)?, get(&regs, *b)?));
+                        regs[id.0 as usize] = Some(eval_icmp(*p, get(&regs, *a)?, get(&regs, *b)?));
                     }
                     Op::Fcmp(p, a, b) => {
                         self.core.cycles += 1.0 / self.cfg.ipc;
-                        regs[id.0 as usize] =
-                            Some(eval_fcmp(*p, get(&regs, *a)?, get(&regs, *b)?));
+                        regs[id.0 as usize] = Some(eval_fcmp(*p, get(&regs, *a)?, get(&regs, *b)?));
                     }
                     Op::Cast(op, a) => {
                         self.core.cycles += 1.0 / self.cfg.ipc;
                         let from = f.inst(*a).ty;
-                        regs[id.0 as usize] =
-                            Some(eval_cast(*op, get(&regs, *a)?, from, inst.ty));
+                        regs[id.0 as usize] = Some(eval_cast(*op, get(&regs, *a)?, from, inst.ty));
                     }
                     Op::Select(c, a, b) => {
                         self.core.cycles += 1.0 / self.cfg.ipc;
-                        let v = if get(&regs, *c)?.as_bool() { get(&regs, *a)? } else { get(&regs, *b)? };
+                        let v = if get(&regs, *c)?.as_bool() {
+                            get(&regs, *a)?
+                        } else {
+                            get(&regs, *b)?
+                        };
                         regs[id.0 as usize] = Some(v);
                     }
                     Op::Alloca { .. } => {
@@ -460,8 +465,7 @@ impl<'a> Interp<'a> {
                         self.core.cycles += 1.0 / self.cfg.ipc;
                         let (addr, sp) = get(&regs, *base)?.as_ptr();
                         let off = get(&regs, *offset)?.as_i();
-                        regs[id.0 as usize] =
-                            Some(Value::Ptr(addr.wrapping_add(off as u64), sp));
+                        regs[id.0 as usize] = Some(Value::Ptr(addr.wrapping_add(off as u64), sp));
                     }
                     Op::CpuToGpu(p) => {
                         self.core.cycles += 1.0 / self.cfg.ipc;
@@ -506,8 +510,7 @@ impl<'a> Interp<'a> {
                         // vtable load + indirect call overhead.
                         let (obj_addr, obj_sp) = get(&regs, *obj)?.as_ptr();
                         let obj_sp = reclassify(obj_addr, obj_sp);
-                        let vptr =
-                            self.mem_read(obj_addr, obj_sp, Type::Ptr(AddrSpace::Cpu))?;
+                        let vptr = self.mem_read(obj_addr, obj_sp, Type::Ptr(AddrSpace::Cpu))?;
                         let (vaddr, _) = vptr.as_ptr();
                         let target = self.vtables.dispatch(
                             self.region,

@@ -24,6 +24,7 @@ use concord_ir::eval::{Trap, Value};
 use concord_ir::types::AddrSpace;
 use concord_ir::{FuncId, Module};
 use concord_svm::{CpuAddr, SharedRegion, VtableArea};
+use concord_trace::{Tracer, Track};
 
 /// Result of a multicore execution phase.
 #[derive(Debug, Clone, Copy, Default)]
@@ -52,6 +53,10 @@ pub struct CpuSim {
     layouts: LayoutCache,
     /// Per-work-item instruction budget (runaway-loop guard).
     pub step_budget_per_item: u64,
+    tracer: Tracer,
+    /// Monotonic simulated clock across launches (cycles): event
+    /// timestamps from successive launches never overlap.
+    device_clock: f64,
 }
 
 impl CpuSim {
@@ -66,7 +71,16 @@ impl CpuSim {
             privates,
             layouts: LayoutCache::new(),
             step_budget_per_item: 200_000_000,
+            tracer: Tracer::disabled(),
+            device_clock: 0.0,
         }
+    }
+
+    /// Attach a tracer; each parallel construct then records cache and
+    /// branch-predictor counters on the cpusim track, timestamped in
+    /// simulated cycles on a clock that is monotonic across launches.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The configuration this simulator models.
@@ -113,6 +127,31 @@ impl CpuSim {
             branch_miss_rate: if preds == 0 { 0.0 } else { miss as f64 / preds as f64 },
             l1_hit_rate: if l1h + l1m == 0 { 1.0 } else { l1h as f64 / (l1h + l1m) as f64 },
         }
+    }
+
+    /// Record a finished construct's counters on the cpusim track and
+    /// advance the monotonic device clock past it.
+    fn trace_report(&mut self, what: &'static str, r: &CpuReport) {
+        self.device_clock += r.critical_cycles;
+        if !self.tracer.enabled() {
+            return;
+        }
+        let ts = self.device_clock as u64;
+        self.tracer.instant_at(
+            Track::CpuSim,
+            what,
+            ts,
+            vec![
+                ("insts", r.counters.insts.into()),
+                ("loads", r.counters.loads.into()),
+                ("stores", r.counters.stores.into()),
+                ("branches", r.counters.branches.into()),
+                ("translations", r.counters.translations.into()),
+            ],
+        );
+        self.tracer.counter_at(Track::CpuSim, "l1_hit_rate", ts, r.l1_hit_rate);
+        self.tracer.counter_at(Track::CpuSim, "branch_miss_rate", ts, r.branch_miss_rate);
+        self.tracer.counter_at(Track::CpuSim, "insts", ts, r.counters.insts as f64);
     }
 
     /// Run a single function call on core 0 (host-side helper, e.g. the
@@ -174,24 +213,23 @@ impl CpuSim {
                     core: &mut self.cores[core_idx],
                     cfg: &self.cfg,
                     llc: &mut self.llc,
-                    ids: WorkIds {
-                        global: i as i64,
-                        local: 0,
-                        group: i as i64,
-                        size: n as i64,
-                    },
+                    ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: n as i64 },
                     step_budget: self.step_budget_per_item,
                     max_depth: 64,
                 };
-                interp.call(
-                    &mut self.layouts,
-                    func,
-                    &[Value::Ptr(body.0, AddrSpace::Cpu), Value::I(i as i64)],
-                )?;
+                interp
+                    .call(
+                        &mut self.layouts,
+                        func,
+                        &[Value::Ptr(body.0, AddrSpace::Cpu), Value::I(i as i64)],
+                    )
+                    .map_err(|t| t.with_kernel(&module.function(func).name))?;
             }
         }
         // TBB-like fork/join overhead.
-        Ok(self.report(5e-6))
+        let r = self.report(5e-6);
+        self.trace_report("parallel_for", &r);
+        Ok(r)
     }
 
     /// Execute `parallel_reduce_hetero(n, body)`: each core accumulates its
@@ -246,11 +284,13 @@ impl CpuSim {
                     step_budget: self.step_budget_per_item,
                     max_depth: 64,
                 };
-                interp.call(
-                    &mut self.layouts,
-                    func,
-                    &[Value::Ptr(acc.0, AddrSpace::Cpu), Value::I(i as i64)],
-                )?;
+                interp
+                    .call(
+                        &mut self.layouts,
+                        func,
+                        &[Value::Ptr(acc.0, AddrSpace::Cpu), Value::I(i as i64)],
+                    )
+                    .map_err(|t| t.with_kernel(&module.function(func).name))?;
             }
         }
         // Sequential join on core 0: body.join(acc_k) for each core.
@@ -263,7 +303,9 @@ impl CpuSim {
                 &[Value::Ptr(body.0, AddrSpace::Cpu), Value::Ptr(slot.0, AddrSpace::Cpu)],
             )?;
         }
-        Ok(self.report(5e-6))
+        let r = self.report(5e-6);
+        self.trace_report("parallel_reduce", &r);
+        Ok(r)
     }
 }
 
@@ -304,9 +346,8 @@ mod tests {
         region.write_ptr(body, nodes).unwrap();
         let k = lp.kernel("LoopBody").unwrap();
         let mut sim = CpuSim::new(concord_energy::SystemConfig::ultrabook().cpu);
-        let report = sim
-            .parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, n)
-            .unwrap();
+        let report =
+            sim.parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, n).unwrap();
         // Walk the list: node[i].next == &node[i+1].
         for i in 0..n as u64 {
             let next = region.read_ptr(CpuAddr(nodes.0 + i * 8)).unwrap();
@@ -339,9 +380,7 @@ mod tests {
         let (mut region, mut heap, vt) = setup(&lp, 1 << 20);
         // Create a Circle: vptr = vtable of class 1, r = 2.0.
         let circle = heap.malloc(16).unwrap();
-        region
-            .write_ptr(circle, VtableArea::addr_of(concord_ir::ClassId(1)))
-            .unwrap();
+        region.write_ptr(circle, VtableArea::addr_of(concord_ir::ClassId(1))).unwrap();
         region.write_f32(circle.offset(8), 2.0).unwrap();
         let body = heap.malloc(16).unwrap();
         region.write_ptr(body, circle).unwrap();
@@ -461,10 +500,13 @@ mod tests {
         let k = lp.kernel("K").unwrap();
         let mut sim = CpuSim::new(concord_energy::SystemConfig::ultrabook().cpu);
         sim.step_budget_per_item = 10_000;
-        let err = sim
-            .parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 1)
-            .unwrap_err();
-        assert_eq!(err, Trap::StepLimitExceeded);
+        let err =
+            sim.parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 1).unwrap_err();
+        let Trap::StepLimitExceeded { kernel, global_id } = err else {
+            panic!("expected step-limit trap, got {err:?}");
+        };
+        assert!(kernel.contains("K"), "trap should name the kernel, got `{kernel}`");
+        assert_eq!(global_id, 0, "single work-item launch runs global id 0");
     }
 
     #[test]
@@ -484,9 +526,8 @@ mod tests {
         region.write_ptr(body, CpuAddr::NULL).unwrap();
         let k = lp.kernel("K").unwrap();
         let mut sim = CpuSim::new(concord_energy::SystemConfig::ultrabook().cpu);
-        let err = sim
-            .parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 1)
-            .unwrap_err();
+        let err =
+            sim.parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 1).unwrap_err();
         assert!(matches!(err, Trap::BadAddress { .. }));
     }
 
@@ -514,9 +555,8 @@ mod tests {
         for n_inner in [10i32, 100] {
             region.write_i32(body.offset(8), n_inner).unwrap();
             let mut sim = CpuSim::new(concord_energy::SystemConfig::ultrabook().cpu);
-            let r = sim
-                .parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 64)
-                .unwrap();
+            let r =
+                sim.parallel_for(&mut region, &vt, &lp.module, k.operator_fn, body, 64).unwrap();
             t.push(r.critical_cycles);
         }
         assert!(t[1] > t[0] * 4.0, "10x inner work must cost visibly more: {t:?}");

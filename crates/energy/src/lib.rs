@@ -224,9 +224,7 @@ impl EnergyMeter {
         match device {
             Device::Cpu => {
                 system.package_base_watts
-                    + system.cpu.cores as f64
-                        * system.cpu.core_active_watts
-                        * report.busy_fraction
+                    + system.cpu.cores as f64 * system.cpu.core_active_watts * report.busy_fraction
             }
             Device::Gpu => {
                 let g = &system.gpu;

@@ -205,7 +205,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         bump!(1);
                     }
-                    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                    if i < bytes.len()
+                        && bytes[i] == b'.'
+                        && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
                     {
                         is_float = true;
                         bump!(1);
@@ -235,9 +237,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     bump!(1);
                 }
                 let tok = if is_float {
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| CompileError::new(sp, format!("bad float literal `{text}`")))?;
+                    let v: f64 = text.parse().map_err(|_| {
+                        CompileError::new(sp, format!("bad float literal `{text}`"))
+                    })?;
                     Tok::Float(v, f32_suffix)
                 } else if is_hex {
                     let v = i64::from_str_radix(&text[2..], 16)
@@ -253,9 +255,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!(1);
                 }
                 let text = &src[start..i];
@@ -388,12 +388,7 @@ mod tests {
     fn comments_skipped() {
         assert_eq!(
             toks("a // line comment\n b /* block\n comment */ c"),
-            vec![
-                Tok::Ident("a".into()),
-                Tok::Ident("b".into()),
-                Tok::Ident("c".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
         );
     }
 

@@ -10,7 +10,9 @@ use crate::ast::*;
 use crate::diag::{CompileError, RestrictionWarning, Span};
 use crate::types::{MethodSig, STy, TypeEnv};
 use concord_ir::builder::FunctionBuilder;
-use concord_ir::inst::{BinOp as IrBin, BlockId, CastOp, FCmp, FuncId, ICmp, Intrinsic, Op, ValueId};
+use concord_ir::inst::{
+    BinOp as IrBin, BlockId, CastOp, FCmp, FuncId, ICmp, Intrinsic, Op, ValueId,
+};
 use concord_ir::types::{AddrSpace, Type as IrType};
 use concord_ir::{KernelKind, Module};
 use std::collections::HashMap;
@@ -96,11 +98,8 @@ pub fn lower(program: &Program, src: &str) -> Result<LoweredProgram, CompileErro
         env.declare_struct(&s.name, &mut module);
     }
     for s in program.structs() {
-        let inherits_poly = s
-            .bases
-            .first()
-            .map(|b| poly_flags.get(b).copied().unwrap_or(false))
-            .unwrap_or(false);
+        let inherits_poly =
+            s.bases.first().map(|b| poly_flags.get(b).copied().unwrap_or(false)).unwrap_or(false);
         let own_virtual = s.methods.iter().any(|m| m.is_virtual);
         let poly = own_virtual || inherits_poly;
         poly_flags.insert(s.name.clone(), poly);
@@ -115,10 +114,8 @@ pub fn lower(program: &Program, src: &str) -> Result<LoweredProgram, CompileErro
             let idx = env.lookup(&s.name).expect("registered above");
             let sid = env.info(idx).sid;
             let bases = env.info(idx).bases.clone();
-            let class_bases: Vec<concord_ir::ClassId> = bases
-                .iter()
-                .filter_map(|&(b, _)| env.info(b).class_id)
-                .collect();
+            let class_bases: Vec<concord_ir::ClassId> =
+                bases.iter().filter_map(|&(b, _)| env.info(b).class_id).collect();
             let cid = module.add_class(concord_ir::ClassInfo {
                 name: s.name.clone(),
                 layout: sid,
@@ -167,11 +164,8 @@ pub fn lower(program: &Program, src: &str) -> Result<LoweredProgram, CompileErro
         }
         let mut own: Vec<MethodSig> = Vec::new();
         for (midx, m, fid) in method_decls.iter().filter(|(i, ..)| *i == idx) {
-            let params: Vec<STy> = m
-                .params
-                .iter()
-                .map(|p| env.resolve(&p.ty, m.span))
-                .collect::<Result<_, _>>()?;
+            let params: Vec<STy> =
+                m.params.iter().map(|p| env.resolve(&p.ty, m.span)).collect::<Result<_, _>>()?;
             let ret = env.resolve(&m.ret, m.span)?;
             // A method is virtual if declared so or if it overrides a slot.
             let existing_slot = vtable.iter().position(|(n, _)| n == &m.name);
@@ -229,17 +223,16 @@ pub fn lower(program: &Program, src: &str) -> Result<LoweredProgram, CompileErro
     for s in program.structs() {
         let idx = env.lookup(&s.name).expect("registered");
         let info = env.info(idx);
-        let op = info.methods_named("operator()").into_iter().find(|m| {
-            m.params == vec![STy::Int] && m.ret == STy::Void && m.owner == idx
-        });
+        let op = info
+            .methods_named("operator()")
+            .into_iter()
+            .find(|m| m.params == vec![STy::Int] && m.ret == STy::Void && m.owner == idx);
         let Some(op) = op else { continue };
         let join = info
             .methods_named("join")
             .into_iter()
             .find(|m| {
-                m.ret == STy::Void
-                    && m.params.len() == 1
-                    && m.params[0].struct_index() == Some(idx)
+                m.ret == STy::Void && m.params.len() == 1 && m.params[0].struct_index() == Some(idx)
             })
             .map(|m| m.func);
         module.functions[op.func.0 as usize].kernel = Some(KernelKind::ForBody);
@@ -263,8 +256,7 @@ pub fn lower(program: &Program, src: &str) -> Result<LoweredProgram, CompileErro
     // Restriction check (§2.1): recursion anywhere in a kernel's closure.
     let warnings = check_restrictions(&module, &kernels, &sigs);
 
-    let source_info =
-        SourceInfo { total_lines: src.lines().count() as u32, device_lines };
+    let source_info = SourceInfo { total_lines: src.lines().count() as u32, device_lines };
     Ok(LoweredProgram { module, env, sigs, kernels, warnings, source_info })
 }
 
@@ -359,11 +351,8 @@ fn declare_function(
     method_of: Option<usize>,
 ) -> Result<FuncId, CompileError> {
     let ret = env.resolve(&decl.ret, decl.span)?;
-    let params: Vec<STy> = decl
-        .params
-        .iter()
-        .map(|p| env.resolve(&p.ty, decl.span))
-        .collect::<Result<_, _>>()?;
+    let params: Vec<STy> =
+        decl.params.iter().map(|p| env.resolve(&p.ty, decl.span)).collect::<Result<_, _>>()?;
     let has_sret = matches!(ret, STy::Struct(_));
     let mut ir_params: Vec<IrType> = Vec::new();
     if has_sret {
@@ -471,10 +460,7 @@ fn find_recursion(module: &Module, root: FuncId) -> Option<FuncId> {
 #[derive(Debug, Clone)]
 enum RV {
     Val(ValueId, STy),
-    Place {
-        ptr: ValueId,
-        ty: STy,
-    },
+    Place { ptr: ValueId, ty: STy },
 }
 
 #[derive(Debug, Clone)]
@@ -675,7 +661,11 @@ impl<'a> Lowerer<'a> {
                 if fi == ti {
                     v
                 } else if ti.size() > fi.size() {
-                    let op = if a.is_unsigned() || *a == STy::Bool { CastOp::Zext } else { CastOp::Sext };
+                    let op = if a.is_unsigned() || *a == STy::Bool {
+                        CastOp::Zext
+                    } else {
+                        CastOp::Sext
+                    };
                     self.b.cast(op, v, ti)
                 } else {
                     self.b.cast(CastOp::Trunc, v, ti)
@@ -802,7 +792,10 @@ impl<'a> Lowerer<'a> {
                 let slot = self.b.alloca(total.max(1), self.env.align_of(&sty));
                 if let Some(init) = init {
                     if array_len.is_some() {
-                        return Err(CompileError::new(*span, "array initializers are not supported"));
+                        return Err(CompileError::new(
+                            *span,
+                            "array initializers are not supported",
+                        ));
                     }
                     let rv = self.expr(init)?;
                     self.assign_into(slot, &sty, rv, init.span)?;
@@ -904,9 +897,7 @@ impl<'a> Lowerer<'a> {
             Stmt::Return(e, span) => {
                 match (e, self.ret_ty.clone()) {
                     (None, STy::Void) => self.b.ret(None),
-                    (None, _) => {
-                        return Err(CompileError::new(*span, "missing return value"))
-                    }
+                    (None, _) => return Err(CompileError::new(*span, "missing return value")),
                     (Some(e), STy::Void) => {
                         return Err(CompileError::new(e.span, "returning a value from void"))
                     }
@@ -969,8 +960,7 @@ impl<'a> Lowerer<'a> {
             return Ok(false);
         }
         let sig = &self.sigs[self.self_id.0 as usize];
-        if sig.params.len() != args.len()
-            || sig.params.iter().any(|p| matches!(p, STy::Struct(_)))
+        if sig.params.len() != args.len() || sig.params.iter().any(|p| matches!(p, STy::Struct(_)))
         {
             return Ok(false);
         }
@@ -1082,10 +1072,7 @@ impl<'a> Lowerer<'a> {
                 let (base, sidx) = self.receiver_addr(recv, *through_ptr)?;
                 let info = self.env.info(sidx);
                 let f = info.field(field).cloned().ok_or_else(|| {
-                    CompileError::new(
-                        e.span,
-                        format!("no field `{field}` in `{}`", info.name),
-                    )
+                    CompileError::new(e.span, format!("no field `{field}` in `{}`", info.name))
                 })?;
                 let addr = self.b.gep_const(base, f.offset);
                 if f.count > 1 && !matches!(f.ty, STy::Struct(_)) {
@@ -1132,8 +1119,7 @@ impl<'a> Lowerer<'a> {
                 let cur = self.b.load(dst, self.ir_of(&dst_ty));
                 let rhs_rv = self.expr(rhs)?;
                 let (rv, rt) = self.scalar(rhs_rv, rhs.span)?;
-                let (res, res_ty) =
-                    self.scalar_binop(*op, cur, dst_ty.clone(), rv, rt, e.span)?;
+                let (res, res_ty) = self.scalar_binop(*op, cur, dst_ty.clone(), rv, rt, e.span)?;
                 let (res, _) = self.convert(res, &res_ty, &dst_ty, e.span)?;
                 self.b.store(dst, res);
                 Ok(RV::Place { ptr: dst, ty: dst_ty })
@@ -1297,7 +1283,11 @@ impl<'a> Lowerer<'a> {
                     let sz = self.b.i64(size);
                     return Ok((self.b.bin(IrBin::SDiv, diff, sz), STy::Long));
                 }
-                BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+                BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
                 | BinaryOp::Ge => {
                     let pred = match op {
                         BinaryOp::Eq => ICmp::Eq,
@@ -1353,7 +1343,11 @@ impl<'a> Lowerer<'a> {
             BinaryOp::Shr => {
                 (self.b.bin(if unsigned { IrBin::LShr } else { IrBin::AShr }, av, bv), t)
             }
-            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq
+            BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge
+            | BinaryOp::Eq
             | BinaryOp::Ne => {
                 let v = if is_f {
                     let pred = match op {
@@ -1387,20 +1381,13 @@ impl<'a> Lowerer<'a> {
         Ok(out)
     }
 
-    fn binary(
-        &mut self,
-        op: BinaryOp,
-        a: &Expr,
-        b: &Expr,
-        span: Span,
-    ) -> Result<RV, CompileError> {
+    fn binary(&mut self, op: BinaryOp, a: &Expr, b: &Expr, span: Span) -> Result<RV, CompileError> {
         // Short-circuit logic.
         if matches!(op, BinaryOp::And | BinaryOp::Or) {
             let ca = self.cond(a)?;
             // The short-circuit constant must dominate the phi, so emit it
             // in the block that branches (before the terminator).
-            let shortv =
-                self.b.const_int(if op == BinaryOp::And { 0 } else { 1 }, IrType::I1);
+            let shortv = self.b.const_int(if op == BinaryOp::And { 0 } else { 1 }, IrType::I1);
             let from = self.b.current_block();
             let rhs_bb = self.b.new_block();
             let join = self.b.new_block();
@@ -1430,7 +1417,14 @@ impl<'a> Lowerer<'a> {
                 if let Some(mname) = mname {
                     let (sidx, ptr) = (*sidx, *ptr);
                     let b_rv = self.expr(b)?;
-                    return self.dispatch_method(sidx, ptr, mname, vec![(b_rv, b.span)], span, false);
+                    return self.dispatch_method(
+                        sidx,
+                        ptr,
+                        mname,
+                        vec![(b_rv, b.span)],
+                        span,
+                        false,
+                    );
                 }
             }
             let (av, at) = self.scalar(a_rv, a.span)?;
@@ -1468,7 +1462,8 @@ impl<'a> Lowerer<'a> {
             let b_end = self.b.current_block();
             self.b.br(join);
             self.b.switch_to(join);
-            let ptr = self.b.phi(IrType::Ptr(AddrSpace::Private), vec![(a_end, aptr), (b_end, bptr)]);
+            let ptr =
+                self.b.phi(IrType::Ptr(AddrSpace::Private), vec![(a_end, aptr), (b_end, bptr)]);
             let _ = size;
             return Ok(RV::Place { ptr, ty: STy::Struct(sidx) });
         }
@@ -1651,8 +1646,7 @@ impl<'a> Lowerer<'a> {
         allow_virtual: bool,
     ) -> Result<RV, CompileError> {
         let info = self.env.info(sidx);
-        let cands: Vec<MethodSig> =
-            info.methods_named(method).into_iter().cloned().collect();
+        let cands: Vec<MethodSig> = info.methods_named(method).into_iter().cloned().collect();
         if cands.is_empty() {
             return Err(CompileError::new(
                 span,
@@ -1688,11 +1682,8 @@ impl<'a> Lowerer<'a> {
                 format!("no matching overload for method `{method}`"),
             ));
         };
-        let adjusted_this = if m.this_offset != 0 {
-            self.b.gep_const(this, m.this_offset)
-        } else {
-            this
-        };
+        let adjusted_this =
+            if m.this_offset != 0 { self.b.gep_const(this, m.this_offset) } else { this };
         if allow_virtual && m.is_virtual {
             let class = self.env.info(sidx).class_id.expect("virtual method on class");
             let slot = m.slot.expect("virtual method has a slot");
@@ -1871,10 +1862,7 @@ mod tests {
         assert!(concord_ir::verify::verify_module(&lp.module).is_ok());
         let kf = lp.kernel("K").unwrap().operator_fn;
         let f = lp.module.function(kf);
-        let has_vcall = f
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, Op::CallVirtual { .. }));
+        let has_vcall = f.insts.iter().any(|i| matches!(i.op, Op::CallVirtual { .. }));
         assert!(has_vcall, "expected a virtual call:\n{}", concord_ir::printer::print_function(f));
         // Circle overrides slot 0.
         assert_eq!(lp.module.classes.len(), 2);
@@ -1997,10 +1985,8 @@ mod tests {
 
     #[test]
     fn type_mismatch_in_struct_assignment() {
-        let prog = parse(
-            "struct A { int x; }; struct B { int y; }; void f() { A a; B b; a = b; }",
-        )
-        .unwrap();
+        let prog = parse("struct A { int x; }; struct B { int y; }; void f() { A a; B b; a = b; }")
+            .unwrap();
         let err = lower(&prog, "").unwrap_err();
         assert!(err.message.contains("mismatch"));
     }

@@ -65,10 +65,7 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(CompileError::new(
-                self.span(),
-                format!("expected {t}, found {}", self.peek()),
-            ))
+            Err(CompileError::new(self.span(), format!("expected {t}, found {}", self.peek())))
         }
     }
 
@@ -78,7 +75,9 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(CompileError::new(self.span(), format!("expected identifier, found {other}"))),
+            other => {
+                Err(CompileError::new(self.span(), format!("expected identifier, found {other}")))
+            }
         }
     }
 
@@ -104,8 +103,14 @@ impl Parser {
     /// declarations from expressions inside blocks.)
     fn at_type(&self) -> bool {
         match self.peek() {
-            Tok::KwVoid | Tok::KwBool | Tok::KwInt | Tok::KwUInt | Tok::KwLong | Tok::KwFloat
-            | Tok::KwDouble | Tok::KwConst => true,
+            Tok::KwVoid
+            | Tok::KwBool
+            | Tok::KwInt
+            | Tok::KwUInt
+            | Tok::KwLong
+            | Tok::KwFloat
+            | Tok::KwDouble
+            | Tok::KwConst => true,
             Tok::Ident(name) => {
                 // `Name x`, `Name* x` are declarations if Name is a known type.
                 self.known_types.iter().any(|t| t == name)
@@ -158,7 +163,9 @@ impl Parser {
         if self.eat(&Tok::Colon) {
             loop {
                 // access specifier on the base is parsed and ignored
-                let _ = self.eat(&Tok::KwPublic) || self.eat(&Tok::KwPrivate) || self.eat(&Tok::KwProtected);
+                let _ = self.eat(&Tok::KwPublic)
+                    || self.eat(&Tok::KwPrivate)
+                    || self.eat(&Tok::KwProtected);
                 bases.push(self.expect_ident()?);
                 if !self.eat(&Tok::Comma) {
                     break;
@@ -294,7 +301,8 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let then_body = self.stmt_as_block()?;
-                let else_body = if self.eat(&Tok::KwElse) { self.stmt_as_block()? } else { Vec::new() };
+                let else_body =
+                    if self.eat(&Tok::KwElse) { self.stmt_as_block()? } else { Vec::new() };
                 Ok(Stmt::If(cond, then_body, else_body))
             }
             Tok::KwWhile => {
@@ -308,11 +316,8 @@ impl Parser {
             Tok::KwFor => {
                 self.bump();
                 self.expect(&Tok::LParen)?;
-                let init = if self.eat(&Tok::Semi) {
-                    None
-                } else {
-                    Some(Box::new(self.simple_stmt()?))
-                };
+                let init =
+                    if self.eat(&Tok::Semi) { None } else { Some(Box::new(self.simple_stmt()?)) };
                 let cond = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
                 self.expect(&Tok::Semi)?;
                 let step = if self.peek() == &Tok::RParen { None } else { Some(self.expr()?) };
@@ -501,8 +506,13 @@ impl Parser {
             // a known type name followed by `)` or `*`.
             Tok::LParen => {
                 let is_cast = match self.peek2() {
-                    Tok::KwVoid | Tok::KwBool | Tok::KwInt | Tok::KwUInt | Tok::KwLong
-                    | Tok::KwFloat | Tok::KwDouble => true,
+                    Tok::KwVoid
+                    | Tok::KwBool
+                    | Tok::KwInt
+                    | Tok::KwUInt
+                    | Tok::KwLong
+                    | Tok::KwFloat
+                    | Tok::KwDouble => true,
                     Tok::Ident(name) => {
                         self.known_types.iter().any(|t| t == name)
                             && matches!(
@@ -681,7 +691,8 @@ mod tests {
 
     #[test]
     fn parses_multiple_inheritance() {
-        let src = "class A { int x; }; class B { int y; }; class C : public A, public B { int z; };";
+        let src =
+            "class A { int x; }; class B { int y; }; class C : public A, public B { int z; };";
         let p = parse(src).unwrap();
         let c = p.structs().nth(2).unwrap();
         assert_eq!(c.bases, vec!["A".to_string(), "B".to_string()]);

@@ -234,11 +234,7 @@ impl TypeEnv {
 
     /// Pre-declare a struct name so pointer fields can reference it (and
     /// itself) before its layout is computed. Returns the struct index.
-    pub fn declare_struct(
-        &mut self,
-        name: &str,
-        module: &mut concord_ir::Module,
-    ) -> usize {
+    pub fn declare_struct(&mut self, name: &str, module: &mut concord_ir::Module) -> usize {
         let sid = module.add_struct(StructDef {
             name: name.to_string(),
             fields: Vec::new(),
@@ -389,7 +385,12 @@ impl TypeEnv {
                     for rep in 0..count {
                         for inner_f in &idef.fields {
                             fields.push(Field {
-                                name: format!("{}{}.{}", f.name, if count > 1 { format!("[{rep}]") } else { String::new() }, inner_f.name),
+                                name: format!(
+                                    "{}{}.{}",
+                                    f.name,
+                                    if count > 1 { format!("[{rep}]") } else { String::new() },
+                                    inner_f.name
+                                ),
                                 ty: inner_f.ty,
                                 count: inner_f.count,
                                 offset: offset + rep * isize + inner_f.offset,
@@ -496,7 +497,8 @@ mod tests {
 
     #[test]
     fn polymorphic_class_gets_vptr() {
-        let (env, m) = env_for("class Shape { public: float r; virtual float area() { return 0.0f; } };");
+        let (env, m) =
+            env_for("class Shape { public: float r; virtual float area() { return 0.0f; } };");
         let def = m.struct_def(env.info(0).sid);
         assert_eq!(def.field("__vptr").unwrap().offset, 0);
         assert_eq!(def.field("r").unwrap().offset, 8);
@@ -504,9 +506,8 @@ mod tests {
 
     #[test]
     fn single_inheritance_offsets() {
-        let (env, m) = env_for(
-            "class A { public: int x; }; class B : public A { public: int y; };",
-        );
+        let (env, m) =
+            env_for("class A { public: int x; }; class B : public A { public: int y; };");
         let b = env.lookup("B").unwrap();
         let def = m.struct_def(env.info(b).sid);
         assert_eq!(def.field("x").unwrap().offset, 0);
@@ -524,10 +525,7 @@ mod tests {
         assert_eq!(def.field("x").unwrap().offset, 0);
         let a_size = env.info(env.lookup("A").unwrap()).size;
         assert_eq!(def.field("y").unwrap().offset, a_size);
-        assert_eq!(
-            env.base_offset(c, env.lookup("B").unwrap()),
-            Some(a_size)
-        );
+        assert_eq!(env.base_offset(c, env.lookup("B").unwrap()), Some(a_size));
     }
 
     #[test]

@@ -148,10 +148,7 @@ mod tests {
                 contended += 1;
             }
         }
-        assert!(
-            contended < 8,
-            "rotated phases must avoid same-line concurrency: {contended}"
-        );
+        assert!(contended < 8, "rotated phases must avoid same-line concurrency: {contended}");
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub mod l3;
 pub mod warp;
 
 pub use l3::{GpuL3, L3Access};
-pub use warp::{active, gpu_classify, GpuSpace, Lane, Mask, MetaCache, Warp, WarpTiming, LOCAL_BASE};
+pub use warp::{
+    active, gpu_classify, GpuSpace, Lane, Mask, MetaCache, Warp, WarpTiming, WarpTrace, LOCAL_BASE,
+    TRACE_SAMPLE_EVERY,
+};
 
 use concord_cpusim::interp::{PrivateMem, WorkIds};
 use concord_energy::GpuConfig;
@@ -23,6 +26,7 @@ use concord_ir::eval::{Trap, Value};
 use concord_ir::types::AddrSpace;
 use concord_ir::{FuncId, Module};
 use concord_svm::{CpuAddr, SharedRegion};
+use concord_trace::{Tracer, Track};
 
 /// Result of one GPU kernel launch.
 #[derive(Debug, Clone, Copy, Default)]
@@ -54,17 +58,33 @@ pub struct GpuSim {
     l3: GpuL3,
     /// Per-warp-item instruction budget (runaway-loop guard).
     pub step_budget_per_warp: u64,
+    tracer: Tracer,
+    /// Monotonic device clock: accumulates critical cycles across launches
+    /// so trace timestamps from successive launches never overlap.
+    device_clock: u64,
 }
 
 impl GpuSim {
     /// Build a simulator for a GPU configuration.
     pub fn new(cfg: GpuConfig) -> Self {
-        GpuSim { l3: GpuL3::new(cfg.l3_bytes, 64), cfg, step_budget_per_warp: 400_000_000 }
+        GpuSim {
+            l3: GpuL3::new(cfg.l3_bytes, 64),
+            cfg,
+            step_budget_per_warp: 400_000_000,
+            tracer: Tracer::disabled(),
+            device_clock: 0,
+        }
     }
 
     /// The configuration this simulator models.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Attach a tracer; warps emit sampled divergence/memory events and each
+    /// launch records summary counters on [`Track::GpuSim`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn make_lanes(&self, w: u64, n: u32, width: u32) -> (Vec<Lane>, Mask) {
@@ -89,7 +109,7 @@ impl GpuSim {
     }
 
     fn finish_report(
-        &self,
+        &mut self,
         eu_cycles: &[f64],
         eu_issue: &[f64],
         totals: WarpTiming,
@@ -99,7 +119,7 @@ impl GpuSim {
         let total_busy: f64 = eu_issue.iter().sum();
         let total_time: f64 = eu_cycles.iter().sum();
         let busy_fraction = if total_time > 0.0 { (total_busy / total_time).min(1.0) } else { 0.0 };
-        GpuReport {
+        let report = GpuReport {
             seconds: critical / (self.cfg.freq_ghz * 1e9) + self.cfg.launch_us * 1e-6,
             critical_cycles: critical,
             busy_fraction,
@@ -109,7 +129,27 @@ impl GpuSim {
             contended: totals.contended,
             l3_hit_rate: self.l3.hit_rate(),
             warps,
+        };
+        self.device_clock += report.critical_cycles as u64 + 1;
+        if self.tracer.enabled() {
+            let ts = self.device_clock;
+            self.tracer.instant_at(
+                Track::GpuSim,
+                "launch_done",
+                ts,
+                vec![
+                    ("warps", report.warps.into()),
+                    ("insts", report.insts.into()),
+                    ("transactions", report.transactions.into()),
+                    ("contended", report.contended.into()),
+                    ("translations", report.translations.into()),
+                ],
+            );
+            self.tracer.counter_at(Track::GpuSim, "l3_hit_rate", ts, report.l3_hit_rate);
+            self.tracer.counter_at(Track::GpuSim, "busy_fraction", ts, report.busy_fraction);
+            self.tracer.counter_at(Track::GpuSim, "insts", ts, report.insts as f64);
         }
+        report
     }
 
     /// Launch `parallel_for_hetero(n, body)` on the GPU: work-item `i`
@@ -153,6 +193,7 @@ impl GpuSim {
                 timing: WarpTiming::default(),
                 step_budget: self.step_budget_per_warp,
                 hiding,
+                trace: WarpTrace::for_launch(self.tracer.clone(), self.device_clock),
             };
             let args: Vec<Vec<Value>> = (0..width as usize)
                 .map(|l| {
@@ -162,7 +203,8 @@ impl GpuSim {
                     ]
                 })
                 .collect();
-            warp.exec_function(mask, func, &args, 0)?;
+            warp.exec_function(mask, func, &args, 0)
+                .map_err(|t| t.with_kernel(&module.function(func).name))?;
             let t = warp.timing;
             eu_cycles[eu as usize] += t.issue + t.stall;
             eu_issue[eu as usize] += t.issue;
@@ -237,6 +279,7 @@ impl GpuSim {
                 timing: WarpTiming::default(),
                 step_budget: self.step_budget_per_warp,
                 hiding,
+                trace: WarpTrace::for_launch(self.tracer.clone(), self.device_clock),
             };
             // 1. Private body copies. Reserve a pseudo-frame per lane.
             let mut priv_copy = vec![0u64; width as usize];
@@ -255,7 +298,8 @@ impl GpuSim {
                     ]
                 })
                 .collect();
-            warp.exec_function(mask, func, &args, 0)?;
+            warp.exec_function(mask, func, &args, 0)
+                .map_err(|t| t.with_kernel(&module.function(func).name))?;
             // 3. Private → local.
             for l in active(mask, width as usize) {
                 let local_slot = LOCAL_BASE + l as u64 * body_size;
@@ -283,7 +327,8 @@ impl GpuSim {
                             ]
                         })
                         .collect();
-                    warp.exec_function(jmask, join, &jargs, 0)?;
+                    warp.exec_function(jmask, join, &jargs, 0)
+                        .map_err(|t| t.with_kernel(&module.function(join).name))?;
                 }
                 stride /= 2;
             }
@@ -310,10 +355,7 @@ mod tests {
     use concord_frontend::compile;
     use concord_svm::{SharedAllocator, VtableArea};
 
-    fn gpu_module(
-        src: &str,
-        cfg: PipelineConfig,
-    ) -> (Module, FuncId, Option<FuncId>) {
+    fn gpu_module(src: &str, cfg: PipelineConfig) -> (Module, FuncId, Option<FuncId>) {
         let lp = compile(src).unwrap();
         assert!(lp.warnings.is_empty(), "{:?}", lp.warnings);
         let art = lower_for_gpu(&lp.module, cfg);
@@ -409,13 +451,8 @@ mod tests {
         let body = heap.malloc(8).unwrap();
         region.write_ptr(body, nodes).unwrap();
         let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
-        let err = sim
-            .parallel_for(&mut region, &lp.module, k.operator_fn, body, 4)
-            .unwrap_err();
-        assert!(
-            matches!(err, Trap::WrongAddressSpace { found: AddrSpace::Cpu, .. }),
-            "{err:?}"
-        );
+        let err = sim.parallel_for(&mut region, &lp.module, k.operator_fn, body, 4).unwrap_err();
+        assert!(matches!(err, Trap::WrongAddressSpace { found: AddrSpace::Cpu, .. }), "{err:?}");
     }
 
     #[test]
@@ -498,10 +535,7 @@ mod tests {
             let r = sim.parallel_for(&mut region, &module, kf, body, n).unwrap();
             tx.push(r.transactions);
         }
-        assert!(
-            tx[1] > tx[0] * 4,
-            "strided access must generate more transactions: {tx:?}"
-        );
+        assert!(tx[1] > tx[0] * 4, "strided access must generate more transactions: {tx:?}");
     }
 
     #[test]
@@ -599,11 +633,9 @@ mod tests {
         region.write_ptr(body, data).unwrap();
         region.write_f32(body.offset(8), 0.0).unwrap();
         let warps = (n as u64).div_ceil(16);
-        let scratch: Vec<CpuAddr> =
-            (0..warps).map(|_| heap.malloc(16).unwrap()).collect();
+        let scratch: Vec<CpuAddr> = (0..warps).map(|_| heap.malloc(16).unwrap()).collect();
         let mut sim = GpuSim::new(concord_energy::SystemConfig::ultrabook().gpu);
-        sim.parallel_reduce(&mut region, &module, kf, jf.unwrap(), body, 16, n, &scratch)
-            .unwrap();
+        sim.parallel_reduce(&mut region, &module, kf, jf.unwrap(), body, 16, n, &scratch).unwrap();
         // Sum the per-warp partials: 1 + 2 + ... + 100 = 5050.
         let mut total = 0.0f32;
         for s in &scratch {

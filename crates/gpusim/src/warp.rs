@@ -21,6 +21,7 @@ use concord_ir::inst::{BlockId, FuncId, Intrinsic, Op, ValueId};
 use concord_ir::types::{AddrSpace, Type};
 use concord_ir::Module;
 use concord_svm::{SharedRegion, CPU_BASE, GPU_BASE};
+use concord_trace::{Tracer, Track};
 use std::collections::{BTreeSet, HashMap};
 
 /// Base address of work-group local memory.
@@ -133,9 +134,8 @@ fn block_priorities(f: &concord_ir::Function) -> Vec<u32> {
     let n = f.blocks.len();
     let dom = DomTree::compute(f);
     let loops = find_loops(f);
-    let depth_of = |b: BlockId| -> u32 {
-        loops.iter().filter(|l| l.blocks.contains(&b)).count() as u32
-    };
+    let depth_of =
+        |b: BlockId| -> u32 { loops.iter().filter(|l| l.blocks.contains(&b)).count() as u32 };
     let rpo_index = |b: BlockId| dom.rpo_index(b).unwrap_or(usize::MAX);
     // Forward edges only (drop back edges: target dominates source).
     let mut indeg = vec![0u32; n];
@@ -170,6 +170,43 @@ fn block_priorities(f: &concord_ir::Function) -> Vec<u32> {
     order
 }
 
+/// Sampled tracing state for one warp.
+///
+/// Emitting an event per divergence or memory transaction would swamp the
+/// ring buffer (and the wall clock), so each event class keeps a running
+/// count and only every [`TRACE_SAMPLE_EVERY`]-th occurrence is recorded.
+/// The counts themselves are carried on each sampled event, so nothing is
+/// lost statistically. All hooks are a single branch when the tracer is
+/// disabled.
+#[derive(Debug, Default)]
+pub struct WarpTrace {
+    /// Tracer handle (disabled by default).
+    pub tracer: Tracer,
+    /// Device-cycle timestamp base of the enclosing launch.
+    pub clock_base: u64,
+    divergences: u64,
+    reconvergences: u64,
+    accesses: u64,
+    contentions: u64,
+}
+
+impl WarpTrace {
+    /// Trace state for a warp of a launch whose device clock starts at
+    /// `clock_base`.
+    #[must_use]
+    pub fn for_launch(tracer: Tracer, clock_base: u64) -> Self {
+        WarpTrace { tracer, clock_base, ..WarpTrace::default() }
+    }
+}
+
+/// Sampling period for warp trace events (1 in N occurrences recorded).
+pub const TRACE_SAMPLE_EVERY: u64 = 64;
+
+fn sampled(count: &mut u64) -> bool {
+    *count += 1;
+    *count % TRACE_SAMPLE_EVERY == 1
+}
+
 /// One warp's execution context.
 pub struct Warp<'a> {
     /// Module to execute (GPU-lowered).
@@ -200,11 +237,101 @@ pub struct Warp<'a> {
     /// (1 ≤ hiding ≤ threads_per_eu). Under-occupied launches hide little
     /// latency, which is what sinks small irregular kernels on real GPUs.
     pub hiding: f64,
+    /// Sampled trace hooks (no-ops when the tracer is disabled).
+    pub trace: WarpTrace,
 }
 
 impl<'a> Warp<'a> {
     fn width(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Current device-cycle timestamp: launch clock base plus this warp's
+    /// accumulated issue + stall cycles.
+    fn trace_ts(&self) -> u64 {
+        self.trace.clock_base + (self.timing.issue + self.timing.stall) as u64
+    }
+
+    fn note_divergence(&mut self, fname: &str, block: BlockId, mt: Mask, me: Mask) {
+        if !self.trace.tracer.enabled() {
+            return;
+        }
+        if !sampled(&mut self.trace.divergences) {
+            return;
+        }
+        self.trace.tracer.instant_at(
+            Track::GpuSim,
+            "divergence",
+            self.trace_ts(),
+            vec![
+                ("fn", fname.into()),
+                ("block", i64::from(block.0).into()),
+                ("taken_lanes", i64::from(mt.count_ones()).into()),
+                ("not_taken_lanes", i64::from(me.count_ones()).into()),
+                ("count", self.trace.divergences.into()),
+            ],
+        );
+    }
+
+    fn note_reconverge(&mut self, fname: &str, block: BlockId, before: u32, after: u32) {
+        if !self.trace.tracer.enabled() {
+            return;
+        }
+        if !sampled(&mut self.trace.reconvergences) {
+            return;
+        }
+        self.trace.tracer.instant_at(
+            Track::GpuSim,
+            "reconverge",
+            self.trace_ts(),
+            vec![
+                ("fn", fname.into()),
+                ("block", i64::from(block.0).into()),
+                ("lanes_before", i64::from(before).into()),
+                ("lanes_after", i64::from(after).into()),
+                ("count", self.trace.reconvergences.into()),
+            ],
+        );
+    }
+
+    fn note_access(&mut self, shared_lanes: usize, lines: usize) {
+        if !self.trace.tracer.enabled() {
+            return;
+        }
+        if !sampled(&mut self.trace.accesses) {
+            return;
+        }
+        self.trace.tracer.instant_at(
+            Track::GpuSim,
+            "mem_access",
+            self.trace_ts(),
+            vec![
+                ("lanes", (shared_lanes as i64).into()),
+                ("lines", (lines as i64).into()),
+                ("coalesced", (lines * 2 <= shared_lanes.max(1)).into()),
+                ("count", self.trace.accesses.into()),
+            ],
+        );
+    }
+
+    fn note_contention(&mut self, line_addr: u64) {
+        if !self.trace.tracer.enabled() {
+            return;
+        }
+        if !sampled(&mut self.trace.contentions) {
+            return;
+        }
+        self.trace.tracer.instant_at(
+            Track::GpuSim,
+            "l3_contention",
+            self.trace_ts(),
+            vec![
+                ("line", line_addr.into()),
+                ("eu", i64::from(self.eu).into()),
+                ("wave", i64::from(self.wave).into()),
+                ("count", self.trace.contentions.into()),
+            ],
+        );
     }
 
     /// A SIMD16 instruction occupies Gen's 8-wide FPUs for two cycles, so
@@ -299,6 +426,7 @@ impl<'a> Warp<'a> {
             // Private/local: on-chip, fast, no coalescing concerns.
             self.timing.stall += 1.0;
         }
+        let n_lines = lines.len();
         for line in lines {
             let a = self.l3.access(line << 6, self.eu, self.wave, self.seq);
             self.seq += 1;
@@ -308,7 +436,11 @@ impl<'a> Warp<'a> {
             if a.contended {
                 self.timing.stall += self.cfg.contention_penalty;
                 self.timing.contended += 1;
+                self.note_contention(line << 6);
             }
+        }
+        if n_lines > 0 {
+            self.note_access(addrs.len() - cheap, n_lines);
         }
     }
 
@@ -363,12 +495,15 @@ impl<'a> Warp<'a> {
         pending[f.entry().0 as usize] = mask;
         let mut prev: Vec<BlockId> = vec![f.entry(); width];
         let mut rets: Vec<Option<Value>> = vec![None; width];
+        // Active-lane count of the previously executed block; a jump back up
+        // (more lanes than last time) means divergent paths rejoined here.
+        let mut last_active: u32 = 0;
 
         let result = 'run: loop {
             // Pick the pending block with the lowest priority index.
             let mut best: Option<usize> = None;
-            for b in 0..nblocks {
-                if pending[b] != 0 {
+            for (b, &waiting) in pending.iter().enumerate() {
+                if waiting != 0 {
                     best = match best {
                         None => Some(b),
                         Some(cur) if meta.priority[b] < meta.priority[cur] => Some(b),
@@ -379,6 +514,11 @@ impl<'a> Warp<'a> {
             let Some(bi) = best else { break 'run Ok(()) };
             let block = BlockId(bi as u32);
             let m = std::mem::take(&mut pending[bi]);
+            let act = m.count_ones();
+            if act > last_active && last_active > 0 {
+                self.note_reconverge(&f.name, block, last_active, act);
+            }
+            last_active = act;
 
             // Phi group: parallel per-lane reads.
             let insts = f.block(block).insts.clone();
@@ -408,7 +548,11 @@ impl<'a> Warp<'a> {
             let mut terminated = false;
             for &id in insts.iter().skip(phi_end) {
                 if self.step_budget == 0 {
-                    break 'run Err(Trap::StepLimitExceeded);
+                    let lane = active(m, width).next().unwrap_or(0);
+                    break 'run Err(Trap::StepLimitExceeded {
+                        kernel: f.name.clone(),
+                        global_id: self.lanes[lane].ids.global,
+                    });
                 }
                 self.step_budget -= 1;
                 let inst = f.inst(id);
@@ -496,9 +640,8 @@ impl<'a> Warp<'a> {
                         self.issue(1.0);
                         let mut addrs = Vec::new();
                         for l in active(m, width) {
-                            let (addr, _) = regs[l][p.0 as usize]
-                                .ok_or(Trap::Unreachable)?
-                                .as_ptr();
+                            let (addr, _) =
+                                regs[l][p.0 as usize].ok_or(Trap::Unreachable)?.as_ptr();
                             addrs.push((l, addr));
                         }
                         self.charge_access(&addrs);
@@ -512,9 +655,8 @@ impl<'a> Warp<'a> {
                         let ty = f.inst(*val).ty;
                         let mut ops = Vec::new();
                         for l in active(m, width) {
-                            let (addr, _) = regs[l][ptr.0 as usize]
-                                .ok_or(Trap::Unreachable)?
-                                .as_ptr();
+                            let (addr, _) =
+                                regs[l][ptr.0 as usize].ok_or(Trap::Unreachable)?.as_ptr();
                             let v = regs[l][val.0 as usize].ok_or(Trap::Unreachable)?;
                             ops.push((l, addr, v));
                         }
@@ -530,8 +672,7 @@ impl<'a> Warp<'a> {
                         for l in active(m, width) {
                             let (addr, sp) =
                                 regs[l][base.0 as usize].ok_or(Trap::Unreachable)?.as_ptr();
-                            let off =
-                                regs[l][offset.0 as usize].ok_or(Trap::Unreachable)?.as_i();
+                            let off = regs[l][offset.0 as usize].ok_or(Trap::Unreachable)?.as_i();
                             regs[l][id.0 as usize] =
                                 Some(Value::Ptr(addr.wrapping_add(off as u64), sp));
                         }
@@ -577,15 +718,13 @@ impl<'a> Warp<'a> {
                         let mut call_args: Vec<Vec<Value>> = vec![Vec::new(); width];
                         for l in active(m, width) {
                             for a in cargs {
-                                call_args[l]
-                                    .push(regs[l][a.0 as usize].ok_or(Trap::Unreachable)?);
+                                call_args[l].push(regs[l][a.0 as usize].ok_or(Trap::Unreachable)?);
                             }
                         }
                         let res = self.exec_function(m, *callee, &call_args, depth + 1)?;
                         if inst.ty != Type::Void {
                             for l in active(m, width) {
-                                regs[l][id.0 as usize] =
-                                    Some(res[l].ok_or(Trap::Unreachable)?);
+                                regs[l][id.0 as usize] = Some(res[l].ok_or(Trap::Unreachable)?);
                             }
                         }
                     }
@@ -593,14 +732,11 @@ impl<'a> Warp<'a> {
                         // The GPU has no function pointers; reaching an
                         // un-devirtualized call is a pipeline bug.
                         let l = active(m, width).next().ok_or(Trap::Unreachable)?;
-                        let (vaddr, _) =
-                            regs[l][obj.0 as usize].ok_or(Trap::Unreachable)?.as_ptr();
+                        let (vaddr, _) = regs[l][obj.0 as usize].ok_or(Trap::Unreachable)?.as_ptr();
                         break 'run Err(Trap::BadVirtualDispatch { vptr: vaddr });
                     }
                     Op::IntrinsicCall(intr, iargs) => {
-                        self.exec_intrinsic(
-                            *intr, iargs, id, inst.ty, m, &mut regs, width,
-                        )?;
+                        self.exec_intrinsic(*intr, iargs, id, inst.ty, m, &mut regs, width)?;
                     }
                     Op::Br(t) => {
                         self.issue(1.0);
@@ -630,6 +766,9 @@ impl<'a> Warp<'a> {
                         if me != 0 {
                             pending[e.0 as usize] |= me;
                         }
+                        if mt != 0 && me != 0 {
+                            self.note_divergence(&f.name, block, mt, me);
+                        }
                         terminated = true;
                         break;
                     }
@@ -652,9 +791,9 @@ impl<'a> Warp<'a> {
             }
         };
         // Pop frames.
-        for l in 0..width {
+        for (l, &sp) in saved_sp.iter().enumerate() {
             if mask & (1 << l) != 0 {
-                self.lanes[l].private.set_sp(saved_sp[l]);
+                self.lanes[l].private.set_sp(sp);
             }
         }
         result?;
@@ -701,8 +840,7 @@ impl<'a> Warp<'a> {
             // Atomics serialize across lanes.
             let hiding = self.hiding;
             for l in active(m, width) {
-                let (addr, _) =
-                    regs[l][iargs[0].0 as usize].ok_or(Trap::Unreachable)?.as_ptr();
+                let (addr, _) = regs[l][iargs[0].0 as usize].ok_or(Trap::Unreachable)?.as_ptr();
                 let a1 = regs[l][iargs[1].0 as usize].ok_or(Trap::Unreachable)?.as_i();
                 let a2 = iargs
                     .get(2)
@@ -764,13 +902,7 @@ impl<'a> Warp<'a> {
     /// # Errors
     ///
     /// Memory faults.
-    pub fn lane_memcpy(
-        &mut self,
-        lane: usize,
-        dst: u64,
-        src: u64,
-        size: u64,
-    ) -> Result<(), Trap> {
+    pub fn lane_memcpy(&mut self, lane: usize, dst: u64, src: u64, size: u64) -> Result<(), Trap> {
         debug_assert!(size.is_multiple_of(8));
         for off in (0..size).step_by(8) {
             self.charge_access(&[(lane, src + off)]);

@@ -285,8 +285,7 @@ pub struct Loop {
 impl Loop {
     /// Whether the loop contains no other loop's header (innermost).
     pub fn is_innermost(&self, all: &[Loop]) -> bool {
-        !all.iter()
-            .any(|other| other.header != self.header && self.blocks.contains(&other.header))
+        !all.iter().any(|other| other.header != self.header && self.blocks.contains(&other.header))
     }
 }
 
@@ -324,12 +323,7 @@ pub fn find_loops(f: &Function) -> Vec<Loop> {
     // Depth: number of loops containing this loop's header.
     let depths: Vec<u32> = result
         .iter()
-        .map(|l| {
-            result
-                .iter()
-                .filter(|o| o.blocks.contains(&l.header))
-                .count() as u32
-        })
+        .map(|l| result.iter().filter(|o| o.blocks.contains(&l.header)).count() as u32)
         .collect();
     for (l, d) in result.iter_mut().zip(depths) {
         l.depth = d;

@@ -116,7 +116,13 @@ pub enum Trap {
     /// An intrinsic was called with malformed arguments.
     BadIntrinsic(&'static str),
     /// The interpreter's step budget was exhausted (runaway loop guard).
-    StepLimitExceeded,
+    StepLimitExceeded {
+        /// Name of the kernel (entry function) that was executing.
+        kernel: String,
+        /// Global work-item id that exhausted its budget (-1 when the trap
+        /// occurred outside any work-item context, e.g. a plain call).
+        global_id: i64,
+    },
 }
 
 impl fmt::Display for Trap {
@@ -137,7 +143,26 @@ impl fmt::Display for Trap {
             }
             Trap::StackOverflow => f.write_str("call stack limit exceeded"),
             Trap::BadIntrinsic(name) => write!(f, "malformed intrinsic call: {name}"),
-            Trap::StepLimitExceeded => f.write_str("interpreter step budget exhausted"),
+            Trap::StepLimitExceeded { kernel, global_id } => write!(
+                f,
+                "interpreter step budget exhausted in kernel `{kernel}` (global work-item {global_id})"
+            ),
+        }
+    }
+}
+
+impl Trap {
+    /// Re-tag a step-limit trap with the launch kernel's name. The raise
+    /// site only knows the function executing when the budget ran out
+    /// (possibly a helper); the launch boundary knows the kernel entry.
+    /// Other trap kinds pass through unchanged.
+    #[must_use]
+    pub fn with_kernel(self, kernel: &str) -> Trap {
+        match self {
+            Trap::StepLimitExceeded { global_id, .. } => {
+                Trap::StepLimitExceeded { kernel: kernel.to_string(), global_id }
+            }
+            other => other,
         }
     }
 }
@@ -358,38 +383,36 @@ mod tests {
         assert_eq!(eval_icmp(ICmp::Slt, Value::I(-1), Value::I(0)), Value::I(1));
         assert_eq!(eval_icmp(ICmp::Ult, Value::I(-1), Value::I(0)), Value::I(0));
         assert_eq!(
-            eval_icmp(
-                ICmp::Eq,
-                Value::Ptr(4, AddrSpace::Cpu),
-                Value::Ptr(4, AddrSpace::Cpu)
-            ),
+            eval_icmp(ICmp::Eq, Value::Ptr(4, AddrSpace::Cpu), Value::Ptr(4, AddrSpace::Cpu)),
             Value::I(1)
         );
         // Null check: pointer vs integer 0.
-        assert_eq!(
-            eval_icmp(ICmp::Ne, Value::Ptr(0, AddrSpace::Cpu), Value::I(0)),
-            Value::I(0)
-        );
+        assert_eq!(eval_icmp(ICmp::Ne, Value::Ptr(0, AddrSpace::Cpu), Value::I(0)), Value::I(0));
         assert_eq!(eval_fcmp(FCmp::Olt, Value::F(1.0), Value::F(2.0)), Value::I(1));
-        assert_eq!(
-            eval_fcmp(FCmp::Oeq, Value::F(f64::NAN), Value::F(f64::NAN)),
-            Value::I(0)
-        );
-        assert_eq!(
-            eval_fcmp(FCmp::One, Value::F(f64::NAN), Value::F(1.0)),
-            Value::I(0)
-        );
+        assert_eq!(eval_fcmp(FCmp::Oeq, Value::F(f64::NAN), Value::F(f64::NAN)), Value::I(0));
+        assert_eq!(eval_fcmp(FCmp::One, Value::F(f64::NAN), Value::F(1.0)), Value::I(0));
     }
 
     #[test]
     fn casts() {
-        assert_eq!(eval_cast(CastOp::Trunc, Value::I(0x1_0000_0001), Type::I64, Type::I32), Value::I(1));
+        assert_eq!(
+            eval_cast(CastOp::Trunc, Value::I(0x1_0000_0001), Type::I64, Type::I32),
+            Value::I(1)
+        );
         assert_eq!(eval_cast(CastOp::SiToFp, Value::I(3), Type::I32, Type::F32), Value::F(3.0));
         assert_eq!(eval_cast(CastOp::FpToSi, Value::F(3.9), Type::F32, Type::I32), Value::I(3));
         assert_eq!(eval_cast(CastOp::FpToSi, Value::F(-3.9), Type::F32, Type::I32), Value::I(-3));
-        assert_eq!(eval_cast(CastOp::FpToSi, Value::F(f64::NAN), Type::F64, Type::I32), Value::I(0));
         assert_eq!(
-            eval_cast(CastOp::PtrToInt, Value::Ptr(0x42, AddrSpace::Cpu), Type::Ptr(AddrSpace::Cpu), Type::I64),
+            eval_cast(CastOp::FpToSi, Value::F(f64::NAN), Type::F64, Type::I32),
+            Value::I(0)
+        );
+        assert_eq!(
+            eval_cast(
+                CastOp::PtrToInt,
+                Value::Ptr(0x42, AddrSpace::Cpu),
+                Type::Ptr(AddrSpace::Cpu),
+                Type::I64
+            ),
             Value::I(0x42)
         );
         assert_eq!(

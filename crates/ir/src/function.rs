@@ -205,10 +205,7 @@ impl Module {
 
     /// Find a function by name.
     pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter()
-            .position(|f| f.name == name)
-            .map(|i| FuncId(i as u32))
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
     }
 
     /// The struct layout with id `s`.
@@ -218,10 +215,7 @@ impl Module {
 
     /// Find a struct layout by source name.
     pub fn struct_by_name(&self, name: &str) -> Option<StructId> {
-        self.structs
-            .iter()
-            .position(|s| s.name == name)
-            .map(|i| StructId(i as u32))
+        self.structs.iter().position(|s| s.name == name).map(|i| StructId(i as u32))
     }
 
     /// The class with id `c`.
@@ -249,10 +243,7 @@ impl Module {
         if c == base {
             return true;
         }
-        self.class(c)
-            .bases
-            .iter()
-            .any(|&b| self.derives_from(b, base))
+        self.class(c).bases.iter().any(|&b| self.derives_from(b, base))
     }
 }
 
@@ -321,12 +312,8 @@ mod tests {
             align: 8,
             class_id: None,
         });
-        let base = m.add_class(ClassInfo {
-            name: "Shape".into(),
-            layout,
-            bases: vec![],
-            vtable: vec![],
-        });
+        let base =
+            m.add_class(ClassInfo { name: "Shape".into(), layout, bases: vec![], vtable: vec![] });
         let mid = m.add_class(ClassInfo {
             name: "Round".into(),
             layout,
@@ -339,12 +326,8 @@ mod tests {
             bases: vec![mid],
             vtable: vec![],
         });
-        let other = m.add_class(ClassInfo {
-            name: "Light".into(),
-            layout,
-            bases: vec![],
-            vtable: vec![],
-        });
+        let other =
+            m.add_class(ClassInfo { name: "Light".into(), layout, bases: vec![], vtable: vec![] });
         assert!(m.derives_from(leaf, base));
         assert!(!m.derives_from(other, base));
         assert_eq!(m.subclasses_of(base), vec![base, mid, leaf]);

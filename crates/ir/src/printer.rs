@@ -8,11 +8,7 @@ use std::fmt::Write;
 /// Render one instruction.
 fn write_inst(out: &mut String, f: &Function, id: ValueId) {
     let inst = f.inst(id);
-    let lhs = if inst.ty == crate::types::Type::Void {
-        String::new()
-    } else {
-        format!("{id} = ")
-    };
+    let lhs = if inst.ty == crate::types::Type::Void { String::new() } else { format!("{id} = ") };
     let body = match &inst.op {
         Op::Param(i) => format!("param {i}"),
         Op::ConstInt(v) => format!("const.{} {v}", inst.ty),
@@ -30,8 +26,7 @@ fn write_inst(out: &mut String, f: &Function, id: ValueId) {
         Op::CpuToGpu(v) => format!("cpu_to_gpu {v}"),
         Op::GpuToCpu(v) => format!("gpu_to_cpu {v}"),
         Op::Phi(incoming) => {
-            let parts: Vec<String> =
-                incoming.iter().map(|(b, v)| format!("[{b}, {v}]")).collect();
+            let parts: Vec<String> = incoming.iter().map(|(b, v)| format!("[{b}, {v}]")).collect();
             format!("phi {}", parts.join(", "))
         }
         Op::Call { callee, args } => {
@@ -79,7 +74,8 @@ pub fn print_function(f: &Function) -> String {
 pub fn print_module(m: &Module) -> String {
     let mut out = String::new();
     for (i, s) in m.structs.iter().enumerate() {
-        let _ = writeln!(out, "struct %struct.{i} ; {} (size {}, align {})", s.name, s.size, s.align);
+        let _ =
+            writeln!(out, "struct %struct.{i} ; {} (size {}, align {})", s.name, s.size, s.align);
         for fld in &s.fields {
             let cnt = if fld.count > 1 { format!("[{}]", fld.count) } else { String::new() };
             let _ = writeln!(out, "  +{}: {} {}{}", fld.offset, fld.ty, fld.name, cnt);

@@ -127,11 +127,8 @@ mod tests {
 
     #[test]
     fn classification_counts() {
-        let mut b = FunctionBuilder::new(
-            "f",
-            vec![Type::Ptr(AddrSpace::Cpu), Type::I32],
-            Type::Void,
-        );
+        let mut b =
+            FunctionBuilder::new("f", vec![Type::Ptr(AddrSpace::Cpu), Type::I32], Type::Void);
         let p = b.param(0);
         let n = b.param(1);
         let v = b.load(p, Type::I32); // memory

@@ -217,10 +217,7 @@ mod tests {
         assert!(!Type::F32.is_int());
         assert!(Type::F64.is_float());
         assert!(Type::Ptr(AddrSpace::Gpu).is_ptr());
-        assert_eq!(
-            Type::Ptr(AddrSpace::Private).addr_space(),
-            Some(AddrSpace::Private)
-        );
+        assert_eq!(Type::Ptr(AddrSpace::Private).addr_space(), Some(AddrSpace::Private));
         assert_eq!(Type::I32.addr_space(), None);
     }
 

@@ -84,9 +84,7 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
             match &inst.op {
                 Op::Phi(incoming) => {
                     // Phis must be at the head of the block (after other phis).
-                    let head_ok = insts[..pos]
-                        .iter()
-                        .all(|&p| matches!(f.inst(p).op, Op::Phi(_)));
+                    let head_ok = insts[..pos].iter().all(|&p| matches!(f.inst(p).op, Op::Phi(_)));
                     if !head_ok {
                         return Err(err(Some(b), format!("phi {id} not at block head")));
                     }
@@ -125,14 +123,12 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                         return Err(err(Some(b), format!("load {id} of void")));
                     }
                 }
-                Op::Store { ptr, .. }
-                    if !f.inst(*ptr).ty.is_ptr() => {
-                        return Err(err(Some(b), format!("store {id} to non-pointer {ptr}")));
-                    }
-                Op::Gep { base, .. }
-                    if !f.inst(*base).ty.is_ptr() => {
-                        return Err(err(Some(b), format!("gep {id} on non-pointer {base}")));
-                    }
+                Op::Store { ptr, .. } if !f.inst(*ptr).ty.is_ptr() => {
+                    return Err(err(Some(b), format!("store {id} to non-pointer {ptr}")));
+                }
+                Op::Gep { base, .. } if !f.inst(*base).ty.is_ptr() => {
+                    return Err(err(Some(b), format!("gep {id} on non-pointer {base}")));
+                }
                 Op::CpuToGpu(v) => {
                     let vt = f.inst(*v).ty;
                     if vt != Type::Ptr(crate::types::AddrSpace::Cpu) {

@@ -27,12 +27,12 @@
 //! let body = cc.malloc(8)?;
 //! cc.region_mut().write_ptr(body, nodes)?;
 //! let report = cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu)?;
-//! assert!(report.seconds > 0.0);
+//! assert!(report.total_seconds() > 0.0);
 //! # Ok(())
 //! # }
 //! ```
 
-use concord_compiler::{lower_for_gpu, GpuArtifact, GpuConfig};
+use concord_compiler::{lower_for_gpu_traced, GpuArtifact, GpuConfig};
 use concord_cpusim::CpuSim;
 use concord_energy::{Device, EnergyMeter, PhaseReport, SystemConfig};
 use concord_frontend::{CompileError, LoweredProgram};
@@ -41,6 +41,7 @@ use concord_ir::eval::{Trap, Value};
 use concord_ir::types::AddrSpace;
 use concord_ir::FuncId;
 use concord_svm::{AllocError, CpuAddr, SharedAllocator, SharedRegion, VtableArea};
+use concord_trace::{TraceConfig, Tracer, Track};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -112,20 +113,25 @@ pub struct Options {
     /// GPU compilation configuration (which of the paper's four evaluated
     /// configurations to use).
     pub gpu_config: Option<GpuConfig>,
+    /// Tracing configuration (disabled by default; see [`concord_trace`]).
+    pub trace: TraceConfig,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { region_bytes: 64 << 20, gpu_config: None }
+        Options { region_bytes: 64 << 20, gpu_config: None, trace: TraceConfig::default() }
     }
 }
 
 /// Result of one heterogeneous construct invocation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OffloadReport {
-    /// Wall-clock seconds for the construct (including fences, launch, and
-    /// first-launch JIT compilation for GPU execution).
-    pub seconds: f64,
+    /// Seconds spent JIT-compiling the GPU binary for this construct
+    /// (non-zero only on the first GPU launch of a kernel, §3.4).
+    pub jit_seconds: f64,
+    /// Seconds spent executing the construct (fences, launch, kernel, and
+    /// for GPU reductions the host-side final join).
+    pub exec_seconds: f64,
     /// Package energy in joules for the construct.
     pub joules: f64,
     /// True when the construct actually ran on the GPU.
@@ -146,6 +152,14 @@ pub struct OffloadReport {
     pub insts: u64,
 }
 
+impl OffloadReport {
+    /// Total wall-clock seconds for the construct: JIT plus execution.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.jit_seconds + self.exec_seconds
+    }
+}
+
 /// The Concord runtime context.
 pub struct Concord {
     system: SystemConfig,
@@ -160,6 +174,7 @@ pub struct Concord {
     jitted: HashSet<FuncId>,
     /// Kernels that cannot run on the GPU (restriction warnings).
     cpu_only: HashSet<String>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Concord {
@@ -181,13 +196,18 @@ impl Concord {
     ///
     /// Compilation errors and vtable installation faults.
     pub fn new(system: SystemConfig, source: &str, opts: Options) -> Result<Self, RuntimeError> {
+        let tracer = Tracer::new(opts.trace);
+        let sp = tracer.span(Track::Compiler, "frontend");
         let mut program = concord_frontend::compile(source)?;
+        sp.end();
         let gpu_cfg = opts.gpu_config.unwrap_or(GpuConfig::all(system.gpu.eus));
-        let gpu_artifact = lower_for_gpu(&program.module, gpu_cfg);
-        concord_compiler::optimize_for_cpu(&mut program.module);
+        let gpu_artifact = lower_for_gpu_traced(&program.module, gpu_cfg, &tracer);
+        concord_compiler::optimize_for_cpu_traced(&mut program.module, &tracer);
         let reserved = VtableArea::reserve_for(program.module.classes.len());
         let mut region = SharedRegion::new(opts.region_bytes, reserved);
-        let heap = SharedAllocator::new(&region);
+        region.set_tracer(tracer.clone());
+        let mut heap = SharedAllocator::new(&region);
+        heap.set_tracer(tracer.clone());
         let vtables = VtableArea::install(&mut region, &program.module)?;
         // The frontend emits one warning per affected kernel root; map each
         // back to its kernel class conservatively (a warning anywhere marks
@@ -198,9 +218,13 @@ impl Concord {
         } else {
             program.kernels.iter().map(|k| k.class_name.clone()).collect()
         };
+        let mut cpu = CpuSim::new(system.cpu);
+        cpu.set_tracer(tracer.clone());
+        let mut gpu = GpuSim::new(system.gpu);
+        gpu.set_tracer(tracer.clone());
         Ok(Concord {
-            cpu: CpuSim::new(system.cpu),
-            gpu: GpuSim::new(system.gpu),
+            cpu,
+            gpu,
             system,
             program,
             gpu_artifact,
@@ -210,7 +234,15 @@ impl Concord {
             meter: EnergyMeter::new(),
             jitted: HashSet::new(),
             cpu_only,
+            tracer,
         })
+    }
+
+    /// The tracer shared by the runtime, compiler pipelines, and both
+    /// simulators. Disabled (and free) unless [`Options::trace`] enabled it;
+    /// use it to pull the collected events, Chrome JSON, or summary table.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The compiled program (kernels, signatures, source statistics).
@@ -304,25 +336,47 @@ impl Concord {
         let k = self.kernel(class)?;
         let use_gpu = target == Target::Gpu && !self.cpu_only.contains(class);
         let fell_back = target == Target::Gpu && !use_gpu;
+        let mut sp = self.tracer.span_with(
+            Track::Runtime,
+            "parallel_for",
+            vec![
+                ("kernel", class.into()),
+                ("n", i64::from(n).into()),
+                ("device", if use_gpu { "gpu" } else { "cpu" }.into()),
+            ],
+        );
         if use_gpu {
             // Offload start: CPU→GPU consistency fence + pinning (§2.3).
-            self.region.fence_to_gpu();
-            let gpu_fn = self.gpu_func(k.operator_fn);
-            let mut seconds_extra = 0.0;
-            if self.jitted.insert(gpu_fn) {
-                seconds_extra += self.system.gpu.jit_ms * 1e-3;
+            {
+                let _f = self.tracer.span(Track::Runtime, "fence_to_gpu");
+                self.region.fence_to_gpu();
             }
+            let gpu_fn = self.gpu_func(k.operator_fn);
+            let mut jit_seconds = 0.0;
+            if self.jitted.insert(gpu_fn) {
+                jit_seconds = self.system.gpu.jit_ms * 1e-3;
+                let mut j = self.tracer.span(Track::Runtime, "jit");
+                j.arg("kernel", class);
+                j.arg("seconds", jit_seconds);
+            }
+            let launch = self.tracer.span(Track::Runtime, "gpu_launch");
             let r = self
                 .gpu
                 .parallel_for(&mut self.region, &self.gpu_artifact.module, gpu_fn, body, n)
                 .map_err(RuntimeError::Trap)?;
-            self.region.fence_to_cpu();
+            Self::close_launch_span(launch, &r);
+            {
+                let _f = self.tracer.span(Track::Runtime, "fence_to_cpu");
+                self.region.fence_to_cpu();
+            }
             let phase =
-                PhaseReport { seconds: r.seconds + seconds_extra, busy_fraction: r.busy_fraction };
+                PhaseReport { seconds: r.seconds + jit_seconds, busy_fraction: r.busy_fraction };
             let before = self.meter.joules();
             self.meter.record(&self.system, Device::Gpu, phase);
+            sp.arg("seconds", phase.seconds);
             Ok(OffloadReport {
-                seconds: phase.seconds,
+                jit_seconds,
+                exec_seconds: r.seconds,
                 joules: self.meter.joules() - before,
                 on_gpu: true,
                 fell_back: false,
@@ -334,15 +388,26 @@ impl Concord {
                 insts: r.insts,
             })
         } else {
+            let launch = self.tracer.span(Track::Runtime, "cpu_launch");
             let r = self
                 .cpu
-                .parallel_for(&mut self.region, &self.vtables, &self.program.module, k.operator_fn, body, n)
+                .parallel_for(
+                    &mut self.region,
+                    &self.vtables,
+                    &self.program.module,
+                    k.operator_fn,
+                    body,
+                    n,
+                )
                 .map_err(RuntimeError::Trap)?;
+            launch.end();
             let phase = PhaseReport { seconds: r.seconds, busy_fraction: 1.0 };
             let before = self.meter.joules();
             self.meter.record(&self.system, Device::Cpu, phase);
+            sp.arg("seconds", r.seconds);
             Ok(OffloadReport {
-                seconds: r.seconds,
+                jit_seconds: 0.0,
+                exec_seconds: r.seconds,
                 joules: self.meter.joules() - before,
                 on_gpu: false,
                 fell_back,
@@ -350,6 +415,20 @@ impl Concord {
                 ..Default::default()
             })
         }
+    }
+
+    /// Close a GPU launch span, attaching the launch's [`GpuReport`]
+    /// counters as end-arguments.
+    fn close_launch_span(mut sp: concord_trace::SpanGuard, r: &concord_gpusim::GpuReport) {
+        sp.arg("seconds", r.seconds);
+        sp.arg("critical_cycles", r.critical_cycles);
+        sp.arg("warps", r.warps);
+        sp.arg("insts", r.insts);
+        sp.arg("translations", r.translations);
+        sp.arg("transactions", r.transactions);
+        sp.arg("contended", r.contended);
+        sp.arg("l3_hit_rate", r.l3_hit_rate);
+        sp.arg("busy_fraction", r.busy_fraction);
     }
 
     /// `parallel_reduce_hetero(n, body, device)`: run `operator()` over
@@ -375,21 +454,35 @@ impl Concord {
         // "if local memory is insufficient").
         let fits_local =
             body_size * self.system.gpu.simd_width as u64 <= self.system.gpu.local_bytes;
-        let use_gpu =
-            target == Target::Gpu && !self.cpu_only.contains(class) && fits_local;
+        let use_gpu = target == Target::Gpu && !self.cpu_only.contains(class) && fits_local;
         let fell_back = target == Target::Gpu && !use_gpu;
+        let mut sp = self.tracer.span_with(
+            Track::Runtime,
+            "parallel_reduce",
+            vec![
+                ("kernel", class.into()),
+                ("n", i64::from(n).into()),
+                ("device", if use_gpu { "gpu" } else { "cpu" }.into()),
+            ],
+        );
         if use_gpu {
-            self.region.fence_to_gpu();
+            {
+                let _f = self.tracer.span(Track::Runtime, "fence_to_gpu");
+                self.region.fence_to_gpu();
+            }
             let gpu_fn = self.gpu_func(k.operator_fn);
             let gpu_join = self.gpu_func(join);
-            let mut seconds_extra = 0.0;
+            let mut jit_seconds = 0.0;
             if self.jitted.insert(gpu_fn) {
-                seconds_extra += self.system.gpu.jit_ms * 1e-3;
+                jit_seconds = self.system.gpu.jit_ms * 1e-3;
+                let mut j = self.tracer.span(Track::Runtime, "jit");
+                j.arg("kernel", class);
+                j.arg("seconds", jit_seconds);
             }
             let warps = (n as u64).div_ceil(self.system.gpu.simd_width as u64);
-            let scratch: Vec<CpuAddr> = (0..warps)
-                .map(|_| self.heap.malloc(body_size))
-                .collect::<Result<_, _>>()?;
+            let scratch: Vec<CpuAddr> =
+                (0..warps).map(|_| self.heap.malloc(body_size)).collect::<Result<_, _>>()?;
+            let launch = self.tracer.span(Track::Runtime, "gpu_launch");
             let r = self
                 .gpu
                 .parallel_reduce(
@@ -403,9 +496,15 @@ impl Concord {
                     &scratch,
                 )
                 .map_err(RuntimeError::Trap)?;
-            self.region.fence_to_cpu();
+            Self::close_launch_span(launch, &r);
+            {
+                let _f = self.tracer.span(Track::Runtime, "fence_to_cpu");
+                self.region.fence_to_cpu();
+            }
             // Host-side final join of the per-warp partials (sequential,
             // using the original CPU-compiled join).
+            let mut join_sp = self.tracer.span(Track::Runtime, "reduce_join");
+            join_sp.arg("partials", warps as i64);
             let host_cycles_before = self.cpu.core0_cycles();
             for &slot in &scratch {
                 self.cpu
@@ -414,20 +513,19 @@ impl Concord {
                         &self.vtables,
                         &self.program.module,
                         join,
-                        &[
-                            Value::Ptr(body.0, AddrSpace::Cpu),
-                            Value::Ptr(slot.0, AddrSpace::Cpu),
-                        ],
+                        &[Value::Ptr(body.0, AddrSpace::Cpu), Value::Ptr(slot.0, AddrSpace::Cpu)],
                     )
                     .map_err(RuntimeError::Trap)?;
             }
-            let host_seconds = (self.cpu.core0_cycles() - host_cycles_before)
-                / (self.system.cpu.freq_ghz * 1e9);
+            let host_seconds =
+                (self.cpu.core0_cycles() - host_cycles_before) / (self.system.cpu.freq_ghz * 1e9);
+            join_sp.arg("seconds", host_seconds);
+            join_sp.end();
             for slot in scratch {
                 self.heap.free(slot)?;
             }
             let gpu_phase =
-                PhaseReport { seconds: r.seconds + seconds_extra, busy_fraction: r.busy_fraction };
+                PhaseReport { seconds: r.seconds + jit_seconds, busy_fraction: r.busy_fraction };
             let host_phase = PhaseReport {
                 seconds: host_seconds,
                 busy_fraction: 1.0 / self.system.cpu.cores as f64,
@@ -435,8 +533,10 @@ impl Concord {
             let before = self.meter.joules();
             self.meter.record(&self.system, Device::Gpu, gpu_phase);
             self.meter.record(&self.system, Device::Cpu, host_phase);
+            sp.arg("seconds", gpu_phase.seconds + host_seconds);
             Ok(OffloadReport {
-                seconds: gpu_phase.seconds + host_seconds,
+                jit_seconds,
+                exec_seconds: r.seconds + host_seconds,
                 joules: self.meter.joules() - before,
                 on_gpu: true,
                 fell_back: false,
@@ -449,9 +549,9 @@ impl Concord {
             })
         } else {
             let cores = self.system.cpu.cores as usize;
-            let scratch: Vec<CpuAddr> = (0..cores)
-                .map(|_| self.heap.malloc(body_size))
-                .collect::<Result<_, _>>()?;
+            let scratch: Vec<CpuAddr> =
+                (0..cores).map(|_| self.heap.malloc(body_size)).collect::<Result<_, _>>()?;
+            let launch = self.tracer.span(Track::Runtime, "cpu_launch");
             let r = self
                 .cpu
                 .parallel_reduce(
@@ -466,14 +566,17 @@ impl Concord {
                     &scratch,
                 )
                 .map_err(RuntimeError::Trap)?;
+            launch.end();
             for slot in scratch {
                 self.heap.free(slot)?;
             }
             let phase = PhaseReport { seconds: r.seconds, busy_fraction: 1.0 };
             let before = self.meter.joules();
             self.meter.record(&self.system, Device::Cpu, phase);
+            sp.arg("seconds", r.seconds);
             Ok(OffloadReport {
-                seconds: r.seconds,
+                jit_seconds: 0.0,
+                exec_seconds: r.seconds,
                 joules: self.meter.joules() - before,
                 on_gpu: false,
                 fell_back,
@@ -500,8 +603,7 @@ mod tests {
     #[test]
     fn same_source_runs_on_both_devices() {
         for target in [Target::Cpu, Target::Gpu] {
-            let mut cc =
-                Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+            let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
             let nodes = cc.malloc(101 * 8).unwrap();
             let body = cc.malloc(8).unwrap();
             cc.region_mut().write_ptr(body, nodes).unwrap();
@@ -525,10 +627,16 @@ mod tests {
         let second = cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu).unwrap();
         let jit = SystemConfig::ultrabook().gpu.jit_ms * 1e-3;
         assert!(
-            first.seconds > second.seconds + jit * 0.9,
+            (first.jit_seconds - jit).abs() < jit * 1e-9,
+            "first launch must report the JIT cost, got {}",
+            first.jit_seconds
+        );
+        assert_eq!(second.jit_seconds, 0.0, "JIT must be cached after the first launch");
+        assert!(
+            first.total_seconds() > second.total_seconds() + jit * 0.9,
             "first launch must include the JIT cost: {} vs {}",
-            first.seconds,
-            second.seconds
+            first.total_seconds(),
+            second.total_seconds()
         );
     }
 
@@ -578,14 +686,11 @@ mod tests {
         "#;
         let mut results = Vec::new();
         for target in [Target::Cpu, Target::Gpu] {
-            let mut cc =
-                Concord::new(SystemConfig::desktop(), src, Options::default()).unwrap();
+            let mut cc = Concord::new(SystemConfig::desktop(), src, Options::default()).unwrap();
             let n = 200u32;
             let data = cc.malloc(n as u64 * 4).unwrap();
             for i in 0..n {
-                cc.region_mut()
-                    .write_f32(CpuAddr(data.0 + i as u64 * 4), (i % 7) as f32)
-                    .unwrap();
+                cc.region_mut().write_f32(CpuAddr(data.0 + i as u64 * 4), (i % 7) as f32).unwrap();
             }
             let body = cc.malloc(16).unwrap();
             cc.region_mut().write_ptr(body, data).unwrap();

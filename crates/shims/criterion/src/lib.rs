@@ -1,0 +1,129 @@
+//! Minimal stand-in for the subset of the `criterion` crate this workspace
+//! uses (the build environment cannot fetch registries).
+//!
+//! Benchmarks run each function a fixed, small number of iterations and
+//! print mean wall-clock time per iteration. No statistics, warm-up
+//! calibration, or HTML reports — this keeps `cargo bench` working and the
+//! bench sources compiling unchanged; absolute numbers are indicative only.
+
+use std::time::Instant;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name, sample_size: 10 }
+    }
+
+    /// Register one benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one("", &id.into(), 10, f);
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+    }
+
+    /// Finish the group (printing is already done per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Time `f`, keeping its output alive (like `criterion::black_box`).
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        let out = f();
+        self.nanos += start.elapsed().as_nanos();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+fn run_one(group: &str, id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if b.iters == 0 {
+        println!("  {label}: no iterations");
+    } else {
+        let mean_ns = b.nanos / b.iters as u128;
+        println!("  {label}: {mean_ns} ns/iter ({} iters)", b.iters);
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

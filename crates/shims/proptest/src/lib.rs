@@ -1,0 +1,340 @@
+//! Minimal, deterministic stand-in for the subset of the `proptest` crate
+//! this workspace uses (the build environment cannot fetch registries).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the panic message (via `prop_assert!`'s formatting); reproduce by
+//!   rerunning — generation is deterministic per test name.
+//! * **Fixed seeding.** Each test's RNG is seeded from a hash of the test
+//!   name, so failures reproduce exactly and CI runs are stable.
+//! * **Strategies are direct generators** (`Strategy::generate`), not
+//!   value trees.
+//!
+//! Supported surface: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), `prop_assert!` / `prop_assert_eq!`,
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! `proptest::collection::vec`, and character-class string patterns of the
+//! form `"[<class>]{lo,hi}"`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps interpreter-heavy
+        // properties fast while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for one property test, seeded from the test name.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Marker returned by [`any`]; generates the type's full uniform domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()`: the canonical whole-domain strategy.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        // Arbitrary bit patterns: exercises NaN/inf/subnormal handling.
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, lo..hi)`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies: a `&str` is interpreted as a character-class pattern
+/// `[<class>]{lo,hi}` (the only regex shape used in this workspace); any
+/// other pattern is treated as a literal alphabet.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self);
+        let n = rng.gen_range(lo..hi + 1);
+        (0..n)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parse `[<chars/ranges>]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let fallback = |s: &str| (s.chars().collect::<Vec<_>>(), s.chars().count(), s.chars().count());
+    let Some(rest) = pat.strip_prefix('[') else { return fallback(pat) };
+    let Some(close) = rest.find(']') else { return fallback(pat) };
+    let class = &rest[..close];
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // Escapes: \n \t \r \\ and literal anything-else.
+        if chars[i] == '\\' && i + 1 < chars.len() {
+            alphabet.push(match chars[i + 1] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                c => c,
+            });
+            i += 2;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            for c in a as u32..=b as u32 {
+                if let Some(c) = char::from_u32(c) {
+                    alphabet.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    let reps = &rest[close + 1..];
+    let (lo, hi) = reps
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .and_then(|r| {
+            let (a, b) = r.split_once(',')?;
+            Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+        })
+        .unwrap_or((1, 1));
+    if alphabet.is_empty() {
+        alphabet.push('a');
+    }
+    (alphabet, lo, hi)
+}
+
+/// Everything tests import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert inside a property; panics with context (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// The `proptest!` block: wraps each contained `fn name(arg in strategy)`
+/// into a `#[test]` that runs `cases` deterministic generations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(x in 3u64..17, y in -4i32..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_hold(v in collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn string_patterns_hold(s in "[a-c]{0,5}") {
+            prop_assert!(s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn printable_class_with_newline_parses() {
+        let (alpha, lo, hi) = super::parse_class_pattern("[ -~\\n]{0,400}");
+        assert_eq!((lo, hi), (0, 400));
+        assert!(alpha.contains(&'\n'));
+        assert!(alpha.contains(&'a'));
+        assert!(alpha.contains(&'~'));
+        assert!(alpha.contains(&' '));
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = super::test_rng("x");
+        let mut b = super::test_rng("x");
+        use rand::Rng;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -6,6 +6,7 @@
 //! allocator: a classic header-based free list with coalescing.
 
 use crate::region::{CpuAddr, SharedRegion, CPU_BASE};
+use concord_trace::{ArgValue, Tracer, Track};
 use std::fmt;
 
 const ALIGN: u64 = 16;
@@ -61,6 +62,7 @@ pub struct SharedAllocator {
     allocated: u64,
     /// High-water mark of allocated bytes.
     peak: u64,
+    tracer: Tracer,
 }
 
 impl SharedAllocator {
@@ -68,16 +70,21 @@ impl SharedAllocator {
     pub fn new(region: &SharedRegion) -> Self {
         let start = round_up(region.reserved(), ALIGN);
         // The top of the region holds the device-heap descriptor.
-        let end = region
-            .capacity()
-            .saturating_sub(crate::region::DEVICE_HEAP_DESC_BYTES);
+        let end = region.capacity().saturating_sub(crate::region::DEVICE_HEAP_DESC_BYTES);
         let size = end.saturating_sub(start);
         SharedAllocator {
             free: vec![FreeBlock { off: start, size }],
             live: Vec::new(),
             allocated: 0,
             peak: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; every `malloc`/`free` then records an SVM-track
+    /// event with the bytes-in-use level and its high-water mark.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Allocate `size` bytes (16-byte aligned). Zero-size requests allocate
@@ -106,6 +113,18 @@ impl SharedAllocator {
         self.live.insert(idx, (addr_off, size));
         self.allocated += size;
         self.peak = self.peak.max(self.allocated);
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                Track::Svm,
+                "malloc",
+                vec![
+                    ("bytes", ArgValue::UInt(size)),
+                    ("addr", ArgValue::UInt(CPU_BASE + addr_off)),
+                ],
+            );
+            self.tracer.counter(Track::Svm, "bytes_in_use", self.allocated as f64);
+            self.tracer.counter(Track::Svm, "bytes_in_use_peak", self.peak as f64);
+        }
         Ok(CpuAddr(CPU_BASE + addr_off))
     }
 
@@ -126,7 +145,8 @@ impl SharedAllocator {
         let pos = self.free.partition_point(|b| b.off < off);
         self.free.insert(pos, FreeBlock { off, size });
         // Coalesce with next.
-        if pos + 1 < self.free.len() && self.free[pos].off + self.free[pos].size == self.free[pos + 1].off
+        if pos + 1 < self.free.len()
+            && self.free[pos].off + self.free[pos].size == self.free[pos + 1].off
         {
             self.free[pos].size += self.free[pos + 1].size;
             self.free.remove(pos + 1);
@@ -135,6 +155,14 @@ impl SharedAllocator {
         if pos > 0 && self.free[pos - 1].off + self.free[pos - 1].size == self.free[pos].off {
             self.free[pos - 1].size += self.free[pos].size;
             self.free.remove(pos);
+        }
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                Track::Svm,
+                "free",
+                vec![("bytes", ArgValue::UInt(size)), ("addr", ArgValue::UInt(addr.0))],
+            );
+            self.tracer.counter(Track::Svm, "bytes_in_use", self.allocated as f64);
         }
         Ok(())
     }

@@ -13,6 +13,7 @@
 
 use concord_ir::eval::{Trap, Value};
 use concord_ir::types::{AddrSpace, Type};
+use concord_trace::{ArgValue, Tracer, Track};
 use std::fmt;
 
 /// Base of the CPU view of the shared region.
@@ -101,6 +102,7 @@ pub struct SharedRegion {
     /// Bytes reserved at the start of the region (vtables & global symbols,
     /// §3.2); the allocator hands out memory above this watermark.
     reserved: u64,
+    tracer: Tracer,
 }
 
 impl SharedRegion {
@@ -116,7 +118,13 @@ impl SharedRegion {
             data: vec![0u8; capacity as usize],
             consistency: Consistency::default(),
             reserved,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; consistency fences then record SVM-track events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Total capacity in bytes.
@@ -181,6 +189,13 @@ impl SharedRegion {
     pub fn fence_to_gpu(&mut self) {
         self.consistency.fences_to_gpu += 1;
         self.consistency.pinned = true;
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                Track::Svm,
+                "fence_to_gpu",
+                vec![("fence_no", ArgValue::UInt(self.consistency.fences_to_gpu))],
+            );
+        }
     }
 
     /// GPU→CPU fence: make GPU writes visible and unpin. Called by the
@@ -188,6 +203,13 @@ impl SharedRegion {
     pub fn fence_to_cpu(&mut self) {
         self.consistency.fences_to_cpu += 1;
         self.consistency.pinned = false;
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                Track::Svm,
+                "fence_to_cpu",
+                vec![("fence_no", ArgValue::UInt(self.consistency.fences_to_cpu))],
+            );
+        }
     }
 
     /// Resolve an address in a space to a byte offset in the backing store.
@@ -252,8 +274,9 @@ impl SharedRegion {
                 Value::I(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as i64)
             }
             Type::I64 => Value::I(i64::from_le_bytes(bytes.try_into().unwrap())),
-            Type::F32 => Value::F(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
-                as f64),
+            Type::F32 => {
+                Value::F(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as f64)
+            }
             Type::F64 => Value::F(f64::from_le_bytes(bytes.try_into().unwrap())),
             Type::Ptr(_) => {
                 Value::Ptr(u64::from_le_bytes(bytes.try_into().unwrap()), AddrSpace::Cpu)
@@ -271,7 +294,13 @@ impl SharedRegion {
     /// [`Trap::WrongAddressSpace`]: letting a GPU-space pointer escape into
     /// shared memory would corrupt the data structure for the CPU, which is
     /// exactly the class of bug the SVM lowering pass must prevent (§4.1).
-    pub fn write_value(&mut self, addr: u64, space: AddrSpace, v: Value, ty: Type) -> Result<(), Trap> {
+    pub fn write_value(
+        &mut self,
+        addr: u64,
+        space: AddrSpace,
+        v: Value,
+        ty: Type,
+    ) -> Result<(), Trap> {
         let bytes: Vec<u8> = match ty {
             Type::I1 | Type::I8 => vec![v.as_i() as u8],
             Type::I16 => (v.as_i() as i16).to_le_bytes().to_vec(),
@@ -403,10 +432,7 @@ mod tests {
     #[test]
     fn null_and_out_of_bounds_fault() {
         let r = SharedRegion::new(128, 0);
-        assert!(matches!(
-            r.read_value(0, AddrSpace::Cpu, Type::I32),
-            Err(Trap::BadAddress { .. })
-        ));
+        assert!(matches!(r.read_value(0, AddrSpace::Cpu, Type::I32), Err(Trap::BadAddress { .. })));
         assert!(matches!(
             r.read_value(CPU_BASE + 126, AddrSpace::Cpu, Type::I32),
             Err(Trap::BadAddress { .. })
@@ -445,9 +471,7 @@ mod tests {
             Type::Ptr(AddrSpace::Cpu),
         )
         .unwrap();
-        let v = r
-            .read_value(slot + SVM_CONST, AddrSpace::Gpu, Type::Ptr(AddrSpace::Cpu))
-            .unwrap();
+        let v = r.read_value(slot + SVM_CONST, AddrSpace::Gpu, Type::Ptr(AddrSpace::Cpu)).unwrap();
         assert_eq!(v, Value::Ptr(CPU_BASE + 32, AddrSpace::Cpu));
     }
 
@@ -480,15 +504,9 @@ mod tests {
     fn narrow_types_round_trip() {
         let mut r = SharedRegion::new(4096, 0);
         r.write_value(CPU_BASE + 3, AddrSpace::Cpu, Value::I(-2), Type::I8).unwrap();
-        assert_eq!(
-            r.read_value(CPU_BASE + 3, AddrSpace::Cpu, Type::I8).unwrap(),
-            Value::I(-2)
-        );
+        assert_eq!(r.read_value(CPU_BASE + 3, AddrSpace::Cpu, Type::I8).unwrap(), Value::I(-2));
         r.write_value(CPU_BASE + 10, AddrSpace::Cpu, Value::I(-300), Type::I16).unwrap();
-        assert_eq!(
-            r.read_value(CPU_BASE + 10, AddrSpace::Cpu, Type::I16).unwrap(),
-            Value::I(-300)
-        );
+        assert_eq!(r.read_value(CPU_BASE + 10, AddrSpace::Cpu, Type::I16).unwrap(), Value::I(-300));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub const VTABLE_STRIDE: u64 = 128;
 /// Maximum vtable slots per class under the fixed stride.
 pub const MAX_VTABLE_SLOTS: usize = 14;
 
-const VTABLE_MAGIC: i64 = 0x7654_3210_c0_c0;
+const VTABLE_MAGIC: i64 = 0x7654_3210_c0c0;
 
 /// Host-side view of the vtable area in the shared region.
 #[derive(Debug, Clone, Default)]
@@ -136,7 +136,7 @@ mod tests {
         f1.ret(Some(z));
         let f1 = m.add_function(f1.build());
         let mut f2 = FunctionBuilder::new("Circle::area", vec![], Type::F32);
-        let z = f2.f32(3.14);
+        let z = f2.f32(2.5);
         f2.ret(Some(z));
         let f2 = m.add_function(f2.build());
         m.add_class(ClassInfo { name: "Shape".into(), layout, bases: vec![], vtable: vec![f1] });

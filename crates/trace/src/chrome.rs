@@ -1,0 +1,269 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the `{"traceEvents": [...]}` object format loadable by
+//! `chrome://tracing` and Perfetto. Spans use `ph: "B"` / `"E"`, instants
+//! `ph: "i"`, counters `ph: "C"`. Each [`Track`](crate::Track) is one
+//! thread row under a single process, named via metadata events.
+//!
+//! The export is deterministic: events are emitted in buffer order, args
+//! in insertion order, and floats formatted with Rust's shortest-roundtrip
+//! formatter. If ring-buffer eviction dropped a span's Begin event, the
+//! orphaned End is skipped so the output stays well-formed; a span still
+//! open when the buffer was snapshotted gets a synthetic End at the last
+//! timestamp seen on its track.
+
+use crate::{ArgValue, Event, EventKind, Track};
+
+/// Render events to a Chrome trace-event JSON string.
+pub fn to_json(events: &[Event]) -> String {
+    if events.is_empty() {
+        return "{\"traceEvents\":[]}".to_string();
+    }
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for track in Track::ALL {
+        emit(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{} ({})\"}}}}",
+                track.tid(),
+                track.name(),
+                track.clock_unit()
+            ),
+        );
+    }
+
+    // Per-track span stack depth so orphaned Ends (Begin evicted) can be
+    // dropped, and per-track open-Begin indices + last ts for synthesizing
+    // Ends for spans still open at snapshot time.
+    let mut depth = [0usize; 5];
+    let mut last_ts = [0u64; 5];
+    let mut open: Vec<Vec<&Event>> = vec![Vec::new(); 5];
+    let idx = |t: Track| t.tid() as usize - 1;
+
+    for ev in events {
+        let i = idx(ev.track);
+        last_ts[i] = last_ts[i].max(ev.ts);
+        match ev.kind {
+            EventKind::Begin => {
+                depth[i] += 1;
+                open[i].push(ev);
+                emit(&mut out, &mut first, &format_event(ev, "B"));
+            }
+            EventKind::End => {
+                if depth[i] == 0 {
+                    continue; // matching Begin was evicted from the ring
+                }
+                depth[i] -= 1;
+                open[i].pop();
+                emit(&mut out, &mut first, &format_event(ev, "E"));
+            }
+            EventKind::Instant => emit(&mut out, &mut first, &format_event(ev, "i")),
+            EventKind::Counter(_) => emit(&mut out, &mut first, &format_event(ev, "C")),
+        }
+    }
+
+    // Close spans that were still open when the buffer was snapshotted,
+    // innermost first, so viewers don't misattribute the tail.
+    for i in 0..5 {
+        while let Some(ev) = open[i].pop() {
+            let synthetic = Event {
+                track: ev.track,
+                name: ev.name.clone(),
+                ts: last_ts[i],
+                kind: EventKind::End,
+                args: vec![("incomplete", ArgValue::Bool(true))],
+            };
+            emit(&mut out, &mut first, &format_event(&synthetic, "E"));
+        }
+    }
+
+    out.push_str("]}");
+    out
+}
+
+fn emit(out: &mut String, first: &mut bool, record: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(record);
+}
+
+fn format_event(ev: &Event, ph: &str) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"name\":\"");
+    escape_into(&mut s, &ev.name);
+    s.push_str("\",\"cat\":\"");
+    s.push_str(ev.track.name());
+    s.push_str("\",\"ph\":\"");
+    s.push_str(ph);
+    s.push_str("\",\"pid\":1,\"tid\":");
+    s.push_str(&ev.track.tid().to_string());
+    s.push_str(",\"ts\":");
+    s.push_str(&ev.ts.to_string());
+    if ph == "i" {
+        s.push_str(",\"s\":\"t\""); // thread-scoped instant
+    }
+    match &ev.kind {
+        EventKind::Counter(v) => {
+            s.push_str(",\"args\":{\"value\":");
+            push_f64(&mut s, *v);
+            s.push('}');
+        }
+        _ if !ev.args.is_empty() => {
+            s.push_str(",\"args\":{");
+            for (i, (k, v)) in ev.args.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('"');
+                escape_into(&mut s, k);
+                s.push_str("\":");
+                push_arg(&mut s, v);
+            }
+            s.push('}');
+        }
+        _ => {}
+    }
+    s.push('}');
+    s
+}
+
+fn push_arg(s: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::Int(i) => s.push_str(&i.to_string()),
+        ArgValue::UInt(u) => s.push_str(&u.to_string()),
+        ArgValue::Float(f) => push_f64(s, *f),
+        ArgValue::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+        ArgValue::Str(t) => {
+            s.push('"');
+            escape_into(s, t);
+            s.push('"');
+        }
+    }
+}
+
+/// JSON has no NaN/Infinity literals; encode them as strings.
+fn push_f64(s: &mut String, f: f64) {
+    if f.is_finite() {
+        s.push_str(&format!("{f}"));
+    } else {
+        s.push('"');
+        s.push_str(&format!("{f}"));
+        s.push('"');
+    }
+}
+
+fn escape_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceConfig, Tracer};
+    use std::borrow::Cow;
+
+    fn ev(track: Track, name: &'static str, ts: u64, kind: EventKind) -> Event {
+        Event { track, name: Cow::Borrowed(name), ts, kind, args: Vec::new() }
+    }
+
+    #[test]
+    fn minimal_trace_is_well_formed() {
+        let t = Tracer::new(TraceConfig::enabled());
+        {
+            let _g = t.span(Track::Compiler, "dce");
+            t.counter_at(Track::GpuSim, "occupancy", 10, 0.75);
+        }
+        let json = t.chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("compiler (ticks)"));
+        assert_balanced(&json);
+    }
+
+    /// Cheap structural JSON check: braces/brackets balance outside strings.
+    fn assert_balanced(json: &str) {
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in json.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn orphaned_end_is_skipped() {
+        // Simulates ring eviction of a Begin: E without B must not export.
+        let events = vec![
+            ev(Track::Runtime, "lost", 5, EventKind::End),
+            ev(Track::Runtime, "kept", 6, EventKind::Begin),
+            ev(Track::Runtime, "kept", 7, EventKind::End),
+        ];
+        let json = to_json(&events);
+        assert!(!json.contains("lost"));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+    }
+
+    #[test]
+    fn unclosed_span_gets_synthetic_end() {
+        let events = vec![
+            ev(Track::GpuSim, "kernel", 100, EventKind::Begin),
+            ev(Track::GpuSim, "mem", 250, EventKind::Instant),
+        ];
+        let json = to_json(&events);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+        assert!(json.contains("\"incomplete\":true"));
+        assert!(json.contains("\"ts\":250"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut e = ev(Track::Svm, "alloc", 1, EventKind::Instant);
+        e.args.push(("site", ArgValue::Str("a\"b\\c\nd".into())));
+        let json = to_json(&[e]);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+        assert_balanced(&json);
+    }
+
+    #[test]
+    fn nonfinite_floats_encode_as_strings() {
+        let e = ev(Track::CpuSim, "miss_rate", 1, EventKind::Counter(f64::NAN));
+        let json = to_json(&[e]);
+        assert!(json.contains("\"value\":\"NaN\""));
+    }
+}

@@ -1,0 +1,548 @@
+//! concord-trace: structured tracing & profiling for the Concord stack.
+//!
+//! The whole pipeline — compiler passes, runtime offloads, both device
+//! simulators, and the SVM heap — reports into one [`Tracer`]: nested
+//! spans, counters, and instant events, stored in a bounded in-memory ring
+//! buffer and exportable as Chrome trace-event JSON ([`chrome`]) or as a
+//! deterministic text summary table ([`summary`]).
+//!
+//! # Clocks
+//!
+//! Each event carries a `ts` in the clock domain of its [`Track`]:
+//!
+//! * simulator tracks ([`Track::GpuSim`], [`Track::CpuSim`]) timestamp in
+//!   **simulated device cycles**, supplied by the caller via the `*_at`
+//!   methods;
+//! * host-side tracks (compiler, runtime, SVM) use the tracer's **host
+//!   clock**, which by default is a deterministic logical clock (one tick
+//!   per event) so traces are byte-identical across runs and diffable.
+//!   Set [`TraceConfig::wall_clock`] for real nanosecond timestamps.
+//!
+//! # Cost when disabled
+//!
+//! A disabled tracer is a boolean check: no allocation, no locking, no
+//! clock reads. Handles are cheap to clone and share one buffer.
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod chrome;
+pub mod summary;
+
+/// Which layer of the stack an event belongs to. Maps to one timeline row
+/// (`tid`) in the Chrome export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// Compiler passes (host clock).
+    Compiler,
+    /// Runtime orchestration: offloads, fences, JIT, joins (host clock).
+    Runtime,
+    /// GPU simulator events (simulated device cycles).
+    GpuSim,
+    /// CPU simulator events (simulated device cycles).
+    CpuSim,
+    /// Shared virtual memory heap and consistency events (host clock).
+    Svm,
+}
+
+impl Track {
+    /// All tracks, in export order.
+    pub const ALL: [Track; 5] =
+        [Track::Compiler, Track::Runtime, Track::GpuSim, Track::CpuSim, Track::Svm];
+
+    /// Stable display name (also the Chrome thread name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Compiler => "compiler",
+            Track::Runtime => "runtime",
+            Track::GpuSim => "gpusim",
+            Track::CpuSim => "cpusim",
+            Track::Svm => "svm",
+        }
+    }
+
+    /// Stable timeline row id for the Chrome export.
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Compiler => 1,
+            Track::Runtime => 2,
+            Track::GpuSim => 3,
+            Track::CpuSim => 4,
+            Track::Svm => 5,
+        }
+    }
+
+    /// Timestamp unit for this track, for display.
+    pub fn clock_unit(self) -> &'static str {
+        match self {
+            Track::GpuSim | Track::CpuSim => "cycles",
+            _ => "ticks",
+        }
+    }
+}
+
+/// A typed event argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+impl From<i32> for ArgValue {
+    fn from(v: i32) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::UInt(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+/// Key/value argument list attached to an event.
+pub type Args = Vec<(&'static str, ArgValue)>;
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened.
+    Begin,
+    /// The innermost open span on this track closed.
+    End,
+    /// A point-in-time marker.
+    Instant,
+    /// A sampled counter value.
+    Counter(f64),
+}
+
+/// One record in the trace buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Timeline this event belongs to.
+    pub track: Track,
+    /// Span / marker / counter name.
+    pub name: Cow<'static, str>,
+    /// Timestamp in the track's clock domain (see module docs).
+    pub ts: u64,
+    /// Event payload kind.
+    pub kind: EventKind,
+    /// Structured arguments.
+    pub args: Args,
+}
+
+/// Tracing configuration, set once at [`Tracer::new`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Master switch. When false the tracer is free.
+    pub enabled: bool,
+    /// Ring-buffer capacity in events; oldest events are dropped beyond it.
+    pub capacity: usize,
+    /// Use real wall-clock nanoseconds for host-side tracks instead of the
+    /// default deterministic logical clock. Breaks byte-identical traces.
+    pub wall_clock: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { enabled: false, capacity: 1 << 16, wall_clock: false }
+    }
+}
+
+impl TraceConfig {
+    /// An enabled config with default capacity and deterministic clock.
+    pub fn enabled() -> Self {
+        TraceConfig { enabled: true, ..TraceConfig::default() }
+    }
+
+    /// Set the ring-buffer capacity (events).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Use wall-clock timestamps for host-side tracks.
+    pub fn with_wall_clock(mut self) -> Self {
+        self.wall_clock = true;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: Mutex<Ring>,
+    /// Logical host clock: one tick per host-timestamped event.
+    logical: AtomicU64,
+    wall_clock: bool,
+    epoch: Instant,
+}
+
+impl Inner {
+    fn host_now(&self) -> u64 {
+        if self.wall_clock {
+            self.epoch.elapsed().as_nanos() as u64
+        } else {
+            self.logical.fetch_add(1, Ordering::Relaxed)
+        }
+    }
+}
+
+/// A cheap, cloneable handle to a shared trace buffer.
+///
+/// All clones append to the same ring buffer, so one tracer observes the
+/// whole stack. A tracer built with [`Tracer::disabled`] (or a disabled
+/// [`TraceConfig`]) never locks or allocates.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// Build a tracer from a config. A disabled config yields a no-op
+    /// tracer identical to [`Tracer::disabled`].
+    pub fn new(config: TraceConfig) -> Self {
+        if !config.enabled {
+            return Tracer { inner: None };
+        }
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                ring: Mutex::new(Ring {
+                    events: VecDeque::with_capacity(config.capacity.min(1024)),
+                    capacity: config.capacity,
+                    dropped: 0,
+                }),
+                logical: AtomicU64::new(0),
+                wall_clock: config.wall_clock,
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// The no-op tracer: every call is a branch on a `None`.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether events are being recorded. Callers doing non-trivial work to
+    /// *compute* an event (formatting, sampling) should check this first.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn record(&self, track: Track, name: Cow<'static, str>, ts: u64, kind: EventKind, args: Args) {
+        if let Some(inner) = &self.inner {
+            inner.ring.lock().unwrap().push(Event { track, name, ts, kind, args });
+        }
+    }
+
+    /// Open a host-clocked span; it closes when the guard drops.
+    #[inline]
+    pub fn span(&self, track: Track, name: impl Into<Cow<'static, str>>) -> SpanGuard {
+        self.span_with(track, name, Vec::new())
+    }
+
+    /// Open a host-clocked span with arguments on the Begin event.
+    pub fn span_with(
+        &self,
+        track: Track,
+        name: impl Into<Cow<'static, str>>,
+        args: Args,
+    ) -> SpanGuard {
+        let Some(inner) = &self.inner else { return SpanGuard::noop() };
+        let name = name.into();
+        let ts = inner.host_now();
+        self.record(track, name.clone(), ts, EventKind::Begin, args);
+        SpanGuard { tracer: self.clone(), track, name: Some(name), end_args: Vec::new() }
+    }
+
+    /// Record a host-clocked instant event.
+    #[inline]
+    pub fn instant(&self, track: Track, name: impl Into<Cow<'static, str>>, args: Args) {
+        if let Some(inner) = &self.inner {
+            let ts = inner.host_now();
+            self.record(track, name.into(), ts, EventKind::Instant, args);
+        }
+    }
+
+    /// Record an instant event at an explicit device-cycle timestamp.
+    #[inline]
+    pub fn instant_at(
+        &self,
+        track: Track,
+        name: impl Into<Cow<'static, str>>,
+        cycles: u64,
+        args: Args,
+    ) {
+        if self.inner.is_some() {
+            self.record(track, name.into(), cycles, EventKind::Instant, args);
+        }
+    }
+
+    /// Record a host-clocked counter sample.
+    #[inline]
+    pub fn counter(&self, track: Track, name: impl Into<Cow<'static, str>>, value: f64) {
+        if let Some(inner) = &self.inner {
+            let ts = inner.host_now();
+            self.record(track, name.into(), ts, EventKind::Counter(value), Vec::new());
+        }
+    }
+
+    /// Record a counter sample at an explicit device-cycle timestamp.
+    #[inline]
+    pub fn counter_at(
+        &self,
+        track: Track,
+        name: impl Into<Cow<'static, str>>,
+        cycles: u64,
+        value: f64,
+    ) {
+        if self.inner.is_some() {
+            self.record(track, name.into(), cycles, EventKind::Counter(value), Vec::new());
+        }
+    }
+
+    /// Copy out the buffered events, oldest first. Does not clear.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.ring.lock().unwrap().events.iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// How many events have been evicted from the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.ring.lock().unwrap().dropped,
+            None => 0,
+        }
+    }
+
+    /// Clear the buffer (keeps the clock running).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            let mut ring = inner.ring.lock().unwrap();
+            ring.events.clear();
+            ring.dropped = 0;
+        }
+    }
+
+    /// Render the buffered events as Chrome trace-event JSON.
+    pub fn chrome_json(&self) -> String {
+        chrome::to_json(&self.events())
+    }
+
+    /// Render the buffered events as a deterministic summary table.
+    pub fn summary(&self) -> String {
+        summary::render(&self.events())
+    }
+}
+
+/// RAII guard closing a span when dropped. Guards opened on the same track
+/// must drop in LIFO order (natural Rust scoping guarantees this), which
+/// makes traces well-nested by construction.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    track: Track,
+    /// `None` for the no-op guard and after an explicit `end`.
+    name: Option<Cow<'static, str>>,
+    end_args: Args,
+}
+
+impl SpanGuard {
+    fn noop() -> Self {
+        SpanGuard {
+            tracer: Tracer::disabled(),
+            track: Track::Runtime,
+            name: None,
+            end_args: Vec::new(),
+        }
+    }
+
+    /// Attach an argument to the span's End event (e.g. a result computed
+    /// while the span was open).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if self.name.is_some() {
+            self.end_args.push((key, value.into()));
+        }
+    }
+
+    /// Close the span now instead of at scope end.
+    pub fn end(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if let Some(name) = self.name.take() {
+            if let Some(inner) = &self.tracer.inner {
+                let ts = inner.host_now();
+                self.tracer.record(
+                    self.track,
+                    name,
+                    ts,
+                    EventKind::End,
+                    std::mem::take(&mut self.end_args),
+                );
+            }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let mut g = t.span(Track::Compiler, "pass");
+            g.arg("k", 1i64);
+            t.instant(Track::Svm, "alloc", vec![]);
+            t.counter(Track::CpuSim, "l1_hit_rate", 0.5);
+        }
+        assert!(!t.enabled());
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let t = Tracer::new(TraceConfig::enabled());
+        {
+            let _outer = t.span(Track::Runtime, "offload");
+            {
+                let mut inner = t.span(Track::Runtime, "jit");
+                inner.arg("funcs", 3u64);
+            }
+            t.instant(Track::Runtime, "fence_to_gpu", vec![]);
+        }
+        let evs = t.events();
+        let names: Vec<_> = evs.iter().map(|e| (e.name.as_ref(), e.kind.clone())).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("offload", EventKind::Begin),
+                ("jit", EventKind::Begin),
+                ("jit", EventKind::End),
+                ("fence_to_gpu", EventKind::Instant),
+                ("offload", EventKind::End),
+            ]
+        );
+        // End args landed on the jit End event.
+        assert_eq!(evs[2].args, vec![("funcs", ArgValue::UInt(3))]);
+        // Logical clock: strictly increasing per host event.
+        let ts: Vec<_> = evs.iter().map(|e| e.ts).collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let t = Tracer::new(TraceConfig::enabled().with_capacity(4));
+        for i in 0..10u64 {
+            t.counter(Track::GpuSim, "c", i as f64);
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(evs[0].kind, EventKind::Counter(6.0));
+        assert_eq!(evs[3].kind, EventKind::Counter(9.0));
+    }
+
+    #[test]
+    fn device_cycle_timestamps_pass_through() {
+        let t = Tracer::new(TraceConfig::enabled());
+        t.instant_at(Track::GpuSim, "divergence", 1234, vec![("active", ArgValue::UInt(5))]);
+        t.counter_at(Track::CpuSim, "l1_hit_rate", 99, 0.875);
+        let evs = t.events();
+        assert_eq!(evs[0].ts, 1234);
+        assert_eq!(evs[1].ts, 99);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Tracer::new(TraceConfig::enabled());
+        let t2 = t.clone();
+        t.instant(Track::Svm, "a", vec![]);
+        t2.instant(Track::Svm, "b", vec![]);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t2.events().len(), 2);
+    }
+
+    #[test]
+    fn explicit_end_closes_once() {
+        let t = Tracer::new(TraceConfig::enabled());
+        let g = t.span(Track::Compiler, "p");
+        g.end();
+        assert_eq!(t.events().len(), 2);
+    }
+}

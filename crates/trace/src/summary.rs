@@ -1,0 +1,206 @@
+//! Deterministic text summary of a trace.
+//!
+//! Aggregates spans per (track, name) — count, total, mean, and max
+//! duration in the track's clock unit — plus counter statistics (count,
+//! last, max). Rows are sorted by track then name, so two traces of the
+//! same run render identically and diff cleanly.
+
+use crate::{Event, EventKind, Track};
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct SpanStat {
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+#[derive(Default)]
+struct CounterStat {
+    count: u64,
+    last: f64,
+    max: f64,
+}
+
+/// Render the summary table for a buffered event list.
+pub fn render(events: &[Event]) -> String {
+    let mut spans: BTreeMap<(Track, String), SpanStat> = BTreeMap::new();
+    let mut counters: BTreeMap<(Track, String), CounterStat> = BTreeMap::new();
+    // Per-track stack of open Begins; orphaned Ends (Begin evicted from the
+    // ring) and never-closed Begins are ignored rather than miscounted.
+    let mut open: BTreeMap<Track, Vec<(String, u64)>> = BTreeMap::new();
+
+    for ev in events {
+        match &ev.kind {
+            EventKind::Begin => {
+                open.entry(ev.track).or_default().push((ev.name.to_string(), ev.ts));
+            }
+            EventKind::End => {
+                if let Some((name, start)) = open.entry(ev.track).or_default().pop() {
+                    let stat = spans.entry((ev.track, name)).or_default();
+                    let dur = ev.ts.saturating_sub(start);
+                    stat.count += 1;
+                    stat.total += dur;
+                    stat.max = stat.max.max(dur);
+                }
+            }
+            EventKind::Instant => {}
+            EventKind::Counter(v) => {
+                let stat = counters.entry((ev.track, ev.name.to_string())).or_default();
+                stat.count += 1;
+                stat.last = *v;
+                stat.max = if stat.count == 1 { *v } else { stat.max.max(*v) };
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("trace summary\n");
+
+    if spans.is_empty() {
+        out.push_str("  (no completed spans)\n");
+    } else {
+        let mut rows: Vec<[String; 6]> = vec![[
+            "span".into(),
+            "track".into(),
+            "count".into(),
+            "total".into(),
+            "mean".into(),
+            "max".into(),
+        ]];
+        for ((track, name), s) in &spans {
+            let mean = s.total as f64 / s.count as f64;
+            rows.push([
+                name.clone(),
+                format!("{} ({})", track.name(), track.clock_unit()),
+                s.count.to_string(),
+                s.total.to_string(),
+                format!("{mean:.1}"),
+                s.max.to_string(),
+            ]);
+        }
+        push_table(&mut out, &rows);
+    }
+
+    if !counters.is_empty() {
+        out.push_str("counters\n");
+        let mut rows: Vec<[String; 6]> = vec![[
+            "counter".into(),
+            "track".into(),
+            "samples".into(),
+            "last".into(),
+            "max".into(),
+            String::new(),
+        ]];
+        for ((track, name), c) in &counters {
+            rows.push([
+                name.clone(),
+                track.name().to_string(),
+                c.count.to_string(),
+                format!("{:.4}", c.last),
+                format!("{:.4}", c.max),
+                String::new(),
+            ]);
+        }
+        push_table(&mut out, &rows);
+    }
+
+    out
+}
+
+fn push_table(out: &mut String, rows: &[[String; 6]]) {
+    let mut widths = [0usize; 6];
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  ");
+        for (j, cell) in row.iter().enumerate() {
+            if widths[j] == 0 {
+                continue;
+            }
+            if j > 0 {
+                out.push_str("  ");
+            }
+            // Left-align the name column, right-align numbers.
+            if j == 0 || j == 1 {
+                out.push_str(&format!("{cell:<w$}", w = widths[j]));
+            } else {
+                out.push_str(&format!("{cell:>w$}", w = widths[j]));
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if i == 0 {
+            out.push_str("  ");
+            for (j, w) in widths.iter().enumerate() {
+                if *w == 0 {
+                    continue;
+                }
+                if j > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceConfig, Tracer};
+
+    #[test]
+    fn aggregates_spans_per_name() {
+        let t = Tracer::new(TraceConfig::enabled());
+        for _ in 0..3 {
+            let _g = t.span(Track::Compiler, "dce");
+        }
+        {
+            let _g = t.span(Track::Runtime, "offload");
+        }
+        let s = t.summary();
+        assert!(s.contains("dce"), "{s}");
+        assert!(s.contains("offload"), "{s}");
+        // dce ran 3 times.
+        let dce_line = s.lines().find(|l| l.trim_start().starts_with("dce")).unwrap();
+        assert!(dce_line.split_whitespace().any(|f| f == "3"), "{dce_line}");
+    }
+
+    #[test]
+    fn counters_report_last_and_max() {
+        let t = Tracer::new(TraceConfig::enabled());
+        t.counter_at(Track::GpuSim, "l3_hit_rate", 10, 0.5);
+        t.counter_at(Track::GpuSim, "l3_hit_rate", 20, 0.25);
+        let s = t.summary();
+        assert!(s.contains("l3_hit_rate"), "{s}");
+        assert!(s.contains("0.2500"), "{s}");
+        assert!(s.contains("0.5000"), "{s}");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mk = || {
+            let t = Tracer::new(TraceConfig::enabled());
+            let _a = t.span(Track::Svm, "alloc");
+            t.counter(Track::CpuSim, "c", 1.0);
+            drop(_a);
+            t.summary()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        assert!(render(&[]).contains("no completed spans"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests on the tracer's public API: arbitrary well-formed
+//! usage must produce balanced, well-nested span streams, and identical
+//! usage must produce byte-identical Chrome JSON.
+
+use concord_trace::{EventKind, TraceConfig, Tracer, Track};
+use proptest::prelude::*;
+
+const TRACKS: [Track; 5] =
+    [Track::Compiler, Track::Runtime, Track::GpuSim, Track::CpuSim, Track::Svm];
+
+const NAMES: [&str; 6] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+
+/// One scripted tracer operation; u8 payloads keep the generator simple.
+type Op = (u8, u8, u8, u16);
+
+/// Replay a script of operations against a tracer, keeping span guards on a
+/// stack so RAII drops close them innermost-first (well-nested by
+/// construction — the property under test is that the *recorded events*
+/// preserve that nesting).
+fn replay(tracer: &Tracer, ops: &[Op]) {
+    let mut open = Vec::new();
+    for &(op, track, name, val) in ops {
+        let track = TRACKS[track as usize % TRACKS.len()];
+        let name = NAMES[name as usize % NAMES.len()];
+        match op % 5 {
+            0 => open.push(tracer.span(track, name)),
+            1 => {
+                if let Some(mut sp) = open.pop() {
+                    sp.arg("val", i64::from(val));
+                    sp.end();
+                }
+            }
+            2 => tracer.instant(track, name, vec![("val", i64::from(val).into())]),
+            3 => tracer.counter(track, name, f64::from(val)),
+            4 => tracer.instant_at(track, name, u64::from(val), Vec::new()),
+            _ => unreachable!(),
+        }
+    }
+    // Close remaining guards innermost-first (Vec drops front-first, which
+    // would invert the nesting).
+    while open.pop().is_some() {}
+}
+
+proptest! {
+    /// Span Begin/End events are balanced and well-nested per track: every
+    /// End matches the name of the innermost open Begin, and once all
+    /// guards are dropped no track has an open span left.
+    #[test]
+    fn spans_are_balanced_and_well_nested(
+        ops in proptest::collection::vec(
+            (0u8..=255, 0u8..=255, 0u8..=255, 0u16..=999), 0..200)
+    ) {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        replay(&tracer, &ops);
+        let mut stacks: std::collections::BTreeMap<u32, Vec<String>> =
+            std::collections::BTreeMap::new();
+        for e in tracer.events() {
+            let stack = stacks.entry(e.track.tid()).or_default();
+            match e.kind {
+                EventKind::Begin => stack.push(e.name.to_string()),
+                EventKind::End => {
+                    let top = stack.pop();
+                    prop_assert_eq!(top.as_deref(), Some(e.name.as_ref()),
+                        "End must close the innermost open span of its track");
+                }
+                EventKind::Instant | EventKind::Counter(_) => {}
+            }
+        }
+        for (tid, stack) in stacks {
+            prop_assert!(stack.is_empty(),
+                "track {} still has open spans: {:?}", tid, stack);
+        }
+    }
+
+    /// Host-track timestamps are strictly increasing under the default
+    /// deterministic logical clock (each event gets its own tick).
+    #[test]
+    fn logical_clock_is_strictly_monotonic(
+        ops in proptest::collection::vec(
+            // Ops 0..=3 only: instant_at injects caller timestamps.
+            (0u8..=3, 0u8..=255, 0u8..=255, 0u16..=999), 1..150)
+    ) {
+        let tracer = Tracer::new(TraceConfig::enabled());
+        replay(&tracer, &ops);
+        let events = tracer.events();
+        for w in events.windows(2) {
+            prop_assert!(w[0].ts < w[1].ts,
+                "logical clock must tick per event: {} then {}", w[0].ts, w[1].ts);
+        }
+    }
+
+    /// The Chrome exporter never emits unbalanced B/E pairs, even when the
+    /// ring buffer dropped oldest events mid-span.
+    #[test]
+    fn chrome_json_is_balanced_even_after_eviction(
+        ops in proptest::collection::vec(
+            (0u8..=255, 0u8..=255, 0u8..=255, 0u16..=999), 0..300),
+        capacity in 8usize..64
+    ) {
+        let tracer = Tracer::new(TraceConfig::enabled().with_capacity(capacity));
+        replay(&tracer, &ops);
+        let json = tracer.chrome_json();
+        prop_assert!(json.starts_with("{\"traceEvents\":["));
+        prop_assert!(json.ends_with("]}"));
+        let begins = json.matches("\"ph\":\"B\"").count();
+        let ends = json.matches("\"ph\":\"E\"").count();
+        prop_assert_eq!(begins, ends, "every emitted B needs a matching E");
+    }
+
+    /// Identical API usage produces byte-identical Chrome JSON and summary
+    /// under the deterministic clock.
+    #[test]
+    fn identical_scripts_trace_identically(
+        ops in proptest::collection::vec(
+            (0u8..=255, 0u8..=255, 0u8..=255, 0u16..=999), 0..150)
+    ) {
+        let a = Tracer::new(TraceConfig::enabled());
+        let b = Tracer::new(TraceConfig::enabled());
+        replay(&a, &ops);
+        replay(&b, &ops);
+        prop_assert_eq!(a.chrome_json(), b.chrome_json());
+        prop_assert_eq!(a.summary(), b.summary());
+    }
+}

@@ -298,9 +298,8 @@ impl Workload for BarnesHut {
         let theta2 = 0.25f32; // theta = 0.5
         let eps2 = 1e-4f32;
         // Upload the tree.
-        let addrs: Vec<CpuAddr> = (0..tree.nodes.len())
-            .map(|_| cc.malloc(NODE_SIZE))
-            .collect::<Result<_, _>>()?;
+        let addrs: Vec<CpuAddr> =
+            (0..tree.nodes.len()).map(|_| cc.malloc(NODE_SIZE)).collect::<Result<_, _>>()?;
         for (i, node) in tree.nodes.iter().enumerate() {
             let a = addrs[i];
             for (c, ch) in node.child.iter().enumerate() {
@@ -351,9 +350,15 @@ impl Instance for BarnesHutInstance {
     fn verify(&self, cc: &Concord) -> Result<(), String> {
         for (i, e) in self.expected.iter().enumerate() {
             let got = [
-                cc.region().read_f32(CpuAddr(self.ax.0 + i as u64 * 4)).map_err(|t| t.to_string())?,
-                cc.region().read_f32(CpuAddr(self.ay.0 + i as u64 * 4)).map_err(|t| t.to_string())?,
-                cc.region().read_f32(CpuAddr(self.az.0 + i as u64 * 4)).map_err(|t| t.to_string())?,
+                cc.region()
+                    .read_f32(CpuAddr(self.ax.0 + i as u64 * 4))
+                    .map_err(|t| t.to_string())?,
+                cc.region()
+                    .read_f32(CpuAddr(self.ay.0 + i as u64 * 4))
+                    .map_err(|t| t.to_string())?,
+                cc.region()
+                    .read_f32(CpuAddr(self.az.0 + i as u64 * 4))
+                    .map_err(|t| t.to_string())?,
             ];
             for k in 0..3 {
                 let denom = e[k].abs().max(1e-3);

@@ -74,8 +74,7 @@ impl Workload for Bfs {
         cc.region_mut().write_ptr(body.offset(8), csr.cols)?;
         cc.region_mut().write_ptr(body.offset(16), level)?;
         cc.region_mut().write_ptr(body.offset(24), changed)?;
-        let mut inst =
-            BfsInstance { graph, csr, level, changed, body, source_node: 0 };
+        let mut inst = BfsInstance { graph, csr, level, changed, body, source_node: 0 };
         inst.reset(cc)?;
         Ok(Box::new(inst))
     }
@@ -117,8 +116,7 @@ impl Instance for BfsInstance {
         for i in 0..self.csr.n as u64 {
             cc.region_mut().write_i32(CpuAddr(self.level.0 + i * 4), -1)?;
         }
-        cc.region_mut()
-            .write_i32(CpuAddr(self.level.0 + self.source_node as u64 * 4), 0)?;
+        cc.region_mut().write_i32(CpuAddr(self.level.0 + self.source_node as u64 * 4), 0)?;
         Ok(())
     }
 }

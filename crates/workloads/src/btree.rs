@@ -192,10 +192,7 @@ impl Instance for BTreeInstance {
                 .read_i32(CpuAddr(self.results.0 + i as u64 * 4))
                 .map_err(|t| t.to_string())?;
             if got != e {
-                return Err(format!(
-                    "query {i} ({}): result {got}, expected {e}",
-                    self.queries[i]
-                ));
+                return Err(format!("query {i} ({}): result {got}, expected {e}", self.queries[i]));
             }
         }
         Ok(())

@@ -152,9 +152,7 @@ impl Workload for ClothPhysics {
         let fz = cc.malloc(n as u64 * 4)?;
         // Body layout: 9 pointers, then k, energy.
         let body = cc.malloc(9 * 8 + 8)?;
-        for (slot, addr) in
-            [px, py, pz, s_off, s_dst, rest, fx, fy, fz].iter().enumerate()
-        {
+        for (slot, addr) in [px, py, pz, s_off, s_dst, rest, fx, fy, fz].iter().enumerate() {
             cc.region_mut().write_ptr(body.offset(slot as u64 * 8), *addr)?;
         }
         cc.region_mut().write_f32(body.offset(72), k_spring)?;
@@ -205,9 +203,15 @@ impl Instance for ClothInstance {
     fn verify(&self, cc: &Concord) -> Result<(), String> {
         for (i, e) in self.expected_forces.iter().enumerate() {
             let got = [
-                cc.region().read_f32(CpuAddr(self.fx.0 + i as u64 * 4)).map_err(|t| t.to_string())?,
-                cc.region().read_f32(CpuAddr(self.fy.0 + i as u64 * 4)).map_err(|t| t.to_string())?,
-                cc.region().read_f32(CpuAddr(self.fz.0 + i as u64 * 4)).map_err(|t| t.to_string())?,
+                cc.region()
+                    .read_f32(CpuAddr(self.fx.0 + i as u64 * 4))
+                    .map_err(|t| t.to_string())?,
+                cc.region()
+                    .read_f32(CpuAddr(self.fy.0 + i as u64 * 4))
+                    .map_err(|t| t.to_string())?,
+                cc.region()
+                    .read_f32(CpuAddr(self.fz.0 + i as u64 * 4))
+                    .map_err(|t| t.to_string())?,
             ];
             for k in 0..3 {
                 if (got[k] - e[k]).abs() > 1e-3 {
@@ -218,8 +222,7 @@ impl Instance for ClothInstance {
         // The reduced energy lives in the original body (join order varies
         // by device, so allow relative FP slack — §2.2 explicitly does not
         // guarantee float determinism in reductions).
-        let energy =
-            cc.region().read_f32(CpuAddr(self.body.0 + 76)).map_err(|t| t.to_string())?;
+        let energy = cc.region().read_f32(CpuAddr(self.body.0 + 76)).map_err(|t| t.to_string())?;
         let rel = ((energy - self.expected_energy) / self.expected_energy.max(1e-6)).abs();
         if rel > 1e-3 {
             return Err(format!(

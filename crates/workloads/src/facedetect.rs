@@ -163,12 +163,8 @@ fn calibrate_cascade(
         };
         let cut = sorted[((sorted.len() as f64 * reject) as usize).min(sorted.len() - 1)];
         st.thresh = cut;
-        let keep: Vec<usize> = survivors
-            .iter()
-            .zip(&sums)
-            .filter(|(_, &s)| s >= cut)
-            .map(|(&i, _)| i)
-            .collect();
+        let keep: Vec<usize> =
+            survivors.iter().zip(&sums).filter(|(_, &s)| s >= cut).map(|(&i, _)| i).collect();
         survivors = keep;
         sums.clear();
     }
@@ -252,9 +248,8 @@ pub fn debug_stage_survival() {
     let stride = 4usize;
     let tiles_x = img_w / 8 + 1;
     let tiles_y = img_h / 8 + 1;
-    let tile_bright: Vec<i32> = (0..tiles_x * tiles_y)
-        .map(|_| rand::Rng::gen_range(&mut rng, 0..120))
-        .collect();
+    let tile_bright: Vec<i32> =
+        (0..tiles_x * tiles_y).map(|_| rand::Rng::gen_range(&mut rng, 0..120)).collect();
     let mut img = vec![0i32; img_w * img_h];
     for y in 0..img_h {
         for x in 0..img_w {
@@ -269,7 +264,10 @@ pub fn debug_stage_survival() {
         for dy in -4i32..=4 {
             for dx in -4i32..=4 {
                 let (x, y) = (cx + dx, cy + dy);
-                if x >= 0 && y >= 0 && (x as usize) < img_w && (y as usize) < img_h
+                if x >= 0
+                    && y >= 0
+                    && (x as usize) < img_w
+                    && (y as usize) < img_h
                     && dx * dx + dy * dy <= 16
                 {
                     img[y as usize * img_w + x as usize] += 120;
@@ -326,14 +324,12 @@ impl Workload for FaceDetect {
         // at feature scale) + gradient + noise + bright blobs ("faces").
         let tiles_x = img_w / 8 + 1;
         let tiles_y = img_h / 8 + 1;
-        let tile_bright: Vec<i32> =
-            (0..tiles_x * tiles_y).map(|_| rng.gen_range(0..120)).collect();
+        let tile_bright: Vec<i32> = (0..tiles_x * tiles_y).map(|_| rng.gen_range(0..120)).collect();
         let mut img = vec![0i32; img_w * img_h];
         for y in 0..img_h {
             for x in 0..img_w {
                 let t = tile_bright[(y / 8) * tiles_x + (x / 8)];
-                img[y * img_w + x] =
-                    t + ((x * 3 + y * 2) % 48) as i32 + rng.gen_range(0..32);
+                img[y * img_w + x] = t + ((x * 3 + y * 2) % 48) as i32 + rng.gen_range(0..32);
             }
         }
         for _ in 0..(img_w * img_h / 500).max(2) {
@@ -342,7 +338,10 @@ impl Workload for FaceDetect {
             for dy in -4i32..=4 {
                 for dx in -4i32..=4 {
                     let (x, y) = (cx + dx, cy + dy);
-                    if x >= 0 && y >= 0 && (x as usize) < img_w && (y as usize) < img_h
+                    if x >= 0
+                        && y >= 0
+                        && (x as usize) < img_w
+                        && (y as usize) < img_h
                         && dx * dx + dy * dy <= 16
                     {
                         img[y as usize * img_w + x as usize] += 120;
@@ -468,8 +467,7 @@ mod tests {
         for y in 0..img_h {
             for x in 0..img_w {
                 let t = tile_bright[(y / 8) * tiles_x + (x / 8)];
-                img[y * img_w + x] =
-                    t + ((x * 3 + y * 2) % 48) as i32 + rng.gen_range(0..32);
+                img[y * img_w + x] = t + ((x * 3 + y * 2) % 48) as i32 + rng.gen_range(0..32);
             }
         }
         let ii = integral_image(&img, img_w, img_h);

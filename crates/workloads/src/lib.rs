@@ -83,8 +83,10 @@ pub struct Spec {
 /// Aggregated statistics over a workload run (possibly many offloads).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunTotals {
-    /// Total wall-clock seconds.
+    /// Total wall-clock seconds (JIT + execution).
     pub seconds: f64,
+    /// Seconds of that total spent JIT-compiling GPU binaries.
+    pub jit_seconds: f64,
     /// Total package joules.
     pub joules: f64,
     /// Number of construct invocations.
@@ -109,7 +111,8 @@ pub struct RunTotals {
 impl RunTotals {
     /// Fold one offload report into the totals.
     pub fn absorb(&mut self, r: &OffloadReport) {
-        self.seconds += r.seconds;
+        self.seconds += r.total_seconds();
+        self.jit_seconds += r.jit_seconds;
         self.joules += r.joules;
         self.offloads += 1;
         self.used_gpu |= r.on_gpu;
@@ -119,8 +122,8 @@ impl RunTotals {
         self.contended += r.contended;
         self.insts += r.insts;
         if r.on_gpu {
-            self.busy_weighted += r.busy_fraction * r.seconds;
-            self.gpu_seconds += r.seconds;
+            self.busy_weighted += r.busy_fraction * r.exec_seconds;
+            self.gpu_seconds += r.exec_seconds;
         }
     }
 
@@ -275,14 +278,15 @@ mod tests {
     fn totals_absorb_accumulates() {
         let mut t = RunTotals::default();
         t.absorb(&concord_runtime::OffloadReport {
-            seconds: 1.0,
+            jit_seconds: 0.25,
+            exec_seconds: 1.0,
             joules: 10.0,
             on_gpu: true,
             busy_fraction: 0.5,
             ..Default::default()
         });
         t.absorb(&concord_runtime::OffloadReport {
-            seconds: 1.0,
+            exec_seconds: 1.0,
             joules: 5.0,
             on_gpu: true,
             busy_fraction: 1.0,
@@ -291,5 +295,7 @@ mod tests {
         assert_eq!(t.offloads, 2);
         assert!((t.avg_busy_fraction() - 0.75).abs() < 1e-9);
         assert_eq!(t.joules, 15.0);
+        assert!((t.seconds - 2.25).abs() < 1e-12, "totals include JIT time");
+        assert!((t.jit_seconds - 0.25).abs() < 1e-12);
     }
 }

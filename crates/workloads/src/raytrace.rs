@@ -177,9 +177,7 @@ impl HostShape {
 
     fn normal_at(&self, h: [f32; 3]) -> [f32; 3] {
         match *self {
-            HostShape::Sphere { c, r } => {
-                [(h[0] - c[0]) / r, (h[1] - c[1]) / r, (h[2] - c[2]) / r]
-            }
+            HostShape::Sphere { c, r } => [(h[0] - c[0]) / r, (h[1] - c[1]) / r, (h[2] - c[2]) / r],
             HostShape::Plane { .. } => [0.0, 1.0, 0.0],
         }
     }
@@ -281,11 +279,8 @@ impl Workload for Raytracer {
             })
             .collect();
         shapes.push(HostShape::Plane { y: -1.0 });
-        let lights: Vec<[f32; 4]> = vec![
-            [3.0, 4.0, 3.0, 0.7],
-            [-3.0, 5.0, 1.0, 0.4],
-            [0.0, 8.0, -2.0, 0.3],
-        ];
+        let lights: Vec<[f32; 4]> =
+            vec![[3.0, 4.0, 3.0, 0.7], [-3.0, 5.0, 1.0, 0.4], [0.0, 8.0, -2.0, 0.3]];
         // Sphere = class id 1, Plane = class id 2 (Shape is 0).
         let sphere_vt = VtableArea::addr_of(concord_ir::ClassId(1));
         let plane_vt = VtableArea::addr_of(concord_ir::ClassId(2));
@@ -310,8 +305,7 @@ impl Workload for Raytracer {
         let larr = cc.malloc(lights.len() as u64 * 16)?;
         for (l, light) in lights.iter().enumerate() {
             for (k, v) in light.iter().enumerate() {
-                cc.region_mut()
-                    .write_f32(CpuAddr(larr.0 + (l * 4 + k) as u64 * 4), *v)?;
+                cc.region_mut().write_f32(CpuAddr(larr.0 + (l * 4 + k) as u64 * 4), *v)?;
             }
         }
         let n = (width * height) as u32;

@@ -115,8 +115,7 @@ impl Instance for SsspInstance {
         for i in 0..self.csr.n as u64 {
             cc.region_mut().write_i32(CpuAddr(self.dist.0 + i * 4), INF)?;
         }
-        cc.region_mut()
-            .write_i32(CpuAddr(self.dist.0 + self.source_node as u64 * 4), 0)?;
+        cc.region_mut().write_i32(CpuAddr(self.dist.0 + self.source_node as u64 * 4), 0)?;
         Ok(())
     }
 }

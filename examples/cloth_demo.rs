@@ -22,8 +22,7 @@ fn main() -> Result<(), RuntimeError> {
     println!("construct: {}", spec.construct);
     let mut energies = Vec::new();
     for target in [Target::Cpu, Target::Gpu] {
-        let mut cc =
-            Concord::new(SystemConfig::ultrabook(), spec.source, Options::default())?;
+        let mut cc = Concord::new(SystemConfig::ultrabook(), spec.source, Options::default())?;
         let mut inst = workload.build(&mut cc, Scale::Small)?;
         let totals = inst.run(&mut cc, target)?;
         inst.verify(&cc).expect("forces and energy match the reference");
@@ -39,9 +38,6 @@ fn main() -> Result<(), RuntimeError> {
         let _ = CpuAddr::NULL;
         energies.push(totals.seconds);
     }
-    println!(
-        "GPU reduction is {:.1}x the CPU's speed on the Ultrabook",
-        energies[0] / energies[1]
-    );
+    println!("GPU reduction is {:.1}x the CPU's speed on the Ultrabook", energies[0] / energies[1]);
     Ok(())
 }

@@ -18,8 +18,7 @@ fn run(workload: &dyn Workload, label: &str) -> Result<(), RuntimeError> {
     println!("== {label} ==");
     for target in [Target::Cpu, Target::Gpu] {
         let spec = workload.spec();
-        let mut cc =
-            Concord::new(SystemConfig::desktop(), spec.source, Options::default())?;
+        let mut cc = Concord::new(SystemConfig::desktop(), spec.source, Options::default())?;
         let mut inst = workload.build(&mut cc, Scale::Small)?;
         let totals = inst.run(&mut cc, target)?;
         inst.verify(&cc).expect("device result matches reference");

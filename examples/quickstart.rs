@@ -43,7 +43,7 @@ fn main() -> Result<(), RuntimeError> {
         println!(
             "{:>3}: linked {n} nodes in {:.3} ms using {:.3} mJ (list verified)",
             if report.on_gpu { "GPU" } else { "CPU" },
-            report.seconds * 1e3,
+            report.total_seconds() * 1e3,
             report.joules * 1e3,
         );
         if report.on_gpu {

@@ -71,11 +71,8 @@ const SRC: &str = r#"
 
 fn main() -> Result<(), RuntimeError> {
     let (w, h) = (72usize, 28usize);
-    let spheres: &[([f32; 3], f32)] = &[
-        ([-1.0, 0.3, 0.0], 0.7),
-        ([0.9, 0.0, -0.6], 0.55),
-        ([0.1, 0.9, 0.8], 0.3),
-    ];
+    let spheres: &[([f32; 3], f32)] =
+        &[([-1.0, 0.3, 0.0], 0.7), ([0.9, 0.0, -0.6], 0.55), ([0.1, 0.9, 0.8], 0.3)];
     let mut images: Vec<Vec<f32>> = Vec::new();
     for target in [Target::Cpu, Target::Gpu] {
         let mut cc = Concord::new(SystemConfig::ultrabook(), SRC, Options::default())?;
@@ -108,7 +105,7 @@ fn main() -> Result<(), RuntimeError> {
         println!(
             "{:>3}: rendered {w}x{h} in {:.3} ms ({:.3} mJ)",
             if report.on_gpu { "GPU" } else { "CPU" },
-            report.seconds * 1e3,
+            report.total_seconds() * 1e3,
             report.joules * 1e3
         );
         if report.on_gpu {

@@ -46,4 +46,5 @@ pub use concord_gpusim as gpusim;
 pub use concord_ir as ir;
 pub use concord_runtime as runtime;
 pub use concord_svm as svm;
+pub use concord_trace as trace;
 pub use concord_workloads as workloads;

@@ -56,9 +56,7 @@ fn run_spec(spec: &KernelSpec, target: Target, cfg: concord::compiler::GpuConfig
     let items = 40u32;
     let a = cc.malloc(n as u64 * 4).expect("alloc");
     for i in 0..n {
-        cc.region_mut()
-            .write_i32(CpuAddr(a.0 + i as u64 * 4), (i as i32) * 5 - 31)
-            .expect("write");
+        cc.region_mut().write_i32(CpuAddr(a.0 + i as u64 * 4), (i as i32) * 5 - 31).expect("write");
     }
     let out = cc.malloc(items as u64 * 4).expect("alloc");
     let body = cc.malloc(24).expect("alloc");
@@ -66,9 +64,7 @@ fn run_spec(spec: &KernelSpec, target: Target, cfg: concord::compiler::GpuConfig
     cc.region_mut().write_i32(body.offset(8), n as i32).expect("write");
     cc.region_mut().write_ptr(body.offset(16), out).expect("write");
     cc.parallel_for_hetero("K", body, items, target).expect("runs");
-    (0..items as u64)
-        .map(|i| cc.region().read_i32(CpuAddr(out.0 + i * 4)).expect("read"))
-        .collect()
+    (0..items as u64).map(|i| cc.region().read_i32(CpuAddr(out.0 + i * 4)).expect("read")).collect()
 }
 
 proptest! {

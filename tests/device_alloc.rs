@@ -34,8 +34,7 @@ const SRC: &str = r#"
 "#;
 
 fn run(target: Target, heap_bytes: Option<u64>) -> (Vec<i32>, i32) {
-    let mut cc =
-        Concord::new(SystemConfig::ultrabook(), SRC, Options::default()).expect("compile");
+    let mut cc = Concord::new(SystemConfig::ultrabook(), SRC, Options::default()).expect("compile");
     if let Some(b) = heap_bytes {
         cc.enable_device_heap(b).expect("heap");
     }
@@ -74,7 +73,7 @@ fn exhausted_heap_returns_null() {
     // 100 allocations of 16 bytes need 1600 bytes; give only 512.
     let (vals, fails) = run(Target::Gpu, Some(512));
     assert!(fails > 0, "some allocations must fail");
-    assert!(vals.iter().any(|&v| v == -1));
+    assert!(vals.contains(&-1));
     assert!(vals.iter().any(|&v| v != -1), "early allocations succeed");
 }
 

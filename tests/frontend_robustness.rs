@@ -38,7 +38,7 @@ proptest! {
 #[test]
 fn diagnostics_have_useful_locations() {
     let cases = [
-        ("struct S { int x }\n", "expected"),              // missing semicolon
+        ("struct S { int x }\n", "expected"), // missing semicolon
         ("void f() { int x = ; }", "expected expression"), // missing init
         ("void f() { y = 1; }", "unknown identifier"),
         ("void f(Unknown* p) { }", "unknown type"),

@@ -1,0 +1,67 @@
+//! End-to-end trace determinism: two identical workload runs through the
+//! full stack (frontend → compiler pipelines → runtime → simulators) must
+//! produce byte-identical Chrome JSON and summary output under the default
+//! deterministic clock.
+
+use concord::energy::SystemConfig;
+use concord::runtime::{Concord, Options, Target};
+use concord::trace::TraceConfig;
+use concord::workloads::{bfs::Bfs, raytrace::Raytracer, Scale, Workload};
+
+fn traced_run(workload: &dyn Workload, target: Target) -> (String, String) {
+    let spec = workload.spec();
+    let opts = Options { trace: TraceConfig::enabled(), ..Options::default() };
+    let mut cc = Concord::new(SystemConfig::ultrabook(), spec.source, opts).unwrap();
+    let mut inst = workload.build(&mut cc, Scale::Tiny).unwrap();
+    inst.run(&mut cc, target).unwrap();
+    inst.verify(&cc).unwrap();
+    (cc.tracer().chrome_json(), cc.tracer().summary())
+}
+
+#[test]
+fn identical_gpu_runs_trace_identically() {
+    let (json1, sum1) = traced_run(&Raytracer, Target::Gpu);
+    let (json2, sum2) = traced_run(&Raytracer, Target::Gpu);
+    assert!(!json1.is_empty() && json1.contains("\"ph\":\"B\""));
+    assert_eq!(json1, json2, "byte-identical Chrome JSON across identical runs");
+    assert_eq!(sum1, sum2, "byte-identical summary across identical runs");
+}
+
+#[test]
+fn identical_cpu_runs_trace_identically() {
+    let (json1, sum1) = traced_run(&Bfs, Target::Cpu);
+    let (json2, sum2) = traced_run(&Bfs, Target::Cpu);
+    assert_eq!(json1, json2);
+    assert_eq!(sum1, sum2);
+}
+
+#[test]
+fn full_stack_trace_covers_every_layer() {
+    let (json, summary) = traced_run(&Raytracer, Target::Gpu);
+    // Compiler-pass spans, runtime offload sub-spans, GPU events, and SVM
+    // allocation events must all be present in one trace.
+    for needle in [
+        "\"svm_lower\"",    // compiler pass span
+        "\"parallel_for\"", // runtime offload span
+        "\"gpu_launch\"",   // runtime launch sub-span
+        "\"fence_to_gpu\"", // runtime fence sub-span + svm instant
+        "\"launch_done\"",  // gpusim launch instant
+        "\"l3_hit_rate\"",  // gpusim counter
+        "\"malloc\"",       // svm allocator instant
+    ] {
+        assert!(json.contains(needle), "trace must contain {needle}");
+    }
+    assert!(summary.contains("gpu_launch"));
+    assert!(summary.contains("l3_hit_rate"));
+}
+
+#[test]
+fn disabled_tracer_records_nothing_end_to_end() {
+    let spec = Raytracer.spec();
+    let mut cc = Concord::new(SystemConfig::ultrabook(), spec.source, Options::default()).unwrap();
+    let mut inst = Raytracer.build(&mut cc, Scale::Tiny).unwrap();
+    inst.run(&mut cc, Target::Gpu).unwrap();
+    assert!(!cc.tracer().enabled());
+    assert!(cc.tracer().events().is_empty());
+    assert_eq!(cc.tracer().chrome_json(), "{\"traceEvents\":[]}");
+}
