@@ -19,4 +19,16 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
+echo "==> running examples"
+for example in quickstart raytrace_demo graph_analytics cloth_demo; do
+    echo "--> $example"
+    cargo run --release --quiet --example "$example"
+done
+
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> CI green"

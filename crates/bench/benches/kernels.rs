@@ -34,7 +34,10 @@ fn bench_full_row(c: &mut Criterion) {
     group.sample_size(10);
     let w = concord_workloads::bfs::Bfs;
     group.bench_function("bfs/ultrabook_all_configs", |b| {
-        b.iter(|| figure_row(&w, SystemConfig::ultrabook(), Scale::Tiny).expect("row"))
+        b.iter(|| {
+            figure_row(&w, SystemConfig::ultrabook(), Scale::Tiny, concord_runtime::Target::Gpu)
+                .expect("row")
+        })
     });
     group.finish();
 }

@@ -6,10 +6,17 @@
 //!
 //! ```text
 //! fig7_to_10 [--system ultrabook|desktop|both] [--tiny|--small|--medium]
+//!            [--target gpu|hybrid|hybrid:<fraction>|auto]
 //! ```
+//!
+//! `--target` selects the device policy of the four configured runs:
+//! `gpu` (default) reproduces the paper's figures, `hybrid`/`auto`
+//! evaluate the work-partitioning scheduler against the same CPU
+//! baseline.
 
 use concord_bench::{figure_rows, geomean, render_table, FigureRow};
 use concord_energy::SystemConfig;
+use concord_runtime::Target;
 use concord_workloads::Scale;
 
 fn main() {
@@ -32,17 +39,34 @@ fn main() {
         "desktop" => vec![SystemConfig::desktop()],
         _ => vec![SystemConfig::ultrabook(), SystemConfig::desktop()],
     };
+    let target = args
+        .iter()
+        .position(|a| a == "--target")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            Target::parse(s).unwrap_or_else(|| {
+                eprintln!("unknown target `{s}` (use gpu|hybrid|hybrid:<fraction>|auto)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(Target::Gpu);
     for system in systems {
         let (fig_speed, fig_energy) = if system.name == "ultrabook" { (7, 8) } else { (9, 10) };
         eprintln!("running {} ({} workloads x 5 measurements)...", system.name, 9);
-        let rows = figure_rows(system, scale).expect("figure rows");
+        let rows = figure_rows(system, scale, target).expect("figure rows");
         print_figure(
-            &format!("Figure {fig_speed}: runtime speedup vs multicore CPU ({})", system.name),
+            &format!(
+                "Figure {fig_speed}: runtime speedup of {target} vs multicore CPU ({})",
+                system.name
+            ),
             &rows,
             FigureRow::speedup,
         );
         print_figure(
-            &format!("Figure {fig_energy}: energy savings vs multicore CPU ({})", system.name),
+            &format!(
+                "Figure {fig_energy}: energy savings of {target} vs multicore CPU ({})",
+                system.name
+            ),
             &rows,
             FigureRow::energy_savings,
         );

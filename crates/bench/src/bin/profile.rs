@@ -25,7 +25,7 @@ struct Cli {
 fn usage_text() -> String {
     format!(
         "usage: profile [--workload NAME] [--scale tiny|small|medium] \
-         [--target cpu|gpu] [--out FILE] [--wall-clock]\n\
+         [--target cpu|gpu|hybrid|hybrid:<fraction>|auto] [--out FILE] [--wall-clock]\n\
          workloads: {}",
         all_workloads().iter().map(|w| w.spec().name.to_lowercase()).collect::<Vec<_>>().join(", ")
     )
@@ -58,11 +58,7 @@ fn parse_args() -> Cli {
                 }
             }
             "--target" | "-t" => {
-                cli.target = match value(&mut args).as_str() {
-                    "cpu" => Target::Cpu,
-                    "gpu" => Target::Gpu,
-                    _ => usage(),
-                }
+                cli.target = Target::parse(&value(&mut args)).unwrap_or_else(|| usage())
             }
             "--out" | "-o" => cli.out = value(&mut args),
             "--wall-clock" => cli.wall_clock = true,
@@ -110,7 +106,7 @@ fn main() {
     println!(
         "{} on {} ({:?}): {:.3} ms ({:.3} ms JIT), {:.3} J, {} offloads, verified: {}",
         spec.name,
-        if cli.target == Target::Gpu { "GPU" } else { "CPU" },
+        cli.target,
         cli.scale,
         totals.seconds * 1e3,
         totals.jit_seconds * 1e3,

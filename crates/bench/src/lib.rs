@@ -36,7 +36,8 @@ pub struct FigureRow {
     pub name: &'static str,
     /// Multicore CPU measurement (the baseline).
     pub cpu: Measurement,
-    /// `(config name, measurement)` for the four GPU configurations.
+    /// `(config name, measurement)` for the four GPU configurations,
+    /// each run under the row's device target (GPU, hybrid, or auto).
     pub gpu: Vec<(&'static str, Measurement)>,
 }
 
@@ -58,7 +59,10 @@ impl FigureRow {
 }
 
 /// Run one workload through the CPU baseline and all four GPU
-/// configurations on `system`.
+/// configurations on `system`. `target` is the device policy the four
+/// configured runs use — `Target::Gpu` for the paper's figures, or
+/// `Target::Hybrid`/`Target::Auto` to evaluate the work-partitioning
+/// scheduler against the same CPU baseline.
 ///
 /// # Errors
 ///
@@ -67,26 +71,31 @@ pub fn figure_row(
     workload: &dyn Workload,
     system: SystemConfig,
     scale: Scale,
+    target: Target,
 ) -> Result<FigureRow, RuntimeError> {
     let name = workload.spec().name;
     // The CPU baseline is independent of the GPU config; use ALL.
     let cpu = measure(workload, system, GpuConfig::all(system.gpu.eus), scale, Target::Cpu)?;
     let mut gpu = Vec::new();
     for (label, cfg) in configurations(system.gpu.eus) {
-        let m = measure(workload, system, cfg, scale, Target::Gpu)?;
+        let m = measure(workload, system, cfg, scale, target)?;
         gpu.push((label, m));
     }
     Ok(FigureRow { name, cpu, gpu })
 }
 
 /// Run all nine workloads on `system` (Figures 7+8 for the Ultrabook,
-/// 9+10 for the desktop).
+/// 9+10 for the desktop) under `target`.
 ///
 /// # Errors
 ///
 /// Propagates the first failing workload run.
-pub fn figure_rows(system: SystemConfig, scale: Scale) -> Result<Vec<FigureRow>, RuntimeError> {
-    all_workloads().iter().map(|w| figure_row(w.as_ref(), system, scale)).collect()
+pub fn figure_rows(
+    system: SystemConfig,
+    scale: Scale,
+    target: Target,
+) -> Result<Vec<FigureRow>, RuntimeError> {
+    all_workloads().iter().map(|w| figure_row(w.as_ref(), system, scale, target)).collect()
 }
 
 /// Geometric mean helper for figure summaries.
@@ -166,11 +175,20 @@ mod tests {
     fn one_figure_row_end_to_end() {
         // Smoke test: BFS through all five measurements on the Ultrabook.
         let w = concord_workloads::bfs::Bfs;
-        let row = figure_row(&w, SystemConfig::ultrabook(), Scale::Tiny).unwrap();
+        let row = figure_row(&w, SystemConfig::ultrabook(), Scale::Tiny, Target::Gpu).unwrap();
         assert!(row.all_verified(), "all configurations must verify");
         for i in 0..4 {
             assert!(row.speedup(i) > 0.0);
             assert!(row.energy_savings(i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn hybrid_and_auto_rows_verify() {
+        let w = concord_workloads::bfs::Bfs;
+        for target in [Target::Hybrid { gpu_fraction: 0.5 }, Target::Auto] {
+            let row = figure_row(&w, SystemConfig::ultrabook(), Scale::Tiny, target).unwrap();
+            assert!(row.all_verified(), "{target} row must verify");
         }
     }
 }

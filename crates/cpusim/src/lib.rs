@@ -198,13 +198,36 @@ impl CpuSim {
         body: CpuAddr,
         n: u32,
     ) -> Result<CpuReport, Trap> {
+        self.parallel_for_span(region, vtables, module, func, body, 0, n, n)
+    }
+
+    /// Execute the sub-range `[lo, hi)` of a `parallel_for_hetero` whose
+    /// full iteration space is `[0, grid)`, statically chunked across all
+    /// cores. Work-item ids stay global (`i`), so a split construct
+    /// computes exactly what the unsplit one would.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_for_span(
+        &mut self,
+        region: &mut SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+    ) -> Result<CpuReport, Trap> {
         self.reset_timing();
         let cores = self.cfg.cores.max(1);
-        let chunk = n.div_ceil(cores);
+        let chunk = (hi - lo).div_ceil(cores.max(1)).max(1);
         for core_idx in 0..cores as usize {
-            let lo = core_idx as u32 * chunk;
-            let hi = ((core_idx as u32 + 1) * chunk).min(n);
-            for i in lo..hi {
+            let c_lo = lo.saturating_add(core_idx as u32 * chunk).min(hi);
+            let c_hi = lo.saturating_add((core_idx as u32 + 1) * chunk).min(hi);
+            for i in c_lo..c_hi {
                 let mut interp = Interp {
                     module,
                     region,
@@ -213,7 +236,7 @@ impl CpuSim {
                     core: &mut self.cores[core_idx],
                     cfg: &self.cfg,
                     llc: &mut self.llc,
-                    ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: n as i64 },
+                    ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: grid as i64 },
                     step_budget: self.step_budget_per_item,
                     max_depth: 64,
                 };
@@ -259,40 +282,8 @@ impl CpuSim {
         n: u32,
         scratch: &[CpuAddr],
     ) -> Result<CpuReport, Trap> {
-        self.reset_timing();
         let cores = (self.cfg.cores.max(1) as usize).min(scratch.len());
-        assert!(cores >= 1, "need at least one scratch slot");
-        // Copy the body into each core's accumulator.
-        for &slot in scratch.iter().take(cores) {
-            let bytes = region.read_bytes(body.0, AddrSpace::Cpu, body_size)?.to_vec();
-            region.write_bytes(slot.0, AddrSpace::Cpu, &bytes)?;
-        }
-        let chunk = n.div_ceil(cores as u32);
-        for (core_idx, &acc) in scratch.iter().take(cores).enumerate() {
-            let lo = core_idx as u32 * chunk;
-            let hi = ((core_idx as u32 + 1) * chunk).min(n);
-            for i in lo..hi {
-                let mut interp = Interp {
-                    module,
-                    region,
-                    vtables,
-                    private: &mut self.privates[core_idx],
-                    core: &mut self.cores[core_idx],
-                    cfg: &self.cfg,
-                    llc: &mut self.llc,
-                    ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: n as i64 },
-                    step_budget: self.step_budget_per_item,
-                    max_depth: 64,
-                };
-                interp
-                    .call(
-                        &mut self.layouts,
-                        func,
-                        &[Value::Ptr(acc.0, AddrSpace::Cpu), Value::I(i as i64)],
-                    )
-                    .map_err(|t| t.with_kernel(&module.function(func).name))?;
-            }
-        }
+        self.accumulate_partials(region, vtables, module, func, body, body_size, 0, n, n, scratch)?;
         // Sequential join on core 0: body.join(acc_k) for each core.
         for &slot in scratch.iter().take(cores) {
             self.call(
@@ -306,6 +297,96 @@ impl CpuSim {
         let r = self.report(5e-6);
         self.trace_report("parallel_reduce", &r);
         Ok(r)
+    }
+
+    /// The accumulation phase of `parallel_reduce_hetero` over the
+    /// sub-range `[lo, hi)` of a `[0, grid)` iteration space: each core
+    /// folds its chunk into a private copy of `body` held in its `scratch`
+    /// slot, and the partials are left there — the caller joins them
+    /// (possibly together with another device's partials).
+    ///
+    /// Every slot up to `min(cores, scratch.len())` receives a body copy,
+    /// even when its chunk is empty, so the caller must join exactly that
+    /// many slots.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_reduce_partials(
+        &mut self,
+        region: &mut SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        scratch: &[CpuAddr],
+    ) -> Result<CpuReport, Trap> {
+        self.accumulate_partials(
+            region, vtables, module, func, body, body_size, lo, hi, grid, scratch,
+        )?;
+        let r = self.report(5e-6);
+        self.trace_report("parallel_reduce", &r);
+        Ok(r)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_partials(
+        &mut self,
+        region: &mut SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        scratch: &[CpuAddr],
+    ) -> Result<(), Trap> {
+        self.reset_timing();
+        let cores = (self.cfg.cores.max(1) as usize).min(scratch.len());
+        assert!(cores >= 1, "need at least one scratch slot");
+        // Copy the body into each core's accumulator.
+        for &slot in scratch.iter().take(cores) {
+            let bytes = region.read_bytes(body.0, AddrSpace::Cpu, body_size)?.to_vec();
+            region.write_bytes(slot.0, AddrSpace::Cpu, &bytes)?;
+        }
+        let chunk = (hi - lo).div_ceil(cores as u32).max(1);
+        for (core_idx, &acc) in scratch.iter().take(cores).enumerate() {
+            let c_lo = lo.saturating_add(core_idx as u32 * chunk).min(hi);
+            let c_hi = lo.saturating_add((core_idx as u32 + 1) * chunk).min(hi);
+            for i in c_lo..c_hi {
+                let mut interp = Interp {
+                    module,
+                    region,
+                    vtables,
+                    private: &mut self.privates[core_idx],
+                    core: &mut self.cores[core_idx],
+                    cfg: &self.cfg,
+                    llc: &mut self.llc,
+                    ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: grid as i64 },
+                    step_budget: self.step_budget_per_item,
+                    max_depth: 64,
+                };
+                interp
+                    .call(
+                        &mut self.layouts,
+                        func,
+                        &[Value::Ptr(acc.0, AddrSpace::Cpu), Value::I(i as i64)],
+                    )
+                    .map_err(|t| t.with_kernel(&module.function(func).name))?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -87,12 +87,14 @@ impl GpuSim {
         self.tracer = tracer;
     }
 
-    fn make_lanes(&self, w: u64, n: u32, width: u32) -> (Vec<Lane>, Mask) {
+    /// Lanes for warp `w` covering global ids `base + lane` within the
+    /// active range `[.., hi)` of a `[0, grid)` iteration space.
+    fn make_lanes(&self, w: u64, base: u64, hi: u32, grid: u32, width: u32) -> (Vec<Lane>, Mask) {
         let mut lanes = Vec::with_capacity(width as usize);
         let mut mask: Mask = 0;
         for l in 0..width {
-            let gid = w * width as u64 + l as u64;
-            if gid < n as u64 {
+            let gid = base + l as u64;
+            if gid < hi as u64 {
                 mask |= 1 << l;
             }
             lanes.push(Lane {
@@ -101,7 +103,7 @@ impl GpuSim {
                     global: gid as i64,
                     local: l as i64,
                     group: w as i64,
-                    size: n as i64,
+                    size: grid as i64,
                 },
             });
         }
@@ -166,10 +168,31 @@ impl GpuSim {
         body: CpuAddr,
         n: u32,
     ) -> Result<GpuReport, Trap> {
+        self.parallel_for_span(region, module, func, body, 0, n, n)
+    }
+
+    /// Launch the sub-range `[lo, hi)` of a `parallel_for_hetero` whose
+    /// full iteration space is `[0, grid)`. Work-item ids stay global, so
+    /// a split construct computes exactly what the unsplit one would.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`]: missing translations, faults, runaway loops.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_for_span(
+        &mut self,
+        region: &mut SharedRegion,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+    ) -> Result<GpuReport, Trap> {
         self.l3.flush();
         let width = self.cfg.simd_width;
         let eus = self.cfg.eus as usize;
-        let warps = (n as u64).div_ceil(width as u64);
+        let warps = ((hi - lo) as u64).div_ceil(width as u64);
         let hiding = (warps as f64 / eus as f64).clamp(1.0, self.cfg.threads_per_eu as f64);
         let mut eu_cycles = vec![0.0f64; eus];
         let mut eu_issue = vec![0.0f64; eus];
@@ -178,7 +201,8 @@ impl GpuSim {
         for w in 0..warps {
             let eu = (w % eus as u64) as u32;
             let wave = (w / eus as u64) as u32;
-            let (lanes, mask) = self.make_lanes(w, n, width);
+            let base = lo as u64 + w * width as u64;
+            let (lanes, mask) = self.make_lanes(w, base, hi, grid, width);
             let mut warp = Warp {
                 module,
                 region,
@@ -197,10 +221,7 @@ impl GpuSim {
             };
             let args: Vec<Vec<Value>> = (0..width as usize)
                 .map(|l| {
-                    vec![
-                        Value::Ptr(body.0, AddrSpace::Cpu),
-                        Value::I((w * width as u64 + l as u64) as i64),
-                    ]
+                    vec![Value::Ptr(body.0, AddrSpace::Cpu), Value::I((base + l as u64) as i64)]
                 })
                 .collect();
             warp.exec_function(mask, func, &args, 0)
@@ -243,10 +264,35 @@ impl GpuSim {
         n: u32,
         scratch: &[CpuAddr],
     ) -> Result<GpuReport, Trap> {
+        self.parallel_reduce_span(region, module, func, join, body, body_size, 0, n, n, scratch)
+    }
+
+    /// The sub-range `[lo, hi)` variant of [`GpuSim::parallel_reduce`] over
+    /// a `[0, grid)` iteration space: per-warp partials for the sub-range
+    /// are left in `scratch` (one slot per sub-range warp) and the caller
+    /// joins them on the host.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`]; also if `scratch` is shorter than the warp count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_reduce_span(
+        &mut self,
+        region: &mut SharedRegion,
+        module: &Module,
+        func: FuncId,
+        join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        scratch: &[CpuAddr],
+    ) -> Result<GpuReport, Trap> {
         self.l3.flush();
         let width = self.cfg.simd_width;
         let eus = self.cfg.eus as usize;
-        let warps = (n as u64).div_ceil(width as u64);
+        let warps = ((hi - lo) as u64).div_ceil(width as u64);
         assert!(
             scratch.len() as u64 >= warps,
             "need one scratch slot per warp ({warps}), got {}",
@@ -264,7 +310,8 @@ impl GpuSim {
         for w in 0..warps {
             let eu = (w % eus as u64) as u32;
             let wave = (w / eus as u64) as u32;
-            let (lanes, mask) = self.make_lanes(w, n, width);
+            let base = lo as u64 + w * width as u64;
+            let (lanes, mask) = self.make_lanes(w, base, hi, grid, width);
             let mut warp = Warp {
                 module,
                 region,
@@ -294,7 +341,7 @@ impl GpuSim {
                 .map(|l| {
                     vec![
                         Value::Ptr(priv_copy[l], AddrSpace::Private),
-                        Value::I((w * width as u64 + l as u64) as i64),
+                        Value::I((base + l as u64) as i64),
                     ]
                 })
                 .collect();
@@ -306,7 +353,7 @@ impl GpuSim {
                 warp.lane_memcpy(l, local_slot, priv_copy[l], body_size)?;
             }
             // 4. Tree reduction in local memory.
-            let lane_count = (n as u64 - w * width as u64).min(width as u64) as usize;
+            let lane_count = (hi as u64 - base).min(width as u64) as usize;
             let mut stride = (width / 2) as usize;
             while stride >= 1 {
                 let mut jmask: Mask = 0;

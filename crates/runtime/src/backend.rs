@@ -1,0 +1,446 @@
+//! The execution-device abstraction behind the runtime's generic offload
+//! path.
+//!
+//! [`DeviceBackend`] is what a device must provide for the runtime to run
+//! `parallel_for_hetero` / `parallel_reduce_hetero` on it: consistency
+//! fences, one-time kernel preparation (JIT), a ranged `launch_for`, and a
+//! partials-producing `launch_reduce`. [`CpuBackend`] and [`GpuBackend`]
+//! wrap the two simulators; the runtime drives either — or both, for a
+//! hybrid split — through the same code path, so fence/JIT/metering logic
+//! exists exactly once.
+
+use concord_cpusim::CpuSim;
+use concord_energy::{Device, SystemConfig};
+use concord_gpusim::GpuSim;
+use concord_ir::eval::{Trap, Value};
+use concord_ir::types::AddrSpace;
+use concord_ir::{FuncId, Module};
+use concord_svm::{AllocError, CpuAddr, SharedAllocator, SharedRegion, VtableArea};
+use concord_trace::{SpanGuard, Tracer, Track};
+use std::collections::HashSet;
+
+/// A contiguous sub-range `[lo, hi)` of a construct's `[0, grid)`
+/// iteration space. A full (unsplit) launch is `Span::full(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First work-item id (inclusive).
+    pub lo: u32,
+    /// Last work-item id (exclusive).
+    pub hi: u32,
+    /// Total size of the construct's iteration space.
+    pub grid: u32,
+}
+
+impl Span {
+    /// The whole iteration space `[0, n)`.
+    #[must_use]
+    pub fn full(n: u32) -> Self {
+        Span { lo: 0, hi: n, grid: n }
+    }
+
+    /// Work items in this sub-range.
+    #[must_use]
+    pub fn items(&self) -> u32 {
+        self.hi - self.lo
+    }
+}
+
+/// Borrowed execution state a backend needs for one launch: the shared
+/// region, vtables, both compiled modules, the platform description, and
+/// the tracer.
+pub struct ExecCtx<'a> {
+    /// Shared virtual memory region.
+    pub region: &'a mut SharedRegion,
+    /// Installed vtables (CPU dispatch).
+    pub vtables: &'a VtableArea,
+    /// The CPU-optimized module.
+    pub cpu_module: &'a Module,
+    /// The GPU-lowered module. Function ids are stable across the lowering
+    /// clone, so the same [`FuncId`] names the kernel in both modules.
+    pub gpu_module: &'a Module,
+    /// Platform parameters (clocks, power, JIT cost).
+    pub system: &'a SystemConfig,
+    /// Trace sink.
+    pub tracer: &'a Tracer,
+}
+
+/// Device-independent counters from one launch, the common denominator of
+/// [`concord_cpusim::CpuReport`] and [`concord_gpusim::GpuReport`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaunchStats {
+    /// Wall-clock seconds of the launch (no JIT, no host-side joins).
+    pub seconds: f64,
+    /// Device busy fraction: EU issue occupancy on the GPU, 1.0 on the CPU.
+    pub busy_fraction: f64,
+    /// Instructions executed.
+    pub insts: u64,
+    /// Executed pointer translations.
+    pub translations: u64,
+    /// Shared-memory transactions (GPU only).
+    pub transactions: u64,
+    /// Contended transactions (GPU only).
+    pub contended: u64,
+    /// L3 hit rate (GPU only).
+    pub l3_hit_rate: f64,
+}
+
+/// An execution device the runtime can offload heterogeneous constructs
+/// to. Implementations wrap a simulator; the runtime supplies everything
+/// else through [`ExecCtx`].
+pub trait DeviceBackend {
+    /// Which energy-model device this backend meters as.
+    fn device(&self) -> Device;
+
+    /// Short label for traces ("cpu" / "gpu").
+    fn label(&self) -> &'static str;
+
+    /// Memory-consistency fence before this device touches the shared
+    /// region (§2.3). No-op on the CPU; pins the region on the GPU.
+    fn fence_in(&mut self, ctx: &mut ExecCtx<'_>);
+
+    /// Memory-consistency fence after the device is done (unpin).
+    fn fence_out(&mut self, ctx: &mut ExecCtx<'_>);
+
+    /// One-time per-kernel preparation; returns the seconds charged.
+    /// The GPU JIT-compiles the kernel on its first launch (§3.4) and
+    /// caches it afterwards; the CPU runs pre-compiled code for free.
+    fn prepare(&mut self, ctx: &mut ExecCtx<'_>, class: &str, func: FuncId) -> f64;
+
+    /// How many body-sized partial-accumulator slots `launch_reduce`
+    /// needs for `span` (per-warp on the GPU, per-core on the CPU).
+    fn reduce_slots(&self, ctx: &ExecCtx<'_>, span: Span) -> u64;
+
+    /// Run `func(body, i)` for every `i` in `span`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel.
+    fn launch_for(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        body: CpuAddr,
+        span: Span,
+    ) -> Result<LaunchStats, Trap>;
+
+    /// Accumulate `span` into per-worker copies of `body`, leaving one
+    /// partial per `scratch` slot. Device-level joins only (the GPU
+    /// tree-reduces through local memory per warp, §3.3); the runtime
+    /// joins the partials into `body` afterwards — which is what lets a
+    /// hybrid split join partials from both devices with the same kernel
+    /// `join`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel or device-level joins.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_reduce(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        span: Span,
+        scratch: &[CpuAddr],
+    ) -> Result<LaunchStats, Trap>;
+}
+
+/// Attach launch counters to the closing launch span.
+fn close_launch_span(mut sp: SpanGuard, span: Span, s: &LaunchStats) {
+    sp.arg("lo", i64::from(span.lo));
+    sp.arg("hi", i64::from(span.hi));
+    sp.arg("seconds", s.seconds);
+    sp.arg("insts", s.insts);
+    sp.arg("translations", s.translations);
+    sp.arg("transactions", s.transactions);
+    sp.arg("contended", s.contended);
+    sp.arg("l3_hit_rate", s.l3_hit_rate);
+    sp.arg("busy_fraction", s.busy_fraction);
+}
+
+/// The multicore-CPU backend: wraps [`CpuSim`].
+pub struct CpuBackend {
+    sim: CpuSim,
+}
+
+impl CpuBackend {
+    pub(crate) fn new(sim: CpuSim) -> Self {
+        CpuBackend { sim }
+    }
+
+    /// Sequentially join `slots` into `body` on core 0 with the
+    /// CPU-compiled `join` — the host-side final join of a reduction.
+    /// Returns the host seconds spent.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by `join`.
+    pub fn join_partials(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        join: FuncId,
+        body: CpuAddr,
+        slots: &[CpuAddr],
+    ) -> Result<f64, Trap> {
+        let mut sp = ctx.tracer.span(Track::Runtime, "reduce_join");
+        sp.arg("partials", slots.len() as i64);
+        let before = self.sim.core0_cycles();
+        for &slot in slots {
+            self.sim.call(
+                ctx.region,
+                ctx.vtables,
+                ctx.cpu_module,
+                join,
+                &[Value::Ptr(body.0, AddrSpace::Cpu), Value::Ptr(slot.0, AddrSpace::Cpu)],
+            )?;
+        }
+        let seconds = (self.sim.core0_cycles() - before) / (ctx.system.cpu.freq_ghz * 1e9);
+        sp.arg("seconds", seconds);
+        Ok(seconds)
+    }
+}
+
+impl DeviceBackend for CpuBackend {
+    fn device(&self) -> Device {
+        Device::Cpu
+    }
+
+    fn label(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn fence_in(&mut self, _ctx: &mut ExecCtx<'_>) {}
+
+    fn fence_out(&mut self, _ctx: &mut ExecCtx<'_>) {}
+
+    fn prepare(&mut self, _ctx: &mut ExecCtx<'_>, _class: &str, _func: FuncId) -> f64 {
+        0.0
+    }
+
+    fn reduce_slots(&self, ctx: &ExecCtx<'_>, _span: Span) -> u64 {
+        u64::from(ctx.system.cpu.cores.max(1))
+    }
+
+    fn launch_for(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        body: CpuAddr,
+        span: Span,
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Runtime, "cpu_launch");
+        let r = self.sim.parallel_for_span(
+            ctx.region,
+            ctx.vtables,
+            ctx.cpu_module,
+            func,
+            body,
+            span.lo,
+            span.hi,
+            span.grid,
+        )?;
+        let stats = LaunchStats {
+            seconds: r.seconds,
+            busy_fraction: 1.0,
+            insts: r.counters.insts,
+            translations: r.counters.translations,
+            ..Default::default()
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+
+    fn launch_reduce(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        _join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        span: Span,
+        scratch: &[CpuAddr],
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Runtime, "cpu_launch");
+        let r = self.sim.parallel_reduce_partials(
+            ctx.region,
+            ctx.vtables,
+            ctx.cpu_module,
+            func,
+            body,
+            body_size,
+            span.lo,
+            span.hi,
+            span.grid,
+            scratch,
+        )?;
+        let stats = LaunchStats {
+            seconds: r.seconds,
+            busy_fraction: 1.0,
+            insts: r.counters.insts,
+            translations: r.counters.translations,
+            ..Default::default()
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+}
+
+/// The integrated-GPU backend: wraps [`GpuSim`] plus the per-kernel JIT
+/// cache (§3.4).
+pub struct GpuBackend {
+    sim: GpuSim,
+    jitted: HashSet<FuncId>,
+}
+
+impl GpuBackend {
+    pub(crate) fn new(sim: GpuSim) -> Self {
+        GpuBackend { sim, jitted: HashSet::new() }
+    }
+}
+
+impl DeviceBackend for GpuBackend {
+    fn device(&self) -> Device {
+        Device::Gpu
+    }
+
+    fn label(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn fence_in(&mut self, ctx: &mut ExecCtx<'_>) {
+        let _f = ctx.tracer.span(Track::Runtime, "fence_to_gpu");
+        ctx.region.fence_to_gpu();
+    }
+
+    fn fence_out(&mut self, ctx: &mut ExecCtx<'_>) {
+        let _f = ctx.tracer.span(Track::Runtime, "fence_to_cpu");
+        ctx.region.fence_to_cpu();
+    }
+
+    fn prepare(&mut self, ctx: &mut ExecCtx<'_>, class: &str, func: FuncId) -> f64 {
+        if !self.jitted.insert(func) {
+            return 0.0;
+        }
+        let jit_seconds = ctx.system.gpu.jit_ms * 1e-3;
+        let mut j = ctx.tracer.span(Track::Runtime, "jit");
+        j.arg("kernel", class);
+        j.arg("seconds", jit_seconds);
+        jit_seconds
+    }
+
+    fn reduce_slots(&self, ctx: &ExecCtx<'_>, span: Span) -> u64 {
+        u64::from(span.items()).div_ceil(u64::from(ctx.system.gpu.simd_width))
+    }
+
+    fn launch_for(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        body: CpuAddr,
+        span: Span,
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Runtime, "gpu_launch");
+        let r = self.sim.parallel_for_span(
+            ctx.region,
+            ctx.gpu_module,
+            func,
+            body,
+            span.lo,
+            span.hi,
+            span.grid,
+        )?;
+        let stats = LaunchStats {
+            seconds: r.seconds,
+            busy_fraction: r.busy_fraction,
+            insts: r.insts,
+            translations: r.translations,
+            transactions: r.transactions,
+            contended: r.contended,
+            l3_hit_rate: r.l3_hit_rate,
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+
+    fn launch_reduce(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        span: Span,
+        scratch: &[CpuAddr],
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Runtime, "gpu_launch");
+        let r = self.sim.parallel_reduce_span(
+            ctx.region,
+            ctx.gpu_module,
+            func,
+            join,
+            body,
+            body_size,
+            span.lo,
+            span.hi,
+            span.grid,
+            scratch,
+        )?;
+        let stats = LaunchStats {
+            seconds: r.seconds,
+            busy_fraction: r.busy_fraction,
+            insts: r.insts,
+            translations: r.translations,
+            transactions: r.transactions,
+            contended: r.contended,
+            l3_hit_rate: r.l3_hit_rate,
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+}
+
+/// RAII guard for per-launch scratch allocations in the shared region.
+///
+/// `parallel_reduce_hetero` needs per-warp / per-core partial slots that
+/// must not outlive the construct; freeing them through `Drop` guarantees
+/// they are released on *every* exit path — including a kernel [`Trap`]
+/// propagating out with `?`, which used to leak the slots permanently.
+pub struct ScratchGuard<'a> {
+    heap: &'a mut SharedAllocator,
+    slots: Vec<CpuAddr>,
+}
+
+impl<'a> ScratchGuard<'a> {
+    /// Allocate `count` slots of `size` bytes. On a mid-way allocation
+    /// failure the already-allocated slots are freed before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError`] when the region is exhausted.
+    pub fn alloc(heap: &'a mut SharedAllocator, count: u64, size: u64) -> Result<Self, AllocError> {
+        let mut guard = ScratchGuard { heap, slots: Vec::with_capacity(count as usize) };
+        for _ in 0..count {
+            let slot = guard.heap.malloc(size)?;
+            guard.slots.push(slot);
+        }
+        Ok(guard)
+    }
+
+    /// The allocated slots.
+    #[must_use]
+    pub fn slots(&self) -> &[CpuAddr] {
+        &self.slots
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        for &slot in &self.slots {
+            // The slots were handed out by this allocator and freed nowhere
+            // else, so a free can only fail on allocator corruption — not
+            // something to surface from a destructor.
+            let _ = self.heap.free(slot);
+        }
+    }
+}

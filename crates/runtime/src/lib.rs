@@ -2,11 +2,18 @@
 //!
 //! The Concord runtime (§3): compiles a kernel-language program once,
 //! holds the shared virtual memory region, and dispatches
-//! `parallel_for_hetero` / `parallel_reduce_hetero` calls to the CPU or
-//! GPU simulator — with JIT caching of GPU binaries (§3.4), memory
+//! `parallel_for_hetero` / `parallel_reduce_hetero` calls to the CPU
+//! and/or GPU simulator — with JIT caching of GPU binaries (§3.4), memory
 //! consistency fences at offload boundaries (§2.3), CPU fallback for
 //! kernels that violate GPU restrictions (§2.1), and package-energy
 //! accounting (§5.1).
+//!
+//! Execution devices sit behind the [`DeviceBackend`] trait
+//! ([`backend`]); which device runs which sub-range is decided by the
+//! [`scheduler`]. Besides the paper's `Cpu`/`Gpu` flags, [`Target`]
+//! offers `Hybrid { gpu_fraction }` (static split across both devices
+//! under one fence pair) and `Auto` (deterministic adaptive split from
+//! per-kernel profile history).
 //!
 //! ## Example
 //!
@@ -26,19 +33,26 @@
 //! let nodes = cc.malloc(101 * 8)?;
 //! let body = cc.malloc(8)?;
 //! cc.region_mut().write_ptr(body, nodes)?;
-//! let report = cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu)?;
+//! let report = cc.parallel_for_hetero("LoopBody", body, 100, Target::Auto)?;
 //! assert!(report.total_seconds() > 0.0);
 //! # Ok(())
 //! # }
 //! ```
+
+pub mod backend;
+pub mod scheduler;
+
+pub use backend::{
+    CpuBackend, DeviceBackend, ExecCtx, GpuBackend, LaunchStats, ScratchGuard, Span,
+};
+pub use scheduler::{Plan, ProfileHistory, Target};
 
 use concord_compiler::{lower_for_gpu_traced, GpuArtifact, GpuConfig};
 use concord_cpusim::CpuSim;
 use concord_energy::{Device, EnergyMeter, PhaseReport, SystemConfig};
 use concord_frontend::{CompileError, LoweredProgram};
 use concord_gpusim::GpuSim;
-use concord_ir::eval::{Trap, Value};
-use concord_ir::types::AddrSpace;
+use concord_ir::eval::Trap;
 use concord_ir::FuncId;
 use concord_svm::{AllocError, CpuAddr, SharedAllocator, SharedRegion, VtableArea};
 use concord_trace::{TraceConfig, Tracer, Track};
@@ -94,17 +108,6 @@ impl From<Trap> for RuntimeError {
     }
 }
 
-/// Requested execution device — the third argument of
-/// `parallel_for_hetero(n, body, on_CPU)` in the paper's API.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Target {
-    /// Run on the multicore CPU.
-    Cpu,
-    /// Run on the integrated GPU (falls back to CPU when the kernel
-    /// violates a GPU restriction, with a warning — §2.1).
-    Gpu,
-}
-
 /// Runtime construction options.
 #[derive(Debug, Clone, Copy)]
 pub struct Options {
@@ -123,32 +126,35 @@ impl Default for Options {
     }
 }
 
-/// Result of one heterogeneous construct invocation.
+/// Result of one heterogeneous construct invocation. A hybrid construct
+/// merges its per-device sub-reports with [`OffloadReport::merge_parallel`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OffloadReport {
     /// Seconds spent JIT-compiling the GPU binary for this construct
     /// (non-zero only on the first GPU launch of a kernel, §3.4).
     pub jit_seconds: f64,
-    /// Seconds spent executing the construct (fences, launch, kernel, and
-    /// for GPU reductions the host-side final join).
+    /// Seconds spent executing the construct (fences, launches, kernel,
+    /// and for reductions the host-side final join). Concurrent
+    /// sub-launches of a hybrid split contribute their maximum.
     pub exec_seconds: f64,
-    /// Package energy in joules for the construct.
+    /// Package energy in joules for the construct (sum over devices).
     pub joules: f64,
-    /// True when the construct actually ran on the GPU.
+    /// True when any part of the construct ran on the GPU.
     pub on_gpu: bool,
     /// True when a GPU request fell back to the CPU (restriction).
     pub fell_back: bool,
-    /// Executed pointer translations (GPU only).
+    /// Executed pointer translations (summed over devices).
     pub translations: u64,
     /// Shared-memory transactions (GPU only).
     pub transactions: u64,
     /// Contended transactions (GPU only).
     pub contended: u64,
-    /// GPU EU issue occupancy (GPU only).
+    /// Device busy fraction: GPU EU issue occupancy when the construct
+    /// touched the GPU, 1.0 for pure-CPU launches.
     pub busy_fraction: f64,
     /// GPU L3 hit rate (GPU only).
     pub l3_hit_rate: f64,
-    /// Instructions executed (device-level).
+    /// Instructions executed (summed over devices).
     pub insts: u64,
 }
 
@@ -157,6 +163,58 @@ impl OffloadReport {
     #[must_use]
     pub fn total_seconds(&self) -> f64 {
         self.jit_seconds + self.exec_seconds
+    }
+
+    /// Merge per-device sub-reports of one construct executed
+    /// concurrently under a single fence pair.
+    ///
+    /// Invariants (tested): `joules`, `insts`, `translations`,
+    /// `transactions`, and `contended` are sums; `exec_seconds` is the
+    /// maximum (the devices run side by side); `jit_seconds` is the sum
+    /// (only a GPU part ever charges it, at most once per kernel);
+    /// `busy_fraction` and `l3_hit_rate` come from the GPU part when
+    /// present; `on_gpu` / `fell_back` are ORs.
+    #[must_use]
+    pub fn merge_parallel(parts: &[OffloadReport]) -> OffloadReport {
+        let mut merged = OffloadReport::default();
+        for p in parts {
+            merged.jit_seconds += p.jit_seconds;
+            merged.exec_seconds = merged.exec_seconds.max(p.exec_seconds);
+            merged.joules += p.joules;
+            merged.translations += p.translations;
+            merged.transactions += p.transactions;
+            merged.contended += p.contended;
+            merged.insts += p.insts;
+            merged.on_gpu |= p.on_gpu;
+            merged.fell_back |= p.fell_back;
+        }
+        // The GPU's occupancy and cache behaviour are the interesting ones
+        // for a mixed construct; fall back to the first part (a pure-CPU
+        // merge) otherwise.
+        let rates = parts.iter().find(|p| p.on_gpu).or_else(|| parts.first());
+        if let Some(p) = rates {
+            merged.busy_fraction = p.busy_fraction;
+            merged.l3_hit_rate = p.l3_hit_rate;
+        }
+        merged
+    }
+}
+
+/// What a construct does with its iteration space — the only difference
+/// between `parallel_for_hetero` and `parallel_reduce_hetero` once the
+/// generic offload path takes over.
+#[derive(Clone, Copy)]
+enum ConstructKind {
+    For,
+    Reduce { join: FuncId, body_size: u64 },
+}
+
+impl ConstructKind {
+    fn name(self) -> &'static str {
+        match self {
+            ConstructKind::For => "parallel_for",
+            ConstructKind::Reduce { .. } => "parallel_reduce",
+        }
     }
 }
 
@@ -168,10 +226,10 @@ pub struct Concord {
     region: SharedRegion,
     heap: SharedAllocator,
     vtables: VtableArea,
-    cpu: CpuSim,
-    gpu: GpuSim,
+    cpu: CpuBackend,
+    gpu: GpuBackend,
     meter: EnergyMeter,
-    jitted: HashSet<FuncId>,
+    profile: ProfileHistory,
     /// Kernels that cannot run on the GPU (restriction warnings).
     cpu_only: HashSet<String>,
     tracer: Tracer,
@@ -190,7 +248,7 @@ impl std::fmt::Debug for Concord {
 
 impl Concord {
     /// Compile `source` and set up the shared region, vtables, and both
-    /// device simulators for `system`.
+    /// device backends for `system`.
     ///
     /// # Errors
     ///
@@ -203,6 +261,15 @@ impl Concord {
         let gpu_cfg = opts.gpu_config.unwrap_or(GpuConfig::all(system.gpu.eus));
         let gpu_artifact = lower_for_gpu_traced(&program.module, gpu_cfg, &tracer);
         concord_compiler::optimize_for_cpu_traced(&mut program.module, &tracer);
+        // Function ids must stay stable across the GPU lowering clone: the
+        // backends address a kernel in either module with the same FuncId.
+        for k in &program.kernels {
+            debug_assert_eq!(
+                program.module.function(k.operator_fn).name,
+                gpu_artifact.module.function(k.operator_fn).name,
+                "function ids diverged between CPU and GPU modules"
+            );
+        }
         let reserved = VtableArea::reserve_for(program.module.classes.len());
         let mut region = SharedRegion::new(opts.region_bytes, reserved);
         region.set_tracer(tracer.clone());
@@ -223,8 +290,8 @@ impl Concord {
         let mut gpu = GpuSim::new(system.gpu);
         gpu.set_tracer(tracer.clone());
         Ok(Concord {
-            cpu,
-            gpu,
+            cpu: CpuBackend::new(cpu),
+            gpu: GpuBackend::new(gpu),
             system,
             program,
             gpu_artifact,
@@ -232,7 +299,7 @@ impl Concord {
             heap,
             vtables,
             meter: EnergyMeter::new(),
-            jitted: HashSet::new(),
+            profile: ProfileHistory::default(),
             cpu_only,
             tracer,
         })
@@ -288,10 +355,23 @@ impl Concord {
         Ok(self.heap.free(addr)?)
     }
 
+    /// Bytes currently free in the shared heap. Runtime-internal scratch
+    /// (reduction partials) is released on every exit path, including
+    /// kernel traps, so this returns to its pre-construct value after
+    /// each construct.
+    pub fn heap_free_bytes(&self) -> u64 {
+        self.heap.free_bytes()
+    }
+
     /// Total package energy accumulated so far (the
     /// `MSR_PKG_ENERGY_STATUS` reading).
     pub fn energy_joules(&self) -> f64 {
         self.meter.joules()
+    }
+
+    /// The per-kernel device-throughput history `Target::Auto` splits by.
+    pub fn profile(&self) -> &ProfileHistory {
+        &self.profile
     }
 
     /// Enable device-side allocation (`device_malloc` in kernel code) by
@@ -315,11 +395,6 @@ impl Concord {
             .ok_or_else(|| RuntimeError::NoSuchKernel(class.to_string()))
     }
 
-    fn gpu_func(&self, cpu_fn: FuncId) -> FuncId {
-        // Function ids are stable across the clone taken by lower_for_gpu.
-        cpu_fn
-    }
-
     /// `parallel_for_hetero(n, body, device)`: run the `operator()` of
     /// `class` over `[0, n)`.
     ///
@@ -334,107 +409,15 @@ impl Concord {
         target: Target,
     ) -> Result<OffloadReport, RuntimeError> {
         let k = self.kernel(class)?;
-        let use_gpu = target == Target::Gpu && !self.cpu_only.contains(class);
-        let fell_back = target == Target::Gpu && !use_gpu;
-        let mut sp = self.tracer.span_with(
-            Track::Runtime,
-            "parallel_for",
-            vec![
-                ("kernel", class.into()),
-                ("n", i64::from(n).into()),
-                ("device", if use_gpu { "gpu" } else { "cpu" }.into()),
-            ],
-        );
-        if use_gpu {
-            // Offload start: CPU→GPU consistency fence + pinning (§2.3).
-            {
-                let _f = self.tracer.span(Track::Runtime, "fence_to_gpu");
-                self.region.fence_to_gpu();
-            }
-            let gpu_fn = self.gpu_func(k.operator_fn);
-            let mut jit_seconds = 0.0;
-            if self.jitted.insert(gpu_fn) {
-                jit_seconds = self.system.gpu.jit_ms * 1e-3;
-                let mut j = self.tracer.span(Track::Runtime, "jit");
-                j.arg("kernel", class);
-                j.arg("seconds", jit_seconds);
-            }
-            let launch = self.tracer.span(Track::Runtime, "gpu_launch");
-            let r = self
-                .gpu
-                .parallel_for(&mut self.region, &self.gpu_artifact.module, gpu_fn, body, n)
-                .map_err(RuntimeError::Trap)?;
-            Self::close_launch_span(launch, &r);
-            {
-                let _f = self.tracer.span(Track::Runtime, "fence_to_cpu");
-                self.region.fence_to_cpu();
-            }
-            let phase =
-                PhaseReport { seconds: r.seconds + jit_seconds, busy_fraction: r.busy_fraction };
-            let before = self.meter.joules();
-            self.meter.record(&self.system, Device::Gpu, phase);
-            sp.arg("seconds", phase.seconds);
-            Ok(OffloadReport {
-                jit_seconds,
-                exec_seconds: r.seconds,
-                joules: self.meter.joules() - before,
-                on_gpu: true,
-                fell_back: false,
-                translations: r.translations,
-                transactions: r.transactions,
-                contended: r.contended,
-                busy_fraction: r.busy_fraction,
-                l3_hit_rate: r.l3_hit_rate,
-                insts: r.insts,
-            })
-        } else {
-            let launch = self.tracer.span(Track::Runtime, "cpu_launch");
-            let r = self
-                .cpu
-                .parallel_for(
-                    &mut self.region,
-                    &self.vtables,
-                    &self.program.module,
-                    k.operator_fn,
-                    body,
-                    n,
-                )
-                .map_err(RuntimeError::Trap)?;
-            launch.end();
-            let phase = PhaseReport { seconds: r.seconds, busy_fraction: 1.0 };
-            let before = self.meter.joules();
-            self.meter.record(&self.system, Device::Cpu, phase);
-            sp.arg("seconds", r.seconds);
-            Ok(OffloadReport {
-                jit_seconds: 0.0,
-                exec_seconds: r.seconds,
-                joules: self.meter.joules() - before,
-                on_gpu: false,
-                fell_back,
-                insts: r.counters.insts,
-                ..Default::default()
-            })
-        }
-    }
-
-    /// Close a GPU launch span, attaching the launch's [`GpuReport`]
-    /// counters as end-arguments.
-    fn close_launch_span(mut sp: concord_trace::SpanGuard, r: &concord_gpusim::GpuReport) {
-        sp.arg("seconds", r.seconds);
-        sp.arg("critical_cycles", r.critical_cycles);
-        sp.arg("warps", r.warps);
-        sp.arg("insts", r.insts);
-        sp.arg("translations", r.translations);
-        sp.arg("transactions", r.transactions);
-        sp.arg("contended", r.contended);
-        sp.arg("l3_hit_rate", r.l3_hit_rate);
-        sp.arg("busy_fraction", r.busy_fraction);
+        let gpu_allowed = !self.cpu_only.contains(class);
+        self.offload(class, k.operator_fn, ConstructKind::For, body, n, target, gpu_allowed)
     }
 
     /// `parallel_reduce_hetero(n, body, device)`: run `operator()` over
     /// `[0, n)` accumulating into per-worker copies, then combine with
     /// `join` (hierarchically through GPU local memory when on the GPU,
-    /// §3.3).
+    /// §3.3). Hybrid targets join the partials of both devices with the
+    /// same `join`.
     ///
     /// # Errors
     ///
@@ -448,142 +431,195 @@ impl Concord {
     ) -> Result<OffloadReport, RuntimeError> {
         let k = self.kernel(class)?;
         let join = k.join_fn.ok_or_else(|| RuntimeError::NoJoin(class.to_string()))?;
-        let body_size = k.body_size;
         // Local memory must fit one body copy per lane; otherwise the
-        // runtime performs the reduction sequentially on the CPU (§3.3:
-        // "if local memory is insufficient").
+        // runtime performs the reduction on the CPU (§3.3: "if local
+        // memory is insufficient").
         let fits_local =
-            body_size * self.system.gpu.simd_width as u64 <= self.system.gpu.local_bytes;
-        let use_gpu = target == Target::Gpu && !self.cpu_only.contains(class) && fits_local;
-        let fell_back = target == Target::Gpu && !use_gpu;
-        let mut sp = self.tracer.span_with(
+            k.body_size * u64::from(self.system.gpu.simd_width) <= self.system.gpu.local_bytes;
+        let gpu_allowed = !self.cpu_only.contains(class) && fits_local;
+        let kind = ConstructKind::Reduce { join, body_size: k.body_size };
+        self.offload(class, k.operator_fn, kind, body, n, target, gpu_allowed)
+    }
+
+    /// The generic offload path every construct and every target runs
+    /// through: plan the device split, fence in, JIT-prepare and launch
+    /// each part, fence out, join reduction partials, meter energy,
+    /// record profile history, and merge the per-device reports.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn offload(
+        &mut self,
+        class: &str,
+        func: FuncId,
+        kind: ConstructKind,
+        body: CpuAddr,
+        n: u32,
+        target: Target,
+        gpu_allowed: bool,
+    ) -> Result<OffloadReport, RuntimeError> {
+        let plan = scheduler::plan(target, n, gpu_allowed, &self.profile, class);
+        // Disjoint field borrows: the backends, the heap (scratch), the
+        // meter, and the profile history are all threaded through this one
+        // function alongside the ExecCtx borrow of the region.
+        let Concord {
+            system,
+            program,
+            gpu_artifact,
+            region,
+            heap,
+            vtables,
+            cpu,
+            gpu,
+            meter,
+            profile,
+            tracer,
+            ..
+        } = self;
+        let label = match plan.parts.as_slice() {
+            [(Device::Gpu, _)] => "gpu",
+            [(Device::Cpu, _)] => "cpu",
+            _ => "hybrid",
+        };
+        let mut sp = tracer.span_with(
             Track::Runtime,
-            "parallel_reduce",
+            kind.name(),
+            vec![("kernel", class.into()), ("n", i64::from(n).into()), ("device", label.into())],
+        );
+        tracer.instant(
+            Track::Sched,
+            "decision",
             vec![
                 ("kernel", class.into()),
+                ("policy", plan.policy.into()),
+                ("gpu_fraction", plan.gpu_fraction.into()),
+                ("parts", (plan.parts.len() as i64).into()),
                 ("n", i64::from(n).into()),
-                ("device", if use_gpu { "gpu" } else { "cpu" }.into()),
             ],
         );
-        if use_gpu {
-            {
-                let _f = self.tracer.span(Track::Runtime, "fence_to_gpu");
-                self.region.fence_to_gpu();
+        let mut ctx = ExecCtx {
+            region,
+            vtables,
+            cpu_module: &program.module,
+            gpu_module: &gpu_artifact.module,
+            system,
+            tracer,
+        };
+
+        // One scratch guard covers every part's partial-accumulator slots;
+        // Drop releases them on all exit paths, trap included.
+        let mut slot_counts = Vec::new();
+        let guard = match kind {
+            ConstructKind::For => None,
+            ConstructKind::Reduce { body_size, .. } => {
+                for &(device, span) in &plan.parts {
+                    slot_counts.push(match device {
+                        Device::Cpu => cpu.reduce_slots(&ctx, span),
+                        Device::Gpu => gpu.reduce_slots(&ctx, span),
+                    });
+                }
+                let total: u64 = slot_counts.iter().sum();
+                Some(ScratchGuard::alloc(heap, total, body_size)?)
             }
-            let gpu_fn = self.gpu_func(k.operator_fn);
-            let gpu_join = self.gpu_func(join);
-            let mut jit_seconds = 0.0;
-            if self.jitted.insert(gpu_fn) {
-                jit_seconds = self.system.gpu.jit_ms * 1e-3;
-                let mut j = self.tracer.span(Track::Runtime, "jit");
-                j.arg("kernel", class);
-                j.arg("seconds", jit_seconds);
+        };
+
+        for &(device, _) in &plan.parts {
+            match device {
+                Device::Cpu => cpu.fence_in(&mut ctx),
+                Device::Gpu => gpu.fence_in(&mut ctx),
             }
-            let warps = (n as u64).div_ceil(self.system.gpu.simd_width as u64);
-            let scratch: Vec<CpuAddr> =
-                (0..warps).map(|_| self.heap.malloc(body_size)).collect::<Result<_, _>>()?;
-            let launch = self.tracer.span(Track::Runtime, "gpu_launch");
-            let r = self
-                .gpu
-                .parallel_reduce(
-                    &mut self.region,
-                    &self.gpu_artifact.module,
-                    gpu_fn,
-                    gpu_join,
-                    body,
-                    body_size,
-                    n,
-                    &scratch,
-                )
-                .map_err(RuntimeError::Trap)?;
-            Self::close_launch_span(launch, &r);
-            {
-                let _f = self.tracer.span(Track::Runtime, "fence_to_cpu");
-                self.region.fence_to_cpu();
-            }
-            // Host-side final join of the per-warp partials (sequential,
-            // using the original CPU-compiled join).
-            let mut join_sp = self.tracer.span(Track::Runtime, "reduce_join");
-            join_sp.arg("partials", warps as i64);
-            let host_cycles_before = self.cpu.core0_cycles();
-            for &slot in &scratch {
-                self.cpu
-                    .call(
-                        &mut self.region,
-                        &self.vtables,
-                        &self.program.module,
-                        join,
-                        &[Value::Ptr(body.0, AddrSpace::Cpu), Value::Ptr(slot.0, AddrSpace::Cpu)],
-                    )
-                    .map_err(RuntimeError::Trap)?;
-            }
-            let host_seconds =
-                (self.cpu.core0_cycles() - host_cycles_before) / (self.system.cpu.freq_ghz * 1e9);
-            join_sp.arg("seconds", host_seconds);
-            join_sp.end();
-            for slot in scratch {
-                self.heap.free(slot)?;
-            }
-            let gpu_phase =
-                PhaseReport { seconds: r.seconds + jit_seconds, busy_fraction: r.busy_fraction };
-            let host_phase = PhaseReport {
-                seconds: host_seconds,
-                busy_fraction: 1.0 / self.system.cpu.cores as f64,
-            };
-            let before = self.meter.joules();
-            self.meter.record(&self.system, Device::Gpu, gpu_phase);
-            self.meter.record(&self.system, Device::Cpu, host_phase);
-            sp.arg("seconds", gpu_phase.seconds + host_seconds);
-            Ok(OffloadReport {
-                jit_seconds,
-                exec_seconds: r.seconds + host_seconds,
-                joules: self.meter.joules() - before,
-                on_gpu: true,
-                fell_back: false,
-                translations: r.translations,
-                transactions: r.transactions,
-                contended: r.contended,
-                busy_fraction: r.busy_fraction,
-                l3_hit_rate: r.l3_hit_rate,
-                insts: r.insts,
-            })
-        } else {
-            let cores = self.system.cpu.cores as usize;
-            let scratch: Vec<CpuAddr> =
-                (0..cores).map(|_| self.heap.malloc(body_size)).collect::<Result<_, _>>()?;
-            let launch = self.tracer.span(Track::Runtime, "cpu_launch");
-            let r = self
-                .cpu
-                .parallel_reduce(
-                    &mut self.region,
-                    &self.vtables,
-                    &self.program.module,
-                    k.operator_fn,
-                    join,
-                    body,
-                    body_size,
-                    n,
-                    &scratch,
-                )
-                .map_err(RuntimeError::Trap)?;
-            launch.end();
-            for slot in scratch {
-                self.heap.free(slot)?;
-            }
-            let phase = PhaseReport { seconds: r.seconds, busy_fraction: 1.0 };
-            let before = self.meter.joules();
-            self.meter.record(&self.system, Device::Cpu, phase);
-            sp.arg("seconds", r.seconds);
-            Ok(OffloadReport {
-                jit_seconds: 0.0,
-                exec_seconds: r.seconds,
-                joules: self.meter.joules() - before,
-                on_gpu: false,
-                fell_back,
-                insts: r.counters.insts,
-                ..Default::default()
-            })
         }
+
+        let mut launch_error = None;
+        let mut subs: Vec<(Device, u32, f64, LaunchStats)> = Vec::new();
+        let mut slot_base = 0usize;
+        for (i, &(device, span)) in plan.parts.iter().enumerate() {
+            let backend: &mut dyn DeviceBackend = match device {
+                Device::Cpu => cpu,
+                Device::Gpu => gpu,
+            };
+            let jit_seconds = backend.prepare(&mut ctx, class, func);
+            let launched = match kind {
+                ConstructKind::For => backend.launch_for(&mut ctx, func, body, span),
+                ConstructKind::Reduce { join, body_size } => {
+                    let count = slot_counts[i] as usize;
+                    let slots = &guard.as_ref().expect("reduce has scratch").slots()
+                        [slot_base..slot_base + count];
+                    slot_base += count;
+                    backend.launch_reduce(&mut ctx, func, join, body, body_size, span, slots)
+                }
+            };
+            match launched {
+                Ok(stats) => subs.push((device, span.items(), jit_seconds, stats)),
+                Err(trap) => {
+                    launch_error = Some(trap);
+                    break;
+                }
+            }
+        }
+
+        // Unpin before propagating any trap so the region is never left
+        // fenced-for-GPU by a failed construct.
+        for &(device, _) in &plan.parts {
+            match device {
+                Device::Cpu => cpu.fence_out(&mut ctx),
+                Device::Gpu => gpu.fence_out(&mut ctx),
+            }
+        }
+        if let Some(trap) = launch_error {
+            return Err(RuntimeError::Trap(trap));
+        }
+
+        // Host-side final join of every part's partials (sequential, on
+        // core 0, using the CPU-compiled join) — this is what lets one
+        // construct combine per-warp GPU partials with per-core CPU ones.
+        let mut join_seconds = 0.0;
+        if let (ConstructKind::Reduce { join, .. }, Some(g)) = (kind, guard.as_ref()) {
+            join_seconds =
+                cpu.join_partials(&mut ctx, join, body, g.slots()).map_err(RuntimeError::Trap)?;
+        }
+        drop(guard);
+
+        let mut parts_reports = Vec::new();
+        for &(device, items, jit_seconds, stats) in &subs {
+            let phase = match device {
+                Device::Gpu => PhaseReport {
+                    seconds: stats.seconds + jit_seconds,
+                    busy_fraction: stats.busy_fraction,
+                },
+                Device::Cpu => PhaseReport { seconds: stats.seconds, busy_fraction: 1.0 },
+            };
+            let before = meter.joules();
+            meter.record(system, device, phase);
+            profile.record(class, device, u64::from(items), stats.seconds);
+            parts_reports.push(OffloadReport {
+                jit_seconds,
+                exec_seconds: stats.seconds,
+                joules: meter.joules() - before,
+                on_gpu: device == Device::Gpu,
+                fell_back: false,
+                translations: stats.translations,
+                transactions: stats.transactions,
+                contended: stats.contended,
+                busy_fraction: stats.busy_fraction,
+                l3_hit_rate: stats.l3_hit_rate,
+                insts: stats.insts,
+            });
+        }
+        let mut report = OffloadReport::merge_parallel(&parts_reports);
+        if matches!(kind, ConstructKind::Reduce { .. }) {
+            // The final join is a serial tail on one core after the
+            // concurrent parts finish.
+            let before = meter.joules();
+            let host_phase = PhaseReport {
+                seconds: join_seconds,
+                busy_fraction: 1.0 / f64::from(system.cpu.cores),
+            };
+            meter.record(system, Device::Cpu, host_phase);
+            report.joules += meter.joules() - before;
+            report.exec_seconds += join_seconds;
+        }
+        report.fell_back = plan.fell_back;
+        sp.arg("seconds", report.total_seconds());
+        Ok(report)
     }
 }
 
@@ -600,20 +636,32 @@ mod tests {
         };
     "#;
 
+    const SUM: &str = r#"
+        class Sum {
+        public:
+            float* data; float acc;
+            void operator()(int i) { acc += data[i]; }
+            void join(Sum* other) { acc += other->acc; }
+        };
+    "#;
+
+    const ALL_TARGETS: [Target; 4] =
+        [Target::Cpu, Target::Gpu, Target::Hybrid { gpu_fraction: 0.5 }, Target::Auto];
+
     #[test]
-    fn same_source_runs_on_both_devices() {
-        for target in [Target::Cpu, Target::Gpu] {
+    fn same_source_runs_on_all_targets() {
+        for target in ALL_TARGETS {
             let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
             let nodes = cc.malloc(101 * 8).unwrap();
             let body = cc.malloc(8).unwrap();
             cc.region_mut().write_ptr(body, nodes).unwrap();
             let r = cc.parallel_for_hetero("LoopBody", body, 100, target).unwrap();
-            assert_eq!(r.on_gpu, target == Target::Gpu);
+            assert_eq!(r.on_gpu, target != Target::Cpu);
             for i in 0..100u64 {
                 let next = cc.region().read_ptr(CpuAddr(nodes.0 + i * 8)).unwrap();
                 assert_eq!(next.0, nodes.0 + (i + 1) * 8);
             }
-            assert!(r.joules > 0.0);
+            assert!(r.joules > 0.0, "target {target} must meter energy");
         }
     }
 
@@ -641,6 +689,26 @@ mod tests {
     }
 
     #[test]
+    fn jit_cost_charged_once_across_mixed_targets() {
+        // Hybrid probes, pure-GPU calls, and Auto calls all share one JIT
+        // cache: the kernel is compiled for the GPU exactly once.
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+        let nodes = cc.malloc(101 * 8).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, nodes).unwrap();
+        let seq = [Target::Hybrid { gpu_fraction: 0.5 }, Target::Gpu, Target::Auto, Target::Cpu];
+        let mut jit_total = 0.0;
+        for t in seq {
+            jit_total += cc.parallel_for_hetero("LoopBody", body, 100, t).unwrap().jit_seconds;
+        }
+        let jit = SystemConfig::ultrabook().gpu.jit_ms * 1e-3;
+        assert!(
+            (jit_total - jit).abs() < jit * 1e-9,
+            "mixed-target sequence must charge JIT exactly once, got {jit_total}"
+        );
+    }
+
+    #[test]
     fn fences_wrap_offloads() {
         let mut cc = Concord::new(SystemConfig::desktop(), FIG1, Options::default()).unwrap();
         let nodes = cc.malloc(101 * 8).unwrap();
@@ -654,6 +722,13 @@ mod tests {
         // CPU execution does not fence.
         cc.parallel_for_hetero("LoopBody", body, 100, Target::Cpu).unwrap();
         assert_eq!(cc.region().consistency().fences_to_gpu, 1);
+        // A hybrid construct runs both devices under ONE fence pair.
+        cc.parallel_for_hetero("LoopBody", body, 100, Target::Hybrid { gpu_fraction: 0.5 })
+            .unwrap();
+        let c = cc.region().consistency();
+        assert_eq!(c.fences_to_gpu, 2);
+        assert_eq!(c.fences_to_cpu, 2);
+        assert!(!c.pinned);
     }
 
     #[test]
@@ -669,24 +744,18 @@ mod tests {
         let mut cc = Concord::new(SystemConfig::ultrabook(), src, Options::default()).unwrap();
         assert!(!cc.program().warnings.is_empty());
         let body = cc.malloc(8).unwrap();
-        let r = cc.parallel_for_hetero("K", body, 4, Target::Gpu).unwrap();
-        assert!(r.fell_back);
-        assert!(!r.on_gpu);
+        for target in [Target::Gpu, Target::Hybrid { gpu_fraction: 0.5 }, Target::Auto] {
+            let r = cc.parallel_for_hetero("K", body, 4, target).unwrap();
+            assert!(r.fell_back, "target {target} must fall back");
+            assert!(!r.on_gpu);
+        }
     }
 
     #[test]
-    fn reduce_on_both_devices_agrees() {
-        let src = r#"
-            class Sum {
-            public:
-                float* data; float acc;
-                void operator()(int i) { acc += data[i]; }
-                void join(Sum* other) { acc += other->acc; }
-            };
-        "#;
+    fn reduce_on_all_targets_agrees() {
         let mut results = Vec::new();
-        for target in [Target::Cpu, Target::Gpu] {
-            let mut cc = Concord::new(SystemConfig::desktop(), src, Options::default()).unwrap();
+        for target in ALL_TARGETS {
+            let mut cc = Concord::new(SystemConfig::desktop(), SUM, Options::default()).unwrap();
             let n = 200u32;
             let data = cc.malloc(n as u64 * 4).unwrap();
             for i in 0..n {
@@ -698,7 +767,9 @@ mod tests {
             cc.parallel_reduce_hetero("Sum", body, n, target).unwrap();
             results.push(cc.region().read_f32(body.offset(8)).unwrap());
         }
-        assert_eq!(results[0], results[1], "CPU and GPU reductions must agree");
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, results[0], "target {} must agree with CPU reduction", ALL_TARGETS[i]);
+        }
     }
 
     #[test]
@@ -760,5 +831,142 @@ mod tests {
         let e1 = cc.energy_joules();
         cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu).unwrap();
         assert!(cc.energy_joules() > e1);
+    }
+
+    #[test]
+    fn hybrid_joules_match_meter_delta() {
+        // The merged report's joules must account for exactly the energy
+        // the construct added to the package meter.
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+        let nodes = cc.malloc(101 * 8).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, nodes).unwrap();
+        let before = cc.energy_joules();
+        let r = cc
+            .parallel_for_hetero("LoopBody", body, 100, Target::Hybrid { gpu_fraction: 0.5 })
+            .unwrap();
+        let delta = cc.energy_joules() - before;
+        assert!((r.joules - delta).abs() < 1e-12, "{} vs {delta}", r.joules);
+        assert!(r.on_gpu);
+        assert!(!r.fell_back);
+    }
+
+    #[test]
+    fn merge_parallel_invariants() {
+        let cpu = OffloadReport {
+            jit_seconds: 0.0,
+            exec_seconds: 3e-4,
+            joules: 0.02,
+            on_gpu: false,
+            fell_back: false,
+            translations: 7,
+            transactions: 0,
+            contended: 0,
+            busy_fraction: 1.0,
+            l3_hit_rate: 0.0,
+            insts: 1000,
+        };
+        let gpu = OffloadReport {
+            jit_seconds: 5e-6,
+            exec_seconds: 2e-4,
+            joules: 0.01,
+            on_gpu: true,
+            fell_back: false,
+            translations: 11,
+            transactions: 40,
+            contended: 3,
+            busy_fraction: 0.8,
+            l3_hit_rate: 0.9,
+            insts: 600,
+        };
+        let m = OffloadReport::merge_parallel(&[gpu, cpu]);
+        assert_eq!(m.joules, cpu.joules + gpu.joules);
+        assert_eq!(m.insts, cpu.insts + gpu.insts);
+        assert_eq!(m.translations, cpu.translations + gpu.translations);
+        assert_eq!(m.transactions, 40);
+        assert_eq!(m.contended, 3);
+        assert_eq!(m.exec_seconds, cpu.exec_seconds.max(gpu.exec_seconds));
+        assert_eq!(m.jit_seconds, gpu.jit_seconds);
+        assert_eq!(m.total_seconds(), gpu.jit_seconds + 3e-4);
+        assert_eq!(m.busy_fraction, gpu.busy_fraction);
+        assert_eq!(m.l3_hit_rate, gpu.l3_hit_rate);
+        assert!(m.on_gpu);
+        assert!(!m.fell_back);
+        // A single-part merge is the identity.
+        let one = OffloadReport::merge_parallel(&[cpu]);
+        assert_eq!(one.busy_fraction, 1.0);
+        assert_eq!(one.joules, cpu.joules);
+    }
+
+    #[test]
+    fn cpu_report_is_fully_populated() {
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+        let nodes = cc.malloc(101 * 8).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, nodes).unwrap();
+        let r = cc.parallel_for_hetero("LoopBody", body, 100, Target::Cpu).unwrap();
+        assert_eq!(r.busy_fraction, 1.0, "CPU launches run all cores busy");
+        assert!(r.insts > 0);
+        // The CPU-optimized module contains no address-space translation
+        // ops, so the counter is rightly zero here — it exists for CPU
+        // execution of GPU-lowered code.
+        assert_eq!(r.translations, 0);
+    }
+
+    #[test]
+    fn trapping_kernel_does_not_leak_scratch() {
+        // The reduction kernel traps (null deref) after the per-part
+        // scratch has been allocated; the guard must free it anyway.
+        let src = r#"
+            class Crash {
+            public:
+                float* data; float acc;
+                void operator()(int i) { acc += data[i]; }
+                void join(Crash* other) { acc += other->acc; }
+            };
+        "#;
+        for target in ALL_TARGETS {
+            let mut cc = Concord::new(SystemConfig::ultrabook(), src, Options::default()).unwrap();
+            let body = cc.malloc(16).unwrap();
+            // data stays null -> operator() traps on the first load.
+            let free_before = cc.heap_free_bytes();
+            let err = cc.parallel_reduce_hetero("Crash", body, 64, target).unwrap_err();
+            assert!(matches!(err, RuntimeError::Trap(_)), "target {target}");
+            assert_eq!(
+                cc.heap_free_bytes(),
+                free_before,
+                "target {target} leaked reduction scratch"
+            );
+            assert!(!cc.region().consistency().pinned, "trap must not leave the region pinned");
+        }
+    }
+
+    #[test]
+    fn auto_target_is_deterministic_and_adapts() {
+        let run = || {
+            let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+            let nodes = cc.malloc(1025 * 8).unwrap();
+            let body = cc.malloc(8).unwrap();
+            cc.region_mut().write_ptr(body, nodes).unwrap();
+            let mut reports = Vec::new();
+            for _ in 0..4 {
+                reports.push(cc.parallel_for_hetero("LoopBody", body, 1024, Target::Auto).unwrap());
+            }
+            let share = cc.profile().gpu_share("LoopBody");
+            (reports, share)
+        };
+        let (a, share_a) = run();
+        let (b, share_b) = run();
+        assert_eq!(share_a, share_b, "identical call sequences must produce identical splits");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.exec_seconds, y.exec_seconds);
+            assert_eq!(x.joules, y.joules);
+            assert_eq!(x.insts, y.insts);
+        }
+        let share = share_a.expect("both devices observed after the probe");
+        assert!(share > 0.0 && share < 1.0);
+        // Every auto call after the probe still runs both devices (the
+        // split is proportional, not winner-takes-all).
+        assert!(a.iter().all(|r| r.on_gpu));
     }
 }

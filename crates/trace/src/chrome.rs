@@ -2,7 +2,7 @@
 //!
 //! Produces the `{"traceEvents": [...]}` object format loadable by
 //! `chrome://tracing` and Perfetto. Spans use `ph: "B"` / `"E"`, instants
-//! `ph: "i"`, counters `ph: "C"`. Each [`Track`](crate::Track) is one
+//! `ph: "i"`, counters `ph: "C"`. Each [`Track`] is one
 //! thread row under a single process, named via metadata events.
 //!
 //! The export is deterministic: events are emitted in buffer order, args
@@ -38,9 +38,10 @@ pub fn to_json(events: &[Event]) -> String {
     // Per-track span stack depth so orphaned Ends (Begin evicted) can be
     // dropped, and per-track open-Begin indices + last ts for synthesizing
     // Ends for spans still open at snapshot time.
-    let mut depth = [0usize; 5];
-    let mut last_ts = [0u64; 5];
-    let mut open: Vec<Vec<&Event>> = vec![Vec::new(); 5];
+    const TRACKS: usize = Track::ALL.len();
+    let mut depth = [0usize; TRACKS];
+    let mut last_ts = [0u64; TRACKS];
+    let mut open: Vec<Vec<&Event>> = vec![Vec::new(); TRACKS];
     let idx = |t: Track| t.tid() as usize - 1;
 
     for ev in events {
@@ -67,7 +68,7 @@ pub fn to_json(events: &[Event]) -> String {
 
     // Close spans that were still open when the buffer was snapshotted,
     // innermost first, so viewers don't misattribute the tail.
-    for i in 0..5 {
+    for i in 0..TRACKS {
         while let Some(ev) = open[i].pop() {
             let synthetic = Event {
                 track: ev.track,

@@ -46,12 +46,15 @@ pub enum Track {
     CpuSim,
     /// Shared virtual memory heap and consistency events (host clock).
     Svm,
+    /// Hybrid-scheduler decisions: device splits, probe rounds, rebalances
+    /// (host clock).
+    Sched,
 }
 
 impl Track {
     /// All tracks, in export order.
-    pub const ALL: [Track; 5] =
-        [Track::Compiler, Track::Runtime, Track::GpuSim, Track::CpuSim, Track::Svm];
+    pub const ALL: [Track; 6] =
+        [Track::Compiler, Track::Runtime, Track::GpuSim, Track::CpuSim, Track::Svm, Track::Sched];
 
     /// Stable display name (also the Chrome thread name).
     pub fn name(self) -> &'static str {
@@ -61,6 +64,7 @@ impl Track {
             Track::GpuSim => "gpusim",
             Track::CpuSim => "cpusim",
             Track::Svm => "svm",
+            Track::Sched => "sched",
         }
     }
 
@@ -72,6 +76,7 @@ impl Track {
             Track::GpuSim => 3,
             Track::CpuSim => 4,
             Track::Svm => 5,
+            Track::Sched => 6,
         }
     }
 

@@ -1,5 +1,6 @@
 //! Quickstart: the paper's Figure 1 — converting an array of `Node`
-//! objects into a singly-linked list in parallel, on either device.
+//! objects into a singly-linked list in parallel, on either device, on
+//! a static hybrid split across both, or under the adaptive scheduler.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -22,7 +23,7 @@ const SRC: &str = r#"
 
 fn main() -> Result<(), RuntimeError> {
     let n = 100_000u32;
-    for target in [Target::Cpu, Target::Gpu] {
+    for target in [Target::Cpu, Target::Gpu, Target::Hybrid { gpu_fraction: 0.5 }, Target::Auto] {
         let mut cc = Concord::new(SystemConfig::ultrabook(), SRC, Options::default())?;
         // `malloc` is redirected into the shared virtual memory region, so
         // the pointer-containing nodes are visible to both devices (§3.1).
@@ -41,8 +42,7 @@ fn main() -> Result<(), RuntimeError> {
         }
         assert_eq!(cur.0, nodes.0 + n as u64 * 8);
         println!(
-            "{:>3}: linked {n} nodes in {:.3} ms using {:.3} mJ (list verified)",
-            if report.on_gpu { "GPU" } else { "CPU" },
+            "{target:>10}: linked {n} nodes in {:.3} ms using {:.3} mJ (list verified)",
             report.total_seconds() * 1e3,
             report.joules * 1e3,
         );

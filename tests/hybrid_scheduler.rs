@@ -1,0 +1,128 @@
+//! Cross-target result-identity tests for the hybrid CPU/GPU scheduler:
+//! `Target::Hybrid` and `Target::Auto` must leave the shared region in the
+//! same state as pure `Target::Cpu` / `Target::Gpu` runs on real paper
+//! workloads — splitting an iteration space across two devices is only
+//! legal if nobody can tell from the results.
+//!
+//! The comparison snapshots the region's *used prefix*: workload builds
+//! allocate sequentially from one free block without freeing, so after
+//! `build()` everything the workload ever reads or writes lives below the
+//! high-water mark (runtime-internal reduction scratch is allocated and
+//! released above it during `run()`).
+
+use concord::energy::SystemConfig;
+use concord::runtime::{Concord, Options, Target};
+use concord::svm::CPU_BASE;
+use concord::workloads::{bfs::Bfs, cloth::ClothPhysics, sssp::Sssp, Scale, Workload};
+
+const TARGETS: [Target; 4] =
+    [Target::Cpu, Target::Gpu, Target::Hybrid { gpu_fraction: 0.5 }, Target::Auto];
+
+/// Run `workload` on `target` in a fresh context; return the used-prefix
+/// snapshot of the shared region after a verified run.
+fn run_and_snapshot(workload: &dyn Workload, system: SystemConfig, target: Target) -> Vec<u8> {
+    let mut cc = Concord::new(system, workload.spec().source, Options::default())
+        .expect("workload compiles");
+    let mut inst = workload.build(&mut cc, Scale::Tiny).expect("workload builds");
+    // High-water mark of the build's allocations: the next allocation
+    // lands exactly at the first unused byte (first-fit, no frees yet).
+    let mark = cc.malloc(16).expect("probe");
+    cc.free(mark).expect("probe free");
+    let used = mark.0 - CPU_BASE;
+    inst.run(&mut cc, target).unwrap_or_else(|e| panic!("{target} run failed: {e}"));
+    inst.verify(&cc).unwrap_or_else(|e| panic!("{target} verification failed: {e}"));
+    cc.region()
+        .read_bytes(CPU_BASE, concord::ir::types::AddrSpace::Cpu, used)
+        .expect("snapshot")
+        .to_vec()
+}
+
+fn diff_positions(a: &[u8], b: &[u8]) -> Vec<usize> {
+    assert_eq!(a.len(), b.len(), "snapshots must cover the same prefix");
+    a.iter().zip(b).enumerate().filter(|(_, (x, y))| x != y).map(|(i, _)| i).collect()
+}
+
+#[test]
+fn bfs_results_identical_across_all_targets() {
+    let baseline = run_and_snapshot(&Bfs, SystemConfig::ultrabook(), Target::Cpu);
+    for target in TARGETS {
+        let snap = run_and_snapshot(&Bfs, SystemConfig::ultrabook(), target);
+        assert_eq!(
+            diff_positions(&baseline, &snap),
+            Vec::<usize>::new(),
+            "BFS on {target} must be byte-identical to the CPU run"
+        );
+    }
+}
+
+#[test]
+fn sssp_results_identical_across_all_targets() {
+    let baseline = run_and_snapshot(&Sssp, SystemConfig::desktop(), Target::Cpu);
+    for target in TARGETS {
+        let snap = run_and_snapshot(&Sssp, SystemConfig::desktop(), target);
+        assert_eq!(
+            diff_positions(&baseline, &snap),
+            Vec::<usize>::new(),
+            "SSSP on {target} must be byte-identical to the CPU run"
+        );
+    }
+}
+
+#[test]
+fn cloth_reduce_results_identical_across_all_targets() {
+    // ClothPhysics is the parallel_reduce workload. Per-node forces are
+    // plain indexed stores and must be byte-identical on every target; the
+    // single reduced energy scalar is join-order dependent (§2.2 does not
+    // promise float determinism in reductions), so the snapshots may
+    // disagree in at most that one f32 — and `verify()` inside
+    // run_and_snapshot already bounds its value on every target.
+    let baseline = run_and_snapshot(&ClothPhysics, SystemConfig::ultrabook(), Target::Cpu);
+    for target in TARGETS {
+        let snap = run_and_snapshot(&ClothPhysics, SystemConfig::ultrabook(), target);
+        let diffs = diff_positions(&baseline, &snap);
+        assert!(
+            diffs.len() <= 4,
+            "cloth on {target}: {} differing bytes (allowed: one f32)",
+            diffs.len()
+        );
+        if let (Some(first), Some(last)) = (diffs.first(), diffs.last()) {
+            assert_eq!(
+                first / 4,
+                last / 4,
+                "cloth on {target}: differing bytes {diffs:?} span more than one word"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_adapts_using_profile_history_on_bfs() {
+    // A BFS run issues many parallel_for calls for the same kernel; after
+    // the first (probe) call, Target::Auto must have observed both devices
+    // and switched to proportional splits.
+    let mut cc = Concord::new(SystemConfig::ultrabook(), Bfs.spec().source, Options::default())
+        .expect("compiles");
+    let mut inst = Bfs.build(&mut cc, Scale::Tiny).expect("builds");
+    let totals = inst.run(&mut cc, Target::Auto).expect("runs");
+    inst.verify(&cc).expect("verifies");
+    assert!(totals.used_gpu, "auto must keep using the GPU");
+    let share = cc.profile().gpu_share("BFSBody").expect("both devices profiled");
+    assert!(share > 0.0 && share < 1.0, "gpu share {share} must be a real split");
+}
+
+#[test]
+fn hybrid_fraction_sweep_stays_correct_on_bfs() {
+    let baseline = run_and_snapshot(&Bfs, SystemConfig::ultrabook(), Target::Cpu);
+    for frac in [0.1, 0.9] {
+        let snap = run_and_snapshot(
+            &Bfs,
+            SystemConfig::ultrabook(),
+            Target::Hybrid { gpu_fraction: frac },
+        );
+        assert_eq!(
+            diff_positions(&baseline, &snap),
+            Vec::<usize>::new(),
+            "BFS hybrid:{frac} must be byte-identical to the CPU run"
+        );
+    }
+}
