@@ -10,8 +10,23 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+echo "==> cargo test -q --workspace (CONCORD_HOST_THREADS=1 and =8)"
+# The differential gate of the host-parallel engine: the whole suite runs
+# once serially and once fanned across 8 OS threads, and the two outputs
+# must match byte for byte (modulo harness wall-clock lines) — simulated
+# results may never depend on host threading.
+# Strip harness wall-clock suffixes and cargo compile-progress lines (the
+# first invocation compiles, the second hits the cache).
+strip_wallclock() { sed 's/; finished in [0-9.]*s//' | grep -vE '^[[:space:]]*(Compiling|Finished|Downloaded|Downloading) ' || true; }
+CONCORD_HOST_THREADS=1 cargo test -q --workspace 2>&1 | strip_wallclock > /tmp/concord_ci_t1.log \
+    || { cat /tmp/concord_ci_t1.log; exit 1; }
+CONCORD_HOST_THREADS=8 cargo test -q --workspace 2>&1 | strip_wallclock > /tmp/concord_ci_t8.log \
+    || { cat /tmp/concord_ci_t8.log; exit 1; }
+if ! diff -u /tmp/concord_ci_t1.log /tmp/concord_ci_t8.log; then
+    echo "!! test output differs between CONCORD_HOST_THREADS=1 and =8" >&2
+    exit 1
+fi
+cat /tmp/concord_ci_t8.log
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -7,12 +7,17 @@
 //! ```text
 //! fig7_to_10 [--system ultrabook|desktop|both] [--tiny|--small|--medium]
 //!            [--target gpu|hybrid|hybrid:<fraction>|auto]
+//!            [--host-threads N]
 //! ```
 //!
 //! `--target` selects the device policy of the four configured runs:
 //! `gpu` (default) reproduces the paper's figures, `hybrid`/`auto`
 //! evaluate the work-partitioning scheduler against the same CPU
 //! baseline.
+//!
+//! `--host-threads N` fans the simulated cores and warps across N OS
+//! threads (equivalent to setting `CONCORD_HOST_THREADS=N`). Every number
+//! in the tables is identical for any N; only wall-clock time changes.
 
 use concord_bench::{figure_rows, geomean, render_table, FigureRow};
 use concord_energy::SystemConfig;
@@ -21,6 +26,14 @@ use concord_workloads::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(n) = args.iter().position(|a| a == "--host-threads").and_then(|i| args.get(i + 1)) {
+        if n.parse::<usize>().map_or(true, |v| v == 0) {
+            eprintln!("--host-threads needs a positive integer, got `{n}`");
+            std::process::exit(2);
+        }
+        // Safe: set before any simulator thread exists (single-threaded main).
+        std::env::set_var(concord_pool::HOST_THREADS_ENV, n);
+    }
     let scale = if args.iter().any(|a| a == "--tiny") {
         Scale::Tiny
     } else if args.iter().any(|a| a == "--medium") {

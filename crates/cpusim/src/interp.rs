@@ -12,7 +12,7 @@ use concord_ir::eval::{eval_bin, eval_cast, eval_fcmp, eval_icmp, Trap, Value};
 use concord_ir::inst::{BlockId, FuncId, Intrinsic, Op, ValueId};
 use concord_ir::types::{AddrSpace, Type};
 use concord_ir::{Function, Module};
-use concord_svm::{SharedRegion, VtableArea, SVM_CONST};
+use concord_svm::{AtomicKind, RegionMem, VtableArea, SVM_CONST};
 use std::collections::HashMap;
 
 /// Base address of per-core private (stack) memory.
@@ -216,12 +216,30 @@ pub struct WorkIds {
     pub size: i64,
 }
 
+/// Where LLC traffic goes during execution.
+///
+/// The live variant models the shared LLC in place (serial execution).
+/// The log variant records the addresses of L1 misses so a host-parallel
+/// chunk can be replayed through the shared LLC at commit time, in fixed
+/// chunk order, keeping cache state — and therefore timing — independent
+/// of how many OS threads executed the chunks.
+pub enum LlcSink<'a> {
+    /// Charge LLC/memory cycles immediately against this shared cache.
+    Live(&'a mut Cache),
+    /// Defer: record L1-miss addresses; cycles are charged at commit.
+    Log(&'a mut Vec<u64>),
+}
+
 /// The scalar interpreter.
-pub struct Interp<'a> {
+///
+/// Generic over the memory view `M`: a live [`concord_svm::SharedRegion`] for serial
+/// execution, or a [`concord_svm::ShadowRegion`] snapshot + write-log when
+/// chunks execute concurrently on host threads.
+pub struct Interp<'a, M: RegionMem> {
     /// Module being executed.
     pub module: &'a Module,
-    /// Shared virtual memory.
-    pub region: &'a mut SharedRegion,
+    /// Shared virtual memory (live or shadowed).
+    pub region: &'a mut M,
     /// Installed vtables (for CPU-side dynamic dispatch).
     pub vtables: &'a VtableArea,
     /// Private memory of the executing core.
@@ -230,8 +248,8 @@ pub struct Interp<'a> {
     pub core: &'a mut CoreCtx,
     /// Timing parameters.
     pub cfg: &'a CpuConfig,
-    /// Shared last-level cache (one per system).
-    pub llc: &'a mut Cache,
+    /// Shared last-level cache (live or deferred to commit).
+    pub llc: LlcSink<'a>,
     /// Current work-item ids.
     pub ids: WorkIds,
     /// Remaining instruction budget (runaway-loop guard).
@@ -258,7 +276,7 @@ impl LayoutCache {
     }
 }
 
-impl<'a> Interp<'a> {
+impl<'a, M: RegionMem> Interp<'a, M> {
     fn charge_mem(&mut self, addr: u64, space: AddrSpace) {
         match space {
             AddrSpace::Private | AddrSpace::Local => {
@@ -267,10 +285,17 @@ impl<'a> Interp<'a> {
             AddrSpace::Cpu | AddrSpace::Gpu => {
                 if self.core.l1.access(addr) {
                     self.core.cycles += self.cfg.l1_hit_cycles;
-                } else if self.llc.access(addr) {
-                    self.core.cycles += self.cfg.llc_hit_cycles;
                 } else {
-                    self.core.cycles += self.cfg.mem_cycles;
+                    match &mut self.llc {
+                        LlcSink::Live(llc) => {
+                            if llc.access(addr) {
+                                self.core.cycles += self.cfg.llc_hit_cycles;
+                            } else {
+                                self.core.cycles += self.cfg.mem_cycles;
+                            }
+                        }
+                        LlcSink::Log(log) => log.push(addr),
+                    }
                 }
             }
         }
@@ -284,7 +309,7 @@ impl<'a> Interp<'a> {
                 Err(Trap::WrongAddressSpace { found: AddrSpace::Local, expected: AddrSpace::Cpu })
             }
             sp => {
-                let v = self.region.read_value(addr, sp, ty)?;
+                let v = self.region.read_val(addr, sp, ty)?;
                 // Pointer loads from shared memory come back CPU-tagged;
                 // private-range pointers stored in shared structures (the
                 // runtime never does this, but reductions may) re-classify.
@@ -308,7 +333,7 @@ impl<'a> Interp<'a> {
                 // Private-range pointer values must never escape to shared
                 // memory; the region traps on non-CPU pointer stores, which
                 // mirrors the §2.1 restriction on taking local addresses.
-                self.region.write_value(addr, sp, v, ty)?;
+                self.region.write_val(addr, sp, v, ty)?;
                 Ok(())
             }
         }
@@ -513,7 +538,7 @@ impl<'a> Interp<'a> {
                         let vptr = self.mem_read(obj_addr, obj_sp, Type::Ptr(AddrSpace::Cpu))?;
                         let (vaddr, _) = vptr.as_ptr();
                         let target = self.vtables.dispatch(
-                            self.region,
+                            self.region.snapshot(),
                             concord_svm::CpuAddr(vaddr),
                             *slot,
                         )?;
@@ -624,28 +649,40 @@ impl<'a> Interp<'a> {
             Intrinsic::DeviceMalloc => {
                 self.core.cycles += 10.0;
                 let size = vals[0].as_i().max(0) as u64;
-                let addr = self.region.device_malloc(size)?;
+                let addr = self.region.device_alloc(size)?;
                 Value::Ptr(addr.0, AddrSpace::Cpu)
             }
             Intrinsic::AtomicAddI32 | Intrinsic::AtomicMinI32 | Intrinsic::AtomicCasI32 => {
                 let (addr, sp) = vals[0].as_ptr();
                 let sp = reclassify(addr, sp);
                 self.core.cycles += 10.0;
-                let old = self.mem_read(addr, sp, Type::I32)?.as_i();
-                let new = match intr {
-                    Intrinsic::AtomicAddI32 => old.wrapping_add(vals[1].as_i()),
-                    Intrinsic::AtomicMinI32 => old.min(vals[1].as_i()),
-                    Intrinsic::AtomicCasI32 => {
-                        if old == vals[1].as_i() {
-                            vals[2].as_i()
-                        } else {
-                            old
-                        }
-                    }
+                let kind = match intr {
+                    Intrinsic::AtomicAddI32 => AtomicKind::Add,
+                    Intrinsic::AtomicMinI32 => AtomicKind::Min,
+                    Intrinsic::AtomicCasI32 => AtomicKind::Cas,
                     _ => unreachable!(),
                 };
-                self.mem_write(addr, sp, Value::I(new), Type::I32)?;
-                Value::I(old)
+                let a1 = vals[1].as_i();
+                let a2 = vals.get(2).map(|v| v.as_i()).unwrap_or(0);
+                match sp {
+                    // Private (and Local, which faults in mem_read exactly
+                    // as a plain load would) stay on the scalar path.
+                    AddrSpace::Private | AddrSpace::Local => {
+                        let old = self.mem_read(addr, sp, Type::I32)?.as_i();
+                        let new = concord_svm::apply_rmw(kind, old, a1, a2);
+                        self.mem_write(addr, sp, Value::I(new), Type::I32)?;
+                        Value::I(old)
+                    }
+                    // Shared memory goes through the region view so shadowed
+                    // execution logs the *operation* and replays it against
+                    // the committed state (global min/add stay correct).
+                    sp => {
+                        self.charge_mem(addr, sp);
+                        self.charge_mem(addr, sp);
+                        let old = self.region.atomic_i32(addr, sp, kind, a1, a2)?;
+                        Value::I(old)
+                    }
+                }
             }
         })
     }

@@ -15,7 +15,8 @@ pub mod predictor;
 
 pub use cache::Cache;
 pub use interp::{
-    classify_raw, CoreCtx, Counters, Interp, LayoutCache, PrivateMem, WorkIds, PRIVATE_BASE,
+    classify_raw, CoreCtx, Counters, Interp, LayoutCache, LlcSink, PrivateMem, WorkIds,
+    PRIVATE_BASE,
 };
 pub use predictor::Gshare;
 
@@ -23,8 +24,28 @@ use concord_energy::CpuConfig;
 use concord_ir::eval::{Trap, Value};
 use concord_ir::types::AddrSpace;
 use concord_ir::{FuncId, Module};
-use concord_svm::{CpuAddr, SharedRegion, VtableArea};
+use concord_svm::{apply_log, CpuAddr, MemOp, ShadowRegion, SharedRegion, VtableArea};
 use concord_trace::{Tracer, Track};
+
+/// Split `[lo, hi)` into exactly `chunks.max(1)` contiguous ranges.
+///
+/// The tiling is a pure function of the span and the chunk count: chunk
+/// `k` always covers the same indices regardless of how many host threads
+/// later execute the chunks, so simulated cores map to iteration ranges
+/// deterministically. Trailing ranges may be empty; an empty or inverted
+/// input span yields all-empty ranges. Never panics.
+pub fn span_chunks(lo: u32, hi: u32, chunks: usize) -> Vec<(u32, u32)> {
+    let n = chunks.max(1).min(u32::MAX as usize) as u32;
+    let chunk = hi.saturating_sub(lo).div_ceil(n).max(1);
+    (0..n)
+        .map(|k| {
+            let base = k.saturating_mul(chunk);
+            let c_lo = lo.saturating_add(base).min(hi);
+            let c_hi = lo.saturating_add(base.saturating_add(chunk)).min(hi);
+            (c_lo, c_hi)
+        })
+        .collect()
+}
 
 /// Result of a multicore execution phase.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,6 +62,25 @@ pub struct CpuReport {
     pub l1_hit_rate: f64,
 }
 
+/// Per-chunk outcome of host-parallel execution, merged at commit time.
+struct ChunkOut {
+    core: CoreCtx,
+    private: PrivateMem,
+    llc_log: Vec<u64>,
+    mem_log: Vec<MemOp>,
+    trap: Option<Trap>,
+}
+
+/// An executed-but-uncommitted CPU launch: per-chunk core state, deferred
+/// LLC traffic, and shared-memory write logs. Produced by
+/// [`CpuSim::execute_for_span`] / [`CpuSim::execute_reduce_partials`]
+/// (which may fan chunks out over host threads) and merged back in fixed
+/// chunk order by [`CpuSim::commit`], so results are byte-identical for
+/// every host-thread count.
+pub struct CpuPending {
+    chunks: Vec<ChunkOut>,
+}
+
 /// Multicore CPU simulator.
 ///
 /// Owns per-core microarchitectural state and the shared LLC; drives
@@ -53,6 +93,10 @@ pub struct CpuSim {
     layouts: LayoutCache,
     /// Per-work-item instruction budget (runaway-loop guard).
     pub step_budget_per_item: u64,
+    /// OS threads used to execute simulated-core chunks. Purely a
+    /// wall-clock knob: simulated timing and results are identical for
+    /// every value.
+    pub host_threads: usize,
     tracer: Tracer,
     /// Monotonic simulated clock across launches (cycles): event
     /// timestamps from successive launches never overlap.
@@ -71,6 +115,7 @@ impl CpuSim {
             privates,
             layouts: LayoutCache::new(),
             step_budget_per_item: 200_000_000,
+            host_threads: 1,
             tracer: Tracer::disabled(),
             device_clock: 0.0,
         }
@@ -175,7 +220,7 @@ impl CpuSim {
             private: &mut self.privates[0],
             core: &mut self.cores[0],
             cfg: &self.cfg,
-            llc: &mut self.llc,
+            llc: LlcSink::Live(&mut self.llc),
             ids: WorkIds::default(),
             step_budget: self.step_budget_per_item,
             max_depth: 64,
@@ -221,12 +266,32 @@ impl CpuSim {
         hi: u32,
         grid: u32,
     ) -> Result<CpuReport, Trap> {
+        if concord_ir::analysis::uses_gated_ops(module, &[func]) {
+            return self.serial_for_span(region, vtables, module, func, body, lo, hi, grid);
+        }
+        let pending = self.execute_for_span(region, vtables, module, func, body, lo, hi, grid);
+        self.commit(region, pending)?;
+        Ok(self.finish_launch("parallel_for"))
+    }
+
+    /// Serial path for kernels with order-dependent operations
+    /// (`device_malloc`, compare-and-swap): executes chunks in order
+    /// directly against the live region and LLC.
+    #[allow(clippy::too_many_arguments)]
+    fn serial_for_span(
+        &mut self,
+        region: &mut SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+    ) -> Result<CpuReport, Trap> {
         self.reset_timing();
-        let cores = self.cfg.cores.max(1);
-        let chunk = (hi - lo).div_ceil(cores.max(1)).max(1);
-        for core_idx in 0..cores as usize {
-            let c_lo = lo.saturating_add(core_idx as u32 * chunk).min(hi);
-            let c_hi = lo.saturating_add((core_idx as u32 + 1) * chunk).min(hi);
+        let spans = span_chunks(lo, hi, self.cfg.cores.max(1) as usize);
+        for (core_idx, &(c_lo, c_hi)) in spans.iter().enumerate() {
             for i in c_lo..c_hi {
                 let mut interp = Interp {
                     module,
@@ -235,7 +300,7 @@ impl CpuSim {
                     private: &mut self.privates[core_idx],
                     core: &mut self.cores[core_idx],
                     cfg: &self.cfg,
-                    llc: &mut self.llc,
+                    llc: LlcSink::Live(&mut self.llc),
                     ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: grid as i64 },
                     step_budget: self.step_budget_per_item,
                     max_depth: 64,
@@ -249,10 +314,165 @@ impl CpuSim {
                     .map_err(|t| t.with_kernel(&module.function(func).name))?;
             }
         }
+        Ok(self.finish_launch("parallel_for"))
+    }
+
+    /// Execute the chunks of a `parallel_for` span without committing:
+    /// each simulated core's chunk runs against a snapshot of `region`
+    /// with a private write-log, possibly on its own host thread.
+    /// [`CpuSim::commit`] merges the logs back in chunk order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_for_span(
+        &mut self,
+        region: &SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+    ) -> CpuPending {
+        let spans = span_chunks(lo, hi, self.cfg.cores.max(1) as usize);
+        let arg0 = vec![body; spans.len()];
+        self.execute_chunks(region, vtables, module, func, &arg0, &spans, grid)
+    }
+
+    /// Execute the accumulation chunks of a `parallel_reduce` without
+    /// committing. The caller must have staged the scratch slots first
+    /// (see [`CpuSim::stage_reduce`]); chunk `k` folds into `scratch[k]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_reduce_partials(
+        &mut self,
+        region: &SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        scratch: &[CpuAddr],
+    ) -> CpuPending {
+        let slots = self.reduce_slots(scratch.len());
+        let spans = span_chunks(lo, hi, slots);
+        let arg0 = scratch[..slots].to_vec();
+        self.execute_chunks(region, vtables, module, func, &arg0, &spans, grid)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_chunks(
+        &mut self,
+        region: &SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        arg0: &[CpuAddr],
+        spans: &[(u32, u32)],
+        grid: u32,
+    ) -> CpuPending {
+        self.reset_timing();
+        let sim: &CpuSim = self;
+        let chunks = concord_pool::map(sim.host_threads, spans.len(), |idx| {
+            let mut core = sim.cores[idx].clone();
+            let mut private = sim.privates[idx].clone();
+            let mut shadow = ShadowRegion::new(region);
+            let mut llc_log = Vec::new();
+            let mut layouts = LayoutCache::new();
+            let (c_lo, c_hi) = spans[idx];
+            let mut trap = None;
+            for i in c_lo..c_hi {
+                let mut interp = Interp {
+                    module,
+                    region: &mut shadow,
+                    vtables,
+                    private: &mut private,
+                    core: &mut core,
+                    cfg: &sim.cfg,
+                    llc: LlcSink::Log(&mut llc_log),
+                    ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: grid as i64 },
+                    step_budget: sim.step_budget_per_item,
+                    max_depth: 64,
+                };
+                if let Err(t) = interp.call(
+                    &mut layouts,
+                    func,
+                    &[Value::Ptr(arg0[idx].0, AddrSpace::Cpu), Value::I(i as i64)],
+                ) {
+                    trap = Some(t.with_kernel(&module.function(func).name));
+                    break;
+                }
+            }
+            ChunkOut { core, private, llc_log, mem_log: shadow.into_log(), trap }
+        });
+        CpuPending { chunks }
+    }
+
+    /// Merge an executed launch back into the live region, in fixed chunk
+    /// order: replay each chunk's deferred LLC traffic through the shared
+    /// LLC (charging the chunk's core), apply its write-log, and adopt its
+    /// core state. On a trap, chunks up to and including the lowest
+    /// trapped chunk are committed — matching what serial execution would
+    /// have left behind — and that chunk's trap is returned.
+    ///
+    /// # Errors
+    ///
+    /// The trap of the lowest trapped chunk, if any.
+    pub fn commit(&mut self, region: &mut SharedRegion, pending: CpuPending) -> Result<(), Trap> {
+        let mut trap: Option<Trap> = None;
+        for (idx, mut chunk) in pending.chunks.into_iter().enumerate() {
+            if trap.is_some() {
+                break;
+            }
+            for &addr in &chunk.llc_log {
+                chunk.core.cycles += if self.llc.access(addr) {
+                    self.cfg.llc_hit_cycles
+                } else {
+                    self.cfg.mem_cycles
+                };
+            }
+            apply_log(region, &chunk.mem_log);
+            trap = chunk.trap.take();
+            self.cores[idx] = chunk.core;
+            self.privates[idx] = chunk.private;
+        }
+        match trap {
+            Some(t) => Err(t),
+            None => Ok(()),
+        }
+    }
+
+    /// Build the launch report and record it on the trace, advancing the
+    /// simulated device clock. Call once per committed launch.
+    pub fn finish_launch(&mut self, what: &'static str) -> CpuReport {
         // TBB-like fork/join overhead.
         let r = self.report(5e-6);
-        self.trace_report("parallel_for", &r);
-        Ok(r)
+        self.trace_report(what, &r);
+        r
+    }
+
+    /// Number of scratch slots a reduction will actually use.
+    pub fn reduce_slots(&self, scratch_len: usize) -> usize {
+        (self.cfg.cores.max(1) as usize).min(scratch_len)
+    }
+
+    /// Copy the reduction body into each scratch slot (the serial staging
+    /// step that precedes [`CpuSim::execute_reduce_partials`]). Pass
+    /// exactly the `reduce_slots` slots that will be used.
+    ///
+    /// # Errors
+    ///
+    /// Region access faults on the body or a slot.
+    pub fn stage_reduce(
+        region: &mut SharedRegion,
+        body: CpuAddr,
+        body_size: u64,
+        scratch: &[CpuAddr],
+    ) -> Result<(), Trap> {
+        for &slot in scratch {
+            let bytes = region.read_bytes(body.0, AddrSpace::Cpu, body_size)?.to_vec();
+            region.write_bytes(slot.0, AddrSpace::Cpu, &bytes)?;
+        }
+        Ok(())
     }
 
     /// Execute `parallel_reduce_hetero(n, body)`: each core accumulates its
@@ -282,10 +502,20 @@ impl CpuSim {
         n: u32,
         scratch: &[CpuAddr],
     ) -> Result<CpuReport, Trap> {
-        let cores = (self.cfg.cores.max(1) as usize).min(scratch.len());
-        self.accumulate_partials(region, vtables, module, func, body, body_size, 0, n, n, scratch)?;
+        let slots = self.reduce_slots(scratch.len());
+        assert!(slots >= 1, "need at least one scratch slot");
+        if concord_ir::analysis::uses_gated_ops(module, &[func, join]) {
+            self.accumulate_partials(
+                region, vtables, module, func, body, body_size, 0, n, n, scratch,
+            )?;
+        } else {
+            Self::stage_reduce(region, body, body_size, &scratch[..slots])?;
+            let pending =
+                self.execute_reduce_partials(region, vtables, module, func, 0, n, n, scratch);
+            self.commit(region, pending)?;
+        }
         // Sequential join on core 0: body.join(acc_k) for each core.
-        for &slot in scratch.iter().take(cores) {
+        for &slot in scratch.iter().take(slots) {
             self.call(
                 region,
                 vtables,
@@ -294,9 +524,7 @@ impl CpuSim {
                 &[Value::Ptr(body.0, AddrSpace::Cpu), Value::Ptr(slot.0, AddrSpace::Cpu)],
             )?;
         }
-        let r = self.report(5e-6);
-        self.trace_report("parallel_reduce", &r);
-        Ok(r)
+        Ok(self.finish_launch("parallel_reduce"))
     }
 
     /// The accumulation phase of `parallel_reduce_hetero` over the
@@ -330,14 +558,23 @@ impl CpuSim {
         grid: u32,
         scratch: &[CpuAddr],
     ) -> Result<CpuReport, Trap> {
-        self.accumulate_partials(
-            region, vtables, module, func, body, body_size, lo, hi, grid, scratch,
-        )?;
-        let r = self.report(5e-6);
-        self.trace_report("parallel_reduce", &r);
-        Ok(r)
+        let slots = self.reduce_slots(scratch.len());
+        assert!(slots >= 1, "need at least one scratch slot");
+        if concord_ir::analysis::uses_gated_ops(module, &[func]) {
+            self.accumulate_partials(
+                region, vtables, module, func, body, body_size, lo, hi, grid, scratch,
+            )?;
+        } else {
+            Self::stage_reduce(region, body, body_size, &scratch[..slots])?;
+            let pending =
+                self.execute_reduce_partials(region, vtables, module, func, lo, hi, grid, scratch);
+            self.commit(region, pending)?;
+        }
+        Ok(self.finish_launch("parallel_reduce"))
     }
 
+    /// Serial accumulation for gated kernels: chunks run in order against
+    /// the live region and LLC, exactly the pre-host-parallel semantics.
     #[allow(clippy::too_many_arguments)]
     fn accumulate_partials(
         &mut self,
@@ -353,17 +590,13 @@ impl CpuSim {
         scratch: &[CpuAddr],
     ) -> Result<(), Trap> {
         self.reset_timing();
-        let cores = (self.cfg.cores.max(1) as usize).min(scratch.len());
-        assert!(cores >= 1, "need at least one scratch slot");
-        // Copy the body into each core's accumulator.
-        for &slot in scratch.iter().take(cores) {
-            let bytes = region.read_bytes(body.0, AddrSpace::Cpu, body_size)?.to_vec();
-            region.write_bytes(slot.0, AddrSpace::Cpu, &bytes)?;
-        }
-        let chunk = (hi - lo).div_ceil(cores as u32).max(1);
-        for (core_idx, &acc) in scratch.iter().take(cores).enumerate() {
-            let c_lo = lo.saturating_add(core_idx as u32 * chunk).min(hi);
-            let c_hi = lo.saturating_add((core_idx as u32 + 1) * chunk).min(hi);
+        let slots = self.reduce_slots(scratch.len());
+        assert!(slots >= 1, "need at least one scratch slot");
+        Self::stage_reduce(region, body, body_size, &scratch[..slots])?;
+        let spans = span_chunks(lo, hi, slots);
+        for (core_idx, (&acc, &(c_lo, c_hi))) in
+            scratch.iter().take(slots).zip(spans.iter()).enumerate()
+        {
             for i in c_lo..c_hi {
                 let mut interp = Interp {
                     module,
@@ -372,7 +605,7 @@ impl CpuSim {
                     private: &mut self.privates[core_idx],
                     core: &mut self.cores[core_idx],
                     cfg: &self.cfg,
-                    llc: &mut self.llc,
+                    llc: LlcSink::Live(&mut self.llc),
                     ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: grid as i64 },
                     step_budget: self.step_budget_per_item,
                     max_depth: 64,
@@ -641,5 +874,57 @@ mod tests {
             t.push(r.critical_cycles);
         }
         assert!(t[1] > t[0] * 4.0, "10x inner work must cost visibly more: {t:?}");
+    }
+
+    mod span_chunk_properties {
+        use super::super::span_chunks;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The chunks exactly tile `[lo, hi)` in order: consecutive,
+            /// non-overlapping, and covering every work item once. This is
+            /// the invariant the determinism model rests on — chunk k's
+            /// results always merge at position k over the same ids.
+            #[test]
+            fn chunks_tile_the_span_exactly(
+                lo in 0u32..5000,
+                len in 0u32..5000,
+                chunks in 0usize..70
+            ) {
+                let hi = lo + len;
+                let spans = span_chunks(lo, hi, chunks);
+                prop_assert_eq!(spans.len(), chunks.max(1));
+                let mut next = lo;
+                for &(c_lo, c_hi) in &spans {
+                    prop_assert!(c_lo <= c_hi, "chunk [{}, {}) inverted", c_lo, c_hi);
+                    prop_assert_eq!(c_lo, next.min(hi), "chunks must be consecutive");
+                    next = c_hi;
+                }
+                prop_assert_eq!(spans.last().unwrap().1, hi, "chunks must end at hi");
+                let total: u64 = spans.iter().map(|&(a, b)| u64::from(b - a)).sum();
+                prop_assert_eq!(total, u64::from(len), "every item exactly once");
+            }
+
+            /// Degenerate inputs — zero workers (the old divisor bug), an
+            /// empty span, spans near u32::MAX — never panic and never
+            /// produce items outside `[lo, hi)`.
+            #[test]
+            fn extreme_inputs_do_not_panic(chunks in 0usize..5) {
+                for (s_lo, s_hi) in [
+                    (0u32, 0u32),
+                    (7, 7),
+                    (u32::MAX - 3, u32::MAX),
+                    (0, u32::MAX),
+                    (u32::MAX, u32::MAX),
+                ] {
+                    let spans = span_chunks(s_lo, s_hi, chunks);
+                    for &(c_lo, c_hi) in &spans {
+                        prop_assert!(s_lo <= c_lo && c_hi <= s_hi);
+                    }
+                    let total: u64 = spans.iter().map(|&(a, b)| u64::from(b - a)).sum();
+                    prop_assert_eq!(total, u64::from(s_hi - s_lo));
+                }
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@ pub mod warp;
 
 pub use l3::{GpuL3, L3Access};
 pub use warp::{
-    active, gpu_classify, GpuSpace, Lane, Mask, MetaCache, Warp, WarpTiming, WarpTrace, LOCAL_BASE,
+    active, gpu_classify, GpuSpace, Lane, LogItem, Mask, MetaCache, Warp, WarpTiming, LOCAL_BASE,
     TRACE_SAMPLE_EVERY,
 };
 
@@ -25,8 +25,10 @@ use concord_energy::GpuConfig;
 use concord_ir::eval::{Trap, Value};
 use concord_ir::types::AddrSpace;
 use concord_ir::{FuncId, Module};
-use concord_svm::{CpuAddr, SharedRegion};
+use concord_svm::{apply_log, CpuAddr, MemOp, RegionMem, ShadowRegion, SharedRegion};
 use concord_trace::{Tracer, Track};
+use std::sync::Mutex;
+use warp::sampled;
 
 /// Result of one GPU kernel launch.
 #[derive(Debug, Clone, Copy, Default)]
@@ -52,12 +54,38 @@ pub struct GpuReport {
     pub warps: u64,
 }
 
+/// Outcome of one executed-but-uncommitted warp.
+struct WarpOut {
+    /// Issue + private/local stall; L3 stall is added at commit.
+    timing: WarpTiming,
+    /// Deferred L3 accesses and sampled trace events.
+    log: Vec<LogItem>,
+    /// Shared-memory write log (empty on the serial path).
+    mem_log: Vec<MemOp>,
+    /// First trap hit by this warp, if any.
+    trap: Option<Trap>,
+}
+
+/// An executed-but-uncommitted GPU launch: per-warp timing, L3/trace
+/// logs, and shared-memory write logs, produced by
+/// [`GpuSim::execute_for_span`] / [`GpuSim::execute_reduce_span`]
+/// (possibly on many host threads) and merged in fixed warp order by
+/// [`GpuSim::commit`], so results are byte-identical for every
+/// host-thread count.
+pub struct GpuPending {
+    warps: Vec<WarpOut>,
+    hiding: f64,
+}
+
 /// The GPU simulator: owns the L3 and drives warps over the grid.
 pub struct GpuSim {
     cfg: GpuConfig,
     l3: GpuL3,
     /// Per-warp-item instruction budget (runaway-loop guard).
     pub step_budget_per_warp: u64,
+    /// OS threads used to execute warps. Purely a wall-clock knob:
+    /// simulated timing and results are identical for every value.
+    pub host_threads: usize,
     tracer: Tracer,
     /// Monotonic device clock: accumulates critical cycles across launches
     /// so trace timestamps from successive launches never overlap.
@@ -71,6 +99,7 @@ impl GpuSim {
             l3: GpuL3::new(cfg.l3_bytes, 64),
             cfg,
             step_budget_per_warp: 400_000_000,
+            host_threads: 1,
             tracer: Tracer::disabled(),
             device_clock: 0,
         }
@@ -189,15 +218,99 @@ impl GpuSim {
         hi: u32,
         grid: u32,
     ) -> Result<GpuReport, Trap> {
+        if concord_ir::analysis::uses_gated_ops(module, &[func]) {
+            return self.serial_for_span(region, module, func, body, lo, hi, grid);
+        }
+        let pending = self.execute_for_span(region, module, func, body, lo, hi, grid);
+        self.commit(region, pending)
+    }
+
+    /// Warp count and latency-hiding factor for a `[lo, hi)` span.
+    fn geometry(&self, lo: u32, hi: u32) -> (u64, f64) {
+        let warps = ((hi - lo) as u64).div_ceil(self.cfg.simd_width as u64);
+        let eus = self.cfg.eus as usize;
+        let hiding = (warps as f64 / eus as f64).clamp(1.0, self.cfg.threads_per_eu as f64);
+        (warps, hiding)
+    }
+
+    /// Execute the warps of a `parallel_for` span without committing: each
+    /// warp runs against a snapshot of `region` with a private write-log,
+    /// possibly on its own host thread. [`GpuSim::commit`] merges the logs
+    /// back in warp order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_for_span(
+        &self,
+        region: &SharedRegion,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+    ) -> GpuPending {
+        let width = self.cfg.simd_width;
+        let eus = self.cfg.eus as u64;
+        let (warps, hiding) = self.geometry(lo, hi);
+        let meta = Mutex::new(MetaCache::new());
+        let trace_on = self.tracer.enabled();
+        let outs = concord_pool::map_dynamic(self.host_threads, warps as usize, |wi| {
+            let w = wi as u64;
+            let base = lo as u64 + w * width as u64;
+            let (lanes, mask) = self.make_lanes(w, base, hi, grid, width);
+            let mut shadow = ShadowRegion::new(region);
+            let mut warp = Warp {
+                module,
+                region: &mut shadow,
+                cfg: &self.cfg,
+                meta: &meta,
+                lanes,
+                local: vec![0; self.cfg.local_bytes as usize],
+                eu: (w % eus) as u32,
+                wave: (w / eus) as u32,
+                timing: WarpTiming::default(),
+                step_budget: self.step_budget_per_warp,
+                hiding,
+                trace_enabled: trace_on,
+                log: Vec::new(),
+                divergences: 0,
+                reconvergences: 0,
+            };
+            let args: Vec<Vec<Value>> = (0..width as usize)
+                .map(|l| {
+                    vec![Value::Ptr(body.0, AddrSpace::Cpu), Value::I((base + l as u64) as i64)]
+                })
+                .collect();
+            let trap = warp
+                .exec_function(mask, func, &args, 0)
+                .map_err(|t| t.with_kernel(&module.function(func).name))
+                .err();
+            WarpOut { timing: warp.timing, log: warp.log, mem_log: shadow.into_log(), trap }
+        });
+        GpuPending { warps: outs, hiding }
+    }
+
+    /// Serial path for kernels with order-dependent operations
+    /// (`device_malloc`, compare-and-swap): warps execute in order against
+    /// the live region, each committing its L3/trace log immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn serial_for_span(
+        &mut self,
+        region: &mut SharedRegion,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+    ) -> Result<GpuReport, Trap> {
         self.l3.flush();
         let width = self.cfg.simd_width;
         let eus = self.cfg.eus as usize;
-        let warps = ((hi - lo) as u64).div_ceil(width as u64);
-        let hiding = (warps as f64 / eus as f64).clamp(1.0, self.cfg.threads_per_eu as f64);
+        let (warps, hiding) = self.geometry(lo, hi);
         let mut eu_cycles = vec![0.0f64; eus];
         let mut eu_issue = vec![0.0f64; eus];
         let mut totals = WarpTiming::default();
-        let mut meta = MetaCache::new();
+        let meta = Mutex::new(MetaCache::new());
         for w in 0..warps {
             let eu = (w % eus as u64) as u32;
             let wave = (w / eus as u64) as u32;
@@ -205,36 +318,147 @@ impl GpuSim {
             let (lanes, mask) = self.make_lanes(w, base, hi, grid, width);
             let mut warp = Warp {
                 module,
-                region,
+                region: &mut *region,
                 cfg: &self.cfg,
-                l3: &mut self.l3,
-                meta: &mut meta,
+                meta: &meta,
                 lanes,
                 local: vec![0; self.cfg.local_bytes as usize],
                 eu,
                 wave,
-                seq: 0,
                 timing: WarpTiming::default(),
                 step_budget: self.step_budget_per_warp,
                 hiding,
-                trace: WarpTrace::for_launch(self.tracer.clone(), self.device_clock),
+                trace_enabled: self.tracer.enabled(),
+                log: Vec::new(),
+                divergences: 0,
+                reconvergences: 0,
             };
             let args: Vec<Vec<Value>> = (0..width as usize)
                 .map(|l| {
                     vec![Value::Ptr(body.0, AddrSpace::Cpu), Value::I((base + l as u64) as i64)]
                 })
                 .collect();
-            warp.exec_function(mask, func, &args, 0)
-                .map_err(|t| t.with_kernel(&module.function(func).name))?;
-            let t = warp.timing;
-            eu_cycles[eu as usize] += t.issue + t.stall;
-            eu_issue[eu as usize] += t.issue;
-            totals.insts += t.insts;
-            totals.translations += t.translations;
-            totals.transactions += t.transactions;
-            totals.contended += t.contended;
+            let res = warp
+                .exec_function(mask, func, &args, 0)
+                .map_err(|t| t.with_kernel(&module.function(func).name));
+            let mut timing = warp.timing;
+            let log = warp.log;
+            self.replay_warp_log(log, &mut timing, eu, wave, hiding);
+            res?;
+            accumulate(&mut eu_cycles, &mut eu_issue, &mut totals, eu, timing);
         }
         Ok(self.finish_report(&eu_cycles, &eu_issue, totals, warps))
+    }
+
+    /// Replay one warp's deferred L3 accesses and trace events against the
+    /// shared L3 and the tracer, charging L3 stall into `timing`. Always
+    /// called in warp order, so cache state and trace output are
+    /// independent of how the warps were executed.
+    fn replay_warp_log(
+        &mut self,
+        log: Vec<LogItem>,
+        timing: &mut WarpTiming,
+        eu: u32,
+        wave: u32,
+        hiding: f64,
+    ) {
+        let mut seq = 0u64;
+        let mut l3_stall = 0.0f64;
+        let mut accesses = 0u64;
+        let mut contentions = 0u64;
+        let clock_base = self.device_clock;
+        let trace_on = self.tracer.enabled();
+        for item in log {
+            match item {
+                LogItem::Access { lines, shared_lanes, ts_snap } => {
+                    let n_lines = lines.len();
+                    for line in lines {
+                        let a = self.l3.access(line << 6, eu, wave, seq);
+                        seq += 1;
+                        timing.transactions += 1;
+                        let base = if a.hit { self.cfg.l3_hit_cycles } else { self.cfg.mem_cycles };
+                        l3_stall += base / hiding;
+                        if a.contended {
+                            l3_stall += self.cfg.contention_penalty;
+                            timing.contended += 1;
+                            if trace_on && sampled(&mut contentions) {
+                                self.tracer.instant_at(
+                                    Track::GpuSim,
+                                    "l3_contention",
+                                    clock_base + (ts_snap + l3_stall) as u64,
+                                    vec![
+                                        ("line", (line << 6).into()),
+                                        ("eu", i64::from(eu).into()),
+                                        ("wave", i64::from(wave).into()),
+                                        ("count", contentions.into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                    if n_lines > 0 && trace_on && sampled(&mut accesses) {
+                        self.tracer.instant_at(
+                            Track::GpuSim,
+                            "mem_access",
+                            clock_base + (ts_snap + l3_stall) as u64,
+                            vec![
+                                ("lanes", (shared_lanes as i64).into()),
+                                ("lines", (n_lines as i64).into()),
+                                ("coalesced", (n_lines * 2 <= shared_lanes.max(1)).into()),
+                                ("count", accesses.into()),
+                            ],
+                        );
+                    }
+                }
+                LogItem::Event { name, ts_snap, args } => {
+                    if trace_on {
+                        self.tracer.instant_at(
+                            Track::GpuSim,
+                            name,
+                            clock_base + (ts_snap + l3_stall) as u64,
+                            args,
+                        );
+                    }
+                }
+            }
+        }
+        timing.stall += l3_stall;
+    }
+
+    /// Merge an executed launch back into the live region and the shared
+    /// L3, in fixed warp order. On a trap, warps up to and including the
+    /// lowest trapped warp are committed (their writes and L3 traffic —
+    /// matching what the serial path would have left behind) and that
+    /// warp's trap is returned, which is always the trap of the lowest
+    /// trapping global work-item id.
+    ///
+    /// # Errors
+    ///
+    /// The trap of the lowest trapped warp, if any.
+    pub fn commit(
+        &mut self,
+        region: &mut SharedRegion,
+        pending: GpuPending,
+    ) -> Result<GpuReport, Trap> {
+        self.l3.flush();
+        let eus = self.cfg.eus as usize;
+        let GpuPending { warps, hiding } = pending;
+        let warp_count = warps.len() as u64;
+        let mut eu_cycles = vec![0.0f64; eus];
+        let mut eu_issue = vec![0.0f64; eus];
+        let mut totals = WarpTiming::default();
+        for (w, out) in warps.into_iter().enumerate() {
+            let eu = (w % eus) as u32;
+            let wave = (w / eus) as u32;
+            apply_log(region, &out.mem_log);
+            let mut timing = out.timing;
+            self.replay_warp_log(out.log, &mut timing, eu, wave, hiding);
+            if let Some(t) = out.trap {
+                return Err(t);
+            }
+            accumulate(&mut eu_cycles, &mut eu_issue, &mut totals, eu, timing);
+        }
+        Ok(self.finish_report(&eu_cycles, &eu_issue, totals, warp_count))
     }
 
     /// Launch `parallel_reduce_hetero(n, body)` on the GPU (§3.3):
@@ -289,24 +513,121 @@ impl GpuSim {
         grid: u32,
         scratch: &[CpuAddr],
     ) -> Result<GpuReport, Trap> {
+        if concord_ir::analysis::uses_gated_ops(module, &[func, join]) {
+            return self.serial_reduce_span(
+                region, module, func, join, body, body_size, lo, hi, grid, scratch,
+            );
+        }
+        let pending = self.execute_reduce_span(
+            region, module, func, join, body, body_size, lo, hi, grid, scratch,
+        );
+        self.commit(region, pending)
+    }
+
+    fn check_reduce_geometry(&self, warps: u64, scratch_len: usize, body_size: u64) {
+        assert!(
+            scratch_len as u64 >= warps,
+            "need one scratch slot per warp ({warps}), got {scratch_len}"
+        );
+        assert!(
+            body_size * self.cfg.simd_width as u64 <= self.cfg.local_bytes,
+            "body copies exceed local memory; the runtime should have fallen back"
+        );
+    }
+
+    /// Execute the warps of a `parallel_reduce` span without committing;
+    /// each warp leaves its partial in its `scratch` slot via its write
+    /// log. See [`GpuSim::parallel_reduce`] for the per-warp steps.
+    ///
+    /// # Panics
+    ///
+    /// If `scratch` is shorter than the warp count, or body copies exceed
+    /// local memory.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_reduce_span(
+        &self,
+        region: &SharedRegion,
+        module: &Module,
+        func: FuncId,
+        join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        scratch: &[CpuAddr],
+    ) -> GpuPending {
+        let width = self.cfg.simd_width;
+        let eus = self.cfg.eus as u64;
+        let (warps, hiding) = self.geometry(lo, hi);
+        self.check_reduce_geometry(warps, scratch.len(), body_size);
+        let meta = Mutex::new(MetaCache::new());
+        let trace_on = self.tracer.enabled();
+        let outs = concord_pool::map_dynamic(self.host_threads, warps as usize, |wi| {
+            let w = wi as u64;
+            let base = lo as u64 + w * width as u64;
+            let (lanes, mask) = self.make_lanes(w, base, hi, grid, width);
+            let mut shadow = ShadowRegion::new(region);
+            let mut warp = Warp {
+                module,
+                region: &mut shadow,
+                cfg: &self.cfg,
+                meta: &meta,
+                lanes,
+                local: vec![0; self.cfg.local_bytes as usize],
+                eu: (w % eus) as u32,
+                wave: (w / eus) as u32,
+                timing: WarpTiming::default(),
+                step_budget: self.step_budget_per_warp,
+                hiding,
+                trace_enabled: trace_on,
+                log: Vec::new(),
+                divergences: 0,
+                reconvergences: 0,
+            };
+            let trap = reduce_warp_steps(
+                &mut warp,
+                module,
+                func,
+                join,
+                body,
+                body_size,
+                base,
+                hi,
+                mask,
+                width,
+                scratch[wi],
+            )
+            .err();
+            WarpOut { timing: warp.timing, log: warp.log, mem_log: shadow.into_log(), trap }
+        });
+        GpuPending { warps: outs, hiding }
+    }
+
+    /// Serial reduce path for gated kernels (see [`GpuSim::serial_for_span`]).
+    #[allow(clippy::too_many_arguments)]
+    fn serial_reduce_span(
+        &mut self,
+        region: &mut SharedRegion,
+        module: &Module,
+        func: FuncId,
+        join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        scratch: &[CpuAddr],
+    ) -> Result<GpuReport, Trap> {
         self.l3.flush();
         let width = self.cfg.simd_width;
         let eus = self.cfg.eus as usize;
-        let warps = ((hi - lo) as u64).div_ceil(width as u64);
-        assert!(
-            scratch.len() as u64 >= warps,
-            "need one scratch slot per warp ({warps}), got {}",
-            scratch.len()
-        );
-        assert!(
-            body_size * width as u64 <= self.cfg.local_bytes,
-            "body copies exceed local memory; the runtime should have fallen back"
-        );
-        let hiding = (warps as f64 / eus as f64).clamp(1.0, self.cfg.threads_per_eu as f64);
+        let (warps, hiding) = self.geometry(lo, hi);
+        self.check_reduce_geometry(warps, scratch.len(), body_size);
         let mut eu_cycles = vec![0.0f64; eus];
         let mut eu_issue = vec![0.0f64; eus];
         let mut totals = WarpTiming::default();
-        let mut meta = MetaCache::new();
+        let meta = Mutex::new(MetaCache::new());
         for w in 0..warps {
             let eu = (w % eus as u64) as u32;
             let wave = (w / eus as u64) as u32;
@@ -314,85 +635,127 @@ impl GpuSim {
             let (lanes, mask) = self.make_lanes(w, base, hi, grid, width);
             let mut warp = Warp {
                 module,
-                region,
+                region: &mut *region,
                 cfg: &self.cfg,
-                l3: &mut self.l3,
-                meta: &mut meta,
+                meta: &meta,
                 lanes,
                 local: vec![0; self.cfg.local_bytes as usize],
                 eu,
                 wave,
-                seq: 0,
                 timing: WarpTiming::default(),
                 step_budget: self.step_budget_per_warp,
                 hiding,
-                trace: WarpTrace::for_launch(self.tracer.clone(), self.device_clock),
+                trace_enabled: self.tracer.enabled(),
+                log: Vec::new(),
+                divergences: 0,
+                reconvergences: 0,
             };
-            // 1. Private body copies. Reserve a pseudo-frame per lane.
-            let mut priv_copy = vec![0u64; width as usize];
-            for l in active(mask, width as usize) {
-                let base = warp.lanes[l].private.push_frame_public(body_size)?;
-                let addr = concord_cpusim::PRIVATE_BASE + base;
-                priv_copy[l] = addr;
-                warp.lane_memcpy(l, addr, body.to_gpu().0, body_size)?;
-            }
-            // 2. operator() on private copies.
-            let args: Vec<Vec<Value>> = (0..width as usize)
-                .map(|l| {
-                    vec![
-                        Value::Ptr(priv_copy[l], AddrSpace::Private),
-                        Value::I((base + l as u64) as i64),
-                    ]
-                })
-                .collect();
-            warp.exec_function(mask, func, &args, 0)
-                .map_err(|t| t.with_kernel(&module.function(func).name))?;
-            // 3. Private → local.
-            for l in active(mask, width as usize) {
-                let local_slot = LOCAL_BASE + l as u64 * body_size;
-                warp.lane_memcpy(l, local_slot, priv_copy[l], body_size)?;
-            }
-            // 4. Tree reduction in local memory.
-            let lane_count = (hi as u64 - base).min(width as u64) as usize;
-            let mut stride = (width / 2) as usize;
-            while stride >= 1 {
-                let mut jmask: Mask = 0;
-                for l in 0..width as usize {
-                    if l < stride && l + stride < lane_count {
-                        jmask |= 1 << l;
-                    }
-                }
-                if jmask != 0 {
-                    let jargs: Vec<Vec<Value>> = (0..width as usize)
-                        .map(|l| {
-                            vec![
-                                Value::Ptr(LOCAL_BASE + l as u64 * body_size, AddrSpace::Local),
-                                Value::Ptr(
-                                    LOCAL_BASE + (l + stride) as u64 * body_size,
-                                    AddrSpace::Local,
-                                ),
-                            ]
-                        })
-                        .collect();
-                    warp.exec_function(jmask, join, &jargs, 0)
-                        .map_err(|t| t.with_kernel(&module.function(join).name))?;
-                }
-                stride /= 2;
-            }
-            // 5. Lane 0's local copy → the warp's shared scratch slot.
-            if lane_count > 0 {
-                warp.lane_memcpy(0, scratch[w as usize].to_gpu().0, LOCAL_BASE, body_size)?;
-            }
-            let t = warp.timing;
-            eu_cycles[eu as usize] += t.issue + t.stall;
-            eu_issue[eu as usize] += t.issue;
-            totals.insts += t.insts;
-            totals.translations += t.translations;
-            totals.transactions += t.transactions;
-            totals.contended += t.contended;
+            let res = reduce_warp_steps(
+                &mut warp,
+                module,
+                func,
+                join,
+                body,
+                body_size,
+                base,
+                hi,
+                mask,
+                width,
+                scratch[w as usize],
+            );
+            let mut timing = warp.timing;
+            let log = warp.log;
+            self.replay_warp_log(log, &mut timing, eu, wave, hiding);
+            res?;
+            accumulate(&mut eu_cycles, &mut eu_issue, &mut totals, eu, timing);
         }
         Ok(self.finish_report(&eu_cycles, &eu_issue, totals, warps))
     }
+}
+
+/// Accumulate one committed warp's timing into the launch totals.
+fn accumulate(
+    eu_cycles: &mut [f64],
+    eu_issue: &mut [f64],
+    totals: &mut WarpTiming,
+    eu: u32,
+    t: WarpTiming,
+) {
+    eu_cycles[eu as usize] += t.issue + t.stall;
+    eu_issue[eu as usize] += t.issue;
+    totals.insts += t.insts;
+    totals.translations += t.translations;
+    totals.transactions += t.transactions;
+    totals.contended += t.contended;
+}
+
+/// The per-warp reduction sequence (§3.3): private body copies, the
+/// operator, private → local copies, a tree reduction with `join`, and
+/// lane 0's result into the warp's scratch slot.
+#[allow(clippy::too_many_arguments)]
+fn reduce_warp_steps<M: RegionMem>(
+    warp: &mut Warp<'_, M>,
+    module: &Module,
+    func: FuncId,
+    join: FuncId,
+    body: CpuAddr,
+    body_size: u64,
+    base: u64,
+    hi: u32,
+    mask: Mask,
+    width: u32,
+    scratch_slot: CpuAddr,
+) -> Result<(), Trap> {
+    // 1. Private body copies. Reserve a pseudo-frame per lane.
+    let mut priv_copy = vec![0u64; width as usize];
+    for l in active(mask, width as usize) {
+        let frame = warp.lanes[l].private.push_frame_public(body_size)?;
+        let addr = concord_cpusim::PRIVATE_BASE + frame;
+        priv_copy[l] = addr;
+        warp.lane_memcpy(l, addr, body.to_gpu().0, body_size)?;
+    }
+    // 2. operator() on private copies.
+    let args: Vec<Vec<Value>> = (0..width as usize)
+        .map(|l| {
+            vec![Value::Ptr(priv_copy[l], AddrSpace::Private), Value::I((base + l as u64) as i64)]
+        })
+        .collect();
+    warp.exec_function(mask, func, &args, 0)
+        .map_err(|t| t.with_kernel(&module.function(func).name))?;
+    // 3. Private → local.
+    for l in active(mask, width as usize) {
+        let local_slot = LOCAL_BASE + l as u64 * body_size;
+        warp.lane_memcpy(l, local_slot, priv_copy[l], body_size)?;
+    }
+    // 4. Tree reduction in local memory.
+    let lane_count = (hi as u64 - base).min(width as u64) as usize;
+    let mut stride = (width / 2) as usize;
+    while stride >= 1 {
+        let mut jmask: Mask = 0;
+        for l in 0..width as usize {
+            if l < stride && l + stride < lane_count {
+                jmask |= 1 << l;
+            }
+        }
+        if jmask != 0 {
+            let jargs: Vec<Vec<Value>> = (0..width as usize)
+                .map(|l| {
+                    vec![
+                        Value::Ptr(LOCAL_BASE + l as u64 * body_size, AddrSpace::Local),
+                        Value::Ptr(LOCAL_BASE + (l + stride) as u64 * body_size, AddrSpace::Local),
+                    ]
+                })
+                .collect();
+            warp.exec_function(jmask, join, &jargs, 0)
+                .map_err(|t| t.with_kernel(&module.function(join).name))?;
+        }
+        stride /= 2;
+    }
+    // 5. Lane 0's local copy → the warp's shared scratch slot.
+    if lane_count > 0 {
+        warp.lane_memcpy(0, scratch_slot.to_gpu().0, LOCAL_BASE, body_size)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,7 +12,6 @@
 //! fundamental SIMT penalty that makes FaceDetect's 22-stage early-exit
 //! cascade perform poorly on the GPU (§5.2.3).
 
-use crate::l3::GpuL3;
 use concord_cpusim::interp::{frame_layout, FrameLayout, PrivateMem, WorkIds, PRIVATE_BASE};
 use concord_energy::GpuConfig;
 use concord_ir::analysis::{find_loops, DomTree};
@@ -20,9 +19,10 @@ use concord_ir::eval::{eval_bin, eval_cast, eval_fcmp, eval_icmp, Trap, Value};
 use concord_ir::inst::{BlockId, FuncId, Intrinsic, Op, ValueId};
 use concord_ir::types::{AddrSpace, Type};
 use concord_ir::Module;
-use concord_svm::{SharedRegion, CPU_BASE, GPU_BASE};
-use concord_trace::{Tracer, Track};
+use concord_svm::{apply_rmw, AtomicKind, RegionMem, CPU_BASE, GPU_BASE};
+use concord_trace::Args;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
 
 /// Base address of work-group local memory.
 pub const LOCAL_BASE: u64 = 0x2000_0000;
@@ -170,55 +170,66 @@ fn block_priorities(f: &concord_ir::Function) -> Vec<u32> {
     order
 }
 
-/// Sampled tracing state for one warp.
+/// Sampling period for warp trace events (1 in N occurrences recorded).
 ///
 /// Emitting an event per divergence or memory transaction would swamp the
 /// ring buffer (and the wall clock), so each event class keeps a running
 /// count and only every [`TRACE_SAMPLE_EVERY`]-th occurrence is recorded.
 /// The counts themselves are carried on each sampled event, so nothing is
-/// lost statistically. All hooks are a single branch when the tracer is
-/// disabled.
-#[derive(Debug, Default)]
-pub struct WarpTrace {
-    /// Tracer handle (disabled by default).
-    pub tracer: Tracer,
-    /// Device-cycle timestamp base of the enclosing launch.
-    pub clock_base: u64,
-    divergences: u64,
-    reconvergences: u64,
-    accesses: u64,
-    contentions: u64,
-}
-
-impl WarpTrace {
-    /// Trace state for a warp of a launch whose device clock starts at
-    /// `clock_base`.
-    #[must_use]
-    pub fn for_launch(tracer: Tracer, clock_base: u64) -> Self {
-        WarpTrace { tracer, clock_base, ..WarpTrace::default() }
-    }
-}
-
-/// Sampling period for warp trace events (1 in N occurrences recorded).
+/// lost statistically.
 pub const TRACE_SAMPLE_EVERY: u64 = 64;
 
-fn sampled(count: &mut u64) -> bool {
+pub(crate) fn sampled(count: &mut u64) -> bool {
     *count += 1;
     *count % TRACE_SAMPLE_EVERY == 1
 }
 
+/// One entry of a warp's deferred shared-memory/trace log.
+///
+/// Warps may execute concurrently on host threads, but the shared L3 and
+/// the tracer are global: both are replayed from these logs at commit
+/// time, warp by warp in launch order, so cache state, contention, and
+/// trace output are identical for every host-thread count.
+#[derive(Debug)]
+pub enum LogItem {
+    /// One coalesced shared-memory access: the unique line keys
+    /// (`addr >> 6`, ascending), how many lanes touched shared memory,
+    /// and the warp-relative cycle time when it was issued.
+    Access {
+        /// Unique cache-line keys (address >> 6) in ascending order.
+        lines: Vec<u64>,
+        /// Number of lanes that touched shared memory.
+        shared_lanes: usize,
+        /// Warp-relative cycles (issue + local stall) at the access.
+        ts_snap: f64,
+    },
+    /// A sampled trace event recorded during execution (divergence or
+    /// reconvergence), emitted through the tracer at commit.
+    Event {
+        /// Event name.
+        name: &'static str,
+        /// Warp-relative cycles when the event fired.
+        ts_snap: f64,
+        /// Event arguments.
+        args: Args,
+    },
+}
+
 /// One warp's execution context.
-pub struct Warp<'a> {
+///
+/// Generic over the memory view `M`: a live `SharedRegion` for the serial
+/// (gated) path, or a `ShadowRegion` snapshot + write-log when warps fan
+/// out over host threads. L3 traffic and trace events always go to
+/// [`Warp::log`] and are replayed in warp order at commit.
+pub struct Warp<'a, M: RegionMem> {
     /// Module to execute (GPU-lowered).
     pub module: &'a Module,
-    /// Shared memory.
-    pub region: &'a mut SharedRegion,
+    /// Shared memory (live or shadowed).
+    pub region: &'a mut M,
     /// Timing parameters.
     pub cfg: &'a GpuConfig,
-    /// The shared L3.
-    pub l3: &'a mut GpuL3,
     /// Function metadata cache (shared across warps of a launch).
-    pub meta: &'a mut MetaCache,
+    pub meta: &'a Mutex<MetaCache>,
     /// Lane states (length = simd width).
     pub lanes: Vec<Lane>,
     /// Work-group local memory.
@@ -227,9 +238,8 @@ pub struct Warp<'a> {
     pub eu: u32,
     /// Scheduling wave (concurrent warps across EUs share a wave).
     pub wave: u32,
-    /// Memory access stream position (for contention detection).
-    pub seq: u64,
-    /// Accumulated timing.
+    /// Accumulated timing (issue + private/local stall; L3 stall is added
+    /// at commit from the log).
     pub timing: WarpTiming,
     /// Remaining warp-instruction budget.
     pub step_budget: u64,
@@ -237,101 +247,64 @@ pub struct Warp<'a> {
     /// (1 ≤ hiding ≤ threads_per_eu). Under-occupied launches hide little
     /// latency, which is what sinks small irregular kernels on real GPUs.
     pub hiding: f64,
-    /// Sampled trace hooks (no-ops when the tracer is disabled).
-    pub trace: WarpTrace,
+    /// Whether to record sampled trace events into the log.
+    pub trace_enabled: bool,
+    /// Deferred L3 accesses and trace events, replayed at commit.
+    pub log: Vec<LogItem>,
+    /// Running divergence count (sampling state).
+    pub divergences: u64,
+    /// Running reconvergence count (sampling state).
+    pub reconvergences: u64,
 }
 
-impl<'a> Warp<'a> {
+impl<'a, M: RegionMem> Warp<'a, M> {
     fn width(&self) -> usize {
         self.lanes.len()
     }
 
-    /// Current device-cycle timestamp: launch clock base plus this warp's
-    /// accumulated issue + stall cycles.
-    fn trace_ts(&self) -> u64 {
-        self.trace.clock_base + (self.timing.issue + self.timing.stall) as u64
+    /// Warp-relative cycle snapshot for log timestamps.
+    fn ts_snap(&self) -> f64 {
+        self.timing.issue + self.timing.stall
     }
 
     fn note_divergence(&mut self, fname: &str, block: BlockId, mt: Mask, me: Mask) {
-        if !self.trace.tracer.enabled() {
+        if !self.trace_enabled {
             return;
         }
-        if !sampled(&mut self.trace.divergences) {
+        if !sampled(&mut self.divergences) {
             return;
         }
-        self.trace.tracer.instant_at(
-            Track::GpuSim,
-            "divergence",
-            self.trace_ts(),
-            vec![
+        self.log.push(LogItem::Event {
+            name: "divergence",
+            ts_snap: self.ts_snap(),
+            args: vec![
                 ("fn", fname.into()),
                 ("block", i64::from(block.0).into()),
                 ("taken_lanes", i64::from(mt.count_ones()).into()),
                 ("not_taken_lanes", i64::from(me.count_ones()).into()),
-                ("count", self.trace.divergences.into()),
+                ("count", self.divergences.into()),
             ],
-        );
+        });
     }
 
     fn note_reconverge(&mut self, fname: &str, block: BlockId, before: u32, after: u32) {
-        if !self.trace.tracer.enabled() {
+        if !self.trace_enabled {
             return;
         }
-        if !sampled(&mut self.trace.reconvergences) {
+        if !sampled(&mut self.reconvergences) {
             return;
         }
-        self.trace.tracer.instant_at(
-            Track::GpuSim,
-            "reconverge",
-            self.trace_ts(),
-            vec![
+        self.log.push(LogItem::Event {
+            name: "reconverge",
+            ts_snap: self.ts_snap(),
+            args: vec![
                 ("fn", fname.into()),
                 ("block", i64::from(block.0).into()),
                 ("lanes_before", i64::from(before).into()),
                 ("lanes_after", i64::from(after).into()),
-                ("count", self.trace.reconvergences.into()),
+                ("count", self.reconvergences.into()),
             ],
-        );
-    }
-
-    fn note_access(&mut self, shared_lanes: usize, lines: usize) {
-        if !self.trace.tracer.enabled() {
-            return;
-        }
-        if !sampled(&mut self.trace.accesses) {
-            return;
-        }
-        self.trace.tracer.instant_at(
-            Track::GpuSim,
-            "mem_access",
-            self.trace_ts(),
-            vec![
-                ("lanes", (shared_lanes as i64).into()),
-                ("lines", (lines as i64).into()),
-                ("coalesced", (lines * 2 <= shared_lanes.max(1)).into()),
-                ("count", self.trace.accesses.into()),
-            ],
-        );
-    }
-
-    fn note_contention(&mut self, line_addr: u64) {
-        if !self.trace.tracer.enabled() {
-            return;
-        }
-        if !sampled(&mut self.trace.contentions) {
-            return;
-        }
-        self.trace.tracer.instant_at(
-            Track::GpuSim,
-            "l3_contention",
-            self.trace_ts(),
-            vec![
-                ("line", line_addr.into()),
-                ("eu", i64::from(self.eu).into()),
-                ("wave", i64::from(self.wave).into()),
-                ("count", self.trace.contentions.into()),
-            ],
-        );
+        });
     }
 
     /// A SIMD16 instruction occupies Gen's 8-wide FPUs for two cycles, so
@@ -394,7 +367,7 @@ impl<'a> Warp<'a> {
             }
             GpuSpace::Local => self.local_read(addr, ty),
             GpuSpace::Shared => {
-                let v = self.region.read_value(addr, AddrSpace::Gpu, ty)?;
+                let v = self.region.read_val(addr, AddrSpace::Gpu, ty)?;
                 Ok(retag(v, ty))
             }
         }
@@ -404,14 +377,15 @@ impl<'a> Warp<'a> {
         match gpu_classify(addr)? {
             GpuSpace::Private => self.lanes[lane].private.write(addr, v, ty),
             GpuSpace::Local => self.local_write(addr, v, ty),
-            GpuSpace::Shared => self.region.write_value(addr, AddrSpace::Gpu, v, ty),
+            GpuSpace::Shared => self.region.write_val(addr, AddrSpace::Gpu, v, ty),
         }
     }
 
     /// Charge the memory system for a warp-wide access to per-lane
-    /// addresses; shared accesses coalesce to unique lines.
+    /// addresses; shared accesses coalesce to unique lines. Private/local
+    /// cost is charged live; the coalesced line set is logged and charged
+    /// against the shared L3 at commit, in warp order.
     fn charge_access(&mut self, addrs: &[(usize, u64)]) {
-        let hiding = self.hiding;
         let mut lines: BTreeSet<u64> = BTreeSet::new();
         let mut cheap = 0usize;
         for &(_, addr) in addrs {
@@ -426,21 +400,14 @@ impl<'a> Warp<'a> {
             // Private/local: on-chip, fast, no coalescing concerns.
             self.timing.stall += 1.0;
         }
-        let n_lines = lines.len();
-        for line in lines {
-            let a = self.l3.access(line << 6, self.eu, self.wave, self.seq);
-            self.seq += 1;
-            self.timing.transactions += 1;
-            let base = if a.hit { self.cfg.l3_hit_cycles } else { self.cfg.mem_cycles };
-            self.timing.stall += base / hiding;
-            if a.contended {
-                self.timing.stall += self.cfg.contention_penalty;
-                self.timing.contended += 1;
-                self.note_contention(line << 6);
-            }
-        }
-        if n_lines > 0 {
-            self.note_access(addrs.len() - cheap, n_lines);
+        if !lines.is_empty() {
+            let shared_lanes = addrs.len() - cheap;
+            let ts_snap = self.ts_snap();
+            self.log.push(LogItem::Access {
+                lines: lines.into_iter().collect(),
+                shared_lanes,
+                ts_snap,
+            });
         }
     }
 
@@ -463,7 +430,7 @@ impl<'a> Warp<'a> {
         if depth > 48 {
             return Err(Trap::StackOverflow);
         }
-        let meta = self.meta.get(self.module, fid).clone();
+        let meta = self.meta.lock().expect("meta cache poisoned").get(self.module, fid).clone();
         let f = self.module.function(fid);
         let width = self.width();
         let mut regs: Vec<Vec<Option<Value>>> = (0..width)
@@ -822,13 +789,14 @@ impl<'a> Warp<'a> {
         };
         self.issue(issue);
         if intr == Intrinsic::DeviceMalloc {
-            // Serialized atomic bump per requesting lane.
+            // Serialized atomic bump per requesting lane. (Gated to the
+            // serial path, so `M` is always the live region here.)
             let hiding = self.hiding;
             for l in active(m, width) {
                 let size =
                     regs[l][iargs[0].0 as usize].ok_or(Trap::Unreachable)?.as_i().max(0) as u64;
                 self.timing.stall += 20.0 / hiding;
-                let addr = self.region.device_malloc(size)?;
+                let addr = self.region.device_alloc(size)?;
                 regs[l][id.0 as usize] = Some(Value::Ptr(addr.0, AddrSpace::Cpu));
             }
             return Ok(());
@@ -837,6 +805,12 @@ impl<'a> Warp<'a> {
             intr,
             Intrinsic::AtomicAddI32 | Intrinsic::AtomicMinI32 | Intrinsic::AtomicCasI32
         ) {
+            let kind = match intr {
+                Intrinsic::AtomicAddI32 => AtomicKind::Add,
+                Intrinsic::AtomicMinI32 => AtomicKind::Min,
+                Intrinsic::AtomicCasI32 => AtomicKind::Cas,
+                _ => unreachable!(),
+            };
             // Atomics serialize across lanes.
             let hiding = self.hiding;
             for l in active(m, width) {
@@ -845,22 +819,24 @@ impl<'a> Warp<'a> {
                 let a2 = iargs
                     .get(2)
                     .map(|v| regs[l][v.0 as usize].ok_or(Trap::Unreachable).map(|x| x.as_i()))
-                    .transpose()?;
+                    .transpose()?
+                    .unwrap_or(0);
                 self.timing.stall += 20.0 / hiding;
-                let old = self.lane_read(l, addr, Type::I32)?.as_i();
-                let new = match intr {
-                    Intrinsic::AtomicAddI32 => old.wrapping_add(a1),
-                    Intrinsic::AtomicMinI32 => old.min(a1),
-                    Intrinsic::AtomicCasI32 => {
-                        if old == a1 {
-                            a2.expect("cas has 3 args")
-                        } else {
-                            old
-                        }
+                let old = match gpu_classify(addr)? {
+                    // Shared memory goes through the region view so
+                    // shadowed execution logs the *operation* and replays
+                    // it against committed state (global min/add stay
+                    // correct across warps).
+                    GpuSpace::Shared => {
+                        self.region.atomic_i32(addr, AddrSpace::Gpu, kind, a1, a2)?
                     }
-                    _ => unreachable!(),
+                    _ => {
+                        let old = self.lane_read(l, addr, Type::I32)?.as_i();
+                        let new = apply_rmw(kind, old, a1, a2);
+                        self.lane_write(l, addr, Value::I(new), Type::I32)?;
+                        old
+                    }
                 };
-                self.lane_write(l, addr, Value::I(new), Type::I32)?;
                 regs[l][id.0 as usize] = Some(Value::I(old));
             }
             return Ok(());

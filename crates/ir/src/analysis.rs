@@ -403,6 +403,53 @@ pub fn liveness(f: &Function) -> Liveness {
     Liveness { live_in, live_out }
 }
 
+/// Whether any function reachable from `roots` uses an operation whose
+/// result depends on cross-work-item execution *order*: `device_malloc`
+/// (a shared bump cursor) or `atomic_cas` (order-visible old values used
+/// for locking idioms).
+///
+/// The host-parallel execution engine runs kernels against region
+/// snapshots with an ordered commit, which preserves plain stores and
+/// commutative atomics but not these; kernels flagged here run on the
+/// serial direct path instead. Calls are followed transitively; a virtual
+/// call widens the scan to every function in the module (the CGA-precise
+/// answer is unnecessary — gating is a performance choice, not a
+/// correctness one, so over-approximating is safe).
+pub fn uses_gated_ops(module: &crate::function::Module, roots: &[crate::inst::FuncId]) -> bool {
+    use crate::inst::Intrinsic;
+    let gated = |f: &Function| {
+        f.insts.iter().any(|inst| {
+            matches!(
+                inst.op,
+                Op::IntrinsicCall(Intrinsic::DeviceMalloc, _)
+                    | Op::IntrinsicCall(Intrinsic::AtomicCasI32, _)
+            )
+        })
+    };
+    let mut work: Vec<crate::inst::FuncId> = roots.to_vec();
+    let mut seen: HashSet<crate::inst::FuncId> = work.iter().copied().collect();
+    while let Some(fid) = work.pop() {
+        let Some(f) = module.functions.get(fid.0 as usize) else { continue };
+        if gated(f) {
+            return true;
+        }
+        for inst in &f.insts {
+            match &inst.op {
+                Op::Call { callee, .. } if seen.insert(*callee) => {
+                    work.push(*callee);
+                }
+                // Conservative: any reachable virtual call could target any
+                // method, so scan the whole module.
+                Op::CallVirtual { .. } => {
+                    return module.functions.iter().any(gated);
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

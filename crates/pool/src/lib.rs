@@ -1,0 +1,202 @@
+//! # concord-pool
+//!
+//! A zero-dependency scoped host-thread fan-out for the simulators.
+//!
+//! Both device simulators chunk their iteration spaces deterministically
+//! (CPU chunks ↔ simulated cores, GPU warps ↔ SIMD groups) and then walk
+//! the chunks serially. This crate fans those already-independent chunks
+//! out across OS threads via [`std::thread::scope`], while keeping the
+//! *observable* result order fixed: results land in a `Vec` indexed by chunk
+//! id, so callers can merge them in chunk order and stay byte-identical
+//! for any host thread count.
+//!
+//! The pool is intentionally not a persistent worker pool: launches are
+//! coarse (whole kernel chunks), so per-launch thread spawn cost is noise
+//! against interpretation cost, and scoped threads let workers borrow the
+//! launch's state without `Arc`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Name of the environment variable controlling host parallelism.
+pub const HOST_THREADS_ENV: &str = "CONCORD_HOST_THREADS";
+
+/// Number of host threads to use, from `CONCORD_HOST_THREADS` if set (and
+/// parseable, clamped to ≥ 1), else the machine's available parallelism.
+pub fn host_threads() -> usize {
+    if let Ok(v) = std::env::var(HOST_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `f(0..n)` across at most `threads` OS threads and return the
+/// results in index order.
+///
+/// Work is dealt round-robin: worker `t` runs indices `t, t+threads, …`.
+/// The mapping from index to thread is fixed, but determinism does not
+/// rely on it — results are placed by index, so any schedule yields the
+/// same `Vec`. With `threads <= 1` or `n <= 1` the closure runs inline on
+/// the caller's thread.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread.
+pub fn map<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for chunk in round_robin_views(&mut slots, workers) {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                for (slot, idx) in chunk {
+                    *slot = Some(f(idx));
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(p) = h.join() {
+                panic.get_or_insert(p);
+            }
+        }
+    });
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+}
+
+/// Split `slots` into `workers` disjoint views, worker `t` owning the
+/// mutable slots at indices `t, t+workers, …` (paired with their index).
+fn round_robin_views<R>(
+    slots: &mut [Option<R>],
+    workers: usize,
+) -> Vec<Vec<(&mut Option<R>, usize)>> {
+    let mut views: Vec<Vec<(&mut Option<R>, usize)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (idx, slot) in slots.iter_mut().enumerate() {
+        views[idx % workers].push((slot, idx));
+    }
+    views
+}
+
+/// Like [`map`], but workers pull the next unclaimed index from a shared
+/// counter instead of a fixed deal — better when per-index cost is skewed
+/// (e.g. divergent warps). Results are still placed by index, so the
+/// output is identical to [`map`]'s for the same `f`.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread.
+pub fn map_dynamic<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Vec::with_capacity(n));
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (f, next, results) = (&f, &next, &results);
+            handles.push(scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let r = f(idx);
+                results.lock().unwrap().push((idx, r));
+            }));
+        }
+        for h in handles {
+            if let Err(p) = h.join() {
+                panic.get_or_insert(p);
+            }
+        }
+    });
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    let mut pairs = results.into_inner().unwrap();
+    pairs.sort_by_key(|(idx, _)| *idx);
+    assert_eq!(pairs.len(), n, "every index produced exactly one result");
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = map(threads, 17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_dynamic_matches_map() {
+        for threads in [1, 2, 5, 8] {
+            let a = map(threads, 33, |i| i as u64 * 3 + 1);
+            let b = map_dynamic(threads, 33, |i| i as u64 * 3 + 1);
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(map(8, 0, |i| i).is_empty());
+        assert_eq!(map(8, 1, |i| i + 1), vec![1]);
+        assert!(map_dynamic(8, 0, |i| i).is_empty());
+        assert_eq!(map_dynamic(8, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            map(4, 16, |i| {
+                if i == 9 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn threads_are_actually_used() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        map(4, 64, |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::yield_now();
+        });
+        // With 4 workers over 64 items at least 2 distinct threads must
+        // have participated (scheduling can merge but not to 1: the deal
+        // is fixed round-robin, every worker owns 16 items).
+        assert!(seen.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn host_threads_is_at_least_one() {
+        assert!(host_threads() >= 1);
+    }
+}

@@ -9,9 +9,9 @@
 //! hybrid split — through the same code path, so fence/JIT/metering logic
 //! exists exactly once.
 
-use concord_cpusim::CpuSim;
+use concord_cpusim::{CpuPending, CpuSim};
 use concord_energy::{Device, SystemConfig};
-use concord_gpusim::GpuSim;
+use concord_gpusim::{GpuPending, GpuSim};
 use concord_ir::eval::{Trap, Value};
 use concord_ir::types::AddrSpace;
 use concord_ir::{FuncId, Module};
@@ -169,6 +169,44 @@ impl CpuBackend {
         CpuBackend { sim }
     }
 
+    /// The wrapped simulator (concurrent-execute phase of a hybrid split).
+    pub(crate) fn sim(&self) -> &CpuSim {
+        &self.sim
+    }
+
+    /// Mutable simulator access for the concurrent-execute phase.
+    pub(crate) fn sim_mut(&mut self) -> &mut CpuSim {
+        &mut self.sim
+    }
+
+    /// Commit a concurrently-executed pending launch in plan order and
+    /// build its stats — the second half of `launch_for`/`launch_reduce`
+    /// when the execute phase ran overlapped with another device.
+    ///
+    /// # Errors
+    ///
+    /// The trap of the lowest trapped chunk, if any.
+    pub(crate) fn commit_pending(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        what: &'static str,
+        span: Span,
+        pending: CpuPending,
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Runtime, "cpu_launch");
+        self.sim.commit(ctx.region, pending)?;
+        let r = self.sim.finish_launch(what);
+        let stats = LaunchStats {
+            seconds: r.seconds,
+            busy_fraction: 1.0,
+            insts: r.counters.insts,
+            translations: r.counters.translations,
+            ..Default::default()
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+
     /// Sequentially join `slots` into `body` on core 0 with the
     /// CPU-compiled `join` — the host-side final join of a reduction.
     /// Returns the host seconds spent.
@@ -296,6 +334,38 @@ pub struct GpuBackend {
 impl GpuBackend {
     pub(crate) fn new(sim: GpuSim) -> Self {
         GpuBackend { sim, jitted: HashSet::new() }
+    }
+
+    /// The wrapped simulator (concurrent-execute phase of a hybrid split).
+    pub(crate) fn sim(&self) -> &GpuSim {
+        &self.sim
+    }
+
+    /// Commit a concurrently-executed pending launch in plan order and
+    /// build its stats (see [`CpuBackend::commit_pending`]).
+    ///
+    /// # Errors
+    ///
+    /// The trap of the lowest trapped warp, if any.
+    pub(crate) fn commit_pending(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        span: Span,
+        pending: GpuPending,
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Runtime, "gpu_launch");
+        let r = self.sim.commit(ctx.region, pending)?;
+        let stats = LaunchStats {
+            seconds: r.seconds,
+            busy_fraction: r.busy_fraction,
+            insts: r.insts,
+            translations: r.translations,
+            transactions: r.transactions,
+            contended: r.contended,
+            l3_hit_rate: r.l3_hit_rate,
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
     }
 }
 

@@ -118,11 +118,22 @@ pub struct Options {
     pub gpu_config: Option<GpuConfig>,
     /// Tracing configuration (disabled by default; see [`concord_trace`]).
     pub trace: TraceConfig,
+    /// Host OS threads the simulators may fan simulated cores and warps
+    /// across. `None` reads `CONCORD_HOST_THREADS` (default 1). Every
+    /// report, trace, and byte of workload output is identical for any
+    /// value — execution uses snapshot-and-log isolation with a fixed
+    /// chunk-order merge.
+    pub host_threads: Option<usize>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { region_bytes: 64 << 20, gpu_config: None, trace: TraceConfig::default() }
+        Options {
+            region_bytes: 64 << 20,
+            gpu_config: None,
+            trace: TraceConfig::default(),
+            host_threads: None,
+        }
     }
 }
 
@@ -285,10 +296,13 @@ impl Concord {
         } else {
             program.kernels.iter().map(|k| k.class_name.clone()).collect()
         };
+        let host_threads = opts.host_threads.unwrap_or_else(concord_pool::host_threads).max(1);
         let mut cpu = CpuSim::new(system.cpu);
         cpu.set_tracer(tracer.clone());
+        cpu.host_threads = host_threads;
         let mut gpu = GpuSim::new(system.gpu);
         gpu.set_tracer(tracer.clone());
+        gpu.host_threads = host_threads;
         Ok(Concord {
             cpu: CpuBackend::new(cpu),
             gpu: GpuBackend::new(gpu),
@@ -528,30 +542,157 @@ impl Concord {
             }
         }
 
+        // Kernels that need order-dependent operations (`device_malloc`,
+        // compare-and-swap) must run the simulators' serial paths; the
+        // runtime then also launches the parts one after another.
+        let roots = match kind {
+            ConstructKind::For => vec![func],
+            ConstructKind::Reduce { join, .. } => vec![func, join],
+        };
+        let gated = concord_ir::analysis::uses_gated_ops(&program.module, &roots)
+            || concord_ir::analysis::uses_gated_ops(&gpu_artifact.module, &roots);
+
         let mut launch_error = None;
         let mut subs: Vec<(Device, u32, f64, LaunchStats)> = Vec::new();
-        let mut slot_base = 0usize;
-        for (i, &(device, span)) in plan.parts.iter().enumerate() {
-            let backend: &mut dyn DeviceBackend = match device {
-                Device::Cpu => cpu,
-                Device::Gpu => gpu,
-            };
-            let jit_seconds = backend.prepare(&mut ctx, class, func);
-            let launched = match kind {
-                ConstructKind::For => backend.launch_for(&mut ctx, func, body, span),
-                ConstructKind::Reduce { join, body_size } => {
-                    let count = slot_counts[i] as usize;
-                    let slots = &guard.as_ref().expect("reduce has scratch").slots()
-                        [slot_base..slot_base + count];
-                    slot_base += count;
-                    backend.launch_reduce(&mut ctx, func, join, body, body_size, span, slots)
+        if plan.parts.len() > 1 && !gated {
+            // Multi-device plan: every part executes against a snapshot of
+            // the region — on a helper thread when host threads allow —
+            // and the write-logs commit in fixed plan order, so the result
+            // is byte-identical at any `host_threads` value.
+            let jits: Vec<f64> = plan
+                .parts
+                .iter()
+                .map(|&(device, _)| match device {
+                    Device::Cpu => cpu.prepare(&mut ctx, class, func),
+                    Device::Gpu => gpu.prepare(&mut ctx, class, func),
+                })
+                .collect();
+            let mut part_slots: Vec<Vec<CpuAddr>> = Vec::new();
+            let mut slot_base = 0usize;
+            for i in 0..plan.parts.len() {
+                let count = slot_counts.get(i).copied().unwrap_or(0) as usize;
+                part_slots.push(match guard.as_ref() {
+                    Some(g) => g.slots()[slot_base..slot_base + count].to_vec(),
+                    None => Vec::new(),
+                });
+                slot_base += count;
+            }
+            // The CPU accumulates into pre-staged body copies; stage them
+            // serially before the concurrent phase reads the region.
+            if let ConstructKind::Reduce { body_size, .. } = kind {
+                for (i, &(device, _)) in plan.parts.iter().enumerate() {
+                    if device == Device::Cpu {
+                        let used = cpu.sim().reduce_slots(part_slots[i].len());
+                        if let Err(t) = CpuSim::stage_reduce(
+                            ctx.region,
+                            body,
+                            body_size,
+                            &part_slots[i][..used],
+                        ) {
+                            launch_error = Some(t);
+                        }
+                    }
                 }
-            };
-            match launched {
-                Ok(stats) => subs.push((device, span.items(), jit_seconds, stats)),
-                Err(trap) => {
-                    launch_error = Some(trap);
-                    break;
+            }
+            if launch_error.is_none() {
+                let gpu_i = plan
+                    .parts
+                    .iter()
+                    .position(|&(d, _)| d == Device::Gpu)
+                    .expect("multi-part plan has a GPU part");
+                let cpu_i = plan
+                    .parts
+                    .iter()
+                    .position(|&(d, _)| d == Device::Cpu)
+                    .expect("multi-part plan has a CPU part");
+                let (_, gspan) = plan.parts[gpu_i];
+                let (_, cspan) = plan.parts[cpu_i];
+                let host_threads = cpu.sim().host_threads;
+                let (gpu_pending, cpu_pending) = {
+                    let region: &SharedRegion = ctx.region;
+                    let vtables: &VtableArea = ctx.vtables;
+                    let cpu_module = ctx.cpu_module;
+                    let gpu_module = ctx.gpu_module;
+                    let gpu_sim = gpu.sim();
+                    let gslots = part_slots[gpu_i].clone();
+                    let run_gpu = move || match kind {
+                        ConstructKind::For => gpu_sim.execute_for_span(
+                            region, gpu_module, func, body, gspan.lo, gspan.hi, gspan.grid,
+                        ),
+                        ConstructKind::Reduce { join, body_size } => gpu_sim.execute_reduce_span(
+                            region, gpu_module, func, join, body, body_size, gspan.lo, gspan.hi,
+                            gspan.grid, &gslots,
+                        ),
+                    };
+                    let cslots = &part_slots[cpu_i];
+                    let run_cpu = |sim: &mut CpuSim| match kind {
+                        ConstructKind::For => sim.execute_for_span(
+                            region, vtables, cpu_module, func, body, cspan.lo, cspan.hi, cspan.grid,
+                        ),
+                        ConstructKind::Reduce { .. } => sim.execute_reduce_partials(
+                            region, vtables, cpu_module, func, cspan.lo, cspan.hi, cspan.grid,
+                            cslots,
+                        ),
+                    };
+                    if host_threads > 1 {
+                        std::thread::scope(|s| {
+                            let h = s.spawn(run_gpu);
+                            let c = run_cpu(cpu.sim_mut());
+                            (h.join().expect("GPU execute thread panicked"), c)
+                        })
+                    } else {
+                        (run_gpu(), run_cpu(cpu.sim_mut()))
+                    }
+                };
+                let mut gpu_pending = Some(gpu_pending);
+                let mut cpu_pending = Some(cpu_pending);
+                for (i, &(device, span)) in plan.parts.iter().enumerate() {
+                    let committed = match device {
+                        Device::Gpu => gpu.commit_pending(
+                            &mut ctx,
+                            span,
+                            gpu_pending.take().expect("one GPU part"),
+                        ),
+                        Device::Cpu => cpu.commit_pending(
+                            &mut ctx,
+                            kind.name(),
+                            span,
+                            cpu_pending.take().expect("one CPU part"),
+                        ),
+                    };
+                    match committed {
+                        Ok(stats) => subs.push((device, span.items(), jits[i], stats)),
+                        Err(trap) => {
+                            launch_error = Some(trap);
+                            break;
+                        }
+                    }
+                }
+            }
+        } else {
+            let mut slot_base = 0usize;
+            for (i, &(device, span)) in plan.parts.iter().enumerate() {
+                let backend: &mut dyn DeviceBackend = match device {
+                    Device::Cpu => cpu,
+                    Device::Gpu => gpu,
+                };
+                let jit_seconds = backend.prepare(&mut ctx, class, func);
+                let launched = match kind {
+                    ConstructKind::For => backend.launch_for(&mut ctx, func, body, span),
+                    ConstructKind::Reduce { join, body_size } => {
+                        let count = slot_counts[i] as usize;
+                        let slots = &guard.as_ref().expect("reduce has scratch").slots()
+                            [slot_base..slot_base + count];
+                        slot_base += count;
+                        backend.launch_reduce(&mut ctx, func, join, body, body_size, span, slots)
+                    }
+                };
+                match launched {
+                    Ok(stats) => subs.push((device, span.items(), jit_seconds, stats)),
+                    Err(trap) => {
+                        launch_error = Some(trap);
+                        break;
+                    }
                 }
             }
         }

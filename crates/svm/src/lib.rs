@@ -34,6 +34,7 @@
 
 pub mod alloc;
 pub mod region;
+pub mod shadow;
 pub mod vtable;
 
 pub use alloc::{AllocError, SharedAllocator};
@@ -41,4 +42,5 @@ pub use region::{
     Consistency, CpuAddr, GpuAddr, SharedRegion, CPU_BASE, DEVICE_HEAP_DESC_BYTES, GPU_BASE,
     SVM_CONST,
 };
+pub use shadow::{apply_log, apply_rmw, AtomicKind, MemOp, RegionMem, ShadowRegion};
 pub use vtable::{VtableArea, MAX_VTABLE_SLOTS, VTABLE_STRIDE};

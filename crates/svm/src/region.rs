@@ -267,22 +267,7 @@ impl SharedRegion {
     pub fn read_value(&self, addr: u64, space: AddrSpace, ty: Type) -> Result<Value, Trap> {
         let size = ty.size();
         let bytes = self.read_bytes(addr, space, size)?;
-        Ok(match ty {
-            Type::I1 | Type::I8 => Value::I(bytes[0] as i8 as i64),
-            Type::I16 => Value::I(i16::from_le_bytes([bytes[0], bytes[1]]) as i64),
-            Type::I32 => {
-                Value::I(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as i64)
-            }
-            Type::I64 => Value::I(i64::from_le_bytes(bytes.try_into().unwrap())),
-            Type::F32 => {
-                Value::F(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as f64)
-            }
-            Type::F64 => Value::F(f64::from_le_bytes(bytes.try_into().unwrap())),
-            Type::Ptr(_) => {
-                Value::Ptr(u64::from_le_bytes(bytes.try_into().unwrap()), AddrSpace::Cpu)
-            }
-            Type::Void => unreachable!("load of void rejected by the verifier"),
-        })
+        Ok(decode_value(bytes, ty))
     }
 
     /// Write a typed value.
@@ -301,23 +286,20 @@ impl SharedRegion {
         v: Value,
         ty: Type,
     ) -> Result<(), Trap> {
-        let bytes: Vec<u8> = match ty {
-            Type::I1 | Type::I8 => vec![v.as_i() as u8],
-            Type::I16 => (v.as_i() as i16).to_le_bytes().to_vec(),
-            Type::I32 => (v.as_i() as i32).to_le_bytes().to_vec(),
-            Type::I64 => v.as_i().to_le_bytes().to_vec(),
-            Type::F32 => (v.as_f() as f32).to_le_bytes().to_vec(),
-            Type::F64 => v.as_f().to_le_bytes().to_vec(),
-            Type::Ptr(_) => {
-                let (a, sp) = v.as_ptr();
-                if sp != AddrSpace::Cpu && a != 0 {
-                    return Err(Trap::WrongAddressSpace { found: sp, expected: AddrSpace::Cpu });
-                }
-                a.to_le_bytes().to_vec()
-            }
-            Type::Void => unreachable!("store of void rejected by the verifier"),
-        };
-        self.write_bytes(addr, space, &bytes)
+        let (bytes, len) = encode_value(v, ty)?;
+        self.write_bytes(addr, space, &bytes[..len as usize])
+    }
+
+    /// Raw view of the backing store at a pre-resolved offset. Only for the
+    /// shadow-overlay machinery, which revalidates through [`Self::resolve`]
+    /// before recording offsets.
+    pub(crate) fn raw(&self, off: u64, len: u64) -> &[u8] {
+        &self.data[off as usize..(off + len) as usize]
+    }
+
+    /// Raw mutable view at a pre-resolved offset (shadow-log replay).
+    pub(crate) fn raw_mut(&mut self, off: u64, len: u64) -> &mut [u8] {
+        &mut self.data[off as usize..(off + len) as usize]
     }
 
     /// Convenience: read an `i32` through a CPU address.
@@ -397,6 +379,47 @@ impl SharedRegion {
             Type::Ptr(AddrSpace::Cpu),
         )
     }
+}
+
+/// Decode `ty.size()` little-endian bytes into a [`Value`]. Pointer loads
+/// yield CPU-space pointers (the SVM invariant — see
+/// [`SharedRegion::read_value`]).
+pub(crate) fn decode_value(bytes: &[u8], ty: Type) -> Value {
+    match ty {
+        Type::I1 | Type::I8 => Value::I(bytes[0] as i8 as i64),
+        Type::I16 => Value::I(i16::from_le_bytes([bytes[0], bytes[1]]) as i64),
+        Type::I32 => Value::I(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as i64),
+        Type::I64 => Value::I(i64::from_le_bytes(bytes.try_into().unwrap())),
+        Type::F32 => Value::F(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as f64),
+        Type::F64 => Value::F(f64::from_le_bytes(bytes.try_into().unwrap())),
+        Type::Ptr(_) => Value::Ptr(u64::from_le_bytes(bytes.try_into().unwrap()), AddrSpace::Cpu),
+        Type::Void => unreachable!("load of void rejected by the verifier"),
+    }
+}
+
+/// Encode a [`Value`] as `(little-endian bytes, length)`, enforcing the
+/// store validation of [`SharedRegion::write_value`] (non-CPU pointers may
+/// not escape into shared memory).
+pub(crate) fn encode_value(v: Value, ty: Type) -> Result<([u8; 8], u8), Trap> {
+    let mut out = [0u8; 8];
+    let len = ty.size() as u8;
+    match ty {
+        Type::I1 | Type::I8 => out[0] = v.as_i() as u8,
+        Type::I16 => out[..2].copy_from_slice(&(v.as_i() as i16).to_le_bytes()),
+        Type::I32 => out[..4].copy_from_slice(&(v.as_i() as i32).to_le_bytes()),
+        Type::I64 => out.copy_from_slice(&v.as_i().to_le_bytes()),
+        Type::F32 => out[..4].copy_from_slice(&(v.as_f() as f32).to_le_bytes()),
+        Type::F64 => out.copy_from_slice(&v.as_f().to_le_bytes()),
+        Type::Ptr(_) => {
+            let (a, sp) = v.as_ptr();
+            if sp != AddrSpace::Cpu && a != 0 {
+                return Err(Trap::WrongAddressSpace { found: sp, expected: AddrSpace::Cpu });
+            }
+            out.copy_from_slice(&a.to_le_bytes());
+        }
+        Type::Void => unreachable!("store of void rejected by the verifier"),
+    }
+    Ok((out, len))
 }
 
 #[cfg(test)]

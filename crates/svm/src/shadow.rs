@@ -1,0 +1,364 @@
+//! Shadowed access to the shared region for host-parallel simulation.
+//!
+//! When the simulators fan their chunks/warps out across host threads,
+//! every chunk executes against an immutable snapshot of the shared region
+//! plus a private write overlay ([`ShadowRegion`]), recording its stores
+//! and atomics in an ordered [`MemOp`] log. After all chunks finish, the
+//! launch commits the logs back into the real [`SharedRegion`] in fixed
+//! chunk order — so the final bytes are a pure function of the launch
+//! inputs and chunking, never of the host thread schedule.
+//!
+//! Atomics log the *operation*, not the resulting value: replaying
+//! `atomic_min(p, 5)` then `atomic_min(p, 7)` against the real region
+//! yields the correct global minimum even though each chunk computed its
+//! local view against the snapshot.
+//!
+//! The [`RegionMem`] trait abstracts over direct access (serial execution,
+//! or kernels using order-dependent features like `device_malloc`) and
+//! shadowed access, so both interpreters run one code path for both modes.
+
+use crate::region::{decode_value, encode_value, CpuAddr, SharedRegion};
+use concord_ir::eval::{Trap, Value};
+use concord_ir::types::{AddrSpace, Type};
+use std::collections::HashMap;
+
+/// Which read-modify-write an atomic performs (i32 semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicKind {
+    /// `*p += a1`, returns old.
+    Add,
+    /// `*p = min(*p, a1)`, returns old.
+    Min,
+    /// `if *p == a1 { *p = a2 }`, returns old.
+    Cas,
+}
+
+/// The single shared definition of atomic semantics, used by both
+/// simulators and by log replay (i64 domain, i32 values sign-extended).
+pub fn apply_rmw(kind: AtomicKind, old: i64, a1: i64, a2: i64) -> i64 {
+    match kind {
+        AtomicKind::Add => old.wrapping_add(a1),
+        AtomicKind::Min => old.min(a1),
+        AtomicKind::Cas => {
+            if old == a1 {
+                a2
+            } else {
+                old
+            }
+        }
+    }
+}
+
+/// One logged shared-memory mutation, keyed by *resolved region offset*
+/// (so the CPU and GPU views of the same bytes unify).
+#[derive(Debug, Clone, Copy)]
+pub enum MemOp {
+    /// A plain store of `len` bytes (all IR values are ≤ 8 bytes).
+    Write {
+        /// Resolved byte offset into the region.
+        off: u64,
+        /// Store width in bytes.
+        len: u8,
+        /// Little-endian value bytes (first `len` are meaningful).
+        bytes: [u8; 8],
+    },
+    /// An atomic i32 read-modify-write, replayed against the live value.
+    Atomic {
+        /// Resolved byte offset into the region.
+        off: u64,
+        /// Operation kind.
+        kind: AtomicKind,
+        /// First operand.
+        a1: i64,
+        /// Second operand (CAS new value; unused otherwise).
+        a2: i64,
+    },
+}
+
+/// Uniform region access for the interpreters: either direct (serial) or
+/// through a snapshot + write overlay (host-parallel).
+pub trait RegionMem {
+    /// The underlying region snapshot (for vtable dispatch and metadata).
+    fn snapshot(&self) -> &SharedRegion;
+
+    /// Typed read (see [`SharedRegion::read_value`]).
+    ///
+    /// # Errors
+    ///
+    /// Resolution faults ([`SharedRegion::resolve`]).
+    fn read_val(&self, addr: u64, space: AddrSpace, ty: Type) -> Result<Value, Trap>;
+
+    /// Typed write (see [`SharedRegion::write_value`]).
+    ///
+    /// # Errors
+    ///
+    /// Resolution faults and non-CPU pointer stores.
+    fn write_val(&mut self, addr: u64, space: AddrSpace, v: Value, ty: Type) -> Result<(), Trap>;
+
+    /// Atomic i32 read-modify-write; returns the old value.
+    ///
+    /// # Errors
+    ///
+    /// Resolution faults.
+    fn atomic_i32(
+        &mut self,
+        addr: u64,
+        space: AddrSpace,
+        kind: AtomicKind,
+        a1: i64,
+        a2: i64,
+    ) -> Result<i64, Trap>;
+
+    /// Serve a `device_malloc(size)` from the region's device heap.
+    ///
+    /// # Errors
+    ///
+    /// Region faults reading the heap descriptor.
+    fn device_alloc(&mut self, size: u64) -> Result<CpuAddr, Trap>;
+}
+
+impl RegionMem for SharedRegion {
+    fn snapshot(&self) -> &SharedRegion {
+        self
+    }
+
+    fn read_val(&self, addr: u64, space: AddrSpace, ty: Type) -> Result<Value, Trap> {
+        self.read_value(addr, space, ty)
+    }
+
+    fn write_val(&mut self, addr: u64, space: AddrSpace, v: Value, ty: Type) -> Result<(), Trap> {
+        self.write_value(addr, space, v, ty)
+    }
+
+    fn atomic_i32(
+        &mut self,
+        addr: u64,
+        space: AddrSpace,
+        kind: AtomicKind,
+        a1: i64,
+        a2: i64,
+    ) -> Result<i64, Trap> {
+        let old = self.read_value(addr, space, Type::I32)?.as_i();
+        let new = apply_rmw(kind, old, a1, a2);
+        self.write_value(addr, space, Value::I(new), Type::I32)?;
+        Ok(old)
+    }
+
+    fn device_alloc(&mut self, size: u64) -> Result<CpuAddr, Trap> {
+        self.device_malloc(size)
+    }
+}
+
+/// Word-granularity write overlay: 8-byte-aligned words with a per-byte
+/// valid mask. Kernels touch a tiny fraction of the region, so a hash map
+/// beats any dense shadow copy.
+#[derive(Debug, Default, Clone)]
+struct Overlay {
+    /// word index (offset / 8) → (value bytes, per-byte valid mask).
+    words: HashMap<u64, (u64, u8)>,
+}
+
+impl Overlay {
+    fn read_byte(&self, base: &SharedRegion, off: u64) -> u8 {
+        let (w, b) = (off / 8, (off % 8) as u32);
+        if let Some(&(bytes, mask)) = self.words.get(&w) {
+            if mask & (1 << b) != 0 {
+                return (bytes >> (8 * b)) as u8;
+            }
+        }
+        base.raw(off, 1)[0]
+    }
+
+    fn write_byte(&mut self, off: u64, v: u8) {
+        let (w, b) = (off / 8, (off % 8) as u32);
+        let (bytes, mask) = self.words.entry(w).or_insert((0, 0));
+        *bytes = (*bytes & !(0xffu64 << (8 * b))) | ((v as u64) << (8 * b));
+        *mask |= 1 << b;
+    }
+}
+
+/// A snapshot view of the shared region with a private write overlay and
+/// an ordered mutation log. See the module docs for the commit protocol.
+#[derive(Debug)]
+pub struct ShadowRegion<'r> {
+    base: &'r SharedRegion,
+    overlay: Overlay,
+    log: Vec<MemOp>,
+}
+
+impl<'r> ShadowRegion<'r> {
+    /// A fresh shadow over `base` with an empty overlay and log.
+    pub fn new(base: &'r SharedRegion) -> Self {
+        ShadowRegion { base, overlay: Overlay::default(), log: Vec::new() }
+    }
+
+    /// Consume the shadow, yielding its mutation log in execution order.
+    pub fn into_log(self) -> Vec<MemOp> {
+        self.log
+    }
+
+    /// Read `len` (≤ 8) bytes at resolved offset `off`, overlay over base.
+    fn read_merged(&self, off: u64, len: u64) -> [u8; 8] {
+        let mut buf = [0u8; 8];
+        if self.overlay.words.is_empty() {
+            buf[..len as usize].copy_from_slice(self.base.raw(off, len));
+        } else {
+            for i in 0..len {
+                buf[i as usize] = self.overlay.read_byte(self.base, off + i);
+            }
+        }
+        buf
+    }
+}
+
+impl RegionMem for ShadowRegion<'_> {
+    fn snapshot(&self) -> &SharedRegion {
+        self.base
+    }
+
+    fn read_val(&self, addr: u64, space: AddrSpace, ty: Type) -> Result<Value, Trap> {
+        let len = ty.size();
+        let off = self.base.resolve(addr, space, len)?;
+        let buf = self.read_merged(off, len);
+        Ok(decode_value(&buf[..len as usize], ty))
+    }
+
+    fn write_val(&mut self, addr: u64, space: AddrSpace, v: Value, ty: Type) -> Result<(), Trap> {
+        // Same fault order as the direct path: encode (pointer-space
+        // validation) before resolution.
+        let (bytes, len) = encode_value(v, ty)?;
+        let off = self.base.resolve(addr, space, len as u64)?;
+        for i in 0..len {
+            self.overlay.write_byte(off + i as u64, bytes[i as usize]);
+        }
+        self.log.push(MemOp::Write { off, len, bytes });
+        Ok(())
+    }
+
+    fn atomic_i32(
+        &mut self,
+        addr: u64,
+        space: AddrSpace,
+        kind: AtomicKind,
+        a1: i64,
+        a2: i64,
+    ) -> Result<i64, Trap> {
+        let off = self.base.resolve(addr, space, 4)?;
+        let buf = self.read_merged(off, 4);
+        let old = i32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as i64;
+        let new = apply_rmw(kind, old, a1, a2) as i32;
+        for (i, b) in new.to_le_bytes().into_iter().enumerate() {
+            self.overlay.write_byte(off + i as u64, b);
+        }
+        self.log.push(MemOp::Atomic { off, kind, a1, a2 });
+        Ok(old)
+    }
+
+    fn device_alloc(&mut self, _size: u64) -> Result<CpuAddr, Trap> {
+        unreachable!("device_malloc kernels are gated to the serial direct path")
+    }
+}
+
+/// Replay one chunk's mutation log into the real region. Offsets were
+/// validated at record time, so this writes the backing store directly.
+pub fn apply_log(region: &mut SharedRegion, log: &[MemOp]) {
+    for op in log {
+        match *op {
+            MemOp::Write { off, len, bytes } => {
+                region.raw_mut(off, len as u64).copy_from_slice(&bytes[..len as usize]);
+            }
+            MemOp::Atomic { off, kind, a1, a2 } => {
+                let cur = region.raw(off, 4);
+                let old = i32::from_le_bytes([cur[0], cur[1], cur[2], cur[3]]) as i64;
+                let new = apply_rmw(kind, old, a1, a2) as i32;
+                region.raw_mut(off, 4).copy_from_slice(&new.to_le_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::CPU_BASE;
+
+    fn region() -> SharedRegion {
+        SharedRegion::new(4096, 0)
+    }
+
+    #[test]
+    fn reads_see_own_writes_but_base_is_untouched() {
+        let mut r = region();
+        r.write_i32(CpuAddr(CPU_BASE + 8), 7).unwrap();
+        let mut s = ShadowRegion::new(&r);
+        assert_eq!(s.read_val(CPU_BASE + 8, AddrSpace::Cpu, Type::I32).unwrap(), Value::I(7));
+        s.write_val(CPU_BASE + 8, AddrSpace::Cpu, Value::I(42), Type::I32).unwrap();
+        assert_eq!(s.read_val(CPU_BASE + 8, AddrSpace::Cpu, Type::I32).unwrap(), Value::I(42));
+        let log = s.into_log();
+        assert_eq!(r.read_i32(CpuAddr(CPU_BASE + 8)).unwrap(), 7, "base untouched before commit");
+        apply_log(&mut r, &log);
+        assert_eq!(r.read_i32(CpuAddr(CPU_BASE + 8)).unwrap(), 42);
+    }
+
+    #[test]
+    fn unaligned_and_partial_writes_merge_with_base() {
+        let mut r = region();
+        r.write_i64(CpuAddr(CPU_BASE), 0x0102_0304_0506_0708).unwrap();
+        let mut s = ShadowRegion::new(&r);
+        // Overwrite byte 3 only; the i64 read must merge overlay + base.
+        s.write_val(CPU_BASE + 3, AddrSpace::Cpu, Value::I(-1), Type::I8).unwrap();
+        let v = s.read_val(CPU_BASE, AddrSpace::Cpu, Type::I64).unwrap().as_i();
+        assert_eq!(v, 0x0102_0304_ff06_0708u64 as i64);
+        // A write spanning a word boundary round-trips.
+        s.write_val(CPU_BASE + 6, AddrSpace::Cpu, Value::I(-2), Type::I32).unwrap();
+        assert_eq!(s.read_val(CPU_BASE + 6, AddrSpace::Cpu, Type::I32).unwrap(), Value::I(-2));
+    }
+
+    #[test]
+    fn gpu_and_cpu_views_alias_in_the_overlay() {
+        let r = region();
+        let mut s = ShadowRegion::new(&r);
+        s.write_val(CPU_BASE + 16, AddrSpace::Cpu, Value::I(9), Type::I32).unwrap();
+        let via_gpu = s.read_val(crate::region::GPU_BASE + 16, AddrSpace::Gpu, Type::I32).unwrap();
+        assert_eq!(via_gpu, Value::I(9));
+    }
+
+    #[test]
+    fn atomic_replay_merges_across_shadows() {
+        let mut r = region();
+        r.write_i32(CpuAddr(CPU_BASE + 4), 10).unwrap();
+        // Two independent shadows (as two parallel chunks would be).
+        let mut s1 = ShadowRegion::new(&r);
+        let mut s2 = ShadowRegion::new(&r);
+        assert_eq!(s1.atomic_i32(CPU_BASE + 4, AddrSpace::Cpu, AtomicKind::Min, 5, 0).unwrap(), 10);
+        assert_eq!(s2.atomic_i32(CPU_BASE + 4, AddrSpace::Cpu, AtomicKind::Min, 7, 0).unwrap(), 10);
+        let (l1, l2) = (s1.into_log(), s2.into_log());
+        apply_log(&mut r, &l1);
+        apply_log(&mut r, &l2);
+        assert_eq!(r.read_i32(CpuAddr(CPU_BASE + 4)).unwrap(), 5, "global min survives replay");
+    }
+
+    #[test]
+    fn atomic_add_and_cas_semantics() {
+        assert_eq!(apply_rmw(AtomicKind::Add, 3, 4, 0), 7);
+        assert_eq!(apply_rmw(AtomicKind::Min, 3, 4, 0), 3);
+        assert_eq!(apply_rmw(AtomicKind::Cas, 3, 3, 9), 9);
+        assert_eq!(apply_rmw(AtomicKind::Cas, 3, 4, 9), 3);
+    }
+
+    #[test]
+    fn shadow_faults_match_direct_faults() {
+        let r = region();
+        let mut s = ShadowRegion::new(&r);
+        assert!(matches!(s.read_val(0, AddrSpace::Cpu, Type::I32), Err(Trap::BadAddress { .. })));
+        assert!(matches!(
+            s.write_val(
+                CPU_BASE + 8,
+                AddrSpace::Cpu,
+                Value::Ptr(crate::region::GPU_BASE + 8, AddrSpace::Gpu),
+                Type::Ptr(AddrSpace::Gpu)
+            ),
+            Err(Trap::WrongAddressSpace { .. })
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! Differential battery for the host-parallel execution engine: every
+//! paper workload, on every target, must produce byte-identical
+//! shared-region contents and identical simulated-time reports no matter
+//! how many OS threads the simulators fan out over. Host threading is a
+//! wall-clock optimization only; if any number in a report or any byte of
+//! output shifts with `host_threads`, the determinism-preserving merge is
+//! broken.
+//!
+//! Also covers trap determinism: a kernel that faults at several work
+//! items must report the trap of the lowest global id — with identical
+//! kernel/detail fields — at every thread count, and a trapped reduction
+//! must still release its scratch slots and unpin the region.
+
+use concord::energy::SystemConfig;
+use concord::ir::types::AddrSpace;
+use concord::runtime::{Concord, Options, RuntimeError, Target};
+use concord::svm::CPU_BASE;
+use concord::workloads::{all_workloads, RunTotals, Scale, Workload};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const TARGETS: [Target; 4] =
+    [Target::Cpu, Target::Gpu, Target::Hybrid { gpu_fraction: 0.5 }, Target::Auto];
+
+fn opts(threads: usize) -> Options {
+    Options { host_threads: Some(threads), ..Options::default() }
+}
+
+/// Run `workload` on `target` with `threads` host threads in a fresh
+/// context; return the used-prefix region snapshot after a verified run
+/// plus the accumulated run totals. (The used prefix is everything below
+/// the build's allocation high-water mark; see `hybrid_scheduler.rs`.)
+fn run_once(workload: &dyn Workload, target: Target, threads: usize) -> (Vec<u8>, RunTotals) {
+    let mut cc = Concord::new(SystemConfig::ultrabook(), workload.spec().source, opts(threads))
+        .expect("workload compiles");
+    let mut inst = workload.build(&mut cc, Scale::Tiny).expect("workload builds");
+    let mark = cc.malloc(16).expect("probe");
+    cc.free(mark).expect("probe free");
+    let used = mark.0 - CPU_BASE;
+    let name = workload.spec().name;
+    let totals = inst
+        .run(&mut cc, target)
+        .unwrap_or_else(|e| panic!("{name} on {target} x{threads} failed: {e}"));
+    inst.verify(&cc)
+        .unwrap_or_else(|e| panic!("{name} on {target} x{threads} verification failed: {e}"));
+    let snap = cc.region().read_bytes(CPU_BASE, AddrSpace::Cpu, used).expect("snapshot").to_vec();
+    (snap, totals)
+}
+
+/// Bit-exact equality on every externally meaningful `RunTotals` field.
+fn assert_same_totals(name: &str, target: Target, threads: usize, a: &RunTotals, b: &RunTotals) {
+    let ctx = format!("{name} on {target}: host_threads={threads} vs 1");
+    assert_eq!(a.seconds.to_bits(), b.seconds.to_bits(), "{ctx}: seconds");
+    assert_eq!(a.jit_seconds.to_bits(), b.jit_seconds.to_bits(), "{ctx}: jit_seconds");
+    assert_eq!(a.joules.to_bits(), b.joules.to_bits(), "{ctx}: joules");
+    assert_eq!(a.offloads, b.offloads, "{ctx}: offloads");
+    assert_eq!(a.used_gpu, b.used_gpu, "{ctx}: used_gpu");
+    assert_eq!(a.fell_back, b.fell_back, "{ctx}: fell_back");
+    assert_eq!(a.translations, b.translations, "{ctx}: translations");
+    assert_eq!(a.transactions, b.transactions, "{ctx}: transactions");
+    assert_eq!(a.contended, b.contended, "{ctx}: contended");
+    assert_eq!(a.insts, b.insts, "{ctx}: insts");
+    assert_eq!(
+        a.avg_busy_fraction().to_bits(),
+        b.avg_busy_fraction().to_bits(),
+        "{ctx}: avg_busy_fraction"
+    );
+}
+
+fn assert_thread_count_invariant(target: Target) {
+    for workload in all_workloads() {
+        let name = workload.spec().name;
+        let (base_snap, base_totals) = run_once(workload.as_ref(), target, THREADS[0]);
+        for &threads in &THREADS[1..] {
+            let (snap, totals) = run_once(workload.as_ref(), target, threads);
+            let diffs = snap.iter().zip(&base_snap).filter(|(x, y)| x != y).count();
+            assert_eq!(
+                diffs, 0,
+                "{name} on {target}: {diffs} bytes differ between host_threads={threads} and 1"
+            );
+            assert_same_totals(name, target, threads, &totals, &base_totals);
+        }
+    }
+}
+
+#[test]
+fn all_workloads_identical_across_thread_counts_on_cpu() {
+    assert_thread_count_invariant(Target::Cpu);
+}
+
+#[test]
+fn all_workloads_identical_across_thread_counts_on_gpu() {
+    assert_thread_count_invariant(Target::Gpu);
+}
+
+#[test]
+fn all_workloads_identical_across_thread_counts_on_hybrid() {
+    assert_thread_count_invariant(Target::Hybrid { gpu_fraction: 0.5 });
+}
+
+#[test]
+fn all_workloads_identical_across_thread_counts_on_auto() {
+    assert_thread_count_invariant(Target::Auto);
+}
+
+/// A kernel that faults at every work item from `FAULT_FROM` upward: the
+/// reported trap must be the one of the lowest faulting id, so the trap's
+/// recorded details (kernel name, faulting address = 4 * id) must be
+/// identical at every thread count.
+const FAULTY: &str = r#"
+    class Faulty {
+    public:
+        int* data;
+        void operator()(int i) { if (i >= 37) { data[i] = i; } }
+    };
+"#;
+
+#[test]
+fn traps_report_the_lowest_work_item_at_any_thread_count() {
+    for target in TARGETS {
+        let mut errs = Vec::new();
+        for &threads in &THREADS {
+            let mut cc =
+                Concord::new(SystemConfig::ultrabook(), FAULTY, opts(threads)).expect("compiles");
+            let body = cc.malloc(8).expect("body");
+            // data stays null -> ids >= 37 fault on the store.
+            let err = cc
+                .parallel_for_hetero("Faulty", body, 256, target)
+                .expect_err("null store must trap");
+            assert!(matches!(err, RuntimeError::Trap(_)), "{target} x{threads}: {err}");
+            errs.push(err);
+        }
+        for (err, &threads) in errs.iter().zip(&THREADS) {
+            assert_eq!(
+                err, &errs[0],
+                "{target}: trap at host_threads={threads} differs from host_threads=1"
+            );
+        }
+    }
+}
+
+#[test]
+fn trapping_reduce_frees_scratch_and_unpins_at_any_thread_count() {
+    let src = r#"
+        class Crash {
+        public:
+            float* data; float acc;
+            void operator()(int i) { acc += data[i]; }
+            void join(Crash* other) { acc += other->acc; }
+        };
+    "#;
+    for target in TARGETS {
+        let mut errs = Vec::new();
+        for &threads in &THREADS {
+            let mut cc =
+                Concord::new(SystemConfig::ultrabook(), src, opts(threads)).expect("compiles");
+            let body = cc.malloc(16).expect("body");
+            let free_before = cc.heap_free_bytes();
+            let err = cc
+                .parallel_reduce_hetero("Crash", body, 64, target)
+                .expect_err("null load must trap");
+            errs.push(err);
+            assert_eq!(
+                cc.heap_free_bytes(),
+                free_before,
+                "{target} x{threads}: trapped reduce leaked scratch"
+            );
+            assert!(
+                !cc.region().consistency().pinned,
+                "{target} x{threads}: trapped reduce left the region pinned"
+            );
+        }
+        for (err, &threads) in errs.iter().zip(&THREADS) {
+            assert_eq!(err, &errs[0], "{target}: trap differs at host_threads={threads}");
+        }
+    }
+}

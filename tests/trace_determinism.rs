@@ -56,6 +56,41 @@ fn full_stack_trace_covers_every_layer() {
 }
 
 #[test]
+fn traces_identical_across_host_thread_counts() {
+    // Warps and CPU chunks may execute on any number of OS threads, but
+    // all trace emission happens at commit time in fixed chunk/warp order,
+    // so the exported trace must be byte-identical for any host thread
+    // count — including the sampled per-warp gpusim instants.
+    let run = |workload: &dyn Workload, target: Target, threads: usize| {
+        let opts = Options {
+            trace: TraceConfig::enabled(),
+            host_threads: Some(threads),
+            ..Options::default()
+        };
+        let mut cc = Concord::new(SystemConfig::ultrabook(), workload.spec().source, opts).unwrap();
+        let mut inst = workload.build(&mut cc, Scale::Tiny).unwrap();
+        inst.run(&mut cc, target).unwrap();
+        inst.verify(&cc).unwrap();
+        (cc.tracer().chrome_json(), cc.tracer().summary())
+    };
+    for target in [Target::Gpu, Target::Hybrid { gpu_fraction: 0.5 }] {
+        let (json1, sum1) = run(&Raytracer, target, 1);
+        assert!(
+            json1.contains("mem_access"),
+            "{target}: sampled gpusim events must be present in the trace"
+        );
+        for threads in [2usize, 8] {
+            let (json, sum) = run(&Raytracer, target, threads);
+            assert_eq!(
+                json, json1,
+                "{target}: Chrome JSON differs between host_threads={threads} and 1"
+            );
+            assert_eq!(sum, sum1, "{target}: summary differs between host_threads={threads} and 1");
+        }
+    }
+}
+
+#[test]
 fn disabled_tracer_records_nothing_end_to_end() {
     let spec = Raytracer.spec();
     let mut cc = Concord::new(SystemConfig::ultrabook(), spec.source, Options::default()).unwrap();
