@@ -28,6 +28,12 @@ if ! diff -u /tmp/concord_ci_t1.log /tmp/concord_ci_t8.log; then
 fi
 cat /tmp/concord_ci_t8.log
 
+echo "==> serve loopback battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
+# The offload service must behave identically at any host fan-out, and a
+# wedged server must fail CI rather than hang it.
+timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-serve --test loopback
+timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-serve --test loopback
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

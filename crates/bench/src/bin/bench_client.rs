@@ -1,0 +1,165 @@
+//! Load generator for `concord-serve`: N concurrent clients run mixed
+//! workloads (some sharing kernel source, to exercise the cross-session
+//! JIT-artifact cache) and report throughput and latency percentiles.
+//!
+//! ```text
+//! bench_client [--addr HOST:PORT] [--clients N] [--iters N]
+//!              [--workers N] [--queue N]
+//! ```
+//!
+//! Without `--addr`, an in-process loopback server is spawned (sized by
+//! `--workers`/`--queue`) and its final statistics — artifact-cache hits
+//! included — are printed after the run.
+
+use concord_bench::cli::{or_usage, value_of, ArgError};
+use concord_bench::render_table;
+use concord_serve::{Launch, ServeConfig, Server, SessionHandle, SessionOptions};
+use std::time::{Duration, Instant};
+
+/// Element-wise kernel; every even-numbered client opens a session with
+/// this source, so all but the first open hits the artifact cache.
+const DOUBLE: &str = r#"
+    class Double {
+    public:
+        int* out; int n;
+        void operator()(int i) { out[i] = i * 2 + 1; }
+    };
+"#;
+
+/// Reduction kernel shared by the odd-numbered clients.
+const SUM: &str = r#"
+    class Sum {
+    public:
+        float* data; float acc;
+        void operator()(int i) { acc += data[i]; }
+        void join(Sum* other) { acc += other->acc; }
+    };
+"#;
+
+const N: u32 = 256;
+
+fn usage_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    or_usage(value_of(args, flag)).map(|v| {
+        or_usage(
+            v.parse::<T>().map_err(|_| ArgError(format!("flag `{flag}` has a bad value `{v}`"))),
+        )
+    })
+}
+
+/// One client's run: open a session, issue `iters` launches, return the
+/// per-request latencies.
+fn run_client(addr: std::net::SocketAddr, client: usize, iters: usize) -> Vec<Duration> {
+    let even = client.is_multiple_of(2);
+    let source = if even { DOUBLE } else { SUM };
+    let mut s =
+        SessionHandle::connect(addr, source, &SessionOptions::default()).expect("open session");
+    let mut latencies = Vec::with_capacity(iters);
+    if even {
+        let out = s.malloc(u64::from(N) * 4).expect("alloc");
+        let body = s.malloc(16).expect("alloc");
+        s.write_ptr(body, out).expect("write");
+        s.write_i32(body + 8, N as i32).expect("write");
+        for _ in 0..iters {
+            let start = Instant::now();
+            let report = s.parallel_for(&Launch::new("Double", body, N)).expect("launch");
+            latencies.push(start.elapsed());
+            assert!(report.exec_seconds > 0.0);
+        }
+        let last = i64::from(N) - 1;
+        assert_eq!(s.read_i32(out + u64::from(N - 1) * 4).expect("read"), (last * 2 + 1) as i32);
+    } else {
+        let data = s.malloc(u64::from(N) * 4).expect("alloc");
+        for i in 0..N {
+            s.write_f32(data + u64::from(i) * 4, (i % 5) as f32).expect("write");
+        }
+        let body = s.malloc(16).expect("alloc");
+        s.write_ptr(body, data).expect("write");
+        for _ in 0..iters {
+            s.write_f32(body + 8, 0.0).expect("reset acc");
+            let start = Instant::now();
+            let report = s.parallel_reduce(&Launch::new("Sum", body, N)).expect("launch");
+            latencies.push(start.elapsed());
+            assert!(report.exec_seconds > 0.0);
+        }
+    }
+    s.close().expect("close session");
+    latencies
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: bench_client [--addr HOST:PORT] [--clients N] [--iters N] \
+             [--workers N] [--queue N]"
+        );
+        return;
+    }
+    let clients = usage_value::<usize>(&args, "--clients").unwrap_or(4).max(1);
+    let iters = usage_value::<usize>(&args, "--iters").unwrap_or(16).max(1);
+
+    // Either aim at an external daemon or spin up a loopback server.
+    let local = match or_usage(value_of(&args, "--addr")) {
+        Some(_) => None,
+        None => {
+            let mut config = ServeConfig::default();
+            if let Some(w) = usage_value::<usize>(&args, "--workers") {
+                config.workers = w.max(1);
+            }
+            if let Some(q) = usage_value::<usize>(&args, "--queue") {
+                config.queue_depth = q.max(1);
+            }
+            Some(Server::bind(&config).expect("bind loopback server"))
+        }
+    };
+    let addr = match &local {
+        Some(server) => server.addr(),
+        None => or_usage(value_of(&args, "--addr")).unwrap().parse().unwrap_or_else(|e| {
+            eprintln!("bad --addr: {e}");
+            std::process::exit(2);
+        }),
+    };
+
+    eprintln!("{clients} clients x {iters} launches against {addr}...");
+    let wall = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..clients).map(|c| scope.spawn(move || run_client(addr, c, iters))).collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = wall.elapsed();
+    latencies.sort();
+
+    let total = latencies.len();
+    let ms = |d: Duration| format!("{:.3} ms", d.as_secs_f64() * 1e3);
+    let rows = vec![vec![
+        total.to_string(),
+        format!("{:.1} req/s", total as f64 / elapsed.as_secs_f64()),
+        ms(percentile(&latencies, 0.50)),
+        ms(percentile(&latencies, 0.90)),
+        ms(percentile(&latencies, 0.99)),
+    ]];
+    print!("{}", render_table(&["requests", "throughput", "p50", "p90", "p99"], &rows));
+
+    if let Some(server) = local {
+        server.request_shutdown();
+        let stats = server.join();
+        println!(
+            "\nserver: {} connections, {} requests completed; artifact cache: {} entries, \
+             {} hits, {} misses",
+            stats.connections,
+            stats.completed,
+            stats.cache_entries,
+            stats.cache_hits,
+            stats.cache_misses,
+        );
+    }
+}

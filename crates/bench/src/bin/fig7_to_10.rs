@@ -7,7 +7,7 @@
 //! ```text
 //! fig7_to_10 [--system ultrabook|desktop|both] [--tiny|--small|--medium]
 //!            [--target gpu|hybrid|hybrid:<fraction>|auto]
-//!            [--host-threads N]
+//!            [--host-threads N] [--json FILE]
 //! ```
 //!
 //! `--target` selects the device policy of the four configured runs:
@@ -18,15 +18,21 @@
 //! `--host-threads N` fans the simulated cores and warps across N OS
 //! threads (equivalent to setting `CONCORD_HOST_THREADS=N`). Every number
 //! in the tables is identical for any N; only wall-clock time changes.
+//!
+//! `--json FILE` additionally writes one machine-readable row per
+//! (system, workload, configuration) pair — CPU baselines included — in
+//! the schema documented in EXPERIMENTS.md.
 
+use concord_bench::cli::{flag_present, or_usage, parse_systems, parse_target, value_of};
 use concord_bench::{figure_rows, geomean, render_table, FigureRow};
 use concord_energy::SystemConfig;
 use concord_runtime::Target;
-use concord_workloads::Scale;
+use concord_serve::json::Json;
+use concord_workloads::{Measurement, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(n) = args.iter().position(|a| a == "--host-threads").and_then(|i| args.get(i + 1)) {
+    if let Some(n) = or_usage(value_of(&args, "--host-threads")) {
         if n.parse::<usize>().map_or(true, |v| v == 0) {
             eprintln!("--host-threads needs a positive integer, got `{n}`");
             std::process::exit(2);
@@ -34,39 +40,29 @@ fn main() {
         // Safe: set before any simulator thread exists (single-threaded main).
         std::env::set_var(concord_pool::HOST_THREADS_ENV, n);
     }
-    let scale = if args.iter().any(|a| a == "--tiny") {
+    let scale = if flag_present(&args, "--tiny") {
         Scale::Tiny
-    } else if args.iter().any(|a| a == "--medium") {
+    } else if flag_present(&args, "--medium") {
         Scale::Medium
     } else {
         Scale::Small
     };
-    let system_arg = args
-        .iter()
-        .position(|a| a == "--system")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-        .unwrap_or("both");
-    let systems: Vec<SystemConfig> = match system_arg {
-        "ultrabook" => vec![SystemConfig::ultrabook()],
-        "desktop" => vec![SystemConfig::desktop()],
-        _ => vec![SystemConfig::ultrabook(), SystemConfig::desktop()],
+    let systems: Vec<SystemConfig> =
+        or_usage(parse_systems(or_usage(value_of(&args, "--system")).unwrap_or("both")));
+    let target = match or_usage(value_of(&args, "--target")) {
+        Some(s) => or_usage(parse_target(s)),
+        None => Target::Gpu,
     };
-    let target = args
-        .iter()
-        .position(|a| a == "--target")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| {
-            Target::parse(s).unwrap_or_else(|| {
-                eprintln!("unknown target `{s}` (use gpu|hybrid|hybrid:<fraction>|auto)");
-                std::process::exit(2);
-            })
-        })
-        .unwrap_or(Target::Gpu);
+    let json_path = or_usage(value_of(&args, "--json")).map(str::to_string);
+
+    let mut json_rows: Vec<Json> = Vec::new();
     for system in systems {
         let (fig_speed, fig_energy) = if system.name == "ultrabook" { (7, 8) } else { (9, 10) };
         eprintln!("running {} ({} workloads x 5 measurements)...", system.name, 9);
         let rows = figure_rows(system, scale, target).expect("figure rows");
+        if json_path.is_some() {
+            collect_json_rows(&mut json_rows, &rows, &system, target, scale);
+        }
         print_figure(
             &format!(
                 "Figure {fig_speed}: runtime speedup of {target} vs multicore CPU ({})",
@@ -83,6 +79,55 @@ fn main() {
             &rows,
             FigureRow::energy_savings,
         );
+    }
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("schema", Json::str("concord-fig7_to_10/v1")),
+            ("rows", Json::Arr(json_rows)),
+        ]);
+        if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("cannot write json file `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}
+
+/// One JSON row per measurement in `rows`, CPU baselines included (the
+/// baseline's speedup/energy_savings are 1.0 by construction).
+fn collect_json_rows(
+    out: &mut Vec<Json>,
+    rows: &[FigureRow],
+    system: &SystemConfig,
+    target: Target,
+    scale: Scale,
+) {
+    let row_json = |name: &str, config: &str, tgt: &str, m: &Measurement, speedup, savings| {
+        Json::obj(vec![
+            ("workload", Json::str(name)),
+            ("config", Json::str(config)),
+            ("system", Json::str(system.name)),
+            ("target", Json::str(tgt)),
+            ("scale", Json::str(format!("{scale:?}").to_lowercase())),
+            ("seconds", m.totals.seconds.into()),
+            ("joules", m.totals.joules.into()),
+            ("speedup", Json::Num(speedup)),
+            ("energy_savings", Json::Num(savings)),
+            ("verified", m.verified.into()),
+        ])
+    };
+    for row in rows {
+        out.push(row_json(row.name, "CPU", "cpu", &row.cpu, 1.0, 1.0));
+        for (i, (config, m)) in row.gpu.iter().enumerate() {
+            out.push(row_json(
+                row.name,
+                config,
+                &target.to_string(),
+                m,
+                row.speedup(i),
+                row.energy_savings(i),
+            ));
+        }
     }
 }
 

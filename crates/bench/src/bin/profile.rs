@@ -10,6 +10,7 @@
 //! cargo run -p concord-bench --bin profile -- --workload sssp --out sssp.json --wall-clock
 //! ```
 
+use concord_bench::cli::{or_usage, parse_scale, parse_target};
 use concord_runtime::{Concord, Options, Target};
 use concord_trace::TraceConfig;
 use concord_workloads::{all_workloads, Scale, Workload};
@@ -49,17 +50,8 @@ fn parse_args() -> Cli {
         let value = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--workload" | "-w" => cli.workload = value(&mut args).to_lowercase(),
-            "--scale" | "-s" => {
-                cli.scale = match value(&mut args).as_str() {
-                    "tiny" => Scale::Tiny,
-                    "small" => Scale::Small,
-                    "medium" => Scale::Medium,
-                    _ => usage(),
-                }
-            }
-            "--target" | "-t" => {
-                cli.target = Target::parse(&value(&mut args)).unwrap_or_else(|| usage())
-            }
+            "--scale" | "-s" => cli.scale = or_usage(parse_scale(&value(&mut args))),
+            "--target" | "-t" => cli.target = or_usage(parse_target(&value(&mut args))),
             "--out" | "-o" => cli.out = value(&mut args),
             "--wall-clock" => cli.wall_clock = true,
             "--help" | "-h" => {

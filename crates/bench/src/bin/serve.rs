@@ -1,0 +1,89 @@
+//! `concord-serve` daemon: multiplexes independent Concord sessions from
+//! many TCP clients over one process-wide JIT-artifact cache.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--queue N] [--trace]
+//! ```
+//!
+//! Runs until SIGINT/SIGTERM (or a client's `shutdown` request), then
+//! drains every queued request before exiting. With `--trace`, the
+//! deterministic trace summary (including `Server` track events) is
+//! printed on shutdown.
+
+use concord_bench::cli::{flag_present, or_usage, value_of, ArgError};
+use concord_serve::{signal, ServeConfig, Server};
+use concord_trace::TraceConfig;
+use std::time::Duration;
+
+fn usage_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    or_usage(value_of(args, flag)).map(|v| {
+        or_usage(
+            v.parse::<T>().map_err(|_| ArgError(format!("flag `{flag}` has a bad value `{v}`"))),
+        )
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if flag_present(&args, "--help") || flag_present(&args, "-h") {
+        println!("usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--trace]");
+        return;
+    }
+    let mut config = ServeConfig::default();
+    if let Some(addr) = or_usage(value_of(&args, "--addr")) {
+        config.addr = addr.to_string();
+    }
+    if let Some(workers) = usage_value::<usize>(&args, "--workers") {
+        config.workers = workers.max(1);
+    }
+    if let Some(queue) = usage_value::<usize>(&args, "--queue") {
+        config.queue_depth = queue.max(1);
+    }
+    let tracing = flag_present(&args, "--trace");
+    if tracing {
+        config.trace = TraceConfig::enabled();
+    }
+
+    signal::install();
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind `{}`: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "concord-serve listening on {} ({} workers, queue depth {})",
+        server.addr(),
+        config.workers,
+        config.queue_depth
+    );
+
+    while !signal::triggered() && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutting down: draining in-flight requests...");
+    server.request_shutdown();
+    // The tracer is a clone-shared ring buffer, so drain-time events are
+    // still visible through this handle after `join` consumes the server.
+    let tracer = server.tracer().clone();
+    let stats = server.join();
+    let summary = tracer.summary();
+    println!(
+        "served {} connections, {} sessions; {} admitted, {} completed, \
+         {} rejected, {} deadline-missed; artifact cache: {} entries, \
+         {} hits, {} misses",
+        stats.connections,
+        stats.sessions,
+        stats.admitted,
+        stats.completed,
+        stats.rejected,
+        stats.deadline_missed,
+        stats.cache_entries,
+        stats.cache_hits,
+        stats.cache_misses,
+    );
+    if tracing {
+        print!("{summary}");
+    }
+}

@@ -6,9 +6,14 @@
 //! offsets (and without virtual dispatch). Comparing the two isolates the
 //! cost of the SVM pointer translations: the paper measures ≤6% at the
 //! largest image size.
+//!
+//! `--json FILE` additionally writes one machine-readable row per image
+//! size, in the schema documented in EXPERIMENTS.md.
 
+use concord_bench::cli::{or_usage, value_of};
 use concord_energy::SystemConfig;
 use concord_runtime::{Concord, Options, Target};
+use concord_serve::json::Json;
 use concord_svm::{CpuAddr, VtableArea};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -232,6 +237,8 @@ fn run_flat(system: SystemConfig, sc: &Scene, w: usize, h: usize) -> (f64, Vec<f
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = or_usage(value_of(&args, "--json")).map(str::to_string);
     let sizes: &[(usize, usize)] = &[(32, 24), (64, 48), (128, 96), (192, 144)];
     let sc = scene(16);
     let system = SystemConfig::ultrabook();
@@ -239,6 +246,7 @@ fn main() {
         "Section 5.4: overhead of software SVM (Concord Raytracer vs hand-flattened OpenCL port)\n"
     );
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for &(w, h) in sizes {
         eprintln!("rendering {w}x{h}...");
         let (t_concord, img_c) = run_concord(system, &sc, w, h);
@@ -254,6 +262,12 @@ fn main() {
             format!("{:.3} ms", t_flat * 1e3),
             format!("{overhead:+.1}%"),
         ]);
+        json_rows.push(Json::obj(vec![
+            ("image", Json::str(format!("{w}x{h}"))),
+            ("concord_seconds", t_concord.into()),
+            ("flat_seconds", t_flat.into()),
+            ("overhead_pct", overhead.into()),
+        ]));
     }
     print!(
         "{}",
@@ -265,4 +279,15 @@ fn main() {
     println!(
         "\nThe paper reports negligible overhead for small images and ~6% at the largest size."
     );
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("schema", Json::str("concord-svm_overhead/v1")),
+            ("rows", Json::Arr(json_rows)),
+        ]);
+        if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("cannot write json file `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
 }

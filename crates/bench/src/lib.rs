@@ -19,6 +19,8 @@ use concord_energy::SystemConfig;
 use concord_runtime::{RuntimeError, Target};
 use concord_workloads::{all_workloads, measure, Measurement, Scale, Workload};
 
+pub mod cli;
+
 /// The four GPU configurations evaluated in Figures 7–10, in paper order.
 pub fn configurations(gpu_cores: u32) -> [(&'static str, GpuConfig); 4] {
     [

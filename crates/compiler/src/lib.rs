@@ -57,7 +57,7 @@ use concord_trace::{Tracer, Track};
 
 /// Configuration of the GPU lowering pipeline — one per evaluated
 /// configuration in §5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GpuConfig {
     /// Pointer-translation placement (§4.1). `Lazy` is the paper's `GPU`
     /// baseline; `Hybrid` is `GPU+PTROPT`.

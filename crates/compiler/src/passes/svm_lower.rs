@@ -30,7 +30,7 @@ use concord_ir::types::{AddrSpace, Type};
 use std::collections::HashMap;
 
 /// Pointer-translation placement strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Strategy {
     /// Translate at every dereference (baseline `GPU` configuration).
     #[default]

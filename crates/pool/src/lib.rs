@@ -15,7 +15,9 @@
 //! against interpretation cost, and scoped threads let workers borrow the
 //! launch's state without `Arc`.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Name of the environment variable controlling host parallelism.
 pub const HOST_THREADS_ENV: &str = "CONCORD_HOST_THREADS";
@@ -138,6 +140,143 @@ where
     pairs.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Why [`TaskPool::try_submit`] rejected a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — backpressure; retry later or
+    /// surface an explicit "overloaded" to the caller.
+    Full,
+    /// The pool is draining or drained; no new work is admitted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => f.write_str("task queue is full"),
+            SubmitError::Closed => f.write_str("task pool is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    closed: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is queued or the pool closes.
+    work: Condvar,
+    capacity: usize,
+}
+
+/// A persistent worker pool with a **bounded** admission queue — the
+/// serving-side counterpart to the scoped [`map`]/[`map_dynamic`] helpers.
+///
+/// Unlike the scoped helpers, jobs are `'static` closures and workers live
+/// until [`TaskPool::close_and_drain`]. The queue bound is the backpressure
+/// mechanism: [`TaskPool::try_submit`] never blocks, returning
+/// [`SubmitError::Full`] when the queue is at capacity so callers can
+/// reply "overloaded" instead of hanging. Closing stops admission but
+/// *drains* everything already queued before the workers exit, which is
+/// what makes graceful shutdown lossless.
+pub struct TaskPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// Spawn `workers` worker threads sharing one bounded queue of
+    /// `capacity` jobs. Both are clamped to ≥ 1.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), closed: false }),
+            work: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("concord-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        TaskPool { shared, workers }
+    }
+
+    /// Admit a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::Closed`] once the pool is draining.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(SubmitError::Full);
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting in the queue (not counting running ones).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Stop admitting new jobs, let the workers finish everything already
+    /// queued, and join them. Every admitted job is guaranteed to run.
+    pub fn close_and_drain(mut self) {
+        self.shared.state.lock().unwrap().closed = true;
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        // Mirrors close_and_drain for pools dropped without an explicit
+        // close (e.g. on a panic path) — queued jobs still run.
+        self.shared.state.lock().unwrap().closed = true;
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.work.wait(state).unwrap();
+            }
+        };
+        job();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +337,80 @@ mod tests {
     #[test]
     fn host_threads_is_at_least_one() {
         assert!(host_threads() >= 1);
+    }
+
+    #[test]
+    fn task_pool_runs_every_admitted_job() {
+        use std::sync::atomic::AtomicU64;
+        let ran = Arc::new(AtomicU64::new(0));
+        let pool = TaskPool::new(4, 64);
+        for _ in 0..32 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.close_and_drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn task_pool_full_queue_rejects_without_blocking() {
+        // One worker parked on a gate; capacity 2. Deterministically: the
+        // gate job occupies the worker, two jobs fill the queue, the next
+        // submission must bounce with Full.
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let pool = TaskPool::new(1, 2);
+        pool.try_submit(move || {
+            entered_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        entered_rx.recv().unwrap(); // worker is now inside the gate job
+        pool.try_submit(|| {}).unwrap();
+        pool.try_submit(|| {}).unwrap();
+        assert_eq!(pool.queued(), 2);
+        assert_eq!(pool.try_submit(|| {}).unwrap_err(), SubmitError::Full);
+        gate_tx.send(()).unwrap();
+        pool.close_and_drain();
+    }
+
+    #[test]
+    fn task_pool_close_drains_queued_jobs() {
+        use std::sync::atomic::AtomicU64;
+        let ran = Arc::new(AtomicU64::new(0));
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let pool = TaskPool::new(1, 16);
+        pool.try_submit(move || {
+            entered_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        entered_rx.recv().unwrap();
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // Jobs queued behind the gate must still run during the drain.
+        gate_tx.send(()).unwrap();
+        pool.close_and_drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn task_pool_rejects_after_close() {
+        let pool = TaskPool::new(1, 4);
+        let shared = Arc::clone(&pool.shared);
+        pool.close_and_drain();
+        // Re-create a handle view over the closed state to probe admission.
+        let mut state = shared.state.lock().unwrap();
+        assert!(state.closed);
+        assert!(state.queue.pop_front().is_none());
     }
 }

@@ -17,7 +17,6 @@ use concord_ir::types::AddrSpace;
 use concord_ir::{FuncId, Module};
 use concord_svm::{AllocError, CpuAddr, SharedAllocator, SharedRegion, VtableArea};
 use concord_trace::{SpanGuard, Tracer, Track};
-use std::collections::HashSet;
 
 /// A contiguous sub-range `[lo, hi)` of a construct's `[0, grid)`
 /// iteration space. A full (unsplit) launch is `Span::full(n)`.
@@ -325,15 +324,17 @@ impl DeviceBackend for CpuBackend {
 }
 
 /// The integrated-GPU backend: wraps [`GpuSim`] plus the per-kernel JIT
-/// cache (§3.4).
+/// cache (§3.4). The JIT-charge set is behind an `Arc` so sessions built
+/// through [`crate::ArtifactCache`] share one set process-wide — a kernel
+/// JITted by any such session is free for all of them.
 pub struct GpuBackend {
     sim: GpuSim,
-    jitted: HashSet<FuncId>,
+    jitted: crate::SharedJitSet,
 }
 
 impl GpuBackend {
-    pub(crate) fn new(sim: GpuSim) -> Self {
-        GpuBackend { sim, jitted: HashSet::new() }
+    pub(crate) fn new(sim: GpuSim, jitted: crate::SharedJitSet) -> Self {
+        GpuBackend { sim, jitted }
     }
 
     /// The wrapped simulator (concurrent-execute phase of a hybrid split).
@@ -389,7 +390,7 @@ impl DeviceBackend for GpuBackend {
     }
 
     fn prepare(&mut self, ctx: &mut ExecCtx<'_>, class: &str, func: FuncId) -> f64 {
-        if !self.jitted.insert(func) {
+        if !self.jitted.lock().unwrap().insert(func) {
             return 0.0;
         }
         let jit_seconds = ctx.system.gpu.jit_ms * 1e-3;

@@ -1,0 +1,171 @@
+//! Process-wide compile/JIT-artifact sharing across [`Concord`] sessions.
+//!
+//! A [`Concord`] built with [`Concord::new`] compiles its source privately
+//! and JIT-caches GPU binaries per instance (§3.4). A multi-session host —
+//! `concord-serve` multiplexing independent clients, or any embedder that
+//! spins up many contexts over the same kernels — would repeat that work
+//! once per session. [`ArtifactCache`] hoists it to the process: entries
+//! are keyed by **(source hash, [`GpuConfig`])** and hold the fully
+//! compiled CPU module, the GPU-lowered artifact, and the set of kernels
+//! already JIT-charged, so the second session over identical source
+//! compiles nothing and pays no JIT cost the first session already paid.
+//!
+//! The cache is deliberately coarse (whole translation units, not
+//! individual kernels): the frontend compiles translation units, and a
+//! client of the serving layer submits exactly one unit per session.
+//!
+//! [`Concord`]: crate::Concord
+//! [`Concord::new`]: crate::Concord::new
+
+use concord_compiler::{GpuArtifact, GpuConfig};
+use concord_frontend::LoweredProgram;
+use concord_ir::FuncId;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The per-kernel "already JIT-compiled" set shared by every session that
+/// hit the same cache entry. The GPU backend charges `jit_ms` only on the
+/// first insertion of a kernel's [`FuncId`] — process-wide, when sessions
+/// share this set through the cache.
+pub type SharedJitSet = Arc<Mutex<HashSet<FuncId>>>;
+
+/// Deterministic 64-bit FNV-1a hash of kernel source text — the first half
+/// of a cache key. Stable across processes and platforms so keys are
+/// loggable and comparable.
+#[must_use]
+pub fn source_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cached compilation: everything [`crate::Concord`] derives from
+/// source text that is independent of the session's region and simulators.
+pub(crate) struct CachedArtifact {
+    pub(crate) program: LoweredProgram,
+    pub(crate) gpu_artifact: GpuArtifact,
+    pub(crate) jitted: SharedJitSet,
+}
+
+/// A process-wide, thread-safe compile/JIT-artifact cache keyed by
+/// (source hash, [`GpuConfig`]).
+///
+/// Construct one per serving process (or per test) and build sessions
+/// through [`crate::Concord::new_with_cache`]. Hit/miss counters are
+/// monotonic and cheap to read, so a server can surface cache
+/// effectiveness in its stats output.
+#[derive(Default)]
+pub struct ArtifactCache {
+    entries: Mutex<HashMap<(u64, GpuConfig), Arc<CachedArtifact>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ArtifactCache::default()
+    }
+
+    /// Compilations served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Compilations that had to run because the key was absent.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct (source, config) entries currently cached.
+    pub fn entries(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether `(source, config)` is already cached. Informational — a
+    /// concurrent insert can race this probe; use the return of the build
+    /// path for exact accounting.
+    #[must_use]
+    pub fn contains(&self, source: &str, config: GpuConfig) -> bool {
+        self.entries.lock().unwrap().contains_key(&(source_hash(source), config))
+    }
+
+    /// Fetch the artifact for `(source, config)`, compiling and inserting
+    /// it on a miss via `compile`. The map lock is held across the compile
+    /// so a burst of identical sessions compiles exactly once.
+    pub(crate) fn lookup_or_compile<E>(
+        &self,
+        source: &str,
+        config: GpuConfig,
+        compile: impl FnOnce() -> Result<(LoweredProgram, GpuArtifact), E>,
+    ) -> Result<(Arc<CachedArtifact>, bool), E> {
+        let key = (source_hash(source), config);
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(hit) = entries.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        let (program, gpu_artifact) = compile()?;
+        let entry = Arc::new(CachedArtifact {
+            program,
+            gpu_artifact,
+            jitted: Arc::new(Mutex::new(HashSet::new())),
+        });
+        entries.insert(key, Arc::clone(&entry));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((entry, false))
+    }
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("entries", &self.entries())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_hash_is_stable_and_discriminates() {
+        assert_eq!(source_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(source_hash("class K {};"), source_hash("class K {};"));
+        assert_ne!(source_hash("class K {};"), source_hash("class J {};"));
+    }
+
+    #[test]
+    fn same_source_different_config_is_a_different_entry() {
+        let cache = ArtifactCache::new();
+        let compile = || {
+            let program = concord_frontend::compile(
+                "class K { public: int out; void operator()(int i) { out = i; } };",
+            )
+            .unwrap();
+            let art = concord_compiler::lower_for_gpu(
+                &program.module,
+                concord_compiler::GpuConfig::all(7),
+            );
+            Ok::<_, std::convert::Infallible>((program, art))
+        };
+        let src = "class K { public: int out; void operator()(int i) { out = i; } };";
+        let (_, hit) = cache.lookup_or_compile(src, GpuConfig::all(7), compile).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.lookup_or_compile(src, GpuConfig::all(7), compile).unwrap();
+        assert!(hit);
+        let (_, hit) = cache.lookup_or_compile(src, GpuConfig::baseline(7), compile).unwrap();
+        assert!(!hit, "GpuConfig is part of the key");
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+}

@@ -40,11 +40,13 @@
 //! ```
 
 pub mod backend;
+pub mod cache;
 pub mod scheduler;
 
 pub use backend::{
     CpuBackend, DeviceBackend, ExecCtx, GpuBackend, LaunchStats, ScratchGuard, Span,
 };
+pub use cache::{source_hash, ArtifactCache, SharedJitSet};
 pub use scheduler::{Plan, ProfileHistory, Target};
 
 use concord_compiler::{lower_for_gpu_traced, GpuArtifact, GpuConfig};
@@ -58,6 +60,18 @@ use concord_svm::{AllocError, CpuAddr, SharedAllocator, SharedRegion, VtableArea
 use concord_trace::{TraceConfig, Tracer, Track};
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::{Arc, Mutex};
+
+// Sessions migrate across `concord-pool` workers in the serving layer, so
+// the context, its reports, and everything they own must be `Send`. These
+// are compile-time assertions: a non-`Send` field anywhere in the graph
+// fails the build here, not at a distant spawn site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Concord>();
+    assert_send::<OffloadReport>();
+    assert_send::<RuntimeError>();
+};
 
 /// Any error the runtime can produce.
 #[derive(Debug, Clone, PartialEq)]
@@ -265,22 +279,70 @@ impl Concord {
     ///
     /// Compilation errors and vtable installation faults.
     pub fn new(system: SystemConfig, source: &str, opts: Options) -> Result<Self, RuntimeError> {
+        Self::build(system, source, opts, None)
+    }
+
+    /// Like [`Concord::new`], but sharing compile and JIT artifacts through
+    /// a process-wide [`ArtifactCache`]. When another session already
+    /// compiled identical source under the same `GpuConfig`, this session
+    /// reuses the compiled modules (no frontend/pipeline work) *and* the
+    /// per-kernel JIT charge set — its first GPU launch of an
+    /// already-JITted kernel reports `jit_seconds == 0`, exactly like a
+    /// repeat launch within one session (§3.4, lifted process-wide).
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors and vtable installation faults.
+    pub fn new_with_cache(
+        system: SystemConfig,
+        source: &str,
+        opts: Options,
+        cache: &ArtifactCache,
+    ) -> Result<Self, RuntimeError> {
+        Self::build(system, source, opts, Some(cache))
+    }
+
+    fn build(
+        system: SystemConfig,
+        source: &str,
+        opts: Options,
+        cache: Option<&ArtifactCache>,
+    ) -> Result<Self, RuntimeError> {
         let tracer = Tracer::new(opts.trace);
-        let sp = tracer.span(Track::Compiler, "frontend");
-        let mut program = concord_frontend::compile(source)?;
-        sp.end();
         let gpu_cfg = opts.gpu_config.unwrap_or(GpuConfig::all(system.gpu.eus));
-        let gpu_artifact = lower_for_gpu_traced(&program.module, gpu_cfg, &tracer);
-        concord_compiler::optimize_for_cpu_traced(&mut program.module, &tracer);
-        // Function ids must stay stable across the GPU lowering clone: the
-        // backends address a kernel in either module with the same FuncId.
-        for k in &program.kernels {
-            debug_assert_eq!(
-                program.module.function(k.operator_fn).name,
-                gpu_artifact.module.function(k.operator_fn).name,
-                "function ids diverged between CPU and GPU modules"
-            );
-        }
+        let compile = || -> Result<(LoweredProgram, GpuArtifact), RuntimeError> {
+            let sp = tracer.span(Track::Compiler, "frontend");
+            let mut program = concord_frontend::compile(source)?;
+            sp.end();
+            let gpu_artifact = lower_for_gpu_traced(&program.module, gpu_cfg, &tracer);
+            concord_compiler::optimize_for_cpu_traced(&mut program.module, &tracer);
+            // Function ids must stay stable across the GPU lowering clone:
+            // the backends address a kernel in either module with the same
+            // FuncId.
+            for k in &program.kernels {
+                debug_assert_eq!(
+                    program.module.function(k.operator_fn).name,
+                    gpu_artifact.module.function(k.operator_fn).name,
+                    "function ids diverged between CPU and GPU modules"
+                );
+            }
+            Ok((program, gpu_artifact))
+        };
+        let (program, gpu_artifact, jitted) = match cache {
+            Some(cache) => {
+                let (entry, hit) = cache.lookup_or_compile(source, gpu_cfg, compile)?;
+                tracer.instant(
+                    Track::Runtime,
+                    "artifact_cache",
+                    vec![("hit", hit.into()), ("source_hash", cache::source_hash(source).into())],
+                );
+                (entry.program.clone(), entry.gpu_artifact.clone(), Arc::clone(&entry.jitted))
+            }
+            None => {
+                let (program, gpu_artifact) = compile()?;
+                (program, gpu_artifact, Arc::new(Mutex::new(HashSet::new())))
+            }
+        };
         let reserved = VtableArea::reserve_for(program.module.classes.len());
         let mut region = SharedRegion::new(opts.region_bytes, reserved);
         region.set_tracer(tracer.clone());
@@ -305,7 +367,7 @@ impl Concord {
         gpu.host_threads = host_threads;
         Ok(Concord {
             cpu: CpuBackend::new(cpu),
-            gpu: GpuBackend::new(gpu),
+            gpu: GpuBackend::new(gpu, jitted),
             system,
             program,
             gpu_artifact,
@@ -1080,6 +1142,53 @@ mod tests {
             );
             assert!(!cc.region().consistency().pinned, "trap must not leave the region pinned");
         }
+    }
+
+    #[test]
+    fn artifact_cache_shares_compile_and_jit_across_sessions() {
+        let cache = ArtifactCache::new();
+        let run = |cc: &mut Concord| {
+            let nodes = cc.malloc(101 * 8).unwrap();
+            let body = cc.malloc(8).unwrap();
+            cc.region_mut().write_ptr(body, nodes).unwrap();
+            let r = cc.parallel_for_hetero("LoopBody", body, 100, Target::Gpu).unwrap();
+            let bytes: Vec<u8> = (0..101 * 8)
+                .map(|i| {
+                    cc.region()
+                        .read_bytes(nodes.0 + i, concord_ir::types::AddrSpace::Cpu, 1)
+                        .unwrap()[0]
+                })
+                .collect();
+            (r, bytes)
+        };
+        let mut a =
+            Concord::new_with_cache(SystemConfig::ultrabook(), FIG1, Options::default(), &cache)
+                .unwrap();
+        let (ra, bytes_a) = run(&mut a);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        assert!(ra.jit_seconds > 0.0, "first session pays the JIT charge");
+
+        let mut b =
+            Concord::new_with_cache(SystemConfig::ultrabook(), FIG1, Options::default(), &cache)
+                .unwrap();
+        let (rb, bytes_b) = run(&mut b);
+        assert_eq!(cache.hits(), 1, "second session must hit the cache");
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(rb.jit_seconds, 0.0, "JIT charge is shared process-wide through the cache");
+        assert_eq!(bytes_a, bytes_b, "cached sessions produce identical results");
+        assert_eq!(ra.exec_seconds, rb.exec_seconds);
+        assert_eq!(ra.insts, rb.insts);
+
+        // A different GpuConfig is a different entry — no false sharing.
+        let opts = Options {
+            gpu_config: Some(GpuConfig::baseline(SystemConfig::ultrabook().gpu.eus)),
+            ..Options::default()
+        };
+        let mut c = Concord::new_with_cache(SystemConfig::ultrabook(), FIG1, opts, &cache).unwrap();
+        let (rc, _) = run(&mut c);
+        assert_eq!(cache.entries(), 2);
+        assert!(rc.jit_seconds > 0.0, "new config pays its own JIT charge");
     }
 
     #[test]

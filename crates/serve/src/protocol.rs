@@ -1,0 +1,293 @@
+//! Wire protocol: length-prefixed JSON frames plus the error vocabulary.
+//!
+//! Every message — request or response — is one **frame**: a 4-byte
+//! big-endian `u32` payload length followed by that many bytes of UTF-8
+//! JSON. Frames larger than [`MAX_FRAME`] are rejected before the payload
+//! is read, so a hostile length prefix cannot make the server allocate
+//! 4 GiB. Region bytes travel as lowercase hex strings ([`to_hex`] /
+//! [`from_hex`]) — JSON-safe and endian-unambiguous.
+//!
+//! Requests are JSON objects with a `"type"` field; an optional `"id"`
+//! field of any JSON shape is echoed verbatim on the matching response so
+//! clients can pipeline. Responses are objects whose `"type"` is either a
+//! result kind, `"error"` (with `code` and `message`), or `"overloaded"`
+//! (admission queue full — retry later).
+
+use crate::json::Json;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload, requests and responses alike
+/// (16 MiB — comfortably above the largest region transfer the bench
+/// clients make, far below an allocation-of-death).
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Error codes carried in `{"type":"error","code":...}` responses.
+///
+/// Codes are stable protocol surface; messages are human-readable detail
+/// and may change.
+pub mod codes {
+    /// Frame length prefix exceeded [`super::MAX_FRAME`].
+    pub const OVERSIZED_FRAME: &str = "oversized_frame";
+    /// Connection ended mid-frame.
+    pub const TRUNCATED_FRAME: &str = "truncated_frame";
+    /// Frame payload was not valid UTF-8.
+    pub const BAD_UTF8: &str = "bad_utf8";
+    /// Frame payload was not valid JSON.
+    pub const BAD_JSON: &str = "bad_json";
+    /// Request `"type"` not recognised.
+    pub const UNKNOWN_TYPE: &str = "unknown_type";
+    /// Required field missing or of the wrong shape.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// `session` does not name an open session on this server.
+    pub const NO_SUCH_SESSION: &str = "no_such_session";
+    /// Kernel-language compilation failed in `open_session`.
+    pub const COMPILE_ERROR: &str = "compile_error";
+    /// Shared-region allocation failed.
+    pub const ALLOC_FAILED: &str = "alloc_failed";
+    /// A kernel trapped during a launch.
+    pub const TRAP: &str = "trap";
+    /// Launch named a kernel class the session's source does not define.
+    pub const NO_SUCH_KERNEL: &str = "no_such_kernel";
+    /// `parallel_reduce` on a class without a `join` method.
+    pub const NO_JOIN: &str = "no_join";
+    /// The request sat in the admission queue past its `deadline_ms`.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// A region read/write faulted (bad address, wrong space).
+    pub const REGION_FAULT: &str = "region_fault";
+    /// Server is draining; no new work is admitted.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport error underneath the framing.
+    Io(io::Error),
+    /// The peer closed the connection mid-frame (inside the length prefix
+    /// or the payload).
+    Truncated,
+    /// The length prefix exceeded [`MAX_FRAME`].
+    Oversized(u32),
+    /// The payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl FrameError {
+    /// The protocol error code a server should answer with before closing
+    /// the connection.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            FrameError::Io(_) | FrameError::Truncated => codes::TRUNCATED_FRAME,
+            FrameError::Oversized(_) => codes::OVERSIZED_FRAME,
+            FrameError::BadUtf8 => codes::BAD_UTF8,
+        }
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Truncated => f.write_str("connection closed mid-frame"),
+            FrameError::Oversized(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::BadUtf8 => f.write_str("frame payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the connection cleanly
+/// at a frame boundary; mid-frame EOF is [`FrameError::Truncated`].
+///
+/// # Errors
+///
+/// [`FrameError`] on transport errors, truncation, an oversized length
+/// prefix, or a non-UTF-8 payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, FrameError> {
+    let mut header = [0u8; 4];
+    // Distinguish clean EOF (0 bytes of header) from truncation.
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload).map(Some).map_err(|_| FrameError::BadUtf8)
+}
+
+/// Write one frame (length prefix + payload). The caller flushes.
+///
+/// # Errors
+///
+/// `InvalidInput` when the payload exceeds [`MAX_FRAME`]; otherwise
+/// transport errors.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())
+}
+
+/// Serialize and send one JSON message as a frame, flushing the stream.
+///
+/// # Errors
+///
+/// See [`write_frame`].
+pub fn send(w: &mut impl Write, msg: &Json) -> io::Result<()> {
+    write_frame(w, &msg.to_string())?;
+    w.flush()
+}
+
+/// Lowercase hex encoding of raw region bytes.
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decode a hex string produced by [`to_hex`] (case-insensitive).
+///
+/// # Errors
+///
+/// A description of the offending character or an odd-length input.
+pub fn from_hex(hex: &str) -> Result<Vec<u8>, String> {
+    if !hex.len().is_multiple_of(2) {
+        return Err("hex string has odd length".to_string());
+    }
+    let digits = hex.as_bytes();
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16);
+        let lo = (pair[1] as char).to_digit(16);
+        match (hi, lo) {
+            (Some(hi), Some(lo)) => out.push((hi * 16 + lo) as u8),
+            _ => {
+                return Err(format!(
+                    "invalid hex digit in `{}{}`",
+                    pair[0] as char, pair[1] as char
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Build an `{"type":"error"}` response, echoing the request `id` when the
+/// request carried one.
+#[must_use]
+pub fn error_response(code: &str, message: &str, id: Option<&Json>) -> Json {
+    let mut fields = vec![
+        ("type".to_string(), Json::str("error")),
+        ("code".to_string(), Json::str(code)),
+        ("message".to_string(), Json::str(message)),
+    ];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), id.clone()));
+    }
+    Json::Obj(fields)
+}
+
+/// Attach the echoed request `id` to a response under construction.
+#[must_use]
+pub fn with_id(mut response: Json, id: Option<&Json>) -> Json {
+    if let (Json::Obj(fields), Some(id)) = (&mut response, id) {
+        fields.push(("id".to_string(), id.clone()));
+    }
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"type\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"type\":\"ping\"}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("second"));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF at boundary");
+    }
+
+    #[test]
+    fn truncated_header_and_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        // Cut inside the payload.
+        let mut r = &buf[..buf.len() - 2];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        // Cut inside the header.
+        let mut r = &buf[..2];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_reading_payload() {
+        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let mut r = &buf[..];
+        match read_frame(&mut r) {
+            Err(FrameError::Oversized(len)) => assert_eq!(len, MAX_FRAME + 1),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = 2u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadUtf8)));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(to_hex(&[0x0f, 0xa0]), "0fa0");
+        assert!(from_hex("abc").is_err(), "odd length");
+        assert!(from_hex("zz").is_err(), "bad digit");
+    }
+
+    #[test]
+    fn error_response_echoes_id() {
+        let id = Json::Num(7.0);
+        let e = error_response(codes::BAD_JSON, "nope", Some(&id));
+        assert_eq!(e.get("code").and_then(Json::as_str), Some(codes::BAD_JSON));
+        assert_eq!(e.get("id"), Some(&id));
+        assert!(error_response(codes::BAD_JSON, "nope", None).get("id").is_none());
+    }
+}

@@ -1,0 +1,705 @@
+//! The offload daemon: TCP accept loop, per-connection readers, bounded
+//! admission onto a [`TaskPool`], and graceful drain.
+//!
+//! # Threading model
+//!
+//! One accept thread owns the listener. Each connection gets a reader
+//! thread that parses frames and either answers inline (`ping`, `stats`,
+//! `shutdown`, malformed input) or admits the request to the shared
+//! worker pool. Workers execute requests — compiling sessions through the
+//! process-wide [`ArtifactCache`], running region ops and launches under
+//! the session's mutex — and write the response through the connection's
+//! shared writer. Responses to pipelined requests may therefore arrive
+//! out of submission order; the echoed `id` is the correlation key.
+//!
+//! # Backpressure and deadlines
+//!
+//! Admission is non-blocking: when the queue is at capacity the reader
+//! answers `{"type":"overloaded"}` immediately instead of stalling the
+//! connection. A request may carry `deadline_ms`, measured from admission;
+//! a worker that dequeues it too late answers `deadline_exceeded` without
+//! executing it.
+//!
+//! # Shutdown
+//!
+//! A `shutdown` frame, [`Server::request_shutdown`], or (in the daemon
+//! binary) SIGINT/SIGTERM stops admission, then drains: every job already
+//! queued runs to completion and its response is flushed before
+//! connections are closed and [`Server::join`] returns.
+
+use crate::json::{parse, Json};
+use crate::protocol::{
+    codes, error_response, from_hex, read_frame, send, to_hex, with_id, MAX_FRAME,
+};
+use concord_energy::SystemConfig;
+use concord_pool::{SubmitError, TaskPool};
+use concord_runtime::{ArtifactCache, Concord, OffloadReport, Options, RuntimeError, Target};
+use concord_svm::CpuAddr;
+use concord_trace::{ArgValue, TraceConfig, Tracer, Track};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Hard cap on per-session region capacity a remote client may request.
+/// The region is host memory; an unchecked `region_bytes` would be an
+/// allocation-of-death.
+const MAX_REGION_BYTES: u64 = 1 << 30;
+
+/// Hard cap on one `read` request (the hex response must fit a frame).
+const MAX_READ_BYTES: u64 = (MAX_FRAME as u64) / 4;
+
+/// Cap on the diagnostic `sleep` request.
+const MAX_SLEEP_MS: u64 = 5_000;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it requests get `overloaded`.
+    pub queue_depth: usize,
+    /// Server-track tracing (`Track::Server` events, logical clock).
+    pub trace: TraceConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: concord_pool::host_threads().max(1),
+            queue_depth: 64,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of server counters, served inline by the
+/// `stats` request and by [`Server::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sessions currently open.
+    pub sessions: usize,
+    /// Distinct (source, `GpuConfig`) artifact-cache entries.
+    pub cache_entries: usize,
+    /// Session builds served from the artifact cache.
+    pub cache_hits: u64,
+    /// Session builds that compiled.
+    pub cache_misses: u64,
+    /// Requests waiting in the admission queue right now.
+    pub queued: usize,
+    /// Requests admitted to the queue so far.
+    pub admitted: u64,
+    /// Admitted requests fully executed (including ones answered with a
+    /// structured error).
+    pub completed: u64,
+    /// Requests refused with `overloaded`.
+    pub rejected: u64,
+    /// Admitted requests dropped at dequeue for missing their deadline.
+    pub deadline_missed: u64,
+    /// Connections accepted so far.
+    pub connections: u64,
+}
+
+struct Session {
+    cc: Concord,
+    owner_conn: u64,
+}
+
+struct Shared {
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    pool: Mutex<Option<TaskPool>>,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_session: AtomicU64,
+    cache: ArtifactCache,
+    tracer: Tracer,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    deadline_missed: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            sessions: self.sessions.lock().unwrap().len(),
+            cache_entries: self.cache.entries(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            queued: self.pool.lock().unwrap().as_ref().map_or(0, TaskPool::queued),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop admission and wake the accept loop with a loopback connect.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.tracer.instant(Track::Server, "shutdown_requested", Vec::new());
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running offload server. Dropping the handle shuts it down and drains.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration errors.
+    pub fn bind(config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            addr,
+            shutdown: AtomicBool::new(false),
+            pool: Mutex::new(Some(TaskPool::new(config.workers, config.queue_depth))),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            cache: ArtifactCache::new(),
+            tracer: Tracer::new(config.trace),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("concord-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Server { shared, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// The server-track tracer (enable via [`ServeConfig::trace`]).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// Stop admitting work and begin the drain. Returns immediately;
+    /// [`Server::join`] waits for the drain to finish.
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether a shutdown has been requested (frame, signal, or handle).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Wait until the server has drained: all queued requests executed,
+    /// responses flushed, connections closed. Returns the final
+    /// statistics, which — unlike a [`Server::stats`] call racing the
+    /// drain — account for every admitted request.
+    pub fn join(mut self) -> ServerStats {
+        self.join_inner();
+        self.shared.stats()
+    }
+
+    fn join_inner(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut readers = Vec::new();
+    let mut conn_streams: Vec<TcpStream> = Vec::new();
+    let mut conn_id: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        conn_id += 1;
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        shared.tracer.instant(Track::Server, "conn_open", vec![("conn", ArgValue::UInt(conn_id))]);
+        if let Ok(clone) = stream.try_clone() {
+            conn_streams.push(clone);
+        }
+        let shared = Arc::clone(shared);
+        let handle = thread::Builder::new()
+            .name(format!("concord-serve-conn-{conn_id}"))
+            .spawn(move || conn_loop(stream, conn_id, &shared));
+        match handle {
+            Ok(h) => readers.push(h),
+            Err(_) => conn_id -= 1,
+        }
+    }
+    // Drain: run every admitted job to completion and flush its response
+    // before any socket is torn down.
+    shared.tracer.instant(Track::Server, "drain_begin", Vec::new());
+    let pool = shared.pool.lock().unwrap().take();
+    if let Some(pool) = pool {
+        pool.close_and_drain();
+    }
+    shared.tracer.instant(Track::Server, "drain_end", Vec::new());
+    // Unblock readers parked in read_frame, then reap them.
+    for s in &conn_streams {
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+    for r in readers {
+        let _ = r.join();
+    }
+}
+
+fn conn_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = io::BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                if !handle_frame(&payload, conn_id, shared, &writer) {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Structured refusal, then close: after a framing error the
+                // byte stream can no longer be trusted. The shutdown is
+                // explicit because the accept loop holds another clone of
+                // this socket (for drain teardown) — dropping ours would
+                // leave the peer waiting for an EOF that never comes.
+                let resp = error_response(e.code(), &e.to_string(), None);
+                send_response(&writer, &resp);
+                let _ = writer.lock().unwrap().shutdown(std::net::Shutdown::Both);
+                break;
+            }
+        }
+    }
+    // Sessions are connection-scoped: reap this connection's sessions so a
+    // dropped client can't leak regions. Jobs still queued for them keep
+    // their Arc and finish normally.
+    shared.sessions.lock().unwrap().retain(|_, s| s.lock().unwrap().owner_conn != conn_id);
+    shared.tracer.instant(Track::Server, "conn_close", vec![("conn", ArgValue::UInt(conn_id))]);
+}
+
+/// Handle one frame. Returns false when the connection should close.
+fn handle_frame(
+    payload: &str,
+    conn_id: u64,
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> bool {
+    let req = match parse(payload) {
+        Ok(v) => v,
+        Err(e) => {
+            send_response(writer, &error_response(codes::BAD_JSON, &e, None));
+            return true; // framing is intact; keep the connection
+        }
+    };
+    let id = req.get("id").cloned();
+    let Some(ty) = req.get("type").and_then(Json::as_str).map(str::to_string) else {
+        let resp = error_response(codes::BAD_REQUEST, "missing string field `type`", id.as_ref());
+        send_response(writer, &resp);
+        return true;
+    };
+    match ty.as_str() {
+        // Control-plane requests answer inline, bypassing the queue: they
+        // must work even when the queue is saturated.
+        "ping" => {
+            send_response(
+                writer,
+                &with_id(Json::obj(vec![("type", Json::str("pong"))]), id.as_ref()),
+            );
+            true
+        }
+        "stats" => {
+            send_response(writer, &with_id(stats_json(&shared.stats()), id.as_ref()));
+            true
+        }
+        "shutdown" => {
+            send_response(
+                writer,
+                &with_id(Json::obj(vec![("type", Json::str("shutting_down"))]), id.as_ref()),
+            );
+            shared.begin_shutdown();
+            true
+        }
+        "open_session" | "malloc" | "free" | "write" | "read" | "write_ptr" | "close"
+        | "parallel_for" | "parallel_reduce" | "sleep" => {
+            admit(req, ty, id, conn_id, shared, writer);
+            true
+        }
+        other => {
+            let resp = error_response(
+                codes::UNKNOWN_TYPE,
+                &format!("unknown request type `{other}`"),
+                id.as_ref(),
+            );
+            send_response(writer, &resp);
+            true
+        }
+    }
+}
+
+/// Admit one data-plane request to the worker pool (or refuse it).
+fn admit(
+    req: Json,
+    ty: String,
+    id: Option<Json>,
+    conn_id: u64,
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let resp = error_response(codes::SHUTTING_DOWN, "server is draining", id.as_ref());
+        send_response(writer, &resp);
+        return;
+    }
+    let deadline_ms = match req.get("deadline_ms") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(ms) => Some(ms),
+            None => {
+                let resp = error_response(
+                    codes::BAD_REQUEST,
+                    "`deadline_ms` must be a non-negative integer",
+                    id.as_ref(),
+                );
+                send_response(writer, &resp);
+                return;
+            }
+        },
+    };
+    let admitted_at = Instant::now();
+    let reject_id = id.clone();
+    let job = {
+        let shared = Arc::clone(shared);
+        let writer = Arc::clone(writer);
+        move || {
+            let resp = if deadline_ms
+                .is_some_and(|ms| admitted_at.elapsed() >= Duration::from_millis(ms))
+            {
+                shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                shared.tracer.instant(
+                    Track::Server,
+                    "deadline_exceeded",
+                    vec![("request", ArgValue::Str(ty.clone()))],
+                );
+                error_response(
+                    codes::DEADLINE_EXCEEDED,
+                    "request exceeded its deadline in the admission queue",
+                    id.as_ref(),
+                )
+            } else {
+                match execute(&req, &ty, conn_id, &shared) {
+                    Ok(resp) => with_id(resp, id.as_ref()),
+                    Err((code, msg)) => error_response(code, &msg, id.as_ref()),
+                }
+            };
+            send_response(&writer, &resp);
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let submitted = shared
+        .pool
+        .lock()
+        .unwrap()
+        .as_ref()
+        .map_or(Err(SubmitError::Closed), |p| p.try_submit(job));
+    match submitted {
+        Ok(()) => {
+            shared.admitted.fetch_add(1, Ordering::Relaxed);
+            shared.tracer.instant(Track::Server, "admit", Vec::new());
+            let depth = shared.pool.lock().unwrap().as_ref().map_or(0, TaskPool::queued);
+            shared.tracer.counter(Track::Server, "queue_depth", depth as f64);
+        }
+        Err(SubmitError::Full) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.tracer.instant(Track::Server, "overloaded", Vec::new());
+            let mut fields = vec![("type".to_string(), Json::str("overloaded"))];
+            if let Some(id) = &reject_id {
+                fields.push(("id".to_string(), id.clone()));
+            }
+            send_response(writer, &Json::Obj(fields));
+        }
+        Err(SubmitError::Closed) => {
+            let resp =
+                error_response(codes::SHUTTING_DOWN, "server is draining", reject_id.as_ref());
+            send_response(writer, &resp);
+        }
+    }
+}
+
+/// Execute one admitted request on a worker thread.
+fn execute(
+    req: &Json,
+    ty: &str,
+    conn_id: u64,
+    shared: &Arc<Shared>,
+) -> Result<Json, (&'static str, String)> {
+    match ty {
+        "sleep" => {
+            let ms = field_u64(req, "ms")?.min(MAX_SLEEP_MS);
+            thread::sleep(Duration::from_millis(ms));
+            Ok(Json::obj(vec![("type", Json::str("ok"))]))
+        }
+        "open_session" => open_session(req, conn_id, shared),
+        "close" => {
+            let sid = field_u64(req, "session")?;
+            let removed = shared.sessions.lock().unwrap().remove(&sid);
+            if removed.is_none() {
+                return Err((codes::NO_SUCH_SESSION, format!("no session {sid}")));
+            }
+            shared.tracer.instant(
+                Track::Server,
+                "session_close",
+                vec![("session", ArgValue::UInt(sid))],
+            );
+            Ok(Json::obj(vec![("type", Json::str("closed"))]))
+        }
+        _ => {
+            let sid = field_u64(req, "session")?;
+            let session = shared
+                .sessions
+                .lock()
+                .unwrap()
+                .get(&sid)
+                .cloned()
+                .ok_or((codes::NO_SUCH_SESSION, format!("no session {sid}")))?;
+            let mut session = session.lock().unwrap();
+            session_op(req, ty, &mut session.cc)
+        }
+    }
+}
+
+fn open_session(
+    req: &Json,
+    conn_id: u64,
+    shared: &Arc<Shared>,
+) -> Result<Json, (&'static str, String)> {
+    let source = req
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or((codes::BAD_REQUEST, "missing string field `source`".to_string()))?;
+    let system = match req.get("system").and_then(Json::as_str).unwrap_or("ultrabook") {
+        "ultrabook" => SystemConfig::ultrabook(),
+        "desktop" => SystemConfig::desktop(),
+        other => {
+            return Err((
+                codes::BAD_REQUEST,
+                format!("unknown system `{other}` (expected ultrabook|desktop)"),
+            ))
+        }
+    };
+    let eus = system.gpu.eus;
+    let gpu_config = match req.get("gpu_config").and_then(Json::as_str).unwrap_or("all") {
+        "baseline" => concord_compiler::GpuConfig::baseline(eus),
+        "ptropt" => concord_compiler::GpuConfig::ptropt(eus),
+        "l3opt" => concord_compiler::GpuConfig::l3opt(eus),
+        "all" => concord_compiler::GpuConfig::all(eus),
+        other => {
+            return Err((
+                codes::BAD_REQUEST,
+                format!("unknown gpu_config `{other}` (expected baseline|ptropt|l3opt|all)"),
+            ))
+        }
+    };
+    let region_bytes = match req.get("region_bytes") {
+        None => Options::default().region_bytes,
+        Some(v) => v.as_u64().filter(|&b| b > 0 && b <= MAX_REGION_BYTES).ok_or((
+            codes::BAD_REQUEST,
+            format!("`region_bytes` must be in 1..={MAX_REGION_BYTES}"),
+        ))?,
+    };
+    // Informational only (a concurrent open may racily insert between the
+    // probe and the build); exact totals come from the cache counters.
+    let cache_hit = shared.cache.contains(source, gpu_config);
+    let opts = Options { region_bytes, gpu_config: Some(gpu_config), ..Options::default() };
+    let cc = Concord::new_with_cache(system, source, opts, &shared.cache).map_err(runtime_error)?;
+    let sid = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    shared
+        .sessions
+        .lock()
+        .unwrap()
+        .insert(sid, Arc::new(Mutex::new(Session { cc, owner_conn: conn_id })));
+    shared.tracer.instant(
+        Track::Server,
+        "session_open",
+        vec![("session", ArgValue::UInt(sid)), ("cache_hit", ArgValue::Bool(cache_hit))],
+    );
+    Ok(Json::obj(vec![
+        ("type", Json::str("session")),
+        ("session", sid.into()),
+        ("cache_hit", cache_hit.into()),
+        ("source_hash", format!("{:016x}", concord_runtime::source_hash(source)).into()),
+    ]))
+}
+
+/// Region and launch operations against one locked session.
+fn session_op(req: &Json, ty: &str, cc: &mut Concord) -> Result<Json, (&'static str, String)> {
+    match ty {
+        "malloc" => {
+            let bytes = field_u64(req, "bytes")?;
+            let addr = cc.malloc(bytes).map_err(runtime_error)?;
+            Ok(Json::obj(vec![("type", Json::str("addr")), ("addr", addr.0.into())]))
+        }
+        "free" => {
+            let addr = field_u64(req, "addr")?;
+            cc.free(CpuAddr(addr)).map_err(runtime_error)?;
+            Ok(Json::obj(vec![("type", Json::str("ok"))]))
+        }
+        "write" => {
+            let addr = field_u64(req, "addr")?;
+            let hex = req
+                .get("hex")
+                .and_then(Json::as_str)
+                .ok_or((codes::BAD_REQUEST, "missing string field `hex`".to_string()))?;
+            let bytes = from_hex(hex).map_err(|e| (codes::BAD_REQUEST, e))?;
+            cc.region_mut()
+                .write_bytes(addr, concord_ir::types::AddrSpace::Cpu, &bytes)
+                .map_err(|t| (codes::REGION_FAULT, t.to_string()))?;
+            Ok(Json::obj(vec![("type", Json::str("ok"))]))
+        }
+        "read" => {
+            let addr = field_u64(req, "addr")?;
+            let len = field_u64(req, "len")?;
+            if len > MAX_READ_BYTES {
+                return Err((
+                    codes::BAD_REQUEST,
+                    format!("`len` exceeds the {MAX_READ_BYTES}-byte read limit"),
+                ));
+            }
+            let bytes = cc
+                .region()
+                .read_bytes(addr, concord_ir::types::AddrSpace::Cpu, len)
+                .map_err(|t| (codes::REGION_FAULT, t.to_string()))?;
+            let hex = to_hex(bytes);
+            Ok(Json::obj(vec![("type", Json::str("data")), ("hex", hex.into())]))
+        }
+        "write_ptr" => {
+            let addr = field_u64(req, "addr")?;
+            let target = field_u64(req, "target")?;
+            cc.region_mut()
+                .write_ptr(CpuAddr(addr), CpuAddr(target))
+                .map_err(|t| (codes::REGION_FAULT, t.to_string()))?;
+            Ok(Json::obj(vec![("type", Json::str("ok"))]))
+        }
+        "parallel_for" | "parallel_reduce" => {
+            let class = req
+                .get("class")
+                .and_then(Json::as_str)
+                .ok_or((codes::BAD_REQUEST, "missing string field `class`".to_string()))?;
+            let body = field_u64(req, "body")?;
+            let n = u32::try_from(field_u64(req, "n")?)
+                .map_err(|_| (codes::BAD_REQUEST, "`n` exceeds u32".to_string()))?;
+            let target_str = req.get("target").and_then(Json::as_str).unwrap_or("auto");
+            let target = Target::parse(target_str).ok_or((
+                codes::BAD_REQUEST,
+                format!("bad target `{target_str}` (expected cpu|gpu|auto|hybrid[:f])"),
+            ))?;
+            let report = if ty == "parallel_for" {
+                cc.parallel_for_hetero(class, CpuAddr(body), n, target)
+            } else {
+                cc.parallel_reduce_hetero(class, CpuAddr(body), n, target)
+            }
+            .map_err(runtime_error)?;
+            Ok(Json::obj(vec![("type", Json::str("report")), ("report", report_json(&report))]))
+        }
+        _ => unreachable!("dispatch covers every admitted type"),
+    }
+}
+
+/// A launch report as a JSON object (field names mirror [`OffloadReport`]).
+#[must_use]
+pub fn report_json(r: &OffloadReport) -> Json {
+    Json::obj(vec![
+        ("jit_seconds", r.jit_seconds.into()),
+        ("exec_seconds", r.exec_seconds.into()),
+        ("joules", r.joules.into()),
+        ("on_gpu", r.on_gpu.into()),
+        ("fell_back", r.fell_back.into()),
+        ("translations", r.translations.into()),
+        ("transactions", r.transactions.into()),
+        ("contended", r.contended.into()),
+        ("busy_fraction", r.busy_fraction.into()),
+        ("l3_hit_rate", r.l3_hit_rate.into()),
+        ("insts", r.insts.into()),
+    ])
+}
+
+/// A stats snapshot as a JSON response.
+#[must_use]
+pub fn stats_json(s: &ServerStats) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("stats")),
+        ("sessions", s.sessions.into()),
+        ("cache_entries", s.cache_entries.into()),
+        ("cache_hits", s.cache_hits.into()),
+        ("cache_misses", s.cache_misses.into()),
+        ("queued", s.queued.into()),
+        ("admitted", s.admitted.into()),
+        ("completed", s.completed.into()),
+        ("rejected", s.rejected.into()),
+        ("deadline_missed", s.deadline_missed.into()),
+        ("connections", s.connections.into()),
+    ])
+}
+
+fn field_u64(req: &Json, name: &str) -> Result<u64, (&'static str, String)> {
+    req.get(name)
+        .and_then(Json::as_u64)
+        .ok_or((codes::BAD_REQUEST, format!("missing or non-integer field `{name}`")))
+}
+
+fn runtime_error(e: RuntimeError) -> (&'static str, String) {
+    let code = match &e {
+        RuntimeError::Compile(_) => codes::COMPILE_ERROR,
+        RuntimeError::Alloc(_) => codes::ALLOC_FAILED,
+        RuntimeError::Trap(_) => codes::TRAP,
+        RuntimeError::NoSuchKernel(_) => codes::NO_SUCH_KERNEL,
+        RuntimeError::NoJoin(_) => codes::NO_JOIN,
+    };
+    (code, e.to_string())
+}
+
+fn send_response(writer: &Arc<Mutex<TcpStream>>, resp: &Json) {
+    // A vanished peer is not a server error: the write result is dropped
+    // and the reader loop notices the closed socket on its side.
+    let mut w = writer.lock().unwrap();
+    let _ = send(&mut *w, resp);
+}

@@ -1,0 +1,70 @@
+//! Minimal SIGINT/SIGTERM latching for the daemon binary.
+//!
+//! The workspace is std-only, so instead of a signal-handling crate this
+//! registers a trivial `extern "C"` handler through the C `signal(2)`
+//! entry point that sets an atomic flag. The daemon's main loop polls
+//! [`triggered`] and runs the normal graceful drain — the handler itself
+//! does nothing async-signal-unsafe.
+//!
+//! On non-Unix targets [`install`] is a no-op; the `shutdown` protocol
+//! frame remains the portable way to stop a server.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has arrived since [`install`].
+#[must_use]
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Latch the flag manually — lets tests and the `shutdown` frame share the
+/// daemon's signal path.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        super::TRIGGERED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install handlers for SIGINT and SIGTERM (no-op off Unix). Safe to call
+/// more than once.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_latches() {
+        install();
+        trigger();
+        assert!(triggered());
+    }
+}

@@ -1,0 +1,167 @@
+//! Protocol-robustness tests: hostile and malformed input must yield
+//! structured error responses — never a panic, never a wedged connection.
+
+mod common;
+
+use common::{code, start_server, ty, RawConn, DOUBLE, SUM};
+use concord_serve::json::Json;
+use concord_serve::protocol::MAX_FRAME;
+use concord_serve::{Client, Launch, SessionHandle, SessionOptions};
+
+#[test]
+fn truncated_frame_yields_error_then_close() {
+    let server = start_server(1, 4);
+    let mut conn = RawConn::connect(server.addr());
+    // Header promises 100 bytes; deliver 3 and vanish.
+    let mut bytes = 100u32.to_be_bytes().to_vec();
+    bytes.extend_from_slice(b"abc");
+    conn.send_bytes(&bytes);
+    conn.shutdown_write();
+    let resp = conn.recv().expect("structured error before close");
+    assert_eq!(ty(&resp), "error");
+    assert_eq!(code(&resp), "truncated_frame");
+    assert!(conn.recv().is_none(), "connection closed after framing error");
+    assert!(server.stats().connections >= 1, "server survived");
+    server.join();
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_without_allocation() {
+    let server = start_server(1, 4);
+    let mut conn = RawConn::connect(server.addr());
+    conn.send_bytes(&(MAX_FRAME + 1).to_be_bytes());
+    let resp = conn.recv().expect("structured error before close");
+    assert_eq!(code(&resp), "oversized_frame");
+    assert!(conn.recv().is_none());
+    // The server is still fully operational for the next client.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client.ping().is_ok());
+    server.join();
+}
+
+#[test]
+fn invalid_utf8_payload_yields_error() {
+    let server = start_server(1, 4);
+    let mut conn = RawConn::connect(server.addr());
+    let mut bytes = 4u32.to_be_bytes().to_vec();
+    bytes.extend_from_slice(&[0xff, 0xfe, 0x80, 0x00]);
+    conn.send_bytes(&bytes);
+    let resp = conn.recv().expect("structured error before close");
+    assert_eq!(code(&resp), "bad_utf8");
+    assert!(conn.recv().is_none());
+    server.join();
+}
+
+#[test]
+fn malformed_json_keeps_the_connection_usable() {
+    let server = start_server(1, 4);
+    let mut conn = RawConn::connect(server.addr());
+    conn.send("this is not json");
+    let resp = conn.recv().expect("error response");
+    assert_eq!(code(&resp), "bad_json");
+    // Framing was intact, so the connection keeps working.
+    conn.send(r#"{"type":"ping","id":1}"#);
+    assert_eq!(ty(&conn.recv_id(1)), "pong");
+    server.join();
+}
+
+#[test]
+fn unknown_and_missing_types_are_structured_errors() {
+    let server = start_server(1, 4);
+    let mut conn = RawConn::connect(server.addr());
+    conn.send(r#"{"type":"frobnicate","id":7}"#);
+    let resp = conn.recv_id(7);
+    assert_eq!(code(&resp), "unknown_type");
+    conn.send(r#"{"no_type_here":true,"id":8}"#);
+    let resp = conn.recv_id(8);
+    assert_eq!(code(&resp), "bad_request");
+    conn.send(r#"{"type":"sleep","ms":1,"deadline_ms":"soon","id":9}"#);
+    let resp = conn.recv_id(9);
+    assert_eq!(code(&resp), "bad_request");
+    server.join();
+}
+
+#[test]
+fn session_and_launch_errors_come_back_typed() {
+    let server = start_server(1, 8);
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Operating on a session that never existed.
+    let err = client.malloc(999, 8).unwrap_err();
+    assert_eq!(err.code(), Some("no_such_session"));
+    // Source that does not compile.
+    let err = client
+        .open_session("class Broken { this is not the kernel language", &SessionOptions::default())
+        .unwrap_err();
+    assert_eq!(err.code(), Some("compile_error"));
+    // A healthy session, then launch-level failures.
+    let s = client.open_session(DOUBLE, &SessionOptions::default()).unwrap();
+    let body = client.malloc(s.session, 16).unwrap();
+    let err = client.parallel_for(s.session, &Launch::new("Nope", body, 4)).unwrap_err();
+    assert_eq!(err.code(), Some("no_such_kernel"));
+    let err = client.parallel_reduce(s.session, &Launch::new("Double", body, 4)).unwrap_err();
+    assert_eq!(err.code(), Some("no_join"), "Double has no join method");
+    let err = client
+        .parallel_for(s.session, &Launch::new("Double", body, 4).target("warp9"))
+        .unwrap_err();
+    assert_eq!(err.code(), Some("bad_request"));
+    // The connection survived every error.
+    assert!(client.ping().is_ok());
+    server.join();
+}
+
+#[test]
+fn region_faults_and_bad_payloads_are_rejected() {
+    let server = start_server(1, 8);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let s = client.open_session(SUM, &SessionOptions::default()).unwrap();
+    // Out-of-bounds read faults instead of leaking server memory. (The
+    // address stays below 2^53 — larger integers are not representable on
+    // the wire and would be refused as bad_request instead.)
+    let err = client.read(s.session, 1 << 40, 8).unwrap_err();
+    assert_eq!(err.code(), Some("region_fault"));
+    // Null write faults.
+    let err = client.write(s.session, 0, &[1]).unwrap_err();
+    assert_eq!(err.code(), Some("region_fault"));
+    // Oversized read is refused before touching the region.
+    let addr = client.malloc(s.session, 64).unwrap();
+    let err = client.read(s.session, addr, u64::from(MAX_FRAME)).unwrap_err();
+    assert_eq!(err.code(), Some("bad_request"));
+    // Bad hex payload (raw call: the client API cannot produce this).
+    let err = client
+        .call(Json::obj(vec![
+            ("type", Json::str("write")),
+            ("session", s.session.into()),
+            ("addr", addr.into()),
+            ("hex", Json::str("zz")),
+        ]))
+        .unwrap_err();
+    assert_eq!(err.code(), Some("bad_request"));
+    // Bogus session parameters are refused at open.
+    let opts =
+        SessionOptions { system: Some("mainframe".to_string()), ..SessionOptions::default() };
+    let err = client.open_session(DOUBLE, &opts).unwrap_err();
+    assert_eq!(err.code(), Some("bad_request"));
+    let opts = SessionOptions { region_bytes: Some(u64::MAX), ..SessionOptions::default() };
+    let err = client.open_session(DOUBLE, &opts).unwrap_err();
+    assert_eq!(err.code(), Some("bad_request"));
+    assert!(client.ping().is_ok());
+    server.join();
+}
+
+#[test]
+fn kernel_trap_is_reported_not_fatal() {
+    let server = start_server(1, 8);
+    let mut s = SessionHandle::connect(server.addr(), DOUBLE, &SessionOptions::default()).unwrap();
+    // A body whose `out` pointer is null makes the kernel trap on its
+    // first store; the session (and server) must survive.
+    let body = s.malloc(16).unwrap();
+    let err = s.parallel_for(&Launch::new("Double", body, 4).target("cpu")).unwrap_err();
+    assert_eq!(err.code(), Some("trap"), "got: {err}");
+    // Same session still works once the body is valid.
+    let out = s.malloc(4 * 4).unwrap();
+    s.write_ptr(body, out).unwrap();
+    let report = s.parallel_for(&Launch::new("Double", body, 4).target("cpu")).unwrap();
+    assert!(report.exec_seconds > 0.0);
+    assert_eq!(s.read_i32(out + 8).unwrap(), 5, "out[2] = 2*2+1");
+    server.join();
+}

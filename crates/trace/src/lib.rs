@@ -49,12 +49,22 @@ pub enum Track {
     /// Hybrid-scheduler decisions: device splits, probe rounds, rebalances
     /// (host clock).
     Sched,
+    /// Offload-service events: connections, admissions, queue depth,
+    /// artifact-cache hits, drains (host clock; see `concord-serve`).
+    Server,
 }
 
 impl Track {
     /// All tracks, in export order.
-    pub const ALL: [Track; 6] =
-        [Track::Compiler, Track::Runtime, Track::GpuSim, Track::CpuSim, Track::Svm, Track::Sched];
+    pub const ALL: [Track; 7] = [
+        Track::Compiler,
+        Track::Runtime,
+        Track::GpuSim,
+        Track::CpuSim,
+        Track::Svm,
+        Track::Sched,
+        Track::Server,
+    ];
 
     /// Stable display name (also the Chrome thread name).
     pub fn name(self) -> &'static str {
@@ -65,6 +75,7 @@ impl Track {
             Track::CpuSim => "cpusim",
             Track::Svm => "svm",
             Track::Sched => "sched",
+            Track::Server => "server",
         }
     }
 
@@ -77,6 +88,7 @@ impl Track {
             Track::CpuSim => 4,
             Track::Svm => 5,
             Track::Sched => 6,
+            Track::Server => 7,
         }
     }
 
