@@ -34,6 +34,28 @@ echo "==> serve loopback battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
 timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-serve --test loopback
 timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-serve --test loopback
 
+echo "==> concord-lint: builtin workloads vs lint-expected.txt snapshot"
+# Every shipped workload must analyze clean (or match the reviewed
+# snapshot of known benign warnings). Exit 1 means a new finding or an
+# error-severity diagnostic crept into the suite.
+cargo run --release --quiet -p concord-bench --bin concord-lint -- \
+    --builtin --snapshot lint-expected.txt
+
+echo "==> concord-lint: deliberately racy fixture must be flagged"
+# Negative test: the race detector itself is under test. A clean exit on
+# the racy fixture means the analyzer has gone blind.
+if cargo run --release --quiet -p concord-bench --bin concord-lint -- \
+    crates/analyze/fixtures/racy_histogram.cc > /tmp/concord_ci_lint.log 2>&1; then
+    echo "!! concord-lint failed to flag the racy fixture" >&2
+    cat /tmp/concord_ci_lint.log
+    exit 1
+fi
+grep -q 'CA104' /tmp/concord_ci_lint.log || {
+    echo "!! racy fixture flagged, but not with the uniform-rmw lint (CA104)" >&2
+    cat /tmp/concord_ci_lint.log
+    exit 1
+}
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

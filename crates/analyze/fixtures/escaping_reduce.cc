@@ -1,0 +1,22 @@
+// Deliberately broken parallel_reduce body: the kernel publishes a
+// pointer to its per-worker accumulator (`&acc`) into shared memory.
+// parallel_reduce runs every worker on a private staged copy of the body
+// object, so the escaped pointer aliases state that the join step
+// assumes is isolated. The analyzer must flag CA105 (accumulator-escape)
+// at Error severity.
+struct Slot {
+    float* p;
+};
+class EscapingSum {
+public:
+    float* data;
+    Slot* slot;
+    float acc;
+    void operator()(int i) {
+        slot->p = &acc;
+        acc = acc + data[i];
+    }
+    void join(EscapingSum* other) {
+        acc = acc + other->acc;
+    }
+};

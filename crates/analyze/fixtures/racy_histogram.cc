@@ -1,0 +1,12 @@
+// Deliberately racy parallel_for body: every work item performs a
+// non-atomic read-modify-write of the same address (bins[0]), losing
+// updates under concurrency. The analyzer must flag CA104 (uniform-rmw)
+// at Error severity, and an `analysis = deny` gate must refuse to launch
+// this kernel.
+class RacyHistogram {
+public:
+    int* bins;
+    void operator()(int i) {
+        bins[0] = bins[0] + 1;
+    }
+};

@@ -1,0 +1,809 @@
+//! Index-affinity abstract interpretation over Concord IR.
+//!
+//! The analysis classifies every SSA value by two facts:
+//!
+//! * **Affinity** ([`Aff`]): how the value depends on the work-item id —
+//!   a known constant, uniform across work items, affine in the id with a
+//!   known byte stride, or unknown. Store addresses with affinity
+//!   `Affine(s)` where `|s| >=` the store width are provably disjoint
+//!   across work items; uniform addresses are provably *colliding*.
+//! * **Provenance** ([`Prov`]): where a pointer came from — the kernel
+//!   body object (`this`), shared SVM memory, a private `alloca`, or an
+//!   integer forged into a pointer (which SVM translation cannot adjust).
+//!
+//! Both lattices are tiny, so the per-function fixpoint converges in a
+//! handful of passes. Control-flow divergence is handled by tainting phi
+//! nodes in the postdominance join region of every branch whose condition
+//! is not work-item-uniform. Calls (including virtual calls, widened over
+//! the class hierarchy) are analyzed interprocedurally with memoization
+//! on the abstract argument tuple.
+
+use crate::diag::{Diagnostic, Lint, Severity};
+use crate::Mode;
+use concord_ir::analysis::{reverse_postorder, PostDomTree};
+use concord_ir::{BinOp, BlockId, CastOp, FuncId, Function, Intrinsic, Module, Op, Type, ValueId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// How a value relates to the work-item id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aff {
+    /// Optimistic initial state: no executions seen yet.
+    Bottom,
+    /// Known compile-time integer constant.
+    Const(i64),
+    /// The same value in every work item (not a known constant).
+    Uniform,
+    /// `base + scale * id` for a uniform `base`; the payload is the scale.
+    Affine(i64),
+    /// No provable relation to the work-item id.
+    Unknown,
+}
+
+impl Aff {
+    /// Whether the value is provably identical across work items.
+    /// `Bottom` counts: it only labels unreached code.
+    #[must_use]
+    pub fn is_uniform(self) -> bool {
+        matches!(self, Aff::Bottom | Aff::Const(_) | Aff::Uniform)
+    }
+
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(self, o: Aff) -> Aff {
+        use Aff::{Affine, Bottom, Const, Uniform, Unknown};
+        match (self, o) {
+            (Bottom, x) | (x, Bottom) => x,
+            (Unknown, _) | (_, Unknown) => Unknown,
+            (Const(a), Const(b)) if a == b => Const(a),
+            (Const(_) | Uniform, Const(_) | Uniform) => Uniform,
+            (Affine(a), Affine(b)) if a == b => Affine(a),
+            _ => Unknown,
+        }
+    }
+
+    fn add(self, o: Aff) -> Aff {
+        use Aff::{Affine, Bottom, Const, Uniform, Unknown};
+        match (self, o) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Const(a), Const(b)) => Const(a.wrapping_add(b)),
+            (Const(_) | Uniform, Const(_) | Uniform) => Uniform,
+            (Affine(s), x) | (x, Affine(s)) if x.is_uniform() => Affine(s),
+            (Affine(a), Affine(b)) => {
+                let s = a.wrapping_add(b);
+                if s == 0 {
+                    Uniform
+                } else {
+                    Affine(s)
+                }
+            }
+            _ => Unknown,
+        }
+    }
+
+    fn sub(self, o: Aff) -> Aff {
+        use Aff::{Affine, Const};
+        match (self, o) {
+            (Const(a), Const(b)) => Const(a.wrapping_sub(b)),
+            (a, Affine(s)) => a.add(Affine(s.wrapping_neg())),
+            _ => self.add(o),
+        }
+    }
+
+    fn mul(self, o: Aff) -> Aff {
+        use Aff::{Affine, Bottom, Const, Uniform, Unknown};
+        match (self, o) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Const(a), Const(b)) => Const(a.wrapping_mul(b)),
+            (Const(0), _) | (_, Const(0)) => Const(0),
+            (Const(k), Affine(s)) | (Affine(s), Const(k)) => Affine(k.wrapping_mul(s)),
+            (Const(_) | Uniform, Const(_) | Uniform) => Uniform,
+            _ => Unknown,
+        }
+    }
+
+    fn shl(self, o: Aff) -> Aff {
+        use Aff::{Affine, Bottom, Const, Uniform};
+        match (self, o) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Const(a), Const(k)) if (0..63).contains(&k) => Const(a.wrapping_shl(k as u32)),
+            (Affine(s), Const(k)) if (0..63).contains(&k) => Affine(s.wrapping_shl(k as u32)),
+            (a, b) if a.is_uniform() && b.is_uniform() => Uniform,
+            _ => Aff::Unknown,
+        }
+    }
+
+    /// Fallback for operations with no affine transfer: uniform inputs
+    /// give a uniform output, anything else is unknown.
+    fn opaque(self, o: Aff) -> Aff {
+        use Aff::{Bottom, Uniform, Unknown};
+        match (self, o) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (a, b) if a.is_uniform() && b.is_uniform() => Uniform,
+            _ => Unknown,
+        }
+    }
+}
+
+/// Where a pointer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Prov {
+    /// Optimistic initial state.
+    Bottom,
+    /// Not a pointer (plain data).
+    NotPtr,
+    /// The kernel body object (`this`) or a field address within it.
+    This,
+    /// Shared SVM memory: loaded from memory, allocated by the runtime.
+    Shared,
+    /// A private `alloca` (work-item-local scratch; never shared).
+    Private,
+    /// Forged from a non-pointer integer via `inttoptr` — SVM pointer
+    /// translation (PTROPT) cannot adjust such a value.
+    Foreign,
+    /// Could be anything.
+    Unknown,
+}
+
+impl Prov {
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(self, o: Prov) -> Prov {
+        match (self, o) {
+            (Prov::Bottom, x) | (x, Prov::Bottom) => x,
+            (a, b) if a == b => a,
+            _ => Prov::Unknown,
+        }
+    }
+
+    /// Whether the value carries pointer pedigree (so casting it to a
+    /// pointer is not a forgery).
+    #[must_use]
+    pub fn is_pointerlike(self) -> bool {
+        matches!(self, Prov::This | Prov::Shared | Prov::Private | Prov::Foreign | Prov::Unknown)
+    }
+}
+
+/// Abstract value: affinity plus provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbsVal {
+    /// Work-item affinity.
+    pub aff: Aff,
+    /// Pointer provenance.
+    pub prov: Prov,
+}
+
+impl AbsVal {
+    /// Optimistic initial state.
+    pub const BOTTOM: AbsVal = AbsVal { aff: Aff::Bottom, prov: Prov::Bottom };
+    /// Fully unknown.
+    pub const UNKNOWN: AbsVal = AbsVal { aff: Aff::Unknown, prov: Prov::Unknown };
+
+    const fn data(aff: Aff) -> AbsVal {
+        AbsVal { aff, prov: Prov::NotPtr }
+    }
+
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(self, o: AbsVal) -> AbsVal {
+        AbsVal { aff: self.aff.join(o.aff), prov: self.prov.join(o.prov) }
+    }
+}
+
+/// Recursion / context-explosion bound for the interprocedural walk.
+const MAX_CALL_DEPTH: usize = 40;
+/// Safety cap on fixpoint iterations (the lattice converges far sooner).
+const MAX_FIXPOINT_ITERS: usize = 100;
+
+/// The interprocedural analyzer. One instance analyzes one kernel entry
+/// point (plus everything it reaches) under one launch [`Mode`].
+pub(crate) struct Analyzer<'m> {
+    module: &'m Module,
+    mode: Mode,
+    /// Memoized return values keyed by (function, abstract arguments).
+    returns: HashMap<(FuncId, Vec<AbsVal>), AbsVal>,
+    /// Call keys currently on the walk stack (recursion detection).
+    in_progress: HashSet<(FuncId, Vec<AbsVal>)>,
+    depth: usize,
+    /// Accumulated findings across all analyzed functions.
+    pub(crate) diags: Vec<Diagnostic>,
+}
+
+impl<'m> Analyzer<'m> {
+    pub(crate) fn new(module: &'m Module, mode: Mode) -> Self {
+        Analyzer {
+            module,
+            mode,
+            returns: HashMap::new(),
+            in_progress: HashSet::new(),
+            depth: 0,
+            diags: Vec::new(),
+        }
+    }
+
+    /// Analyze the kernel entry function with the launch-convention
+    /// parameter seeding: param 0 is the body object (`this`), param 1 the
+    /// work-item index.
+    pub(crate) fn run_kernel(&mut self, func: FuncId) {
+        let f = self.module.function(func);
+        let this_aff = match self.mode {
+            // `parallel_for` shares one body object across all work items.
+            Mode::For => Aff::Uniform,
+            // `parallel_reduce` runs each worker on its own staged copy.
+            Mode::Reduce => Aff::Unknown,
+        };
+        let mut args = vec![AbsVal { aff: this_aff, prov: Prov::This }];
+        if f.params.len() > 1 {
+            args.push(AbsVal::data(Aff::Affine(1)));
+        }
+        while args.len() < f.params.len() {
+            args.push(AbsVal::UNKNOWN);
+        }
+        self.call(func, args);
+    }
+
+    /// Analyze `func` under abstract arguments `args`, returning the
+    /// abstract return value. Memoized; recursion and excessive context
+    /// depth degrade to [`AbsVal::UNKNOWN`].
+    fn call(&mut self, func: FuncId, args: Vec<AbsVal>) -> AbsVal {
+        let key = (func, args);
+        if let Some(&ret) = self.returns.get(&key) {
+            return ret;
+        }
+        if self.depth >= MAX_CALL_DEPTH || self.in_progress.contains(&key) {
+            return AbsVal::UNKNOWN;
+        }
+        self.in_progress.insert(key.clone());
+        self.depth += 1;
+        let ret = self.analyze_function(func, &key.1);
+        self.depth -= 1;
+        self.in_progress.remove(&key);
+        self.returns.insert(key, ret);
+        ret
+    }
+
+    /// Per-function fixpoint plus the lint check pass.
+    fn analyze_function(&mut self, func: FuncId, args: &[AbsVal]) -> AbsVal {
+        let f = self.module.function(func);
+        let rpo = reverse_postorder(f);
+        let pdt = PostDomTree::compute(f);
+        let preds = f.predecessors();
+        let mut vals = vec![AbsVal::BOTTOM; f.insts.len()];
+        for _ in 0..MAX_FIXPOINT_ITERS {
+            let tainted = divergent_joins(f, &vals, &pdt, &preds);
+            let mut changed = false;
+            for &b in &rpo {
+                for &v in &f.block(b).insts {
+                    let cur = vals[v.0 as usize];
+                    let next = cur.join(self.transfer(f, b, v, &vals, args, &tainted));
+                    if next != cur {
+                        vals[v.0 as usize] = next;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.check(func, f, &vals);
+        // Abstract return value: join over all `ret` operands.
+        let mut ret = AbsVal::BOTTOM;
+        for b in f.block_ids() {
+            if let Some(t) = f.terminator(b) {
+                if let Op::Ret(Some(v)) = &f.inst(t).op {
+                    ret = ret.join(vals[v.0 as usize]);
+                }
+            }
+        }
+        if ret == AbsVal::BOTTOM {
+            AbsVal::UNKNOWN
+        } else {
+            ret
+        }
+    }
+
+    /// Abstract transfer function for one instruction.
+    #[allow(clippy::too_many_lines)]
+    fn transfer(
+        &mut self,
+        f: &Function,
+        block: BlockId,
+        v: ValueId,
+        vals: &[AbsVal],
+        args: &[AbsVal],
+        tainted: &HashSet<BlockId>,
+    ) -> AbsVal {
+        let get = |x: ValueId| vals[x.0 as usize];
+        let inst = f.inst(v);
+        match &inst.op {
+            Op::Param(i) => args.get(*i as usize).copied().unwrap_or(AbsVal::UNKNOWN),
+            Op::ConstInt(k) => AbsVal::data(Aff::Const(*k)),
+            Op::ConstFloat(_) => AbsVal::data(Aff::Uniform),
+            // Null is one fixed address; treat it as a (harmless) shared
+            // pointer so guarded `p != null` paths analyze cleanly.
+            Op::ConstNull => AbsVal { aff: Aff::Uniform, prov: Prov::Shared },
+            Op::Bin(op, a, b) => {
+                let (va, vb) = (get(*a), get(*b));
+                let aff = match op {
+                    BinOp::Add | BinOp::FAdd => va.aff.add(vb.aff),
+                    BinOp::Sub | BinOp::FSub => va.aff.sub(vb.aff),
+                    BinOp::Mul | BinOp::FMul => va.aff.mul(vb.aff),
+                    BinOp::Shl => va.aff.shl(vb.aff),
+                    _ => va.aff.opaque(vb.aff),
+                };
+                AbsVal { aff, prov: bin_prov(va.prov, vb.prov) }
+            }
+            Op::Icmp(_, a, b) | Op::Fcmp(_, a, b) => AbsVal::data(get(*a).aff.opaque(get(*b).aff)),
+            Op::Cast(op, x) => {
+                let vx = get(*x);
+                match op {
+                    // Width changes and pointer<->int punning preserve both
+                    // facts (provenance rides through integers so a
+                    // ptrtoint/inttoptr round trip is not a forgery).
+                    CastOp::Zext | CastOp::Sext | CastOp::Trunc | CastOp::PtrToInt => vx,
+                    CastOp::IntToPtr => AbsVal {
+                        aff: vx.aff,
+                        prov: if vx.prov.is_pointerlike() { vx.prov } else { Prov::Foreign },
+                    },
+                    CastOp::PtrCast => vx,
+                    CastOp::FpToSi | CastOp::SiToFp | CastOp::FpCast => {
+                        AbsVal::data(if vx.aff.is_uniform() { Aff::Uniform } else { Aff::Unknown })
+                    }
+                }
+            }
+            Op::Select(c, a, b) => {
+                let joined = get(*a).join(get(*b));
+                if get(*c).aff.is_uniform() {
+                    joined
+                } else {
+                    // Work-item-dependent selection of either arm.
+                    AbsVal {
+                        aff: match joined.aff {
+                            k @ Aff::Const(_) => k,
+                            _ => Aff::Unknown,
+                        },
+                        prov: joined.prov,
+                    }
+                }
+            }
+            Op::Alloca { .. } => AbsVal { aff: Aff::Uniform, prov: Prov::Private },
+            Op::Load(p) => self.load_result(inst.ty, get(*p)),
+            Op::Gep { base, offset } => {
+                let (vb, vo) = (get(*base), get(*offset));
+                AbsVal { aff: vb.aff.add(vo.aff), prov: vb.prov }
+            }
+            Op::CpuToGpu(x) | Op::GpuToCpu(x) => get(*x),
+            Op::Phi(incoming) => {
+                let mut out = AbsVal::BOTTOM;
+                for (_, x) in incoming {
+                    out = out.join(get(*x));
+                }
+                if tainted.contains(&block) {
+                    // Merged under divergent control flow: the chosen arm
+                    // differs per work item. Identical constants survive.
+                    out.aff = match out.aff {
+                        k @ (Aff::Const(_) | Aff::Bottom) => k,
+                        _ => Aff::Unknown,
+                    };
+                }
+                out
+            }
+            Op::Call { callee, args: call_args } => {
+                let vs: Vec<AbsVal> = call_args.iter().map(|&a| get(a)).collect();
+                self.call(*callee, vs)
+            }
+            Op::CallVirtual { static_class, slot, obj, args: call_args } => {
+                // Class-hierarchy widening: join over every possible
+                // override of the slot among subclasses of the static type.
+                let mut vs = vec![get(*obj)];
+                vs.extend(call_args.iter().map(|&a| get(a)));
+                let mut out = AbsVal::BOTTOM;
+                let mut any = false;
+                for c in self.module.subclasses_of(*static_class) {
+                    if let Some(&target) = self.module.class(c).vtable.get(*slot as usize) {
+                        out = out.join(self.call(target, vs.clone()));
+                        any = true;
+                    }
+                }
+                if any {
+                    out
+                } else {
+                    AbsVal::UNKNOWN
+                }
+            }
+            Op::IntrinsicCall(i, call_args) => match i {
+                Intrinsic::GlobalId => AbsVal::data(Aff::Affine(1)),
+                Intrinsic::GlobalSize => AbsVal::data(Aff::Uniform),
+                Intrinsic::LocalId | Intrinsic::GroupId => AbsVal::data(Aff::Unknown),
+                Intrinsic::AtomicAddI32 | Intrinsic::AtomicMinI32 | Intrinsic::AtomicCasI32 => {
+                    AbsVal::data(Aff::Unknown)
+                }
+                Intrinsic::DeviceMalloc => AbsVal { aff: Aff::Unknown, prov: Prov::Shared },
+                Intrinsic::Barrier => AbsVal::data(Aff::Uniform),
+                _ => {
+                    // Pure math: uniform in, uniform out.
+                    let uniform = call_args.iter().all(|&a| get(a).aff.is_uniform());
+                    AbsVal::data(if uniform { Aff::Uniform } else { Aff::Unknown })
+                }
+            },
+            Op::Store { .. } | Op::Br(_) | Op::CondBr(..) | Op::Ret(_) | Op::Unreachable => {
+                AbsVal::data(Aff::Uniform)
+            }
+        }
+    }
+
+    /// Abstract result of a load of type `ty` through pointer `p`.
+    fn load_result(&self, ty: Type, p: AbsVal) -> AbsVal {
+        let prov = if ty.is_ptr() { Prov::Shared } else { Prov::NotPtr };
+        let aff = if p.prov == Prov::This {
+            match self.mode {
+                // One shared body object: its fields read the same
+                // everywhere (cross-item field *writes* are flagged
+                // separately, so this stays precise for well-formed code).
+                Mode::For => Aff::Uniform,
+                // Staged per-worker copies: pointer fields mirror the
+                // original object, data fields accumulate per worker.
+                Mode::Reduce => {
+                    if ty.is_ptr() {
+                        Aff::Uniform
+                    } else {
+                        Aff::Unknown
+                    }
+                }
+            }
+        } else {
+            Aff::Unknown
+        };
+        AbsVal { aff, prov }
+    }
+
+    /// The lint check pass: runs once per analyzed (function, context).
+    fn check(&mut self, func: FuncId, f: &Function, vals: &[AbsVal]) {
+        for b in f.block_ids() {
+            for &v in &f.block(b).insts {
+                match &f.inst(v).op {
+                    Op::Store { ptr, val } => self.check_store(func, f, b, v, *ptr, *val, vals),
+                    Op::Load(p) if vals[p.0 as usize].prov == Prov::Foreign => {
+                        self.push(
+                            Lint::ForeignPointer,
+                            Severity::Warning,
+                            "load through a pointer forged from a plain integer; \
+                             SVM translation cannot adjust it"
+                                .to_string(),
+                            func,
+                            f,
+                            b,
+                            v,
+                        );
+                    }
+                    Op::IntrinsicCall(
+                        Intrinsic::AtomicAddI32 | Intrinsic::AtomicMinI32 | Intrinsic::AtomicCasI32,
+                        args,
+                    ) => {
+                        if let Some(&p) = args.first() {
+                            if vals[p.0 as usize].prov == Prov::Foreign {
+                                self.push(
+                                    Lint::ForeignPointer,
+                                    Severity::Warning,
+                                    "atomic on a pointer forged from a plain integer; \
+                                     SVM translation cannot adjust it"
+                                        .to_string(),
+                                    func,
+                                    f,
+                                    b,
+                                    v,
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_store(
+        &mut self,
+        func: FuncId,
+        f: &Function,
+        b: BlockId,
+        v: ValueId,
+        ptr: ValueId,
+        val: ValueId,
+        vals: &[AbsVal],
+    ) {
+        let pv = vals[ptr.0 as usize];
+        let vv = vals[val.0 as usize];
+        if pv.prov == Prov::Foreign {
+            self.push(
+                Lint::ForeignPointer,
+                Severity::Warning,
+                "store through a pointer forged from a plain integer; \
+                 SVM translation cannot adjust it"
+                    .to_string(),
+                func,
+                f,
+                b,
+                v,
+            );
+            return;
+        }
+        // Reduce isolation: a pointer into the per-worker body copy must
+        // not reach shared memory, or `join` semantics are compromised.
+        if self.mode == Mode::Reduce
+            && vv.prov == Prov::This
+            && !matches!(pv.prov, Prov::This | Prov::Private)
+        {
+            self.push(
+                Lint::AccumulatorEscape,
+                Severity::Error,
+                "pointer to per-worker reduce state is stored to shared memory; \
+                 the staged accumulator copies must not escape"
+                    .to_string(),
+                func,
+                f,
+                b,
+                v,
+            );
+            return;
+        }
+        // Private scratch is per-work-item by construction.
+        if pv.prov == Prov::Private {
+            return;
+        }
+        // In reduce mode each worker owns its body copy outright.
+        if self.mode == Mode::Reduce && pv.prov == Prov::This {
+            return;
+        }
+        let ty = f.inst(val).ty;
+        let width = if ty == Type::Void { 1 } else { ty.size() };
+        match pv.aff {
+            Aff::Affine(s) => {
+                if s.unsigned_abs() < width {
+                    self.push(
+                        Lint::OverlappingStores,
+                        Severity::Error,
+                        format!(
+                            "work-item address stride of {s} byte(s) is smaller than \
+                             the {width}-byte store width: adjacent work items overlap"
+                        ),
+                        func,
+                        f,
+                        b,
+                        v,
+                    );
+                }
+            }
+            Aff::Const(_) | Aff::Uniform | Aff::Bottom => {
+                if is_rmw(f, ptr, val) {
+                    self.push(
+                        Lint::UniformRmw,
+                        Severity::Error,
+                        "non-atomic read-modify-write of a work-item-uniform address: \
+                         updates are lost under concurrency (use atomic_add / atomic_min)"
+                            .to_string(),
+                        func,
+                        f,
+                        b,
+                        v,
+                    );
+                } else if vv.aff.is_uniform() {
+                    self.push(
+                        Lint::UniformStore,
+                        Severity::Note,
+                        "every work item stores the same value to the same address \
+                         (idempotent flag write; benign but serialized)"
+                            .to_string(),
+                        func,
+                        f,
+                        b,
+                        v,
+                    );
+                } else {
+                    self.push(
+                        Lint::UniformStore,
+                        Severity::Warning,
+                        "work-item-dependent value stored to a work-item-uniform \
+                         address: last writer wins nondeterministically"
+                            .to_string(),
+                        func,
+                        f,
+                        b,
+                        v,
+                    );
+                }
+            }
+            Aff::Unknown => {
+                self.push(
+                    Lint::UnprovableStoreIndex,
+                    Severity::Warning,
+                    "store address cannot be proven disjoint across work items".to_string(),
+                    func,
+                    f,
+                    b,
+                    v,
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        lint: Lint,
+        severity: Severity,
+        message: String,
+        func: FuncId,
+        f: &Function,
+        block: BlockId,
+        inst: ValueId,
+    ) {
+        self.diags.push(Diagnostic {
+            lint,
+            severity,
+            message,
+            function: f.name.clone(),
+            func,
+            block,
+            inst,
+        });
+    }
+}
+
+/// Provenance of a two-operand arithmetic result: pointer pedigree rides
+/// through pointer±integer arithmetic; pointer−pointer is a plain
+/// distance.
+fn bin_prov(a: Prov, b: Prov) -> Prov {
+    match (a.is_pointerlike(), b.is_pointerlike()) {
+        (true, false) => a,
+        (false, true) => b,
+        (true, true) => Prov::NotPtr,
+        (false, false) => Prov::NotPtr,
+    }
+}
+
+/// Blocks whose phi nodes merge work-item-divergent control flow: for
+/// every branch with a non-uniform condition, the immediate-postdominator
+/// join block plus every multi-predecessor block in the forward region
+/// between the branch and that join.
+fn divergent_joins(
+    f: &Function,
+    vals: &[AbsVal],
+    pdt: &PostDomTree,
+    preds: &HashMap<BlockId, Vec<BlockId>>,
+) -> HashSet<BlockId> {
+    let mut tainted = HashSet::new();
+    for b in f.block_ids() {
+        let Some(t) = f.terminator(b) else { continue };
+        let Op::CondBr(c, s1, s2) = &f.inst(t).op else { continue };
+        if vals[c.0 as usize].aff.is_uniform() {
+            continue;
+        }
+        match pdt.ipdom(b) {
+            Some(Some(j)) => {
+                tainted.insert(j);
+                let mut seen = HashSet::new();
+                let mut q = VecDeque::from([*s1, *s2]);
+                while let Some(x) = q.pop_front() {
+                    if x == j || !seen.insert(x) {
+                        continue;
+                    }
+                    if preds.get(&x).is_some_and(|p| p.len() >= 2) {
+                        tainted.insert(x);
+                    }
+                    for s in f.successors(x) {
+                        q.push_back(s);
+                    }
+                }
+            }
+            // No finite join (the branch reaches the exit both ways):
+            // conservatively taint every block.
+            _ => {
+                tainted.extend(f.block_ids());
+                return tainted;
+            }
+        }
+    }
+    tainted
+}
+
+/// Whether `store val through ptr` completes a read-modify-write: some
+/// load of the *same address* flows (transitively through pure dataflow)
+/// into the stored value. Addresses are compared structurally, which is
+/// exact after CSE canonicalizes duplicate address computations.
+fn is_rmw(f: &Function, ptr: ValueId, val: ValueId) -> bool {
+    let loads: Vec<ValueId> = f
+        .insts
+        .iter()
+        .enumerate()
+        .filter_map(|(i, inst)| match inst.op {
+            Op::Load(p) if same_addr(f, p, ptr, 0) => Some(ValueId(i as u32)),
+            _ => None,
+        })
+        .collect();
+    if loads.is_empty() {
+        return false;
+    }
+    let mut seen = HashSet::new();
+    let mut stack = vec![val];
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x) {
+            continue;
+        }
+        if loads.contains(&x) {
+            return true;
+        }
+        stack.extend(f.inst(x).op.operands());
+    }
+    false
+}
+
+/// Structural equality of two address expressions (same-ValueId fast
+/// path, then syntactic comparison through pure ops and loads).
+fn same_addr(f: &Function, a: ValueId, b: ValueId, depth: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    if depth > 16 {
+        return false;
+    }
+    match (&f.inst(a).op, &f.inst(b).op) {
+        (Op::Load(x), Op::Load(y)) => same_addr(f, *x, *y, depth + 1),
+        (Op::Gep { base: b1, offset: o1 }, Op::Gep { base: b2, offset: o2 }) => {
+            same_addr(f, *b1, *b2, depth + 1) && same_addr(f, *o1, *o2, depth + 1)
+        }
+        (Op::Cast(c1, x), Op::Cast(c2, y)) => c1 == c2 && same_addr(f, *x, *y, depth + 1),
+        (Op::CpuToGpu(x), Op::CpuToGpu(y)) | (Op::GpuToCpu(x), Op::GpuToCpu(y)) => {
+            same_addr(f, *x, *y, depth + 1)
+        }
+        (Op::Bin(op1, a1, b1), Op::Bin(op2, a2, b2)) => {
+            op1 == op2 && same_addr(f, *a1, *a2, depth + 1) && same_addr(f, *b1, *b2, depth + 1)
+        }
+        (Op::ConstInt(x), Op::ConstInt(y)) => x == y,
+        (Op::Param(i), Op::Param(j)) => i == j,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aff_join_lattice() {
+        use Aff::{Affine, Bottom, Const, Uniform, Unknown};
+        assert_eq!(Bottom.join(Affine(4)), Affine(4));
+        assert_eq!(Const(3).join(Const(3)), Const(3));
+        assert_eq!(Const(3).join(Const(4)), Uniform);
+        assert_eq!(Affine(4).join(Affine(4)), Affine(4));
+        assert_eq!(Affine(4).join(Affine(8)), Unknown);
+        assert_eq!(Affine(4).join(Uniform), Unknown);
+        assert_eq!(Unknown.join(Const(1)), Unknown);
+    }
+
+    #[test]
+    fn aff_arithmetic() {
+        use Aff::{Affine, Const, Uniform, Unknown};
+        assert_eq!(Affine(1).mul(Const(8)), Affine(8));
+        assert_eq!(Const(8).mul(Affine(1)), Affine(8));
+        assert_eq!(Affine(4).add(Uniform), Affine(4));
+        assert_eq!(Affine(4).add(Affine(-4)), Uniform);
+        assert_eq!(Affine(4).sub(Affine(4)), Uniform);
+        assert_eq!(Uniform.sub(Affine(4)), Affine(-4));
+        assert_eq!(Affine(1).shl(Const(3)), Affine(8));
+        assert_eq!(Affine(1).mul(Uniform), Unknown);
+        assert_eq!(Const(2).add(Const(3)), Const(5));
+    }
+
+    #[test]
+    fn prov_join_and_pedigree() {
+        assert_eq!(Prov::This.join(Prov::This), Prov::This);
+        assert_eq!(Prov::This.join(Prov::Shared), Prov::Unknown);
+        assert_eq!(Prov::Bottom.join(Prov::Private), Prov::Private);
+        assert!(!Prov::NotPtr.is_pointerlike());
+        assert!(Prov::Foreign.is_pointerlike());
+        assert_eq!(bin_prov(Prov::Shared, Prov::NotPtr), Prov::Shared);
+        assert_eq!(bin_prov(Prov::Shared, Prov::Shared), Prov::NotPtr);
+    }
+}

@@ -1,0 +1,124 @@
+//! Static kernel race/safety analysis for Concord IR.
+//!
+//! Concord (CGO 2014) assumes programmer-correct `parallel_for_hetero`
+//! bodies: a cross-work-item write conflict on the shared SVM region is
+//! silently nondeterministic on real hardware, and the determinism-
+//! preserving host-parallel merge actively *masks* such races in
+//! simulation. This crate closes that gap statically, before any device
+//! time is burned: an **index-affinity abstract interpretation** (see
+//! [`affinity`]) classifies every address reaching a `Store` or atomic as
+//! a function of the work-item id, and a small lint catalog (CA101–CA106,
+//! see [`Lint`]) turns the classification into structured, located
+//! [`Diagnostic`]s.
+//!
+//! The entry point is [`analyze_kernel`]: give it a module (typically the
+//! CPU-optimized one — run CSE first so duplicate address computations
+//! are canonical), the kernel entry function, and the launch [`Mode`],
+//! and get back a [`Report`]. The runtime's pre-launch gate maps
+//! [`Gate`] onto the report: `Warn` surfaces findings, `Deny` refuses to
+//! launch kernels with [`Severity::Error`] findings.
+//!
+//! ```
+//! use concord_ir::{FuncId, Module};
+//! use concord_analyze::{analyze_kernel, Mode};
+//!
+//! let module = Module::new();
+//! // ... build or compile a kernel into `module` ...
+//! # let _ = |module: &Module, f: FuncId| {
+//! let report = analyze_kernel(module, f, Mode::For);
+//! for d in &report.diagnostics {
+//!     eprintln!("{}", d.to_line());
+//! }
+//! # };
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod affinity;
+mod diag;
+
+pub use affinity::{AbsVal, Aff, Prov};
+pub use diag::{Diagnostic, Lint, Report, Severity};
+
+use concord_ir::{FuncId, Module};
+
+/// Which launch convention the analyzed kernel runs under. The convention
+/// decides what the body-object parameter means: `parallel_for` shares
+/// one object across all work items, `parallel_reduce` stages a private
+/// copy per worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// `parallel_for_hetero`: one shared body object.
+    For,
+    /// `parallel_reduce_hetero`: per-worker staged body copies + `join`.
+    Reduce,
+}
+
+impl Mode {
+    /// Lowercase name, stable for JSON/trace output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::For => "for",
+            Mode::Reduce => "reduce",
+        }
+    }
+}
+
+/// What the pre-launch gate does with analysis findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Gate {
+    /// Skip analysis entirely.
+    Off,
+    /// Analyze and surface findings (trace + report), always launch.
+    #[default]
+    Warn,
+    /// Refuse to launch kernels with [`Severity::Error`] findings.
+    Deny,
+}
+
+impl Gate {
+    /// Lowercase name, stable for options parsing.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gate::Off => "off",
+            Gate::Warn => "warn",
+            Gate::Deny => "deny",
+        }
+    }
+
+    /// Parse an options string (`"off"` / `"warn"` / `"deny"`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Gate> {
+        match s {
+            "off" => Some(Gate::Off),
+            "warn" => Some(Gate::Warn),
+            "deny" => Some(Gate::Deny),
+            _ => None,
+        }
+    }
+}
+
+/// Analyze one kernel entry point under launch convention `mode`,
+/// following calls (including virtual calls, widened over the class
+/// hierarchy) transitively. Findings are deduplicated per instruction and
+/// ordered by (function, instruction).
+#[must_use]
+pub fn analyze_kernel(module: &Module, func: FuncId, mode: Mode) -> Report {
+    let mut an = affinity::Analyzer::new(module, mode);
+    an.run_kernel(func);
+    let mut diags = an.diags;
+    // The interprocedural walk can visit one function under several
+    // abstract contexts; keep the most severe finding per instruction.
+    diags.sort_by(|a, b| {
+        (a.func, a.inst, a.lint.id(), std::cmp::Reverse(a.severity)).cmp(&(
+            b.func,
+            b.inst,
+            b.lint.id(),
+            std::cmp::Reverse(b.severity),
+        ))
+    });
+    diags.dedup_by_key(|d| (d.func, d.inst, d.lint));
+    Report { kernel: module.function(func).name.clone(), mode: mode.name(), diagnostics: diags }
+}

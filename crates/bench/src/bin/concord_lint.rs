@@ -1,0 +1,199 @@
+//! `concord-lint`: run the static race/safety analyzer over kernel
+//! sources and report findings without executing anything.
+//!
+//! ```text
+//! concord-lint [--builtin] [FILE ...] [--json]
+//!              [--snapshot FILE | --write-snapshot FILE]
+//! ```
+//!
+//! `--builtin` lints all nine paper workloads; positional arguments are
+//! kernel-language source files. Every kernel class in each program is
+//! analyzed under its intended launch convention (`reduce` when the class
+//! has a `join` method, `for` otherwise) — the same rule the server's
+//! deny-gated `open_session` pre-screen applies.
+//!
+//! Findings print one canonical line each, sorted, so the output diffs
+//! cleanly. `--snapshot FILE` compares against a committed baseline of
+//! known findings (CI uses this: new or vanished findings fail the run);
+//! `--write-snapshot FILE` regenerates that baseline.
+//!
+//! Exit status: 0 clean / snapshot match, 1 findings at `error` severity
+//! or snapshot mismatch or compile failure, 2 usage error.
+
+use concord_analyze::{analyze_kernel, Mode, Severity};
+use concord_bench::cli::{flag_present, or_usage, value_of};
+use std::process::ExitCode;
+
+/// One program to lint: a display name and its kernel-language source.
+struct Target {
+    name: String,
+    source: String,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: concord-lint [--builtin] [FILE ...] [--json] \
+         [--snapshot FILE | --write-snapshot FILE]"
+    );
+    ExitCode::from(2)
+}
+
+/// Positional (non-flag) arguments: everything that is neither a flag nor
+/// the value consumed by a value-taking flag.
+fn positional(args: &[String]) -> Vec<String> {
+    const VALUE_FLAGS: [&str; 2] = ["--snapshot", "--write-snapshot"];
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip = true;
+        } else if !a.starts_with("--") {
+            out.push(a.clone());
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if flag_present(&args, "--help") {
+        return usage();
+    }
+    let json = flag_present(&args, "--json");
+    let snapshot = or_usage(value_of(&args, "--snapshot")).map(str::to_string);
+    let write_snapshot = or_usage(value_of(&args, "--write-snapshot")).map(str::to_string);
+    if snapshot.is_some() && write_snapshot.is_some() {
+        eprintln!("--snapshot and --write-snapshot are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    let mut targets = Vec::new();
+    if flag_present(&args, "--builtin") {
+        for w in concord_workloads::all_workloads() {
+            let spec = w.spec();
+            targets.push(Target { name: spec.name.to_string(), source: spec.source.to_string() });
+        }
+    }
+    for path in positional(&args) {
+        match std::fs::read_to_string(&path) {
+            Ok(source) => targets.push(Target { name: path, source }),
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+
+    // Analyze every kernel of every target. Lines are the canonical,
+    // sorted, snapshot-stable representation.
+    let mut lines: Vec<String> = Vec::new();
+    let mut json_entries: Vec<String> = Vec::new();
+    let mut kernels = 0usize;
+    let mut errors = 0usize;
+    for t in &targets {
+        let program = match concord_frontend::compile(&t.source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: compile error: {e}", t.name);
+                return ExitCode::from(1);
+            }
+        };
+        // Analyze the CPU-optimized module: CSE canonicalizes address
+        // computations, which is the analyzer's documented precondition.
+        let mut module = program.module.clone();
+        concord_compiler::optimize_for_cpu(&mut module);
+        for k in &program.kernels {
+            kernels += 1;
+            let mode = if k.join_fn.is_some() { Mode::Reduce } else { Mode::For };
+            let report = analyze_kernel(&module, k.operator_fn, mode);
+            errors += report.count_at(Severity::Error);
+            for d in &report.diagnostics {
+                lines.push(format!("{}/{}: {}", t.name, k.class_name, d.to_line()));
+            }
+            json_entries.push(format!(
+                "{{\"target\":\"{}\",\"class\":\"{}\",\"report\":{}}}",
+                t.name,
+                k.class_name,
+                report.to_json()
+            ));
+        }
+    }
+    lines.sort();
+
+    if let Some(path) = write_snapshot {
+        let mut body = String::from(
+            "# concord-lint snapshot: known findings, one canonical line each.\n\
+             # Regenerate with: concord-lint --builtin --write-snapshot <this file>\n",
+        );
+        for l in &lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {} finding(s) to {path}", lines.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        println!("[{}]", json_entries.join(","));
+    } else {
+        for l in &lines {
+            println!("{l}");
+        }
+        println!(
+            "{} finding(s) ({} error(s)) across {} kernel(s) in {} program(s)",
+            lines.len(),
+            errors,
+            kernels,
+            targets.len()
+        );
+    }
+
+    if let Some(path) = snapshot {
+        let expected = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read snapshot `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut expected: Vec<&str> = expected
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        expected.sort_unstable();
+        let actual: Vec<&str> = lines.iter().map(String::as_str).collect();
+        if expected != actual {
+            for l in &actual {
+                if !expected.contains(l) {
+                    eprintln!("new finding (not in snapshot): {l}");
+                }
+            }
+            for l in &expected {
+                if !actual.contains(l) {
+                    eprintln!("stale snapshot line (finding gone): {l}");
+                }
+            }
+            eprintln!("snapshot mismatch against {path}");
+            return ExitCode::from(1);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -137,25 +137,49 @@ fn live_insts(module: &Module) -> usize {
     module.functions.iter().map(|f| f.blocks.iter().map(|b| b.insts.len()).sum::<usize>()).sum()
 }
 
+/// Whether the pipeline re-verifies the module after every pass: always
+/// in debug builds, opt-in via `CONCORD_VERIFY_EACH=1` in release builds
+/// (where the end-of-pipeline check is normally compiled out).
+fn verify_each() -> bool {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        cfg!(debug_assertions) || std::env::var_os("CONCORD_VERIFY_EACH").is_some_and(|v| v != "0")
+    })
+}
+
 /// Run one named pass over the module inside a compiler-track span whose
 /// End event carries the live-instruction-count delta. The closure returns
 /// the pass's own statistic (forwarded to the caller).
+///
+/// Under [`verify_each`] the module is re-verified after the pass runs; a
+/// violation panics naming the offending pass, so a pipeline bug is
+/// pinned to the pass that introduced it rather than surfacing as a
+/// mystery at the end of the pipeline (or worse, as a miscompile on the
+/// device).
 fn traced_pass(
     tracer: &Tracer,
     module: &mut Module,
     name: &'static str,
     pass: impl FnOnce(&mut Module) -> usize,
 ) -> usize {
-    if !tracer.enabled() {
-        return pass(module);
+    let n = if tracer.enabled() {
+        let before = live_insts(module);
+        let mut span = tracer.span(Track::Compiler, name);
+        let n = pass(module);
+        let after = live_insts(module);
+        span.arg("insts_before", before);
+        span.arg("insts_after", after);
+        span.arg("insts_delta", after as i64 - before as i64);
+        n
+    } else {
+        pass(module)
+    };
+    if verify_each() {
+        if let Err(e) = concord_ir::verify::verify_module(module) {
+            panic!("pass `{name}` produced invalid IR: {e:?}");
+        }
     }
-    let before = live_insts(module);
-    let mut span = tracer.span(Track::Compiler, name);
-    let n = pass(module);
-    let after = live_insts(module);
-    span.arg("insts_before", before);
-    span.arg("insts_after", after);
-    span.arg("insts_delta", after as i64 - before as i64);
     n
 }
 
@@ -408,6 +432,23 @@ mod tests {
         let lp = compile(src).unwrap();
         let art = lower_for_gpu(&lp.module, GpuConfig::all(7));
         assert_eq!(art.stats.l3_loops, 1);
+    }
+
+    // Release builds compile the per-pass verifier out unless
+    // CONCORD_VERIFY_EACH is set, so the panic only fires under
+    // debug_assertions.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "pass `clobber` produced invalid IR")]
+    fn per_pass_verification_names_the_offending_pass() {
+        let mut lp = compile(RAYTRACE_MINI).unwrap();
+        traced_pass(&Tracer::disabled(), &mut lp.module, "clobber", |m| {
+            // Drop the kernel entry block's terminator: structurally
+            // invalid IR that only the verifier notices.
+            let kf = m.functions.iter().position(|f| f.kernel.is_some()).unwrap();
+            m.functions[kf].blocks[0].insts.pop();
+            0
+        });
     }
 
     #[test]

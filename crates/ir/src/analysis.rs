@@ -358,22 +358,24 @@ pub fn liveness(f: &Function) -> Liveness {
         let blocks: Vec<BlockId> = f.block_ids().collect();
         for &b in blocks.iter().rev() {
             // live_out = union over successors s of (live_in(s) minus s's phi
-            // defs, plus phi inputs from b)
+            // defs, plus phi inputs from b). Each successor's contribution is
+            // built separately before the union: removing s's phi defs from
+            // the running union would also cancel values contributed by a
+            // sibling edge, making the result depend on successor order.
             let mut out: HashSet<ValueId> = HashSet::new();
             for s in f.successors(b) {
-                for &v in &live_in[&s] {
-                    out.insert(v);
-                }
+                let mut contrib = live_in[&s].clone();
                 for &iid in &f.block(s).insts {
                     if let Op::Phi(incoming) = &f.inst(iid).op {
-                        out.remove(&iid);
+                        contrib.remove(&iid);
                         for &(pred, v) in incoming {
                             if pred == b {
-                                out.insert(v);
+                                contrib.insert(v);
                             }
                         }
                     }
                 }
+                out.extend(contrib);
             }
             // live_in = (live_out - defs) + uses, scanned backwards.
             let mut inn = out.clone();

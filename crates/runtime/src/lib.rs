@@ -47,6 +47,7 @@ pub use backend::{
     CpuBackend, DeviceBackend, ExecCtx, GpuBackend, LaunchStats, ScratchGuard, Span,
 };
 pub use cache::{source_hash, ArtifactCache, SharedJitSet};
+pub use concord_analyze::{Gate as AnalysisGate, Mode as AnalysisMode, Report as AnalysisReport};
 pub use scheduler::{Plan, ProfileHistory, Target};
 
 use concord_compiler::{lower_for_gpu_traced, GpuArtifact, GpuConfig};
@@ -58,7 +59,7 @@ use concord_ir::eval::Trap;
 use concord_ir::FuncId;
 use concord_svm::{AllocError, CpuAddr, SharedAllocator, SharedRegion, VtableArea};
 use concord_trace::{TraceConfig, Tracer, Track};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -86,6 +87,15 @@ pub enum RuntimeError {
     NoSuchKernel(String),
     /// `parallel_reduce_hetero` on a class without a `join` method.
     NoJoin(String),
+    /// The pre-launch static analysis gate ([`Options::analysis`] =
+    /// [`AnalysisGate::Deny`]) found error-severity defects.
+    AnalysisDenied {
+        /// The kernel class that was refused.
+        kernel: String,
+        /// The full analysis report (render with
+        /// [`AnalysisReport::to_text`] or [`AnalysisReport::to_json`]).
+        report: AnalysisReport,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -97,6 +107,14 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NoSuchKernel(n) => write!(f, "no kernel class named `{n}`"),
             RuntimeError::NoJoin(n) => {
                 write!(f, "class `{n}` has no join method for parallel_reduce")
+            }
+            RuntimeError::AnalysisDenied { kernel, report } => {
+                write!(
+                    f,
+                    "kernel `{kernel}` denied by static analysis ({} error(s)):\n{}",
+                    report.count_at(concord_analyze::Severity::Error),
+                    report.to_text()
+                )
             }
         }
     }
@@ -138,6 +156,11 @@ pub struct Options {
     /// value — execution uses snapshot-and-log isolation with a fixed
     /// chunk-order merge.
     pub host_threads: Option<usize>,
+    /// Pre-launch static analysis gate (see `concord-analyze`): `Off`
+    /// skips the analyzer, `Warn` (the default) traces findings but
+    /// always launches, `Deny` refuses kernels with error-severity
+    /// findings with [`RuntimeError::AnalysisDenied`].
+    pub analysis: AnalysisGate,
 }
 
 impl Default for Options {
@@ -147,6 +170,7 @@ impl Default for Options {
             gpu_config: None,
             trace: TraceConfig::default(),
             host_threads: None,
+            analysis: AnalysisGate::default(),
         }
     }
 }
@@ -258,6 +282,11 @@ pub struct Concord {
     /// Kernels that cannot run on the GPU (restriction warnings).
     cpu_only: HashSet<String>,
     tracer: Tracer,
+    /// The pre-launch gate level ([`Options::analysis`]).
+    analysis: AnalysisGate,
+    /// Memoized analysis reports: the module is immutable after build, so
+    /// one (kernel, mode) pair always produces the same report.
+    analysis_cache: HashMap<(FuncId, AnalysisMode), AnalysisReport>,
 }
 
 impl std::fmt::Debug for Concord {
@@ -378,6 +407,8 @@ impl Concord {
             profile: ProfileHistory::default(),
             cpu_only,
             tracer,
+            analysis: opts.analysis,
+            analysis_cache: HashMap::new(),
         })
     }
 
@@ -471,6 +502,80 @@ impl Concord {
             .ok_or_else(|| RuntimeError::NoSuchKernel(class.to_string()))
     }
 
+    /// Run the static analyzer (see `concord-analyze`) for the operator
+    /// of `class` under launch convention `mode`, independent of the
+    /// configured gate level. Reports are memoized per (kernel, mode) —
+    /// the module never changes after construction — so repeat calls and
+    /// repeat launches are free.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoSuchKernel`].
+    pub fn analyze_kernel(
+        &mut self,
+        class: &str,
+        mode: AnalysisMode,
+    ) -> Result<AnalysisReport, RuntimeError> {
+        let k = self.kernel(class)?;
+        Ok(self.analysis_report(class, k.operator_fn, mode))
+    }
+
+    fn analysis_report(&mut self, class: &str, func: FuncId, mode: AnalysisMode) -> AnalysisReport {
+        if let Some(r) = self.analysis_cache.get(&(func, mode)) {
+            self.tracer.instant(
+                Track::Analysis,
+                "cache_hit",
+                vec![("kernel", class.into()), ("mode", mode.name().into())],
+            );
+            return r.clone();
+        }
+        let mut sp = self.tracer.span_with(
+            Track::Analysis,
+            "analyze",
+            vec![("kernel", class.into()), ("mode", mode.name().into())],
+        );
+        let report = concord_analyze::analyze_kernel(&self.program.module, func, mode);
+        sp.arg("findings", report.diagnostics.len() as i64);
+        sp.arg("errors", report.count_at(concord_analyze::Severity::Error) as i64);
+        sp.end();
+        for d in &report.diagnostics {
+            self.tracer.instant(
+                Track::Analysis,
+                d.lint.id(),
+                vec![
+                    ("severity", d.severity.name().into()),
+                    ("function", d.function.as_str().into()),
+                    ("message", d.message.as_str().into()),
+                ],
+            );
+        }
+        self.analysis_cache.insert((func, mode), report.clone());
+        report
+    }
+
+    /// The pre-launch gate: no-op at `Off`, analyze-and-trace at `Warn`,
+    /// refuse error-severity kernels at `Deny`.
+    fn gate_launch(
+        &mut self,
+        class: &str,
+        func: FuncId,
+        mode: AnalysisMode,
+    ) -> Result<(), RuntimeError> {
+        if self.analysis == AnalysisGate::Off {
+            return Ok(());
+        }
+        let report = self.analysis_report(class, func, mode);
+        if self.analysis == AnalysisGate::Deny && report.has_errors() {
+            self.tracer.instant(
+                Track::Analysis,
+                "denied",
+                vec![("kernel", class.into()), ("mode", mode.name().into())],
+            );
+            return Err(RuntimeError::AnalysisDenied { kernel: class.to_string(), report });
+        }
+        Ok(())
+    }
+
     /// `parallel_for_hetero(n, body, device)`: run the `operator()` of
     /// `class` over `[0, n)`.
     ///
@@ -485,6 +590,7 @@ impl Concord {
         target: Target,
     ) -> Result<OffloadReport, RuntimeError> {
         let k = self.kernel(class)?;
+        self.gate_launch(class, k.operator_fn, AnalysisMode::For)?;
         let gpu_allowed = !self.cpu_only.contains(class);
         self.offload(class, k.operator_fn, ConstructKind::For, body, n, target, gpu_allowed)
     }
@@ -507,6 +613,7 @@ impl Concord {
     ) -> Result<OffloadReport, RuntimeError> {
         let k = self.kernel(class)?;
         let join = k.join_fn.ok_or_else(|| RuntimeError::NoJoin(class.to_string()))?;
+        self.gate_launch(class, k.operator_fn, AnalysisMode::Reduce)?;
         // Local memory must fit one body copy per lane; otherwise the
         // runtime performs the reduction on the CPU (§3.3: "if local
         // memory is insufficient").
@@ -1218,5 +1325,80 @@ mod tests {
         // Every auto call after the probe still runs both devices (the
         // split is proportional, not winner-takes-all).
         assert!(a.iter().all(|r| r.on_gpu));
+    }
+
+    /// Deliberately racy source: a non-atomic read-modify-write of one
+    /// shared slot from every work item (lint CA104, error severity).
+    const RACY: &str = r#"
+        class RacyHistogram {
+        public:
+            int* bins;
+            void operator()(int i) { bins[0] = bins[0] + 1; }
+        };
+    "#;
+
+    fn racy_context(gate: AnalysisGate) -> (Concord, CpuAddr) {
+        let opts = Options { analysis: gate, ..Options::default() };
+        let mut cc = Concord::new(SystemConfig::ultrabook(), RACY, opts).unwrap();
+        let bins = cc.malloc(64).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, bins).unwrap();
+        (cc, body)
+    }
+
+    #[test]
+    fn deny_gate_blocks_racy_kernel() {
+        let (mut cc, body) = racy_context(AnalysisGate::Deny);
+        let err = cc.parallel_for_hetero("RacyHistogram", body, 16, Target::Cpu).unwrap_err();
+        match err {
+            RuntimeError::AnalysisDenied { kernel, report } => {
+                assert_eq!(kernel, "RacyHistogram");
+                assert!(report.has_errors());
+                assert!(report.to_text().contains("CA104"), "{}", report.to_text());
+            }
+            other => panic!("expected AnalysisDenied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warn_and_off_gates_still_launch_racy_kernel() {
+        for gate in [AnalysisGate::Warn, AnalysisGate::Off] {
+            let (mut cc, body) = racy_context(gate);
+            cc.parallel_for_hetero("RacyHistogram", body, 16, Target::Cpu)
+                .unwrap_or_else(|e| panic!("{gate:?} gate must not block: {e}"));
+        }
+    }
+
+    #[test]
+    fn deny_gate_passes_clean_kernels() {
+        // FIG1 (affine stores) under For, SUM (staged accumulator) under
+        // Reduce: both are correct code and must not be denied.
+        let opts = Options { analysis: AnalysisGate::Deny, ..Options::default() };
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, opts).unwrap();
+        let nodes = cc.malloc(101 * 8).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, nodes).unwrap();
+        cc.parallel_for_hetero("LoopBody", body, 100, Target::Auto).unwrap();
+
+        let opts = Options { analysis: AnalysisGate::Deny, ..Options::default() };
+        let mut cc = Concord::new(SystemConfig::ultrabook(), SUM, opts).unwrap();
+        let data = cc.malloc(64 * 4).unwrap();
+        for i in 0..64 {
+            cc.region_mut().write_f32(CpuAddr(data.0 + i * 4), 1.0).unwrap();
+        }
+        let body = cc.malloc(16).unwrap();
+        cc.region_mut().write_ptr(body, data).unwrap();
+        cc.region_mut().write_f32(CpuAddr(body.0 + 8), 0.0).unwrap();
+        cc.parallel_reduce_hetero("Sum", body, 64, Target::Cpu).unwrap();
+    }
+
+    #[test]
+    fn analyze_kernel_is_cached_and_mode_sensitive() {
+        let (mut cc, _) = racy_context(AnalysisGate::Warn);
+        let first = cc.analyze_kernel("RacyHistogram", AnalysisMode::For).unwrap();
+        let second = cc.analyze_kernel("RacyHistogram", AnalysisMode::For).unwrap();
+        assert_eq!(first, second, "memoized report must be identical");
+        assert!(first.has_errors());
+        assert!(cc.analyze_kernel("Missing", AnalysisMode::For).is_err());
     }
 }

@@ -75,6 +75,12 @@ pub struct SessionOptions {
     pub gpu_config: Option<String>,
     /// Shared-region capacity in bytes (server default when `None`).
     pub region_bytes: Option<u64>,
+    /// Static-analysis gate: `"off"`, `"warn"` (server default), or
+    /// `"deny"`. Under `"deny"` the server refuses to open a session whose
+    /// source contains a kernel with analysis errors (and refuses launches
+    /// that race a clean-under-reduce kernel), answering
+    /// `analysis_denied` with a structured `diagnostics` payload.
+    pub analysis: Option<String>,
 }
 
 /// A freshly opened session: its id plus whether the server's artifact
@@ -193,6 +199,9 @@ impl Client {
         }
         if let Some(bytes) = opts.region_bytes {
             fields.push(("region_bytes", bytes.into()));
+        }
+        if let Some(gate) = &opts.analysis {
+            fields.push(("analysis", gate.as_str().into()));
         }
         let resp = self.call(Json::obj(fields))?;
         Ok(OpenedSession {

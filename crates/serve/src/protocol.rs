@@ -51,6 +51,10 @@ pub mod codes {
     pub const NO_SUCH_KERNEL: &str = "no_such_kernel";
     /// `parallel_reduce` on a class without a `join` method.
     pub const NO_JOIN: &str = "no_join";
+    /// Static analysis found race/safety errors and the session's gate is
+    /// `deny`. The error response carries the full report under a
+    /// `diagnostics` field.
+    pub const ANALYSIS_DENIED: &str = "analysis_denied";
     /// The request sat in the admission queue past its `deadline_ms`.
     pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
     /// A region read/write faulted (bad address, wrong space).
@@ -218,6 +222,23 @@ pub fn error_response(code: &str, message: &str, id: Option<&Json>) -> Json {
     Json::Obj(fields)
 }
 
+/// Build an `{"type":"error"}` response that additionally carries a
+/// structured `diagnostics` payload (e.g. the static-analysis report
+/// behind an [`codes::ANALYSIS_DENIED`] refusal).
+#[must_use]
+pub fn error_response_detailed(
+    code: &str,
+    message: &str,
+    diagnostics: Json,
+    id: Option<&Json>,
+) -> Json {
+    let mut resp = error_response(code, message, id);
+    if let Json::Obj(fields) = &mut resp {
+        fields.push(("diagnostics".to_string(), diagnostics));
+    }
+    resp
+}
+
 /// Attach the echoed request `id` to a response under construction.
 #[must_use]
 pub fn with_id(mut response: Json, id: Option<&Json>) -> Json {
@@ -280,6 +301,14 @@ mod tests {
         assert_eq!(to_hex(&[0x0f, 0xa0]), "0fa0");
         assert!(from_hex("abc").is_err(), "odd length");
         assert!(from_hex("zz").is_err(), "bad digit");
+    }
+
+    #[test]
+    fn detailed_error_carries_diagnostics() {
+        let diags = Json::Arr(vec![Json::str("finding")]);
+        let e = error_response_detailed(codes::ANALYSIS_DENIED, "denied", diags.clone(), None);
+        assert_eq!(e.get("code").and_then(Json::as_str), Some(codes::ANALYSIS_DENIED));
+        assert_eq!(e.get("diagnostics"), Some(&diags));
     }
 
     #[test]

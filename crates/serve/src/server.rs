@@ -29,11 +29,15 @@
 
 use crate::json::{parse, Json};
 use crate::protocol::{
-    codes, error_response, from_hex, read_frame, send, to_hex, with_id, MAX_FRAME,
+    codes, error_response, error_response_detailed, from_hex, read_frame, send, to_hex, with_id,
+    MAX_FRAME,
 };
 use concord_energy::SystemConfig;
 use concord_pool::{SubmitError, TaskPool};
-use concord_runtime::{ArtifactCache, Concord, OffloadReport, Options, RuntimeError, Target};
+use concord_runtime::{
+    AnalysisGate, AnalysisMode, ArtifactCache, Concord, OffloadReport, Options, RuntimeError,
+    Target,
+};
 use concord_svm::CpuAddr;
 use concord_trace::{ArgValue, TraceConfig, Tracer, Track};
 use std::collections::HashMap;
@@ -109,6 +113,30 @@ pub struct ServerStats {
 struct Session {
     cc: Concord,
     owner_conn: u64,
+}
+
+/// One request's structured failure: a stable protocol code, a human
+/// message, and (for static-analysis denials) the machine-readable
+/// findings to attach as a `diagnostics` field on the error response.
+struct SrvError {
+    code: &'static str,
+    message: String,
+    diagnostics: Option<Json>,
+}
+
+impl From<(&'static str, String)> for SrvError {
+    fn from((code, message): (&'static str, String)) -> Self {
+        SrvError { code, message, diagnostics: None }
+    }
+}
+
+impl SrvError {
+    fn into_response(self, id: Option<&Json>) -> Json {
+        match self.diagnostics {
+            Some(d) => error_response_detailed(self.code, &self.message, d, id),
+            None => error_response(self.code, &self.message, id),
+        }
+    }
 }
 
 struct Shared {
@@ -428,7 +456,7 @@ fn admit(
             } else {
                 match execute(&req, &ty, conn_id, &shared) {
                     Ok(resp) => with_id(resp, id.as_ref()),
-                    Err((code, msg)) => error_response(code, &msg, id.as_ref()),
+                    Err(e) => e.into_response(id.as_ref()),
                 }
             };
             send_response(&writer, &resp);
@@ -466,12 +494,7 @@ fn admit(
 }
 
 /// Execute one admitted request on a worker thread.
-fn execute(
-    req: &Json,
-    ty: &str,
-    conn_id: u64,
-    shared: &Arc<Shared>,
-) -> Result<Json, (&'static str, String)> {
+fn execute(req: &Json, ty: &str, conn_id: u64, shared: &Arc<Shared>) -> Result<Json, SrvError> {
     match ty {
         "sleep" => {
             let ms = field_u64(req, "ms")?.min(MAX_SLEEP_MS);
@@ -483,7 +506,7 @@ fn execute(
             let sid = field_u64(req, "session")?;
             let removed = shared.sessions.lock().unwrap().remove(&sid);
             if removed.is_none() {
-                return Err((codes::NO_SUCH_SESSION, format!("no session {sid}")));
+                return Err((codes::NO_SUCH_SESSION, format!("no session {sid}")).into());
             }
             shared.tracer.instant(
                 Track::Server,
@@ -507,11 +530,7 @@ fn execute(
     }
 }
 
-fn open_session(
-    req: &Json,
-    conn_id: u64,
-    shared: &Arc<Shared>,
-) -> Result<Json, (&'static str, String)> {
+fn open_session(req: &Json, conn_id: u64, shared: &Arc<Shared>) -> Result<Json, SrvError> {
     let source = req
         .get("source")
         .and_then(Json::as_str)
@@ -523,7 +542,8 @@ fn open_session(
             return Err((
                 codes::BAD_REQUEST,
                 format!("unknown system `{other}` (expected ultrabook|desktop)"),
-            ))
+            )
+                .into())
         }
     };
     let eus = system.gpu.eus;
@@ -536,7 +556,8 @@ fn open_session(
             return Err((
                 codes::BAD_REQUEST,
                 format!("unknown gpu_config `{other}` (expected baseline|ptropt|l3opt|all)"),
-            ))
+            )
+                .into())
         }
     };
     let region_bytes = match req.get("region_bytes") {
@@ -546,11 +567,44 @@ fn open_session(
             format!("`region_bytes` must be in 1..={MAX_REGION_BYTES}"),
         ))?,
     };
+    let analysis = match req.get("analysis").and_then(Json::as_str) {
+        None => Options::default().analysis,
+        Some(s) => AnalysisGate::parse(s).ok_or((
+            codes::BAD_REQUEST,
+            format!("unknown analysis gate `{s}` (expected off|warn|deny)"),
+        ))?,
+    };
     // Informational only (a concurrent open may racily insert between the
     // probe and the build); exact totals come from the cache counters.
     let cache_hit = shared.cache.contains(source, gpu_config);
-    let opts = Options { region_bytes, gpu_config: Some(gpu_config), ..Options::default() };
-    let cc = Concord::new_with_cache(system, source, opts, &shared.cache).map_err(runtime_error)?;
+    let opts =
+        Options { region_bytes, gpu_config: Some(gpu_config), analysis, ..Options::default() };
+    let mut cc =
+        Concord::new_with_cache(system, source, opts, &shared.cache).map_err(runtime_error)?;
+    if analysis == AnalysisGate::Deny {
+        // Pre-screen every kernel at open so a deny-gated client learns
+        // about racy code before allocating regions and staging data. Each
+        // kernel is screened under its *intended* convention (Reduce when
+        // it has a `join`), so reduce-style accumulator bodies are not
+        // false-denied; a later `parallel_for` launch of such a class is
+        // still caught by the runtime's per-launch gate.
+        let kernels: Vec<(String, AnalysisMode)> = cc
+            .program()
+            .kernels
+            .iter()
+            .map(|k| {
+                let mode =
+                    if k.join_fn.is_some() { AnalysisMode::Reduce } else { AnalysisMode::For };
+                (k.class_name.clone(), mode)
+            })
+            .collect();
+        for (class, mode) in kernels {
+            let report = cc.analyze_kernel(&class, mode).map_err(runtime_error)?;
+            if report.has_errors() {
+                return Err(runtime_error(RuntimeError::AnalysisDenied { kernel: class, report }));
+            }
+        }
+    }
     let sid = shared.next_session.fetch_add(1, Ordering::Relaxed);
     shared
         .sessions
@@ -571,7 +625,7 @@ fn open_session(
 }
 
 /// Region and launch operations against one locked session.
-fn session_op(req: &Json, ty: &str, cc: &mut Concord) -> Result<Json, (&'static str, String)> {
+fn session_op(req: &Json, ty: &str, cc: &mut Concord) -> Result<Json, SrvError> {
     match ty {
         "malloc" => {
             let bytes = field_u64(req, "bytes")?;
@@ -602,7 +656,8 @@ fn session_op(req: &Json, ty: &str, cc: &mut Concord) -> Result<Json, (&'static 
                 return Err((
                     codes::BAD_REQUEST,
                     format!("`len` exceeds the {MAX_READ_BYTES}-byte read limit"),
-                ));
+                )
+                    .into());
             }
             let bytes = cc
                 .region()
@@ -686,15 +741,20 @@ fn field_u64(req: &Json, name: &str) -> Result<u64, (&'static str, String)> {
         .ok_or((codes::BAD_REQUEST, format!("missing or non-integer field `{name}`")))
 }
 
-fn runtime_error(e: RuntimeError) -> (&'static str, String) {
-    let code = match &e {
-        RuntimeError::Compile(_) => codes::COMPILE_ERROR,
-        RuntimeError::Alloc(_) => codes::ALLOC_FAILED,
-        RuntimeError::Trap(_) => codes::TRAP,
-        RuntimeError::NoSuchKernel(_) => codes::NO_SUCH_KERNEL,
-        RuntimeError::NoJoin(_) => codes::NO_JOIN,
+fn runtime_error(e: RuntimeError) -> SrvError {
+    let (code, diagnostics) = match &e {
+        RuntimeError::Compile(_) => (codes::COMPILE_ERROR, None),
+        RuntimeError::Alloc(_) => (codes::ALLOC_FAILED, None),
+        RuntimeError::Trap(_) => (codes::TRAP, None),
+        RuntimeError::NoSuchKernel(_) => (codes::NO_SUCH_KERNEL, None),
+        RuntimeError::NoJoin(_) => (codes::NO_JOIN, None),
+        // The analysis report is stable JSON; re-parse it into the wire
+        // representation so clients get structured findings, not prose.
+        RuntimeError::AnalysisDenied { report, .. } => {
+            (codes::ANALYSIS_DENIED, parse(&report.to_json()).ok())
+        }
     };
-    (code, e.to_string())
+    SrvError { code, message: e.to_string(), diagnostics }
 }
 
 fn send_response(writer: &Arc<Mutex<TcpStream>>, resp: &Json) {

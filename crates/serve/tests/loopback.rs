@@ -251,3 +251,81 @@ fn disconnect_reaps_connection_scoped_sessions() {
     wait_until("session to be reaped on disconnect", || server.stats().sessions == 0);
     server.join();
 }
+
+/// Deliberately racy `parallel_for` body: every work item read-modify-
+/// writes the same uniform slot (CA104 at Error severity).
+const RACY: &str = r#"
+    class RacyHistogram {
+    public:
+        int* bins;
+        void operator()(int i) { bins[0] = bins[0] + 1; }
+    };
+"#;
+
+#[test]
+fn deny_gate_refuses_racy_session_with_structured_diagnostics() {
+    let server = start_server(1, 16);
+    let mut conn = RawConn::connect(server.addr());
+    let req = Json::obj(vec![
+        ("type", Json::str("open_session")),
+        ("source", Json::str(RACY)),
+        ("analysis", Json::str("deny")),
+        ("id", 1u64.into()),
+    ]);
+    conn.send(&req.to_string());
+    let resp = conn.recv_id(1);
+    assert_eq!(ty(&resp), "error", "{resp}");
+    assert_eq!(code(&resp), "analysis_denied", "{resp}");
+    // The refusal is structured, not prose: the full analysis report rides
+    // along under `diagnostics`.
+    let report = resp.get("diagnostics").expect("structured diagnostics attached");
+    assert!(
+        report.get("kernel").and_then(Json::as_str).is_some_and(|k| k.contains("RacyHistogram")),
+        "{resp}"
+    );
+    let findings = report.get("diagnostics").and_then(Json::as_arr).expect("findings array");
+    assert!(
+        findings.iter().any(|f| f.get("lint").and_then(Json::as_str) == Some("CA104")),
+        "expected a CA104 finding: {resp}"
+    );
+    // The same source is admitted under the default (warn) gate, and the
+    // racy launch still runs — deny is opt-in per session.
+    let opts = SessionOptions::default();
+    let mut s = SessionHandle::connect(server.addr(), RACY, &opts).expect("warn session opens");
+    let bins = s.malloc(4).unwrap();
+    let body = s.malloc(8).unwrap();
+    s.write_ptr(body, bins).unwrap();
+    s.parallel_for(&Launch::new("RacyHistogram", body, 8).target("cpu"))
+        .expect("warn gate surfaces findings but launches");
+    server.join();
+}
+
+#[test]
+fn deny_gate_blocks_for_launch_of_reduce_class_at_launch_time() {
+    let server = start_server(1, 16);
+    let opts = SessionOptions { analysis: Some("deny".to_string()), ..SessionOptions::default() };
+    // Sum is clean under its intended convention, so the deny-gated open
+    // pre-screen admits it and a parallel_reduce launch works end-to-end.
+    let mut s = SessionHandle::connect(server.addr(), SUM, &opts).expect("reduce-clean source");
+    let data = s.malloc(u64::from(SUM_N) * 4).unwrap();
+    for i in 0..SUM_N {
+        s.write_f32(data + u64::from(i) * 4, 1.0).unwrap();
+    }
+    let body = s.malloc(16).unwrap();
+    s.write_ptr(body, data).unwrap();
+    s.write_f32(body + 8, 0.0).unwrap();
+    s.parallel_reduce(&Launch::new("Sum", body, SUM_N).target("cpu"))
+        .expect("deny gate admits the clean reduce launch");
+    assert_eq!(
+        s.read(body + 8, 4).unwrap(),
+        (SUM_N as f32).to_le_bytes().to_vec(),
+        "reduction still computes under the deny gate"
+    );
+    // Racing the same accumulator body through parallel_for is exactly the
+    // bug class the per-launch gate exists for.
+    let err = s
+        .parallel_for(&Launch::new("Sum", body, SUM_N).target("cpu"))
+        .expect_err("for-launch of a reduce accumulator must be denied");
+    assert_eq!(err.code(), Some("analysis_denied"), "{err}");
+    server.join();
+}

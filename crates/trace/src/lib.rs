@@ -52,11 +52,14 @@ pub enum Track {
     /// Offload-service events: connections, admissions, queue depth,
     /// artifact-cache hits, drains (host clock; see `concord-serve`).
     Server,
+    /// Static kernel analysis: pre-launch gate runs, cache hits, and
+    /// individual findings (host clock; see `concord-analyze`).
+    Analysis,
 }
 
 impl Track {
     /// All tracks, in export order.
-    pub const ALL: [Track; 7] = [
+    pub const ALL: [Track; 8] = [
         Track::Compiler,
         Track::Runtime,
         Track::GpuSim,
@@ -64,6 +67,7 @@ impl Track {
         Track::Svm,
         Track::Sched,
         Track::Server,
+        Track::Analysis,
     ];
 
     /// Stable display name (also the Chrome thread name).
@@ -76,6 +80,7 @@ impl Track {
             Track::Svm => "svm",
             Track::Sched => "sched",
             Track::Server => "server",
+            Track::Analysis => "analysis",
         }
     }
 
@@ -89,6 +94,7 @@ impl Track {
             Track::Svm => 5,
             Track::Sched => 6,
             Track::Server => 7,
+            Track::Analysis => 8,
         }
     }
 

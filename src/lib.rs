@@ -38,6 +38,7 @@
 //! kernel language, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured evaluation.
 
+pub use concord_analyze as analyze;
 pub use concord_compiler as compiler;
 pub use concord_cpusim as cpusim;
 pub use concord_energy as energy;

@@ -1,0 +1,25 @@
+//! The deny gate must never false-positive on the shipped workload
+//! suite: all nine paper workloads build and run to completion with
+//! `Options::analysis = Deny`. A kernel the analyzer wrongly flagged as
+//! racy would abort its launch here with `AnalysisDenied`.
+
+use concord::energy::SystemConfig;
+use concord::runtime::{AnalysisGate, Concord, Options, Target};
+use concord::workloads::{all_workloads, Scale};
+
+#[test]
+fn all_nine_workloads_run_under_deny_gate() {
+    for w in all_workloads() {
+        let spec = w.spec();
+        let opts = Options { analysis: AnalysisGate::Deny, ..Options::default() };
+        let mut cc = Concord::new(SystemConfig::ultrabook(), spec.source, opts)
+            .unwrap_or_else(|e| panic!("{}: open under deny: {e}", spec.name));
+        let mut inst =
+            w.build(&mut cc, Scale::Tiny).unwrap_or_else(|e| panic!("{}: build: {e}", spec.name));
+        let totals = inst
+            .run(&mut cc, Target::Cpu)
+            .unwrap_or_else(|e| panic!("{}: denied or trapped: {e}", spec.name));
+        assert!(totals.offloads > 0, "{} ran no offloads", spec.name);
+        inst.verify(&cc).unwrap_or_else(|e| panic!("{}: verify: {e}", spec.name));
+    }
+}
