@@ -34,6 +34,24 @@ echo "==> serve loopback battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
 timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-serve --test loopback
 timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-serve --test loopback
 
+echo "==> native differential battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
+# The native JIT backend must agree byte-for-byte with the CPU
+# interpreter on all nine workloads, and report interpreter-identical
+# traps, at any host fan-out. (Self-skips on non-x86-64-Linux hosts.)
+timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-workloads --test native_diff
+timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-workloads --test native_diff
+
+echo "==> bench_client loopback run (writes BENCH_serve.json)"
+# The served-latency harness itself must stay runnable: a short loopback
+# burst, summarized to BENCH_serve.json (schema in EXPERIMENTS.md).
+timeout 600 cargo run --release --quiet -p concord-bench --bin bench_client -- \
+    --clients 4 --iters 8 --json BENCH_serve.json
+test -s BENCH_serve.json || { echo "!! bench_client did not write BENCH_serve.json" >&2; exit 1; }
+grep -q 'concord-bench_client/v1' BENCH_serve.json || {
+    echo "!! BENCH_serve.json is missing its schema tag" >&2
+    exit 1
+}
+
 echo "==> concord-lint: builtin workloads vs lint-expected.txt snapshot"
 # Every shipped workload must analyze clean (or match the reviewed
 # snapshot of known benign warnings). Exit 1 means a new finding or an

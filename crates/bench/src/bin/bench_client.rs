@@ -5,14 +5,23 @@
 //! ```text
 //! bench_client [--addr HOST:PORT] [--clients N] [--iters N]
 //!              [--workers N] [--queue N]
+//!              [--target cpu|gpu|auto|native|hybrid[:f]] [--json FILE]
 //! ```
 //!
 //! Without `--addr`, an in-process loopback server is spawned (sized by
 //! `--workers`/`--queue`) and its final statistics — artifact-cache hits
 //! included — are printed after the run.
+//!
+//! `--target` sets the session-default launch target for every client
+//! (`auto` when absent); `native` on an unsupported server host makes the
+//! first launch fail with the server's structured `native_unsupported`
+//! error. The latency summary is also written as JSON — `BENCH_serve.json`
+//! by default, `--json FILE` to relocate — in the
+//! `concord-bench_client/v1` schema documented in EXPERIMENTS.md.
 
-use concord_bench::cli::{or_usage, value_of, ArgError};
+use concord_bench::cli::{or_usage, parse_target, value_of, ArgError};
 use concord_bench::render_table;
+use concord_serve::json::Json;
 use concord_serve::{Launch, ServeConfig, Server, SessionHandle, SessionOptions};
 use std::time::{Duration, Instant};
 
@@ -46,13 +55,19 @@ fn usage_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     })
 }
 
-/// One client's run: open a session, issue `iters` launches, return the
+/// One client's run: open a session (with `target` as the session-default
+/// launch target when given), issue `iters` launches, return the
 /// per-request latencies.
-fn run_client(addr: std::net::SocketAddr, client: usize, iters: usize) -> Vec<Duration> {
+fn run_client(
+    addr: std::net::SocketAddr,
+    client: usize,
+    iters: usize,
+    target: Option<&str>,
+) -> Vec<Duration> {
     let even = client.is_multiple_of(2);
     let source = if even { DOUBLE } else { SUM };
-    let mut s =
-        SessionHandle::connect(addr, source, &SessionOptions::default()).expect("open session");
+    let opts = SessionOptions { target: target.map(str::to_string), ..SessionOptions::default() };
+    let mut s = SessionHandle::connect(addr, source, &opts).expect("open session");
     let mut latencies = Vec::with_capacity(iters);
     if even {
         let out = s.malloc(u64::from(N) * 4).expect("alloc");
@@ -99,12 +114,21 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: bench_client [--addr HOST:PORT] [--clients N] [--iters N] \
-             [--workers N] [--queue N]"
+             [--workers N] [--queue N] \
+             [--target cpu|gpu|auto|native|hybrid[:f]] [--json FILE]"
         );
         return;
     }
     let clients = usage_value::<usize>(&args, "--clients").unwrap_or(4).max(1);
     let iters = usage_value::<usize>(&args, "--iters").unwrap_or(16).max(1);
+    // Validate the target vocabulary client-side (uniform diagnostics with
+    // the other bench tools), but ship the raw string: the server owns the
+    // parse that matters.
+    let target = or_usage(value_of(&args, "--target"));
+    if let Some(t) = target {
+        or_usage(parse_target(t));
+    }
+    let json_path = or_usage(value_of(&args, "--json")).unwrap_or("BENCH_serve.json");
 
     // Either aim at an external daemon or spin up a loopback server.
     let local = match or_usage(value_of(&args, "--addr")) {
@@ -132,22 +156,38 @@ fn main() {
     let wall = Instant::now();
     let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
         let handles: Vec<_> =
-            (0..clients).map(|c| scope.spawn(move || run_client(addr, c, iters))).collect();
+            (0..clients).map(|c| scope.spawn(move || run_client(addr, c, iters, target))).collect();
         handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
     });
     let elapsed = wall.elapsed();
     latencies.sort();
 
     let total = latencies.len();
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let (p50, p90, p99) =
+        (percentile(&latencies, 0.50), percentile(&latencies, 0.90), percentile(&latencies, 0.99));
     let ms = |d: Duration| format!("{:.3} ms", d.as_secs_f64() * 1e3);
-    let rows = vec![vec![
-        total.to_string(),
-        format!("{:.1} req/s", total as f64 / elapsed.as_secs_f64()),
-        ms(percentile(&latencies, 0.50)),
-        ms(percentile(&latencies, 0.90)),
-        ms(percentile(&latencies, 0.99)),
-    ]];
+    let rows =
+        vec![vec![total.to_string(), format!("{throughput:.1} req/s"), ms(p50), ms(p90), ms(p99)]];
     print!("{}", render_table(&["requests", "throughput", "p50", "p90", "p99"], &rows));
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("concord-bench_client/v1")),
+        ("clients", (clients as u64).into()),
+        ("iters", (iters as u64).into()),
+        ("target", Json::str(target.unwrap_or("auto"))),
+        ("requests", (total as u64).into()),
+        ("elapsed_seconds", elapsed.as_secs_f64().into()),
+        ("throughput_rps", throughput.into()),
+        ("p50_ms", (p50.as_secs_f64() * 1e3).into()),
+        ("p90_ms", (p90.as_secs_f64() * 1e3).into()),
+        ("p99_ms", (p99.as_secs_f64() * 1e3).into()),
+    ]);
+    if let Err(e) = std::fs::write(json_path, format!("{doc}\n")) {
+        eprintln!("cannot write json file `{json_path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {json_path}");
 
     if let Some(server) = local {
         server.request_shutdown();

@@ -6,14 +6,15 @@
 //!
 //! ```text
 //! fig7_to_10 [--system ultrabook|desktop|both] [--tiny|--small|--medium]
-//!            [--target gpu|hybrid|hybrid:<fraction>|auto]
+//!            [--target gpu|native|hybrid|hybrid:<fraction>|auto]
 //!            [--host-threads N] [--json FILE]
 //! ```
 //!
 //! `--target` selects the device policy of the four configured runs:
 //! `gpu` (default) reproduces the paper's figures, `hybrid`/`auto`
 //! evaluate the work-partitioning scheduler against the same CPU
-//! baseline.
+//! baseline, and `native` measures the JIT backend (x86-64 Linux only —
+//! elsewhere the run exits with a structured error).
 //!
 //! `--host-threads N` fans the simulated cores and warps across N OS
 //! threads (equivalent to setting `CONCORD_HOST_THREADS=N`). Every number
@@ -59,7 +60,12 @@ fn main() {
     for system in systems {
         let (fig_speed, fig_energy) = if system.name == "ultrabook" { (7, 8) } else { (9, 10) };
         eprintln!("running {} ({} workloads x 5 measurements)...", system.name, 9);
-        let rows = figure_rows(system, scale, target).expect("figure rows");
+        let rows = figure_rows(system, scale, target).unwrap_or_else(|e| {
+            // `native` on an unsupported host lands here as a structured
+            // runtime error, not a panic.
+            eprintln!("fig7_to_10: {e}");
+            std::process::exit(1);
+        });
         if json_path.is_some() {
             collect_json_rows(&mut json_rows, &rows, &system, target, scale);
         }

@@ -26,7 +26,7 @@ struct Cli {
 fn usage_text() -> String {
     format!(
         "usage: profile [--workload NAME] [--scale tiny|small|medium] \
-         [--target cpu|gpu|hybrid|hybrid:<fraction>|auto] [--out FILE] [--wall-clock]\n\
+         [--target cpu|gpu|native|hybrid|hybrid:<fraction>|auto] [--out FILE] [--wall-clock]\n\
          workloads: {}",
         all_workloads().iter().map(|w| w.spec().name.to_lowercase()).collect::<Vec<_>>().join(", ")
     )
@@ -84,9 +84,15 @@ fn main() {
     let opts = Options { trace, ..Options::default() };
     let system = concord_energy::SystemConfig::ultrabook();
 
-    let mut cc = Concord::new(system, spec.source, opts).expect("workload compiles");
-    let mut inst = workload.build(&mut cc, cli.scale).expect("workload builds");
-    let totals = inst.run(&mut cc, cli.target).expect("workload runs");
+    // Runtime failures — `--target native` on an unsupported host
+    // included — exit with a structured diagnostic, not a panic.
+    let fail = |e: &dyn std::fmt::Display| -> ! {
+        eprintln!("profile: {e}");
+        std::process::exit(1);
+    };
+    let mut cc = Concord::new(system, spec.source, opts).unwrap_or_else(|e| fail(&e));
+    let mut inst = workload.build(&mut cc, cli.scale).unwrap_or_else(|e| fail(&e));
+    let totals = inst.run(&mut cc, cli.target).unwrap_or_else(|e| fail(&e));
     let verified = inst.verify(&cc).is_ok();
 
     let json = cc.tracer().chrome_json();

@@ -45,7 +45,9 @@ pub fn parse_scale(s: &str) -> Result<Scale, ArgError> {
 /// Names the bad value and the accepted set.
 pub fn parse_target(s: &str) -> Result<Target, ArgError> {
     Target::parse(s).ok_or_else(|| {
-        ArgError(format!("unknown target `{s}` (expected cpu|gpu|auto|hybrid|hybrid:<fraction>)"))
+        ArgError(format!(
+            "unknown target `{s}` (expected cpu|gpu|auto|native|hybrid|hybrid:<fraction>)"
+        ))
     })
 }
 
@@ -124,6 +126,7 @@ mod tests {
         assert_eq!(parse_target("cpu").unwrap(), Target::Cpu);
         assert_eq!(parse_target("gpu").unwrap(), Target::Gpu);
         assert_eq!(parse_target("auto").unwrap(), Target::Auto);
+        assert_eq!(parse_target("native").unwrap(), Target::Native);
         assert!(matches!(
             parse_target("hybrid:0.25").unwrap(),
             Target::Hybrid { gpu_fraction } if (gpu_fraction - 0.25).abs() < 1e-12
@@ -134,7 +137,7 @@ mod tests {
     fn bad_target_is_diagnosed() {
         let e = parse_target("warp9").unwrap_err();
         assert!(e.0.contains("unknown target `warp9`"), "got: {e}");
-        assert!(e.0.contains("cpu|gpu|auto|hybrid"), "message lists the accepted set");
+        assert!(e.0.contains("cpu|gpu|auto|native|hybrid"), "message lists the accepted set");
         // A malformed hybrid fraction is a bad value too, not a panic.
         assert!(parse_target("hybrid:fast").is_err());
     }

@@ -1,0 +1,745 @@
+//! A small x86-64 instruction encoder.
+//!
+//! Emits exactly the subset of the ISA the lowering in [`crate::lower`]
+//! needs: 64-bit ALU forms, sign/zero-extending loads, truncating stores,
+//! SSE2 scalar float ops, `lock`-prefixed read-modify-writes, and
+//! rel32 branches with label fixups. Everything uses explicit
+//! ModRM/SIB/REX encoding; there is no instruction database — each
+//! method writes its own bytes, and the unit tests pin the encodings
+//! against independently assembled reference sequences.
+
+/// General-purpose registers, numbered as in the ModRM register field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs, dead_code)] // complete register file; not every reg is allocated
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    fn lo(self) -> u8 {
+        self as u8 & 7
+    }
+    fn hi(self) -> bool {
+        self as u8 >= 8
+    }
+}
+
+/// SSE registers (only the low, REX-free half is ever used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs, dead_code)]
+pub enum Xmm {
+    X0 = 0,
+    X1 = 1,
+    X2 = 2,
+}
+
+/// Condition codes (the low nibble of the 0F 8x/9x/4x opcode families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs, dead_code)] // full condition-code table
+pub enum Cc {
+    E = 0x4,
+    Ne = 0x5,
+    L = 0xC,
+    Ge = 0xD,
+    Le = 0xE,
+    G = 0xF,
+    B = 0x2,
+    Ae = 0x3,
+    Be = 0x6,
+    A = 0x7,
+    S = 0x8,
+    P = 0xA,
+    Np = 0xB,
+}
+
+/// Two-operand integer ALU ops in the `op r64, r/m64` form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Alu {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Cmp,
+}
+
+impl Alu {
+    /// Opcode for `op reg, r/m` and the /digit for the `81 /n imm32` form.
+    fn enc(self) -> (u8, u8) {
+        match self {
+            Alu::Add => (0x03, 0),
+            Alu::Or => (0x0B, 1),
+            Alu::And => (0x23, 4),
+            Alu::Sub => (0x2B, 5),
+            Alu::Xor => (0x33, 6),
+            Alu::Cmp => (0x3B, 7),
+        }
+    }
+}
+
+/// A memory operand: `[base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Mem {
+    base: Reg,
+    index: Option<(Reg, u8)>,
+    disp: i32,
+}
+
+impl Mem {
+    /// `[base + disp]`.
+    pub fn b(base: Reg, disp: i32) -> Mem {
+        Mem { base, index: None, disp }
+    }
+
+    /// `[base + index]` (scale 1, no displacement).
+    pub fn bi(base: Reg, index: Reg) -> Mem {
+        assert!(index != Reg::Rsp, "rsp cannot be an index register");
+        Mem { base, index: Some((index, 0)), disp: 0 }
+    }
+
+    /// `[base + index*8 + disp]`.
+    pub fn bi8(base: Reg, index: Reg, disp: i32) -> Mem {
+        assert!(index != Reg::Rsp, "rsp cannot be an index register");
+        Mem { base, index: Some((index, 3)), disp }
+    }
+}
+
+/// A forward-referencable code position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// The instruction stream under construction.
+#[derive(Debug, Default)]
+pub struct Asm {
+    code: Vec<u8>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    /// Fresh empty stream.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current length (== offset of the next emitted byte).
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Pad with `int3` until the position is 16-byte aligned (function
+    /// entry alignment; the padding is never executed).
+    pub fn align16(&mut self) {
+        while !self.code.len().is_multiple_of(16) {
+            self.code.push(0xCC);
+        }
+    }
+
+    /// Allocate an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `l` to the current position.
+    pub fn bind(&mut self, l: Label) {
+        debug_assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.code.len());
+    }
+
+    /// Resolve all rel32 fixups and return the finished image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(mut self) -> Vec<u8> {
+        for &(pos, l) in &self.fixups {
+            let target = self.labels[l.0].expect("unbound label");
+            let rel = (target as i64 - (pos as i64 + 4)) as i32;
+            self.code[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        self.code
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.code.push(b);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        self.code.extend_from_slice(bs);
+    }
+
+    fn i32le(&mut self, v: i32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// REX prefix; omitted when no bit is set and not forced.
+    fn rex(&mut self, w: bool, r: bool, x: bool, b: bool, force: bool) {
+        let v = 0x40 | (u8::from(w) << 3) | (u8::from(r) << 2) | (u8::from(x) << 1) | u8::from(b);
+        if v != 0x40 || force {
+            self.byte(v);
+        }
+    }
+
+    /// ModRM (+SIB, +disp) for a register `reg` (field value, low 3 bits)
+    /// against memory operand `m`.
+    fn modrm_mem(&mut self, reg: u8, m: &Mem) {
+        let need_sib = m.index.is_some() || m.base.lo() == 4;
+        // rbp/r13 as base cannot use mod=00; force a disp8 of zero.
+        let (modb, disp8) = if m.disp == 0 && m.base.lo() != 5 {
+            (0u8, false)
+        } else if i8::try_from(m.disp).is_ok() {
+            (0x40u8, true)
+        } else {
+            (0x80u8, false)
+        };
+        let rm = if need_sib { 4 } else { m.base.lo() };
+        self.byte(modb | (reg << 3) | rm);
+        if need_sib {
+            let (ilo, scale) = match m.index {
+                Some((i, s)) => (i.lo(), s),
+                None => (4, 0), // no index
+            };
+            self.byte((scale << 6) | (ilo << 3) | m.base.lo());
+        }
+        if modb == 0x40 {
+            if disp8 {
+                self.byte(m.disp as i8 as u8);
+            } else {
+                self.byte(0);
+            }
+        } else if modb == 0x80 {
+            self.i32le(m.disp);
+        }
+    }
+
+    /// Generic `prefixes rex opcode modrm` against memory.
+    fn op_m(&mut self, prefixes: &[u8], w: bool, opcode: &[u8], reg: u8, reg_hi: bool, m: &Mem) {
+        self.bytes(prefixes);
+        let x = m.index.map(|(i, _)| i.hi()).unwrap_or(false);
+        self.rex(w, reg_hi, x, m.base.hi(), false);
+        self.bytes(opcode);
+        self.modrm_mem(reg, m);
+    }
+
+    /// Generic `prefixes rex opcode modrm` register-register.
+    fn op_r(&mut self, prefixes: &[u8], w: bool, opcode: &[u8], reg: u8, reg_hi: bool, rm: Reg) {
+        self.bytes(prefixes);
+        self.rex(w, reg_hi, false, rm.hi(), false);
+        self.bytes(opcode);
+        self.byte(0xC0 | (reg << 3) | rm.lo());
+    }
+
+    // ---- moves ----
+
+    /// `mov dst, imm` — `C7` sign-extended imm32 when it fits, else movabs.
+    pub fn mov_ri(&mut self, dst: Reg, v: i64) {
+        if let Ok(v32) = i32::try_from(v) {
+            self.op_r(&[], true, &[0xC7], 0, false, dst);
+            self.i32le(v32);
+        } else {
+            self.rex(true, false, false, dst.hi(), false);
+            self.byte(0xB8 + dst.lo());
+            self.bytes(&v.to_le_bytes());
+        }
+    }
+
+    /// `mov dst, src` (64-bit).
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_r(&[], true, &[0x8B], dst.lo(), dst.hi(), src);
+    }
+
+    /// `mov dst, qword [m]`.
+    pub fn mov_rm(&mut self, dst: Reg, m: Mem) {
+        self.op_m(&[], true, &[0x8B], dst.lo(), dst.hi(), &m);
+    }
+
+    /// `mov qword [m], src`.
+    pub fn mov_mr(&mut self, m: Mem, src: Reg) {
+        self.op_m(&[], true, &[0x89], src.lo(), src.hi(), &m);
+    }
+
+    /// `mov dword [m], src32`.
+    pub fn mov_mr32(&mut self, m: Mem, src: Reg) {
+        self.op_m(&[], false, &[0x89], src.lo(), src.hi(), &m);
+    }
+
+    /// `mov word [m], src16`.
+    pub fn mov_mr16(&mut self, m: Mem, src: Reg) {
+        self.op_m(&[0x66], false, &[0x89], src.lo(), src.hi(), &m);
+    }
+
+    /// `mov byte [m], src8` (callers only pass al/cl/dl-class sources).
+    pub fn mov_mr8(&mut self, m: Mem, src: Reg) {
+        assert!((src as u8) < 4 || src.hi(), "8-bit store needs a REX-free low register");
+        self.op_m(&[], false, &[0x88], src.lo(), src.hi(), &m);
+    }
+
+    /// `mov qword [m], imm32` (sign-extended).
+    pub fn mov_mi(&mut self, m: Mem, v: i32) {
+        self.op_m(&[], true, &[0xC7], 0, false, &m);
+        self.i32le(v);
+    }
+
+    /// `movsx dst, byte [m]`.
+    pub fn movsx8_rm(&mut self, dst: Reg, m: Mem) {
+        self.op_m(&[], true, &[0x0F, 0xBE], dst.lo(), dst.hi(), &m);
+    }
+
+    /// `movsx dst, word [m]`.
+    pub fn movsx16_rm(&mut self, dst: Reg, m: Mem) {
+        self.op_m(&[], true, &[0x0F, 0xBF], dst.lo(), dst.hi(), &m);
+    }
+
+    /// `movsxd dst, dword [m]`.
+    pub fn movsxd_rm(&mut self, dst: Reg, m: Mem) {
+        self.op_m(&[], true, &[0x63], dst.lo(), dst.hi(), &m);
+    }
+
+    /// `movsxd dst, src32` (sign-extend low 32 bits of src).
+    pub fn movsxd_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_r(&[], true, &[0x63], dst.lo(), dst.hi(), src);
+    }
+
+    /// `movsx dst, src8`.
+    pub fn movsx8_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_r(&[], true, &[0x0F, 0xBE], dst.lo(), dst.hi(), src);
+    }
+
+    /// `movsx dst, src16`.
+    pub fn movsx16_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_r(&[], true, &[0x0F, 0xBF], dst.lo(), dst.hi(), src);
+    }
+
+    /// `movzx dst, src8`.
+    pub fn movzx8_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_r(&[], true, &[0x0F, 0xB6], dst.lo(), dst.hi(), src);
+    }
+
+    /// `movzx dst, src16`.
+    pub fn movzx16_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_r(&[], true, &[0x0F, 0xB7], dst.lo(), dst.hi(), src);
+    }
+
+    /// `mov dst32, src32` — zero-extends the high half.
+    pub fn mov_rr32(&mut self, dst: Reg, src: Reg) {
+        self.op_r(&[], false, &[0x8B], dst.lo(), dst.hi(), src);
+    }
+
+    // ---- ALU ----
+
+    /// `op dst, src` (64-bit).
+    pub fn alu_rr(&mut self, op: Alu, dst: Reg, src: Reg) {
+        let (opc, _) = op.enc();
+        self.op_r(&[], true, &[opc], dst.lo(), dst.hi(), src);
+    }
+
+    /// `op dst, qword [m]`.
+    pub fn alu_rm(&mut self, op: Alu, dst: Reg, m: Mem) {
+        let (opc, _) = op.enc();
+        self.op_m(&[], true, &[opc], dst.lo(), dst.hi(), &m);
+    }
+
+    /// `op dst, imm32` (sign-extended).
+    pub fn alu_ri(&mut self, op: Alu, dst: Reg, v: i32) {
+        let (_, digit) = op.enc();
+        self.op_r(&[], true, &[0x81], digit, false, dst);
+        self.i32le(v);
+    }
+
+    /// `op qword [m], imm32` (sign-extended).
+    pub fn alu_mi(&mut self, op: Alu, m: Mem, v: i32) {
+        let (_, digit) = op.enc();
+        self.op_m(&[], true, &[0x81], digit, false, &m);
+        self.i32le(v);
+    }
+
+    /// `cmp qword [m], imm32`.
+    pub fn cmp_mi(&mut self, m: Mem, v: i32) {
+        self.alu_mi(Alu::Cmp, m, v);
+    }
+
+    /// `imul dst, src` (64-bit).
+    pub fn imul_rr(&mut self, dst: Reg, src: Reg) {
+        self.op_r(&[], true, &[0x0F, 0xAF], dst.lo(), dst.hi(), src);
+    }
+
+    /// `neg dst` (64-bit).
+    pub fn neg(&mut self, dst: Reg) {
+        self.op_r(&[], true, &[0xF7], 3, false, dst);
+    }
+
+    /// `cqo` — sign-extend rax into rdx:rax.
+    pub fn cqo(&mut self) {
+        self.bytes(&[0x48, 0x99]);
+    }
+
+    /// `idiv src` (64-bit).
+    pub fn idiv(&mut self, src: Reg) {
+        self.op_r(&[], true, &[0xF7], 7, false, src);
+    }
+
+    /// `div src` (64-bit unsigned).
+    pub fn div(&mut self, src: Reg) {
+        self.op_r(&[], true, &[0xF7], 6, false, src);
+    }
+
+    /// `shl dst, cl`.
+    pub fn shl_cl(&mut self, dst: Reg) {
+        self.op_r(&[], true, &[0xD3], 4, false, dst);
+    }
+
+    /// `shr dst, cl`.
+    pub fn shr_cl(&mut self, dst: Reg) {
+        self.op_r(&[], true, &[0xD3], 5, false, dst);
+    }
+
+    /// `sar dst, cl`.
+    pub fn sar_cl(&mut self, dst: Reg) {
+        self.op_r(&[], true, &[0xD3], 7, false, dst);
+    }
+
+    /// `shl dst, imm8`.
+    #[allow(dead_code)] // encoder completeness; exercised by the byte tests
+    pub fn shl_i(&mut self, dst: Reg, n: u8) {
+        self.op_r(&[], true, &[0xC1], 4, false, dst);
+        self.byte(n);
+    }
+
+    /// `shr dst, imm8`.
+    pub fn shr_i(&mut self, dst: Reg, n: u8) {
+        self.op_r(&[], true, &[0xC1], 5, false, dst);
+        self.byte(n);
+    }
+
+    /// `test dst, src` (64-bit).
+    pub fn test_rr(&mut self, a: Reg, b: Reg) {
+        self.op_r(&[], true, &[0x85], b.lo(), b.hi(), a);
+    }
+
+    /// `setcc dst8` (low byte; callers movzx afterwards).
+    pub fn setcc(&mut self, cc: Cc, dst: Reg) {
+        assert!((dst as u8) < 4, "setcc targets a REX-free low register");
+        self.op_r(&[], false, &[0x0F, 0x90 + cc as u8], 0, false, dst);
+    }
+
+    /// `cmovcc dst, src` (64-bit).
+    pub fn cmovcc(&mut self, cc: Cc, dst: Reg, src: Reg) {
+        self.op_r(&[], true, &[0x0F, 0x40 + cc as u8], dst.lo(), dst.hi(), src);
+    }
+
+    /// `lea dst, [m]`.
+    pub fn lea(&mut self, dst: Reg, m: Mem) {
+        self.op_m(&[], true, &[0x8D], dst.lo(), dst.hi(), &m);
+    }
+
+    // ---- stack / control flow ----
+
+    /// `push reg`.
+    pub fn push(&mut self, r: Reg) {
+        self.rex(false, false, false, r.hi(), false);
+        self.byte(0x50 + r.lo());
+    }
+
+    /// `pop reg`.
+    pub fn pop(&mut self, r: Reg) {
+        self.rex(false, false, false, r.hi(), false);
+        self.byte(0x58 + r.lo());
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.byte(0xC3);
+    }
+
+    /// `call reg`.
+    pub fn call_r(&mut self, r: Reg) {
+        self.rex(false, false, false, r.hi(), false);
+        self.bytes(&[0xFF, 0xD0 + r.lo()]);
+    }
+
+    /// `call qword [m]`.
+    pub fn call_m(&mut self, m: Mem) {
+        self.op_m(&[], false, &[0xFF], 2, false, &m);
+    }
+
+    /// `jmp label` (rel32).
+    pub fn jmp(&mut self, l: Label) {
+        self.byte(0xE9);
+        self.fixups.push((self.code.len(), l));
+        self.i32le(0);
+    }
+
+    /// `jcc label` (rel32).
+    pub fn jcc(&mut self, cc: Cc, l: Label) {
+        self.bytes(&[0x0F, 0x80 + cc as u8]);
+        self.fixups.push((self.code.len(), l));
+        self.i32le(0);
+    }
+
+    // ---- atomics ----
+
+    /// `lock xadd dword [m], src32` — src receives the old value.
+    pub fn lock_xadd32(&mut self, m: Mem, src: Reg) {
+        self.op_m(&[0xF0], false, &[0x0F, 0xC1], src.lo(), src.hi(), &m);
+    }
+
+    /// `lock cmpxchg dword [m], src32` — compares against eax.
+    pub fn lock_cmpxchg32(&mut self, m: Mem, src: Reg) {
+        self.op_m(&[0xF0], false, &[0x0F, 0xB1], src.lo(), src.hi(), &m);
+    }
+
+    /// `mov dst32, dword [m]` (zero-extending plain load).
+    #[allow(dead_code)] // encoder completeness; exercised by the byte tests
+    pub fn mov_rm32(&mut self, dst: Reg, m: Mem) {
+        self.op_m(&[], false, &[0x8B], dst.lo(), dst.hi(), &m);
+    }
+
+    // ---- SSE scalar ----
+
+    /// `movsd x, qword [m]`.
+    pub fn movsd_xm(&mut self, x: Xmm, m: Mem) {
+        self.op_m(&[0xF2], false, &[0x0F, 0x10], x as u8, false, &m);
+    }
+
+    /// `movsd qword [m], x`.
+    pub fn movsd_mx(&mut self, m: Mem, x: Xmm) {
+        self.op_m(&[0xF2], false, &[0x0F, 0x11], x as u8, false, &m);
+    }
+
+    /// `movss x, dword [m]`.
+    pub fn movss_xm(&mut self, x: Xmm, m: Mem) {
+        self.op_m(&[0xF3], false, &[0x0F, 0x10], x as u8, false, &m);
+    }
+
+    /// `movss dword [m], x`.
+    pub fn movss_mx(&mut self, m: Mem, x: Xmm) {
+        self.op_m(&[0xF3], false, &[0x0F, 0x11], x as u8, false, &m);
+    }
+
+    /// Scalar double arithmetic `op x, y` (add/sub/mul/div/sqrt/min-slot).
+    fn sse_xx(&mut self, pfx: u8, opc: u8, dst: Xmm, src: Xmm) {
+        self.bytes(&[pfx, 0x0F, opc]);
+        self.byte(0xC0 | ((dst as u8) << 3) | src as u8);
+    }
+
+    /// `addsd dst, src`.
+    pub fn addsd(&mut self, dst: Xmm, src: Xmm) {
+        self.sse_xx(0xF2, 0x58, dst, src);
+    }
+
+    /// `subsd dst, src`.
+    pub fn subsd(&mut self, dst: Xmm, src: Xmm) {
+        self.sse_xx(0xF2, 0x5C, dst, src);
+    }
+
+    /// `mulsd dst, src`.
+    pub fn mulsd(&mut self, dst: Xmm, src: Xmm) {
+        self.sse_xx(0xF2, 0x59, dst, src);
+    }
+
+    /// `divsd dst, src`.
+    pub fn divsd(&mut self, dst: Xmm, src: Xmm) {
+        self.sse_xx(0xF2, 0x5E, dst, src);
+    }
+
+    /// `sqrtsd dst, src`.
+    pub fn sqrtsd(&mut self, dst: Xmm, src: Xmm) {
+        self.sse_xx(0xF2, 0x51, dst, src);
+    }
+
+    /// `ucomisd dst, src`.
+    pub fn ucomisd(&mut self, dst: Xmm, src: Xmm) {
+        self.sse_xx(0x66, 0x2E, dst, src);
+    }
+
+    /// `cvtsd2ss dst, src` (double → single).
+    pub fn cvtsd2ss(&mut self, dst: Xmm, src: Xmm) {
+        self.sse_xx(0xF2, 0x5A, dst, src);
+    }
+
+    /// `cvtss2sd dst, src` (single → double).
+    pub fn cvtss2sd(&mut self, dst: Xmm, src: Xmm) {
+        self.sse_xx(0xF3, 0x5A, dst, src);
+    }
+
+    /// `cvtsi2sd dst, src64`.
+    pub fn cvtsi2sd(&mut self, dst: Xmm, src: Reg) {
+        self.byte(0xF2);
+        self.rex(true, false, false, src.hi(), false);
+        self.bytes(&[0x0F, 0x2A]);
+        self.byte(0xC0 | ((dst as u8) << 3) | src.lo());
+    }
+
+    /// `movq dst64, xsrc`.
+    pub fn movq_rx(&mut self, dst: Reg, src: Xmm) {
+        self.byte(0x66);
+        self.rex(true, false, false, dst.hi(), false);
+        self.bytes(&[0x0F, 0x7E]);
+        self.byte(0xC0 | ((src as u8) << 3) | dst.lo());
+    }
+
+    /// `movq xdst, src64`.
+    pub fn movq_xr(&mut self, dst: Xmm, src: Reg) {
+        self.byte(0x66);
+        self.rex(true, false, false, src.hi(), false);
+        self.bytes(&[0x0F, 0x6E]);
+        self.byte(0xC0 | ((dst as u8) << 3) | src.lo());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(f: impl FnOnce(&mut Asm)) -> Vec<u8> {
+        let mut a = Asm::new();
+        f(&mut a);
+        a.finish()
+    }
+
+    #[test]
+    fn mov_encodings_match_reference() {
+        // mov rax, rcx  => 48 8b c1
+        assert_eq!(enc(|a| a.mov_rr(Reg::Rax, Reg::Rcx)), vec![0x48, 0x8B, 0xC1]);
+        // mov r8, [r15+16] => 4d 8b 47 10
+        assert_eq!(enc(|a| a.mov_rm(Reg::R8, Mem::b(Reg::R15, 16))), vec![0x4D, 0x8B, 0x47, 0x10]);
+        // mov [rbp-8], rax => 48 89 45 f8
+        assert_eq!(enc(|a| a.mov_mr(Mem::b(Reg::Rbp, -8), Reg::Rax)), vec![0x48, 0x89, 0x45, 0xF8]);
+        // movabs rax, 0x4000_0000_0000 => 48 b8 ...
+        assert_eq!(
+            enc(|a| a.mov_ri(Reg::Rax, 0x4000_0000_0000)),
+            vec![0x48, 0xB8, 0, 0, 0, 0, 0, 0x40, 0, 0]
+        );
+        // mov rax, 5 (imm32 form) => 48 c7 c0 05 00 00 00
+        assert_eq!(enc(|a| a.mov_ri(Reg::Rax, 5)), vec![0x48, 0xC7, 0xC0, 5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sib_and_disp_forms() {
+        // mov rax, [rdx+rcx] => 48 8b 04 0a
+        assert_eq!(
+            enc(|a| a.mov_rm(Reg::Rax, Mem::bi(Reg::Rdx, Reg::Rcx))),
+            vec![0x48, 0x8B, 0x04, 0x0A]
+        );
+        // mov rax, [rcx+r8*8+16] => 4a 8b 44 c1 10
+        assert_eq!(
+            enc(|a| a.mov_rm(Reg::Rax, Mem::bi8(Reg::Rcx, Reg::R8, 16))),
+            vec![0x4A, 0x8B, 0x44, 0xC1, 0x10]
+        );
+        // mov rax, [rbp] needs disp8=0 => 48 8b 45 00
+        assert_eq!(enc(|a| a.mov_rm(Reg::Rax, Mem::b(Reg::Rbp, 0))), vec![0x48, 0x8B, 0x45, 0x00]);
+        // mov rax, [rsp] needs a SIB => 48 8b 04 24
+        assert_eq!(enc(|a| a.mov_rm(Reg::Rax, Mem::b(Reg::Rsp, 0))), vec![0x48, 0x8B, 0x04, 0x24]);
+        // large disp: mov rax, [rdi+0x12345] => 48 8b 87 45 23 01 00
+        assert_eq!(
+            enc(|a| a.mov_rm(Reg::Rax, Mem::b(Reg::Rdi, 0x12345))),
+            vec![0x48, 0x8B, 0x87, 0x45, 0x23, 0x01, 0x00]
+        );
+    }
+
+    #[test]
+    fn alu_and_shift_forms() {
+        // add rax, rbx => 48 03 c3
+        assert_eq!(enc(|a| a.alu_rr(Alu::Add, Reg::Rax, Reg::Rbx)), vec![0x48, 0x03, 0xC3]);
+        // sub rcx, 0x10 => 48 81 e9 10 00 00 00
+        assert_eq!(
+            enc(|a| a.alu_ri(Alu::Sub, Reg::Rcx, 0x10)),
+            vec![0x48, 0x81, 0xE9, 0x10, 0, 0, 0]
+        );
+        // cmp rcx, [r15+40] => 49 3b 4f 28
+        assert_eq!(
+            enc(|a| a.alu_rm(Alu::Cmp, Reg::Rcx, Mem::b(Reg::R15, 40))),
+            vec![0x49, 0x3B, 0x4F, 0x28]
+        );
+        // shl rax, cl => 48 d3 e0 ; sar rdx, cl => 48 d3 fa
+        assert_eq!(enc(|a| a.shl_cl(Reg::Rax)), vec![0x48, 0xD3, 0xE0]);
+        assert_eq!(enc(|a| a.sar_cl(Reg::Rdx)), vec![0x48, 0xD3, 0xFA]);
+        // imul rax, rcx => 48 0f af c1
+        assert_eq!(enc(|a| a.imul_rr(Reg::Rax, Reg::Rcx)), vec![0x48, 0x0F, 0xAF, 0xC1]);
+        // sub qword [r15+40], 7 => 49 81 6f 28 07 00 00 00
+        assert_eq!(
+            enc(|a| a.alu_mi(Alu::Sub, Mem::b(Reg::R15, 40), 7)),
+            vec![0x49, 0x81, 0x6F, 0x28, 7, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn control_flow_and_fixups() {
+        // Forward jump over one byte of padding.
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jmp(l);
+        a.ret();
+        a.bind(l);
+        a.ret();
+        // e9 01 00 00 00 c3 c3
+        assert_eq!(a.finish(), vec![0xE9, 1, 0, 0, 0, 0xC3, 0xC3]);
+
+        // Backward conditional branch.
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.jcc(Cc::Ne, top);
+        // 0f 85 fa ff ff ff (-6)
+        assert_eq!(a.finish(), vec![0x0F, 0x85, 0xFA, 0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn sse_and_atomic_forms() {
+        // movsd xmm0, [rbp-16] => f2 0f 10 45 f0
+        assert_eq!(
+            enc(|a| a.movsd_xm(Xmm::X0, Mem::b(Reg::Rbp, -16))),
+            vec![0xF2, 0x0F, 0x10, 0x45, 0xF0]
+        );
+        // addsd xmm0, xmm1 => f2 0f 58 c1
+        assert_eq!(enc(|a| a.addsd(Xmm::X0, Xmm::X1)), vec![0xF2, 0x0F, 0x58, 0xC1]);
+        // cvtsi2sd xmm0, rax => f2 48 0f 2a c0
+        assert_eq!(enc(|a| a.cvtsi2sd(Xmm::X0, Reg::Rax)), vec![0xF2, 0x48, 0x0F, 0x2A, 0xC0]);
+        // lock xadd [rdx+rcx], eax => f0 0f c1 04 0a
+        assert_eq!(
+            enc(|a| a.lock_xadd32(Mem::bi(Reg::Rdx, Reg::Rcx), Reg::Rax)),
+            vec![0xF0, 0x0F, 0xC1, 0x04, 0x0A]
+        );
+        // lock cmpxchg [rdx], r8d => f0 44 0f b1 02
+        assert_eq!(
+            enc(|a| a.lock_cmpxchg32(Mem::b(Reg::Rdx, 0), Reg::R8)),
+            vec![0xF0, 0x44, 0x0F, 0xB1, 0x02]
+        );
+        // movq rax, xmm0 => 66 48 0f 7e c0
+        assert_eq!(enc(|a| a.movq_rx(Reg::Rax, Xmm::X0)), vec![0x66, 0x48, 0x0F, 0x7E, 0xC0]);
+    }
+
+    #[test]
+    fn setcc_cmov_call() {
+        // sete al => 0f 94 c0
+        assert_eq!(enc(|a| a.setcc(Cc::E, Reg::Rax)), vec![0x0F, 0x94, 0xC0]);
+        // cmovne rax, rcx => 48 0f 45 c1
+        assert_eq!(enc(|a| a.cmovcc(Cc::Ne, Reg::Rax, Reg::Rcx)), vec![0x48, 0x0F, 0x45, 0xC1]);
+        // call rax => ff d0 ; call qword [rcx+8] => ff 51 08
+        assert_eq!(enc(|a| a.call_r(Reg::Rax)), vec![0xFF, 0xD0]);
+        assert_eq!(enc(|a| a.call_m(Mem::b(Reg::Rcx, 8))), vec![0xFF, 0x51, 0x08]);
+        // push r12 / pop r12 => 41 54 / 41 5c
+        assert_eq!(enc(|a| a.push(Reg::R12)), vec![0x41, 0x54]);
+        assert_eq!(enc(|a| a.pop(Reg::R12)), vec![0x41, 0x5C]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Launch drivers: run compiled kernels over the shared region with the
+//! CPU simulator's iteration-space chunking, so shared-memory results and
+//! traps are bit-identical to the interpreter backend.
+//!
+//! Determinism model
+//!
+//! The executor reuses [`concord_cpusim::span_chunks`] with the same chunk
+//! count (the simulated core count), so chunk `k` covers exactly the same
+//! work-item ids as it would under `CpuSim`. Kernels with order-dependent
+//! operations (`device_malloc`, compare-and-swap — see
+//! [`concord_ir::analysis::uses_gated_ops`]) run chunks serially in order,
+//! like the simulator's serial path. All other kernels run chunks across
+//! host threads writing the live region directly: the per-workload
+//! commutativity audit in DESIGN.md shows this commits the same final
+//! bytes as the simulator's log-replay merge, and hardware `lock`-prefixed
+//! atomics match `apply_rmw` byte-for-byte. On a trap, the lowest-index
+//! trapped chunk's trap is reported (first-trap-wins), matching serial
+//! order; region bytes after a trapped *parallel* launch are unspecified
+//! (the simulator commits chunk logs up to the trapped chunk, native has
+//! already written live) — callers treat a trapped launch as poisoned
+//! either way.
+
+use concord_cpusim::{span_chunks, CpuSim};
+use concord_ir::analysis::uses_gated_ops;
+use concord_ir::eval::Trap;
+use concord_ir::{FuncId, Module};
+use concord_svm::{CpuAddr, SharedRegion};
+
+use crate::env::{Env, PRIVATE_BYTES};
+use crate::NativeModule;
+
+/// Signature of every generated function: `rdi` = environment, `rsi` =
+/// pointer to the raw (bit-pattern) argument words, returns raw bits.
+type JitFn = unsafe extern "sysv64" fn(*mut Env, *const u64) -> u64;
+
+/// Reconstruct a callable entry from an absolute code address.
+fn jit(addr: u64) -> JitFn {
+    // SAFETY: addresses come from `NativeModule::code_ptrs`, which point at
+    // function entries inside a live R+X `ExecBuf`. Calling the result is
+    // itself unsafe; this only forms the pointer.
+    unsafe { std::mem::transmute::<usize, JitFn>(addr as usize) }
+}
+
+/// Statistics from one native launch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaunchStats {
+    /// IR instructions charged against the step budget (exact on normal
+    /// completion; blocks are pre-charged, so a mid-block trap may count a
+    /// few instructions that never retired).
+    pub insts: u64,
+}
+
+/// Per-core private memories plus launch configuration: the native
+/// equivalent of `CpuSim`'s execution state. Private memories persist
+/// across launches (uncleared), exactly as the simulator's do.
+pub struct Executor {
+    privates: Vec<Vec<u8>>,
+    cores: usize,
+    /// OS threads used to execute chunks of non-gated kernels. Purely a
+    /// wall-clock knob: results are identical for every value.
+    pub host_threads: usize,
+    /// Per-work-item instruction budget (runaway-loop guard), matching
+    /// `CpuSim::step_budget_per_item`.
+    pub step_budget: i64,
+}
+
+impl Executor {
+    /// Build an executor with `cores` chunk lanes (one private memory
+    /// each) executing on up to `host_threads` OS threads.
+    pub fn new(cores: usize, host_threads: usize) -> Executor {
+        let cores = cores.max(1);
+        Executor {
+            privates: (0..cores).map(|_| vec![0u8; PRIVATE_BYTES]).collect(),
+            cores,
+            host_threads: host_threads.max(1),
+            step_budget: 200_000_000,
+        }
+    }
+
+    /// The chunk-lane count this executor was built with.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Execute the sub-range `[lo, hi)` of a `parallel_for_hetero` whose
+    /// full iteration space is `[0, grid)`: iteration `i` calls
+    /// `func(body, i)` with global work-item id `i`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel; under host parallelism the
+    /// lowest-work-item trap wins, as it would serially.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_for(
+        &mut self,
+        region: &mut SharedRegion,
+        nm: &NativeModule,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+    ) -> Result<LaunchStats, Trap> {
+        let name = &module.function(func).name;
+        let entry = jit(nm.code_ptrs[func.0 as usize]);
+        let spans = span_chunks(lo, hi, self.cores);
+        if uses_gated_ops(module, &[func]) {
+            let mut stats = LaunchStats::default();
+            for (core_idx, &(c_lo, c_hi)) in spans.iter().enumerate() {
+                let run = self.run_chunk(region, nm, entry, name, core_idx, c_lo, c_hi, grid, body);
+                stats.insts += run.1;
+                if let Some(t) = run.0 {
+                    return Err(t);
+                }
+            }
+            return Ok(stats);
+        }
+        let (rbase, rlen) = region.raw_parts_mut();
+        let arg0 = vec![body; spans.len()];
+        let out = self.run_chunks_parallel(rbase, rlen, nm, entry, name, &spans, &arg0, grid);
+        let mut stats = LaunchStats::default();
+        for (trap, insts) in out {
+            stats.insts += insts;
+            if let Some(t) = trap {
+                return Err(t);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Execute `parallel_reduce_hetero(n, body)`: each chunk lane folds
+    /// its range into a private copy of the body held in its `scratch`
+    /// slot, then the copies are joined into the original sequentially —
+    /// the same schedule as [`CpuSim::parallel_reduce`], so float
+    /// accumulation order (and hence the bits of the total) is identical.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel or joins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` is empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_reduce(
+        &mut self,
+        region: &mut SharedRegion,
+        nm: &NativeModule,
+        module: &Module,
+        func: FuncId,
+        join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        n: u32,
+        scratch: &[CpuAddr],
+    ) -> Result<LaunchStats, Trap> {
+        let slots = self.cores.min(scratch.len());
+        assert!(slots >= 1, "need at least one scratch slot");
+        let name = &module.function(func).name;
+        let entry = jit(nm.code_ptrs[func.0 as usize]);
+        let spans = span_chunks(0, n, slots);
+        CpuSim::stage_reduce(region, body, body_size, &scratch[..slots])?;
+        let mut stats = LaunchStats::default();
+        if uses_gated_ops(module, &[func, join]) {
+            for (core_idx, (&acc, &(c_lo, c_hi))) in
+                scratch.iter().take(slots).zip(spans.iter()).enumerate()
+            {
+                let run = self.run_chunk(region, nm, entry, name, core_idx, c_lo, c_hi, n, acc);
+                stats.insts += run.1;
+                if let Some(t) = run.0 {
+                    return Err(t);
+                }
+            }
+        } else {
+            let (rbase, rlen) = region.raw_parts_mut();
+            let arg0 = scratch[..slots].to_vec();
+            let out = self.run_chunks_parallel(rbase, rlen, nm, entry, name, &spans, &arg0, n);
+            for (trap, insts) in out {
+                stats.insts += insts;
+                if let Some(t) = trap {
+                    return Err(t);
+                }
+            }
+        }
+        // Sequential join on lane 0: body.join(acc_k) for each slot, with
+        // the simulator's host-call work-item ids (all zero).
+        let join_name = &module.function(join).name;
+        let jfn = jit(nm.code_ptrs[join.0 as usize]);
+        let (rbase, rlen) = region.raw_parts_mut();
+        let privm = &mut self.privates[0];
+        let mut env = Env::new(
+            (rbase, rlen),
+            (privm.as_mut_ptr(), privm.len()),
+            nm.class_count,
+            &nm.code_ptrs,
+        );
+        for &slot in scratch.iter().take(slots) {
+            env.reset_item(0, 0, self.step_budget);
+            let args = [body.0, slot.0];
+            // SAFETY: `jfn` is a generated entry of `nm`; env and args obey
+            // the generated calling convention.
+            unsafe { jfn(&mut env, args.as_ptr()) };
+            stats.insts += (self.step_budget - env.steps.max(0)) as u64;
+            if let Some(t) = env.take_trap(join_name) {
+                return Err(t);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Run one chunk in-order on lane `core_idx` against the live region
+    /// (the serial path for gated kernels, and the building block the
+    /// parallel path replicates per host thread).
+    #[allow(clippy::too_many_arguments)]
+    fn run_chunk(
+        &mut self,
+        region: &mut SharedRegion,
+        nm: &NativeModule,
+        entry: JitFn,
+        name: &str,
+        core_idx: usize,
+        c_lo: u32,
+        c_hi: u32,
+        grid: u32,
+        arg0: CpuAddr,
+    ) -> (Option<Trap>, u64) {
+        let (rbase, rlen) = region.raw_parts_mut();
+        let privm = &mut self.privates[core_idx];
+        let mut env = Env::new(
+            (rbase, rlen),
+            (privm.as_mut_ptr(), privm.len()),
+            nm.class_count,
+            &nm.code_ptrs,
+        );
+        run_span(&mut env, entry, name, c_lo, c_hi, grid, arg0, self.step_budget)
+    }
+
+    /// Fan chunks out over host threads, each with its own lane's private
+    /// memory, all writing the live region. Returns per-chunk (trap,
+    /// insts) in chunk order.
+    #[allow(clippy::too_many_arguments)]
+    fn run_chunks_parallel(
+        &mut self,
+        rbase: *mut u8,
+        rlen: usize,
+        nm: &NativeModule,
+        entry: JitFn,
+        name: &str,
+        spans: &[(u32, u32)],
+        arg0: &[CpuAddr],
+        grid: u32,
+    ) -> Vec<(Option<Trap>, u64)> {
+        let privs: Vec<(usize, usize)> =
+            self.privates.iter_mut().map(|p| (p.as_mut_ptr() as usize, p.len())).collect();
+        let region_base = rbase as usize;
+        let budget = self.step_budget;
+        let class_count = nm.class_count;
+        let code_ptrs = &nm.code_ptrs;
+        concord_pool::map(self.host_threads, spans.len(), |idx| {
+            let (c_lo, c_hi) = spans[idx];
+            let (pbase, plen) = privs[idx];
+            // Each chunk gets its own Env over its own private memory; the
+            // region pointer is shared, and cross-chunk shared writes are
+            // confined to generated code (same-value or lock-atomic — see
+            // the module docs).
+            let mut env = Env::new(
+                (region_base as *mut u8, rlen),
+                (pbase as *mut u8, plen),
+                class_count,
+                code_ptrs,
+            );
+            run_span(&mut env, entry, name, c_lo, c_hi, grid, arg0[idx], budget)
+        })
+    }
+}
+
+/// Run work items `[c_lo, c_hi)` through `entry`, stopping at the first
+/// trap. Returns the trap (if any) and instructions charged.
+#[allow(clippy::too_many_arguments)]
+fn run_span(
+    env: &mut Env,
+    entry: JitFn,
+    name: &str,
+    c_lo: u32,
+    c_hi: u32,
+    grid: u32,
+    arg0: CpuAddr,
+    budget: i64,
+) -> (Option<Trap>, u64) {
+    let mut insts = 0u64;
+    for i in c_lo..c_hi {
+        env.reset_item(i as i64, grid as i64, budget);
+        let args = [arg0.0, i as u64];
+        // SAFETY: `entry` is a generated function of the module whose
+        // `code_ptrs` this env carries; the args array outlives the call
+        // and the generated code only reads `params.len() <= 2` words.
+        unsafe { entry(&mut *env, args.as_ptr()) };
+        insts += (budget - env.steps.max(0)) as u64;
+        if let Some(t) = env.take_trap(name) {
+            return (Some(t), insts);
+        }
+    }
+    (None, insts)
+}

@@ -1,0 +1,1216 @@
+//! Lowering from optimized `concord-ir` to x86-64 machine code.
+//!
+//! Every function becomes a native function with this internal convention:
+//!
+//! ```text
+//! extern "sysv64" fn(env: *mut Env /* rdi */, args: *const u64 /* rsi */) -> u64
+//! ```
+//!
+//! `args` points at the raw 64-bit bit patterns of the parameters (pointers
+//! are raw addresses, floats are `f64` bits); the return value is likewise
+//! the raw bits of the result. Inside a function:
+//!
+//! * `r15` pins the [`Env`] pointer, `r14` pins `CPU_BASE`, `rbp` is the
+//!   frame pointer. `rbx`/`r12`/`r13` are the register-allocation pool
+//!   (see [`crate::regalloc`]); everything caller-saved is scratch.
+//! * Every SSA value owns an 8-byte frame slot holding its raw bits;
+//!   register-allocated values live in their register instead.
+//! * Traps never unwind: a trap stub records a code plus payload words in
+//!   the environment and returns through every active frame, each one
+//!   restoring the private stack pointer it saved on entry. The launch
+//!   driver turns the cells back into the interpreter's `Trap` value.
+//!
+//! Interpreter parity is the design center — the differential battery
+//! demands byte-identical region output and identical traps:
+//!
+//! * The step budget is pre-charged per block (`sub [env.steps], len`;
+//!   trap when negative), which traps on exactly the same launches as the
+//!   interpreter's per-instruction check.
+//! * Address-space classification is by range, exactly like the
+//!   interpreter's `reclassify`/`classify_raw`: below `CPU_BASE` is
+//!   private, `[CPU_BASE, GPU_BASE)` is shared CPU space, above is GPU
+//!   space. The fused check `addr - CPU_BASE <= region_len - size`
+//!   dispatches the hot shared-CPU case in two instructions. (Pointer
+//!   *tags* exist only in the interpreter; IR that manufactures a
+//!   mistagged pointer via `inttoptr` could diverge, but the frontend
+//!   never emits such IR — see DESIGN.md.)
+//! * Pointer-typed stores to shared memory replicate `write_val`'s
+//!   encode-before-resolve order: the stored value's space is checked
+//!   before the target address's bounds.
+//! * Division, shifts, narrow-int wrapping, float-through-`f32` rounding
+//!   and NaN-sensitive intrinsics all mirror `concord_ir::eval` — the
+//!   NaN-asymmetric `FMin`/`FMax` and the saturating `FpToSi` go through
+//!   tiny Rust helpers so the semantics are identical by construction.
+
+use crate::asm::{Alu, Asm, Cc, Label, Mem, Reg, Xmm};
+use crate::env::{
+    h_device_malloc, h_exp, h_f2i, h_floor, h_fmax, h_fmin, h_pow, Env, MAX_DEPTH, OFF_CLASS_COUNT,
+    OFF_CODE_PTRS, OFF_DEPTH, OFF_GLOBAL_ID, OFF_GLOBAL_SIZE, OFF_GPU_BASE, OFF_GROUP_ID,
+    OFF_LIMIT_CPU, OFF_LIMIT_PRIV, OFF_LOCAL_ID, OFF_NFUNCS, OFF_PRIV_BASE, OFF_PRIV_LEN,
+    OFF_PRIV_SP, OFF_REGION_BASE, OFF_STEPS, OFF_TRAP_A, OFF_TRAP_B, OFF_TRAP_CODE, PRIVATE_BASE,
+    TRAP_BAD_ADDRESS, TRAP_BAD_DISPATCH, TRAP_DIV_ZERO, TRAP_STACK_OVERFLOW, TRAP_STEP_LIMIT,
+    TRAP_UNREACHABLE, TRAP_WRONG_SPACE,
+};
+use crate::regalloc::{allocate, Allocation};
+use crate::CompileError;
+use concord_ir::analysis::reverse_postorder;
+use concord_ir::inst::{BinOp, CastOp, FCmp, ICmp, Intrinsic, Op};
+use concord_ir::types::{AddrSpace, Type};
+use concord_ir::{BlockId, Function, Module, ValueId};
+use concord_svm::{CPU_BASE, SVM_CONST, VTABLE_MAGIC};
+use std::collections::HashMap;
+
+/// Registers backing [`crate::regalloc`] assignments, in index order.
+const ALLOC_REGS: [Reg; 3] = [Reg::Rbx, Reg::R12, Reg::R13];
+
+/// Space payload codes shared with [`Env::take_trap`].
+const SPACE_CPU: i64 = 0;
+const SPACE_GPU: i64 = 1;
+const SPACE_PRIVATE: i64 = 2;
+const SPACE_LOCAL: i64 = 3;
+
+/// A lowered module: one flat code image plus the entry offset of every
+/// function, indexed by `FuncId`.
+pub(crate) struct Lowered {
+    /// Machine code for all functions.
+    pub code: Vec<u8>,
+    /// Byte offset of each function's entry point.
+    pub offsets: Vec<usize>,
+}
+
+/// Lower every function in `module`.
+pub(crate) fn lower_module(module: &Module) -> Result<Lowered, CompileError> {
+    let mut a = Asm::new();
+    let mut offsets = Vec::with_capacity(module.functions.len());
+    for f in &module.functions {
+        a.align16();
+        offsets.push(a.here());
+        FnLower::new(&mut a, f)?.emit()?;
+    }
+    Ok(Lowered { code: a.finish(), offsets })
+}
+
+/// The interpreter's `frame_layout`, byte for byte: allocas packed in
+/// block order with per-alloca alignment, total rounded to 16.
+fn frame_layout(f: &Function) -> (HashMap<ValueId, u64>, u64) {
+    let mut offsets = HashMap::new();
+    let mut size = 0u64;
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            if let Op::Alloca { size: s, align } = f.inst(id).op {
+                size = size.div_ceil(align) * align;
+                offsets.insert(id, size);
+                size += s;
+            }
+        }
+    }
+    (offsets, size.div_ceil(16) * 16)
+}
+
+fn log2_size(ty: Type) -> i32 {
+    match ty.size() {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        _ => 3,
+    }
+}
+
+/// Per-function lowering state.
+struct FnLower<'a> {
+    a: &'a mut Asm,
+    f: &'a Function,
+    alloc: Allocation,
+    alloca_off: HashMap<ValueId, u64>,
+    frame_size: u64,
+    labels: HashMap<BlockId, Label>,
+    rpo: Vec<BlockId>,
+    /// `-(tmp_base + 8j)` is phi-copy temp `j`.
+    tmp_base: i32,
+    /// `-arg_base + 8j` is outgoing call argument `j`.
+    arg_base: i32,
+    /// `sub rsp, frame` amount (keeps `rsp % 16 == 0` in the body).
+    frame: i32,
+    t_div: Label,
+    t_bad: Label,
+    t_was: Label,
+    t_unreach: Label,
+    t_bvd: Label,
+    t_so: Label,
+    t_steps: Label,
+    bail: Label,
+}
+
+impl<'a> FnLower<'a> {
+    fn new(a: &'a mut Asm, f: &'a Function) -> Result<Self, CompileError> {
+        let rpo = reverse_postorder(f);
+        let alloc = allocate(f);
+        let (alloca_off, frame_size) = frame_layout(f);
+        let nvals = f.insts.len() as i32;
+
+        let mut ntmp = 0i32;
+        let mut nargs = 0i32;
+        for b in f.block_ids() {
+            let phis =
+                f.block(b).insts.iter().filter(|&&id| matches!(f.inst(id).op, Op::Phi(_))).count();
+            ntmp = ntmp.max(phis as i32);
+            for &id in &f.block(b).insts {
+                match &f.inst(id).op {
+                    Op::Call { args, .. } => nargs = nargs.max(args.len() as i32),
+                    Op::CallVirtual { args, .. } => nargs = nargs.max(args.len() as i32 + 1),
+                    _ => {}
+                }
+            }
+        }
+        let tmp_base = 80 + 8 * nvals;
+        let arg_base = tmp_base + 8 * ntmp + 8 * nargs;
+        // Usable frame bytes start at rbp-48 (below the 5 pushed registers);
+        // keep rsp 16-aligned in the body: frame ≡ 8 (mod 16).
+        let mut frame = arg_base - 40;
+        if frame % 16 != 8 {
+            frame += 8;
+        }
+        if frame < 0 || arg_base < 0 || frame_size > i32::MAX as u64 {
+            return Err(CompileError::TooLarge(f.name.clone()));
+        }
+
+        let labels = rpo.iter().map(|&b| (b, a.label())).collect();
+        Ok(FnLower {
+            t_div: a.label(),
+            t_bad: a.label(),
+            t_was: a.label(),
+            t_unreach: a.label(),
+            t_bvd: a.label(),
+            t_so: a.label(),
+            t_steps: a.label(),
+            bail: a.label(),
+            a,
+            f,
+            alloc,
+            alloca_off,
+            frame_size,
+            labels,
+            rpo,
+            tmp_base,
+            arg_base,
+            frame,
+        })
+    }
+
+    // ---- value access ----
+
+    fn slot(&self, v: ValueId) -> Mem {
+        Mem::b(Reg::Rbp, -(80 + 8 * v.0 as i32))
+    }
+
+    fn tmp(&self, j: i32) -> Mem {
+        Mem::b(Reg::Rbp, -(self.tmp_base + 8 * j))
+    }
+
+    fn argslot(&self, j: i32) -> Mem {
+        Mem::b(Reg::Rbp, -self.arg_base + 8 * j)
+    }
+
+    fn reg_of(&self, v: ValueId) -> Option<Reg> {
+        self.alloc.reg_of[v.0 as usize].map(|i| ALLOC_REGS[i as usize])
+    }
+
+    /// The register currently holding `v`: its allocated register, or
+    /// `want` after a load from the slot. The caller must not clobber the
+    /// result unless it equals `want`.
+    fn read(&mut self, v: ValueId, want: Reg) -> Reg {
+        match self.reg_of(v) {
+            Some(r) => r,
+            None => {
+                self.a.mov_rm(want, self.slot(v));
+                want
+            }
+        }
+    }
+
+    /// Force `v` into `dst` (a scratch register the caller may clobber).
+    fn read_into(&mut self, v: ValueId, dst: Reg) {
+        let r = self.read(v, dst);
+        if r != dst {
+            self.a.mov_rr(dst, r);
+        }
+    }
+
+    /// Store `src` as the value of `v`.
+    fn write(&mut self, v: ValueId, src: Reg) {
+        match self.reg_of(v) {
+            Some(r) => {
+                if r != src {
+                    self.a.mov_rr(r, src);
+                }
+            }
+            None => self.a.mov_mr(self.slot(v), src),
+        }
+    }
+
+    /// Load float value `v` into `x` (floats are never register-allocated).
+    fn read_f(&mut self, v: ValueId, x: Xmm) {
+        self.a.movsd_xm(x, self.slot(v));
+    }
+
+    fn write_f(&mut self, v: ValueId, x: Xmm) {
+        self.a.movsd_mx(self.slot(v), x);
+    }
+
+    /// `wrap_int`: sign-extend the low `ty` bits (and mask to one bit for
+    /// `i1`), the invariant every interpreter result maintains.
+    fn wrap(&mut self, r: Reg, ty: Type) {
+        match ty {
+            Type::I1 => self.a.alu_ri(Alu::And, r, 1),
+            Type::I8 => self.a.movsx8_rr(r, r),
+            Type::I16 => self.a.movsx16_rr(r, r),
+            Type::I32 => self.a.movsxd_rr(r, r),
+            _ => {}
+        }
+    }
+
+    /// Zero out everything above the low `ty` bits (the `LShr`/`Zext`
+    /// source mask).
+    fn mask_low(&mut self, r: Reg, ty: Type) {
+        match ty {
+            Type::I1 => self.a.alu_ri(Alu::And, r, 1),
+            Type::I8 => self.a.movzx8_rr(r, r),
+            Type::I16 => self.a.movzx16_rr(r, r),
+            Type::I32 => self.a.mov_rr32(r, r),
+            _ => {}
+        }
+    }
+
+    /// Round-through-`f32` when the result type demands it.
+    fn round_f32(&mut self, ty: Type, x: Xmm) {
+        if ty == Type::F32 {
+            self.a.cvtsd2ss(x, x);
+            self.a.cvtss2sd(x, x);
+        }
+    }
+
+    fn env(&self, off: i32) -> Mem {
+        Mem::b(Reg::R15, off)
+    }
+
+    // ---- function skeleton ----
+
+    fn emit(mut self) -> Result<(), CompileError> {
+        self.prologue();
+        for (i, &b) in self.rpo.clone().iter().enumerate() {
+            let l = self.labels[&b];
+            self.a.bind(l);
+            let insts = self.f.block(b).insts.clone();
+            // Pre-charge the whole block against the step budget; traps on
+            // exactly the launches where the interpreter's per-instruction
+            // `budget == 0` check fires.
+            self.a.alu_mi(Alu::Sub, self.env(OFF_STEPS), insts.len() as i32);
+            self.a.jcc(Cc::S, self.t_steps);
+            let entry_params = i == 0;
+            for &id in &insts {
+                self.emit_inst(b, id, entry_params)?;
+            }
+        }
+        self.stubs();
+        Ok(())
+    }
+
+    fn prologue(&mut self) {
+        let a = &mut *self.a;
+        a.push(Reg::Rbp);
+        a.mov_rr(Reg::Rbp, Reg::Rsp);
+        for r in [Reg::Rbx, Reg::R12, Reg::R13, Reg::R14, Reg::R15] {
+            a.push(r);
+        }
+        a.alu_ri(Alu::Sub, Reg::Rsp, self.frame);
+        a.mov_rr(Reg::R15, Reg::Rdi);
+        a.mov_ri(Reg::R14, CPU_BASE as i64);
+        // Save the private sp for the unwind path *before* any trap can
+        // fire, so `bail` always restores a meaningful value.
+        a.mov_rm(Reg::Rax, Mem::b(Reg::R15, OFF_PRIV_SP));
+        a.mov_mr(Mem::b(Reg::Rbp, -48), Reg::Rax);
+        // Call-depth guard (`depth > MAX_DEPTH` → StackOverflow).
+        a.cmp_mi(Mem::b(Reg::R15, OFF_DEPTH), MAX_DEPTH as i32);
+        a.jcc(Cc::G, self.t_so);
+        // Push the private frame: base = align16(sp), sp = base + size.
+        a.alu_ri(Alu::Add, Reg::Rax, 15);
+        a.alu_ri(Alu::And, Reg::Rax, -16);
+        a.mov_rr(Reg::Rcx, Reg::Rax);
+        a.alu_ri(Alu::Add, Reg::Rcx, PRIVATE_BASE as i32);
+        a.mov_mr(Mem::b(Reg::Rbp, -56), Reg::Rcx);
+        if self.frame_size > 0 {
+            a.alu_ri(Alu::Add, Reg::Rax, self.frame_size as i32);
+        }
+        a.alu_rm(Alu::Cmp, Reg::Rax, Mem::b(Reg::R15, OFF_PRIV_LEN));
+        a.jcc(Cc::A, self.t_so);
+        a.mov_mr(Mem::b(Reg::R15, OFF_PRIV_SP), Reg::Rax);
+        // Copy parameters into their value homes.
+        for i in 0..self.f.params.len() {
+            self.a.mov_rm(Reg::Rax, Mem::b(Reg::Rsi, 8 * i as i32));
+            self.write(ValueId(i as u32), Reg::Rax);
+        }
+    }
+
+    /// Trap stubs and the shared return path. Stubs expect their payload
+    /// in `rax` (+ `rcx` for the two-word traps).
+    fn stubs(&mut self) {
+        let (code_cell, a_cell, b_cell) =
+            (self.env(OFF_TRAP_CODE), self.env(OFF_TRAP_A), self.env(OFF_TRAP_B));
+        let a = &mut *self.a;
+        for (label, code) in [
+            (self.t_div, TRAP_DIV_ZERO),
+            (self.t_unreach, TRAP_UNREACHABLE),
+            (self.t_so, TRAP_STACK_OVERFLOW),
+            (self.t_steps, TRAP_STEP_LIMIT),
+        ] {
+            a.bind(label);
+            a.mov_mi(code_cell, code as i32);
+            a.jmp(self.bail);
+        }
+        a.bind(self.t_bad);
+        a.mov_mr(a_cell, Reg::Rax);
+        a.mov_mr(b_cell, Reg::Rcx);
+        a.mov_mi(code_cell, TRAP_BAD_ADDRESS as i32);
+        a.jmp(self.bail);
+        a.bind(self.t_was);
+        a.mov_mr(a_cell, Reg::Rax);
+        a.mov_mr(b_cell, Reg::Rcx);
+        a.mov_mi(code_cell, TRAP_WRONG_SPACE as i32);
+        a.jmp(self.bail);
+        a.bind(self.t_bvd);
+        a.mov_mr(a_cell, Reg::Rax);
+        a.mov_mi(code_cell, TRAP_BAD_DISPATCH as i32);
+        a.jmp(self.bail);
+        // Shared exit: pop the private frame, restore saved registers.
+        a.bind(self.bail);
+        a.mov_rm(Reg::Rcx, Mem::b(Reg::Rbp, -48));
+        a.mov_mr(Mem::b(Reg::R15, OFF_PRIV_SP), Reg::Rcx);
+        a.lea(Reg::Rsp, Mem::b(Reg::Rbp, -40));
+        for r in [Reg::R15, Reg::R14, Reg::R13, Reg::R12, Reg::Rbx, Reg::Rbp] {
+            a.pop(r);
+        }
+        a.ret();
+    }
+
+    // ---- control flow ----
+
+    /// Parallel phi-copy for the edge `from -> to` (sources first into
+    /// temps, then all destinations — phi groups read their inputs
+    /// simultaneously).
+    fn emit_edge(&mut self, from: BlockId, to: BlockId) {
+        let mut pairs: Vec<(ValueId, ValueId)> = Vec::new();
+        for &id in &self.f.block(to).insts {
+            if let Op::Phi(incoming) = &self.f.inst(id).op {
+                let (_, src) = incoming
+                    .iter()
+                    .find(|(b, _)| *b == from)
+                    .expect("verifier guarantees an incoming value per predecessor");
+                pairs.push((id, *src));
+            } else {
+                break;
+            }
+        }
+        for (j, &(_, src)) in pairs.iter().enumerate() {
+            let r = self.read(src, Reg::Rax);
+            self.a.mov_mr(self.tmp(j as i32), r);
+        }
+        for (j, &(dst, _)) in pairs.iter().enumerate() {
+            self.a.mov_rm(Reg::Rax, self.tmp(j as i32));
+            self.write(dst, Reg::Rax);
+        }
+    }
+
+    // ---- instruction dispatch ----
+
+    fn emit_inst(
+        &mut self,
+        b: BlockId,
+        id: ValueId,
+        entry_params: bool,
+    ) -> Result<(), CompileError> {
+        let inst = self.f.inst(id);
+        let ty = inst.ty;
+        match inst.op.clone() {
+            // Entry parameters were materialized by the prologue; phi
+            // destinations are written by predecessor edge copies.
+            Op::Param(_) | Op::Phi(_) => {
+                debug_assert!(entry_params || !matches!(inst.op, Op::Param(_)));
+            }
+            Op::ConstInt(v) => {
+                self.a.mov_ri(Reg::Rax, v);
+                self.write(id, Reg::Rax);
+            }
+            Op::ConstFloat(v) => {
+                let v = if ty == Type::F32 { v as f32 as f64 } else { v };
+                self.a.mov_ri(Reg::Rax, v.to_bits() as i64);
+                self.write(id, Reg::Rax);
+            }
+            Op::ConstNull => {
+                self.a.mov_ri(Reg::Rax, 0);
+                self.write(id, Reg::Rax);
+            }
+            Op::Bin(op, l, r) => self.emit_bin(id, op, l, r, ty),
+            Op::Icmp(p, l, r) => {
+                self.read_into(l, Reg::Rax);
+                let rr = self.read(r, Reg::Rcx);
+                self.a.alu_rr(Alu::Cmp, Reg::Rax, rr);
+                let cc = match p {
+                    ICmp::Eq => Cc::E,
+                    ICmp::Ne => Cc::Ne,
+                    ICmp::Slt => Cc::L,
+                    ICmp::Sle => Cc::Le,
+                    ICmp::Sgt => Cc::G,
+                    ICmp::Sge => Cc::Ge,
+                    ICmp::Ult => Cc::B,
+                    ICmp::Ule => Cc::Be,
+                    ICmp::Ugt => Cc::A,
+                    ICmp::Uge => Cc::Ae,
+                };
+                self.a.setcc(cc, Reg::Rax);
+                self.a.movzx8_rr(Reg::Rax, Reg::Rax);
+                self.write(id, Reg::Rax);
+            }
+            Op::Fcmp(p, l, r) => self.emit_fcmp(id, p, l, r),
+            Op::Cast(op, v) => self.emit_cast(id, op, v, ty),
+            Op::Select(c, t, e) => {
+                self.read_into(c, Reg::Rcx);
+                self.read_into(e, Reg::Rax);
+                let rt = self.read(t, Reg::Rdx);
+                self.a.test_rr(Reg::Rcx, Reg::Rcx);
+                self.a.cmovcc(Cc::Ne, Reg::Rax, rt);
+                self.write(id, Reg::Rax);
+            }
+            Op::Alloca { .. } => {
+                let off = self.alloca_off[&id];
+                self.a.mov_rm(Reg::Rax, Mem::b(Reg::Rbp, -56));
+                if off > 0 {
+                    self.a.alu_ri(Alu::Add, Reg::Rax, off as i32);
+                }
+                self.write(id, Reg::Rax);
+            }
+            Op::Load(p) => {
+                if self.static_local_trap(p) {
+                    return Ok(());
+                }
+                self.emit_mem_load(p, ty);
+                if matches!(ty, Type::F32 | Type::F64) {
+                    self.write_f(id, Xmm::X0);
+                } else {
+                    self.write(id, Reg::Rax);
+                }
+            }
+            Op::Store { ptr, val } => {
+                if self.static_local_trap(ptr) {
+                    return Ok(());
+                }
+                let vty = self.f.inst(val).ty;
+                if matches!(vty, Type::Ptr(_)) {
+                    self.emit_store_ptr(ptr, val);
+                } else {
+                    self.emit_store_plain(ptr, val, vty);
+                }
+            }
+            Op::Gep { base, offset } => {
+                self.read_into(base, Reg::Rax);
+                let r = self.read(offset, Reg::Rcx);
+                self.a.alu_rr(Alu::Add, Reg::Rax, r);
+                self.write(id, Reg::Rax);
+            }
+            Op::CpuToGpu(p) => {
+                self.read_into(p, Reg::Rax);
+                let done = self.a.label();
+                self.a.test_rr(Reg::Rax, Reg::Rax);
+                self.a.jcc(Cc::E, done);
+                self.a.alu_rr(Alu::Cmp, Reg::Rax, Reg::R14);
+                self.a.jcc(Cc::B, done);
+                self.a.alu_rm(Alu::Cmp, Reg::Rax, self.env(OFF_GPU_BASE));
+                self.a.jcc(Cc::Ae, done);
+                self.a.mov_ri(Reg::Rcx, SVM_CONST as i64);
+                self.a.alu_rr(Alu::Add, Reg::Rax, Reg::Rcx);
+                self.a.bind(done);
+                self.write(id, Reg::Rax);
+            }
+            Op::GpuToCpu(p) => {
+                self.read_into(p, Reg::Rax);
+                let done = self.a.label();
+                self.a.alu_rm(Alu::Cmp, Reg::Rax, self.env(OFF_GPU_BASE));
+                self.a.jcc(Cc::B, done);
+                self.a.mov_ri(Reg::Rcx, SVM_CONST as i64);
+                self.a.alu_rr(Alu::Sub, Reg::Rax, Reg::Rcx);
+                self.a.bind(done);
+                self.write(id, Reg::Rax);
+            }
+            Op::Call { callee, args } => {
+                for (j, &arg) in args.iter().enumerate() {
+                    let r = self.read(arg, Reg::Rax);
+                    self.a.mov_mr(self.argslot(j as i32), r);
+                }
+                self.a.mov_rm(Reg::Rax, self.env(OFF_CODE_PTRS));
+                self.emit_call_common(Mem::b(Reg::Rax, 8 * callee.0 as i32));
+                if ty != Type::Void {
+                    self.write(id, Reg::Rax);
+                }
+            }
+            Op::CallVirtual { slot, obj, args, .. } => {
+                self.emit_call_virtual(id, slot, obj, &args, ty);
+            }
+            Op::IntrinsicCall(intr, args) => self.emit_intrinsic(id, intr, &args, ty)?,
+            Op::Br(t) => {
+                self.emit_edge(b, t);
+                let l = self.labels[&t];
+                self.a.jmp(l);
+            }
+            Op::CondBr(c, t, e) => {
+                self.read_into(c, Reg::Rdx);
+                self.a.test_rr(Reg::Rdx, Reg::Rdx);
+                let lelse = self.a.label();
+                self.a.jcc(Cc::E, lelse);
+                self.emit_edge(b, t);
+                let lt = self.labels[&t];
+                self.a.jmp(lt);
+                self.a.bind(lelse);
+                self.emit_edge(b, e);
+                let le = self.labels[&e];
+                self.a.jmp(le);
+            }
+            Op::Ret(v) => {
+                if let Some(v) = v {
+                    self.read_into(v, Reg::Rax);
+                }
+                self.a.jmp(self.bail);
+            }
+            Op::Unreachable => self.a.jmp(self.t_unreach),
+        }
+        Ok(())
+    }
+
+    // ---- arithmetic ----
+
+    fn emit_bin(&mut self, id: ValueId, op: BinOp, l: ValueId, r: ValueId, ty: Type) {
+        use BinOp::*;
+        match op {
+            FAdd | FSub | FMul | FDiv => {
+                self.read_f(l, Xmm::X0);
+                self.read_f(r, Xmm::X1);
+                match op {
+                    FAdd => self.a.addsd(Xmm::X0, Xmm::X1),
+                    FSub => self.a.subsd(Xmm::X0, Xmm::X1),
+                    FMul => self.a.mulsd(Xmm::X0, Xmm::X1),
+                    _ => self.a.divsd(Xmm::X0, Xmm::X1),
+                }
+                self.round_f32(ty, Xmm::X0);
+                self.write_f(id, Xmm::X0);
+            }
+            Add | Sub | Mul | And | Or | Xor => {
+                self.read_into(l, Reg::Rax);
+                let rr = self.read(r, Reg::Rcx);
+                match op {
+                    Add => self.a.alu_rr(Alu::Add, Reg::Rax, rr),
+                    Sub => self.a.alu_rr(Alu::Sub, Reg::Rax, rr),
+                    Mul => self.a.imul_rr(Reg::Rax, rr),
+                    And => self.a.alu_rr(Alu::And, Reg::Rax, rr),
+                    Or => self.a.alu_rr(Alu::Or, Reg::Rax, rr),
+                    _ => self.a.alu_rr(Alu::Xor, Reg::Rax, rr),
+                }
+                self.wrap(Reg::Rax, ty);
+                self.write(id, Reg::Rax);
+            }
+            SDiv | SRem => {
+                self.read_into(r, Reg::Rcx);
+                self.read_into(l, Reg::Rax);
+                self.a.test_rr(Reg::Rcx, Reg::Rcx);
+                self.a.jcc(Cc::E, self.t_div);
+                // b == -1 bypasses idiv: `INT_MIN / -1` must wrap, not #DE.
+                self.a.alu_ri(Alu::Cmp, Reg::Rcx, -1);
+                let lgo = self.a.label();
+                let ldone = self.a.label();
+                self.a.jcc(Cc::Ne, lgo);
+                if op == SDiv {
+                    self.a.neg(Reg::Rax);
+                } else {
+                    self.a.mov_ri(Reg::Rax, 0);
+                }
+                self.a.jmp(ldone);
+                self.a.bind(lgo);
+                self.a.cqo();
+                self.a.idiv(Reg::Rcx);
+                if op == SRem {
+                    self.a.mov_rr(Reg::Rax, Reg::Rdx);
+                }
+                self.a.bind(ldone);
+                self.wrap(Reg::Rax, ty);
+                self.write(id, Reg::Rax);
+            }
+            UDiv | URem => {
+                self.read_into(r, Reg::Rcx);
+                self.read_into(l, Reg::Rax);
+                self.a.test_rr(Reg::Rcx, Reg::Rcx);
+                self.a.jcc(Cc::E, self.t_div);
+                self.a.alu_rr(Alu::Xor, Reg::Rdx, Reg::Rdx);
+                self.a.div(Reg::Rcx);
+                if op == URem {
+                    self.a.mov_rr(Reg::Rax, Reg::Rdx);
+                }
+                self.wrap(Reg::Rax, ty);
+                self.write(id, Reg::Rax);
+            }
+            Shl => {
+                self.read_into(r, Reg::Rcx);
+                self.read_into(l, Reg::Rax);
+                self.a.shl_cl(Reg::Rax);
+                self.wrap(Reg::Rax, ty);
+                self.write(id, Reg::Rax);
+            }
+            LShr => {
+                self.read_into(r, Reg::Rcx);
+                self.read_into(l, Reg::Rax);
+                self.mask_low(Reg::Rax, ty);
+                self.a.shr_cl(Reg::Rax);
+                self.wrap(Reg::Rax, ty);
+                self.write(id, Reg::Rax);
+            }
+            AShr => {
+                self.read_into(r, Reg::Rcx);
+                self.read_into(l, Reg::Rax);
+                self.wrap(Reg::Rax, ty);
+                self.a.sar_cl(Reg::Rax);
+                self.wrap(Reg::Rax, ty);
+                self.write(id, Reg::Rax);
+            }
+        }
+    }
+
+    fn emit_fcmp(&mut self, id: ValueId, p: FCmp, l: ValueId, r: ValueId) {
+        // `ucomisd a, b` → ZF/PF/CF encode the ordered comparison; the
+        // swapped-operand trick turns Olt/Ole into unordered-safe
+        // `seta`/`setae` exactly as `eval_fcmp` defines them.
+        let (first, second, cc, parity) = match p {
+            FCmp::Oeq => (l, r, Cc::E, true),
+            FCmp::One => (l, r, Cc::Ne, false),
+            FCmp::Olt => (r, l, Cc::A, false),
+            FCmp::Ole => (r, l, Cc::Ae, false),
+            FCmp::Ogt => (l, r, Cc::A, false),
+            FCmp::Oge => (l, r, Cc::Ae, false),
+        };
+        self.read_f(first, Xmm::X0);
+        self.read_f(second, Xmm::X1);
+        self.a.ucomisd(Xmm::X0, Xmm::X1);
+        self.a.setcc(cc, Reg::Rax);
+        self.a.movzx8_rr(Reg::Rax, Reg::Rax);
+        if parity {
+            // Oeq must reject NaN (ZF is set on unordered).
+            self.a.setcc(Cc::Np, Reg::Rcx);
+            self.a.movzx8_rr(Reg::Rcx, Reg::Rcx);
+            self.a.alu_rr(Alu::And, Reg::Rax, Reg::Rcx);
+        }
+        self.write(id, Reg::Rax);
+    }
+
+    fn emit_cast(&mut self, id: ValueId, op: CastOp, v: ValueId, to: Type) {
+        let from = self.f.inst(v).ty;
+        match op {
+            CastOp::Zext => {
+                self.read_into(v, Reg::Rax);
+                self.mask_low(Reg::Rax, from);
+                self.wrap(Reg::Rax, to);
+                self.write(id, Reg::Rax);
+            }
+            CastOp::Sext | CastOp::Trunc | CastOp::PtrToInt => {
+                self.read_into(v, Reg::Rax);
+                self.wrap(Reg::Rax, to);
+                self.write(id, Reg::Rax);
+            }
+            CastOp::IntToPtr | CastOp::PtrCast => {
+                self.read_into(v, Reg::Rax);
+                self.write(id, Reg::Rax);
+            }
+            CastOp::FpToSi => {
+                self.read_f(v, Xmm::X0);
+                self.call_helper(h_f2i as extern "C" fn(f64) -> i64 as usize);
+                self.wrap(Reg::Rax, to);
+                self.write(id, Reg::Rax);
+            }
+            CastOp::SiToFp => {
+                self.read_into(v, Reg::Rax);
+                self.a.cvtsi2sd(Xmm::X0, Reg::Rax);
+                self.round_f32(to, Xmm::X0);
+                self.write_f(id, Xmm::X0);
+            }
+            CastOp::FpCast => {
+                self.read_f(v, Xmm::X0);
+                self.round_f32(to, Xmm::X0);
+                self.write_f(id, Xmm::X0);
+            }
+        }
+    }
+
+    // ---- memory ----
+
+    /// If the pointer's *static* type is `local` space, emit the
+    /// interpreter's unconditional `WrongAddressSpace { Local, Cpu }`.
+    fn static_local_trap(&mut self, p: ValueId) -> bool {
+        if self.f.inst(p).ty == Type::Ptr(AddrSpace::Local) {
+            self.a.mov_ri(Reg::Rax, SPACE_LOCAL);
+            self.a.mov_ri(Reg::Rcx, SPACE_CPU);
+            self.a.jmp(self.t_was);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Range-classify the address in `rax` for a `size`-byte access and
+    /// leave `rdx` = host base, `rcx` = in-bounds offset, jumping to
+    /// `lop` for each classified branch. Out-of-bounds falls into
+    /// `t_bad` with the interpreter's space payload. Clobbers rcx/rdx.
+    fn classify(&mut self, lg: i32, lop: Label) {
+        let a = &mut *self.a;
+        let slow = a.label();
+        let gpu = a.label();
+        let bad_cpu = a.label();
+        let bad_priv = a.label();
+        let bad_gpu = a.label();
+        // Fast path: shared CPU range, fused range + bounds check.
+        a.mov_rr(Reg::Rcx, Reg::Rax);
+        a.alu_rr(Alu::Sub, Reg::Rcx, Reg::R14);
+        a.alu_rm(Alu::Cmp, Reg::Rcx, Mem::b(Reg::R15, OFF_LIMIT_CPU + 8 * lg));
+        a.jcc(Cc::A, slow);
+        a.mov_rm(Reg::Rdx, Mem::b(Reg::R15, OFF_REGION_BASE));
+        a.jmp(lop);
+        a.bind(slow);
+        a.alu_rm(Alu::Cmp, Reg::Rax, Mem::b(Reg::R15, OFF_GPU_BASE));
+        a.jcc(Cc::Ae, gpu);
+        a.alu_rr(Alu::Cmp, Reg::Rax, Reg::R14);
+        a.jcc(Cc::Ae, bad_cpu);
+        // Private space (everything below CPU_BASE, including null).
+        a.mov_rr(Reg::Rcx, Reg::Rax);
+        a.alu_ri(Alu::Sub, Reg::Rcx, PRIVATE_BASE as i32);
+        a.alu_rm(Alu::Cmp, Reg::Rcx, Mem::b(Reg::R15, OFF_LIMIT_PRIV + 8 * lg));
+        a.jcc(Cc::A, bad_priv);
+        a.mov_rm(Reg::Rdx, Mem::b(Reg::R15, OFF_PRIV_BASE));
+        a.jmp(lop);
+        a.bind(gpu);
+        a.mov_rr(Reg::Rcx, Reg::Rax);
+        a.alu_rm(Alu::Sub, Reg::Rcx, Mem::b(Reg::R15, OFF_GPU_BASE));
+        a.alu_rm(Alu::Cmp, Reg::Rcx, Mem::b(Reg::R15, OFF_LIMIT_CPU + 8 * lg));
+        a.jcc(Cc::A, bad_gpu);
+        a.mov_rm(Reg::Rdx, Mem::b(Reg::R15, OFF_REGION_BASE));
+        a.jmp(lop);
+        a.bind(bad_cpu);
+        a.mov_ri(Reg::Rcx, SPACE_CPU);
+        a.jmp(self.t_bad);
+        a.bind(bad_priv);
+        a.mov_ri(Reg::Rcx, SPACE_PRIVATE);
+        a.jmp(self.t_bad);
+        a.bind(bad_gpu);
+        a.mov_ri(Reg::Rcx, SPACE_GPU);
+        a.jmp(self.t_bad);
+    }
+
+    /// Load `ty` from the pointer value `p` into rax (ints, sign-extended
+    /// like `mem_read`) or xmm0 (floats, widened to f64).
+    fn emit_mem_load(&mut self, p: ValueId, ty: Type) {
+        self.read_into(p, Reg::Rax);
+        let lop = self.a.label();
+        self.classify(log2_size(ty), lop);
+        self.a.bind(lop);
+        let m = Mem::bi(Reg::Rdx, Reg::Rcx);
+        match ty {
+            Type::I1 | Type::I8 => self.a.movsx8_rm(Reg::Rax, m),
+            Type::I16 => self.a.movsx16_rm(Reg::Rax, m),
+            Type::I32 => self.a.movsxd_rm(Reg::Rax, m),
+            Type::F32 => {
+                self.a.movss_xm(Xmm::X0, m);
+                self.a.cvtss2sd(Xmm::X0, Xmm::X0);
+            }
+            Type::F64 => self.a.movsd_xm(Xmm::X0, m),
+            _ => self.a.mov_rm(Reg::Rax, m),
+        }
+    }
+
+    fn emit_store_plain(&mut self, ptr: ValueId, val: ValueId, vty: Type) {
+        let float = matches!(vty, Type::F32 | Type::F64);
+        if float {
+            self.read_f(val, Xmm::X0);
+            if vty == Type::F32 {
+                self.a.cvtsd2ss(Xmm::X0, Xmm::X0);
+            }
+        } else {
+            self.read_into(val, Reg::R8);
+        }
+        self.read_into(ptr, Reg::Rax);
+        let lop = self.a.label();
+        self.classify(log2_size(vty), lop);
+        self.a.bind(lop);
+        let m = Mem::bi(Reg::Rdx, Reg::Rcx);
+        match vty {
+            Type::I1 | Type::I8 => self.a.mov_mr8(m, Reg::R8),
+            Type::I16 => self.a.mov_mr16(m, Reg::R8),
+            Type::I32 => self.a.mov_mr32(m, Reg::R8),
+            Type::F32 => self.a.movss_mx(m, Xmm::X0),
+            Type::F64 => self.a.movsd_mx(m, Xmm::X0),
+            _ => self.a.mov_mr(m, Reg::R8),
+        }
+    }
+
+    /// Pointer-typed store: `write_val` checks the *stored value's*
+    /// space before resolving the target address when the target is
+    /// shared memory (private frames accept any pointer).
+    fn emit_store_ptr(&mut self, ptr: ValueId, val: ValueId) {
+        self.read_into(val, Reg::R8);
+        self.read_into(ptr, Reg::Rax);
+        let a_gpu = self.a.label();
+        let a_cpu = self.a.label();
+        let val_priv = self.a.label();
+        let val_gpu = self.a.label();
+        let bad_cpu = self.a.label();
+        let bad_priv = self.a.label();
+        let bad_gpu = self.a.label();
+        let done = self.a.label();
+        let lg = 3; // pointers are 8 bytes
+
+        let a = &mut *self.a;
+        a.alu_rm(Alu::Cmp, Reg::Rax, Mem::b(Reg::R15, OFF_GPU_BASE));
+        a.jcc(Cc::Ae, a_gpu);
+        a.alu_rr(Alu::Cmp, Reg::Rax, Reg::R14);
+        a.jcc(Cc::Ae, a_cpu);
+        // Private target: no value-space check (`mem_write` stores raw).
+        a.mov_rr(Reg::Rcx, Reg::Rax);
+        a.alu_ri(Alu::Sub, Reg::Rcx, PRIVATE_BASE as i32);
+        a.alu_rm(Alu::Cmp, Reg::Rcx, Mem::b(Reg::R15, OFF_LIMIT_PRIV + 8 * lg));
+        a.jcc(Cc::A, bad_priv);
+        a.mov_rm(Reg::Rdx, Mem::b(Reg::R15, OFF_PRIV_BASE));
+        a.mov_mr(Mem::bi(Reg::Rdx, Reg::Rcx), Reg::R8);
+        a.jmp(done);
+        // Shared CPU target: value check, then bounds.
+        a.bind(a_cpu);
+        a.test_rr(Reg::R8, Reg::R8);
+        let cpu_ok = a.label();
+        a.jcc(Cc::E, cpu_ok);
+        a.alu_rr(Alu::Cmp, Reg::R8, Reg::R14);
+        a.jcc(Cc::B, val_priv);
+        a.alu_rm(Alu::Cmp, Reg::R8, Mem::b(Reg::R15, OFF_GPU_BASE));
+        a.jcc(Cc::Ae, val_gpu);
+        a.bind(cpu_ok);
+        a.mov_rr(Reg::Rcx, Reg::Rax);
+        a.alu_rr(Alu::Sub, Reg::Rcx, Reg::R14);
+        a.alu_rm(Alu::Cmp, Reg::Rcx, Mem::b(Reg::R15, OFF_LIMIT_CPU + 8 * lg));
+        a.jcc(Cc::A, bad_cpu);
+        a.mov_rm(Reg::Rdx, Mem::b(Reg::R15, OFF_REGION_BASE));
+        a.mov_mr(Mem::bi(Reg::Rdx, Reg::Rcx), Reg::R8);
+        a.jmp(done);
+        // Shared GPU target: same value check, GPU-relative bounds.
+        a.bind(a_gpu);
+        a.test_rr(Reg::R8, Reg::R8);
+        let gpu_ok = a.label();
+        a.jcc(Cc::E, gpu_ok);
+        a.alu_rr(Alu::Cmp, Reg::R8, Reg::R14);
+        a.jcc(Cc::B, val_priv);
+        a.alu_rm(Alu::Cmp, Reg::R8, Mem::b(Reg::R15, OFF_GPU_BASE));
+        a.jcc(Cc::Ae, val_gpu);
+        a.bind(gpu_ok);
+        a.mov_rr(Reg::Rcx, Reg::Rax);
+        a.alu_rm(Alu::Sub, Reg::Rcx, Mem::b(Reg::R15, OFF_GPU_BASE));
+        a.alu_rm(Alu::Cmp, Reg::Rcx, Mem::b(Reg::R15, OFF_LIMIT_CPU + 8 * lg));
+        a.jcc(Cc::A, bad_gpu);
+        a.mov_rm(Reg::Rdx, Mem::b(Reg::R15, OFF_REGION_BASE));
+        a.mov_mr(Mem::bi(Reg::Rdx, Reg::Rcx), Reg::R8);
+        a.jmp(done);
+        // WrongAddressSpace { found, expected: Cpu }.
+        a.bind(val_priv);
+        a.mov_ri(Reg::Rax, SPACE_PRIVATE);
+        a.mov_ri(Reg::Rcx, SPACE_CPU);
+        a.jmp(self.t_was);
+        a.bind(val_gpu);
+        a.mov_ri(Reg::Rax, SPACE_GPU);
+        a.mov_ri(Reg::Rcx, SPACE_CPU);
+        a.jmp(self.t_was);
+        a.bind(bad_cpu);
+        a.mov_ri(Reg::Rcx, SPACE_CPU);
+        a.jmp(self.t_bad);
+        a.bind(bad_priv);
+        a.mov_ri(Reg::Rcx, SPACE_PRIVATE);
+        a.jmp(self.t_bad);
+        a.bind(bad_gpu);
+        a.mov_ri(Reg::Rcx, SPACE_GPU);
+        a.jmp(self.t_bad);
+        a.bind(done);
+    }
+
+    // ---- calls ----
+
+    /// Shared call tail: rdi/rsi setup, depth bracket, indirect call
+    /// through `target`, trap propagation. `target` must not involve
+    /// rdi/rsi.
+    fn emit_call_common(&mut self, target: Mem) {
+        let a = &mut *self.a;
+        a.mov_rr(Reg::Rdi, Reg::R15);
+        a.lea(Reg::Rsi, Mem::b(Reg::Rbp, -self.arg_base));
+        a.alu_mi(Alu::Add, Mem::b(Reg::R15, OFF_DEPTH), 1);
+        a.call_m(target);
+        a.alu_mi(Alu::Sub, Mem::b(Reg::R15, OFF_DEPTH), 1);
+        a.cmp_mi(Mem::b(Reg::R15, OFF_TRAP_CODE), 0);
+        a.jcc(Cc::Ne, self.bail);
+    }
+
+    fn emit_call_virtual(
+        &mut self,
+        id: ValueId,
+        slot: u32,
+        obj: ValueId,
+        args: &[ValueId],
+        ty: Type,
+    ) {
+        // vptr = 8-byte load through the full memory path (same traps as
+        // any other load).
+        if self.static_local_trap(obj) {
+            return;
+        }
+        self.emit_mem_load(obj, Type::I64);
+        // Validate: region-offset aligned to the vtable stride, class in
+        // range, magic word intact — else BadVirtualDispatch { vptr }.
+        let slot_disp = 16 + 8 * slot as i32;
+        let a = &mut *self.a;
+        a.mov_rr(Reg::Rcx, Reg::Rax);
+        a.alu_rr(Alu::Sub, Reg::Rcx, Reg::R14);
+        a.mov_rr(Reg::Rdx, Reg::Rcx);
+        a.alu_ri(Alu::And, Reg::Rdx, 127);
+        a.jcc(Cc::Ne, self.t_bvd);
+        a.mov_rr(Reg::Rdx, Reg::Rcx);
+        a.shr_i(Reg::Rdx, 7);
+        a.alu_rm(Alu::Cmp, Reg::Rdx, Mem::b(Reg::R15, OFF_CLASS_COUNT));
+        a.jcc(Cc::Ae, self.t_bvd);
+        a.alu_rm(Alu::Cmp, Reg::Rcx, Mem::b(Reg::R15, OFF_LIMIT_CPU + 24));
+        a.jcc(Cc::A, self.t_bvd);
+        a.mov_rm(Reg::Rdx, Mem::b(Reg::R15, OFF_REGION_BASE));
+        a.mov_rm(Reg::R8, Mem::bi(Reg::Rdx, Reg::Rcx));
+        a.mov_ri(Reg::R9, VTABLE_MAGIC);
+        a.alu_rr(Alu::Cmp, Reg::R8, Reg::R9);
+        a.jcc(Cc::Ne, self.t_bvd);
+        // Slot read is a plain region read in the interpreter — bounds
+        // failures surface as BadAddress { slot address, Cpu }.
+        a.alu_ri(Alu::Add, Reg::Rcx, slot_disp);
+        a.alu_ri(Alu::Add, Reg::Rax, slot_disp);
+        a.alu_rm(Alu::Cmp, Reg::Rcx, Mem::b(Reg::R15, OFF_LIMIT_CPU + 24));
+        let slot_oob = a.label();
+        a.jcc(Cc::A, slot_oob);
+        a.mov_rm(Reg::R8, Mem::bi(Reg::Rdx, Reg::Rcx));
+        a.alu_ri(Alu::Sub, Reg::Rax, slot_disp);
+        // A function id outside the module can only come from IR that
+        // scribbled over an installed vtable; refuse to jump to garbage.
+        a.alu_rm(Alu::Cmp, Reg::R8, Mem::b(Reg::R15, OFF_NFUNCS));
+        a.jcc(Cc::Ae, self.t_bvd);
+        a.mov_mr(Mem::b(Reg::Rbp, -64), Reg::R8);
+        let after = a.label();
+        a.jmp(after);
+        a.bind(slot_oob);
+        a.mov_ri(Reg::Rcx, SPACE_CPU);
+        a.jmp(self.t_bad);
+        a.bind(after);
+        // Stage `this` + declared arguments, then call through the table.
+        let r = self.read(obj, Reg::Rax);
+        self.a.mov_mr(self.argslot(0), r);
+        for (j, &arg) in args.iter().enumerate() {
+            let r = self.read(arg, Reg::Rax);
+            self.a.mov_mr(self.argslot(j as i32 + 1), r);
+        }
+        self.a.mov_rm(Reg::Rax, self.env(OFF_CODE_PTRS));
+        self.a.mov_rm(Reg::Rcx, Mem::b(Reg::Rbp, -64));
+        self.emit_call_common(Mem::bi8(Reg::Rax, Reg::Rcx, 0));
+        if ty != Type::Void {
+            self.write(id, Reg::Rax);
+        }
+    }
+
+    /// `movabs rax, helper; call rax` — process-static Rust helpers
+    /// following the C ABI (args already staged in xmm0/xmm1 or rdi/rsi).
+    fn call_helper(&mut self, addr: usize) {
+        self.a.mov_ri(Reg::Rax, addr as i64);
+        self.a.call_r(Reg::Rax);
+    }
+
+    // ---- intrinsics ----
+
+    fn emit_intrinsic(
+        &mut self,
+        id: ValueId,
+        intr: Intrinsic,
+        args: &[ValueId],
+        ty: Type,
+    ) -> Result<(), CompileError> {
+        use Intrinsic::*;
+        let arg = |i: usize| -> Result<ValueId, CompileError> {
+            args.get(i).copied().ok_or(CompileError::MalformedIntrinsic(intr.name()))
+        };
+        match intr {
+            GlobalId | GlobalSize | LocalId | GroupId => {
+                let off = match intr {
+                    GlobalId => OFF_GLOBAL_ID,
+                    GlobalSize => OFF_GLOBAL_SIZE,
+                    LocalId => OFF_LOCAL_ID,
+                    _ => OFF_GROUP_ID,
+                };
+                self.a.mov_rm(Reg::Rax, self.env(off));
+                self.write(id, Reg::Rax);
+            }
+            Barrier => {
+                if ty != Type::Void {
+                    self.a.mov_ri(Reg::Rax, 0);
+                    self.write(id, Reg::Rax);
+                }
+            }
+            Sqrt => {
+                self.read_f(arg(0)?, Xmm::X0);
+                self.a.sqrtsd(Xmm::X0, Xmm::X0);
+                self.round_f32(Type::F32, Xmm::X0);
+                self.write_f(id, Xmm::X0);
+            }
+            FAbs => {
+                self.read_f(arg(0)?, Xmm::X0);
+                self.a.movq_rx(Reg::Rax, Xmm::X0);
+                self.a.mov_ri(Reg::Rcx, i64::MAX);
+                self.a.alu_rr(Alu::And, Reg::Rax, Reg::Rcx);
+                self.a.movq_xr(Xmm::X0, Reg::Rax);
+                self.round_f32(Type::F32, Xmm::X0);
+                self.write_f(id, Xmm::X0);
+            }
+            Floor | Exp => {
+                self.read_f(arg(0)?, Xmm::X0);
+                let h = if intr == Floor { h_floor } else { h_exp };
+                self.call_helper(h as extern "C" fn(f64) -> f64 as usize);
+                self.write_f(id, Xmm::X0);
+            }
+            Pow | FMin | FMax => {
+                self.read_f(arg(0)?, Xmm::X0);
+                self.read_f(arg(1)?, Xmm::X1);
+                let h = match intr {
+                    Pow => h_pow,
+                    FMin => h_fmin,
+                    _ => h_fmax,
+                };
+                self.call_helper(h as extern "C" fn(f64, f64) -> f64 as usize);
+                self.write_f(id, Xmm::X0);
+            }
+            SMin | SMax => {
+                self.read_into(arg(0)?, Reg::Rax);
+                let r = self.read(arg(1)?, Reg::Rcx);
+                self.a.alu_rr(Alu::Cmp, Reg::Rax, r);
+                self.a.cmovcc(if intr == SMin { Cc::G } else { Cc::L }, Reg::Rax, r);
+                self.write(id, Reg::Rax);
+            }
+            DeviceMalloc => {
+                self.read_into(arg(0)?, Reg::Rsi);
+                self.a.mov_rr(Reg::Rdi, Reg::R15);
+                self.call_helper(h_device_malloc as extern "C" fn(*mut Env, i64) -> u64 as usize);
+                self.write(id, Reg::Rax);
+            }
+            AtomicAddI32 | AtomicMinI32 | AtomicCasI32 => {
+                self.emit_atomic(id, intr, args)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// i32 atomics: classify like a 4-byte access, then a `lock`-prefixed
+    /// sequence whose final memory bytes and returned old value match
+    /// `apply_rmw` over sign-extended i64 operands. `AtomicCasI32` only
+    /// ever runs on the serial path (it is a gated op), so a plain
+    /// read-modify-write replicates `apply_rmw`'s full-width compare.
+    fn emit_atomic(
+        &mut self,
+        id: ValueId,
+        intr: Intrinsic,
+        args: &[ValueId],
+    ) -> Result<(), CompileError> {
+        let arg = |i: usize| -> Result<ValueId, CompileError> {
+            args.get(i).copied().ok_or(CompileError::MalformedIntrinsic(intr.name()))
+        };
+        let ptr = arg(0)?;
+        if self.static_local_trap(ptr) {
+            return Ok(());
+        }
+        self.read_into(arg(1)?, Reg::R9);
+        if intr == Intrinsic::AtomicCasI32 {
+            self.read_into(arg(2)?, Reg::R10);
+        }
+        self.read_into(ptr, Reg::Rax);
+        let lop = self.a.label();
+        self.classify(2, lop);
+        self.a.bind(lop);
+        let m = Mem::bi(Reg::Rdx, Reg::Rcx);
+        let a = &mut *self.a;
+        match intr {
+            Intrinsic::AtomicAddI32 => {
+                a.mov_rr32(Reg::R8, Reg::R9);
+                a.lock_xadd32(m, Reg::R8);
+                a.movsxd_rr(Reg::Rax, Reg::R8);
+            }
+            Intrinsic::AtomicMinI32 => {
+                // Skip the store when no improvement — byte-identical to
+                // the interpreter's unconditional write of min(old, a).
+                let retry = a.label();
+                let ldone = a.label();
+                a.movsxd_rm(Reg::Rax, m);
+                a.bind(retry);
+                a.alu_rr(Alu::Cmp, Reg::R9, Reg::Rax);
+                a.jcc(Cc::Ge, ldone);
+                a.mov_rr32(Reg::R8, Reg::R9);
+                a.lock_cmpxchg32(m, Reg::R8);
+                a.jcc(Cc::E, ldone);
+                a.movsxd_rr(Reg::Rax, Reg::Rax);
+                a.jmp(retry);
+                a.bind(ldone);
+            }
+            _ => {
+                let ldone = a.label();
+                a.movsxd_rm(Reg::Rax, m);
+                a.alu_rr(Alu::Cmp, Reg::Rax, Reg::R9);
+                a.jcc(Cc::Ne, ldone);
+                a.mov_mr32(m, Reg::R10);
+                a.bind(ldone);
+            }
+        }
+        self.write(id, Reg::Rax);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_ir::builder::FunctionBuilder;
+
+    #[test]
+    fn lowers_a_small_module() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("add", vec![Type::I64, Type::I64], Type::I64);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let s = fb.bin(BinOp::Add, a, b);
+        fb.ret(Some(s));
+        m.add_function(fb.build());
+        let lowered = lower_module(&m).unwrap();
+        assert_eq!(lowered.offsets.len(), 1);
+        assert_eq!(lowered.offsets[0], 0);
+        assert!(!lowered.code.is_empty());
+        // Entry must start with `push rbp`.
+        assert_eq!(lowered.code[0], 0x55);
+    }
+
+    #[test]
+    fn function_entries_are_aligned() {
+        let mut m = Module::new();
+        for i in 0..3 {
+            let mut fb = FunctionBuilder::new(format!("f{i}"), vec![Type::I64], Type::I64);
+            let a = fb.param(0);
+            let c = fb.i64(i);
+            let s = fb.bin(BinOp::Add, a, c);
+            fb.ret(Some(s));
+            m.add_function(fb.build());
+        }
+        let lowered = lower_module(&m).unwrap();
+        for off in lowered.offsets {
+            assert_eq!(off % 16, 0);
+        }
+    }
+}

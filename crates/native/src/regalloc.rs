@@ -1,0 +1,169 @@
+//! Linear-scan register allocation over linearized SSA.
+//!
+//! The lowering keeps every SSA value in a fixed 8-byte frame slot; this
+//! pass promotes the hottest integer/pointer values into the callee-saved
+//! registers the code generator reserves for allocation (`rbx`, `r12`,
+//! `r13` — `r14`/`r15` are pinned to `CPU_BASE` and the environment, and
+//! everything caller-saved is codegen scratch). Values that do not get a
+//! register simply stay in their slot, so "spilling" is free.
+//!
+//! Intervals are conservative: blocks are linearized in reverse postorder,
+//! every def/use position widens the value's single `[start, end]` range,
+//! and per-block liveness (`live_in`/`live_out` from `concord-ir`)
+//! stretches the range across whole blocks where the value is live. Holes
+//! are not modeled — an over-wide interval can only cost a register, not
+//! correctness. The scan itself is the classic Poletto–Sarkar loop:
+//! intervals in start order, expire the active set, take a free register
+//! or skip.
+
+use concord_ir::analysis::{liveness, reverse_postorder};
+use concord_ir::types::Type;
+use concord_ir::{Function, Op, ValueId};
+use std::collections::HashMap;
+
+/// Number of allocatable registers (must match `lower::ALLOC_REGS`).
+pub const NUM_ALLOC_REGS: usize = 3;
+
+/// Allocation result: for each value id, `Some(i)` = allocatable register
+/// `i`, `None` = frame slot.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Per-value register assignment.
+    pub reg_of: Vec<Option<u8>>,
+}
+
+fn eligible(ty: Type) -> bool {
+    !matches!(ty, Type::F32 | Type::F64 | Type::Void)
+}
+
+/// Compute live intervals and run linear scan for `f`.
+pub fn allocate(f: &Function) -> Allocation {
+    let rpo = reverse_postorder(f);
+    let live = liveness(f);
+    let nvals = f.insts.len();
+
+    // Linear position of every instruction, plus block extents.
+    let mut pos_of: HashMap<ValueId, u32> = HashMap::new();
+    let mut block_range: HashMap<concord_ir::BlockId, (u32, u32)> = HashMap::new();
+    let mut pos = 0u32;
+    for &b in &rpo {
+        let start = pos;
+        for &id in &f.block(b).insts {
+            pos_of.insert(id, pos);
+            pos += 1;
+        }
+        block_range.insert(b, (start, pos.max(start + 1) - 1));
+    }
+
+    // One conservative interval per value.
+    let mut start = vec![u32::MAX; nvals];
+    let mut end = vec![0u32; nvals];
+    let mut widen = |v: ValueId, at: u32| {
+        let i = v.0 as usize;
+        start[i] = start[i].min(at);
+        end[i] = end[i].max(at);
+    };
+    for &b in &rpo {
+        let (bstart, bend) = block_range[&b];
+        for &id in &f.block(b).insts {
+            let p = pos_of[&id];
+            widen(id, p);
+            for u in f.inst(id).op.operands() {
+                widen(u, p);
+            }
+        }
+        for &v in &live.live_in[&b] {
+            widen(v, bstart);
+        }
+        for &v in &live.live_out[&b] {
+            widen(v, bend);
+        }
+    }
+
+    // Values with a single position never need a register; values that are
+    // float-typed or never defined stay in slots.
+    let mut intervals: Vec<(u32, u32, usize)> = (0..nvals)
+        .filter(|&i| {
+            start[i] != u32::MAX
+                && end[i] > start[i]
+                && eligible(f.inst(ValueId(i as u32)).ty)
+                // Allocas are cheap rematerializations; slots are fine and
+                // keeping them out frees registers for loop counters.
+                && !matches!(f.inst(ValueId(i as u32)).op, Op::Alloca { .. })
+        })
+        .map(|i| (start[i], end[i], i))
+        .collect();
+    intervals.sort_unstable();
+
+    let mut reg_of: Vec<Option<u8>> = vec![None; nvals];
+    let mut free: Vec<u8> = (0..NUM_ALLOC_REGS as u8).rev().collect();
+    let mut active: Vec<(u32, u8)> = Vec::new(); // (end, reg)
+    for (s, e, i) in intervals {
+        active.retain(|&(aend, reg)| {
+            if aend < s {
+                free.push(reg);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(reg) = free.pop() {
+            reg_of[i] = Some(reg);
+            active.push((e, reg));
+        }
+    }
+    Allocation { reg_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_ir::builder::FunctionBuilder;
+    use concord_ir::inst::BinOp;
+
+    #[test]
+    fn hot_values_get_registers_and_floats_do_not() {
+        let mut fb = FunctionBuilder::new("t", vec![Type::I64, Type::F64], Type::I64);
+        let a = fb.param(0);
+        let fp = fb.param(1);
+        let one = fb.i64(1);
+        let s1 = fb.bin(BinOp::Add, a, one);
+        let s2 = fb.bin(BinOp::Add, s1, a);
+        let _f2 = fb.bin(BinOp::FAdd, fp, fp);
+        let s3 = fb.bin(BinOp::Add, s2, a);
+        fb.ret(Some(s3));
+        let f = fb.build();
+        let alloc = allocate(&f);
+        // `a` spans almost the whole function: it must hold a register.
+        assert!(alloc.reg_of[a.0 as usize].is_some());
+        // The float parameter must not.
+        assert_eq!(alloc.reg_of[fp.0 as usize], None);
+        // No register index exceeds the pool.
+        for r in alloc.reg_of.iter().flatten() {
+            assert!((*r as usize) < NUM_ALLOC_REGS);
+        }
+    }
+
+    #[test]
+    fn disjoint_intervals_share_registers() {
+        let mut fb = FunctionBuilder::new("t", vec![Type::I64], Type::I64);
+        let p = fb.param(0);
+        // Six sequential chains; far more values than registers.
+        let mut cur = p;
+        for _ in 0..6 {
+            let c = fb.i64(3);
+            let t = fb.bin(BinOp::Mul, cur, c);
+            cur = fb.bin(BinOp::Add, t, c);
+        }
+        fb.ret(Some(cur));
+        let f = fb.build();
+        let alloc = allocate(&f);
+        // The allocation must stay within the pool and be internally
+        // consistent (no two overlapping intervals on one register) —
+        // verified indirectly by the end-to-end execution tests; here we
+        // just require it to terminate and produce in-range registers.
+        for r in alloc.reg_of.iter().flatten() {
+            assert!((*r as usize) < NUM_ALLOC_REGS);
+        }
+    }
+}

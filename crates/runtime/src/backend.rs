@@ -17,6 +17,7 @@ use concord_ir::types::AddrSpace;
 use concord_ir::{FuncId, Module};
 use concord_svm::{AllocError, CpuAddr, SharedAllocator, SharedRegion, VtableArea};
 use concord_trace::{SpanGuard, Tracer, Track};
+use std::sync::Arc;
 
 /// A contiguous sub-range `[lo, hi)` of a construct's `[0, grid)`
 /// iteration space. A full (unsplit) launch is `Span::full(n)`.
@@ -465,6 +466,170 @@ impl DeviceBackend for GpuBackend {
             transactions: r.transactions,
             contended: r.contended,
             l3_hit_rate: r.l3_hit_rate,
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+}
+
+/// The native-JIT backend: runs `concord-native` machine code on the host
+/// CPU instead of the cycle-level interpreter. It shares the CPU
+/// simulator's chunking (per simulated core) and reduction schedule, so
+/// shared-region bytes and reduce totals are bit-identical to
+/// [`CpuBackend`]; what changes is wall-clock time — `seconds` here is
+/// measured host time, not simulated cycles. The compiled module lives in
+/// a [`crate::SharedNativeModule`] slot so sessions built through
+/// [`crate::ArtifactCache`] compile the machine code once process-wide.
+pub struct NativeBackend {
+    exec: concord_native::Executor,
+    shared: crate::SharedNativeModule,
+    module: Option<Arc<concord_native::NativeModule>>,
+    /// Wall-clock seconds the last [`NativeBackend::ensure_prepared`]
+    /// spent compiling, handed to the next `prepare` call (zero on reuse).
+    pending_jit: f64,
+}
+
+impl NativeBackend {
+    pub(crate) fn new(cores: u32, host_threads: usize, shared: crate::SharedNativeModule) -> Self {
+        NativeBackend {
+            exec: concord_native::Executor::new(cores as usize, host_threads),
+            shared,
+            module: None,
+            pending_jit: 0.0,
+        }
+    }
+
+    /// Compile the session's CPU module to machine code. Runs the codegen
+    /// at most once per shared slot — later calls, and other sessions that
+    /// hit the same artifact-cache entry, reuse the executable buffer —
+    /// and stashes the wall-clock compile seconds for the next
+    /// [`DeviceBackend::prepare`] call.
+    ///
+    /// # Errors
+    ///
+    /// [`concord_native::CompileError`] when the host is not x86-64 Linux
+    /// or the module cannot be lowered.
+    pub(crate) fn ensure_prepared(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        class: &str,
+    ) -> Result<(), concord_native::CompileError> {
+        if self.module.is_some() {
+            return Ok(());
+        }
+        let mut slot = self.shared.lock().unwrap();
+        if let Some(m) = slot.as_ref() {
+            self.module = Some(Arc::clone(m));
+            return Ok(());
+        }
+        let start = std::time::Instant::now();
+        let mut sp = ctx.tracer.span(Track::Native, "codegen");
+        sp.arg("kernel", class);
+        let compiled = Arc::new(concord_native::compile(ctx.cpu_module)?);
+        let seconds = start.elapsed().as_secs_f64();
+        sp.arg("code_bytes", compiled.code_len() as i64);
+        sp.arg("seconds", seconds);
+        *slot = Some(Arc::clone(&compiled));
+        self.module = Some(compiled);
+        self.pending_jit = seconds;
+        Ok(())
+    }
+
+    fn module(&self) -> Arc<concord_native::NativeModule> {
+        Arc::clone(self.module.as_ref().expect("ensure_prepared runs before native launches"))
+    }
+}
+
+impl DeviceBackend for NativeBackend {
+    fn device(&self) -> Device {
+        // Native execution happens on the host CPU; it meters as the
+        // energy model's CPU device.
+        Device::Cpu
+    }
+
+    fn label(&self) -> &'static str {
+        "native"
+    }
+
+    fn fence_in(&mut self, _ctx: &mut ExecCtx<'_>) {}
+
+    fn fence_out(&mut self, _ctx: &mut ExecCtx<'_>) {}
+
+    fn prepare(&mut self, _ctx: &mut ExecCtx<'_>, _class: &str, _func: FuncId) -> f64 {
+        std::mem::take(&mut self.pending_jit)
+    }
+
+    fn reduce_slots(&self, _ctx: &ExecCtx<'_>, _span: Span) -> u64 {
+        // One chunk lane per simulated core, matching CpuBackend, so the
+        // reduction schedule (and hence float accumulation order) is the
+        // same.
+        self.exec.cores() as u64
+    }
+
+    fn launch_for(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        body: CpuAddr,
+        span: Span,
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Native, "native_launch");
+        let nm = self.module();
+        let start = std::time::Instant::now();
+        let r = self.exec.parallel_for(
+            ctx.region,
+            &nm,
+            ctx.cpu_module,
+            func,
+            body,
+            span.lo,
+            span.hi,
+            span.grid,
+        )?;
+        let stats = LaunchStats {
+            seconds: start.elapsed().as_secs_f64(),
+            busy_fraction: 1.0,
+            insts: r.insts,
+            ..Default::default()
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+
+    fn launch_reduce(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        join: FuncId,
+        body: CpuAddr,
+        body_size: u64,
+        span: Span,
+        scratch: &[CpuAddr],
+    ) -> Result<LaunchStats, Trap> {
+        // Native plans are never split, so the span is the full range —
+        // and unlike the simulator backends, the executor performs the
+        // final sequential join into `body` itself (same schedule the
+        // runtime would use); the caller must skip its interpreter join.
+        debug_assert_eq!(span.lo, 0, "native plans are single full spans");
+        let sp = ctx.tracer.span(Track::Native, "native_launch");
+        let nm = self.module();
+        let start = std::time::Instant::now();
+        let r = self.exec.parallel_reduce(
+            ctx.region,
+            &nm,
+            ctx.cpu_module,
+            func,
+            join,
+            body,
+            body_size,
+            span.hi,
+            scratch,
+        )?;
+        let stats = LaunchStats {
+            seconds: start.elapsed().as_secs_f64(),
+            busy_fraction: 1.0,
+            insts: r.insts,
+            ..Default::default()
         };
         close_launch_span(sp, span, &stats);
         Ok(stats)

@@ -30,6 +30,12 @@ use std::sync::{Arc, Mutex};
 /// share this set through the cache.
 pub type SharedJitSet = Arc<Mutex<HashSet<FuncId>>>;
 
+/// Lazily-compiled native machine code shared by every session that hit
+/// the same cache entry: `None` until the first `Target::Native` launch
+/// compiles the module, after which every session reuses the same
+/// executable buffer and reports `jit_seconds == 0` for native codegen.
+pub type SharedNativeModule = Arc<Mutex<Option<Arc<concord_native::NativeModule>>>>;
+
 /// Deterministic 64-bit FNV-1a hash of kernel source text — the first half
 /// of a cache key. Stable across processes and platforms so keys are
 /// loggable and comparable.
@@ -49,6 +55,7 @@ pub(crate) struct CachedArtifact {
     pub(crate) program: LoweredProgram,
     pub(crate) gpu_artifact: GpuArtifact,
     pub(crate) jitted: SharedJitSet,
+    pub(crate) native: SharedNativeModule,
 }
 
 /// A process-wide, thread-safe compile/JIT-artifact cache keyed by
@@ -115,6 +122,7 @@ impl ArtifactCache {
             program,
             gpu_artifact,
             jitted: Arc::new(Mutex::new(HashSet::new())),
+            native: Arc::new(Mutex::new(None)),
         });
         entries.insert(key, Arc::clone(&entry));
         self.misses.fetch_add(1, Ordering::Relaxed);

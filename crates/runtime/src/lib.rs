@@ -12,8 +12,10 @@
 //! ([`backend`]); which device runs which sub-range is decided by the
 //! [`scheduler`]. Besides the paper's `Cpu`/`Gpu` flags, [`Target`]
 //! offers `Hybrid { gpu_fraction }` (static split across both devices
-//! under one fence pair) and `Auto` (deterministic adaptive split from
-//! per-kernel profile history).
+//! under one fence pair), `Auto` (deterministic adaptive split from
+//! per-kernel profile history), and `Native` (JIT-compiled x86-64 machine
+//! code on the host CPU via `concord-native`, bit-identical results to
+//! `Cpu` at wall-clock speed).
 //!
 //! ## Example
 //!
@@ -44,11 +46,11 @@ pub mod cache;
 pub mod scheduler;
 
 pub use backend::{
-    CpuBackend, DeviceBackend, ExecCtx, GpuBackend, LaunchStats, ScratchGuard, Span,
+    CpuBackend, DeviceBackend, ExecCtx, GpuBackend, LaunchStats, NativeBackend, ScratchGuard, Span,
 };
-pub use cache::{source_hash, ArtifactCache, SharedJitSet};
+pub use cache::{source_hash, ArtifactCache, SharedJitSet, SharedNativeModule};
 pub use concord_analyze::{Gate as AnalysisGate, Mode as AnalysisMode, Report as AnalysisReport};
-pub use scheduler::{Plan, ProfileHistory, Target};
+pub use scheduler::{DeviceClass, Plan, ProfileHistory, Target};
 
 use concord_compiler::{lower_for_gpu_traced, GpuArtifact, GpuConfig};
 use concord_cpusim::CpuSim;
@@ -87,6 +89,9 @@ pub enum RuntimeError {
     NoSuchKernel(String),
     /// `parallel_reduce_hetero` on a class without a `join` method.
     NoJoin(String),
+    /// `Target::Native` on a host where the native backend cannot run
+    /// (not x86-64 Linux) or cannot lower the module.
+    NativeUnsupported(String),
     /// The pre-launch static analysis gate ([`Options::analysis`] =
     /// [`AnalysisGate::Deny`]) found error-severity defects.
     AnalysisDenied {
@@ -107,6 +112,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NoSuchKernel(n) => write!(f, "no kernel class named `{n}`"),
             RuntimeError::NoJoin(n) => {
                 write!(f, "class `{n}` has no join method for parallel_reduce")
+            }
+            RuntimeError::NativeUnsupported(why) => {
+                write!(f, "native backend unavailable: {why}")
             }
             RuntimeError::AnalysisDenied { kernel, report } => {
                 write!(
@@ -277,6 +285,7 @@ pub struct Concord {
     vtables: VtableArea,
     cpu: CpuBackend,
     gpu: GpuBackend,
+    native: NativeBackend,
     meter: EnergyMeter,
     profile: ProfileHistory,
     /// Kernels that cannot run on the GPU (restriction warnings).
@@ -357,7 +366,7 @@ impl Concord {
             }
             Ok((program, gpu_artifact))
         };
-        let (program, gpu_artifact, jitted) = match cache {
+        let (program, gpu_artifact, jitted, native_slot) = match cache {
             Some(cache) => {
                 let (entry, hit) = cache.lookup_or_compile(source, gpu_cfg, compile)?;
                 tracer.instant(
@@ -365,11 +374,21 @@ impl Concord {
                     "artifact_cache",
                     vec![("hit", hit.into()), ("source_hash", cache::source_hash(source).into())],
                 );
-                (entry.program.clone(), entry.gpu_artifact.clone(), Arc::clone(&entry.jitted))
+                (
+                    entry.program.clone(),
+                    entry.gpu_artifact.clone(),
+                    Arc::clone(&entry.jitted),
+                    Arc::clone(&entry.native),
+                )
             }
             None => {
                 let (program, gpu_artifact) = compile()?;
-                (program, gpu_artifact, Arc::new(Mutex::new(HashSet::new())))
+                (
+                    program,
+                    gpu_artifact,
+                    Arc::new(Mutex::new(HashSet::new())),
+                    Arc::new(Mutex::new(None)),
+                )
             }
         };
         let reserved = VtableArea::reserve_for(program.module.classes.len());
@@ -397,6 +416,7 @@ impl Concord {
         Ok(Concord {
             cpu: CpuBackend::new(cpu),
             gpu: GpuBackend::new(gpu, jitted),
+            native: NativeBackend::new(system.cpu.cores, host_threads, native_slot),
             system,
             program,
             gpu_artifact,
@@ -640,6 +660,7 @@ impl Concord {
         gpu_allowed: bool,
     ) -> Result<OffloadReport, RuntimeError> {
         let plan = scheduler::plan(target, n, gpu_allowed, &self.profile, class);
+        let use_native = target == Target::Native;
         // Disjoint field borrows: the backends, the heap (scratch), the
         // meter, and the profile history are all threaded through this one
         // function alongside the ExecCtx borrow of the region.
@@ -652,6 +673,7 @@ impl Concord {
             vtables,
             cpu,
             gpu,
+            native,
             meter,
             profile,
             tracer,
@@ -659,6 +681,7 @@ impl Concord {
         } = self;
         let label = match plan.parts.as_slice() {
             [(Device::Gpu, _)] => "gpu",
+            [(Device::Cpu, _)] if use_native => "native",
             [(Device::Cpu, _)] => "cpu",
             _ => "hybrid",
         };
@@ -687,6 +710,15 @@ impl Concord {
             tracer,
         };
 
+        // The native module must exist before the generic launch loop (the
+        // trait's `prepare` cannot fail; this can — unsupported host,
+        // unlowerable module).
+        if use_native {
+            native
+                .ensure_prepared(&mut ctx, class)
+                .map_err(|e| RuntimeError::NativeUnsupported(e.to_string()))?;
+        }
+
         // One scratch guard covers every part's partial-accumulator slots;
         // Drop releases them on all exit paths, trap included.
         let mut slot_counts = Vec::new();
@@ -695,6 +727,7 @@ impl Concord {
             ConstructKind::Reduce { body_size, .. } => {
                 for &(device, span) in &plan.parts {
                     slot_counts.push(match device {
+                        Device::Cpu if use_native => native.reduce_slots(&ctx, span),
                         Device::Cpu => cpu.reduce_slots(&ctx, span),
                         Device::Gpu => gpu.reduce_slots(&ctx, span),
                     });
@@ -842,6 +875,7 @@ impl Concord {
             let mut slot_base = 0usize;
             for (i, &(device, span)) in plan.parts.iter().enumerate() {
                 let backend: &mut dyn DeviceBackend = match device {
+                    Device::Cpu if use_native => native,
                     Device::Cpu => cpu,
                     Device::Gpu => gpu,
                 };
@@ -883,8 +917,14 @@ impl Concord {
         // construct combine per-warp GPU partials with per-core CPU ones.
         let mut join_seconds = 0.0;
         if let (ConstructKind::Reduce { join, .. }, Some(g)) = (kind, guard.as_ref()) {
-            join_seconds =
-                cpu.join_partials(&mut ctx, join, body, g.slots()).map_err(RuntimeError::Trap)?;
+            // The native executor already joined its partials into `body`
+            // inside `launch_reduce` (same sequential schedule); joining
+            // again here would double-count them.
+            if !use_native {
+                join_seconds = cpu
+                    .join_partials(&mut ctx, join, body, g.slots())
+                    .map_err(RuntimeError::Trap)?;
+            }
         }
         drop(guard);
 
@@ -899,7 +939,12 @@ impl Concord {
             };
             let before = meter.joules();
             meter.record(system, device, phase);
-            profile.record(class, device, u64::from(items), stats.seconds);
+            // Native parts profile under their own device class: their
+            // wall-clock rates must not contaminate the simulated-CPU
+            // history `Target::Auto` splits by.
+            let profile_class =
+                if use_native { DeviceClass::Native } else { DeviceClass::from(device) };
+            profile.record(class, profile_class, u64::from(items), stats.seconds);
             parts_reports.push(OffloadReport {
                 jit_seconds,
                 exec_seconds: stats.seconds,
@@ -1080,6 +1125,113 @@ mod tests {
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, results[0], "target {} must agree with CPU reduction", ALL_TARGETS[i]);
         }
+    }
+
+    #[test]
+    fn native_target_matches_cpu_interpreter_bytes() {
+        if !concord_native::supported() {
+            return;
+        }
+        let run = |target: Target| {
+            let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+            let nodes = cc.malloc(101 * 8).unwrap();
+            let body = cc.malloc(8).unwrap();
+            cc.region_mut().write_ptr(body, nodes).unwrap();
+            let r = cc.parallel_for_hetero("LoopBody", body, 100, target).unwrap();
+            let bytes = cc
+                .region()
+                .read_bytes(nodes.0, concord_ir::types::AddrSpace::Cpu, 101 * 8)
+                .unwrap()
+                .to_vec();
+            let native_rate = cc.profile().rate("LoopBody", DeviceClass::Native);
+            (r, bytes, native_rate)
+        };
+        let (rn, native_bytes, native_rate) = run(Target::Native);
+        let (_, cpu_bytes, _) = run(Target::Cpu);
+        assert_eq!(native_bytes, cpu_bytes, "native must write the same region bytes");
+        assert!(!rn.on_gpu);
+        assert!(!rn.fell_back, "native never counts as a fallback");
+        assert!(rn.insts > 0);
+        assert!(rn.joules > 0.0, "native launches meter CPU energy");
+        assert!(native_rate.is_some(), "native launches profile under their own class");
+    }
+
+    #[test]
+    fn native_reduce_total_is_bit_exact_with_cpu() {
+        if !concord_native::supported() {
+            return;
+        }
+        let run = |target: Target| {
+            let mut cc = Concord::new(SystemConfig::ultrabook(), SUM, Options::default()).unwrap();
+            let n = 333u32;
+            let data = cc.malloc(u64::from(n) * 4).unwrap();
+            for i in 0..n {
+                let v = (i % 13) as f32 * 0.37;
+                cc.region_mut().write_f32(CpuAddr(data.0 + u64::from(i) * 4), v).unwrap();
+            }
+            let body = cc.malloc(16).unwrap();
+            cc.region_mut().write_ptr(body, data).unwrap();
+            cc.region_mut().write_f32(body.offset(8), 0.0).unwrap();
+            cc.parallel_reduce_hetero("Sum", body, n, target).unwrap();
+            cc.region().read_f32(body.offset(8)).unwrap().to_bits()
+        };
+        assert_eq!(run(Target::Native), run(Target::Cpu), "reduce totals must be bit-exact");
+    }
+
+    #[test]
+    fn native_codegen_charged_once_and_shared_through_cache() {
+        if !concord_native::supported() {
+            return;
+        }
+        let cache = ArtifactCache::new();
+        let run = |cc: &mut Concord| {
+            let nodes = cc.malloc(101 * 8).unwrap();
+            let body = cc.malloc(8).unwrap();
+            cc.region_mut().write_ptr(body, nodes).unwrap();
+            let first = cc.parallel_for_hetero("LoopBody", body, 100, Target::Native).unwrap();
+            let second = cc.parallel_for_hetero("LoopBody", body, 100, Target::Native).unwrap();
+            (first.jit_seconds, second.jit_seconds)
+        };
+        let mut a =
+            Concord::new_with_cache(SystemConfig::ultrabook(), FIG1, Options::default(), &cache)
+                .unwrap();
+        let (a1, a2) = run(&mut a);
+        assert!(a1 > 0.0, "first native launch reports wall-clock codegen time");
+        assert_eq!(a2, 0.0, "codegen is cached within the session");
+        let mut b =
+            Concord::new_with_cache(SystemConfig::ultrabook(), FIG1, Options::default(), &cache)
+                .unwrap();
+        let (b1, b2) = run(&mut b);
+        assert_eq!(b1, 0.0, "second session reuses machine code through the cache");
+        assert_eq!(b2, 0.0);
+    }
+
+    #[test]
+    fn native_trap_matches_cpu_and_does_not_leak_scratch() {
+        if !concord_native::supported() {
+            return;
+        }
+        let src = r#"
+            class Crash {
+            public:
+                float* data; float acc;
+                void operator()(int i) { acc += data[i]; }
+                void join(Crash* other) { acc += other->acc; }
+            };
+        "#;
+        let run = |target: Target| {
+            let mut cc = Concord::new(SystemConfig::ultrabook(), src, Options::default()).unwrap();
+            let body = cc.malloc(16).unwrap();
+            let free_before = cc.heap_free_bytes();
+            let err = cc.parallel_reduce_hetero("Crash", body, 64, target).unwrap_err();
+            assert_eq!(cc.heap_free_bytes(), free_before, "target {target} leaked scratch");
+            err
+        };
+        assert_eq!(
+            run(Target::Native),
+            run(Target::Cpu),
+            "native traps must carry the same kernel name and work-item id"
+        );
     }
 
     #[test]

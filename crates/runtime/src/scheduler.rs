@@ -31,17 +31,23 @@ pub enum Target {
     /// a kernel probes both devices with a 50/50 split, later calls split
     /// proportionally to the observed items/sec of each device.
     Auto,
+    /// All iterations on the host CPU through the native JIT backend
+    /// (`concord-native`) instead of the cycle-level CPU interpreter.
+    /// Requires x86-64 Linux; elsewhere the runtime reports
+    /// [`crate::RuntimeError::NativeUnsupported`].
+    Native,
 }
 
 impl Target {
     /// Parse a CLI-style target name: `cpu`, `gpu`, `hybrid`,
-    /// `hybrid:<fraction>`, or `auto`.
+    /// `hybrid:<fraction>`, `auto`, or `native`.
     #[must_use]
     pub fn parse(s: &str) -> Option<Target> {
         match s {
             "cpu" => Some(Target::Cpu),
             "gpu" => Some(Target::Gpu),
             "auto" => Some(Target::Auto),
+            "native" => Some(Target::Native),
             "hybrid" => Some(Target::Hybrid { gpu_fraction: 0.5 }),
             _ => {
                 let frac = s.strip_prefix("hybrid:")?.parse::<f64>().ok()?;
@@ -58,6 +64,7 @@ impl std::fmt::Display for Target {
             Target::Gpu => write!(f, "gpu"),
             Target::Hybrid { gpu_fraction } => write!(f, "hybrid:{gpu_fraction}"),
             Target::Auto => write!(f, "auto"),
+            Target::Native => write!(f, "native"),
         }
     }
 }
@@ -76,37 +83,75 @@ impl DeviceRate {
     }
 }
 
+/// A device *class* the profile history tracks throughput for. Unlike
+/// [`Device`] (the energy model's two simulated devices), this also
+/// distinguishes the native JIT path, which runs on the CPU device but has
+/// a throughput profile of its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceClass {
+    /// Interpreted multicore CPU (cycle-level simulator).
+    Cpu,
+    /// Integrated GPU simulator.
+    Gpu,
+    /// Host CPU running JIT-compiled machine code (`concord-native`).
+    Native,
+}
+
+impl From<Device> for DeviceClass {
+    fn from(device: Device) -> DeviceClass {
+        match device {
+            Device::Cpu => DeviceClass::Cpu,
+            Device::Gpu => DeviceClass::Gpu,
+        }
+    }
+}
+
 /// Per-kernel record of observed per-device throughput, accumulated
 /// across every construct a [`crate::Concord`] executes. `Target::Auto`
 /// reads it to pick splits; all targets feed it.
 #[derive(Debug, Default)]
 pub struct ProfileHistory {
-    kernels: HashMap<String, [DeviceRate; 2]>,
+    kernels: HashMap<String, [DeviceRate; 3]>,
 }
 
-fn slot(device: Device) -> usize {
-    match device {
-        Device::Cpu => 0,
-        Device::Gpu => 1,
+fn slot(class: DeviceClass) -> usize {
+    match class {
+        DeviceClass::Cpu => 0,
+        DeviceClass::Gpu => 1,
+        DeviceClass::Native => 2,
     }
 }
 
 impl ProfileHistory {
-    /// Record `items` executed in `seconds` of simulated time on `device`.
-    pub fn record(&mut self, kernel: &str, device: Device, items: u64, seconds: f64) {
-        let e = &mut self.kernels.entry(kernel.to_string()).or_default()[slot(device)];
+    /// Record `items` executed in `seconds` on a device class. Simulated
+    /// devices pass their [`Device`] (simulated seconds); the native
+    /// backend records wall-clock seconds under [`DeviceClass::Native`].
+    pub fn record(
+        &mut self,
+        kernel: &str,
+        class: impl Into<DeviceClass>,
+        items: u64,
+        seconds: f64,
+    ) {
+        let e = &mut self.kernels.entry(kernel.to_string()).or_default()[slot(class.into())];
         e.items += items;
         e.seconds += seconds;
     }
 
     /// The GPU's share of combined throughput for `kernel`, if both
-    /// devices have been observed.
+    /// simulated devices have been observed.
     #[must_use]
     pub fn gpu_share(&self, kernel: &str) -> Option<f64> {
         let rates = self.kernels.get(kernel)?;
-        let cpu = rates[slot(Device::Cpu)].rate()?;
-        let gpu = rates[slot(Device::Gpu)].rate()?;
+        let cpu = rates[slot(DeviceClass::Cpu)].rate()?;
+        let gpu = rates[slot(DeviceClass::Gpu)].rate()?;
         Some(gpu / (gpu + cpu))
+    }
+
+    /// Observed items/sec for `kernel` on a device class, if recorded.
+    #[must_use]
+    pub fn rate(&self, kernel: &str, class: DeviceClass) -> Option<f64> {
+        self.kernels.get(kernel)?[slot(class)].rate()
     }
 }
 
@@ -165,11 +210,17 @@ pub fn plan(
     history: &ProfileHistory,
     kernel: &str,
 ) -> Plan {
+    // Native runs on the host CPU, so GPU restrictions never apply to it
+    // and it never counts as a fallback.
+    if target == Target::Native {
+        return single(Device::Cpu, n, false, "native");
+    }
     if !gpu_allowed {
         return single(Device::Cpu, n, target != Target::Cpu, "fallback");
     }
     match target {
         Target::Cpu => single(Device::Cpu, n, false, "cpu"),
+        Target::Native => single(Device::Cpu, n, false, "native"),
         Target::Gpu => single(Device::Gpu, n, false, "gpu"),
         _ if n == 0 => single(Device::Cpu, n, false, "empty"),
         Target::Hybrid { gpu_fraction } => split(n, gpu_fraction, "hybrid"),
@@ -186,7 +237,7 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for s in ["cpu", "gpu", "auto", "hybrid:0.25"] {
+        for s in ["cpu", "gpu", "auto", "native", "hybrid:0.25"] {
             assert_eq!(Target::parse(s).unwrap().to_string(), s);
         }
         assert_eq!(Target::parse("hybrid"), Some(Target::Hybrid { gpu_fraction: 0.5 }));
@@ -256,6 +307,29 @@ mod tests {
         // History is per kernel.
         let p = plan(Target::Auto, 100, true, &h, "Other");
         assert_eq!(p.policy, "auto-probe");
+    }
+
+    #[test]
+    fn native_plans_on_cpu_and_never_falls_back() {
+        let h = ProfileHistory::default();
+        for allowed in [true, false] {
+            let p = plan(Target::Native, 10, allowed, &h, "K");
+            assert_eq!(p.parts, vec![(Device::Cpu, Span::full(10))]);
+            assert!(!p.fell_back);
+            assert_eq!(p.policy, "native");
+        }
+    }
+
+    #[test]
+    fn profile_history_tracks_native_as_its_own_class() {
+        let mut h = ProfileHistory::default();
+        h.record("K", Device::Cpu, 100, 1.0);
+        h.record("K", DeviceClass::Native, 5000, 1.0);
+        assert_eq!(h.rate("K", DeviceClass::Native), Some(5000.0));
+        // Native observations are not GPU evidence for Auto splits.
+        assert_eq!(h.gpu_share("K"), None);
+        h.record("K", Device::Gpu, 300, 1.0);
+        assert!((h.gpu_share("K").unwrap() - 0.75).abs() < 1e-12);
     }
 
     #[test]

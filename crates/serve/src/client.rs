@@ -81,6 +81,12 @@ pub struct SessionOptions {
     /// that race a clean-under-reduce kernel), answering
     /// `analysis_denied` with a structured `diagnostics` payload.
     pub analysis: Option<String>,
+    /// Session-default launch target: `"cpu"`, `"gpu"`, `"auto"` (server
+    /// default), `"native"`, or `"hybrid[:f]"`. A launch's own
+    /// [`Launch::target`] still overrides it. `"native"` is accepted at
+    /// open even on hosts without the native backend; the first launch
+    /// that uses it answers `native_unsupported`.
+    pub target: Option<String>,
 }
 
 /// A freshly opened session: its id plus whether the server's artifact
@@ -202,6 +208,9 @@ impl Client {
         }
         if let Some(gate) = &opts.analysis {
             fields.push(("analysis", gate.as_str().into()));
+        }
+        if let Some(target) = &opts.target {
+            fields.push(("target", target.as_str().into()));
         }
         let resp = self.call(Json::obj(fields))?;
         Ok(OpenedSession {

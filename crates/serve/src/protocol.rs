@@ -55,6 +55,9 @@ pub mod codes {
     /// `deny`. The error response carries the full report under a
     /// `diagnostics` field.
     pub const ANALYSIS_DENIED: &str = "analysis_denied";
+    /// The session asked for the native JIT backend on a host where it is
+    /// not available (the backend is x86-64 Linux only).
+    pub const NATIVE_UNSUPPORTED: &str = "native_unsupported";
     /// The request sat in the admission queue past its `deadline_ms`.
     pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
     /// A region read/write faulted (bad address, wrong space).

@@ -113,6 +113,10 @@ pub struct ServerStats {
 struct Session {
     cc: Concord,
     owner_conn: u64,
+    /// Launch target used when a `parallel_for`/`parallel_reduce` request
+    /// omits its own `target` field (set by the `target` session option;
+    /// `auto` when the option is absent).
+    default_target: Target,
 }
 
 /// One request's structured failure: a stable protocol code, a human
@@ -525,7 +529,7 @@ fn execute(req: &Json, ty: &str, conn_id: u64, shared: &Arc<Shared>) -> Result<J
                 .cloned()
                 .ok_or((codes::NO_SUCH_SESSION, format!("no session {sid}")))?;
             let mut session = session.lock().unwrap();
-            session_op(req, ty, &mut session.cc)
+            session_op(req, ty, &mut session)
         }
     }
 }
@@ -574,6 +578,17 @@ fn open_session(req: &Json, conn_id: u64, shared: &Arc<Shared>) -> Result<Json, 
             format!("unknown analysis gate `{s}` (expected off|warn|deny)"),
         ))?,
     };
+    // Session-wide default launch target; a launch's own `target` field
+    // still overrides it. An unsupported-arch `native` default is accepted
+    // here and surfaces as `native_unsupported` on the first launch that
+    // actually uses it.
+    let default_target = match req.get("target").and_then(Json::as_str) {
+        None => Target::Auto,
+        Some(s) => Target::parse(s).ok_or((
+            codes::BAD_REQUEST,
+            format!("bad target `{s}` (expected cpu|gpu|auto|native|hybrid[:f])"),
+        ))?,
+    };
     // Informational only (a concurrent open may racily insert between the
     // probe and the build); exact totals come from the cache counters.
     let cache_hit = shared.cache.contains(source, gpu_config);
@@ -610,7 +625,7 @@ fn open_session(req: &Json, conn_id: u64, shared: &Arc<Shared>) -> Result<Json, 
         .sessions
         .lock()
         .unwrap()
-        .insert(sid, Arc::new(Mutex::new(Session { cc, owner_conn: conn_id })));
+        .insert(sid, Arc::new(Mutex::new(Session { cc, owner_conn: conn_id, default_target })));
     shared.tracer.instant(
         Track::Server,
         "session_open",
@@ -625,7 +640,8 @@ fn open_session(req: &Json, conn_id: u64, shared: &Arc<Shared>) -> Result<Json, 
 }
 
 /// Region and launch operations against one locked session.
-fn session_op(req: &Json, ty: &str, cc: &mut Concord) -> Result<Json, SrvError> {
+fn session_op(req: &Json, ty: &str, session: &mut Session) -> Result<Json, SrvError> {
+    let cc = &mut session.cc;
     match ty {
         "malloc" => {
             let bytes = field_u64(req, "bytes")?;
@@ -682,11 +698,13 @@ fn session_op(req: &Json, ty: &str, cc: &mut Concord) -> Result<Json, SrvError> 
             let body = field_u64(req, "body")?;
             let n = u32::try_from(field_u64(req, "n")?)
                 .map_err(|_| (codes::BAD_REQUEST, "`n` exceeds u32".to_string()))?;
-            let target_str = req.get("target").and_then(Json::as_str).unwrap_or("auto");
-            let target = Target::parse(target_str).ok_or((
-                codes::BAD_REQUEST,
-                format!("bad target `{target_str}` (expected cpu|gpu|auto|hybrid[:f])"),
-            ))?;
+            let target = match req.get("target").and_then(Json::as_str) {
+                None => session.default_target,
+                Some(s) => Target::parse(s).ok_or((
+                    codes::BAD_REQUEST,
+                    format!("bad target `{s}` (expected cpu|gpu|auto|native|hybrid[:f])"),
+                ))?,
+            };
             let report = if ty == "parallel_for" {
                 cc.parallel_for_hetero(class, CpuAddr(body), n, target)
             } else {
@@ -748,6 +766,7 @@ fn runtime_error(e: RuntimeError) -> SrvError {
         RuntimeError::Trap(_) => (codes::TRAP, None),
         RuntimeError::NoSuchKernel(_) => (codes::NO_SUCH_KERNEL, None),
         RuntimeError::NoJoin(_) => (codes::NO_JOIN, None),
+        RuntimeError::NativeUnsupported(_) => (codes::NATIVE_UNSUPPORTED, None),
         // The analysis report is stable JSON; re-parse it into the wire
         // representation so clients get structured findings, not prose.
         RuntimeError::AnalysisDenied { report, .. } => {

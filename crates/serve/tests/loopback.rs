@@ -107,6 +107,34 @@ fn four_concurrent_clients_share_cache_and_match_direct_execution() {
 }
 
 #[test]
+fn native_session_default_target_matches_direct_cpu_bytes() {
+    if !concord_native::supported() {
+        return;
+    }
+    let server = start_server(2, 16);
+    // `target` in the session options becomes the default for launches
+    // that omit their own target — this session never names a target on a
+    // launch, yet runs on the native JIT backend.
+    let opts = SessionOptions { target: Some("native".to_string()), ..SessionOptions::default() };
+    let mut s = SessionHandle::connect(server.addr(), DOUBLE, &opts).expect("open native session");
+    let out = s.malloc(u64::from(DOUBLE_N) * 4).unwrap();
+    let body = s.malloc(16).unwrap();
+    s.write_ptr(body, out).unwrap();
+    s.write_i32(body + 8, DOUBLE_N as i32).unwrap();
+    let report =
+        s.parallel_for(&Launch::new("Double", body, DOUBLE_N)).expect("native default launch");
+    assert!(report.exec_seconds > 0.0);
+    let served = s.read(out, u64::from(DOUBLE_N) * 4).unwrap();
+    assert_eq!(served, direct_double(Target::Cpu), "served native differs from direct cpu");
+    // A launch-level target still overrides the session default.
+    let report2 = s
+        .parallel_for(&Launch::new("Double", body, DOUBLE_N).target("cpu"))
+        .expect("cpu override launch");
+    assert!(report2.exec_seconds > 0.0);
+    server.join();
+}
+
+#[test]
 fn second_session_pays_no_jit_for_shared_artifacts() {
     let server = start_server(1, 16);
     let addr = server.addr();

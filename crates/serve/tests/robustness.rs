@@ -144,6 +144,9 @@ fn region_faults_and_bad_payloads_are_rejected() {
     let opts = SessionOptions { region_bytes: Some(u64::MAX), ..SessionOptions::default() };
     let err = client.open_session(DOUBLE, &opts).unwrap_err();
     assert_eq!(err.code(), Some("bad_request"));
+    let opts = SessionOptions { target: Some("warp9".to_string()), ..SessionOptions::default() };
+    let err = client.open_session(DOUBLE, &opts).unwrap_err();
+    assert_eq!(err.code(), Some("bad_request"), "bad session-default target is refused at open");
     assert!(client.ping().is_ok());
     server.join();
 }

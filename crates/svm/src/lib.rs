@@ -43,4 +43,4 @@ pub use region::{
     SVM_CONST,
 };
 pub use shadow::{apply_log, apply_rmw, AtomicKind, MemOp, RegionMem, ShadowRegion};
-pub use vtable::{VtableArea, MAX_VTABLE_SLOTS, VTABLE_STRIDE};
+pub use vtable::{VtableArea, MAX_VTABLE_SLOTS, VTABLE_MAGIC, VTABLE_STRIDE};

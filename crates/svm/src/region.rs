@@ -302,6 +302,15 @@ impl SharedRegion {
         &mut self.data[off as usize..(off + len) as usize]
     }
 
+    /// Base pointer and capacity of the backing store, for execution
+    /// engines that compile their own bounds checks (the native JIT
+    /// backend). The caller promises the same discipline the region
+    /// itself enforces: every access is bounds-checked against the
+    /// returned length before it is performed.
+    pub fn raw_parts_mut(&mut self) -> (*mut u8, usize) {
+        (self.data.as_mut_ptr(), self.data.len())
+    }
+
     /// Convenience: read an `i32` through a CPU address.
     ///
     /// # Errors

@@ -23,7 +23,10 @@ pub const VTABLE_STRIDE: u64 = 128;
 /// Maximum vtable slots per class under the fixed stride.
 pub const MAX_VTABLE_SLOTS: usize = 14;
 
-const VTABLE_MAGIC: i64 = 0x7654_3210_c0c0;
+/// Magic word at slot 0 of every installed vtable. Public so execution
+/// engines that compile dispatch inline (the native JIT backend) can embed
+/// the same validation the interpreter performs in [`VtableArea::dispatch`].
+pub const VTABLE_MAGIC: i64 = 0x7654_3210_c0c0;
 
 /// Host-side view of the vtable area in the shared region.
 #[derive(Debug, Clone, Default)]

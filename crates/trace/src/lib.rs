@@ -55,11 +55,14 @@ pub enum Track {
     /// Static kernel analysis: pre-launch gate runs, cache hits, and
     /// individual findings (host clock; see `concord-analyze`).
     Analysis,
+    /// Native JIT backend events: codegen runs and native launches (host
+    /// clock; see `concord-native`).
+    Native,
 }
 
 impl Track {
     /// All tracks, in export order.
-    pub const ALL: [Track; 8] = [
+    pub const ALL: [Track; 9] = [
         Track::Compiler,
         Track::Runtime,
         Track::GpuSim,
@@ -68,6 +71,7 @@ impl Track {
         Track::Sched,
         Track::Server,
         Track::Analysis,
+        Track::Native,
     ];
 
     /// Stable display name (also the Chrome thread name).
@@ -81,6 +85,7 @@ impl Track {
             Track::Sched => "sched",
             Track::Server => "server",
             Track::Analysis => "analysis",
+            Track::Native => "native",
         }
     }
 
@@ -95,6 +100,7 @@ impl Track {
             Track::Sched => 6,
             Track::Server => 7,
             Track::Analysis => 8,
+            Track::Native => 9,
         }
     }
 
