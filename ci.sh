@@ -33,6 +33,8 @@ echo "==> serve loopback battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
 # wedged server must fail CI rather than hang it.
 timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-serve --test loopback
 timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-serve --test loopback
+timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-serve --test batch
+timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-serve --test batch
 
 echo "==> native differential battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
 # The native JIT backend must agree byte-for-byte with the CPU
@@ -40,6 +42,13 @@ echo "==> native differential battery (CONCORD_HOST_THREADS=1 and =8, under time
 # traps, at any host fan-out. (Self-skips on non-x86-64-Linux hosts.)
 timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-workloads --test native_diff
 timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-workloads --test native_diff
+
+echo "==> launch-graph differential battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
+# The dependency-aware launch graph must replay every workload's recorded
+# session byte-for-byte and report-for-report identically to the serial
+# fence-pair path, at any host fan-out.
+timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-workloads --test graph_diff
+timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-workloads --test graph_diff
 
 echo "==> bench_client loopback run (writes BENCH_serve.json)"
 # The served-latency harness itself must stay runnable: a short loopback
@@ -51,6 +60,25 @@ grep -q 'concord-bench_client/v1' BENCH_serve.json || {
     echo "!! BENCH_serve.json is missing its schema tag" >&2
     exit 1
 }
+
+echo "==> bench_client mixed-session runs (CONCORD_HOST_THREADS=1 and =8)"
+# The batched launch pair must beat two serialized round trips: each run
+# records serialized-vs-batched percentiles plus the server's overlap
+# counters into its summary.
+timeout 600 env CONCORD_HOST_THREADS=1 cargo run --release --quiet -p concord-bench --bin bench_client -- \
+    --mixed-session --clients 2 --iters 8 --json BENCH_mixed_ht1.json
+timeout 600 env CONCORD_HOST_THREADS=8 cargo run --release --quiet -p concord-bench --bin bench_client -- \
+    --mixed-session --clients 2 --iters 8 --json BENCH_mixed_ht8.json
+
+echo "==> bench_gate: p99 latency regression gate (history in BENCH_history.jsonl)"
+# Each summary is judged against the best prior p99 of the same
+# configuration (>25% regression fails), then appended to the history so
+# future runs are judged against it too.
+for summary in BENCH_serve.json BENCH_mixed_ht1.json BENCH_mixed_ht8.json; do
+    cargo run --release --quiet -p concord-bench --bin bench_gate -- \
+        --current "$summary" --history BENCH_history.jsonl
+    cat "$summary" >> BENCH_history.jsonl
+done
 
 echo "==> concord-lint: builtin workloads vs lint-expected.txt snapshot"
 # Every shipped workload must analyze clean (or match the reviewed

@@ -1,0 +1,189 @@
+//! Per-kernel access-summary inference.
+//!
+//! Where the lint pass ([`crate::analyze_kernel`]) asks "is this kernel
+//! *internally* race-free?", this module asks "what does this kernel
+//! *touch*?" — the question a launch scheduler needs to prove two launches
+//! independent. Following the access-mode-declaration line of work
+//! (Henrio/Kessler/Li; StarPU's task-operand modes), every shared-memory
+//! access the abstract interpretation can root at a kernel operand is
+//! summarized as a *mode* (read / accumulate / write) on a *base* (the
+//! body object itself, or the pointee of a body field at a known byte
+//! offset) with an address *pattern* (constant, affine in the work-item id
+//! with a known stride, or unknown). Accesses that cannot be rooted —
+//! double indirection, data-dependent bases, `inttoptr` forgeries,
+//! compare-and-swap, `device_malloc` — make the whole summary **opaque**:
+//! an opaque launch conservatively conflicts with everything.
+//!
+//! The summary is deliberately *symbolic*: bases name operand slots, not
+//! addresses. The runtime resolves them against live pointer values and
+//! its allocator's block table at submit time, widening every resolved
+//! access to the allocation that backs it (block-granularity footprints
+//! are what make the conflict test sound without per-item range
+//! reasoning).
+
+use crate::affinity::{Aff, Analyzer, Origin};
+use crate::Mode;
+use concord_ir::{FuncId, Module};
+
+/// How a launch uses a summarized base, ordered weakest → strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessMode {
+    /// The base is only read.
+    Read,
+    /// The base is updated through commutative atomics (`atomic_add` /
+    /// `atomic_min`): two accumulate launches on the same base may share a
+    /// fence pair, but must still be ordered by submission.
+    Accumulate,
+    /// The base is written through plain stores.
+    Write,
+}
+
+impl AccessMode {
+    /// Lowercase name, stable for JSON/trace output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessMode::Read => "read",
+            AccessMode::Accumulate => "accumulate",
+            AccessMode::Write => "write",
+        }
+    }
+}
+
+/// How accessed addresses within a base relate to the work-item id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Every work item touches the same address (known constant or
+    /// work-item-uniform).
+    Constant,
+    /// `base + stride * id` — provably disjoint across items when
+    /// `|stride| >=` the access width.
+    Affine {
+        /// Byte stride per work-item id.
+        stride: i64,
+    },
+    /// No provable relation to the work-item id: the whole backing
+    /// allocation must be assumed touched.
+    Unknown,
+}
+
+impl AccessPattern {
+    fn from_aff(aff: Aff) -> AccessPattern {
+        match aff {
+            Aff::Bottom | Aff::Const(_) | Aff::Uniform => AccessPattern::Constant,
+            Aff::Affine(s) => AccessPattern::Affine { stride: s },
+            Aff::Unknown => AccessPattern::Unknown,
+        }
+    }
+}
+
+/// Which kernel operand an access is rooted at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessBase {
+    /// The body object itself (field reads/writes through `this`).
+    Body,
+    /// The allocation pointed to by the body field at byte offset
+    /// `offset` (e.g. `this->out` for a field laid out at +0).
+    Field {
+        /// Byte offset of the pointer field within the body object.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for AccessBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessBase::Body => write!(f, "body"),
+            AccessBase::Field { offset } => write!(f, "field+{offset}"),
+        }
+    }
+}
+
+/// One summarized access: mode + pattern + width on an operand base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessRecord {
+    /// Operand root of the access.
+    pub base: AccessBase,
+    /// Read / accumulate / write.
+    pub mode: AccessMode,
+    /// Address pattern within the base.
+    pub pattern: AccessPattern,
+    /// Access width in bytes.
+    pub width: u64,
+}
+
+/// The inferred access summary of one kernel under one launch convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSummary {
+    /// Kernel entry function name.
+    pub kernel: String,
+    /// Launch convention the summary was inferred under.
+    pub mode: Mode,
+    /// Deduplicated records, ordered by (base, mode).
+    pub records: Vec<AccessRecord>,
+    /// True when some access could not be rooted at a kernel operand (or
+    /// the interprocedural walk degraded): the launch must be assumed to
+    /// touch anything.
+    pub opaque: bool,
+}
+
+impl AccessSummary {
+    /// The strongest mode inferred for `base`, if the base is accessed.
+    #[must_use]
+    pub fn mode_of(&self, base: AccessBase) -> Option<AccessMode> {
+        self.records.iter().filter(|r| r.base == base).map(|r| r.mode).max()
+    }
+
+    /// Every distinct base the summary mentions, in order.
+    #[must_use]
+    pub fn bases(&self) -> Vec<AccessBase> {
+        let mut out: Vec<AccessBase> = self.records.iter().map(|r| r.base).collect();
+        out.dedup();
+        out
+    }
+}
+
+/// Infer the access summary of kernel `func` under launch convention
+/// `mode`, following calls (including virtual calls widened over the
+/// class hierarchy) transitively — the same interprocedural walk as
+/// [`crate::analyze_kernel`], with access collection enabled.
+#[must_use]
+pub fn infer_access(module: &Module, func: FuncId, mode: Mode) -> AccessSummary {
+    let mut an = Analyzer::new(module, mode);
+    an.collect_accesses();
+    an.run_kernel(func);
+    let opaque = an.access_opaque;
+    let mut records: Vec<AccessRecord> = an
+        .accesses
+        .iter()
+        .filter_map(|raw| {
+            let base = match raw.origin {
+                Origin::Body(_) => AccessBase::Body,
+                Origin::Field { field } => AccessBase::Field { offset: u64::try_from(field).ok()? },
+                Origin::Bottom | Origin::Other => return None,
+            };
+            let mode = match raw.mode {
+                0 => AccessMode::Read,
+                1 => AccessMode::Accumulate,
+                _ => AccessMode::Write,
+            };
+            Some(AccessRecord {
+                base,
+                mode,
+                pattern: AccessPattern::from_aff(raw.aff),
+                width: raw.width,
+            })
+        })
+        .collect();
+    records.sort_by_key(|r| (r.base, r.mode, pattern_key(r.pattern), r.width));
+    records.dedup();
+    AccessSummary { kernel: module.function(func).name.clone(), mode, records, opaque }
+}
+
+fn pattern_key(p: AccessPattern) -> (u8, i64) {
+    match p {
+        AccessPattern::Constant => (0, 0),
+        AccessPattern::Affine { stride } => (1, stride),
+        AccessPattern::Unknown => (2, 0),
+    }
+}

@@ -124,6 +124,62 @@ impl Aff {
     }
 }
 
+/// Which *kernel operand* a pointer is rooted at — the third lattice,
+/// added for access-summary inference. Where [`Prov`] says a pointer is
+/// "shared memory", `Origin` says *which* shared object it reaches:
+/// the body object itself at a known byte offset, or the pointee of a
+/// body field loaded from a known byte offset. Anything else (double
+/// indirection, data-dependent bases) is [`Origin::Other`], which makes
+/// the enclosing access summary opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// Optimistic initial state.
+    Bottom,
+    /// `this + offset` for a known constant byte offset.
+    Body(i64),
+    /// The pointer loaded from the body field at byte offset `field`
+    /// (possibly advanced by further arithmetic; the summary widens the
+    /// access to the allocation backing the field's pointee).
+    Field {
+        /// Byte offset of the pointer field within the body object.
+        field: i64,
+    },
+    /// Not rooted at a statically known kernel operand.
+    Other,
+}
+
+impl Origin {
+    /// Least upper bound: equal origins survive a merge, anything else
+    /// widens to [`Origin::Other`].
+    #[must_use]
+    pub fn join(self, o: Origin) -> Origin {
+        match (self, o) {
+            (Origin::Bottom, x) | (x, Origin::Bottom) => x,
+            (a, b) if a == b => a,
+            _ => Origin::Other,
+        }
+    }
+
+    /// Advance the origin by an offset with affinity `aff` (pointer
+    /// arithmetic). A known-constant offset keeps a body origin precise;
+    /// any offset keeps a field origin rooted at the same field (the
+    /// summary widens to the whole backing allocation anyway); a
+    /// non-constant offset from the body object itself is no longer a
+    /// provable operand access.
+    #[must_use]
+    fn advance(self, aff: Aff) -> Origin {
+        match (self, aff) {
+            (Origin::Bottom, _) => Origin::Bottom,
+            (Origin::Body(b), Aff::Const(k)) => Origin::Body(b.wrapping_add(k)),
+            (Origin::Body(_), Aff::Bottom | Aff::Uniform | Aff::Affine(_) | Aff::Unknown) => {
+                Origin::Other
+            }
+            (f @ Origin::Field { .. }, _) => f,
+            (Origin::Other, _) => Origin::Other,
+        }
+    }
+}
+
 /// Where a pointer came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Prov {
@@ -163,29 +219,37 @@ impl Prov {
     }
 }
 
-/// Abstract value: affinity plus provenance.
+/// Abstract value: affinity plus provenance plus operand origin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AbsVal {
     /// Work-item affinity.
     pub aff: Aff,
     /// Pointer provenance.
     pub prov: Prov,
+    /// Which kernel operand the pointer is rooted at.
+    pub origin: Origin,
 }
 
 impl AbsVal {
     /// Optimistic initial state.
-    pub const BOTTOM: AbsVal = AbsVal { aff: Aff::Bottom, prov: Prov::Bottom };
+    pub const BOTTOM: AbsVal =
+        AbsVal { aff: Aff::Bottom, prov: Prov::Bottom, origin: Origin::Bottom };
     /// Fully unknown.
-    pub const UNKNOWN: AbsVal = AbsVal { aff: Aff::Unknown, prov: Prov::Unknown };
+    pub const UNKNOWN: AbsVal =
+        AbsVal { aff: Aff::Unknown, prov: Prov::Unknown, origin: Origin::Other };
 
     const fn data(aff: Aff) -> AbsVal {
-        AbsVal { aff, prov: Prov::NotPtr }
+        AbsVal { aff, prov: Prov::NotPtr, origin: Origin::Other }
     }
 
     /// Least upper bound.
     #[must_use]
     pub fn join(self, o: AbsVal) -> AbsVal {
-        AbsVal { aff: self.aff.join(o.aff), prov: self.prov.join(o.prov) }
+        AbsVal {
+            aff: self.aff.join(o.aff),
+            prov: self.prov.join(o.prov),
+            origin: self.origin.join(o.origin),
+        }
     }
 }
 
@@ -206,6 +270,29 @@ pub(crate) struct Analyzer<'m> {
     depth: usize,
     /// Accumulated findings across all analyzed functions.
     pub(crate) diags: Vec<Diagnostic>,
+    /// When set, the check pass also collects raw shared-memory accesses
+    /// for [`crate::access::AccessSummary`] inference.
+    collect: bool,
+    /// Raw accesses collected across all analyzed functions.
+    pub(crate) accesses: Vec<RawAccess>,
+    /// Set when some access could not be rooted at a kernel operand (or
+    /// analysis degraded): the summary must be treated as touching
+    /// anything.
+    pub(crate) access_opaque: bool,
+}
+
+/// One shared-memory access observed during collection, still in lattice
+/// terms (converted to the public summary form by `crate::access`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawAccess {
+    /// Operand root of the accessed pointer.
+    pub(crate) origin: Origin,
+    /// Affinity of the accessed address.
+    pub(crate) aff: Aff,
+    /// Access width in bytes.
+    pub(crate) width: u64,
+    /// 0 = read, 1 = accumulate, 2 = write (ordered weakest → strongest).
+    pub(crate) mode: u8,
 }
 
 impl<'m> Analyzer<'m> {
@@ -217,7 +304,15 @@ impl<'m> Analyzer<'m> {
             in_progress: HashSet::new(),
             depth: 0,
             diags: Vec::new(),
+            collect: false,
+            accesses: Vec::new(),
+            access_opaque: false,
         }
+    }
+
+    /// Enable access collection (see [`crate::access::infer_access`]).
+    pub(crate) fn collect_accesses(&mut self) {
+        self.collect = true;
     }
 
     /// Analyze the kernel entry function with the launch-convention
@@ -231,7 +326,7 @@ impl<'m> Analyzer<'m> {
             // `parallel_reduce` runs each worker on its own staged copy.
             Mode::Reduce => Aff::Unknown,
         };
-        let mut args = vec![AbsVal { aff: this_aff, prov: Prov::This }];
+        let mut args = vec![AbsVal { aff: this_aff, prov: Prov::This, origin: Origin::Body(0) }];
         if f.params.len() > 1 {
             args.push(AbsVal::data(Aff::Affine(1)));
         }
@@ -250,6 +345,10 @@ impl<'m> Analyzer<'m> {
             return ret;
         }
         if self.depth >= MAX_CALL_DEPTH || self.in_progress.contains(&key) {
+            // Degraded analysis: the callee's accesses are not visible.
+            if self.collect {
+                self.access_opaque = true;
+            }
             return AbsVal::UNKNOWN;
         }
         self.in_progress.insert(key.clone());
@@ -321,7 +420,9 @@ impl<'m> Analyzer<'m> {
             Op::ConstFloat(_) => AbsVal::data(Aff::Uniform),
             // Null is one fixed address; treat it as a (harmless) shared
             // pointer so guarded `p != null` paths analyze cleanly.
-            Op::ConstNull => AbsVal { aff: Aff::Uniform, prov: Prov::Shared },
+            Op::ConstNull => {
+                AbsVal { aff: Aff::Uniform, prov: Prov::Shared, origin: Origin::Other }
+            }
             Op::Bin(op, a, b) => {
                 let (va, vb) = (get(*a), get(*b));
                 let aff = match op {
@@ -331,7 +432,24 @@ impl<'m> Analyzer<'m> {
                     BinOp::Shl => va.aff.shl(vb.aff),
                     _ => va.aff.opaque(vb.aff),
                 };
-                AbsVal { aff, prov: bin_prov(va.prov, vb.prov) }
+                // Pointer ± integer keeps the pointer operand's origin
+                // (advanced by the integer side); everything else loses it.
+                let origin = match op {
+                    BinOp::Add if va.prov.is_pointerlike() && !vb.prov.is_pointerlike() => {
+                        va.origin.advance(vb.aff)
+                    }
+                    BinOp::Add if vb.prov.is_pointerlike() && !va.prov.is_pointerlike() => {
+                        vb.origin.advance(va.aff)
+                    }
+                    BinOp::Sub if va.prov.is_pointerlike() && !vb.prov.is_pointerlike() => {
+                        match vb.aff {
+                            Aff::Const(k) => va.origin.advance(Aff::Const(k.wrapping_neg())),
+                            other => va.origin.advance(other),
+                        }
+                    }
+                    _ => Origin::Other,
+                };
+                AbsVal { aff, prov: bin_prov(va.prov, vb.prov), origin }
             }
             Op::Icmp(_, a, b) | Op::Fcmp(_, a, b) => AbsVal::data(get(*a).aff.opaque(get(*b).aff)),
             Op::Cast(op, x) => {
@@ -344,6 +462,7 @@ impl<'m> Analyzer<'m> {
                     CastOp::IntToPtr => AbsVal {
                         aff: vx.aff,
                         prov: if vx.prov.is_pointerlike() { vx.prov } else { Prov::Foreign },
+                        origin: vx.origin,
                     },
                     CastOp::PtrCast => vx,
                     CastOp::FpToSi | CastOp::SiToFp | CastOp::FpCast => {
@@ -363,14 +482,17 @@ impl<'m> Analyzer<'m> {
                             _ => Aff::Unknown,
                         },
                         prov: joined.prov,
+                        origin: joined.origin,
                     }
                 }
             }
-            Op::Alloca { .. } => AbsVal { aff: Aff::Uniform, prov: Prov::Private },
+            Op::Alloca { .. } => {
+                AbsVal { aff: Aff::Uniform, prov: Prov::Private, origin: Origin::Other }
+            }
             Op::Load(p) => self.load_result(inst.ty, get(*p)),
             Op::Gep { base, offset } => {
                 let (vb, vo) = (get(*base), get(*offset));
-                AbsVal { aff: vb.aff.add(vo.aff), prov: vb.prov }
+                AbsVal { aff: vb.aff.add(vo.aff), prov: vb.prov, origin: vb.origin.advance(vo.aff) }
             }
             Op::CpuToGpu(x) | Op::GpuToCpu(x) => get(*x),
             Op::Phi(incoming) => {
@@ -408,6 +530,11 @@ impl<'m> Analyzer<'m> {
                 if any {
                     out
                 } else {
+                    if self.collect {
+                        // No reachable override: the dynamic target's
+                        // accesses are not visible.
+                        self.access_opaque = true;
+                    }
                     AbsVal::UNKNOWN
                 }
             }
@@ -418,7 +545,9 @@ impl<'m> Analyzer<'m> {
                 Intrinsic::AtomicAddI32 | Intrinsic::AtomicMinI32 | Intrinsic::AtomicCasI32 => {
                     AbsVal::data(Aff::Unknown)
                 }
-                Intrinsic::DeviceMalloc => AbsVal { aff: Aff::Unknown, prov: Prov::Shared },
+                Intrinsic::DeviceMalloc => {
+                    AbsVal { aff: Aff::Unknown, prov: Prov::Shared, origin: Origin::Other }
+                }
                 Intrinsic::Barrier => AbsVal::data(Aff::Uniform),
                 _ => {
                     // Pure math: uniform in, uniform out.
@@ -435,6 +564,13 @@ impl<'m> Analyzer<'m> {
     /// Abstract result of a load of type `ty` through pointer `p`.
     fn load_result(&self, ty: Type, p: AbsVal) -> AbsVal {
         let prov = if ty.is_ptr() { Prov::Shared } else { Prov::NotPtr };
+        // A pointer loaded from a body field at a known offset is rooted at
+        // that field: the access-summary resolves it to the allocation the
+        // live field value points into. Double indirection loses the root.
+        let origin = match (ty.is_ptr(), p.origin) {
+            (true, Origin::Body(k)) if k >= 0 => Origin::Field { field: k },
+            _ => Origin::Other,
+        };
         let aff = if p.prov == Prov::This {
             match self.mode {
                 // One shared body object: its fields read the same
@@ -454,13 +590,66 @@ impl<'m> Analyzer<'m> {
         } else {
             Aff::Unknown
         };
-        AbsVal { aff, prov }
+        AbsVal { aff, prov, origin }
+    }
+
+    /// Record one shared-memory access for summary inference: accesses
+    /// rooted at a kernel operand are kept; private scratch and the
+    /// reduce-mode staged body copy are launch-local; anything else makes
+    /// the summary opaque.
+    fn note_access(&mut self, pv: AbsVal, width: u64, mode: u8) {
+        if pv.prov == Prov::Private {
+            return;
+        }
+        if self.mode == Mode::Reduce && pv.prov == Prov::This {
+            // Per-worker staged copy: launch-private. The runtime accounts
+            // the stage/join traffic on the body allocation itself.
+            return;
+        }
+        match pv.origin {
+            Origin::Bottom => {} // unreached code
+            o @ (Origin::Body(_) | Origin::Field { .. }) => {
+                self.accesses.push(RawAccess { origin: o, aff: pv.aff, width, mode });
+            }
+            Origin::Other => self.access_opaque = true,
+        }
+    }
+
+    /// Access-collection arm of the check pass (one instruction).
+    fn collect_inst(&mut self, f: &Function, v: ValueId, vals: &[AbsVal]) {
+        let inst = f.inst(v);
+        match &inst.op {
+            Op::Store { ptr, val } => {
+                let ty = f.inst(*val).ty;
+                let width = if ty == Type::Void { 1 } else { ty.size() };
+                self.note_access(vals[ptr.0 as usize], width, 2);
+            }
+            Op::Load(p) => {
+                let width = if inst.ty == Type::Void { 1 } else { inst.ty.size() };
+                self.note_access(vals[p.0 as usize], width, 0);
+            }
+            Op::IntrinsicCall(Intrinsic::AtomicAddI32 | Intrinsic::AtomicMinI32, args) => {
+                if let Some(&p) = args.first() {
+                    self.note_access(vals[p.0 as usize], 4, 1);
+                }
+            }
+            // Compare-and-swap can build arbitrary synchronization and
+            // device_malloc hands out addresses invisible to the host
+            // allocator walk: both defeat footprint reasoning.
+            Op::IntrinsicCall(Intrinsic::AtomicCasI32 | Intrinsic::DeviceMalloc, _) => {
+                self.access_opaque = true;
+            }
+            _ => {}
+        }
     }
 
     /// The lint check pass: runs once per analyzed (function, context).
     fn check(&mut self, func: FuncId, f: &Function, vals: &[AbsVal]) {
         for b in f.block_ids() {
             for &v in &f.block(b).insts {
+                if self.collect {
+                    self.collect_inst(f, v, vals);
+                }
                 match &f.inst(v).op {
                     Op::Store { ptr, val } => self.check_store(func, f, b, v, *ptr, *val, vals),
                     Op::Load(p) if vals[p.0 as usize].prov == Prov::Foreign => {
@@ -794,6 +983,21 @@ mod tests {
         assert_eq!(Affine(1).shl(Const(3)), Affine(8));
         assert_eq!(Affine(1).mul(Uniform), Unknown);
         assert_eq!(Const(2).add(Const(3)), Const(5));
+    }
+
+    #[test]
+    fn origin_join_and_advance() {
+        use Origin::{Body, Bottom, Field, Other};
+        assert_eq!(Bottom.join(Body(8)), Body(8));
+        assert_eq!(Body(8).join(Body(8)), Body(8));
+        assert_eq!(Body(8).join(Body(16)), Other);
+        assert_eq!(Field { field: 0 }.join(Field { field: 0 }), Field { field: 0 });
+        assert_eq!(Field { field: 0 }.join(Field { field: 8 }), Other);
+        assert_eq!(Body(0).advance(Aff::Const(8)), Body(8));
+        assert_eq!(Body(0).advance(Aff::Affine(4)), Other);
+        assert_eq!(Field { field: 0 }.advance(Aff::Affine(4)), Field { field: 0 });
+        assert_eq!(Field { field: 8 }.advance(Aff::Const(12)), Field { field: 8 });
+        assert_eq!(Other.advance(Aff::Const(1)), Other);
     }
 
     #[test]

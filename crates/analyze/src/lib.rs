@@ -34,10 +34,14 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod affinity;
 mod diag;
 
-pub use affinity::{AbsVal, Aff, Prov};
+pub use access::{
+    infer_access, AccessBase, AccessMode, AccessPattern, AccessRecord, AccessSummary,
+};
+pub use affinity::{AbsVal, Aff, Origin, Prov};
 pub use diag::{Diagnostic, Lint, Report, Severity};
 
 use concord_ir::{FuncId, Module};

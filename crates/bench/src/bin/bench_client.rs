@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! bench_client [--addr HOST:PORT] [--clients N] [--iters N]
-//!              [--workers N] [--queue N]
+//!              [--workers N] [--queue N] [--mixed-session]
 //!              [--target cpu|gpu|auto|native|hybrid[:f]] [--json FILE]
 //! ```
 //!
@@ -18,11 +18,21 @@
 //! error. The latency summary is also written as JSON — `BENCH_serve.json`
 //! by default, `--json FILE` to relocate — in the
 //! `concord-bench_client/v1` schema documented in EXPERIMENTS.md.
+//!
+//! `--mixed-session` switches to the launch-graph benchmark: each client
+//! issues pairs of provably independent cpu+gpu launches, first as two
+//! serialized requests and then as one `parallel_batch` routed through the
+//! server's dependency-aware launch graph. The summary's headline
+//! percentiles cover the batched phase; `mixed.serialized_p50_ms` holds
+//! the serialized reference, and the server's overlap/stall counters ride
+//! along.
 
 use concord_bench::cli::{or_usage, parse_target, value_of, ArgError};
 use concord_bench::render_table;
 use concord_serve::json::Json;
-use concord_serve::{Launch, ServeConfig, Server, SessionHandle, SessionOptions};
+use concord_serve::{
+    BatchEntry, Client, Launch, ServeConfig, Server, SessionHandle, SessionOptions,
+};
 use std::time::{Duration, Instant};
 
 /// Element-wise kernel; every even-numbered client opens a session with
@@ -101,6 +111,55 @@ fn run_client(
     latencies
 }
 
+/// One mixed-session client: a single session, two disjoint (out, body)
+/// pairs, warmed up once, then `iters` serialized launch pairs followed by
+/// `iters` one-request `parallel_batch` pairs. Returns the two phases'
+/// per-pair latencies.
+fn run_mixed_client(addr: std::net::SocketAddr, iters: usize) -> (Vec<Duration>, Vec<Duration>) {
+    let mut s = SessionHandle::connect(addr, DOUBLE, &SessionOptions::default())
+        .expect("open mixed session");
+    let mut pair = || {
+        let out = s.malloc(u64::from(N) * 4).expect("alloc");
+        let body = s.malloc(16).expect("alloc");
+        (out, body)
+    };
+    let (out_a, body_a) = pair();
+    let (out_b, body_b) = pair();
+    for (out, body) in [(out_a, body_a), (out_b, body_b)] {
+        s.write_ptr(body, out).expect("write");
+        s.write_i32(body + 8, N as i32).expect("write");
+    }
+    // Warm the JIT artifacts outside the timed phases so both phases run
+    // against the same cache state.
+    s.parallel_for(&Launch::new("Double", body_a, N).target("cpu")).expect("warmup");
+    s.parallel_for(&Launch::new("Double", body_b, N).target("gpu")).expect("warmup");
+
+    let mut serialized = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        s.parallel_for(&Launch::new("Double", body_a, N).target("cpu")).expect("launch");
+        s.parallel_for(&Launch::new("Double", body_b, N).target("gpu")).expect("launch");
+        serialized.push(start.elapsed());
+    }
+    let entries = [
+        BatchEntry::new("Double", body_a, N).target("cpu"),
+        BatchEntry::new("Double", body_b, N).target("gpu"),
+    ];
+    let mut batched = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let outcome = s.parallel_batch(&entries, None).expect("batch");
+        batched.push(start.elapsed());
+        assert!(outcome.reports.iter().all(Result::is_ok), "batched launches succeed");
+    }
+    let last = i64::from(N) - 1;
+    let expect = (last * 2 + 1) as i32;
+    assert_eq!(s.read_i32(out_a + u64::from(N - 1) * 4).expect("read"), expect);
+    assert_eq!(s.read_i32(out_b + u64::from(N - 1) * 4).expect("read"), expect);
+    s.close().expect("close session");
+    (serialized, batched)
+}
+
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -114,11 +173,12 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: bench_client [--addr HOST:PORT] [--clients N] [--iters N] \
-             [--workers N] [--queue N] \
+             [--workers N] [--queue N] [--mixed-session] \
              [--target cpu|gpu|auto|native|hybrid[:f]] [--json FILE]"
         );
         return;
     }
+    let mixed = args.iter().any(|a| a == "--mixed-session");
     let clients = usage_value::<usize>(&args, "--clients").unwrap_or(4).max(1);
     let iters = usage_value::<usize>(&args, "--iters").unwrap_or(16).max(1);
     // Validate the target vocabulary client-side (uniform diagnostics with
@@ -152,15 +212,34 @@ fn main() {
         }),
     };
 
-    eprintln!("{clients} clients x {iters} launches against {addr}...");
+    let mode = if mixed { "mixed-session" } else { "standard" };
+    eprintln!("{clients} clients x {iters} launches against {addr} ({mode})...");
     let wall = Instant::now();
-    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            (0..clients).map(|c| scope.spawn(move || run_client(addr, c, iters, target))).collect();
-        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
-    });
+    let (mut latencies, mut serialized): (Vec<Duration>, Vec<Duration>) = if mixed {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..clients).map(|_| scope.spawn(move || run_mixed_client(addr, iters))).collect();
+            let mut all_s = Vec::new();
+            let mut all_b = Vec::new();
+            for h in handles {
+                let (s, b) = h.join().expect("client thread");
+                all_s.extend(s);
+                all_b.extend(b);
+            }
+            (all_b, all_s)
+        })
+    } else {
+        let batched = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| scope.spawn(move || run_client(addr, c, iters, target)))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+        });
+        (batched, Vec::new())
+    };
     let elapsed = wall.elapsed();
     latencies.sort();
+    serialized.sort();
 
     let total = latencies.len();
     let throughput = total as f64 / elapsed.as_secs_f64();
@@ -171,8 +250,22 @@ fn main() {
         vec![vec![total.to_string(), format!("{throughput:.1} req/s"), ms(p50), ms(p90), ms(p99)]];
     print!("{}", render_table(&["requests", "throughput", "p50", "p90", "p99"], &rows));
 
-    let doc = Json::obj(vec![
+    // The launch-graph counters the server accumulated over this run —
+    // overlap waves and conflict stalls — fetched over the wire so an
+    // external daemon reports them too.
+    let graph_counters = Client::connect(addr)
+        .ok()
+        .and_then(|mut c| c.stats().ok())
+        .map(|s| {
+            let u = |name: &str| s.get(name).and_then(Json::as_u64).unwrap_or(0);
+            (u("overlapped"), u("conflict_stalls"))
+        })
+        .unwrap_or((0, 0));
+
+    let mut fields = vec![
         ("schema", Json::str("concord-bench_client/v1")),
+        ("mode", Json::str(mode)),
+        ("host_threads", (concord_pool::host_threads() as u64).into()),
         ("clients", (clients as u64).into()),
         ("iters", (iters as u64).into()),
         ("target", Json::str(target.unwrap_or("auto"))),
@@ -182,7 +275,38 @@ fn main() {
         ("p50_ms", (p50.as_secs_f64() * 1e3).into()),
         ("p90_ms", (p90.as_secs_f64() * 1e3).into()),
         ("p99_ms", (p99.as_secs_f64() * 1e3).into()),
-    ]);
+        ("overlapped", graph_counters.0.into()),
+        ("conflict_stalls", graph_counters.1.into()),
+    ];
+    if mixed {
+        let sp50 = percentile(&serialized, 0.50);
+        let sp99 = percentile(&serialized, 0.99);
+        eprintln!(
+            "mixed-session: serialized pair p50 {} -> batched pair p50 {} \
+             ({} overlap waves, {} conflict stalls)",
+            ms(sp50),
+            ms(p50),
+            graph_counters.0,
+            graph_counters.1,
+        );
+        fields.push((
+            "mixed",
+            Json::obj(vec![
+                ("serialized_p50_ms", (sp50.as_secs_f64() * 1e3).into()),
+                ("serialized_p99_ms", (sp99.as_secs_f64() * 1e3).into()),
+                ("batched_p50_ms", (p50.as_secs_f64() * 1e3).into()),
+                (
+                    "p50_speedup",
+                    if p50.as_secs_f64() > 0.0 {
+                        (sp50.as_secs_f64() / p50.as_secs_f64()).into()
+                    } else {
+                        0.0.into()
+                    },
+                ),
+            ]),
+        ));
+    }
+    let doc = Json::obj(fields);
     if let Err(e) = std::fs::write(json_path, format!("{doc}\n")) {
         eprintln!("cannot write json file `{json_path}`: {e}");
         std::process::exit(1);

@@ -1,0 +1,124 @@
+//! CI latency-regression gate over `bench_client` summaries.
+//!
+//! ```text
+//! bench_gate --current BENCH_serve.json [--history BENCH_history.jsonl]
+//!            [--threshold 1.25] [--floor-ms 0.5]
+//! ```
+//!
+//! Reads the current run's JSON summary and a history file of one summary
+//! per line (ci.sh appends each gated run after it passes). History
+//! entries count as baselines only when their configuration key — mode,
+//! clients, iters, target, host threads — matches the current run's, so a
+//! mixed-session run is never judged against a standard one.
+//!
+//! The gate fails (exit 1) when the current p99 exceeds the best matching
+//! baseline p99 by more than `--threshold` (default 1.25, i.e. a >25%
+//! regression) **and** sits above the absolute floor (default 0.5 ms —
+//! sub-floor latencies are noise-dominated on a loopback socket, and a
+//! 25% swing there is not a signal). No matching history passes trivially:
+//! the first run of a new configuration *establishes* the baseline.
+
+use concord_serve::json::{parse, Json};
+use std::process::ExitCode;
+
+/// The configuration key under which runs are comparable.
+fn config_key(doc: &Json) -> String {
+    let s = |name: &str| doc.get(name).and_then(Json::as_str).unwrap_or("?").to_string();
+    let u = |name: &str| doc.get(name).and_then(Json::as_u64).unwrap_or(0);
+    format!(
+        "mode={} clients={} iters={} target={} host_threads={}",
+        s("mode"),
+        u("clients"),
+        u("iters"),
+        s("target"),
+        u("host_threads"),
+    )
+}
+
+fn value_of<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: bench_gate --current FILE [--history FILE] [--threshold X] [--floor-ms X]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(current_path) = value_of(&args, "--current") else {
+        eprintln!("bench_gate: missing required flag --current FILE");
+        return ExitCode::from(2);
+    };
+    let history_path = value_of(&args, "--history").unwrap_or("BENCH_history.jsonl");
+    let threshold: f64 = match value_of(&args, "--threshold").map(str::parse).transpose() {
+        Ok(t) => t.unwrap_or(1.25),
+        Err(_) => {
+            eprintln!("bench_gate: --threshold must be a number");
+            return ExitCode::from(2);
+        }
+    };
+    let floor_ms: f64 = match value_of(&args, "--floor-ms").map(str::parse).transpose() {
+        Ok(f) => f.unwrap_or(0.5),
+        Err(_) => {
+            eprintln!("bench_gate: --floor-ms must be a number");
+            return ExitCode::from(2);
+        }
+    };
+
+    let current_text = match std::fs::read_to_string(current_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read `{current_path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match parse(current_text.trim()) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench_gate: `{current_path}` is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(p99) = current.get("p99_ms").and_then(Json::as_f64) else {
+        eprintln!("bench_gate: `{current_path}` has no numeric `p99_ms`");
+        return ExitCode::from(2);
+    };
+    let key = config_key(&current);
+
+    // A missing history file is a first run, not an error.
+    let history = std::fs::read_to_string(history_path).unwrap_or_default();
+    let baselines: Vec<f64> = history
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| parse(l).ok())
+        .filter(|doc| config_key(doc) == key)
+        .filter_map(|doc| doc.get("p99_ms").and_then(Json::as_f64))
+        .filter(|v| *v > 0.0)
+        .collect();
+    let Some(best) =
+        baselines.iter().copied().fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.min(v))))
+    else {
+        println!("bench_gate: no baseline for [{key}] in {history_path}; p99 {p99:.3} ms recorded");
+        return ExitCode::SUCCESS;
+    };
+
+    let limit = best * threshold;
+    println!(
+        "bench_gate: [{key}] p99 {p99:.3} ms vs best-of-{} baseline {best:.3} ms \
+         (limit {limit:.3} ms, floor {floor_ms:.3} ms)",
+        baselines.len()
+    );
+    if p99 > limit && p99 > floor_ms {
+        eprintln!(
+            "bench_gate: FAIL — p99 regressed {:.1}% over the best baseline (> {:.0}% allowed)",
+            (p99 / best - 1.0) * 100.0,
+            (threshold - 1.0) * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: ok");
+    ExitCode::SUCCESS
+}

@@ -43,14 +43,21 @@
 
 pub mod backend;
 pub mod cache;
+pub mod graph;
 pub mod scheduler;
+pub mod session;
 
 pub use backend::{
     CpuBackend, DeviceBackend, ExecCtx, GpuBackend, LaunchStats, NativeBackend, ScratchGuard, Span,
 };
 pub use cache::{source_hash, ArtifactCache, SharedJitSet, SharedNativeModule};
-pub use concord_analyze::{Gate as AnalysisGate, Mode as AnalysisMode, Report as AnalysisReport};
+pub use concord_analyze::{
+    AccessBase, AccessMode, AccessPattern, AccessSummary, Gate as AnalysisGate,
+    Mode as AnalysisMode, Report as AnalysisReport,
+};
+pub use graph::{Conflict, FootRange, Footprint, GraphStats, LaunchId};
 pub use scheduler::{DeviceClass, Plan, ProfileHistory, Target};
+pub use session::SessionOp;
 
 use concord_compiler::{lower_for_gpu_traced, GpuArtifact, GpuConfig};
 use concord_cpusim::CpuSim;
@@ -101,6 +108,13 @@ pub enum RuntimeError {
         /// [`AnalysisReport::to_text`] or [`AnalysisReport::to_json`]).
         report: AnalysisReport,
     },
+    /// [`Concord::complete`] on a launch id that was never submitted (or
+    /// whose result was already taken).
+    UnknownLaunch(LaunchId),
+    /// A [`Concord::replay_serial`] / [`Concord::replay_graph`] op stream
+    /// diverged from the recording session (different allocator layout or
+    /// region size).
+    ReplayDiverged(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -123,6 +137,12 @@ impl fmt::Display for RuntimeError {
                     report.count_at(concord_analyze::Severity::Error),
                     report.to_text()
                 )
+            }
+            RuntimeError::UnknownLaunch(id) => {
+                write!(f, "no pending or completed {id}")
+            }
+            RuntimeError::ReplayDiverged(why) => {
+                write!(f, "session replay diverged from the recording: {why}")
             }
         }
     }
@@ -275,6 +295,55 @@ impl ConstructKind {
     }
 }
 
+/// What the drain loop decided to do with the front of the launch queue.
+enum WavePlan {
+    /// One launch through the full serial offload path.
+    Solo,
+    /// A CPU-targeted and a GPU-targeted `parallel_for` executing
+    /// concurrently (disjoint footprints, commit in submission order).
+    Pair,
+    /// `size` consecutive GPU `parallel_for`s under one fence pair, of
+    /// which `coalesced` joined through accumulate-mode overlap.
+    Batch { size: usize, coalesced: u64 },
+}
+
+/// Meter, profile, and package one wave member's launch stats exactly as
+/// the serial offload path does for a single-part plan.
+#[allow(clippy::too_many_arguments)]
+fn part_report(
+    system: &SystemConfig,
+    meter: &mut EnergyMeter,
+    profile: &mut ProfileHistory,
+    class: &str,
+    device: Device,
+    span: Span,
+    jit_seconds: f64,
+    stats: LaunchStats,
+) -> OffloadReport {
+    let phase = match device {
+        Device::Gpu => {
+            PhaseReport { seconds: stats.seconds + jit_seconds, busy_fraction: stats.busy_fraction }
+        }
+        Device::Cpu => PhaseReport { seconds: stats.seconds, busy_fraction: 1.0 },
+    };
+    let before = meter.joules();
+    meter.record(system, device, phase);
+    profile.record(class, DeviceClass::from(device), u64::from(span.items()), stats.seconds);
+    OffloadReport {
+        jit_seconds,
+        exec_seconds: stats.seconds,
+        joules: meter.joules() - before,
+        on_gpu: device == Device::Gpu,
+        fell_back: false,
+        translations: stats.translations,
+        transactions: stats.transactions,
+        contended: stats.contended,
+        busy_fraction: stats.busy_fraction,
+        l3_hit_rate: stats.l3_hit_rate,
+        insts: stats.insts,
+    }
+}
+
 /// The Concord runtime context.
 pub struct Concord {
     system: SystemConfig,
@@ -296,6 +365,16 @@ pub struct Concord {
     /// Memoized analysis reports: the module is immutable after build, so
     /// one (kernel, mode) pair always produces the same report.
     analysis_cache: HashMap<(FuncId, AnalysisMode), AnalysisReport>,
+    /// Memoized per-kernel access summaries (footprint inference).
+    access_cache: HashMap<(FuncId, AnalysisMode), AccessSummary>,
+    /// Pending launches submitted through [`Concord::submit_for`] /
+    /// [`Concord::submit_reduce`], in submission order.
+    launch_graph: graph::LaunchGraph,
+    /// Results of drained launches, keyed by launch id, awaiting
+    /// [`Concord::complete`].
+    finished: HashMap<u64, Result<OffloadReport, RuntimeError>>,
+    /// Session-op journal (see [`Concord::record_session`]).
+    session_log: Option<Vec<SessionOp>>,
 }
 
 impl std::fmt::Debug for Concord {
@@ -429,6 +508,10 @@ impl Concord {
             tracer,
             analysis: opts.analysis,
             analysis_cache: HashMap::new(),
+            access_cache: HashMap::new(),
+            launch_graph: graph::LaunchGraph::default(),
+            finished: HashMap::new(),
+            session_log: None,
         })
     }
 
@@ -470,7 +553,9 @@ impl Concord {
     ///
     /// [`RuntimeError::Alloc`] when the region is exhausted.
     pub fn malloc(&mut self, bytes: u64) -> Result<CpuAddr, RuntimeError> {
-        Ok(self.heap.malloc(bytes)?)
+        let addr = self.heap.malloc(bytes)?;
+        self.record_op(|| SessionOp::Malloc { bytes, addr });
+        Ok(addr)
     }
 
     /// Free a shared allocation.
@@ -479,7 +564,9 @@ impl Concord {
     ///
     /// [`RuntimeError::Alloc`] on invalid frees.
     pub fn free(&mut self, addr: CpuAddr) -> Result<(), RuntimeError> {
-        Ok(self.heap.free(addr)?)
+        self.heap.free(addr)?;
+        self.record_op(|| SessionOp::Free { addr });
+        Ok(())
     }
 
     /// Bytes currently free in the shared heap. Runtime-internal scratch
@@ -612,7 +699,14 @@ impl Concord {
         let k = self.kernel(class)?;
         self.gate_launch(class, k.operator_fn, AnalysisMode::For)?;
         let gpu_allowed = !self.cpu_only.contains(class);
-        self.offload(class, k.operator_fn, ConstructKind::For, body, n, target, gpu_allowed)
+        self.record_op(|| SessionOp::Launch {
+            class: class.to_string(),
+            body,
+            n,
+            target,
+            reduce: false,
+        });
+        self.offload_logged(class, k.operator_fn, ConstructKind::For, body, n, target, gpu_allowed)
     }
 
     /// `parallel_reduce_hetero(n, body, device)`: run `operator()` over
@@ -641,7 +735,682 @@ impl Concord {
             k.body_size * u64::from(self.system.gpu.simd_width) <= self.system.gpu.local_bytes;
         let gpu_allowed = !self.cpu_only.contains(class) && fits_local;
         let kind = ConstructKind::Reduce { join, body_size: k.body_size };
-        self.offload(class, k.operator_fn, kind, body, n, target, gpu_allowed)
+        self.record_op(|| SessionOp::Launch {
+            class: class.to_string(),
+            body,
+            n,
+            target,
+            reduce: true,
+        });
+        self.offload_logged(class, k.operator_fn, kind, body, n, target, gpu_allowed)
+    }
+
+    /// Submit a `parallel_for_hetero` launch to the dependency-aware
+    /// launch graph without waiting for it. The launch's shared-region
+    /// footprint is resolved now (static access summary + live pointer
+    /// values + the allocator's block table); execution is deferred until
+    /// a [`Concord::complete`]-family call drains it. Provably disjoint
+    /// launches execute concurrently; conflicting ones retain submission
+    /// order; everything observable (region bytes, reports, traps) is
+    /// byte-identical to issuing the same launches serially.
+    ///
+    /// # Errors
+    ///
+    /// Unknown kernel class, or an [`AnalysisGate::Deny`] refusal — both
+    /// surface at submit time, like the blocking entry point. Traps
+    /// surface at completion.
+    pub fn submit_for(
+        &mut self,
+        class: &str,
+        body: CpuAddr,
+        n: u32,
+        target: Target,
+    ) -> Result<LaunchId, RuntimeError> {
+        let k = self.kernel(class)?;
+        self.gate_launch(class, k.operator_fn, AnalysisMode::For)?;
+        let gpu_allowed = !self.cpu_only.contains(class);
+        self.submit(class, k.operator_fn, ConstructKind::For, body, n, target, gpu_allowed)
+    }
+
+    /// Submit a `parallel_reduce_hetero` launch to the launch graph (see
+    /// [`Concord::submit_for`]). Reductions always drain as solo waves —
+    /// the staged-accumulator dance keeps their own path — but they
+    /// participate in footprint ordering like any other launch.
+    ///
+    /// # Errors
+    ///
+    /// Unknown kernel class, missing `join`, or a gate refusal.
+    pub fn submit_reduce(
+        &mut self,
+        class: &str,
+        body: CpuAddr,
+        n: u32,
+        target: Target,
+    ) -> Result<LaunchId, RuntimeError> {
+        let k = self.kernel(class)?;
+        let join = k.join_fn.ok_or_else(|| RuntimeError::NoJoin(class.to_string()))?;
+        self.gate_launch(class, k.operator_fn, AnalysisMode::Reduce)?;
+        let fits_local =
+            k.body_size * u64::from(self.system.gpu.simd_width) <= self.system.gpu.local_bytes;
+        let gpu_allowed = !self.cpu_only.contains(class) && fits_local;
+        let kind = ConstructKind::Reduce { join, body_size: k.body_size };
+        self.submit(class, k.operator_fn, kind, body, n, target, gpu_allowed)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit(
+        &mut self,
+        class: &str,
+        func: FuncId,
+        kind: ConstructKind,
+        body: CpuAddr,
+        n: u32,
+        target: Target,
+        gpu_allowed: bool,
+    ) -> Result<LaunchId, RuntimeError> {
+        let roots = match kind {
+            ConstructKind::For => vec![func],
+            ConstructKind::Reduce { join, .. } => vec![func, join],
+        };
+        let gated = concord_ir::analysis::uses_gated_ops(&self.program.module, &roots)
+            || concord_ir::analysis::uses_gated_ops(&self.gpu_artifact.module, &roots);
+        let footprint =
+            if gated { Footprint::opaque() } else { self.resolve_footprint(func, kind, body) };
+        let id = self.launch_graph.submit(graph::PendingLaunch {
+            id: 0,
+            class: class.to_string(),
+            func,
+            kind,
+            body,
+            n,
+            target,
+            gpu_allowed,
+            gated,
+            footprint,
+        });
+        self.tracer.instant(
+            Track::Sched,
+            "submit",
+            vec![
+                ("launch", (id.0 as i64).into()),
+                ("kernel", class.into()),
+                ("n", i64::from(n).into()),
+            ],
+        );
+        Ok(id)
+    }
+
+    /// Resolve a launch's static access summary against live pointer
+    /// values and the allocator's block table, widening every access to
+    /// the allocation block that backs it. Anything unresolvable
+    /// (opaque summary, null or dangling field pointer) degrades to an
+    /// opaque footprint.
+    fn resolve_footprint(&mut self, func: FuncId, kind: ConstructKind, body: CpuAddr) -> Footprint {
+        let mode = match kind {
+            ConstructKind::For => AnalysisMode::For,
+            ConstructKind::Reduce { .. } => AnalysisMode::Reduce,
+        };
+        let summary = self
+            .access_cache
+            .entry((func, mode))
+            .or_insert_with(|| concord_analyze::infer_access(&self.program.module, func, mode));
+        if summary.opaque {
+            return Footprint::opaque();
+        }
+        let Some((body_lo, body_hi)) = self.heap.block_range(body) else {
+            return Footprint::opaque();
+        };
+        let mut ranges = Vec::new();
+        // Every launch reads its body block (the runtime passes it to the
+        // kernel); a reduction also stages copies from it and joins the
+        // partials back into it.
+        ranges.push(FootRange { lo: body_lo, hi: body_hi, mode: AccessMode::Read });
+        if matches!(kind, ConstructKind::Reduce { .. }) {
+            ranges.push(FootRange { lo: body_lo, hi: body_hi, mode: AccessMode::Write });
+        }
+        for r in &summary.records {
+            let (lo, hi) = match r.base {
+                AccessBase::Body => (body_lo, body_hi),
+                AccessBase::Field { offset } => {
+                    let Ok(ptr) = self.region.read_ptr(body.offset(offset)) else {
+                        return Footprint::opaque();
+                    };
+                    let Some(range) = self.heap.block_range(ptr) else {
+                        return Footprint::opaque();
+                    };
+                    range
+                }
+            };
+            ranges.push(FootRange { lo, hi, mode: r.mode });
+        }
+        Footprint { opaque: false, ranges }
+    }
+
+    /// Drain the graph until `id`'s launch has executed and return its
+    /// result. Earlier submissions drain first (submission order is the
+    /// commit order), waving with `id`'s launch where footprints allow.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownLaunch`] for an id never submitted (or
+    /// already taken); otherwise the launch's own result.
+    pub fn complete(&mut self, id: LaunchId) -> Result<OffloadReport, RuntimeError> {
+        while !self.finished.contains_key(&id.0) {
+            if !self.launch_graph.has(id.0) {
+                return Err(RuntimeError::UnknownLaunch(id));
+            }
+            self.drain_one_wave();
+        }
+        self.finished.remove(&id.0).expect("checked above")
+    }
+
+    /// Drain every pending launch. Per-launch results stay retrievable
+    /// through [`Concord::complete`].
+    pub fn complete_all(&mut self) {
+        while !self.launch_graph.is_empty() {
+            self.drain_one_wave();
+        }
+    }
+
+    /// Drain pending launches (in submission order) until none touches
+    /// any byte of `[addr, addr + len)` — the barrier a host write or
+    /// free must take before mutating memory a deferred launch may read
+    /// or write.
+    pub fn complete_touching(&mut self, addr: u64, len: u64) {
+        while self.launch_graph.touches(addr, addr.saturating_add(len)) {
+            self.drain_one_wave();
+        }
+    }
+
+    /// Scheduling counters of the launch graph (submitted, completed,
+    /// overlapped, conflict stalls, coalesced, fence pairs elided).
+    #[must_use]
+    pub fn graph_stats(&self) -> GraphStats {
+        self.launch_graph.stats()
+    }
+
+    /// The access summary footprint inference uses for `class` under
+    /// `mode`, memoized per kernel like the analysis reports.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoSuchKernel`].
+    pub fn access_summary(
+        &mut self,
+        class: &str,
+        mode: AnalysisMode,
+    ) -> Result<AccessSummary, RuntimeError> {
+        let k = self.kernel(class)?;
+        Ok(self
+            .access_cache
+            .entry((k.operator_fn, mode))
+            .or_insert_with(|| {
+                concord_analyze::infer_access(&self.program.module, k.operator_fn, mode)
+            })
+            .clone())
+    }
+
+    /// Start (or stop) journaling session operations: allocations,
+    /// frees, host writes into the shared region, and construct
+    /// launches. Collect the journal with [`Concord::take_session`];
+    /// replay it on a fresh identically-configured context with
+    /// [`Concord::replay_serial`] or [`Concord::replay_graph`].
+    pub fn record_session(&mut self, on: bool) {
+        self.session_log = on.then(Vec::new);
+        self.region.journal_writes(on);
+    }
+
+    /// Take the recorded session ops and stop journaling.
+    pub fn take_session(&mut self) -> Vec<SessionOp> {
+        self.drain_region_journal();
+        self.region.journal_writes(false);
+        self.session_log.take().unwrap_or_default()
+    }
+
+    /// Replay a recorded op stream through the blocking serial entry
+    /// points — the reference execution the graph path must match byte
+    /// for byte. Returns one result per recorded launch, in order
+    /// (launch traps are per-launch results, not replay failures, because
+    /// the recording caller continued past them too).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ReplayDiverged`] when the allocator hands out a
+    /// different address than recorded (wrong region size or op stream);
+    /// allocation or host-write faults.
+    pub fn replay_serial(
+        &mut self,
+        ops: &[SessionOp],
+    ) -> Result<Vec<Result<OffloadReport, RuntimeError>>, RuntimeError> {
+        let mut out = Vec::new();
+        for op in ops {
+            match op {
+                SessionOp::Malloc { bytes, addr } => self.replay_malloc(*bytes, *addr)?,
+                SessionOp::Free { addr } => self.free(*addr)?,
+                SessionOp::Write { addr, bytes } => {
+                    self.region
+                        .write_bytes(*addr, concord_ir::types::AddrSpace::Cpu, bytes)
+                        .map_err(RuntimeError::Trap)?;
+                }
+                SessionOp::Launch { class, body, n, target, reduce } => {
+                    out.push(if *reduce {
+                        self.parallel_reduce_hetero(class, *body, *n, *target)
+                    } else {
+                        self.parallel_for_hetero(class, *body, *n, *target)
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Replay a recorded op stream through the launch graph: launches
+    /// are submitted and left pending so independent ones can wave
+    /// together; a host write or free first drains every pending launch
+    /// touching the affected bytes (the recorded happens-before edge);
+    /// everything left drains at the end. Returns one result per
+    /// recorded launch, in submission order — byte-comparable against
+    /// [`Concord::replay_serial`] on a fresh context.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Concord::replay_serial`].
+    pub fn replay_graph(
+        &mut self,
+        ops: &[SessionOp],
+    ) -> Result<Vec<Result<OffloadReport, RuntimeError>>, RuntimeError> {
+        let mut submitted: Vec<Result<LaunchId, RuntimeError>> = Vec::new();
+        for op in ops {
+            match op {
+                SessionOp::Malloc { bytes, addr } => self.replay_malloc(*bytes, *addr)?,
+                SessionOp::Free { addr } => {
+                    if let Some((lo, hi)) = self.heap.block_range(*addr) {
+                        self.complete_touching(lo, hi - lo);
+                    }
+                    self.free(*addr)?;
+                }
+                SessionOp::Write { addr, bytes } => {
+                    self.complete_touching(*addr, bytes.len() as u64);
+                    self.region
+                        .write_bytes(*addr, concord_ir::types::AddrSpace::Cpu, bytes)
+                        .map_err(RuntimeError::Trap)?;
+                }
+                SessionOp::Launch { class, body, n, target, reduce } => {
+                    submitted.push(if *reduce {
+                        self.submit_reduce(class, *body, *n, *target)
+                    } else {
+                        self.submit_for(class, *body, *n, *target)
+                    });
+                }
+            }
+        }
+        self.complete_all();
+        let mut out = Vec::new();
+        for s in submitted {
+            out.push(match s {
+                Ok(id) => self.complete(id),
+                Err(e) => Err(e),
+            });
+        }
+        Ok(out)
+    }
+
+    fn replay_malloc(&mut self, bytes: u64, recorded: CpuAddr) -> Result<(), RuntimeError> {
+        let got = self.malloc(bytes)?;
+        if got.0 != recorded.0 {
+            return Err(RuntimeError::ReplayDiverged(format!(
+                "malloc({bytes}) returned {:#x}, recording had {:#x}",
+                got.0, recorded.0
+            )));
+        }
+        Ok(())
+    }
+
+    /// Append a session op, first flushing any region writes journaled
+    /// since the previous op so the global order is preserved.
+    fn record_op(&mut self, op: impl FnOnce() -> SessionOp) {
+        if self.session_log.is_some() {
+            self.drain_region_journal();
+            self.session_log.as_mut().expect("checked above").push(op());
+        }
+    }
+
+    fn drain_region_journal(&mut self) {
+        if let Some(log) = self.session_log.as_mut() {
+            for (addr, bytes) in self.region.take_journaled_writes() {
+                log.push(SessionOp::Write { addr, bytes });
+            }
+        }
+    }
+
+    /// Decide what the front of the queue may do, and how many conflict
+    /// stalls the decision observed.
+    fn plan_wave(&self) -> (WavePlan, u64) {
+        fn pair_ok(a: &graph::PendingLaunch, b: &graph::PendingLaunch) -> bool {
+            let one_each = (a.target == Target::Cpu && b.target == Target::Gpu && b.gpu_allowed)
+                || (b.target == Target::Cpu && a.target == Target::Gpu && a.gpu_allowed);
+            one_each
+                && matches!(a.kind, ConstructKind::For)
+                && matches!(b.kind, ConstructKind::For)
+                && !a.gated
+                && !b.gated
+        }
+        fn batch_ok(p: &graph::PendingLaunch) -> bool {
+            p.target == Target::Gpu
+                && p.gpu_allowed
+                && matches!(p.kind, ConstructKind::For)
+                && !p.gated
+        }
+        let q = self.launch_graph.pending();
+        let mut stalls = 0u64;
+        let Some(p0) = q.front() else {
+            return (WavePlan::Solo, 0);
+        };
+        // A CPU-targeted and a GPU-targeted `parallel_for` with provably
+        // disjoint footprints execute concurrently. Only explicit
+        // `Cpu`/`Gpu` targets qualify: `Auto`/`Hybrid` plans read profile
+        // history mutated by earlier launches, so their plans must be
+        // computed in submission order (solo waves).
+        if let Some(p1) = q.get(1) {
+            if pair_ok(p0, p1) {
+                match p0.footprint.conflict(&p1.footprint) {
+                    Conflict::Independent => return (WavePlan::Pair, stalls),
+                    Conflict::Coalesce | Conflict::Order => stalls += 1,
+                }
+            }
+        }
+        // Consecutive GPU-targeted `parallel_for`s whose pairwise
+        // conflicts are at worst Coalesce run back to back under ONE
+        // fence pair — execution order is still submission order, so the
+        // batch is trivially byte-identical; only fence accounting
+        // changes (counted as elisions).
+        if batch_ok(p0) {
+            let mut coalesced = 0u64;
+            let mut size = 1usize;
+            'grow: while let Some(pk) = q.get(size) {
+                if !batch_ok(pk) {
+                    break;
+                }
+                let mut saw_coalesce = false;
+                for member in q.iter().take(size) {
+                    match member.footprint.conflict(&pk.footprint) {
+                        Conflict::Order => {
+                            stalls += 1;
+                            break 'grow;
+                        }
+                        Conflict::Coalesce => saw_coalesce = true,
+                        Conflict::Independent => {}
+                    }
+                }
+                if saw_coalesce {
+                    coalesced += 1;
+                }
+                size += 1;
+            }
+            if size >= 2 {
+                return (WavePlan::Batch { size, coalesced }, stalls);
+            }
+        }
+        (WavePlan::Solo, stalls)
+    }
+
+    /// Execute the next wave from the queue front and store its results.
+    fn drain_one_wave(&mut self) {
+        let (plan, stalls) = self.plan_wave();
+        self.launch_graph.stats_mut().conflict_stalls += stalls;
+        match plan {
+            WavePlan::Solo => {
+                let Some(p) = self.launch_graph.pop() else { return };
+                let r = self.offload_logged(
+                    &p.class,
+                    p.func,
+                    p.kind,
+                    p.body,
+                    p.n,
+                    p.target,
+                    p.gpu_allowed,
+                );
+                self.finished.insert(p.id, r);
+            }
+            WavePlan::Pair => self.run_pair(),
+            WavePlan::Batch { size, coalesced } => self.run_batch(size, coalesced),
+        }
+    }
+
+    /// Overlap wave: one CPU-targeted and one GPU-targeted
+    /// `parallel_for` with disjoint footprints. Both execute against a
+    /// snapshot of the region (the GPU on a helper thread when host
+    /// threads allow) and the write-logs commit in submission order
+    /// under one fence pair — the same snapshot-and-log machinery the
+    /// hybrid split uses, so every byte, report, and trap matches serial
+    /// execution.
+    fn run_pair(&mut self) {
+        let first = self.launch_graph.pop().expect("pair wave has a first launch");
+        let second = self.launch_graph.pop().expect("pair wave has a second launch");
+        let saved = self.region.suspend_journal();
+        let gpu_is_first = first.target == Target::Gpu;
+        let (first_res, second_res) = {
+            let (gpu_l, cpu_l) = if gpu_is_first { (&first, &second) } else { (&second, &first) };
+            let Concord {
+                system,
+                program,
+                gpu_artifact,
+                region,
+                vtables,
+                cpu,
+                gpu,
+                meter,
+                profile,
+                tracer,
+                ..
+            } = self;
+            let mut sp = tracer.span_with(
+                Track::Sched,
+                "overlap",
+                vec![
+                    ("gpu_kernel", gpu_l.class.as_str().into()),
+                    ("cpu_kernel", cpu_l.class.as_str().into()),
+                    ("gpu_n", i64::from(gpu_l.n).into()),
+                    ("cpu_n", i64::from(cpu_l.n).into()),
+                ],
+            );
+            let mut ctx = ExecCtx {
+                region,
+                vtables,
+                cpu_module: &program.module,
+                gpu_module: &gpu_artifact.module,
+                system,
+                tracer,
+            };
+            let jit = gpu.prepare(&mut ctx, &gpu_l.class, gpu_l.func);
+            gpu.fence_in(&mut ctx);
+            let gspan = Span::full(gpu_l.n);
+            let cspan = Span::full(cpu_l.n);
+            let host_threads = cpu.sim().host_threads;
+            let (gpu_pending, cpu_pending) = {
+                let region: &SharedRegion = ctx.region;
+                let vtables: &VtableArea = ctx.vtables;
+                let cpu_module = ctx.cpu_module;
+                let gpu_module = ctx.gpu_module;
+                let gpu_sim = gpu.sim();
+                let (gfunc, gbody) = (gpu_l.func, gpu_l.body);
+                let run_gpu = move || {
+                    gpu_sim.execute_for_span(
+                        region, gpu_module, gfunc, gbody, gspan.lo, gspan.hi, gspan.grid,
+                    )
+                };
+                let (cfunc, cbody) = (cpu_l.func, cpu_l.body);
+                let run_cpu = |sim: &mut CpuSim| {
+                    sim.execute_for_span(
+                        region, vtables, cpu_module, cfunc, cbody, cspan.lo, cspan.hi, cspan.grid,
+                    )
+                };
+                if host_threads > 1 {
+                    std::thread::scope(|s| {
+                        let h = s.spawn(run_gpu);
+                        let c = run_cpu(cpu.sim_mut());
+                        (h.join().expect("GPU execute thread panicked"), c)
+                    })
+                } else {
+                    (run_gpu(), run_cpu(cpu.sim_mut()))
+                }
+            };
+            // Commit in submission order: the meter and profile history
+            // sequences — and any partial-commit trap state — match the
+            // serial path exactly.
+            let (first_r, second_r);
+            if gpu_is_first {
+                first_r = gpu
+                    .commit_pending(&mut ctx, gspan, gpu_pending)
+                    .map(|s| {
+                        part_report(
+                            system,
+                            meter,
+                            profile,
+                            &gpu_l.class,
+                            Device::Gpu,
+                            gspan,
+                            jit,
+                            s,
+                        )
+                    })
+                    .map_err(RuntimeError::Trap);
+                second_r = cpu
+                    .commit_pending(&mut ctx, "parallel_for", cspan, cpu_pending)
+                    .map(|s| {
+                        part_report(
+                            system,
+                            meter,
+                            profile,
+                            &cpu_l.class,
+                            Device::Cpu,
+                            cspan,
+                            0.0,
+                            s,
+                        )
+                    })
+                    .map_err(RuntimeError::Trap);
+            } else {
+                first_r = cpu
+                    .commit_pending(&mut ctx, "parallel_for", cspan, cpu_pending)
+                    .map(|s| {
+                        part_report(
+                            system,
+                            meter,
+                            profile,
+                            &cpu_l.class,
+                            Device::Cpu,
+                            cspan,
+                            0.0,
+                            s,
+                        )
+                    })
+                    .map_err(RuntimeError::Trap);
+                second_r = gpu
+                    .commit_pending(&mut ctx, gspan, gpu_pending)
+                    .map(|s| {
+                        part_report(
+                            system,
+                            meter,
+                            profile,
+                            &gpu_l.class,
+                            Device::Gpu,
+                            gspan,
+                            jit,
+                            s,
+                        )
+                    })
+                    .map_err(RuntimeError::Trap);
+            }
+            gpu.fence_out(&mut ctx);
+            sp.arg("overlapped", true);
+            (first_r, second_r)
+        };
+        self.region.restore_journal(saved);
+        self.launch_graph.stats_mut().overlapped += 1;
+        self.finished.insert(first.id, first_res);
+        self.finished.insert(second.id, second_res);
+    }
+
+    /// Batch wave: `size` consecutive GPU `parallel_for`s run back to
+    /// back (submission order) under a single fence pair. Later launches
+    /// than the batch still wait; a trapped member stores its trap and
+    /// the batch continues, matching a serial caller that continues past
+    /// a failed construct.
+    fn run_batch(&mut self, size: usize, coalesced: u64) {
+        let launches: Vec<graph::PendingLaunch> =
+            (0..size).map(|_| self.launch_graph.pop().expect("batch sized to queue")).collect();
+        let saved = self.region.suspend_journal();
+        let mut results: Vec<(u64, Result<OffloadReport, RuntimeError>)> = Vec::with_capacity(size);
+        {
+            let Concord {
+                system,
+                program,
+                gpu_artifact,
+                region,
+                vtables,
+                gpu,
+                meter,
+                profile,
+                tracer,
+                ..
+            } = self;
+            let mut sp = tracer.span_with(
+                Track::Sched,
+                "gpu_batch",
+                vec![("launches", (size as i64).into()), ("coalesced", (coalesced as i64).into())],
+            );
+            let mut ctx = ExecCtx {
+                region,
+                vtables,
+                cpu_module: &program.module,
+                gpu_module: &gpu_artifact.module,
+                system,
+                tracer,
+            };
+            gpu.fence_in(&mut ctx);
+            for p in &launches {
+                let jit = gpu.prepare(&mut ctx, &p.class, p.func);
+                let span = Span::full(p.n);
+                let r = gpu
+                    .launch_for(&mut ctx, p.func, p.body, span)
+                    .map(|s| {
+                        part_report(system, meter, profile, &p.class, Device::Gpu, span, jit, s)
+                    })
+                    .map_err(RuntimeError::Trap);
+                results.push((p.id, r));
+            }
+            gpu.fence_out(&mut ctx);
+            ctx.region.note_fences_elided(size as u64 - 1);
+            sp.arg("fences_elided", size as i64 - 1);
+        }
+        self.region.restore_journal(saved);
+        let st = self.launch_graph.stats_mut();
+        st.fences_elided += size as u64 - 1;
+        st.coalesced += coalesced;
+        for (id, r) in results {
+            self.finished.insert(id, r);
+        }
+    }
+
+    /// [`Concord::offload`] with the region's write journal suspended:
+    /// simulator writes are launch effects, not host writes, and must
+    /// not be recorded as session ops.
+    #[allow(clippy::too_many_arguments)]
+    fn offload_logged(
+        &mut self,
+        class: &str,
+        func: FuncId,
+        kind: ConstructKind,
+        body: CpuAddr,
+        n: u32,
+        target: Target,
+        gpu_allowed: bool,
+    ) -> Result<OffloadReport, RuntimeError> {
+        let saved = self.region.suspend_journal();
+        let r = self.offload(class, func, kind, body, n, target, gpu_allowed);
+        self.region.restore_journal(saved);
+        r
     }
 
     /// The generic offload path every construct and every target runs
@@ -1552,5 +2321,294 @@ mod tests {
         assert_eq!(first, second, "memoized report must be identical");
         assert!(first.has_errors());
         assert!(cc.analyze_kernel("Missing", AnalysisMode::For).is_err());
+    }
+
+    // ---- launch-graph (submit/complete) tests ----
+
+    fn assert_reports_eq(a: &OffloadReport, b: &OffloadReport, what: &str) {
+        assert_eq!(a.jit_seconds, b.jit_seconds, "{what}: jit_seconds");
+        assert_eq!(a.exec_seconds, b.exec_seconds, "{what}: exec_seconds");
+        assert_eq!(a.joules, b.joules, "{what}: joules");
+        assert_eq!(a.on_gpu, b.on_gpu, "{what}: on_gpu");
+        assert_eq!(a.fell_back, b.fell_back, "{what}: fell_back");
+        assert_eq!(a.translations, b.translations, "{what}: translations");
+        assert_eq!(a.transactions, b.transactions, "{what}: transactions");
+        assert_eq!(a.contended, b.contended, "{what}: contended");
+        assert_eq!(a.busy_fraction, b.busy_fraction, "{what}: busy_fraction");
+        assert_eq!(a.l3_hit_rate, b.l3_hit_rate, "{what}: l3_hit_rate");
+        assert_eq!(a.insts, b.insts, "{what}: insts");
+    }
+
+    fn fig1_context(host_threads: usize) -> (Concord, CpuAddr, CpuAddr, CpuAddr, CpuAddr) {
+        let opts = Options { host_threads: Some(host_threads), ..Options::default() };
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, opts).unwrap();
+        let a_nodes = cc.malloc(101 * 8).unwrap();
+        let a_body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(a_body, a_nodes).unwrap();
+        let b_nodes = cc.malloc(101 * 8).unwrap();
+        let b_body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(b_body, b_nodes).unwrap();
+        (cc, a_nodes, a_body, b_nodes, b_body)
+    }
+
+    fn nodes_bytes(cc: &Concord, nodes: CpuAddr) -> Vec<u8> {
+        cc.region()
+            .read_bytes(nodes.0, concord_ir::types::AddrSpace::Cpu, 101 * 8)
+            .unwrap()
+            .to_vec()
+    }
+
+    #[test]
+    fn submit_complete_matches_blocking_path() {
+        for target in ALL_TARGETS {
+            let (mut serial, s_nodes, s_body, ..) = fig1_context(1);
+            let want = serial.parallel_for_hetero("LoopBody", s_body, 100, target).unwrap();
+            let want_bytes = nodes_bytes(&serial, s_nodes);
+
+            let (mut cc, nodes, body, ..) = fig1_context(1);
+            let id = cc.submit_for("LoopBody", body, 100, target).unwrap();
+            let got = cc.complete(id).unwrap();
+            assert_reports_eq(&got, &want, &format!("target {target}"));
+            assert_eq!(nodes_bytes(&cc, nodes), want_bytes, "target {target}");
+            let st = cc.graph_stats();
+            assert_eq!(st.submitted, 1);
+            assert_eq!(st.completed, 1);
+        }
+    }
+
+    #[test]
+    fn disjoint_cpu_gpu_launches_overlap_and_stay_byte_identical() {
+        // Serial reference at host_threads=1.
+        let (mut serial, sa, sab, sb, sbb) = fig1_context(1);
+        let ra = serial.parallel_for_hetero("LoopBody", sab, 100, Target::Cpu).unwrap();
+        let rb = serial.parallel_for_hetero("LoopBody", sbb, 100, Target::Gpu).unwrap();
+        let (bytes_a, bytes_b) = (nodes_bytes(&serial, sa), nodes_bytes(&serial, sb));
+
+        for ht in [1usize, 8] {
+            let (mut cc, a, ab, b, bb) = fig1_context(ht);
+            let ia = cc.submit_for("LoopBody", ab, 100, Target::Cpu).unwrap();
+            let ib = cc.submit_for("LoopBody", bb, 100, Target::Gpu).unwrap();
+            cc.complete_all();
+            let ga = cc.complete(ia).unwrap();
+            let gb = cc.complete(ib).unwrap();
+            assert_reports_eq(&ga, &ra, &format!("cpu launch, ht={ht}"));
+            assert_reports_eq(&gb, &rb, &format!("gpu launch, ht={ht}"));
+            assert_eq!(nodes_bytes(&cc, a), bytes_a, "ht={ht}");
+            assert_eq!(nodes_bytes(&cc, b), bytes_b, "ht={ht}");
+            let st = cc.graph_stats();
+            assert_eq!(st.overlapped, 1, "disjoint cpu+gpu pair must overlap (ht={ht})");
+            assert_eq!(st.conflict_stalls, 0, "ht={ht}");
+            // One fence pair covers the overlapped wave — same count as
+            // the serial pair (cpu launch does not fence).
+            let c = cc.region().consistency();
+            assert_eq!(c.fences_to_gpu, 1, "ht={ht}");
+            assert_eq!(c.fences_to_cpu, 1, "ht={ht}");
+            assert!(!c.pinned);
+        }
+    }
+
+    #[test]
+    fn conflicting_launches_serialize_with_a_stall() {
+        // Both launches write the SAME nodes array: the graph must keep
+        // submission order (no overlap) and still match serial bytes.
+        let (mut serial, s_nodes, s_body, ..) = fig1_context(1);
+        serial.parallel_for_hetero("LoopBody", s_body, 100, Target::Cpu).unwrap();
+        serial.parallel_for_hetero("LoopBody", s_body, 100, Target::Gpu).unwrap();
+        let want = nodes_bytes(&serial, s_nodes);
+
+        let (mut cc, nodes, body, ..) = fig1_context(8);
+        cc.submit_for("LoopBody", body, 100, Target::Cpu).unwrap();
+        cc.submit_for("LoopBody", body, 100, Target::Gpu).unwrap();
+        cc.complete_all();
+        assert_eq!(nodes_bytes(&cc, nodes), want);
+        let st = cc.graph_stats();
+        assert_eq!(st.overlapped, 0, "write-conflicting launches must not overlap");
+        assert!(st.conflict_stalls >= 1, "the conflict must be counted: {st:?}");
+        assert_eq!(cc.region().consistency().fences_to_gpu, 1, "gpu launch keeps its fence");
+    }
+
+    #[test]
+    fn consecutive_gpu_launches_share_one_fence_pair() {
+        let (mut serial, sa, sab, sb, sbb) = fig1_context(1);
+        let ra = serial.parallel_for_hetero("LoopBody", sab, 100, Target::Gpu).unwrap();
+        let rb = serial.parallel_for_hetero("LoopBody", sbb, 100, Target::Gpu).unwrap();
+        assert_eq!(serial.region().consistency().fences_to_gpu, 2);
+        let (bytes_a, bytes_b) = (nodes_bytes(&serial, sa), nodes_bytes(&serial, sb));
+
+        let (mut cc, a, ab, b, bb) = fig1_context(1);
+        let ia = cc.submit_for("LoopBody", ab, 100, Target::Gpu).unwrap();
+        let ib = cc.submit_for("LoopBody", bb, 100, Target::Gpu).unwrap();
+        cc.complete_all();
+        assert_reports_eq(&cc.complete(ia).unwrap(), &ra, "first gpu launch");
+        assert_reports_eq(&cc.complete(ib).unwrap(), &rb, "second gpu launch");
+        assert_eq!(nodes_bytes(&cc, a), bytes_a);
+        assert_eq!(nodes_bytes(&cc, b), bytes_b);
+        let c = cc.region().consistency();
+        assert_eq!(c.fences_to_gpu, 1, "batched launches share one fence-in");
+        assert_eq!(c.fences_to_cpu, 1, "batched launches share one fence-out");
+        assert_eq!(c.fences_elided, 1, "the elided pair must be counted on the region");
+        assert_eq!(cc.graph_stats().fences_elided, 1);
+    }
+
+    #[test]
+    fn accumulate_launches_coalesce_under_one_fence_pair() {
+        let src = r#"
+            class Histogram {
+            public:
+                int* bins; int* data;
+                void operator()(int i) { atomic_add(&bins[data[i] & 7], 1); }
+            };
+        "#;
+        let build = |_| {
+            let mut cc = Concord::new(SystemConfig::ultrabook(), src, Options::default()).unwrap();
+            let bins = cc.malloc(8 * 4).unwrap();
+            let d1 = cc.malloc(64 * 4).unwrap();
+            let d2 = cc.malloc(64 * 4).unwrap();
+            for i in 0..64u64 {
+                cc.region_mut().write_i32(CpuAddr(d1.0 + i * 4), i as i32).unwrap();
+                cc.region_mut().write_i32(CpuAddr(d2.0 + i * 4), (3 * i) as i32).unwrap();
+            }
+            let b1 = cc.malloc(16).unwrap();
+            cc.region_mut().write_ptr(b1, bins).unwrap();
+            cc.region_mut().write_ptr(b1.offset(8), d1).unwrap();
+            let b2 = cc.malloc(16).unwrap();
+            cc.region_mut().write_ptr(b2, bins).unwrap();
+            cc.region_mut().write_ptr(b2.offset(8), d2).unwrap();
+            (cc, bins, b1, b2)
+        };
+        let (mut serial, s_bins, sb1, sb2) = build(());
+        serial.parallel_for_hetero("Histogram", sb1, 64, Target::Gpu).unwrap();
+        serial.parallel_for_hetero("Histogram", sb2, 64, Target::Gpu).unwrap();
+        let want: Vec<i32> =
+            (0..8).map(|i| serial.region().read_i32(CpuAddr(s_bins.0 + i * 4)).unwrap()).collect();
+
+        let (mut cc, bins, b1, b2) = build(());
+        cc.submit_for("Histogram", b1, 64, Target::Gpu).unwrap();
+        cc.submit_for("Histogram", b2, 64, Target::Gpu).unwrap();
+        cc.complete_all();
+        let got: Vec<i32> =
+            (0..8).map(|i| cc.region().read_i32(CpuAddr(bins.0 + i * 4)).unwrap()).collect();
+        assert_eq!(got, want);
+        let st = cc.graph_stats();
+        assert_eq!(st.coalesced, 1, "accumulate overlap must coalesce: {st:?}");
+        assert_eq!(st.fences_elided, 1);
+        assert_eq!(cc.region().consistency().fences_to_gpu, 1);
+    }
+
+    #[test]
+    fn trap_choice_matches_serial_submission_order() {
+        // First launch traps (null nodes pointer -> opaque footprint,
+        // solo wave); second is healthy. The graph must surface the trap
+        // on the first id, the success on the second, and still apply the
+        // second launch's writes — exactly like a serial caller that
+        // continues past the failure.
+        let (mut serial, _sa, _sab, sb, sbb) = fig1_context(1);
+        let null_body = serial.malloc(8).unwrap();
+        let want_err =
+            serial.parallel_for_hetero("LoopBody", null_body, 4, Target::Cpu).unwrap_err();
+        let want_ok = serial.parallel_for_hetero("LoopBody", sbb, 100, Target::Gpu).unwrap();
+        let want_bytes = nodes_bytes(&serial, sb);
+
+        let (mut cc, _a, _ab, b, bb) = fig1_context(1);
+        let nb = cc.malloc(8).unwrap();
+        let bad = cc.submit_for("LoopBody", nb, 4, Target::Cpu).unwrap();
+        let good = cc.submit_for("LoopBody", bb, 100, Target::Gpu).unwrap();
+        cc.complete_all();
+        let got_err = cc.complete(bad).unwrap_err();
+        assert_eq!(got_err, want_err, "trap identity must match serial");
+        assert_reports_eq(&cc.complete(good).unwrap(), &want_ok, "launch after trap");
+        assert_eq!(nodes_bytes(&cc, b), want_bytes);
+    }
+
+    #[test]
+    fn complete_touching_drains_only_what_overlaps() {
+        let (mut cc, a, ab, _b, bb) = fig1_context(1);
+        cc.submit_for("LoopBody", ab, 100, Target::Gpu).unwrap();
+        let ib = cc.submit_for("LoopBody", bb, 100, Target::Gpu).unwrap();
+        // A range nothing touches: nothing drains.
+        cc.complete_touching(1, 1);
+        assert_eq!(cc.graph_stats().completed, 0);
+        // Touching the first launch's output drains in submission order.
+        // The two launches batch into one wave, so both drain together.
+        cc.complete_touching(a.0, 8);
+        assert_eq!(cc.graph_stats().completed, 2);
+        assert!(cc.complete(ib).is_ok());
+    }
+
+    #[test]
+    fn record_and_replay_graph_matches_serial_bytes_and_reports() {
+        let record = || {
+            let (mut cc, a, ab, b, bb) = fig1_context(1);
+            // Recording starts after setup ops here; exercise the full
+            // path by re-writing a body pointer inside the recording.
+            cc.record_session(true);
+            let extra = cc.malloc(16).unwrap();
+            cc.region_mut().write_ptr(ab, a).unwrap();
+            cc.parallel_for_hetero("LoopBody", ab, 100, Target::Cpu).unwrap();
+            cc.parallel_for_hetero("LoopBody", bb, 100, Target::Gpu).unwrap();
+            cc.region_mut().write_i64(extra, 7).unwrap();
+            cc.free(extra).unwrap();
+            let ops = cc.take_session();
+            (ops, nodes_bytes(&cc, a), nodes_bytes(&cc, b))
+        };
+        let (ops, bytes_a, bytes_b) = record();
+        assert!(ops.iter().any(|o| matches!(o, SessionOp::Launch { .. })));
+        assert!(ops.iter().any(|o| matches!(o, SessionOp::Write { .. })));
+
+        let (mut serial, sa, _sab, sb, _sbb) = fig1_context(1);
+        let serial_reports = serial.replay_serial(&ops).unwrap();
+        assert_eq!(nodes_bytes(&serial, sa), bytes_a);
+        assert_eq!(nodes_bytes(&serial, sb), bytes_b);
+
+        for ht in [1usize, 8] {
+            let (mut cc, a, _ab, b, _bb) = fig1_context(ht);
+            let graph_reports = cc.replay_graph(&ops).unwrap();
+            assert_eq!(nodes_bytes(&cc, a), bytes_a, "ht={ht}");
+            assert_eq!(nodes_bytes(&cc, b), bytes_b, "ht={ht}");
+            assert_eq!(graph_reports.len(), serial_reports.len());
+            for (i, (g, s)) in graph_reports.iter().zip(&serial_reports).enumerate() {
+                assert_reports_eq(
+                    g.as_ref().unwrap(),
+                    s.as_ref().unwrap(),
+                    &format!("replayed launch {i}, ht={ht}"),
+                );
+            }
+            assert_eq!(cc.graph_stats().overlapped, 1, "disjoint replayed launches overlap");
+        }
+    }
+
+    #[test]
+    fn unknown_launch_id_is_an_error() {
+        let (mut cc, _, body, ..) = fig1_context(1);
+        let id = cc.submit_for("LoopBody", body, 100, Target::Cpu).unwrap();
+        cc.complete(id).unwrap();
+        // Taken once: gone.
+        assert!(matches!(cc.complete(id), Err(RuntimeError::UnknownLaunch(_))));
+        assert!(matches!(cc.complete(LaunchId(999)), Err(RuntimeError::UnknownLaunch(_))));
+    }
+
+    #[test]
+    fn submit_respects_the_deny_gate() {
+        let opts = Options { analysis: AnalysisGate::Deny, ..Options::default() };
+        let mut cc = Concord::new(SystemConfig::ultrabook(), RACY, opts).unwrap();
+        let bins = cc.malloc(64).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, bins).unwrap();
+        let err = cc.submit_for("RacyHistogram", body, 16, Target::Cpu).unwrap_err();
+        assert!(matches!(err, RuntimeError::AnalysisDenied { .. }));
+        assert_eq!(cc.graph_stats().submitted, 0, "denied launches never enter the graph");
+    }
+
+    #[test]
+    fn access_summary_is_exposed_and_cached() {
+        let mut cc = Concord::new(SystemConfig::ultrabook(), FIG1, Options::default()).unwrap();
+        let s = cc.access_summary("LoopBody", AnalysisMode::For).unwrap();
+        assert!(!s.opaque);
+        assert_eq!(
+            s.mode_of(concord_analyze::AccessBase::Field { offset: 0 }),
+            Some(AccessMode::Write)
+        );
+        assert_eq!(s, cc.access_summary("LoopBody", AnalysisMode::For).unwrap());
+        assert!(cc.access_summary("Missing", AnalysisMode::For).is_err());
     }
 }

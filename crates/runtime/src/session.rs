@@ -1,0 +1,65 @@
+//! Session journaling: record a session's host-visible operations so the
+//! same workload can be replayed through either launch path.
+//!
+//! [`Concord::record_session`](crate::Concord::record_session) turns on a
+//! journal of everything a driver does to the runtime — allocations,
+//! frees, host writes into the shared region (captured by the region's
+//! own write journal), and construct launches. The recorded op stream
+//! replays two ways:
+//!
+//! * [`Concord::replay_serial`](crate::Concord::replay_serial) re-issues
+//!   every op through the blocking `parallel_*_hetero` entry points —
+//!   the reference execution.
+//! * [`Concord::replay_graph`](crate::Concord::replay_graph) routes
+//!   launches through [`Concord::submit_for`](crate::Concord::submit_for)
+//!   / `submit_reduce`, deferring completion so independent launches can
+//!   wave together; host writes and frees first drain every pending
+//!   launch whose footprint touches the affected bytes, preserving the
+//!   recorded happens-before edges.
+//!
+//! Replay preserves the *exact* recorded global order of host ops (the
+//! journal stores absolute addresses, so the allocator must reproduce
+//! them), which is what makes the two replays byte-comparable: the
+//! differential battery asserts whole-region bytes, per-launch reports,
+//! and trap choices are identical between the two paths.
+
+use crate::scheduler::Target;
+use concord_svm::CpuAddr;
+
+/// One recorded session operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOp {
+    /// `malloc(bytes)` returned `addr` (replay asserts the same address).
+    Malloc {
+        /// Requested size.
+        bytes: u64,
+        /// The address the recording session's allocator returned.
+        addr: CpuAddr,
+    },
+    /// `free(addr)`.
+    Free {
+        /// The freed allocation.
+        addr: CpuAddr,
+    },
+    /// A host write of `bytes` at absolute CPU address `addr` (captured
+    /// through the shared region's write journal).
+    Write {
+        /// Absolute CPU-space address.
+        addr: u64,
+        /// The written bytes.
+        bytes: Vec<u8>,
+    },
+    /// A `parallel_for_hetero` / `parallel_reduce_hetero` call.
+    Launch {
+        /// Kernel class name.
+        class: String,
+        /// Body object address.
+        body: CpuAddr,
+        /// Iteration count.
+        n: u32,
+        /// Requested target.
+        target: Target,
+        /// True for `parallel_reduce_hetero`.
+        reduce: bool,
+    },
+}

@@ -1,0 +1,99 @@
+//! [`ArtifactCache`] under concurrent submitters: a burst of sessions
+//! over two distinct sources must compile each source exactly once —
+//! for the frontend/GPU pipeline (cache entries), the GPU JIT charge
+//! (shared jit set), and the native machine-code slot
+//! (`SharedNativeModule`) alike.
+
+use concord_energy::SystemConfig;
+use concord_runtime::{ArtifactCache, Concord, Options, Target};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const SRC_A: &str = r#"
+    class Scale2 {
+    public:
+        int* out; int n;
+        void operator()(int i) { out[i] = i * 2; }
+    };
+"#;
+
+const SRC_B: &str = r#"
+    class Scale3 {
+    public:
+        int* out; int n;
+        void operator()(int i) { out[i] = i * 3; }
+    };
+"#;
+
+fn run_one(cache: &ArtifactCache, src: &str, class: &str, target: Target) -> f64 {
+    let mut cc =
+        Concord::new_with_cache(SystemConfig::ultrabook(), src, Options::default(), cache).unwrap();
+    let out = cc.malloc(64 * 4).unwrap();
+    let body = cc.malloc(16).unwrap();
+    cc.region_mut().write_ptr(body, out).unwrap();
+    let r = cc.parallel_for_hetero(class, body, 64, target).unwrap();
+    for i in 0..64u64 {
+        let mult = if class == "Scale2" { 2 } else { 3 };
+        let got = cc.region().read_i32(concord_svm::CpuAddr(out.0 + i * 4)).unwrap();
+        assert_eq!(got, i as i32 * mult, "{class} on {target}");
+    }
+    r.jit_seconds
+}
+
+#[test]
+fn concurrent_sessions_compile_each_source_exactly_once() {
+    const THREADS: usize = 8;
+    let cache = Arc::new(ArtifactCache::new());
+    let gpu_jit_charges = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            let charges = Arc::clone(&gpu_jit_charges);
+            s.spawn(move || {
+                let (src, class) = if t % 2 == 0 { (SRC_A, "Scale2") } else { (SRC_B, "Scale3") };
+                let jit = run_one(&cache, src, class, Target::Gpu);
+                if jit > 0.0 {
+                    charges.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(cache.entries(), 2, "two sources -> two cache entries");
+    assert_eq!(cache.misses(), 2, "each source compiles exactly once");
+    assert_eq!(cache.hits(), (THREADS - 2) as u64, "everyone else hits the cache");
+    assert_eq!(
+        gpu_jit_charges.load(Ordering::Relaxed),
+        2,
+        "the GPU JIT charge is paid exactly once per source, process-wide"
+    );
+}
+
+#[test]
+fn concurrent_native_sessions_share_the_compiled_module() {
+    if !concord_native::supported() {
+        return;
+    }
+    const THREADS: usize = 8;
+    let cache = Arc::new(ArtifactCache::new());
+    let native_compiles = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            let compiles = Arc::clone(&native_compiles);
+            s.spawn(move || {
+                let (src, class) = if t % 2 == 0 { (SRC_A, "Scale2") } else { (SRC_B, "Scale3") };
+                let jit = run_one(&cache, src, class, Target::Native);
+                if jit > 0.0 {
+                    compiles.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(cache.entries(), 2);
+    assert_eq!(cache.misses(), 2);
+    assert_eq!(
+        native_compiles.load(Ordering::Relaxed),
+        2,
+        "native codegen runs exactly once per source through SharedNativeModule"
+    );
+}

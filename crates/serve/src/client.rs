@@ -335,6 +335,78 @@ impl Client {
         Ok(parse_report(report))
     }
 
+    /// Submit a batch of launches in one request. The server routes the
+    /// whole batch through the session's dependency-aware launch graph, so
+    /// provably independent launches overlap (or share fence pairs) while
+    /// conflicting ones serialize in submission order — and the response
+    /// reports exactly what the graph did.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and request-level refusals (`bad_request`,
+    /// `deadline_exceeded`, …). Per-launch failures (`trap`,
+    /// `no_such_kernel`, …) do **not** fail the call; they come back as
+    /// that entry's slot in [`BatchOutcome::reports`].
+    pub fn parallel_batch(
+        &mut self,
+        session: u64,
+        entries: &[BatchEntry<'_>],
+        deadline_ms: Option<u64>,
+    ) -> Result<BatchOutcome, ClientError> {
+        let launches: Vec<Json> = entries
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("class", Json::str(e.class)),
+                    ("body", e.body.into()),
+                    ("n", u64::from(e.n).into()),
+                    ("reduce", e.reduce.into()),
+                ];
+                if let Some(t) = e.target {
+                    fields.push(("target", t.into()));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        let mut fields = vec![
+            ("type", Json::str("parallel_batch")),
+            ("session", session.into()),
+            ("launches", Json::Arr(launches)),
+        ];
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms", ms.into()));
+        }
+        let resp = self.call(Json::obj(fields))?;
+        let reports = resp
+            .get("reports")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("batch response missing `reports`".to_string()))?
+            .iter()
+            .map(|slot| match (slot.get("report"), slot.get("error")) {
+                (Some(r), _) => Ok(parse_report(r)),
+                (None, Some(e)) => Err(ClientError::Server {
+                    code: e.get("code").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+                    message: e
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                }),
+                (None, None) => Err(ClientError::Protocol(
+                    "batch slot carries neither `report` nor `error`".to_string(),
+                )),
+            })
+            .collect();
+        let u = |name: &str| resp.get(name).and_then(Json::as_u64).unwrap_or(0);
+        Ok(BatchOutcome {
+            reports,
+            overlapped: u("overlapped"),
+            conflict_stalls: u("conflict_stalls"),
+            coalesced: u("coalesced"),
+            fences_elided: u("fences_elided"),
+        })
+    }
+
     /// Close a session, releasing its region on the server.
     ///
     /// # Errors
@@ -387,6 +459,61 @@ impl<'a> Launch<'a> {
         self.deadline_ms = Some(ms);
         self
     }
+}
+
+/// One entry of a [`Client::parallel_batch`] request.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEntry<'a> {
+    /// Kernel class name.
+    pub class: &'a str,
+    /// Shared-region address of the kernel body object.
+    pub body: u64,
+    /// Iteration count.
+    pub n: u32,
+    /// `cpu`/`gpu`/`auto`/`native`/`hybrid[:f]`; session default when `None`.
+    pub target: Option<&'a str>,
+    /// True for a `parallel_reduce` launch (the class needs a `join`).
+    pub reduce: bool,
+}
+
+impl<'a> BatchEntry<'a> {
+    /// A `parallel_for` entry with the session-default target.
+    #[must_use]
+    pub fn new(class: &'a str, body: u64, n: u32) -> BatchEntry<'a> {
+        BatchEntry { class, body, n, target: None, reduce: false }
+    }
+
+    /// Set the execution target.
+    #[must_use]
+    pub fn target(mut self, target: &'a str) -> BatchEntry<'a> {
+        self.target = Some(target);
+        self
+    }
+
+    /// Make this entry a `parallel_reduce` launch.
+    #[must_use]
+    pub fn reduce(mut self) -> BatchEntry<'a> {
+        self.reduce = true;
+        self
+    }
+}
+
+/// What one [`Client::parallel_batch`] call produced: a slot per entry
+/// (report or per-launch error, in submission order) plus the launch
+/// graph's scheduling counters for this batch.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per submitted entry, in submission order.
+    pub reports: Vec<Result<OffloadReport, ClientError>>,
+    /// Overlap waves the graph formed inside this batch.
+    pub overlapped: u64,
+    /// Launches serialized behind a conflicting earlier launch.
+    pub conflict_stalls: u64,
+    /// Launches that joined a shared-fence batch through accumulate-mode
+    /// coalescing.
+    pub coalesced: u64,
+    /// Fence pairs elided by batching consecutive GPU launches.
+    pub fences_elided: u64,
 }
 
 /// A connection bound to one open session — the ergonomic client surface.
@@ -508,6 +635,19 @@ impl SessionHandle {
     /// See [`Client::parallel_reduce`].
     pub fn parallel_reduce(&mut self, launch: &Launch<'_>) -> Result<OffloadReport, ClientError> {
         self.client.parallel_reduce(self.session, launch)
+    }
+
+    /// See [`Client::parallel_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::parallel_batch`].
+    pub fn parallel_batch(
+        &mut self,
+        entries: &[BatchEntry<'_>],
+        deadline_ms: Option<u64>,
+    ) -> Result<BatchOutcome, ClientError> {
+        self.client.parallel_batch(self.session, entries, deadline_ms)
     }
 
     /// Close the session, returning the underlying connection for reuse.

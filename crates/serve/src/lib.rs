@@ -47,7 +47,10 @@ pub mod protocol;
 pub mod server;
 pub mod signal;
 
-pub use client::{Client, ClientError, Launch, OpenedSession, SessionHandle, SessionOptions};
+pub use client::{
+    BatchEntry, BatchOutcome, Client, ClientError, Launch, OpenedSession, SessionHandle,
+    SessionOptions,
+};
 pub use server::{ServeConfig, Server, ServerStats};
 
 // The service moves these across threads by construction: sessions hop

@@ -59,6 +59,9 @@ const MAX_READ_BYTES: u64 = (MAX_FRAME as u64) / 4;
 /// Cap on the diagnostic `sleep` request.
 const MAX_SLEEP_MS: u64 = 5_000;
 
+/// Cap on one `parallel_batch` request's launch count.
+const MAX_BATCH: usize = 1_024;
+
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -108,6 +111,15 @@ pub struct ServerStats {
     pub deadline_missed: u64,
     /// Connections accepted so far.
     pub connections: u64,
+    /// Launches executing on workers right now (across all sessions).
+    pub inflight: u64,
+    /// Overlap events: launches that began while another launch was
+    /// already in flight process-wide, plus in-session overlap waves the
+    /// launch graph formed inside `parallel_batch` requests.
+    pub overlapped: u64,
+    /// Times the launch graph had to serialize a `parallel_batch` launch
+    /// behind a conflicting earlier launch.
+    pub conflict_stalls: u64,
 }
 
 struct Session {
@@ -117,6 +129,40 @@ struct Session {
     /// omits its own `target` field (set by the `target` session option;
     /// `auto` when the option is absent).
     default_target: Target,
+}
+
+/// A request's deadline, measured from admission. Checked twice: once at
+/// dequeue (a request that aged out in the queue never executes) and again
+/// immediately before a launch runs — the session mutex is a second queue,
+/// and a launch that waited out its deadline behind another session op
+/// must be refused, not run late.
+#[derive(Clone, Copy)]
+struct Deadline {
+    ms: Option<u64>,
+    admitted_at: Instant,
+}
+
+impl Deadline {
+    /// Milliseconds since admission (queue wait + session-lock wait).
+    fn queued_ms(&self) -> u64 {
+        u64::try_from(self.admitted_at.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn exceeded(&self) -> bool {
+        self.ms.is_some_and(|ms| self.admitted_at.elapsed() >= Duration::from_millis(ms))
+    }
+}
+
+/// The `deadline_exceeded` error, carrying machine-readable time-in-queue
+/// detail (`queued_ms`: admission to refusal) under `diagnostics`.
+fn deadline_response(where_: &str, admitted_at: Instant, id: Option<&Json>) -> Json {
+    let queued_ms = u64::try_from(admitted_at.elapsed().as_millis()).unwrap_or(u64::MAX);
+    error_response_detailed(
+        codes::DEADLINE_EXCEEDED,
+        &format!("request exceeded its deadline {where_} ({queued_ms} ms since admission)"),
+        Json::obj(vec![("queued_ms", queued_ms.into())]),
+        id,
+    )
 }
 
 /// One request's structured failure: a stable protocol code, a human
@@ -156,6 +202,9 @@ struct Shared {
     rejected: AtomicU64,
     deadline_missed: AtomicU64,
     connections: AtomicU64,
+    inflight: AtomicU64,
+    overlapped: AtomicU64,
+    conflict_stalls: AtomicU64,
 }
 
 impl Shared {
@@ -171,6 +220,9 @@ impl Shared {
             rejected: self.rejected.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            overlapped: self.overlapped.load(Ordering::Relaxed),
+            conflict_stalls: self.conflict_stalls.load(Ordering::Relaxed),
         }
     }
 
@@ -211,6 +263,9 @@ impl Server {
             rejected: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            overlapped: AtomicU64::new(0),
+            conflict_stalls: AtomicU64::new(0),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -392,7 +447,7 @@ fn handle_frame(
             true
         }
         "open_session" | "malloc" | "free" | "write" | "read" | "write_ptr" | "close"
-        | "parallel_for" | "parallel_reduce" | "sleep" => {
+        | "parallel_for" | "parallel_reduce" | "parallel_batch" | "sleep" => {
             admit(req, ty, id, conn_id, shared, writer);
             true
         }
@@ -452,13 +507,10 @@ fn admit(
                     "deadline_exceeded",
                     vec![("request", ArgValue::Str(ty.clone()))],
                 );
-                error_response(
-                    codes::DEADLINE_EXCEEDED,
-                    "request exceeded its deadline in the admission queue",
-                    id.as_ref(),
-                )
+                deadline_response("in the admission queue", admitted_at, id.as_ref())
             } else {
-                match execute(&req, &ty, conn_id, &shared) {
+                let deadline = Deadline { ms: deadline_ms, admitted_at };
+                match execute(&req, &ty, conn_id, &shared, deadline) {
                     Ok(resp) => with_id(resp, id.as_ref()),
                     Err(e) => e.into_response(id.as_ref()),
                 }
@@ -498,10 +550,33 @@ fn admit(
 }
 
 /// Execute one admitted request on a worker thread.
-fn execute(req: &Json, ty: &str, conn_id: u64, shared: &Arc<Shared>) -> Result<Json, SrvError> {
+fn execute(
+    req: &Json,
+    ty: &str,
+    conn_id: u64,
+    shared: &Arc<Shared>,
+    deadline: Deadline,
+) -> Result<Json, SrvError> {
     match ty {
         "sleep" => {
             let ms = field_u64(req, "ms")?.min(MAX_SLEEP_MS);
+            // With a `session` field, the sleep holds that session's mutex
+            // for its whole duration — a diagnostic gate that lets tests
+            // (and operators) measure session-lock contention effects such
+            // as the pre-launch deadline re-check.
+            let locked = match req.get("session").and_then(Json::as_u64) {
+                None => None,
+                Some(sid) => Some(
+                    shared
+                        .sessions
+                        .lock()
+                        .unwrap()
+                        .get(&sid)
+                        .cloned()
+                        .ok_or((codes::NO_SUCH_SESSION, format!("no session {sid}")))?,
+                ),
+            };
+            let _guard = locked.as_ref().map(|s| s.lock().unwrap());
             thread::sleep(Duration::from_millis(ms));
             Ok(Json::obj(vec![("type", Json::str("ok"))]))
         }
@@ -529,7 +604,7 @@ fn execute(req: &Json, ty: &str, conn_id: u64, shared: &Arc<Shared>) -> Result<J
                 .cloned()
                 .ok_or((codes::NO_SUCH_SESSION, format!("no session {sid}")))?;
             let mut session = session.lock().unwrap();
-            session_op(req, ty, &mut session)
+            session_op(req, ty, &mut session, shared, deadline)
         }
     }
 }
@@ -640,7 +715,13 @@ fn open_session(req: &Json, conn_id: u64, shared: &Arc<Shared>) -> Result<Json, 
 }
 
 /// Region and launch operations against one locked session.
-fn session_op(req: &Json, ty: &str, session: &mut Session) -> Result<Json, SrvError> {
+fn session_op(
+    req: &Json,
+    ty: &str,
+    session: &mut Session,
+    shared: &Arc<Shared>,
+    deadline: Deadline,
+) -> Result<Json, SrvError> {
     let cc = &mut session.cc;
     match ty {
         "malloc" => {
@@ -691,29 +772,173 @@ fn session_op(req: &Json, ty: &str, session: &mut Session) -> Result<Json, SrvEr
             Ok(Json::obj(vec![("type", Json::str("ok"))]))
         }
         "parallel_for" | "parallel_reduce" => {
-            let class = req
-                .get("class")
-                .and_then(Json::as_str)
-                .ok_or((codes::BAD_REQUEST, "missing string field `class`".to_string()))?;
-            let body = field_u64(req, "body")?;
-            let n = u32::try_from(field_u64(req, "n")?)
-                .map_err(|_| (codes::BAD_REQUEST, "`n` exceeds u32".to_string()))?;
-            let target = match req.get("target").and_then(Json::as_str) {
-                None => session.default_target,
-                Some(s) => Target::parse(s).ok_or((
-                    codes::BAD_REQUEST,
-                    format!("bad target `{s}` (expected cpu|gpu|auto|native|hybrid[:f])"),
-                ))?,
-            };
+            let launch = parse_launch(req, session.default_target)?;
+            check_launch_deadline(shared, deadline)?;
+            let _inflight = InflightGuard::enter(shared);
+            let cc = &mut session.cc;
             let report = if ty == "parallel_for" {
-                cc.parallel_for_hetero(class, CpuAddr(body), n, target)
+                cc.parallel_for_hetero(&launch.class, launch.body, launch.n, launch.target)
             } else {
-                cc.parallel_reduce_hetero(class, CpuAddr(body), n, target)
+                cc.parallel_reduce_hetero(&launch.class, launch.body, launch.n, launch.target)
             }
             .map_err(runtime_error)?;
             Ok(Json::obj(vec![("type", Json::str("report")), ("report", report_json(&report))]))
         }
+        "parallel_batch" => {
+            let entries = req
+                .get("launches")
+                .and_then(Json::as_arr)
+                .ok_or((codes::BAD_REQUEST, "missing array field `launches`".to_string()))?;
+            if entries.is_empty() || entries.len() > MAX_BATCH {
+                return Err((
+                    codes::BAD_REQUEST,
+                    format!("`launches` must hold 1..={MAX_BATCH} entries"),
+                )
+                    .into());
+            }
+            // Validate every entry before submitting any: a malformed
+            // trailing entry must not strand earlier launches in the graph.
+            let launches = entries
+                .iter()
+                .map(|e| parse_launch(e, session.default_target))
+                .collect::<Result<Vec<_>, _>>()?;
+            check_launch_deadline(shared, deadline)?;
+            let _inflight = InflightGuard::enter(shared);
+            let cc = &mut session.cc;
+            let before = cc.graph_stats();
+            // Submit everything first — the launch graph sees the whole
+            // batch and waves provably-independent launches together — then
+            // redeem the ids in submission order. A failed submit becomes
+            // that entry's error; later entries still run (the same
+            // caller-continues semantics a serial client loop would have).
+            let submitted: Vec<Result<concord_runtime::LaunchId, RuntimeError>> = launches
+                .iter()
+                .map(|l| {
+                    if l.reduce {
+                        cc.submit_reduce(&l.class, l.body, l.n, l.target)
+                    } else {
+                        cc.submit_for(&l.class, l.body, l.n, l.target)
+                    }
+                })
+                .collect();
+            let reports: Vec<Json> = submitted
+                .into_iter()
+                .map(|sub| match sub.and_then(|id| cc.complete(id)) {
+                    Ok(report) => Json::obj(vec![("report", report_json(&report))]),
+                    Err(e) => {
+                        let err = runtime_error(e);
+                        let mut fields = vec![
+                            ("code".to_string(), Json::str(err.code)),
+                            ("message".to_string(), Json::str(&err.message)),
+                        ];
+                        if let Some(d) = err.diagnostics {
+                            fields.push(("diagnostics".to_string(), d));
+                        }
+                        Json::obj(vec![("error", Json::Obj(fields))])
+                    }
+                })
+                .collect();
+            let delta = {
+                let after = cc.graph_stats();
+                shared
+                    .overlapped
+                    .fetch_add(after.overlapped - before.overlapped, Ordering::Relaxed);
+                shared
+                    .conflict_stalls
+                    .fetch_add(after.conflict_stalls - before.conflict_stalls, Ordering::Relaxed);
+                after
+            };
+            Ok(Json::obj(vec![
+                ("type", Json::str("batch_report")),
+                ("reports", Json::Arr(reports)),
+                ("overlapped", (delta.overlapped - before.overlapped).into()),
+                ("conflict_stalls", (delta.conflict_stalls - before.conflict_stalls).into()),
+                ("coalesced", (delta.coalesced - before.coalesced).into()),
+                ("fences_elided", (delta.fences_elided - before.fences_elided).into()),
+            ]))
+        }
         _ => unreachable!("dispatch covers every admitted type"),
+    }
+}
+
+/// One parsed launch descriptor (a `parallel_for`/`parallel_reduce`
+/// request body, or one element of a `parallel_batch`'s `launches`).
+struct ParsedLaunch {
+    class: String,
+    body: CpuAddr,
+    n: u32,
+    target: Target,
+    reduce: bool,
+}
+
+fn parse_launch(v: &Json, default_target: Target) -> Result<ParsedLaunch, SrvError> {
+    let class = v
+        .get("class")
+        .and_then(Json::as_str)
+        .ok_or((codes::BAD_REQUEST, "missing string field `class`".to_string()))?
+        .to_string();
+    let body = CpuAddr(field_u64(v, "body")?);
+    let n = u32::try_from(field_u64(v, "n")?)
+        .map_err(|_| (codes::BAD_REQUEST, "`n` exceeds u32".to_string()))?;
+    let target = match v.get("target").and_then(Json::as_str) {
+        None => default_target,
+        Some(s) => Target::parse(s).ok_or((
+            codes::BAD_REQUEST,
+            format!("bad target `{s}` (expected cpu|gpu|auto|native|hybrid[:f])"),
+        ))?,
+    };
+    let reduce = v.get("reduce").and_then(Json::as_bool).unwrap_or(false);
+    Ok(ParsedLaunch { class, body, n, target, reduce })
+}
+
+/// The pre-launch deadline re-check (satellite of the launch graph): the
+/// session mutex is a second queue after admission, and a launch whose
+/// deadline lapsed while another request held the session must answer
+/// `deadline_exceeded` (with `queued_ms` detail) rather than run late.
+fn check_launch_deadline(shared: &Arc<Shared>, deadline: Deadline) -> Result<(), SrvError> {
+    if !deadline.exceeded() {
+        return Ok(());
+    }
+    shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+    shared.tracer.instant(
+        Track::Server,
+        "deadline_exceeded",
+        vec![("where", ArgValue::Str("pre_launch".to_string()))],
+    );
+    let queued_ms = deadline.queued_ms();
+    Err(SrvError {
+        code: codes::DEADLINE_EXCEEDED,
+        message: format!(
+            "deadline passed before the launch could start ({queued_ms} ms from admission \
+             to launch: admission queue plus session-lock wait)"
+        ),
+        diagnostics: Some(Json::obj(vec![("queued_ms", queued_ms.into())])),
+    })
+}
+
+/// RAII bracket around launch execution: tracks process-wide in-flight
+/// launches and counts an overlap event when a launch begins while another
+/// (necessarily from a different session — the session mutex serializes
+/// within one) is already running.
+struct InflightGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn enter(shared: &'a Arc<Shared>) -> InflightGuard<'a> {
+        let prev = shared.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev > 0 {
+            shared.overlapped.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.tracer.counter(Track::Server, "launches_inflight", (prev + 1) as f64);
+        InflightGuard { shared }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let now = self.shared.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.shared.tracer.counter(Track::Server, "launches_inflight", now as f64);
     }
 }
 
@@ -750,6 +975,9 @@ pub fn stats_json(s: &ServerStats) -> Json {
         ("rejected", s.rejected.into()),
         ("deadline_missed", s.deadline_missed.into()),
         ("connections", s.connections.into()),
+        ("inflight", s.inflight.into()),
+        ("overlapped", s.overlapped.into()),
+        ("conflict_stalls", s.conflict_stalls.into()),
     ])
 }
 
@@ -767,6 +995,12 @@ fn runtime_error(e: RuntimeError) -> SrvError {
         RuntimeError::NoSuchKernel(_) => (codes::NO_SUCH_KERNEL, None),
         RuntimeError::NoJoin(_) => (codes::NO_JOIN, None),
         RuntimeError::NativeUnsupported(_) => (codes::NATIVE_UNSUPPORTED, None),
+        // Server-side launch-graph bookkeeping bugs, not client mistakes:
+        // the ids the server completes are the ones it just submitted, and
+        // the server never replays journals.
+        RuntimeError::UnknownLaunch(_) | RuntimeError::ReplayDiverged(_) => {
+            (codes::BAD_REQUEST, None)
+        }
         // The analysis report is stable JSON; re-parse it into the wire
         // representation so clients get structured findings, not prose.
         RuntimeError::AnalysisDenied { report, .. } => {

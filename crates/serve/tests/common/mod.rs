@@ -17,6 +17,7 @@ pub const DOUBLE: &str = r#"
 "#;
 
 /// Reduction kernel shared by the other two concurrent clients.
+#[allow(dead_code)] // each test target compiles this module independently
 pub const SUM: &str = r#"
     class Sum {
     public:

@@ -186,6 +186,18 @@ impl SharedAllocator {
     pub fn free_bytes(&self) -> u64 {
         self.free.iter().map(|b| b.size).sum()
     }
+
+    /// The live allocation containing `addr`, as a `[start, end)` range of
+    /// CPU-space addresses. `None` when `addr` does not point into any live
+    /// block — including pointers into freed blocks and out-of-heap
+    /// addresses. Access-summary footprints resolve through this: a kernel
+    /// operand pointer widens to the allocation that backs it.
+    pub fn block_range(&self, addr: CpuAddr) -> Option<(u64, u64)> {
+        let off = addr.0.checked_sub(CPU_BASE)?;
+        let idx = self.live.partition_point(|&(o, _)| o <= off).checked_sub(1)?;
+        let (start, size) = self.live[idx];
+        (off < start + size).then_some((CPU_BASE + start, CPU_BASE + start + size))
+    }
 }
 
 fn round_up(v: u64, align: u64) -> u64 {
@@ -279,6 +291,22 @@ mod tests {
         let mut a = SharedAllocator::new(&r);
         let x = a.malloc(8).unwrap();
         assert!(x.0 >= CPU_BASE + 112, "allocation must sit above reserved area (rounded)");
+    }
+
+    #[test]
+    fn block_range_finds_containing_allocation() {
+        let (_, mut a) = setup(4096);
+        let x = a.malloc(24).unwrap(); // rounds to 32
+        let y = a.malloc(64).unwrap();
+        assert_eq!(a.block_range(x), Some((x.0, x.0 + 32)));
+        assert_eq!(a.block_range(CpuAddr(x.0 + 31)), Some((x.0, x.0 + 32)));
+        assert_eq!(a.block_range(CpuAddr(y.0 + 63)), Some((y.0, y.0 + 64)));
+        // One past the end of x lands in y only if adjacent; either way it
+        // must not resolve to x.
+        assert_ne!(a.block_range(CpuAddr(x.0 + 32)), Some((x.0, x.0 + 32)));
+        a.free(x).unwrap();
+        assert_eq!(a.block_range(x), None, "freed block no longer resolves");
+        assert_eq!(a.block_range(CpuAddr(0)), None, "below-region address");
     }
 
     #[test]

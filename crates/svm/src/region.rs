@@ -90,6 +90,10 @@ pub struct Consistency {
     pub fences_to_gpu: u64,
     /// Number of GPU→CPU fences performed (offload ends).
     pub fences_to_cpu: u64,
+    /// Fence *pairs* the launch graph proved redundant and skipped:
+    /// consecutive GPU launches with no intervening conflicting host access
+    /// share one pair instead of fencing per launch.
+    pub fences_elided: u64,
     /// Whether the region is pinned for an in-flight GPU kernel.
     pub pinned: bool,
 }
@@ -103,6 +107,11 @@ pub struct SharedRegion {
     /// §3.2); the allocator hands out memory above this watermark.
     reserved: u64,
     tracer: Tracer,
+    /// When set, every successful [`SharedRegion::write_bytes`] appends a
+    /// `(cpu_addr, bytes)` record — the session-journal hook the runtime
+    /// uses to capture host writes for record/replay. Suspended (taken out)
+    /// while a launch executes so device-side writes are not journaled.
+    journal: Option<Vec<(u64, Vec<u8>)>>,
 }
 
 impl SharedRegion {
@@ -119,6 +128,7 @@ impl SharedRegion {
             consistency: Consistency::default(),
             reserved,
             tracer: Tracer::disabled(),
+            journal: None,
         }
     }
 
@@ -212,6 +222,46 @@ impl SharedRegion {
         }
     }
 
+    /// Count `pairs` fence pairs the launch graph proved redundant and
+    /// skipped (see [`Consistency::fences_elided`]).
+    pub fn note_fences_elided(&mut self, pairs: u64) {
+        self.consistency.fences_elided += pairs;
+        if pairs > 0 && self.tracer.enabled() {
+            self.tracer.instant(
+                Track::Svm,
+                "fences_elided",
+                vec![
+                    ("pairs", ArgValue::UInt(pairs)),
+                    ("total", ArgValue::UInt(self.consistency.fences_elided)),
+                ],
+            );
+        }
+    }
+
+    /// Start (`true`) or stop (`false`) journaling host writes. Starting
+    /// discards any previously journaled writes.
+    pub fn journal_writes(&mut self, on: bool) {
+        self.journal = on.then(Vec::new);
+    }
+
+    /// Take the journal out entirely (records *and* the journaling state) so
+    /// a launch can execute without its device-side writes being recorded.
+    /// Pass the return value to [`SharedRegion::restore_journal`] afterwards.
+    pub fn suspend_journal(&mut self) -> Option<Vec<(u64, Vec<u8>)>> {
+        self.journal.take()
+    }
+
+    /// Re-install a journal taken by [`SharedRegion::suspend_journal`].
+    pub fn restore_journal(&mut self, journal: Option<Vec<(u64, Vec<u8>)>>) {
+        self.journal = journal;
+    }
+
+    /// Drain the journaled `(cpu_addr, bytes)` write records accumulated so
+    /// far; journaling stays active. Empty when journaling is off.
+    pub fn take_journaled_writes(&mut self) -> Vec<(u64, Vec<u8>)> {
+        self.journal.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
     /// Resolve an address in a space to a byte offset in the backing store.
     ///
     /// # Errors
@@ -252,6 +302,9 @@ impl SharedRegion {
     pub fn write_bytes(&mut self, addr: u64, space: AddrSpace, bytes: &[u8]) -> Result<(), Trap> {
         let off = self.resolve(addr, space, bytes.len() as u64)? as usize;
         self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        if let Some(journal) = &mut self.journal {
+            journal.push((CPU_BASE + off as u64, bytes.to_vec()));
+        }
         Ok(())
     }
 
@@ -557,5 +610,36 @@ mod tests {
     #[should_panic(expected = "reserved exceeds capacity")]
     fn reserved_bounds_checked() {
         let _ = SharedRegion::new(16, 32);
+    }
+
+    #[test]
+    fn journal_records_host_writes_and_suspends() {
+        let mut r = SharedRegion::new(4096, 0);
+        r.write_i32(CpuAddr(CPU_BASE + 4), 1).unwrap(); // before: not recorded
+        r.journal_writes(true);
+        r.write_i32(CpuAddr(CPU_BASE + 8), 7).unwrap();
+        // GPU-space writes journal under their CPU address.
+        r.write_value(GPU_BASE + 16, AddrSpace::Gpu, Value::I(9), Type::I32).unwrap();
+        let saved = r.suspend_journal();
+        r.write_i32(CpuAddr(CPU_BASE + 24), 3).unwrap(); // suspended: not recorded
+        r.restore_journal(saved);
+        r.write_i32(CpuAddr(CPU_BASE + 32), 5).unwrap();
+        // Failed writes are not recorded.
+        assert!(r.write_i32(CpuAddr(0), 1).is_err());
+        let writes = r.take_journaled_writes();
+        let addrs: Vec<u64> = writes.iter().map(|(a, _)| *a).collect();
+        assert_eq!(addrs, vec![CPU_BASE + 8, CPU_BASE + 16, CPU_BASE + 32]);
+        assert!(r.take_journaled_writes().is_empty(), "drained");
+        r.journal_writes(false);
+        r.write_i32(CpuAddr(CPU_BASE + 8), 2).unwrap();
+        assert!(r.take_journaled_writes().is_empty());
+    }
+
+    #[test]
+    fn fence_elision_is_counted() {
+        let mut r = SharedRegion::new(128, 0);
+        r.note_fences_elided(2);
+        r.note_fences_elided(0);
+        assert_eq!(r.consistency().fences_elided, 2);
     }
 }
