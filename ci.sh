@@ -30,11 +30,58 @@ cat /tmp/concord_ci_t8.log
 
 echo "==> serve loopback battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
 # The offload service must behave identically at any host fan-out, and a
-# wedged server must fail CI rather than hang it.
+# wedged server must fail CI rather than hang it. The battery runs against
+# the epoll event-loop front end; soak covers slow-loris/half-open peers,
+# tenant quotas, and drain-under-load accounting.
 timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-serve --test loopback
 timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-serve --test loopback
 timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-serve --test batch
 timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-serve --test batch
+timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-serve --test soak
+timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-serve --test soak
+
+echo "==> serve fuzz battery (deterministic seeds, 1275 cases) and robustness suite"
+# The proptest shim seeds each property from its test name, so this is a
+# fixed, reproducible corpus: frame-codec round-trips, random bytes,
+# mutated frames, and pathological packetization against a live server.
+timeout 600 cargo test -q -p concord-serve --test fuzz
+timeout 600 cargo test -q -p concord-serve --test robustness
+
+echo "==> persistent artifact cache: in-process restart round-trip"
+timeout 600 cargo test -q -p concord-serve --test persist
+timeout 600 cargo test -q -p concord-runtime --test disk_cache
+
+echo "==> persistent artifact cache: cross-process daemon restart round-trip"
+# Two daemon processes over one cache directory: the first compiles and
+# spills, the restarted one must serve both kernels from disk with zero
+# recompiles (asserted from its drain summary).
+CACHE_DIR=$(mktemp -d /tmp/concord_ci_cache.XXXXXX)
+for round in 1 2; do
+    : > /tmp/concord_ci_serve.log
+    ./target/release/serve --addr 127.0.0.1:0 --workers 2 --cache-dir "$CACHE_DIR" \
+        > /tmp/concord_ci_serve.log &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' /tmp/concord_ci_serve.log && break
+        sleep 0.1
+    done
+    SERVE_ADDR=$(sed -n 's/^concord-serve listening on \([0-9.:]*\) .*/\1/p' /tmp/concord_ci_serve.log)
+    test -n "$SERVE_ADDR" || {
+        echo "!! serve daemon (round $round) did not come up" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
+    timeout 600 cargo run --release --quiet -p concord-bench --bin bench_client -- \
+        --addr "$SERVE_ADDR" --clients 4 --iters 2 --json /tmp/concord_ci_persist.json
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+done
+grep -q 'disk: 2 hits, 0 compiles' /tmp/concord_ci_serve.log || {
+    echo "!! restarted daemon did not serve both kernels from disk with zero recompiles" >&2
+    cat /tmp/concord_ci_serve.log
+    exit 1
+}
+rm -rf "$CACHE_DIR"
 
 echo "==> native differential battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
 # The native JIT backend must agree byte-for-byte with the CPU
@@ -50,16 +97,26 @@ echo "==> launch-graph differential battery (CONCORD_HOST_THREADS=1 and =8, unde
 timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-workloads --test graph_diff
 timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-workloads --test graph_diff
 
-echo "==> bench_client loopback run (writes BENCH_serve.json)"
-# The served-latency harness itself must stay runnable: a short loopback
-# burst, summarized to BENCH_serve.json (schema in EXPERIMENTS.md).
-timeout 600 cargo run --release --quiet -p concord-bench --bin bench_client -- \
+echo "==> bench_client loopback runs (CONCORD_HOST_THREADS=1 and =8, write BENCH_serve*.json)"
+# The served-latency harness itself must stay runnable at both fan-outs.
+# Host threads are pinned so the summaries land on deterministic
+# bench_gate config keys (schema in EXPERIMENTS.md); each summary embeds
+# the server's full metrics snapshot under `server`.
+timeout 600 env CONCORD_HOST_THREADS=1 cargo run --release --quiet -p concord-bench --bin bench_client -- \
     --clients 4 --iters 8 --json BENCH_serve.json
-test -s BENCH_serve.json || { echo "!! bench_client did not write BENCH_serve.json" >&2; exit 1; }
-grep -q 'concord-bench_client/v1' BENCH_serve.json || {
-    echo "!! BENCH_serve.json is missing its schema tag" >&2
-    exit 1
-}
+timeout 600 env CONCORD_HOST_THREADS=8 cargo run --release --quiet -p concord-bench --bin bench_client -- \
+    --clients 4 --iters 8 --json BENCH_serve_ht8.json
+for summary in BENCH_serve.json BENCH_serve_ht8.json; do
+    test -s "$summary" || { echo "!! bench_client did not write $summary" >&2; exit 1; }
+    grep -q 'concord-bench_client/v1' "$summary" || {
+        echo "!! $summary is missing its schema tag" >&2
+        exit 1
+    }
+    grep -q '"server":' "$summary" || {
+        echo "!! $summary is missing the server metrics snapshot" >&2
+        exit 1
+    }
+done
 
 echo "==> bench_client mixed-session runs (CONCORD_HOST_THREADS=1 and =8)"
 # The batched launch pair must beat two serialized round trips: each run
@@ -72,9 +129,10 @@ timeout 600 env CONCORD_HOST_THREADS=8 cargo run --release --quiet -p concord-be
 
 echo "==> bench_gate: p99 latency regression gate (history in BENCH_history.jsonl)"
 # Each summary is judged against the best prior p99 of the same
-# configuration (>25% regression fails), then appended to the history so
-# future runs are judged against it too.
-for summary in BENCH_serve.json BENCH_mixed_ht1.json BENCH_mixed_ht8.json; do
+# configuration (>25% regression fails; a configuration with *no*
+# baseline fails loudly — seed new ones explicitly with --seed-baseline),
+# then appended to the history so future runs are judged against it too.
+for summary in BENCH_serve.json BENCH_serve_ht8.json BENCH_mixed_ht1.json BENCH_mixed_ht8.json; do
     cargo run --release --quiet -p concord-bench --bin bench_gate -- \
         --current "$summary" --history BENCH_history.jsonl
     cat "$summary" >> BENCH_history.jsonl

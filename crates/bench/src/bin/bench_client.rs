@@ -250,12 +250,14 @@ fn main() {
         vec![vec![total.to_string(), format!("{throughput:.1} req/s"), ms(p50), ms(p90), ms(p99)]];
     print!("{}", render_table(&["requests", "throughput", "p50", "p90", "p99"], &rows));
 
-    // The launch-graph counters the server accumulated over this run —
-    // overlap waves and conflict stalls — fetched over the wire so an
-    // external daemon reports them too.
-    let graph_counters = Client::connect(addr)
-        .ok()
-        .and_then(|mut c| c.stats().ok())
+    // The server's full metrics snapshot — connections, queue depth,
+    // cache hit/miss/disk counters, per-tenant admission books — fetched
+    // over the wire so an external daemon reports them too. The overlap
+    // counters keep their top-level summary fields; the whole snapshot is
+    // recorded under `server`.
+    let server_snapshot = Client::connect(addr).ok().and_then(|mut c| c.stats().ok());
+    let graph_counters = server_snapshot
+        .as_ref()
         .map(|s| {
             let u = |name: &str| s.get(name).and_then(Json::as_u64).unwrap_or(0);
             (u("overlapped"), u("conflict_stalls"))
@@ -305,6 +307,12 @@ fn main() {
                 ),
             ]),
         ));
+    }
+    if let Some(Json::Obj(snapshot)) = server_snapshot {
+        // Everything the stats frame reported except its framing fields.
+        let metrics: Vec<(String, Json)> =
+            snapshot.into_iter().filter(|(k, _)| k != "type" && k != "id").collect();
+        fields.push(("server", Json::Obj(metrics)));
     }
     let doc = Json::obj(fields);
     if let Err(e) = std::fs::write(json_path, format!("{doc}\n")) {

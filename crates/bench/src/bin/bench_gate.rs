@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_gate --current BENCH_serve.json [--history BENCH_history.jsonl]
-//!            [--threshold 1.25] [--floor-ms 0.5]
+//!            [--threshold 1.25] [--floor-ms 0.5] [--seed-baseline]
 //! ```
 //!
 //! Reads the current run's JSON summary and a history file of one summary
@@ -15,8 +15,14 @@
 //! baseline p99 by more than `--threshold` (default 1.25, i.e. a >25%
 //! regression) **and** sits above the absolute floor (default 0.5 ms —
 //! sub-floor latencies are noise-dominated on a loopback socket, and a
-//! 25% swing there is not a signal). No matching history passes trivially:
-//! the first run of a new configuration *establishes* the baseline.
+//! 25% swing there is not a signal).
+//!
+//! A configuration with **no matching baseline is an error**, not a free
+//! pass: an ungated run in CI means the gate silently stopped gating
+//! (typically because a config-key field changed). The first run of a
+//! genuinely new configuration is seeded explicitly with
+//! `--seed-baseline`, which passes loudly so the caller's history append
+//! establishes the baseline.
 
 use concord_serve::json::{parse, Json};
 use std::process::ExitCode;
@@ -43,10 +49,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: bench_gate --current FILE [--history FILE] [--threshold X] [--floor-ms X]"
+            "usage: bench_gate --current FILE [--history FILE] [--threshold X] [--floor-ms X] \
+             [--seed-baseline]"
         );
         return ExitCode::SUCCESS;
     }
+    let seed_baseline = args.iter().any(|a| a == "--seed-baseline");
     let Some(current_path) = value_of(&args, "--current") else {
         eprintln!("bench_gate: missing required flag --current FILE");
         return ExitCode::from(2);
@@ -101,8 +109,15 @@ fn main() -> ExitCode {
     let Some(best) =
         baselines.iter().copied().fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.min(v))))
     else {
-        println!("bench_gate: no baseline for [{key}] in {history_path}; p99 {p99:.3} ms recorded");
-        return ExitCode::SUCCESS;
+        if seed_baseline {
+            println!("bench_gate: SEEDING baseline for [{key}] in {history_path}: p99 {p99:.3} ms");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "bench_gate: FAIL — no baseline for [{key}] in {history_path}; an ungated run is a \
+             gate hole, not a pass. Rerun with --seed-baseline to establish this configuration."
+        );
+        return ExitCode::FAILURE;
     };
 
     let limit = best * threshold;

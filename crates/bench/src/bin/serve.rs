@@ -2,8 +2,15 @@
 //! many TCP clients over one process-wide JIT-artifact cache.
 //!
 //! ```text
-//! serve [--addr HOST:PORT] [--workers N] [--queue N] [--trace]
+//! serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-dir DIR]
+//!       [--tenant-max-inflight N] [--tenant-queue-share PCT] [--trace]
 //! ```
+//!
+//! `--cache-dir` makes the JIT artifact cache persistent: compiled
+//! entries are spilled to `DIR` (checksummed) and a restarted daemon over
+//! the same directory serves them without recompiling. The tenant flags
+//! turn on per-tenant admission quotas (`quota_exceeded` refusals once a
+//! tenant's pending requests hit the cap).
 //!
 //! Runs until SIGINT/SIGTERM (or a client's `shutdown` request), then
 //! drains every queued request before exiting. With `--trace`, the
@@ -26,7 +33,10 @@ fn usage_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if flag_present(&args, "--help") || flag_present(&args, "-h") {
-        println!("usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--trace]");
+        println!(
+            "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-dir DIR] \
+             [--tenant-max-inflight N] [--tenant-queue-share PCT] [--trace]"
+        );
         return;
     }
     let mut config = ServeConfig::default();
@@ -38,6 +48,15 @@ fn main() {
     }
     if let Some(queue) = usage_value::<usize>(&args, "--queue") {
         config.queue_depth = queue.max(1);
+    }
+    if let Some(dir) = or_usage(value_of(&args, "--cache-dir")) {
+        config.cache_dir = Some(dir.to_string());
+    }
+    if let Some(cap) = usage_value::<usize>(&args, "--tenant-max-inflight") {
+        config.tenant_max_inflight = cap;
+    }
+    if let Some(share) = usage_value::<u8>(&args, "--tenant-queue-share") {
+        config.tenant_queue_share = share.min(100);
     }
     let tracing = flag_present(&args, "--trace");
     if tracing {
@@ -53,10 +72,14 @@ fn main() {
         }
     };
     println!(
-        "concord-serve listening on {} ({} workers, queue depth {})",
+        "concord-serve listening on {} ({} workers, queue depth {}{})",
         server.addr(),
         config.workers,
-        config.queue_depth
+        config.queue_depth,
+        match &config.cache_dir {
+            Some(dir) => format!(", cache dir {dir}"),
+            None => String::new(),
+        }
     );
 
     while !signal::triggered() && !server.shutdown_requested() {
@@ -71,17 +94,22 @@ fn main() {
     let summary = tracer.summary();
     println!(
         "served {} connections, {} sessions; {} admitted, {} completed, \
-         {} rejected, {} deadline-missed; artifact cache: {} entries, \
-         {} hits, {} misses",
+         {} rejected, {} quota-rejected, {} deadline-missed; artifact cache: {} entries, \
+         {} hits, {} misses; disk: {} hits, {} compiles, {} spills, {} corrupt-evicted",
         stats.connections,
         stats.sessions,
         stats.admitted,
         stats.completed,
         stats.rejected,
+        stats.quota_rejected,
         stats.deadline_missed,
         stats.cache_entries,
         stats.cache_hits,
         stats.cache_misses,
+        stats.disk_hits,
+        stats.compiles,
+        stats.disk_writes,
+        stats.corrupt_evicted,
     );
     if tracing {
         print!("{summary}");

@@ -1,0 +1,156 @@
+//! Binary serialization of GPU artifacts for the on-disk artifact cache,
+//! plus the stable filename tag a [`GpuConfig`] contributes to a cache key.
+//!
+//! Format conventions come from [`concord_ir::codec`]; this module only adds
+//! the compiler-side wrappers.
+
+use crate::{GpuArtifact, GpuConfig, PipelineStats, Strategy};
+use concord_ir::codec::{ByteReader, ByteWriter, Codec, DecodeError};
+use concord_ir::Module;
+
+impl GpuConfig {
+    /// A short, filesystem-safe tag uniquely identifying this configuration.
+    /// Used as a cache-key component by the on-disk artifact store, so its
+    /// format is load-bearing: changing it orphans existing cache entries
+    /// (they are simply never matched again, not corrupted).
+    pub fn cache_tag(&self) -> String {
+        let strategy = match self.strategy {
+            Strategy::Lazy => "lazy",
+            Strategy::Eager => "eager",
+            Strategy::Hybrid => "hybrid",
+        };
+        let l3 = if self.l3opt { "l3" } else { "nol3" };
+        format!("{strategy}-{l3}-w{}", self.gpu_cores)
+    }
+}
+
+impl Codec for Strategy {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u8(match self {
+            Strategy::Lazy => 0,
+            Strategy::Eager => 1,
+            Strategy::Hybrid => 2,
+        });
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.u8()? {
+            0 => Strategy::Lazy,
+            1 => Strategy::Eager,
+            2 => Strategy::Hybrid,
+            t => return Err(r.err(format!("invalid Strategy tag {t}"))),
+        })
+    }
+}
+
+impl Codec for GpuConfig {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.strategy.encode(w);
+        w.bool(self.l3opt);
+        w.u32(self.gpu_cores);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(GpuConfig { strategy: Strategy::decode(r)?, l3opt: r.bool()?, gpu_cores: r.u32()? })
+    }
+}
+
+impl Codec for PipelineStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        for v in [
+            self.promoted_allocas,
+            self.dce_removed,
+            self.cse_merged,
+            self.folded,
+            self.translations_inserted,
+            self.devirtualized,
+            self.l3_loops,
+            self.inlined,
+            self.field_loads_promoted,
+        ] {
+            w.u64(v as u64);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(PipelineStats {
+            promoted_allocas: r.u64()? as usize,
+            dce_removed: r.u64()? as usize,
+            cse_merged: r.u64()? as usize,
+            folded: r.u64()? as usize,
+            translations_inserted: r.u64()? as usize,
+            devirtualized: r.u64()? as usize,
+            l3_loops: r.u64()? as usize,
+            inlined: r.u64()? as usize,
+            field_loads_promoted: r.u64()? as usize,
+        })
+    }
+}
+
+impl Codec for GpuArtifact {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.module.encode(w);
+        self.stats.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(GpuArtifact { module: Module::decode(r)?, stats: PipelineStats::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_ir::codec::{decode_exact, encode_to_vec};
+
+    #[test]
+    fn cache_tags_are_distinct_per_config() {
+        let tags: Vec<String> = [
+            GpuConfig::baseline(16),
+            GpuConfig::ptropt(16),
+            GpuConfig::l3opt(16),
+            GpuConfig::all(16),
+            GpuConfig::all(32),
+        ]
+        .iter()
+        .map(GpuConfig::cache_tag)
+        .collect();
+        for (i, a) in tags.iter().enumerate() {
+            assert!(a.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'), "unsafe tag {a}");
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(GpuConfig::all(16).cache_tag(), "hybrid-l3-w16");
+    }
+
+    #[test]
+    fn gpu_artifact_roundtrip() {
+        let src = r#"
+            class Doubler {
+            public:
+                float* data;
+                void operator()(int i) { data[i] = data[i] * 2.0f; }
+            };
+        "#;
+        let prog = concord_frontend::compile(src).expect("compiles");
+        let artifact = crate::lower_for_gpu(&prog.module, GpuConfig::all(16));
+        let bytes = encode_to_vec(&artifact);
+        let back: GpuArtifact = decode_exact(&bytes).expect("decodes");
+        assert_eq!(back.module.functions.len(), artifact.module.functions.len());
+        for (a, b) in artifact.module.functions.iter().zip(back.module.functions.iter()) {
+            assert_eq!(a.insts, b.insts);
+            assert_eq!(a.blocks, b.blocks);
+        }
+        assert_eq!(back.stats.translations_inserted, artifact.stats.translations_inserted);
+        assert_eq!(back.stats.devirtualized, artifact.stats.devirtualized);
+        // The emitted OpenCL text — what the GPU simulator consumes — is
+        // byte-identical, which is the property the disk cache relies on.
+        assert_eq!(back.opencl_source(), artifact.opencl_source());
+    }
+
+    #[test]
+    fn config_roundtrip_and_bad_tags() {
+        for cfg in [GpuConfig::baseline(4), GpuConfig::ptropt(8), GpuConfig::all(64)] {
+            let bytes = encode_to_vec(&cfg);
+            assert_eq!(decode_exact::<GpuConfig>(&bytes).unwrap(), cfg);
+        }
+        assert!(decode_exact::<Strategy>(&[9]).is_err());
+    }
+}

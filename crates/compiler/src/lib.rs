@@ -35,6 +35,7 @@
 //! # Ok::<(), concord_frontend::CompileError>(())
 //! ```
 
+pub mod codec;
 pub mod codegen;
 pub mod passes {
     //! Individual IR-to-IR passes.

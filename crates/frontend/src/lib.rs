@@ -30,6 +30,7 @@
 //! ```
 
 pub mod ast;
+pub mod codec;
 pub mod diag;
 pub mod lexer;
 pub mod lower;

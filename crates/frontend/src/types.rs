@@ -175,6 +175,13 @@ impl TypeEnv {
         Self::default()
     }
 
+    /// Rebuild an environment from decoded struct infos, reconstructing the
+    /// name index (used when deserializing a cached artifact).
+    pub(crate) fn from_structs(structs: Vec<StructInfo>) -> Self {
+        let by_name = structs.iter().enumerate().map(|(i, s)| (s.name.clone(), i)).collect();
+        TypeEnv { structs, by_name }
+    }
+
     /// Look up a struct by name.
     pub fn lookup(&self, name: &str) -> Option<usize> {
         self.by_name.get(name).copied()

@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod codec;
 pub mod eval;
 pub mod function;
 pub mod inst;

@@ -19,10 +19,19 @@
 
 use concord_compiler::{GpuArtifact, GpuConfig};
 use concord_frontend::LoweredProgram;
+use concord_ir::codec::{fnv1a_64, ByteReader, ByteWriter, Codec};
 use concord_ir::FuncId;
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Magic prefix of an on-disk artifact file.
+const DISK_MAGIC: &[u8; 8] = b"CONCACHE";
+
+/// On-disk format version. Bumped whenever any codec layout changes; files
+/// carrying another version are evicted and recompiled, never misread.
+const DISK_FORMAT_VERSION: u32 = 1;
 
 /// The per-kernel "already JIT-compiled" set shared by every session that
 /// hit the same cache entry. The GPU backend charges `jit_ms` only on the
@@ -70,16 +79,48 @@ pub struct ArtifactCache {
     entries: Mutex<HashMap<(u64, GpuConfig), Arc<CachedArtifact>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Spill directory; `None` for a purely in-memory cache.
+    disk: Option<PathBuf>,
+    disk_hits: AtomicU64,
+    compiles: AtomicU64,
+    corrupt_evicted: AtomicU64,
+    disk_writes: AtomicU64,
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty in-memory cache.
     #[must_use]
     pub fn new() -> Self {
         ArtifactCache::default()
     }
 
-    /// Compilations served from the cache so far.
+    /// A cache that additionally spills compiled artifacts to `dir` and
+    /// satisfies in-memory misses from it, so restarted or sibling
+    /// processes reuse compiles. The directory is created if absent.
+    ///
+    /// Entries are one file per (source hash, [`GpuConfig`]) key, written
+    /// atomically (temp file + rename) and validated on load by magic,
+    /// format version, key echo, and an FNV-1a checksum over the payload —
+    /// a corrupt or stale file is evicted and recompiled transparently.
+    /// Native machine code is *not* persisted (it is re-JITed per process);
+    /// a disk hit therefore skips frontend + GPU lowering but still pays
+    /// first-launch JIT cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create `dir`.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ArtifactCache { disk: Some(dir), ..ArtifactCache::default() })
+    }
+
+    /// The spill directory, when disk persistence is enabled.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Compilations served from the in-memory map so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -87,6 +128,29 @@ impl ArtifactCache {
     /// Compilations that had to run because the key was absent.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// In-memory misses satisfied by a valid on-disk entry (no recompile).
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Full frontend + GPU-lowering compiles actually executed. Always
+    /// `misses() - disk_hits()`; "zero recompiles after restart" means this
+    /// stays 0 while `disk_hits` grows.
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// On-disk entries rejected by validation (bad magic, wrong version,
+    /// key mismatch, checksum failure, undecodable payload) and deleted.
+    pub fn corrupt_evicted(&self) -> u64 {
+        self.corrupt_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Artifact files successfully spilled to disk.
+    pub fn disk_writes(&self) -> u64 {
+        self.disk_writes.load(Ordering::Relaxed)
     }
 
     /// Distinct (source, config) entries currently cached.
@@ -117,6 +181,12 @@ impl ArtifactCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(hit), true));
         }
+        if let Some(entry) = self.load_from_disk(&key) {
+            entries.insert(key, Arc::clone(&entry));
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((entry, false));
+        }
         let (program, gpu_artifact) = compile()?;
         let entry = Arc::new(CachedArtifact {
             program,
@@ -124,9 +194,98 @@ impl ArtifactCache {
             jitted: Arc::new(Mutex::new(HashSet::new())),
             native: Arc::new(Mutex::new(None)),
         });
+        // Spilled while the map lock is held, which serializes in-process
+        // writers; cross-process writers are isolated by per-pid temp names
+        // and the atomic rename.
+        self.store_to_disk(&key, &entry);
         entries.insert(key, Arc::clone(&entry));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
         Ok((entry, false))
+    }
+
+    /// Filename of the on-disk entry for `key` (stable across processes).
+    fn entry_path(dir: &Path, key: &(u64, GpuConfig)) -> PathBuf {
+        dir.join(format!("{:016x}-{}.cca", key.0, key.1.cache_tag()))
+    }
+
+    /// Try to satisfy `key` from disk. Validation failures evict the file
+    /// and count toward `corrupt_evicted`; a missing file is just a miss.
+    fn load_from_disk(&self, key: &(u64, GpuConfig)) -> Option<Arc<CachedArtifact>> {
+        let dir = self.disk.as_ref()?;
+        let path = Self::entry_path(dir, key);
+        let bytes = std::fs::read(&path).ok()?;
+        match Self::decode_entry(&bytes, key) {
+            Ok(entry) => Some(Arc::new(entry)),
+            Err(_) => {
+                let _ = std::fs::remove_file(&path);
+                self.corrupt_evicted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Validate and decode one artifact file.
+    fn decode_entry(bytes: &[u8], key: &(u64, GpuConfig)) -> Result<CachedArtifact, String> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.u64().map_err(|e| e.to_string())?;
+        if magic != u64::from_le_bytes(*DISK_MAGIC) {
+            return Err("bad magic".into());
+        }
+        let version = r.u32().map_err(|e| e.to_string())?;
+        if version != DISK_FORMAT_VERSION {
+            return Err(format!("format version {version} != {DISK_FORMAT_VERSION}"));
+        }
+        let hash = r.u64().map_err(|e| e.to_string())?;
+        let config = GpuConfig::decode(&mut r).map_err(|e| e.to_string())?;
+        if (hash, config) != *key {
+            return Err("key echo mismatch".into());
+        }
+        let checksum = r.u64().map_err(|e| e.to_string())?;
+        let payload = &bytes[r.offset()..];
+        if fnv1a_64(payload) != checksum {
+            return Err("checksum mismatch".into());
+        }
+        let program = LoweredProgram::decode(&mut r).map_err(|e| e.to_string())?;
+        let gpu_artifact = GpuArtifact::decode(&mut r).map_err(|e| e.to_string())?;
+        if !r.is_done() {
+            return Err("trailing bytes after payload".into());
+        }
+        Ok(CachedArtifact {
+            program,
+            gpu_artifact,
+            jitted: Arc::new(Mutex::new(HashSet::new())),
+            native: Arc::new(Mutex::new(None)),
+        })
+    }
+
+    /// Best-effort spill of a freshly compiled entry: failures leave the
+    /// cache purely in-memory for this key, they are never fatal.
+    fn store_to_disk(&self, key: &(u64, GpuConfig), entry: &CachedArtifact) {
+        let Some(dir) = self.disk.as_ref() else { return };
+        let mut payload = ByteWriter::new();
+        entry.program.encode(&mut payload);
+        entry.gpu_artifact.encode(&mut payload);
+        let payload = payload.into_bytes();
+
+        let mut w = ByteWriter::new();
+        w.raw(DISK_MAGIC);
+        w.u32(DISK_FORMAT_VERSION);
+        w.u64(key.0);
+        key.1.encode(&mut w);
+        w.u64(fnv1a_64(&payload));
+        w.raw(&payload);
+
+        let path = Self::entry_path(dir, key);
+        let tmp =
+            dir.join(format!("{:016x}-{}.tmp.{}", key.0, key.1.cache_tag(), std::process::id()));
+        let ok =
+            std::fs::write(&tmp, w.into_bytes()).is_ok() && std::fs::rename(&tmp, &path).is_ok();
+        if ok {
+            self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
     }
 }
 
@@ -136,6 +295,11 @@ impl std::fmt::Debug for ArtifactCache {
             .field("entries", &self.entries())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("disk", &self.disk)
+            .field("disk_hits", &self.disk_hits())
+            .field("compiles", &self.compiles())
+            .field("corrupt_evicted", &self.corrupt_evicted())
+            .field("disk_writes", &self.disk_writes())
             .finish()
     }
 }

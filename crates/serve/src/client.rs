@@ -87,6 +87,11 @@ pub struct SessionOptions {
     /// open even on hosts without the native backend; the first launch
     /// that uses it answers `native_unsupported`.
     pub target: Option<String>,
+    /// Admission-quota tenant for this session. Requests against the
+    /// session count toward this tenant's pending cap (when the server
+    /// runs with quotas on) and its counters in the `stats` response.
+    /// `None` joins the shared `"default"` bucket.
+    pub tenant: Option<String>,
 }
 
 /// A freshly opened session: its id plus whether the server's artifact
@@ -211,6 +216,9 @@ impl Client {
         }
         if let Some(target) = &opts.target {
             fields.push(("target", target.as_str().into()));
+        }
+        if let Some(tenant) = &opts.tenant {
+            fields.push(("tenant", tenant.as_str().into()));
         }
         let resp = self.call(Json::obj(fields))?;
         Ok(OpenedSession {

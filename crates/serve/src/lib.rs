@@ -12,9 +12,13 @@
 //!
 //! * [`protocol`] — length-prefixed JSON frames, error vocabulary, hex
 //!   payload encoding.
-//! * [`Server`] — TCP daemon: bounded admission queue with `overloaded`
-//!   backpressure, per-request deadlines, worker pool, `Track::Server`
-//!   trace events, graceful drain on shutdown.
+//! * [`poll`] — hand-rolled readiness polling (epoll on Linux, `poll(2)`
+//!   fallback) plus a pipe-based cross-thread waker.
+//! * [`Server`] — TCP daemon: one event-loop thread owning every socket,
+//!   bounded admission queue with `overloaded` backpressure, per-tenant
+//!   quotas (`quota_exceeded`), per-request deadlines, worker pool, an
+//!   optional persistent on-disk artifact cache, `Track::Server` trace
+//!   events, graceful drain on shutdown.
 //! * [`Client`] / [`SessionHandle`] — blocking client library used by the
 //!   bench binaries and tests.
 //! * [`signal`] — SIGINT/SIGTERM latching for the daemon binary.
@@ -43,6 +47,7 @@
 
 pub mod client;
 pub mod json;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod signal;

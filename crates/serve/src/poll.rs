@@ -1,0 +1,552 @@
+//! Readiness polling for the event-loop server front end.
+//!
+//! The workspace is std-only, so — in the same spirit as [`crate::signal`] —
+//! this module talks to the OS through hand-rolled `extern "C"` declarations
+//! instead of an event-loop crate. Two backends implement one [`Poller`]
+//! surface:
+//!
+//! * **epoll** (Linux, the default): `epoll_create1`/`epoll_ctl`/
+//!   `epoll_wait`, level-triggered. Level triggering keeps the loop's state
+//!   machine simple — a connection with unread bytes or an unflushed outbox
+//!   stays ready until drained, so no readiness edge can be lost.
+//! * **poll(2)** (all Unix): the fallback, also selectable on Linux with
+//!   `CONCORD_POLLER=poll` so CI exercises both paths on one machine.
+//!
+//! A [`Waker`] — a non-blocking pipe whose read end is registered like any
+//! connection — lets worker threads interrupt a blocked wait to hand
+//! completed responses back to the loop.
+//!
+//! On non-Unix targets the module still compiles but constructing a
+//! [`Poller`] returns `Unsupported`; the serving API surface stays portable
+//! the same way [`crate::signal::install`] degrades to a no-op.
+
+use std::io;
+
+/// Readiness interest for one registered file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the resting state of an idle connection.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Readable and writable — a connection with queued output.
+    pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness event: the token the fd was registered under plus what it
+/// is ready for. `error`/`hangup` conditions are reported as readable so the
+/// owner observes them through a read returning 0/err.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Registration token (the server uses connection ids).
+    pub token: u64,
+    /// Readable, had an error, or hung up.
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+pub use imp::{Poller, Waker};
+
+#[cfg(unix)]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    // Shared libc surface (x86-64 and aarch64 Linux ABIs; the subset used
+    // here is identical on other 64-bit Unixes).
+    extern "C" {
+        fn close(fd: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    }
+
+    const F_GETFL: i32 = 3;
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0o4000;
+
+    const POLLIN: i16 = 0x1;
+    const POLLOUT: i16 = 0x4;
+    const POLLERR: i16 = 0x8;
+    const POLLHUP: i16 = 0x10;
+
+    /// `struct pollfd` from `poll(2)`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    /// Put `fd` into non-blocking mode.
+    pub(crate) fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+        unsafe {
+            let flags = fcntl(fd, F_GETFL, 0);
+            if flags < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            if fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok(())
+    }
+
+    /// Worker-to-loop doorbell: a non-blocking pipe. The read end is
+    /// registered with the poller; [`Waker::wake`] writes one byte, which
+    /// makes a blocked wait return. Cheap, async-signal-safe, no locks.
+    #[derive(Debug)]
+    pub struct Waker {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    impl Waker {
+        /// Create the pipe pair, both ends non-blocking.
+        pub fn new() -> io::Result<Waker> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let (r, w) = (fds[0], fds[1]);
+            let setup = set_nonblocking(r).and_then(|()| set_nonblocking(w));
+            if let Err(e) = setup {
+                unsafe {
+                    close(r);
+                    close(w);
+                }
+                return Err(e);
+            }
+            Ok(Waker { read_fd: r, write_fd: w })
+        }
+
+        /// The fd to register with the poller (readable when woken).
+        pub fn fd(&self) -> RawFd {
+            self.read_fd
+        }
+
+        /// Ring the doorbell. A full pipe means a wake-up is already
+        /// pending, which is exactly as good — the error is ignored.
+        pub fn wake(&self) {
+            let byte = [1u8];
+            unsafe {
+                let _ = write(self.write_fd, byte.as_ptr(), 1);
+            }
+        }
+
+        /// Drain pending wake-up bytes after the loop observed readiness.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
+    /// Which kernel facility backs the poller.
+    #[derive(Debug)]
+    enum Backend {
+        #[cfg(target_os = "linux")]
+        Epoll {
+            epfd: RawFd,
+        },
+        Poll {
+            registered: Vec<(RawFd, u64, Interest)>,
+        },
+    }
+
+    /// Readiness poller over registered fds. See the module docs for the
+    /// backend selection rules.
+    #[derive(Debug)]
+    pub struct Poller {
+        backend: Backend,
+    }
+
+    #[cfg(target_os = "linux")]
+    mod epoll_sys {
+        extern "C" {
+            pub fn epoll_create1(flags: i32) -> i32;
+            pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            pub fn epoll_wait(
+                epfd: i32,
+                events: *mut EpollEvent,
+                maxevents: i32,
+                timeout_ms: i32,
+            ) -> i32;
+        }
+
+        pub const EPOLL_CTL_ADD: i32 = 1;
+        pub const EPOLL_CTL_DEL: i32 = 2;
+        pub const EPOLL_CTL_MOD: i32 = 3;
+        pub const EPOLLIN: u32 = 0x1;
+        pub const EPOLLOUT: u32 = 0x4;
+        pub const EPOLLERR: u32 = 0x8;
+        pub const EPOLLHUP: u32 = 0x10;
+
+        /// `struct epoll_event`. Packed on x86-64 (the kernel ABI has no
+        /// padding between the 32-bit mask and the 64-bit data word there).
+        #[repr(C, packed)]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+    }
+
+    impl Poller {
+        /// Create a poller using the best backend for this platform,
+        /// honoring `CONCORD_POLLER=poll` to force the `poll(2)` fallback.
+        pub fn new() -> io::Result<Poller> {
+            let force_poll = std::env::var("CONCORD_POLLER").is_ok_and(|v| v == "poll");
+            #[cfg(target_os = "linux")]
+            if !force_poll {
+                let epfd = unsafe { epoll_sys::epoll_create1(0) };
+                if epfd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                return Ok(Poller { backend: Backend::Epoll { epfd } });
+            }
+            let _ = force_poll;
+            Ok(Self::new_poll_fallback())
+        }
+
+        /// Construct the `poll(2)` fallback directly, regardless of
+        /// platform or `CONCORD_POLLER` (used by tests and benchmarks).
+        pub fn new_poll_fallback() -> Poller {
+            Poller { backend: Backend::Poll { registered: Vec::new() } }
+        }
+
+        /// The backend's name, surfaced in server stats.
+        pub fn backend_name(&self) -> &'static str {
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { .. } => "epoll",
+                Backend::Poll { .. } => "poll",
+            }
+        }
+
+        /// Register `fd` under `token` with the given interest.
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            match &mut self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    let mut ev =
+                        epoll_sys::EpollEvent { events: epoll_mask(interest), data: token };
+                    epoll_ctl_checked(*epfd, epoll_sys::EPOLL_CTL_ADD, fd, &mut ev)
+                }
+                Backend::Poll { registered } => {
+                    registered.retain(|(f, _, _)| *f != fd);
+                    registered.push((fd, token, interest));
+                    Ok(())
+                }
+            }
+        }
+
+        /// Change the interest of an already-registered fd.
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            match &mut self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    let mut ev =
+                        epoll_sys::EpollEvent { events: epoll_mask(interest), data: token };
+                    epoll_ctl_checked(*epfd, epoll_sys::EPOLL_CTL_MOD, fd, &mut ev)
+                }
+                Backend::Poll { registered } => {
+                    for (f, t, i) in registered.iter_mut() {
+                        if *f == fd {
+                            *t = token;
+                            *i = interest;
+                            return Ok(());
+                        }
+                    }
+                    Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+                }
+            }
+        }
+
+        /// Deregister an fd (idempotent — unknown fds are ignored, since
+        /// closing an fd already removes it from an epoll set).
+        pub fn deregister(&mut self, fd: RawFd) {
+            match &mut self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    let mut ev = epoll_sys::EpollEvent { events: 0, data: 0 };
+                    unsafe {
+                        let _ = epoll_sys::epoll_ctl(*epfd, epoll_sys::EPOLL_CTL_DEL, fd, &mut ev);
+                    }
+                }
+                Backend::Poll { registered } => {
+                    registered.retain(|(f, _, _)| *f != fd);
+                }
+            }
+        }
+
+        /// Block up to `timeout_ms` (negative = forever) for readiness,
+        /// appending events to `out`. Returns the number of events. `EINTR`
+        /// is reported as zero events, not an error.
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            out.clear();
+            match &mut self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    let mut buf = [epoll_sys::EpollEvent { events: 0, data: 0 }; 64];
+                    let n = unsafe {
+                        epoll_sys::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                    };
+                    if n < 0 {
+                        let e = io::Error::last_os_error();
+                        if e.kind() == io::ErrorKind::Interrupted {
+                            return Ok(0);
+                        }
+                        return Err(e);
+                    }
+                    for ev in &buf[..n as usize] {
+                        let events = ev.events;
+                        let data = ev.data;
+                        out.push(Event {
+                            token: data,
+                            readable: events
+                                & (epoll_sys::EPOLLIN | epoll_sys::EPOLLERR | epoll_sys::EPOLLHUP)
+                                != 0,
+                            writable: events & epoll_sys::EPOLLOUT != 0,
+                        });
+                    }
+                    Ok(out.len())
+                }
+                Backend::Poll { registered } => {
+                    let mut fds: Vec<PollFd> = registered
+                        .iter()
+                        .map(|(fd, _, interest)| PollFd {
+                            fd: *fd,
+                            events: (if interest.readable { POLLIN } else { 0 })
+                                | (if interest.writable { POLLOUT } else { 0 }),
+                            revents: 0,
+                        })
+                        .collect();
+                    let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+                    if n < 0 {
+                        let e = io::Error::last_os_error();
+                        if e.kind() == io::ErrorKind::Interrupted {
+                            return Ok(0);
+                        }
+                        return Err(e);
+                    }
+                    for (slot, (_, token, _)) in fds.iter().zip(registered.iter()) {
+                        if slot.revents == 0 {
+                            continue;
+                        }
+                        out.push(Event {
+                            token: *token,
+                            readable: slot.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+                            writable: slot.revents & POLLOUT != 0,
+                        });
+                    }
+                    Ok(out.len())
+                }
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            #[cfg(target_os = "linux")]
+            if let Backend::Epoll { epfd } = self.backend {
+                unsafe {
+                    close(epfd);
+                }
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll_mask(interest: Interest) -> u32 {
+        (if interest.readable { epoll_sys::EPOLLIN } else { 0 })
+            | (if interest.writable { epoll_sys::EPOLLOUT } else { 0 })
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll_ctl_checked(
+        epfd: RawFd,
+        op: i32,
+        fd: RawFd,
+        ev: &mut epoll_sys::EpollEvent,
+    ) -> io::Result<()> {
+        if unsafe { epoll_sys::epoll_ctl(epfd, op, fd, ev) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+
+    /// Non-Unix stub; construction fails with `Unsupported`.
+    #[derive(Debug)]
+    pub struct Waker {}
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "no poller on this platform"))
+        }
+        pub fn fd(&self) -> i32 {
+            -1
+        }
+        pub fn wake(&self) {}
+        pub fn drain(&self) {}
+    }
+
+    /// Non-Unix stub; construction fails with `Unsupported`.
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "no poller on this platform"))
+        }
+        pub fn new_poll_fallback() -> Poller {
+            Poller {}
+        }
+        pub fn backend_name(&self) -> &'static str {
+            "none"
+        }
+        pub fn register(&mut self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "no poller on this platform"))
+        }
+        pub fn modify(&mut self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "no poller on this platform"))
+        }
+        pub fn deregister(&mut self, _fd: i32) {}
+        pub fn wait(&mut self, _out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "no poller on this platform"))
+        }
+    }
+}
+
+/// Whether the event-loop front end can run on this platform.
+#[must_use]
+pub fn supported() -> bool {
+    cfg!(unix)
+}
+
+/// Convenience: construct the platform poller, mapping the non-Unix stub's
+/// `Unsupported` error through unchanged.
+pub fn new_poller() -> io::Result<Poller> {
+    Poller::new()
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn waker_wakes_a_blocked_wait() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.register(waker.fd(), 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        // Nothing pending: a zero-timeout wait sees nothing.
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        waker.wake();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        waker.drain();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0, "drain clears readiness");
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        let fd = server.as_raw_fd();
+        poller.register(fd, 42, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        client.write_all(b"x").unwrap();
+        assert!(poller.wait(&mut events, 1000).unwrap() >= 1);
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        // Level-triggered: still readable until consumed.
+        assert!(poller.wait(&mut events, 0).unwrap() >= 1);
+        let mut byte = [0u8; 1];
+        (&server).read_exact(&mut byte).unwrap();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+
+        // An idle socket with write interest reports writable.
+        poller.modify(fd, 42, Interest::READ_WRITE).unwrap();
+        assert!(poller.wait(&mut events, 1000).unwrap() >= 1);
+        assert!(events.iter().any(|e| e.token == 42 && e.writable));
+
+        poller.deregister(fd);
+        waker_free_wait_sees_nothing(&mut poller);
+    }
+
+    fn waker_free_wait_sees_nothing(poller: &mut Poller) {
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn hangup_reports_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.register(server.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        assert!(poller.wait(&mut events, 1000).unwrap() >= 1);
+        assert!(events[0].readable, "hangup must surface as readable (read -> 0)");
+    }
+
+    #[test]
+    fn poll_fallback_backend_delivers_events() {
+        // Constructed directly rather than via CONCORD_POLLER, so the test
+        // stays parallel-safe while still covering the fallback code path.
+        let mut poller = Poller::new_poll_fallback();
+        assert_eq!(poller.backend_name(), "poll");
+        let waker = Waker::new().unwrap();
+        poller.register(waker.fd(), 1, Interest::READ).unwrap();
+        waker.wake();
+        let mut events = Vec::new();
+        assert!(poller.wait(&mut events, 1000).unwrap() >= 1);
+        assert!(events[0].readable);
+        waker.drain();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        poller.deregister(waker.fd());
+    }
+}

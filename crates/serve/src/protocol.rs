@@ -64,6 +64,10 @@ pub mod codes {
     pub const REGION_FAULT: &str = "region_fault";
     /// Server is draining; no new work is admitted.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The request's tenant is over its admission quota (max inflight or
+    /// queue share). Distinct from `overloaded`: the queue had room, but
+    /// this tenant is not allowed to take more of it.
+    pub const QUOTA_EXCEEDED: &str = "quota_exceeded";
 }
 
 /// Why a frame could not be read.
@@ -170,6 +174,22 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
 pub fn send(w: &mut impl Write, msg: &Json) -> io::Result<()> {
     write_frame(w, &msg.to_string())?;
     w.flush()
+}
+
+/// Render one JSON message to its on-wire bytes (length prefix included).
+///
+/// The event-loop server stages responses in per-connection outboxes and
+/// writes them when the socket reports writable; this produces the exact
+/// bytes [`send`] would have written.
+#[must_use]
+pub fn frame_bytes(msg: &Json) -> Vec<u8> {
+    let mut buf = Vec::new();
+    // Writing into a Vec cannot fail; the only other failure mode is a
+    // payload over MAX_FRAME, which the server's response-size caps rule
+    // out (reads are bounded to MAX_FRAME / 4 of raw bytes).
+    let ok = send(&mut buf, msg);
+    debug_assert!(ok.is_ok(), "server built an oversized response frame");
+    buf
 }
 
 /// Lowercase hex encoding of raw region bytes.

@@ -1,24 +1,43 @@
-//! The offload daemon: TCP accept loop, per-connection readers, bounded
-//! admission onto a [`TaskPool`], and graceful drain.
+//! The offload daemon: a readiness-driven event loop front end, bounded
+//! admission onto a [`TaskPool`], per-tenant quotas, and graceful drain.
 //!
 //! # Threading model
 //!
-//! One accept thread owns the listener. Each connection gets a reader
-//! thread that parses frames and either answers inline (`ping`, `stats`,
-//! `shutdown`, malformed input) or admits the request to the shared
-//! worker pool. Workers execute requests — compiling sessions through the
-//! process-wide [`ArtifactCache`], running region ops and launches under
-//! the session's mutex — and write the response through the connection's
-//! shared writer. Responses to pipelined requests may therefore arrive
-//! out of submission order; the echoed `id` is the correlation key.
+//! One loop thread owns the listener, every connection socket, and the
+//! [`crate::poll::Poller`] (epoll on Linux, `poll(2)` elsewhere; see the
+//! module docs there). All sockets are non-blocking: the loop accepts,
+//! reads, runs each connection's frame state machine, and answers inline
+//! (`ping`, `stats`, `shutdown`, malformed input, admission refusals) or
+//! admits the request to the shared worker pool. Workers execute requests
+//! — compiling sessions through the process-wide [`ArtifactCache`],
+//! running region ops and launches under the session's mutex — then hand
+//! the rendered response frame back to the loop through a completion
+//! queue and a [`crate::poll::Waker`]; the loop stages it in the
+//! connection's outbox and writes when the socket is writable. Responses
+//! to pipelined requests may therefore arrive out of submission order;
+//! the echoed `id` is the correlation key.
 //!
-//! # Backpressure and deadlines
+//! A connection that trickles bytes (slow loris) or goes half-open costs
+//! the loop nothing but its buffer: nothing blocks on a read or a write,
+//! so live traffic on other connections keeps flowing.
 //!
-//! Admission is non-blocking: when the queue is at capacity the reader
+//! # Backpressure, quotas, and deadlines
+//!
+//! Admission is non-blocking: when the queue is at capacity the loop
 //! answers `{"type":"overloaded"}` immediately instead of stalling the
-//! connection. A request may carry `deadline_ms`, measured from admission;
-//! a worker that dequeues it too late answers `deadline_exceeded` without
-//! executing it.
+//! connection. Per-tenant quotas ([`ServeConfig::tenant_max_inflight`],
+//! [`ServeConfig::tenant_queue_share`]) bound how much of the queue one
+//! session token can take; over-quota requests get `quota_exceeded` while
+//! other tenants keep being admitted. A request may carry `deadline_ms`,
+//! measured from admission; a worker that dequeues it too late answers
+//! `deadline_exceeded` without executing it.
+//!
+//! # Artifact persistence
+//!
+//! With [`ServeConfig::cache_dir`] set, the JIT artifact cache spills
+//! compiled (source, `GpuConfig`) entries to disk and a restarted server
+//! reloads them — sessions opened after a restart report `jit_seconds ==
+//! 0` without recompiling. See [`ArtifactCache::with_disk`].
 //!
 //! # Shutdown
 //!
@@ -28,9 +47,10 @@
 //! connections are closed and [`Server::join`] returns.
 
 use crate::json::{parse, Json};
+use crate::poll::{Event, Interest, Poller, Waker};
 use crate::protocol::{
-    codes, error_response, error_response_detailed, from_hex, read_frame, send, to_hex, with_id,
-    MAX_FRAME,
+    codes, error_response, error_response_detailed, frame_bytes, from_hex, to_hex, with_id,
+    FrameError, MAX_FRAME,
 };
 use concord_energy::SystemConfig;
 use concord_pool::{SubmitError, TaskPool};
@@ -40,9 +60,9 @@ use concord_runtime::{
 };
 use concord_svm::CpuAddr;
 use concord_trace::{ArgValue, TraceConfig, Tracer, Track};
-use std::collections::HashMap;
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -62,6 +82,22 @@ const MAX_SLEEP_MS: u64 = 5_000;
 /// Cap on one `parallel_batch` request's launch count.
 const MAX_BATCH: usize = 1_024;
 
+/// Per-readiness-event read budget. One firehose connection yields the
+/// loop after this many bytes; level-triggered polling re-reports the fd
+/// so the rest is picked up next iteration, after other connections.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// How long the drain endgame keeps flushing outboxes to slow readers
+/// before force-closing their sockets.
+const DRAIN_FLUSH_MS: u64 = 5_000;
+
+/// Poller token of the listener.
+const LISTENER_TOKEN: u64 = 0;
+/// Poller token of the waker pipe's read end.
+const WAKER_TOKEN: u64 = 1;
+/// First connection token (connection ids double as poller tokens).
+const FIRST_CONN_TOKEN: u64 = 2;
+
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -71,6 +107,18 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Admission-queue capacity; beyond it requests get `overloaded`.
     pub queue_depth: usize,
+    /// Spill directory for the JIT artifact cache. When set, compiled
+    /// entries persist across server restarts (checksummed, corrupt files
+    /// evicted and recompiled). `None` keeps the cache memory-only.
+    pub cache_dir: Option<String>,
+    /// Per-tenant cap on requests admitted but not yet completed
+    /// (0 = unlimited). Over the cap a tenant's requests get
+    /// `quota_exceeded` while other tenants keep being admitted.
+    pub tenant_max_inflight: usize,
+    /// Per-tenant admission cap as a percentage of `queue_depth`
+    /// (0 = unlimited, rounded up to at least one slot). Bounds how much
+    /// of the shared queue one tenant can occupy.
+    pub tenant_queue_share: u8,
     /// Server-track tracing (`Track::Server` events, logical clock).
     pub trace: TraceConfig,
 }
@@ -81,6 +129,9 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: concord_pool::host_threads().max(1),
             queue_depth: 64,
+            cache_dir: None,
+            tenant_max_inflight: 0,
+            tenant_queue_share: 0,
             trace: TraceConfig::default(),
         }
     }
@@ -92,12 +143,21 @@ impl Default for ServeConfig {
 pub struct ServerStats {
     /// Sessions currently open.
     pub sessions: usize,
-    /// Distinct (source, `GpuConfig`) artifact-cache entries.
+    /// Distinct (source, `GpuConfig`) artifact-cache entries in memory.
     pub cache_entries: usize,
-    /// Session builds served from the artifact cache.
+    /// Session builds served from the in-memory artifact cache.
     pub cache_hits: u64,
-    /// Session builds that compiled.
+    /// Session builds the in-memory cache did not hold.
     pub cache_misses: u64,
+    /// Cache misses satisfied by a valid on-disk entry (no recompile).
+    pub disk_hits: u64,
+    /// Cache misses that ran the compiler.
+    pub compiles: u64,
+    /// On-disk cache entries evicted as corrupt (bad magic, version,
+    /// checksum, or truncation) and recompiled.
+    pub corrupt_evicted: u64,
+    /// Artifact entries spilled to the cache directory.
+    pub disk_writes: u64,
     /// Requests waiting in the admission queue right now.
     pub queued: usize,
     /// Requests admitted to the queue so far.
@@ -107,10 +167,14 @@ pub struct ServerStats {
     pub completed: u64,
     /// Requests refused with `overloaded`.
     pub rejected: u64,
+    /// Requests refused with `quota_exceeded` (per-tenant admission).
+    pub quota_rejected: u64,
     /// Admitted requests dropped at dequeue for missing their deadline.
     pub deadline_missed: u64,
     /// Connections accepted so far.
     pub connections: u64,
+    /// Connections open right now.
+    pub connections_open: u64,
     /// Launches executing on workers right now (across all sessions).
     pub inflight: u64,
     /// Overlap events: launches that began while another launch was
@@ -124,11 +188,30 @@ pub struct ServerStats {
 
 struct Session {
     cc: Concord,
-    owner_conn: u64,
     /// Launch target used when a `parallel_for`/`parallel_reduce` request
     /// omits its own `target` field (set by the `target` session option;
     /// `auto` when the option is absent).
     default_target: Target,
+}
+
+/// Who owns a session: the connection it was opened on (sessions are
+/// connection-scoped and reaped when it closes) and the tenant whose
+/// quota its requests count against. A side map so the loop can reap by
+/// connection without touching any session mutex a worker may hold.
+struct SessionOwner {
+    conn: u64,
+    tenant: String,
+}
+
+/// Per-tenant admission counters (the `tenants` object of a `stats`
+/// response reports these).
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantCounters {
+    admitted: u64,
+    completed: u64,
+    rejected: u64,
+    /// Admitted but not yet completed — the quantity quotas bound.
+    pending: u64,
 }
 
 /// A request's deadline, measured from admission. Checked twice: once at
@@ -189,19 +272,62 @@ impl SrvError {
     }
 }
 
+/// Per-tenant admission limits, resolved from [`ServeConfig`] at bind.
+#[derive(Clone, Copy)]
+struct TenantLimits {
+    max_inflight: u64,
+    queue_share: u8,
+    queue_depth: usize,
+}
+
+impl TenantLimits {
+    /// The effective pending-request cap, `None` when quotas are off.
+    fn cap(&self) -> Option<u64> {
+        let share = if self.queue_share == 0 {
+            0
+        } else {
+            let slots = (self.queue_depth * usize::from(self.queue_share)) / 100;
+            slots.max(1) as u64
+        };
+        match (self.max_inflight, share) {
+            (0, 0) => None,
+            (0, s) => Some(s),
+            (i, 0) => Some(i),
+            (i, s) => Some(i.min(s)),
+        }
+    }
+}
+
 struct Shared {
     addr: SocketAddr,
     shutdown: AtomicBool,
+    /// Set by `join_inner` after the pool finished draining: the loop may
+    /// flush remaining outboxes and exit.
+    drain_done: AtomicBool,
     pool: Mutex<Option<TaskPool>>,
     sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    /// Session ownership side map (see [`SessionOwner`]). Lock order:
+    /// `live_conns` → `sessions` → `session_owners`.
+    session_owners: Mutex<HashMap<u64, SessionOwner>>,
+    /// Connections currently registered with the loop. Guards the window
+    /// where a session finishes compiling after its connection died.
+    live_conns: Mutex<HashSet<u64>>,
+    tenants: Mutex<BTreeMap<String, TenantCounters>>,
+    limits: TenantLimits,
+    /// Worker-to-loop handoff: rendered response frames by connection id.
+    completions: Mutex<Vec<(u64, Vec<u8>)>>,
+    waker: Waker,
+    poller_backend: &'static str,
     next_session: AtomicU64,
     cache: ArtifactCache,
     tracer: Tracer,
     admitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    quota_rejected: AtomicU64,
     deadline_missed: AtomicU64,
     connections: AtomicU64,
+    connections_open: AtomicU64,
     inflight: AtomicU64,
     overlapped: AtomicU64,
     conflict_stalls: AtomicU64,
@@ -214,66 +340,159 @@ impl Shared {
             cache_entries: self.cache.entries(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            disk_hits: self.cache.disk_hits(),
+            compiles: self.cache.compiles(),
+            corrupt_evicted: self.cache.corrupt_evicted(),
+            disk_writes: self.cache.disk_writes(),
             queued: self.pool.lock().unwrap().as_ref().map_or(0, TaskPool::queued),
             admitted: self.admitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
             inflight: self.inflight.load(Ordering::Relaxed),
             overlapped: self.overlapped.load(Ordering::Relaxed),
             conflict_stalls: self.conflict_stalls.load(Ordering::Relaxed),
         }
     }
 
-    /// Stop admission and wake the accept loop with a loopback connect.
+    /// Stop admission and ring the loop's doorbell so it notices.
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             self.tracer.instant(Track::Server, "shutdown_requested", Vec::new());
-            let _ = TcpStream::connect(self.addr);
+            self.waker.wake();
         }
+    }
+
+    /// Hand a rendered response frame to the loop for delivery.
+    fn push_completion(&self, conn: u64, bytes: Vec<u8>) {
+        self.completions.lock().unwrap().push((conn, bytes));
+        self.waker.wake();
+    }
+
+    /// Count one admission against `tenant`, or refuse with its current
+    /// `(pending, cap)` when over quota.
+    fn tenant_try_admit(&self, tenant: &str) -> Result<(), (u64, u64)> {
+        let mut tenants = self.tenants.lock().unwrap();
+        let c = tenants.entry(tenant.to_string()).or_default();
+        if let Some(cap) = self.limits.cap() {
+            if c.pending >= cap {
+                c.rejected += 1;
+                return Err((c.pending, cap));
+            }
+        }
+        c.pending += 1;
+        c.admitted += 1;
+        Ok(())
+    }
+
+    /// Undo a `tenant_try_admit` whose pool submit failed.
+    fn tenant_rollback(&self, tenant: &str, rejected: bool) {
+        let mut tenants = self.tenants.lock().unwrap();
+        if let Some(c) = tenants.get_mut(tenant) {
+            c.pending = c.pending.saturating_sub(1);
+            c.admitted = c.admitted.saturating_sub(1);
+            if rejected {
+                c.rejected += 1;
+            }
+        }
+    }
+
+    /// Count one completion against `tenant`.
+    fn tenant_complete(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().unwrap();
+        if let Some(c) = tenants.get_mut(tenant) {
+            c.pending = c.pending.saturating_sub(1);
+            c.completed += 1;
+        }
+    }
+
+    /// The per-tenant counters as a JSON object (sorted by tenant name, so
+    /// `stats` frames are deterministic).
+    fn tenants_json(&self) -> Json {
+        let tenants = self.tenants.lock().unwrap();
+        let fields = tenants
+            .iter()
+            .map(|(name, c)| {
+                let obj = Json::obj(vec![
+                    ("admitted", c.admitted.into()),
+                    ("completed", c.completed.into()),
+                    ("rejected", c.rejected.into()),
+                    ("pending", c.pending.into()),
+                ]);
+                (name.clone(), obj)
+            })
+            .collect();
+        Json::Obj(fields)
     }
 }
 
 /// A running offload server. Dropping the handle shuts it down and drains.
 pub struct Server {
     shared: Arc<Shared>,
-    accept: Option<thread::JoinHandle<()>>,
+    event_loop: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind and start serving in background threads.
+    /// Bind and start serving on the event-loop thread.
     ///
     /// # Errors
     ///
-    /// Socket bind/configuration errors.
+    /// Socket bind/configuration errors, poller construction failures
+    /// (`Unsupported` on platforms without one), and cache-directory
+    /// creation errors when [`ServeConfig::cache_dir`] is set.
     pub fn bind(config: &ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let mut poller = Poller::new()?;
+        let waker = Waker::new()?;
+        let cache = match &config.cache_dir {
+            Some(dir) => ArtifactCache::with_disk(dir)?,
+            None => ArtifactCache::new(),
+        };
         let shared = Arc::new(Shared {
             addr,
             shutdown: AtomicBool::new(false),
+            drain_done: AtomicBool::new(false),
             pool: Mutex::new(Some(TaskPool::new(config.workers, config.queue_depth))),
             sessions: Mutex::new(HashMap::new()),
+            session_owners: Mutex::new(HashMap::new()),
+            live_conns: Mutex::new(HashSet::new()),
+            tenants: Mutex::new(BTreeMap::new()),
+            limits: TenantLimits {
+                max_inflight: config.tenant_max_inflight as u64,
+                queue_share: config.tenant_queue_share,
+                queue_depth: config.queue_depth,
+            },
+            completions: Mutex::new(Vec::new()),
+            poller_backend: poller.backend_name(),
+            waker,
             next_session: AtomicU64::new(1),
-            cache: ArtifactCache::new(),
+            cache,
             tracer: Tracer::new(config.trace),
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             overlapped: AtomicU64::new(0),
             conflict_stalls: AtomicU64::new(0),
         });
-        let accept = {
+        poller.register(fd_of(&listener), LISTENER_TOKEN, Interest::READ)?;
+        poller.register(shared.waker.fd(), WAKER_TOKEN, Interest::READ)?;
+        let event_loop = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
-                .name("concord-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))?
+                .name("concord-serve-loop".to_string())
+                .spawn(move || EventLoop::new(listener, poller, shared).run())?
         };
-        Ok(Server { shared, accept: Some(accept) })
+        Ok(Server { shared, event_loop: Some(event_loop) })
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
@@ -317,7 +536,17 @@ impl Server {
 
     fn join_inner(&mut self) {
         self.shared.begin_shutdown();
-        if let Some(h) = self.accept.take() {
+        // Drain the pool from this thread: jobs keep handing completed
+        // responses to the loop, which keeps flushing them concurrently.
+        let pool = self.shared.pool.lock().unwrap().take();
+        if let Some(pool) = pool {
+            self.shared.tracer.instant(Track::Server, "drain_begin", Vec::new());
+            pool.close_and_drain();
+            self.shared.tracer.instant(Track::Server, "drain_end", Vec::new());
+        }
+        self.shared.drain_done.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
     }
@@ -329,152 +558,432 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut readers = Vec::new();
-    let mut conn_streams: Vec<TcpStream> = Vec::new();
-    let mut conn_id: u64 = 0;
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        conn_id += 1;
-        shared.connections.fetch_add(1, Ordering::Relaxed);
-        shared.tracer.instant(Track::Server, "conn_open", vec![("conn", ArgValue::UInt(conn_id))]);
-        if let Ok(clone) = stream.try_clone() {
-            conn_streams.push(clone);
-        }
-        let shared = Arc::clone(shared);
-        let handle = thread::Builder::new()
-            .name(format!("concord-serve-conn-{conn_id}"))
-            .spawn(move || conn_loop(stream, conn_id, &shared));
-        match handle {
-            Ok(h) => readers.push(h),
-            Err(_) => conn_id -= 1,
+/// The poller fd of a socket (`-1` on platforms without one, where the
+/// poller itself already failed to construct).
+#[cfg(unix)]
+fn fd_of<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn fd_of<T>(_t: &T) -> i32 {
+    -1
+}
+
+/// One connection's loop-side state: the non-blocking socket, the inbound
+/// byte buffer its frame state machine consumes, and the outbox of
+/// rendered response frames awaiting socket writability.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    inbuf: Vec<u8>,
+    outbox: VecDeque<Vec<u8>>,
+    /// Bytes of `outbox.front()` already written.
+    out_pos: usize,
+    /// Requests admitted to the pool whose responses have not yet been
+    /// handed back — a half-open connection stays alive until they flush.
+    outstanding: usize,
+    /// The peer closed its write side (clean EOF after read drained).
+    read_closed: bool,
+    /// A framing error poisoned the byte stream: flush the structured
+    /// error, then close. No further input is parsed.
+    close_after_flush: bool,
+    /// The socket errored on write; nothing more can be delivered.
+    broken: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, token: u64) -> Conn {
+        Conn {
+            stream,
+            token,
+            inbuf: Vec::new(),
+            outbox: VecDeque::new(),
+            out_pos: 0,
+            outstanding: 0,
+            read_closed: false,
+            close_after_flush: false,
+            broken: false,
+            interest: Interest::READ,
         }
     }
-    // Drain: run every admitted job to completion and flush its response
-    // before any socket is torn down.
-    shared.tracer.instant(Track::Server, "drain_begin", Vec::new());
-    let pool = shared.pool.lock().unwrap().take();
-    if let Some(pool) = pool {
-        pool.close_and_drain();
+
+    /// Stage one response frame for delivery.
+    fn enqueue(&mut self, resp: &Json) {
+        self.outbox.push_back(frame_bytes(resp));
     }
-    shared.tracer.instant(Track::Server, "drain_end", Vec::new());
-    // Unblock readers parked in read_frame, then reap them.
-    for s in &conn_streams {
-        let _ = s.shutdown(std::net::Shutdown::Both);
+
+    /// Everything enqueued has been written to the socket.
+    fn flushed(&self) -> bool {
+        self.outbox.is_empty()
     }
-    for r in readers {
-        let _ = r.join();
+
+    /// The loop has no further use for this connection.
+    fn done(&self) -> bool {
+        self.broken
+            || (self.close_after_flush && self.flushed())
+            || (self.read_closed && self.outstanding == 0 && self.flushed())
     }
 }
 
-fn conn_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let mut reader = io::BufReader::new(stream);
-    loop {
-        match read_frame(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(payload)) => {
-                if !handle_frame(&payload, conn_id, shared, &writer) {
+/// The loop thread's state. Everything here is single-threaded; workers
+/// reach it only through `Shared.completions` and the waker.
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    fn new(listener: TcpListener, poller: Poller, shared: Arc<Shared>) -> EventLoop {
+        EventLoop {
+            shared,
+            poller,
+            listener: Some(listener),
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut flush_deadline: Option<Instant> = None;
+        loop {
+            let draining = self.shared.drain_done.load(Ordering::SeqCst);
+            let timeout_ms = if draining { 50 } else { -1 };
+            if self.poller.wait(&mut events, timeout_ms).is_err() {
+                // A broken poller cannot be recovered; closing everything
+                // beats spinning.
+                break;
+            }
+            let mut accept_ready = false;
+            for &ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => accept_ready = true,
+                    WAKER_TOKEN => self.shared.waker.drain(),
+                    token => self.on_conn_event(token, ev, draining),
+                }
+            }
+            if accept_ready {
+                self.accept_ready();
+            }
+            self.deliver_completions();
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.close_listener();
+            }
+            self.sweep_done();
+            if self.shared.drain_done.load(Ordering::SeqCst) {
+                let deadline = *flush_deadline
+                    .get_or_insert_with(|| Instant::now() + Duration::from_millis(DRAIN_FLUSH_MS));
+                let all_flushed = self.conns.values().all(Conn::flushed);
+                if all_flushed || Instant::now() >= deadline {
+                    let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                    for token in tokens {
+                        self.close_conn(token);
+                    }
                     break;
                 }
             }
-            Err(e) => {
-                // Structured refusal, then close: after a framing error the
-                // byte stream can no longer be trusted. The shutdown is
-                // explicit because the accept loop holds another clone of
-                // this socket (for drain teardown) — dropping ours would
-                // leave the peer waiting for an EOF that never comes.
-                let resp = error_response(e.code(), &e.to_string(), None);
-                send_response(&writer, &resp);
-                let _ = writer.lock().unwrap().shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Accept until the listener would block.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let token = self.next_token;
+            if self.poller.register(fd_of(&stream), token, Interest::READ).is_err() {
+                continue;
+            }
+            self.next_token += 1;
+            self.shared.connections.fetch_add(1, Ordering::Relaxed);
+            self.shared.connections_open.fetch_add(1, Ordering::Relaxed);
+            self.shared.live_conns.lock().unwrap().insert(token);
+            self.shared.tracer.instant(
+                Track::Server,
+                "conn_open",
+                vec![("conn", ArgValue::UInt(token))],
+            );
+            self.conns.insert(token, Conn::new(stream, token));
+        }
+    }
+
+    /// One readiness event for one connection.
+    fn on_conn_event(&mut self, token: u64, ev: Event, draining: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if ev.writable {
+            flush_outbox(conn);
+        }
+        if ev.readable && !draining && !conn.read_closed && !conn.close_after_flush {
+            read_ready(conn, &self.shared);
+            flush_outbox(conn);
+        }
+        self.update_interest(token, draining);
+    }
+
+    /// Move worker-completed responses into their connections' outboxes.
+    fn deliver_completions(&mut self) {
+        let done = std::mem::take(&mut *self.shared.completions.lock().unwrap());
+        for (token, bytes) in done {
+            // A response for a connection that already closed is dropped,
+            // exactly as a failed write to its dead socket would be.
+            let Some(conn) = self.conns.get_mut(&token) else { continue };
+            conn.outstanding = conn.outstanding.saturating_sub(1);
+            conn.outbox.push_back(bytes);
+            flush_outbox(conn);
+            self.update_interest(token, false);
+        }
+    }
+
+    /// Re-derive a connection's poller interest from its state.
+    fn update_interest(&mut self, token: u64, draining: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let desired = Interest {
+            readable: !conn.read_closed && !conn.close_after_flush && !draining,
+            writable: !conn.outbox.is_empty(),
+        };
+        if desired != conn.interest
+            && self.poller.modify(fd_of(&conn.stream), token, desired).is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    /// Stop accepting: deregister and drop the listener (idempotent).
+    fn close_listener(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            self.poller.deregister(fd_of(&listener));
+        }
+    }
+
+    /// Close and reap every connection whose work is finished.
+    fn sweep_done(&mut self) {
+        let done: Vec<u64> = self.conns.iter().filter(|(_, c)| c.done()).map(|(t, _)| *t).collect();
+        for token in done {
+            self.close_conn(token);
+        }
+    }
+
+    /// Tear one connection down: deregister, close, and reap its
+    /// connection-scoped sessions (by the ownership side map — never by
+    /// locking session mutexes, which a worker may hold for a long launch).
+    fn close_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else { return };
+        self.poller.deregister(fd_of(&conn.stream));
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        // Lock order: live_conns → sessions → session_owners (matches
+        // open_session's insert path, closing the compile/disconnect race).
+        {
+            let mut live = self.shared.live_conns.lock().unwrap();
+            live.remove(&token);
+            let mut owners = self.shared.session_owners.lock().unwrap();
+            let reaped: Vec<u64> =
+                owners.iter().filter(|(_, o)| o.conn == token).map(|(sid, _)| *sid).collect();
+            if !reaped.is_empty() {
+                let mut sessions = self.shared.sessions.lock().unwrap();
+                for sid in reaped {
+                    sessions.remove(&sid);
+                    owners.remove(&sid);
+                }
+            }
+        }
+        self.shared.connections_open.fetch_sub(1, Ordering::Relaxed);
+        self.shared.tracer.instant(
+            Track::Server,
+            "conn_close",
+            vec![("conn", ArgValue::UInt(token))],
+        );
+    }
+}
+
+/// Write as much of the outbox as the socket accepts.
+fn flush_outbox(conn: &mut Conn) {
+    while let Some(front) = conn.outbox.front() {
+        match conn.stream.write(&front[conn.out_pos..]) {
+            Ok(0) => {
+                conn.broken = true;
+                return;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                if conn.out_pos == front.len() {
+                    conn.outbox.pop_front();
+                    conn.out_pos = 0;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // A vanished peer is not a server error; the connection is
+                // swept and its sessions reaped.
+                conn.broken = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Pull newly readable bytes into the buffer (bounded per event) and run
+/// the frame state machine over whatever is now complete.
+fn read_ready(conn: &mut Conn, shared: &Arc<Shared>) {
+    let mut read = 0;
+    let mut chunk = [0u8; 16 * 1024];
+    while read < READ_BUDGET {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                read += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.read_closed = true;
                 break;
             }
         }
     }
-    // Sessions are connection-scoped: reap this connection's sessions so a
-    // dropped client can't leak regions. Jobs still queued for them keep
-    // their Arc and finish normally.
-    shared.sessions.lock().unwrap().retain(|_, s| s.lock().unwrap().owner_conn != conn_id);
-    shared.tracer.instant(Track::Server, "conn_close", vec![("conn", ArgValue::UInt(conn_id))]);
+    process_frames(conn, shared);
 }
 
-/// Handle one frame. Returns false when the connection should close.
-fn handle_frame(
-    payload: &str,
-    conn_id: u64,
-    shared: &Arc<Shared>,
-    writer: &Arc<Mutex<TcpStream>>,
-) -> bool {
+/// The per-connection frame state machine: consume every complete frame in
+/// the buffer, refusing protocol violations exactly as the blocking
+/// [`crate::protocol::read_frame`] would — a structured error, then close.
+fn process_frames(conn: &mut Conn, shared: &Arc<Shared>) {
+    let mut consumed = 0;
+    while !conn.close_after_flush {
+        let avail = conn.inbuf.len() - consumed;
+        if avail < 4 {
+            break;
+        }
+        let header: [u8; 4] = conn.inbuf[consumed..consumed + 4].try_into().unwrap();
+        let len = u32::from_be_bytes(header);
+        if len > MAX_FRAME {
+            // Refused straight off the length prefix — the payload is
+            // never buffered, let alone allocated.
+            frame_violation(conn, &FrameError::Oversized(len));
+            break;
+        }
+        let len = len as usize;
+        if avail < 4 + len {
+            break;
+        }
+        let payload = match std::str::from_utf8(&conn.inbuf[consumed + 4..consumed + 4 + len]) {
+            Ok(s) => s.to_string(),
+            Err(_) => {
+                frame_violation(conn, &FrameError::BadUtf8);
+                break;
+            }
+        };
+        consumed += 4 + len;
+        handle_frame(&payload, conn, shared);
+    }
+    if consumed > 0 {
+        conn.inbuf.drain(..consumed);
+    }
+    if conn.read_closed && !conn.inbuf.is_empty() && !conn.close_after_flush {
+        // The peer vanished mid-frame (inside the prefix or the payload).
+        frame_violation(conn, &FrameError::Truncated);
+        conn.inbuf.clear();
+    }
+}
+
+/// A framing error poisons the byte stream: answer with the structured
+/// error, then flush-and-close. (Mirrors the codes and messages of
+/// [`FrameError`] so blocking and event-loop front ends refuse alike.)
+fn frame_violation(conn: &mut Conn, e: &FrameError) {
+    conn.enqueue(&error_response(e.code(), &e.to_string(), None));
+    conn.close_after_flush = true;
+}
+
+/// Handle one well-framed request payload.
+fn handle_frame(payload: &str, conn: &mut Conn, shared: &Arc<Shared>) {
     let req = match parse(payload) {
         Ok(v) => v,
         Err(e) => {
-            send_response(writer, &error_response(codes::BAD_JSON, &e, None));
-            return true; // framing is intact; keep the connection
+            // Framing is intact; the connection stays usable.
+            conn.enqueue(&error_response(codes::BAD_JSON, &e, None));
+            return;
         }
     };
     let id = req.get("id").cloned();
     let Some(ty) = req.get("type").and_then(Json::as_str).map(str::to_string) else {
-        let resp = error_response(codes::BAD_REQUEST, "missing string field `type`", id.as_ref());
-        send_response(writer, &resp);
-        return true;
+        conn.enqueue(&error_response(
+            codes::BAD_REQUEST,
+            "missing string field `type`",
+            id.as_ref(),
+        ));
+        return;
     };
     match ty.as_str() {
         // Control-plane requests answer inline, bypassing the queue: they
         // must work even when the queue is saturated.
         "ping" => {
-            send_response(
-                writer,
-                &with_id(Json::obj(vec![("type", Json::str("pong"))]), id.as_ref()),
-            );
-            true
+            conn.enqueue(&with_id(Json::obj(vec![("type", Json::str("pong"))]), id.as_ref()));
         }
         "stats" => {
-            send_response(writer, &with_id(stats_json(&shared.stats()), id.as_ref()));
-            true
+            let mut resp = stats_json(&shared.stats());
+            if let Json::Obj(fields) = &mut resp {
+                fields.push(("tenants".to_string(), shared.tenants_json()));
+                fields.push(("poller".to_string(), Json::str(shared.poller_backend)));
+            }
+            conn.enqueue(&with_id(resp, id.as_ref()));
         }
         "shutdown" => {
-            send_response(
-                writer,
-                &with_id(Json::obj(vec![("type", Json::str("shutting_down"))]), id.as_ref()),
-            );
+            conn.enqueue(&with_id(
+                Json::obj(vec![("type", Json::str("shutting_down"))]),
+                id.as_ref(),
+            ));
             shared.begin_shutdown();
-            true
         }
         "open_session" | "malloc" | "free" | "write" | "read" | "write_ptr" | "close"
         | "parallel_for" | "parallel_reduce" | "parallel_batch" | "sleep" => {
-            admit(req, ty, id, conn_id, shared, writer);
-            true
+            admit(req, ty, id, conn, shared);
         }
         other => {
-            let resp = error_response(
+            conn.enqueue(&error_response(
                 codes::UNKNOWN_TYPE,
                 &format!("unknown request type `{other}`"),
                 id.as_ref(),
-            );
-            send_response(writer, &resp);
-            true
+            ));
         }
     }
 }
 
+/// The tenant a request counts against: its own `tenant` field, else the
+/// owning session's tenant, else the shared default bucket.
+fn resolve_tenant(req: &Json, ty: &str, shared: &Shared) -> String {
+    if let Some(t) = req.get("tenant").and_then(Json::as_str) {
+        return t.to_string();
+    }
+    if ty != "open_session" {
+        if let Some(sid) = req.get("session").and_then(Json::as_u64) {
+            if let Some(owner) = shared.session_owners.lock().unwrap().get(&sid) {
+                return owner.tenant.clone();
+            }
+        }
+    }
+    "default".to_string()
+}
+
 /// Admit one data-plane request to the worker pool (or refuse it).
-fn admit(
-    req: Json,
-    ty: String,
-    id: Option<Json>,
-    conn_id: u64,
-    shared: &Arc<Shared>,
-    writer: &Arc<Mutex<TcpStream>>,
-) {
+fn admit(req: Json, ty: String, id: Option<Json>, conn: &mut Conn, shared: &Arc<Shared>) {
     if shared.shutdown.load(Ordering::SeqCst) {
-        let resp = error_response(codes::SHUTTING_DOWN, "server is draining", id.as_ref());
-        send_response(writer, &resp);
+        conn.enqueue(&error_response(codes::SHUTTING_DOWN, "server is draining", id.as_ref()));
         return;
     }
     let deadline_ms = match req.get("deadline_ms") {
@@ -482,21 +991,43 @@ fn admit(
         Some(v) => match v.as_u64() {
             Some(ms) => Some(ms),
             None => {
-                let resp = error_response(
+                conn.enqueue(&error_response(
                     codes::BAD_REQUEST,
                     "`deadline_ms` must be a non-negative integer",
                     id.as_ref(),
-                );
-                send_response(writer, &resp);
+                ));
                 return;
             }
         },
     };
+    let tenant = resolve_tenant(&req, &ty, shared);
+    if let Err((pending, limit)) = shared.tenant_try_admit(&tenant) {
+        shared.quota_rejected.fetch_add(1, Ordering::Relaxed);
+        shared.tracer.instant(
+            Track::Server,
+            "quota_exceeded",
+            vec![("tenant", ArgValue::Str(tenant.clone()))],
+        );
+        conn.enqueue(&error_response_detailed(
+            codes::QUOTA_EXCEEDED,
+            &format!(
+                "tenant `{tenant}` is over its admission quota ({pending} pending, limit {limit})"
+            ),
+            Json::obj(vec![
+                ("tenant", Json::str(&tenant)),
+                ("pending", pending.into()),
+                ("limit", limit.into()),
+            ]),
+            id.as_ref(),
+        ));
+        return;
+    }
     let admitted_at = Instant::now();
     let reject_id = id.clone();
+    let token = conn.token;
     let job = {
         let shared = Arc::clone(shared);
-        let writer = Arc::clone(writer);
+        let tenant = tenant.clone();
         move || {
             let resp = if deadline_ms
                 .is_some_and(|ms| admitted_at.elapsed() >= Duration::from_millis(ms))
@@ -510,12 +1041,13 @@ fn admit(
                 deadline_response("in the admission queue", admitted_at, id.as_ref())
             } else {
                 let deadline = Deadline { ms: deadline_ms, admitted_at };
-                match execute(&req, &ty, conn_id, &shared, deadline) {
+                match execute(&req, &ty, token, &tenant, &shared, deadline) {
                     Ok(resp) => with_id(resp, id.as_ref()),
                     Err(e) => e.into_response(id.as_ref()),
                 }
             };
-            send_response(&writer, &resp);
+            shared.push_completion(token, frame_bytes(&resp));
+            shared.tenant_complete(&tenant);
             shared.completed.fetch_add(1, Ordering::Relaxed);
         }
     };
@@ -527,24 +1059,29 @@ fn admit(
         .map_or(Err(SubmitError::Closed), |p| p.try_submit(job));
     match submitted {
         Ok(()) => {
+            conn.outstanding += 1;
             shared.admitted.fetch_add(1, Ordering::Relaxed);
             shared.tracer.instant(Track::Server, "admit", Vec::new());
             let depth = shared.pool.lock().unwrap().as_ref().map_or(0, TaskPool::queued);
             shared.tracer.counter(Track::Server, "queue_depth", depth as f64);
         }
         Err(SubmitError::Full) => {
+            shared.tenant_rollback(&tenant, true);
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             shared.tracer.instant(Track::Server, "overloaded", Vec::new());
             let mut fields = vec![("type".to_string(), Json::str("overloaded"))];
             if let Some(id) = &reject_id {
                 fields.push(("id".to_string(), id.clone()));
             }
-            send_response(writer, &Json::Obj(fields));
+            conn.enqueue(&Json::Obj(fields));
         }
         Err(SubmitError::Closed) => {
-            let resp =
-                error_response(codes::SHUTTING_DOWN, "server is draining", reject_id.as_ref());
-            send_response(writer, &resp);
+            shared.tenant_rollback(&tenant, false);
+            conn.enqueue(&error_response(
+                codes::SHUTTING_DOWN,
+                "server is draining",
+                reject_id.as_ref(),
+            ));
         }
     }
 }
@@ -554,6 +1091,7 @@ fn execute(
     req: &Json,
     ty: &str,
     conn_id: u64,
+    tenant: &str,
     shared: &Arc<Shared>,
     deadline: Deadline,
 ) -> Result<Json, SrvError> {
@@ -580,10 +1118,11 @@ fn execute(
             thread::sleep(Duration::from_millis(ms));
             Ok(Json::obj(vec![("type", Json::str("ok"))]))
         }
-        "open_session" => open_session(req, conn_id, shared),
+        "open_session" => open_session(req, conn_id, tenant, shared),
         "close" => {
             let sid = field_u64(req, "session")?;
             let removed = shared.sessions.lock().unwrap().remove(&sid);
+            shared.session_owners.lock().unwrap().remove(&sid);
             if removed.is_none() {
                 return Err((codes::NO_SUCH_SESSION, format!("no session {sid}")).into());
             }
@@ -609,7 +1148,12 @@ fn execute(
     }
 }
 
-fn open_session(req: &Json, conn_id: u64, shared: &Arc<Shared>) -> Result<Json, SrvError> {
+fn open_session(
+    req: &Json,
+    conn_id: u64,
+    tenant: &str,
+    shared: &Arc<Shared>,
+) -> Result<Json, SrvError> {
     let source = req
         .get("source")
         .and_then(Json::as_str)
@@ -696,11 +1240,25 @@ fn open_session(req: &Json, conn_id: u64, shared: &Arc<Shared>) -> Result<Json, 
         }
     }
     let sid = shared.next_session.fetch_add(1, Ordering::Relaxed);
-    shared
-        .sessions
-        .lock()
-        .unwrap()
-        .insert(sid, Arc::new(Mutex::new(Session { cc, owner_conn: conn_id, default_target })));
+    {
+        // Lock order: live_conns → sessions → session_owners. Holding the
+        // live set while inserting closes the race where the connection
+        // dies (and is reaped) mid-compile: a session registered after its
+        // owner's teardown would leak until process exit.
+        let live = shared.live_conns.lock().unwrap();
+        if live.contains(&conn_id) {
+            shared
+                .sessions
+                .lock()
+                .unwrap()
+                .insert(sid, Arc::new(Mutex::new(Session { cc, default_target })));
+            shared
+                .session_owners
+                .lock()
+                .unwrap()
+                .insert(sid, SessionOwner { conn: conn_id, tenant: tenant.to_string() });
+        }
+    }
     shared.tracer.instant(
         Track::Server,
         "session_open",
@@ -960,7 +1518,8 @@ pub fn report_json(r: &OffloadReport) -> Json {
     ])
 }
 
-/// A stats snapshot as a JSON response.
+/// A stats snapshot as a JSON response. (The `stats` frame handler appends
+/// the per-tenant counters and the poller backend on top of these.)
 #[must_use]
 pub fn stats_json(s: &ServerStats) -> Json {
     Json::obj(vec![
@@ -969,12 +1528,18 @@ pub fn stats_json(s: &ServerStats) -> Json {
         ("cache_entries", s.cache_entries.into()),
         ("cache_hits", s.cache_hits.into()),
         ("cache_misses", s.cache_misses.into()),
+        ("disk_hits", s.disk_hits.into()),
+        ("compiles", s.compiles.into()),
+        ("corrupt_evicted", s.corrupt_evicted.into()),
+        ("disk_writes", s.disk_writes.into()),
         ("queued", s.queued.into()),
         ("admitted", s.admitted.into()),
         ("completed", s.completed.into()),
         ("rejected", s.rejected.into()),
+        ("quota_rejected", s.quota_rejected.into()),
         ("deadline_missed", s.deadline_missed.into()),
         ("connections", s.connections.into()),
+        ("connections_open", s.connections_open.into()),
         ("inflight", s.inflight.into()),
         ("overlapped", s.overlapped.into()),
         ("conflict_stalls", s.conflict_stalls.into()),
@@ -1008,11 +1573,4 @@ fn runtime_error(e: RuntimeError) -> SrvError {
         }
     };
     SrvError { code, message: e.to_string(), diagnostics }
-}
-
-fn send_response(writer: &Arc<Mutex<TcpStream>>, resp: &Json) {
-    // A vanished peer is not a server error: the write result is dropped
-    // and the reader loop notices the closed socket on its side.
-    let mut w = writer.lock().unwrap();
-    let _ = send(&mut *w, resp);
 }

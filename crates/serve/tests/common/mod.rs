@@ -28,6 +28,7 @@ pub const SUM: &str = r#"
 "#;
 
 /// A loopback server with explicit pool sizing.
+#[allow(dead_code)] // each test target compiles this module independently
 pub fn start_server(workers: usize, queue_depth: usize) -> Server {
     let config = ServeConfig { workers, queue_depth, ..ServeConfig::default() };
     Server::bind(&config).expect("bind loopback server")
@@ -102,6 +103,7 @@ pub fn ty(resp: &Json) -> &str {
 }
 
 /// The `"code"` of an error response object.
+#[allow(dead_code)] // each test target compiles this module independently
 pub fn code(resp: &Json) -> &str {
     resp.get("code").and_then(Json::as_str).unwrap_or("<missing>")
 }

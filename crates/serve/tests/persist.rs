@@ -1,0 +1,105 @@
+//! Server-level persistence: a server started with a cache directory
+//! spills JIT artifacts, and a *restarted* server over the same directory
+//! serves sessions from disk — at least one disk hit, zero recompiles.
+
+mod common;
+
+use common::{ty, wait_until, RawConn, DOUBLE, SUM};
+use concord_serve::json::Json;
+use concord_serve::{Launch, ServeConfig, Server, SessionHandle, SessionOptions};
+use std::path::{Path, PathBuf};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("concord-serve-persist-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bind_with_cache(dir: &Path) -> Server {
+    let config = ServeConfig {
+        workers: 2,
+        queue_depth: 16,
+        cache_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    };
+    Server::bind(&config).expect("bind cache-backed server")
+}
+
+fn run_double(addr: std::net::SocketAddr) {
+    let mut s = SessionHandle::connect(addr, DOUBLE, &SessionOptions::default()).expect("open");
+    let out = s.malloc(8 * 4).expect("malloc out");
+    let body = s.malloc(16).expect("malloc body");
+    s.write_ptr(body, out).expect("ptr");
+    s.write_i32(body + 8, 8).expect("n");
+    s.parallel_for(&Launch::new("Double", body, 8).target("gpu")).expect("launch");
+    assert_eq!(s.read_i32(out + 4 * 4).expect("read"), 9, "kernel result through the cache path");
+}
+
+#[test]
+fn restarted_server_serves_sessions_from_disk_with_zero_recompiles() {
+    let dir = scratch_dir("restart");
+
+    // First server lifetime: compiles once, spills to disk.
+    let server = bind_with_cache(&dir);
+    run_double(server.addr());
+    let first = server.join();
+    assert_eq!(first.compiles, 1, "first process pays the compile");
+    assert_eq!(first.disk_writes, 1, "and spills it");
+    assert_eq!(first.disk_hits, 0);
+
+    // Restart: a brand-new server process image over the same directory.
+    let server = bind_with_cache(&dir);
+    run_double(server.addr());
+
+    // The stats frame exposes the disk counters to remote clients too.
+    let mut conn = RawConn::connect(server.addr());
+    conn.send(r#"{"type":"stats","id":1}"#);
+    let stats = conn.recv_id(1);
+    assert_eq!(ty(&stats), "stats");
+    assert_eq!(stats.get("disk_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("compiles").and_then(Json::as_u64), Some(0));
+    drop(conn);
+    wait_until("stats conn reaped", || server.stats().connections_open == 0);
+
+    let second = server.join();
+    assert!(second.disk_hits >= 1, "restart must hit the on-disk cache");
+    assert_eq!(second.compiles, 0, "restart must not recompile anything");
+    assert_eq!(second.corrupt_evicted, 0);
+    assert_eq!(second.disk_writes, 0, "nothing new to spill");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn distinct_sources_and_sessions_share_one_cache_dir_across_restarts() {
+    let dir = scratch_dir("multi");
+
+    let server = bind_with_cache(&dir);
+    run_double(server.addr());
+    // A second source in the same directory (reduction kernel).
+    let mut s =
+        SessionHandle::connect(server.addr(), SUM, &SessionOptions::default()).expect("open sum");
+    let data = s.malloc(4 * 4).expect("data");
+    for i in 0..4 {
+        s.write_f32(data + i * 4, 1.5).expect("seed");
+    }
+    let body = s.malloc(16).expect("body");
+    s.write_ptr(body, data).expect("ptr");
+    let _ = s.parallel_reduce(&Launch::new("Sum", body, 4).target("cpu")).expect("reduce");
+    drop(s);
+    let first = server.join();
+    assert_eq!((first.compiles, first.disk_writes), (2, 2));
+
+    // Restart: both sources load from disk; a repeat session of one of
+    // them is then an in-memory hit (disk is only touched on a miss).
+    let server = bind_with_cache(&dir);
+    run_double(server.addr());
+    run_double(server.addr());
+    let second = server.join();
+    assert_eq!(second.disk_hits, 1);
+    assert_eq!(second.cache_hits, 1, "second session is a pure memory hit");
+    assert_eq!(second.compiles, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

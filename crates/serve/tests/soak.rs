@@ -1,0 +1,202 @@
+//! Soak tests for the event-loop front end: hostile connections (slow
+//! loris, half-open) alongside live traffic, per-tenant admission quotas,
+//! and graceful drain under load with balanced accounting.
+
+mod common;
+
+use common::{code, start_server, ty, wait_until, RawConn, DOUBLE};
+use concord_serve::json::Json;
+use concord_serve::{Client, Launch, ServeConfig, Server, SessionHandle, SessionOptions};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A slow-loris peer: connects, dribbles a partial frame, then just sits
+/// there. A thread-per-connection server burns a thread on each of these;
+/// the event loop must serve live traffic past them without noticing.
+#[test]
+fn slow_loris_and_half_open_peers_do_not_starve_live_traffic() {
+    let server = start_server(2, 16);
+    let addr = server.addr();
+
+    // Eight loris peers, each holding an incomplete frame open: a length
+    // prefix promising 1 KiB, then a lone payload byte.
+    let mut loris: Vec<TcpStream> = (0..8)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).expect("loris connect");
+            s.write_all(&1024u32.to_be_bytes()).unwrap();
+            s.write_all(b"{").unwrap();
+            s.flush().unwrap();
+            s
+        })
+        .collect();
+    // Four half-open peers: connected, never send a byte.
+    let idle: Vec<TcpStream> =
+        (0..4).map(|_| TcpStream::connect(addr).expect("idle connect")).collect();
+    wait_until("hostile peers registered", || server.stats().connections_open >= 12);
+
+    // Live traffic must be unaffected: a full session lifecycle, timed.
+    let started = Instant::now();
+    let mut live = SessionHandle::connect(addr, DOUBLE, &SessionOptions::default()).expect("open");
+    let out = live.malloc(16 * 4).expect("malloc out");
+    let body = live.malloc(16).expect("malloc body");
+    live.write_ptr(body, out).expect("write ptr");
+    live.write_i32(body + 8, 16).expect("write n");
+    let report = live.parallel_for(&Launch::new("Double", body, 16).target("cpu")).expect("launch");
+    assert!(report.exec_seconds > 0.0);
+    assert_eq!(live.read_i32(out + 5 * 4).expect("read"), 11);
+    // Generous bound — the point is "not blocked behind 12 dead peers",
+    // not a latency SLO.
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "live session took {:?} behind hostile peers",
+        started.elapsed()
+    );
+
+    // Dribble one more byte per loris to prove they are still mid-frame
+    // (the server has not answered or closed them), then hang up. Each
+    // abandoned partial frame is a truncated_frame on the server's books,
+    // but must not affect anyone else.
+    for s in &mut loris {
+        s.write_all(b"x").unwrap();
+        s.flush().unwrap();
+    }
+    drop(loris);
+    drop(idle);
+    wait_until("hostile peers reaped", || server.stats().connections_open == 1);
+
+    let mut client = live.close().expect("close session");
+    client.ping().expect("live connection survives the purge");
+    drop(client);
+    let stats = server.join();
+    assert_eq!(stats.connections, 13, "8 loris + 4 idle + 1 live");
+    assert_eq!(stats.connections_open, 0);
+    assert_eq!(stats.completed, stats.admitted, "every admitted request completed");
+}
+
+/// Per-tenant quotas: a noisy tenant saturating the queue is capped with
+/// structured `quota_exceeded` errors while a quiet tenant's requests are
+/// still admitted. The `stats` frame breaks counters out per tenant.
+#[test]
+fn tenant_quota_caps_noisy_tenant_without_starving_quiet_one() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 16,
+        tenant_max_inflight: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind");
+    let mut noisy = RawConn::connect(server.addr());
+    let mut quiet = RawConn::connect(server.addr());
+
+    // Six pipelined sleeps from the noisy tenant. With one worker and a
+    // 2-pending cap: the first occupies the worker, the second queues, the
+    // remaining four are over quota the moment the loop reads them.
+    for id in 1..=6u64 {
+        noisy.send(&format!(r#"{{"type":"sleep","ms":400,"tenant":"noisy","id":{id}}}"#));
+    }
+    // Over-quota refusals are answered inline, before the sleeps finish.
+    for id in 3..=6u64 {
+        let resp = noisy.recv_id(id);
+        assert_eq!(ty(&resp), "error", "request {id} should be refused: {resp:?}");
+        assert_eq!(code(&resp), "quota_exceeded");
+        let diag = resp.get("diagnostics").expect("quota error carries diagnostics");
+        assert_eq!(diag.get("tenant").and_then(Json::as_str), Some("noisy"));
+        assert_eq!(diag.get("limit").and_then(Json::as_u64), Some(2));
+    }
+
+    // The quiet tenant still gets in: the queue itself has plenty of room.
+    quiet.send(r#"{"type":"sleep","ms":1,"tenant":"quiet","id":10}"#);
+    assert_eq!(ty(&quiet.recv_id(10)), "ok", "quiet tenant admitted behind noisy one");
+
+    // The noisy tenant's two admitted sleeps complete normally.
+    assert_eq!(ty(&noisy.recv_id(1)), "ok");
+    assert_eq!(ty(&noisy.recv_id(2)), "ok");
+
+    // Per-tenant accounting in the stats frame.
+    noisy.send(r#"{"type":"stats","id":99}"#);
+    let stats = noisy.recv_id(99);
+    assert_eq!(stats.get("quota_rejected").and_then(Json::as_u64), Some(4));
+    let tenants = stats.get("tenants").expect("stats carries per-tenant counters");
+    let noisy_t = tenants.get("noisy").expect("noisy tenant tracked");
+    assert_eq!(noisy_t.get("admitted").and_then(Json::as_u64), Some(2));
+    assert_eq!(noisy_t.get("completed").and_then(Json::as_u64), Some(2));
+    assert_eq!(noisy_t.get("rejected").and_then(Json::as_u64), Some(4));
+    assert_eq!(noisy_t.get("pending").and_then(Json::as_u64), Some(0));
+    let quiet_t = tenants.get("quiet").expect("quiet tenant tracked");
+    assert_eq!(quiet_t.get("admitted").and_then(Json::as_u64), Some(1));
+    assert_eq!(quiet_t.get("rejected").and_then(Json::as_u64), Some(0));
+    assert!(stats.get("poller").and_then(Json::as_str).is_some(), "stats names the poller backend");
+
+    let final_stats = server.join();
+    assert_eq!(final_stats.quota_rejected, 4);
+    assert_eq!(final_stats.rejected, 0, "queue itself never overflowed");
+}
+
+/// A session opened with a tenant option charges that tenant for every
+/// follow-on request (no per-request `tenant` field needed).
+#[test]
+fn session_requests_inherit_the_opening_tenant() {
+    let server = start_server(1, 8);
+    let mut client = Client::connect(server.addr()).expect("client");
+    let opts = SessionOptions { tenant: Some("metered".to_string()), ..SessionOptions::default() };
+    let opened = client.open_session(DOUBLE, &opts).expect("open");
+    let _ = client.malloc(opened.session, 64).expect("malloc");
+    let stats = client.stats().expect("stats");
+    let metered = stats
+        .get("tenants")
+        .and_then(|t| t.get("metered"))
+        .expect("session requests charged to the opening tenant");
+    assert_eq!(metered.get("admitted").and_then(Json::as_u64), Some(2), "open + malloc");
+    drop(client);
+    server.join();
+}
+
+/// Graceful drain under load: shutdown lands while the queue is full and
+/// connections are still submitting. Every admitted request must complete
+/// and flush before `join` returns, everything after the flag answers
+/// `shutting_down`, and the final books balance.
+#[test]
+fn drain_under_load_completes_all_admitted_and_balances_accounting() {
+    let server = start_server(2, 32);
+    let addr = server.addr();
+
+    // Three connections each pipeline 20 short sleeps.
+    let mut conns: Vec<RawConn> = (0..3).map(|_| RawConn::connect(addr)).collect();
+    for (c, conn) in conns.iter_mut().enumerate() {
+        for i in 0..20u64 {
+            conn.send(&format!(r#"{{"type":"sleep","ms":5,"id":{}}}"#, c as u64 * 100 + i));
+        }
+    }
+    // Shutdown lands mid-stream, racing the submissions above.
+    server.request_shutdown();
+
+    // Every request gets exactly one response: ok (admitted and executed),
+    // overloaded (queue full), or a shutting_down error (after the flag).
+    let (mut oks, mut overloaded, mut refused) = (0u64, 0u64, 0u64);
+    for conn in &mut conns {
+        for _ in 0..20 {
+            let resp = conn.recv().expect("one response per request");
+            match ty(&resp) {
+                "ok" => oks += 1,
+                "overloaded" => overloaded += 1,
+                "error" => {
+                    assert_eq!(code(&resp), "shutting_down", "unexpected error: {resp:?}");
+                    refused += 1;
+                }
+                other => panic!("unexpected response type `{other}`: {resp:?}"),
+            }
+        }
+        // After the books are read the server may close at will; the
+        // drain must still have flushed every response above.
+    }
+    assert_eq!(oks + overloaded + refused, 60, "every request answered exactly once");
+
+    let stats = server.join();
+    assert_eq!(stats.admitted, oks, "exactly the admitted requests were executed");
+    assert_eq!(stats.completed, stats.admitted, "drain ran the whole queue");
+    assert_eq!(stats.rejected, overloaded);
+    assert_eq!(stats.connections_open, 0, "all connections torn down after drain");
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.inflight, 0);
+}
