@@ -97,6 +97,14 @@ echo "==> launch-graph differential battery (CONCORD_HOST_THREADS=1 and =8, unde
 timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-workloads --test graph_diff
 timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-workloads --test graph_diff
 
+echo "==> worklist differential battery (CONCORD_HOST_THREADS=1 and =8, under timeout)"
+# The frontier construct (`parallel_worklist_hetero`) must drain
+# byte-identically on every target — cpu, gpu, hybrid, and native — with
+# identical per-round frontier schedules, at any host fan-out. The
+# battery also pins empty-seed, single-item, and mid-drain-trap behavior.
+timeout 600 env CONCORD_HOST_THREADS=1 cargo test -q -p concord-workloads --test worklist_diff
+timeout 600 env CONCORD_HOST_THREADS=8 cargo test -q -p concord-workloads --test worklist_diff
+
 echo "==> bench_client loopback runs (CONCORD_HOST_THREADS=1 and =8, write BENCH_serve*.json)"
 # The served-latency harness itself must stay runnable at both fan-outs.
 # Host threads are pinned so the summaries land on deterministic
@@ -118,6 +126,22 @@ for summary in BENCH_serve.json BENCH_serve_ht8.json; do
     }
 done
 
+echo "==> bench_client worklist runs (CONCORD_HOST_THREADS=1 and =8, write BENCH_worklist*.json)"
+# The served frontier drain must stay runnable and regression-gated at
+# both fan-outs: every client uploads a CSR road network and drains a
+# `parallel_worklist` frontier through the server, and all clients must
+# observe the same deterministic drain shape (asserted in-process).
+timeout 600 env CONCORD_HOST_THREADS=1 cargo run --release --quiet -p concord-bench --bin bench_client -- \
+    --workload worklist --clients 2 --iters 4 --json BENCH_worklist.json
+timeout 600 env CONCORD_HOST_THREADS=8 cargo run --release --quiet -p concord-bench --bin bench_client -- \
+    --workload worklist --clients 2 --iters 4 --json BENCH_worklist_ht8.json
+for summary in BENCH_worklist.json BENCH_worklist_ht8.json; do
+    grep -q '"worklist":' "$summary" || {
+        echo "!! $summary is missing its worklist drain-shape object" >&2
+        exit 1
+    }
+done
+
 echo "==> bench_client mixed-session runs (CONCORD_HOST_THREADS=1 and =8)"
 # The batched launch pair must beat two serialized round trips: each run
 # records serialized-vs-batched percentiles plus the server's overlap
@@ -132,7 +156,8 @@ echo "==> bench_gate: p99 latency regression gate (history in BENCH_history.json
 # configuration (>25% regression fails; a configuration with *no*
 # baseline fails loudly — seed new ones explicitly with --seed-baseline),
 # then appended to the history so future runs are judged against it too.
-for summary in BENCH_serve.json BENCH_serve_ht8.json BENCH_mixed_ht1.json BENCH_mixed_ht8.json; do
+for summary in BENCH_serve.json BENCH_serve_ht8.json BENCH_worklist.json BENCH_worklist_ht8.json \
+               BENCH_mixed_ht1.json BENCH_mixed_ht8.json; do
     cargo run --release --quiet -p concord-bench --bin bench_gate -- \
         --current "$summary" --history BENCH_history.jsonl
     cat "$summary" >> BENCH_history.jsonl
@@ -156,6 +181,22 @@ if cargo run --release --quiet -p concord-bench --bin concord-lint -- \
 fi
 grep -q 'CA104' /tmp/concord_ci_lint.log || {
     echo "!! racy fixture flagged, but not with the uniform-rmw lint (CA104)" >&2
+    cat /tmp/concord_ci_lint.log
+    exit 1
+}
+
+echo "==> concord-lint: racy push-aliasing fixture must be flagged"
+# Negative test for the frontier-queue provenance analysis: a kernel that
+# pushes a value with definite pointer provenance must trip CA107 — a
+# clean exit means worklist lowering lost its pointer-safety screen.
+if cargo run --release --quiet -p concord-bench --bin concord-lint -- \
+    crates/analyze/fixtures/racy_push_alias.cc > /tmp/concord_ci_lint.log 2>&1; then
+    echo "!! concord-lint failed to flag the racy push-aliasing fixture" >&2
+    cat /tmp/concord_ci_lint.log
+    exit 1
+fi
+grep -q 'CA107' /tmp/concord_ci_lint.log || {
+    echo "!! push-aliasing fixture flagged, but not with the pointer-push lint (CA107)" >&2
     cat /tmp/concord_ci_lint.log
     exit 1
 }

@@ -1,0 +1,14 @@
+// Intentionally bad worklist kernel: launders a pointer through the
+// frontier queue as an integer item. The queue holds item indices;
+// re-forging the value as a pointer next round aliases memory behind
+// SVM translation (CA107), and the unguarded accumulation on top is a
+// classic lost-update race (CA104).
+class RacyPushAlias {
+public:
+    int* data;
+    int* sum;
+    void operator()(int v) {
+        sum[0] = sum[0] + v;
+        push((int)(long)&data[v]);
+    }
+};

@@ -548,6 +548,11 @@ impl<'m> Analyzer<'m> {
                 Intrinsic::DeviceMalloc => {
                     AbsVal { aff: Aff::Unknown, prov: Prov::Shared, origin: Origin::Other }
                 }
+                // `push(item)` appends to the runtime-owned frontier
+                // queue: an injective ordered append merged by sort+dedup,
+                // never an access to user-visible memory, so it carries no
+                // provenance of its own (void result).
+                Intrinsic::WlPush => AbsVal::data(Aff::Uniform),
                 Intrinsic::Barrier => AbsVal::data(Aff::Uniform),
                 _ => {
                     // Pure math: uniform in, uniform out.
@@ -639,6 +644,11 @@ impl<'m> Analyzer<'m> {
             Op::IntrinsicCall(Intrinsic::AtomicCasI32 | Intrinsic::DeviceMalloc, _) => {
                 self.access_opaque = true;
             }
+            // The frontier queue is runtime-private: a push is an
+            // injective append (per-chunk segments, deterministic
+            // sort+dedup merge), never a racing access and never part of
+            // the kernel's user-visible footprint — summaries stay exact.
+            Op::IntrinsicCall(Intrinsic::WlPush, _) => {}
             _ => {}
         }
     }
@@ -664,6 +674,35 @@ impl<'m> Analyzer<'m> {
                             b,
                             v,
                         );
+                    }
+                    Op::IntrinsicCall(Intrinsic::WlPush, args) => {
+                        // The frontier queue holds item *indices*. A
+                        // pointer laundered through it comes back as a
+                        // plain integer next round — re-forging it aliases
+                        // memory behind the SVM translation layer and the
+                        // per-round snapshot/commit discipline.
+                        if let Some(&a) = args.first() {
+                            // Definite pointer provenance only: `Unknown`
+                            // (degraded analysis) must not hard-fail the
+                            // `Deny` gate.
+                            if matches!(
+                                vals[a.0 as usize].prov,
+                                Prov::This | Prov::Shared | Prov::Private | Prov::Foreign
+                            ) {
+                                self.push(
+                                    Lint::PointerPush,
+                                    Severity::Error,
+                                    "pointer-derived value pushed to the frontier queue; \
+                                     re-forging it next round aliases memory behind SVM \
+                                     translation (push item indices, not addresses)"
+                                        .to_string(),
+                                    func,
+                                    f,
+                                    b,
+                                    v,
+                                );
+                            }
+                        }
                     }
                     Op::IntrinsicCall(
                         Intrinsic::AtomicAddI32 | Intrinsic::AtomicMinI32 | Intrinsic::AtomicCasI32,

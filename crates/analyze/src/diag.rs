@@ -63,17 +63,23 @@ pub enum Lint {
     /// CA106: memory access through a pointer forged from a non-pointer
     /// integer, which defeats SVM pointer translation (PTROPT).
     ForeignPointer,
+    /// CA107: a pointer-derived value pushed to the frontier queue of
+    /// `parallel_worklist`; the queue holds plain item indices, so the
+    /// pointer is laundered past SVM translation and the per-round
+    /// commit discipline.
+    PointerPush,
 }
 
 impl Lint {
     /// Every lint, in catalog order.
-    pub const ALL: [Lint; 6] = [
+    pub const ALL: [Lint; 7] = [
         Lint::OverlappingStores,
         Lint::UnprovableStoreIndex,
         Lint::UniformStore,
         Lint::UniformRmw,
         Lint::AccumulatorEscape,
         Lint::ForeignPointer,
+        Lint::PointerPush,
     ];
 
     /// Stable lint id (`CA101` …).
@@ -86,6 +92,7 @@ impl Lint {
             Lint::UniformRmw => "CA104",
             Lint::AccumulatorEscape => "CA105",
             Lint::ForeignPointer => "CA106",
+            Lint::PointerPush => "CA107",
         }
     }
 
@@ -99,6 +106,7 @@ impl Lint {
             Lint::UniformRmw => "uniform-rmw",
             Lint::AccumulatorEscape => "accumulator-escape",
             Lint::ForeignPointer => "foreign-pointer",
+            Lint::PointerPush => "pointer-push",
         }
     }
 
@@ -116,6 +124,7 @@ impl Lint {
             Lint::UniformRmw => "non-atomic read-modify-write of a work-item-uniform address",
             Lint::AccumulatorEscape => "reduce accumulator pointer escapes to shared memory",
             Lint::ForeignPointer => "memory access through a pointer forged from a plain integer",
+            Lint::PointerPush => "pointer-derived value pushed to the frontier worklist queue",
         }
     }
 }

@@ -187,3 +187,59 @@ fn report_json_is_well_formed() {
     assert!(json.contains("\"lint\":\"CA104\""), "{json}");
     assert!(json.contains("\"mode\":\"for\""), "{json}");
 }
+
+const RACY_PUSH_ALIAS: &str = include_str!("../fixtures/racy_push_alias.cc");
+
+#[test]
+fn guarded_worklist_push_stays_launchable_under_deny() {
+    // The canonical guarded-monotone worklist body (frontier BFS): the
+    // data-dependent store is a Warning at worst, and the push itself —
+    // an injective append into the runtime-owned frontier queue — adds
+    // no finding, so the kernel launches under a `Deny` gate.
+    let src = r#"
+        class Frontier {
+        public:
+            int* level; int* off; int* adj; int next;
+            void operator()(int v) {
+                for (int e = off[v]; e < off[v + 1]; e = e + 1) {
+                    int w = adj[e];
+                    if (level[w] < 0) {
+                        level[w] = next;
+                        push(w);
+                    }
+                }
+            }
+        };
+    "#;
+    let (module, op) = compile(src, "Frontier");
+    let report = analyze_kernel(&module, op, Mode::For);
+    assert!(!report.has_errors(), "guarded push must pass Deny: {}", report.to_text());
+    assert!(
+        !report.diagnostics.iter().any(|d| d.lint == Lint::PointerPush),
+        "index pushes carry no pointer provenance: {}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn racy_push_alias_flags_pointer_push() {
+    let (module, op) = compile(RACY_PUSH_ALIAS, "RacyPushAlias");
+    let report = analyze_kernel(&module, op, Mode::For);
+    assert!(report.has_errors(), "report: {}", report.to_text());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == Lint::PointerPush && d.severity == Severity::Error),
+        "expected CA107, got: {}",
+        report.to_text()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == Lint::UniformRmw && d.severity == Severity::Error),
+        "the aliasing race itself must still be flagged: {}",
+        report.to_text()
+    );
+}

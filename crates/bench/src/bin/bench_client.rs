@@ -26,6 +26,14 @@
 //! percentiles cover the batched phase; `mixed.serialized_p50_ms` holds
 //! the serialized reference, and the server's overlap/stall counters ride
 //! along.
+//!
+//! `--workload worklist` switches to the frontier benchmark: every client
+//! uploads a CSR road network and drains a `parallel_worklist` frontier
+//! BFS through the server `--iters` times, verifying the first drain
+//! against the host reference. The summary keeps the same schema (so
+//! `bench_gate` keys and gates it like any other mode), adds a
+//! `worklist` object with the drain shape, and defaults its output to
+//! `BENCH_worklist.json`.
 
 use concord_bench::cli::{or_usage, parse_target, value_of, ArgError};
 use concord_bench::render_table;
@@ -33,6 +41,9 @@ use concord_serve::json::Json;
 use concord_serve::{
     BatchEntry, Client, Launch, ServeConfig, Server, SessionHandle, SessionOptions,
 };
+use concord_workloads::graph;
+use concord_workloads::worklist::FrontierBfs;
+use concord_workloads::Workload;
 use std::time::{Duration, Instant};
 
 /// Element-wise kernel; every even-numbered client opens a session with
@@ -160,6 +171,66 @@ fn run_mixed_client(addr: std::net::SocketAddr, iters: usize) -> (Vec<Duration>,
     (serialized, batched)
 }
 
+/// One worklist client: upload a 16x16 CSR road network, then drain the
+/// frontier BFS `iters` times (resetting the level array between drains).
+/// The first drain is verified against the host-side reference. Returns
+/// the per-drain latencies plus the drain shape (rounds, drained items) —
+/// identical for every drain by the determinism contract.
+fn run_worklist_client(
+    addr: std::net::SocketAddr,
+    iters: usize,
+    target: Option<&str>,
+) -> (Vec<Duration>, Vec<u32>) {
+    let spec = FrontierBfs.spec();
+    let opts = SessionOptions { target: target.map(str::to_string), ..SessionOptions::default() };
+    let mut s = SessionHandle::connect(addr, spec.source, &opts).expect("open worklist session");
+
+    let g = graph::road_network(16, 16, 0xBF5);
+    let row_off = g.row_offsets();
+    let cols: Vec<u32> = g.adj.iter().flat_map(|a| a.iter().map(|&(u, _)| u)).collect();
+    let le_bytes =
+        |vals: &[u32]| -> Vec<u8> { vals.iter().flat_map(|v| v.to_le_bytes()).collect() };
+
+    let n = g.n as u64;
+    let row_addr = s.malloc((n + 1) * 4).expect("alloc row_off");
+    s.write(row_addr, &le_bytes(&row_off)).expect("upload row_off");
+    let cols_addr = s.malloc((cols.len() as u64).max(1) * 4).expect("alloc cols");
+    s.write(cols_addr, &le_bytes(&cols)).expect("upload cols");
+    let level_addr = s.malloc(n * 4).expect("alloc level");
+    let body = s.malloc(3 * 8).expect("alloc body");
+    s.write_ptr(body, row_addr).expect("write");
+    s.write_ptr(body + 8, cols_addr).expect("write");
+    s.write_ptr(body + 16, level_addr).expect("write");
+
+    let mut unvisited = vec![0u8; g.n * 4];
+    for chunk in unvisited.chunks_mut(4) {
+        chunk.copy_from_slice(&(-1i32).to_le_bytes());
+    }
+    unvisited[..4].copy_from_slice(&0i32.to_le_bytes());
+
+    let mut latencies = Vec::with_capacity(iters);
+    let mut shape: Vec<u32> = Vec::new();
+    for iter in 0..iters {
+        s.write(level_addr, &unvisited).expect("reset levels");
+        let start = Instant::now();
+        let outcome =
+            s.parallel_worklist(spec.kernel_class, body, &[0], target).expect("drain frontier");
+        latencies.push(start.elapsed());
+        assert!(outcome.rounds() > 0, "seeded drain runs at least one round");
+        if iter == 0 {
+            shape = outcome.frontier_sizes.clone();
+            let expected: Vec<u8> =
+                graph::reference_bfs(&g, 0).iter().flat_map(|v| v.to_le_bytes()).collect();
+            let got = s.read(level_addr, n * 4).expect("read levels");
+            assert_eq!(got, expected, "served drain diverges from the host reference");
+        } else {
+            assert_eq!(outcome.frontier_sizes, shape, "drain shape must be deterministic");
+        }
+    }
+    s.close().expect("close session");
+    (latencies, shape)
+}
+
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -173,12 +244,22 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: bench_client [--addr HOST:PORT] [--clients N] [--iters N] \
-             [--workers N] [--queue N] [--mixed-session] \
+             [--workers N] [--queue N] [--mixed-session] [--workload serve|worklist] \
              [--target cpu|gpu|auto|native|hybrid[:f]] [--json FILE]"
         );
         return;
     }
     let mixed = args.iter().any(|a| a == "--mixed-session");
+    let workload = or_usage(value_of(&args, "--workload")).unwrap_or("serve");
+    if !matches!(workload, "serve" | "worklist") {
+        eprintln!("--workload must be `serve` or `worklist`, got `{workload}`");
+        std::process::exit(2);
+    }
+    let worklist = workload == "worklist";
+    if mixed && worklist {
+        eprintln!("--mixed-session and --workload worklist are separate benchmarks; pick one");
+        std::process::exit(2);
+    }
     let clients = usage_value::<usize>(&args, "--clients").unwrap_or(4).max(1);
     let iters = usage_value::<usize>(&args, "--iters").unwrap_or(16).max(1);
     // Validate the target vocabulary client-side (uniform diagnostics with
@@ -188,7 +269,8 @@ fn main() {
     if let Some(t) = target {
         or_usage(parse_target(t));
     }
-    let json_path = or_usage(value_of(&args, "--json")).unwrap_or("BENCH_serve.json");
+    let default_json = if worklist { "BENCH_worklist.json" } else { "BENCH_serve.json" };
+    let json_path = or_usage(value_of(&args, "--json")).unwrap_or(default_json);
 
     // Either aim at an external daemon or spin up a loopback server.
     let local = match or_usage(value_of(&args, "--addr")) {
@@ -212,9 +294,16 @@ fn main() {
         }),
     };
 
-    let mode = if mixed { "mixed-session" } else { "standard" };
+    let mode = if mixed {
+        "mixed-session"
+    } else if worklist {
+        "worklist"
+    } else {
+        "standard"
+    };
     eprintln!("{clients} clients x {iters} launches against {addr} ({mode})...");
     let wall = Instant::now();
+    let mut drain_shape: Vec<u32> = Vec::new();
     let (mut latencies, mut serialized): (Vec<Duration>, Vec<Duration>) = if mixed {
         std::thread::scope(|scope| {
             let handles: Vec<_> =
@@ -228,6 +317,27 @@ fn main() {
             }
             (all_b, all_s)
         })
+    } else if worklist {
+        let all = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| scope.spawn(move || run_worklist_client(addr, iters, target)))
+                .collect();
+            let mut all = Vec::new();
+            let mut shape: Option<Vec<u32>> = None;
+            for h in handles {
+                let (lat, s) = h.join().expect("client thread");
+                all.extend(lat);
+                match &shape {
+                    None => shape = Some(s),
+                    Some(first) => {
+                        assert_eq!(&s, first, "drain shape must agree across clients");
+                    }
+                }
+            }
+            drain_shape = shape.unwrap_or_default();
+            all
+        });
+        (all, Vec::new())
     } else {
         let batched = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..clients)
@@ -305,6 +415,24 @@ fn main() {
                         0.0.into()
                     },
                 ),
+            ]),
+        ));
+    }
+    if worklist {
+        let drained: u64 = drain_shape.iter().map(|&n| u64::from(n)).sum();
+        eprintln!(
+            "worklist: {} rounds, {} items drained per run (schema concord-bench_client/v1, \
+             mode worklist)",
+            drain_shape.len(),
+            drained,
+        );
+        fields.push((
+            "worklist",
+            Json::obj(vec![
+                ("workload", Json::str("FrontierBFS")),
+                ("rounds", (drain_shape.len() as u64).into()),
+                ("drained_items", drained.into()),
+                ("frontier_sizes", Json::Arr(drain_shape.iter().map(|&n| Json::from(n)).collect())),
             ]),
         ));
     }

@@ -77,6 +77,13 @@ fn main() -> ExitCode {
             let spec = w.spec();
             targets.push(Target { name: spec.name.to_string(), source: spec.source.to_string() });
         }
+        // The frontier (worklist) workloads are part of the builtin
+        // surface too: their guarded `push` bodies must stay clean enough
+        // to launch under a `Deny` gate, and the snapshot pins that.
+        for w in concord_workloads::worklist_workloads() {
+            let spec = w.spec();
+            targets.push(Target { name: spec.name.to_string(), source: spec.source.to_string() });
+        }
     }
     for path in positional(&args) {
         match std::fs::read_to_string(&path) {

@@ -7,6 +7,7 @@
 //! ```text
 //! fig7_to_10 [--system ultrabook|desktop|both] [--tiny|--small|--medium]
 //!            [--target gpu|native|hybrid|hybrid:<fraction>|auto]
+//!            [--workload all|worklist|NAME[,NAME...]]
 //!            [--host-threads N] [--json FILE]
 //! ```
 //!
@@ -15,6 +16,12 @@
 //! evaluate the work-partitioning scheduler against the same CPU
 //! baseline, and `native` measures the JIT backend (x86-64 Linux only —
 //! elsewhere the run exits with a structured error).
+//!
+//! `--workload` selects the benchmarked set: `all` (default) is the
+//! paper's Table 1 nine, `worklist` is the four frontier workloads
+//! (FrontierBFS, WorklistCC, DeltaSSSP, KCore — `parallel_worklist_hetero`
+//! end to end), and a comma-separated name list picks freely from both
+//! sets.
 //!
 //! `--host-threads N` fans the simulated cores and warps across N OS
 //! threads (equivalent to setting `CONCORD_HOST_THREADS=N`). Every number
@@ -25,11 +32,49 @@
 //! the schema documented in EXPERIMENTS.md.
 
 use concord_bench::cli::{flag_present, or_usage, parse_systems, parse_target, value_of};
-use concord_bench::{figure_rows, geomean, render_table, FigureRow};
+use concord_bench::{figure_rows_for, geomean, render_table, FigureRow};
 use concord_energy::SystemConfig;
 use concord_runtime::Target;
 use concord_serve::json::Json;
-use concord_workloads::{Measurement, Scale};
+use concord_workloads::{all_workloads, worklist_workloads, Measurement, Scale, Workload};
+
+/// Resolve the `--workload` selector against both workload sets.
+fn select_workloads(arg: Option<&str>) -> Vec<Box<dyn Workload>> {
+    let frontier = || worklist_workloads().into_iter().map(|w| w as Box<dyn Workload>);
+    match arg {
+        None | Some("all") => all_workloads(),
+        Some("worklist") => frontier().collect(),
+        Some(list) => {
+            let pool: Vec<Box<dyn Workload>> =
+                all_workloads().into_iter().chain(frontier()).collect();
+            let mut picked = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                match pool.iter().position(|w| w.spec().name.eq_ignore_ascii_case(name)) {
+                    Some(i) => {
+                        if !picked.contains(&i) {
+                            picked.push(i);
+                        }
+                    }
+                    None => {
+                        let known: Vec<&str> = pool.iter().map(|w| w.spec().name).collect();
+                        eprintln!(
+                            "unknown workload `{name}` (expected all, worklist, or one of: {})",
+                            known.join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            if picked.is_empty() {
+                eprintln!("--workload selected nothing");
+                std::process::exit(2);
+            }
+            picked.sort_unstable();
+            let mut pool: Vec<Option<Box<dyn Workload>>> = pool.into_iter().map(Some).collect();
+            picked.into_iter().map(|i| pool[i].take().expect("unique index")).collect()
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -55,12 +100,13 @@ fn main() {
         None => Target::Gpu,
     };
     let json_path = or_usage(value_of(&args, "--json")).map(str::to_string);
+    let workloads = select_workloads(or_usage(value_of(&args, "--workload")));
 
     let mut json_rows: Vec<Json> = Vec::new();
     for system in systems {
         let (fig_speed, fig_energy) = if system.name == "ultrabook" { (7, 8) } else { (9, 10) };
-        eprintln!("running {} ({} workloads x 5 measurements)...", system.name, 9);
-        let rows = figure_rows(system, scale, target).unwrap_or_else(|e| {
+        eprintln!("running {} ({} workloads x 5 measurements)...", system.name, workloads.len());
+        let rows = figure_rows_for(&workloads, system, scale, target).unwrap_or_else(|e| {
             // `native` on an unsupported host lands here as a structured
             // runtime error, not a panic.
             eprintln!("fig7_to_10: {e}");

@@ -97,7 +97,24 @@ pub fn figure_rows(
     scale: Scale,
     target: Target,
 ) -> Result<Vec<FigureRow>, RuntimeError> {
-    all_workloads().iter().map(|w| figure_row(w.as_ref(), system, scale, target)).collect()
+    figure_rows_for(&all_workloads(), system, scale, target)
+}
+
+/// [`figure_rows`] over an explicit workload set — the `--workload`
+/// selector's entry point, which lets the figure harness measure the
+/// frontier (`parallel_worklist_hetero`) workloads with the same CPU
+/// baseline and GPU configurations as the Table 1 nine.
+///
+/// # Errors
+///
+/// Propagates the first failing workload run.
+pub fn figure_rows_for(
+    workloads: &[Box<dyn Workload>],
+    system: SystemConfig,
+    scale: Scale,
+    target: Target,
+) -> Result<Vec<FigureRow>, RuntimeError> {
+    workloads.iter().map(|w| figure_row(w.as_ref(), system, scale, target)).collect()
 }
 
 /// Geometric mean helper for figure summaries.

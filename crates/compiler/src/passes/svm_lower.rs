@@ -82,10 +82,14 @@ fn run_lazy(f: &mut Function) -> SvmLowerStats {
                 _ => None,
             };
             // Atomics also dereference their first operand (device_malloc's
-            // argument is a size, not a pointer).
+            // argument is a size, and push's is an item — not pointers).
             let ptr_operand = ptr_operand.or(match &f.inst(id).op {
                 Op::IntrinsicCall(i, args)
-                    if i.is_memory() && *i != concord_ir::Intrinsic::DeviceMalloc =>
+                    if i.is_memory()
+                        && !matches!(
+                            i,
+                            concord_ir::Intrinsic::DeviceMalloc | concord_ir::Intrinsic::WlPush
+                        ) =>
                 {
                     args.first().copied().filter(|&p| is_cpu_ptr(f, p))
                 }
@@ -214,7 +218,11 @@ fn run_defsite(f: &mut Function, eager_stores: bool) -> SvmLowerStats {
                     }
                 }
                 Op::IntrinsicCall(i, args)
-                    if i.is_memory() && i != concord_ir::Intrinsic::DeviceMalloc =>
+                    if i.is_memory()
+                        && !matches!(
+                            i,
+                            concord_ir::Intrinsic::DeviceMalloc | concord_ir::Intrinsic::WlPush
+                        ) =>
                 {
                     if let Some(&t) = args.first().and_then(|p| twin_of.get(p)) {
                         if let Op::IntrinsicCall(_, args) = &mut f.inst_mut(id).op {

@@ -256,6 +256,10 @@ pub struct Interp<'a, M: RegionMem> {
     pub step_budget: u64,
     /// Maximum call depth.
     pub max_depth: u32,
+    /// Next-frontier push segment of the enclosing worklist round, if any.
+    /// `push(item)` appends here; `None` outside `parallel_worklist_hetero`
+    /// (where the intrinsic traps).
+    pub wl: Option<&'a mut Vec<i32>>,
 }
 
 /// Cached frame layouts for a module.
@@ -651,6 +655,19 @@ impl<'a, M: RegionMem> Interp<'a, M> {
                 let size = vals[0].as_i().max(0) as u64;
                 let addr = self.region.device_alloc(size)?;
                 Value::Ptr(addr.0, AddrSpace::Cpu)
+            }
+            Intrinsic::WlPush => {
+                self.core.cycles += 4.0;
+                let item = vals[0].as_i() as i32;
+                match &mut self.wl {
+                    Some(seg) => {
+                        seg.push(item);
+                        Value::I(0)
+                    }
+                    None => {
+                        return Err(Trap::BadIntrinsic("push outside parallel_worklist_hetero"))
+                    }
+                }
             }
             Intrinsic::AtomicAddI32 | Intrinsic::AtomicMinI32 | Intrinsic::AtomicCasI32 => {
                 let (addr, sp) = vals[0].as_ptr();

@@ -68,6 +68,10 @@ struct ChunkOut {
     private: PrivateMem,
     llc_log: Vec<u64>,
     mem_log: Vec<MemOp>,
+    /// Worklist push segment: items this chunk pushed for the next
+    /// frontier, in (work-item, program) order. Empty outside
+    /// `parallel_worklist_hetero`.
+    pushes: Vec<i32>,
     trap: Option<Trap>,
 }
 
@@ -224,6 +228,7 @@ impl CpuSim {
             ids: WorkIds::default(),
             step_budget: self.step_budget_per_item,
             max_depth: 64,
+            wl: None,
         };
         interp.call(&mut self.layouts, func, args)
     }
@@ -274,6 +279,107 @@ impl CpuSim {
         Ok(self.finish_launch("parallel_for"))
     }
 
+    /// Execute one round of a `parallel_worklist_hetero` over the frontier
+    /// sub-range `[lo, hi)` of `[0, grid)`: iteration `i` calls
+    /// `func(body, items[i - lo])` (the kernel receives the frontier
+    /// *element*, not the index), and `push(item)` calls land in per-chunk
+    /// segments appended to `pushes` in chunk order at commit. Gated
+    /// kernels run chunks serially in order, like `parallel_for_span`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel; nothing is appended to `pushes`
+    /// on a trap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != (hi - lo)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_worklist_span(
+        &mut self,
+        region: &mut SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        items: &[i32],
+        pushes: &mut Vec<i32>,
+    ) -> Result<CpuReport, Trap> {
+        assert_eq!(items.len() as u32, hi - lo, "one frontier item per work item");
+        if concord_ir::analysis::uses_gated_ops(module, &[func]) {
+            self.serial_worklist_span(
+                region, vtables, module, func, body, lo, hi, grid, items, pushes,
+            )?;
+            return Ok(self.finish_launch("parallel_worklist"));
+        }
+        let spans = span_chunks(lo, hi, self.cfg.cores.max(1) as usize);
+        let arg0 = vec![body; spans.len()];
+        let pending = self.execute_chunks(
+            region,
+            vtables,
+            module,
+            func,
+            &arg0,
+            &spans,
+            grid,
+            Some((lo, items)),
+        );
+        self.commit_collect(region, pending, Some(pushes))?;
+        Ok(self.finish_launch("parallel_worklist"))
+    }
+
+    /// Serial worklist round for gated kernels: work items run in global
+    /// order against the live region, pushes append directly in program
+    /// order. On a trap, pushes gathered so far are discarded.
+    #[allow(clippy::too_many_arguments)]
+    fn serial_worklist_span(
+        &mut self,
+        region: &mut SharedRegion,
+        vtables: &VtableArea,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        items: &[i32],
+        pushes: &mut Vec<i32>,
+    ) -> Result<(), Trap> {
+        self.reset_timing();
+        let spans = span_chunks(lo, hi, self.cfg.cores.max(1) as usize);
+        let mut seg = Vec::new();
+        for (core_idx, &(c_lo, c_hi)) in spans.iter().enumerate() {
+            for i in c_lo..c_hi {
+                let item = items[(i - lo) as usize];
+                let mut interp = Interp {
+                    module,
+                    region,
+                    vtables,
+                    private: &mut self.privates[core_idx],
+                    core: &mut self.cores[core_idx],
+                    cfg: &self.cfg,
+                    llc: LlcSink::Live(&mut self.llc),
+                    ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: grid as i64 },
+                    step_budget: self.step_budget_per_item,
+                    max_depth: 64,
+                    wl: Some(&mut seg),
+                };
+                interp
+                    .call(
+                        &mut self.layouts,
+                        func,
+                        &[Value::Ptr(body.0, AddrSpace::Cpu), Value::I(item as i64)],
+                    )
+                    .map_err(|t| t.with_kernel(&module.function(func).name))?;
+            }
+        }
+        pushes.append(&mut seg);
+        Ok(())
+    }
+
     /// Serial path for kernels with order-dependent operations
     /// (`device_malloc`, compare-and-swap): executes chunks in order
     /// directly against the live region and LLC.
@@ -304,6 +410,7 @@ impl CpuSim {
                     ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: grid as i64 },
                     step_budget: self.step_budget_per_item,
                     max_depth: 64,
+                    wl: None,
                 };
                 interp
                     .call(
@@ -335,7 +442,7 @@ impl CpuSim {
     ) -> CpuPending {
         let spans = span_chunks(lo, hi, self.cfg.cores.max(1) as usize);
         let arg0 = vec![body; spans.len()];
-        self.execute_chunks(region, vtables, module, func, &arg0, &spans, grid)
+        self.execute_chunks(region, vtables, module, func, &arg0, &spans, grid, None)
     }
 
     /// Execute the accumulation chunks of a `parallel_reduce` without
@@ -356,9 +463,12 @@ impl CpuSim {
         let slots = self.reduce_slots(scratch.len());
         let spans = span_chunks(lo, hi, slots);
         let arg0 = scratch[..slots].to_vec();
-        self.execute_chunks(region, vtables, module, func, &arg0, &spans, grid)
+        self.execute_chunks(region, vtables, module, func, &arg0, &spans, grid, None)
     }
 
+    /// Shared chunk-execution engine. With `wl = Some((lo, items))` the
+    /// launch is a worklist round: work item `i` receives `items[i - lo]`
+    /// as its argument and `push` appends to the chunk's segment.
     #[allow(clippy::too_many_arguments)]
     fn execute_chunks(
         &mut self,
@@ -369,6 +479,7 @@ impl CpuSim {
         arg0: &[CpuAddr],
         spans: &[(u32, u32)],
         grid: u32,
+        wl: Option<(u32, &[i32])>,
     ) -> CpuPending {
         self.reset_timing();
         let sim: &CpuSim = self;
@@ -380,7 +491,12 @@ impl CpuSim {
             let mut layouts = LayoutCache::new();
             let (c_lo, c_hi) = spans[idx];
             let mut trap = None;
+            let mut pushes = Vec::new();
             for i in c_lo..c_hi {
+                let arg1 = match wl {
+                    Some((lo, items)) => items[(i - lo) as usize] as i64,
+                    None => i as i64,
+                };
                 let mut interp = Interp {
                     module,
                     region: &mut shadow,
@@ -392,17 +508,18 @@ impl CpuSim {
                     ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: grid as i64 },
                     step_budget: sim.step_budget_per_item,
                     max_depth: 64,
+                    wl: if wl.is_some() { Some(&mut pushes) } else { None },
                 };
                 if let Err(t) = interp.call(
                     &mut layouts,
                     func,
-                    &[Value::Ptr(arg0[idx].0, AddrSpace::Cpu), Value::I(i as i64)],
+                    &[Value::Ptr(arg0[idx].0, AddrSpace::Cpu), Value::I(arg1)],
                 ) {
                     trap = Some(t.with_kernel(&module.function(func).name));
                     break;
                 }
             }
-            ChunkOut { core, private, llc_log, mem_log: shadow.into_log(), trap }
+            ChunkOut { core, private, llc_log, mem_log: shadow.into_log(), pushes, trap }
         });
         CpuPending { chunks }
     }
@@ -418,7 +535,24 @@ impl CpuSim {
     ///
     /// The trap of the lowest trapped chunk, if any.
     pub fn commit(&mut self, region: &mut SharedRegion, pending: CpuPending) -> Result<(), Trap> {
+        self.commit_collect(region, pending, None)
+    }
+
+    /// [`CpuSim::commit`] that additionally drains each chunk's worklist
+    /// push segment into `pushes` in chunk order (worklist rounds). On a
+    /// trap, nothing is appended — the round's frontier is poisoned.
+    ///
+    /// # Errors
+    ///
+    /// The trap of the lowest trapped chunk, if any.
+    pub fn commit_collect(
+        &mut self,
+        region: &mut SharedRegion,
+        pending: CpuPending,
+        pushes: Option<&mut Vec<i32>>,
+    ) -> Result<(), Trap> {
         let mut trap: Option<Trap> = None;
+        let mut seg: Vec<i32> = Vec::new();
         for (idx, mut chunk) in pending.chunks.into_iter().enumerate() {
             if trap.is_some() {
                 break;
@@ -432,12 +566,18 @@ impl CpuSim {
             }
             apply_log(region, &chunk.mem_log);
             trap = chunk.trap.take();
+            seg.append(&mut chunk.pushes);
             self.cores[idx] = chunk.core;
             self.privates[idx] = chunk.private;
         }
         match trap {
             Some(t) => Err(t),
-            None => Ok(()),
+            None => {
+                if let Some(out) = pushes {
+                    out.append(&mut seg);
+                }
+                Ok(())
+            }
         }
     }
 
@@ -609,6 +749,7 @@ impl CpuSim {
                     ids: WorkIds { global: i as i64, local: 0, group: i as i64, size: grid as i64 },
                     step_budget: self.step_budget_per_item,
                     max_depth: 64,
+                    wl: None,
                 };
                 interp
                     .call(

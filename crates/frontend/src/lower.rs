@@ -1502,6 +1502,7 @@ impl<'a> Lowerer<'a> {
             "atomic_min" => (Intrinsic::AtomicMinI32, 2, STy::Int),
             "atomic_cas" => (Intrinsic::AtomicCasI32, 3, STy::Int),
             "device_malloc" => (Intrinsic::DeviceMalloc, 1, STy::Ptr(Box::new(STy::Void))),
+            "push" => (Intrinsic::WlPush, 1, STy::Void),
             "global_id" => (Intrinsic::GlobalId, 0, STy::Int),
             "global_size" => (Intrinsic::GlobalSize, 0, STy::Int),
             "local_id" => (Intrinsic::LocalId, 0, STy::Int),

@@ -64,6 +64,9 @@ struct WarpOut {
     mem_log: Vec<MemOp>,
     /// First trap hit by this warp, if any.
     trap: Option<Trap>,
+    /// Next-frontier push segment in (lane-step, lane) order; empty
+    /// outside worklist launches.
+    pushes: Vec<i32>,
 }
 
 /// An executed-but-uncommitted GPU launch: per-warp timing, L3/trace
@@ -274,6 +277,7 @@ impl GpuSim {
                 log: Vec::new(),
                 divergences: 0,
                 reconvergences: 0,
+                wl: None,
             };
             let args: Vec<Vec<Value>> = (0..width as usize)
                 .map(|l| {
@@ -284,7 +288,13 @@ impl GpuSim {
                 .exec_function(mask, func, &args, 0)
                 .map_err(|t| t.with_kernel(&module.function(func).name))
                 .err();
-            WarpOut { timing: warp.timing, log: warp.log, mem_log: shadow.into_log(), trap }
+            WarpOut {
+                timing: warp.timing,
+                log: warp.log,
+                mem_log: shadow.into_log(),
+                trap,
+                pushes: Vec::new(),
+            }
         });
         GpuPending { warps: outs, hiding }
     }
@@ -332,6 +342,7 @@ impl GpuSim {
                 log: Vec::new(),
                 divergences: 0,
                 reconvergences: 0,
+                wl: None,
             };
             let args: Vec<Vec<Value>> = (0..width as usize)
                 .map(|l| {
@@ -347,6 +358,188 @@ impl GpuSim {
             res?;
             accumulate(&mut eu_cycles, &mut eu_issue, &mut totals, eu, timing);
         }
+        Ok(self.finish_report(&eu_cycles, &eu_issue, totals, warps))
+    }
+
+    /// Launch one round of `parallel_worklist_hetero` over the frontier
+    /// sub-range `[lo, hi)` of a `[0, grid)` frontier: work-item `i`
+    /// executes `func(body, items[i - lo])` in a SIMD lane, and `push`ed
+    /// items are appended to `pushes` in fixed (warp, lane) order. The
+    /// caller merges the per-target segments into the next frontier by
+    /// sorting and deduplicating, so the contents are independent of the
+    /// warp schedule.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`]; a trap discards the round's pushes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_worklist_span(
+        &mut self,
+        region: &mut SharedRegion,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        items: &[i32],
+        pushes: &mut Vec<i32>,
+    ) -> Result<GpuReport, Trap> {
+        assert_eq!(items.len() as u32, hi - lo, "one frontier item per work-item");
+        if concord_ir::analysis::uses_gated_ops(module, &[func]) {
+            return self
+                .serial_worklist_span(region, module, func, body, lo, hi, grid, items, pushes);
+        }
+        let pending = self.execute_worklist_span(region, module, func, body, lo, hi, grid, items);
+        self.commit_collect(region, pending, Some(pushes))
+    }
+
+    /// Execute the warps of a worklist round without committing: like
+    /// [`GpuSim::execute_for_span`], but lane `i` receives frontier item
+    /// `items[i - lo]` as its argument and collects `push`es into a
+    /// per-warp segment.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_worklist_span(
+        &self,
+        region: &SharedRegion,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        items: &[i32],
+    ) -> GpuPending {
+        let width = self.cfg.simd_width;
+        let eus = self.cfg.eus as u64;
+        let (warps, hiding) = self.geometry(lo, hi);
+        let meta = Mutex::new(MetaCache::new());
+        let trace_on = self.tracer.enabled();
+        let outs = concord_pool::map_dynamic(self.host_threads, warps as usize, |wi| {
+            let w = wi as u64;
+            let base = lo as u64 + w * width as u64;
+            let (lanes, mask) = self.make_lanes(w, base, hi, grid, width);
+            let mut shadow = ShadowRegion::new(region);
+            let mut warp = Warp {
+                module,
+                region: &mut shadow,
+                cfg: &self.cfg,
+                meta: &meta,
+                lanes,
+                local: vec![0; self.cfg.local_bytes as usize],
+                eu: (w % eus) as u32,
+                wave: (w / eus) as u32,
+                timing: WarpTiming::default(),
+                step_budget: self.step_budget_per_warp,
+                hiding,
+                trace_enabled: trace_on,
+                log: Vec::new(),
+                divergences: 0,
+                reconvergences: 0,
+                wl: Some(Vec::new()),
+            };
+            let args: Vec<Vec<Value>> = (0..width as usize)
+                .map(|l| {
+                    // Inactive lanes (beyond `hi`) are masked off; give
+                    // them a zero argument.
+                    let idx = (base + l as u64 - lo as u64) as usize;
+                    let item = items.get(idx).copied().unwrap_or(0);
+                    vec![Value::Ptr(body.0, AddrSpace::Cpu), Value::I(item as i64)]
+                })
+                .collect();
+            let trap = warp
+                .exec_function(mask, func, &args, 0)
+                .map_err(|t| t.with_kernel(&module.function(func).name))
+                .err();
+            let pushes = warp.wl.take().unwrap_or_default();
+            WarpOut { timing: warp.timing, log: warp.log, mem_log: shadow.into_log(), trap, pushes }
+        });
+        GpuPending { warps: outs, hiding }
+    }
+
+    /// Serial worklist path for gated kernels (see
+    /// [`GpuSim::serial_for_span`]): warps execute in order against the
+    /// live region, appending their push segments to `pushes` in warp
+    /// order. A trap discards the round's pushes.
+    #[allow(clippy::too_many_arguments)]
+    fn serial_worklist_span(
+        &mut self,
+        region: &mut SharedRegion,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        items: &[i32],
+        pushes: &mut Vec<i32>,
+    ) -> Result<GpuReport, Trap> {
+        self.l3.flush();
+        let width = self.cfg.simd_width;
+        let eus = self.cfg.eus as usize;
+        let (warps, hiding) = self.geometry(lo, hi);
+        let mut eu_cycles = vec![0.0f64; eus];
+        let mut eu_issue = vec![0.0f64; eus];
+        let mut totals = WarpTiming::default();
+        let mut seg: Vec<i32> = Vec::new();
+        let meta = Mutex::new(MetaCache::new());
+        for w in 0..warps {
+            let eu = (w % eus as u64) as u32;
+            let wave = (w / eus as u64) as u32;
+            let base = lo as u64 + w * width as u64;
+            let (lanes, mask) = self.make_lanes(w, base, hi, grid, width);
+            let mut warp = Warp {
+                module,
+                region: &mut *region,
+                cfg: &self.cfg,
+                meta: &meta,
+                lanes,
+                local: vec![0; self.cfg.local_bytes as usize],
+                eu,
+                wave,
+                timing: WarpTiming::default(),
+                step_budget: self.step_budget_per_warp,
+                hiding,
+                trace_enabled: self.tracer.enabled(),
+                log: Vec::new(),
+                divergences: 0,
+                reconvergences: 0,
+                wl: Some(Vec::new()),
+            };
+            let args: Vec<Vec<Value>> = (0..width as usize)
+                .map(|l| {
+                    let idx = (base + l as u64 - lo as u64) as usize;
+                    let item = items.get(idx).copied().unwrap_or(0);
+                    vec![Value::Ptr(body.0, AddrSpace::Cpu), Value::I(item as i64)]
+                })
+                .collect();
+            // One lane at a time, ascending: gated worklist bodies read
+            // values their own round already wrote (cas-guarded pushes),
+            // so lanes must see each other's effects exactly as the
+            // cpusim/native serial paths do — lockstep lane loads would
+            // observe stale values and drop relaxations.
+            let mut res = Ok(());
+            for l in 0..width {
+                if mask & (1 << l) == 0 {
+                    continue;
+                }
+                res = warp
+                    .exec_function(1 << l, func, &args, 0)
+                    .map(|_| ())
+                    .map_err(|t| t.with_kernel(&module.function(func).name));
+                if res.is_err() {
+                    break;
+                }
+            }
+            let mut timing = warp.timing;
+            let wl_seg = warp.wl.take().unwrap_or_default();
+            let log = warp.log;
+            self.replay_warp_log(log, &mut timing, eu, wave, hiding);
+            res?;
+            seg.extend(wl_seg);
+            accumulate(&mut eu_cycles, &mut eu_issue, &mut totals, eu, timing);
+        }
+        pushes.append(&mut seg);
         Ok(self.finish_report(&eu_cycles, &eu_issue, totals, warps))
     }
 
@@ -440,6 +633,23 @@ impl GpuSim {
         region: &mut SharedRegion,
         pending: GpuPending,
     ) -> Result<GpuReport, Trap> {
+        self.commit_collect(region, pending, None)
+    }
+
+    /// [`GpuSim::commit`] that additionally drains each committed warp's
+    /// next-frontier push segment, in warp order, into `pushes`. Nothing
+    /// is appended when a warp trapped: the runtime aborts the worklist
+    /// round, so partial frontiers must not escape.
+    ///
+    /// # Errors
+    ///
+    /// The trap of the lowest trapped warp, if any.
+    pub fn commit_collect(
+        &mut self,
+        region: &mut SharedRegion,
+        pending: GpuPending,
+        pushes: Option<&mut Vec<i32>>,
+    ) -> Result<GpuReport, Trap> {
         self.l3.flush();
         let eus = self.cfg.eus as usize;
         let GpuPending { warps, hiding } = pending;
@@ -447,6 +657,7 @@ impl GpuSim {
         let mut eu_cycles = vec![0.0f64; eus];
         let mut eu_issue = vec![0.0f64; eus];
         let mut totals = WarpTiming::default();
+        let mut seg: Vec<i32> = Vec::new();
         for (w, out) in warps.into_iter().enumerate() {
             let eu = (w % eus) as u32;
             let wave = (w / eus) as u32;
@@ -456,7 +667,11 @@ impl GpuSim {
             if let Some(t) = out.trap {
                 return Err(t);
             }
+            seg.extend(out.pushes);
             accumulate(&mut eu_cycles, &mut eu_issue, &mut totals, eu, timing);
+        }
+        if let Some(p) = pushes {
+            p.append(&mut seg);
         }
         Ok(self.finish_report(&eu_cycles, &eu_issue, totals, warp_count))
     }
@@ -584,6 +799,7 @@ impl GpuSim {
                 log: Vec::new(),
                 divergences: 0,
                 reconvergences: 0,
+                wl: None,
             };
             let trap = reduce_warp_steps(
                 &mut warp,
@@ -599,7 +815,13 @@ impl GpuSim {
                 scratch[wi],
             )
             .err();
-            WarpOut { timing: warp.timing, log: warp.log, mem_log: shadow.into_log(), trap }
+            WarpOut {
+                timing: warp.timing,
+                log: warp.log,
+                mem_log: shadow.into_log(),
+                trap,
+                pushes: Vec::new(),
+            }
         });
         GpuPending { warps: outs, hiding }
     }
@@ -649,6 +871,7 @@ impl GpuSim {
                 log: Vec::new(),
                 divergences: 0,
                 reconvergences: 0,
+                wl: None,
             };
             let res = reduce_warp_steps(
                 &mut warp,

@@ -255,6 +255,10 @@ pub struct Warp<'a, M: RegionMem> {
     pub divergences: u64,
     /// Running reconvergence count (sampling state).
     pub reconvergences: u64,
+    /// Next-frontier push segment of the enclosing worklist round, if any.
+    /// `push(item)` appends here per active lane in lane order; `None`
+    /// outside `parallel_worklist_hetero` (where the intrinsic traps).
+    pub wl: Option<Vec<i32>>,
 }
 
 impl<'a, M: RegionMem> Warp<'a, M> {
@@ -785,9 +789,26 @@ impl<'a, M: RegionMem> Warp<'a, M> {
             Intrinsic::Pow => 12.0,
             Intrinsic::Barrier => 2.0,
             Intrinsic::AtomicAddI32 | Intrinsic::AtomicMinI32 | Intrinsic::AtomicCasI32 => 2.0,
+            Intrinsic::WlPush => 2.0,
             _ => 1.0,
         };
         self.issue(issue);
+        if intr == Intrinsic::WlPush {
+            // Per-lane append into the warp's next-frontier segment, in
+            // lane order. The ordered commit sorts and dedups the merged
+            // segments, so frontier contents don't depend on the warp
+            // schedule — shadowed execution is safe here.
+            for l in active(m, width) {
+                let item = regs[l][iargs[0].0 as usize].ok_or(Trap::Unreachable)?.as_i() as i32;
+                match &mut self.wl {
+                    Some(seg) => seg.push(item),
+                    None => {
+                        return Err(Trap::BadIntrinsic("push outside parallel_worklist_hetero"))
+                    }
+                }
+            }
+            return Ok(());
+        }
         if intr == Intrinsic::DeviceMalloc {
             // Serialized atomic bump per requesting lane. (Gated to the
             // serial path, so `M` is always the live region here.)
@@ -863,7 +884,8 @@ impl<'a, M: RegionMem> Warp<'a, M> {
                 Intrinsic::AtomicAddI32
                 | Intrinsic::AtomicMinI32
                 | Intrinsic::AtomicCasI32
-                | Intrinsic::DeviceMalloc => unreachable!("handled above"),
+                | Intrinsic::DeviceMalloc
+                | Intrinsic::WlPush => unreachable!("handled above"),
             };
             if ty != Type::Void {
                 regs[l][id.0 as usize] = Some(v);

@@ -428,6 +428,7 @@ tag_codec!(Intrinsic {
     SMin = 15,
     SMax = 16,
     DeviceMalloc = 17,
+    WlPush = 18,
 });
 tag_codec!(KernelKind { ForBody = 0, ReduceJoin = 1 });
 

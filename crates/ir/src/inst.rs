@@ -237,6 +237,12 @@ pub enum Intrinsic {
     /// (the §2.1 restriction the paper plans to lift; implemented here).
     /// `(size: i32) -> ptr(cpu)`; returns null when the heap is exhausted.
     DeviceMalloc,
+    /// Worklist push: `(item: i32) -> void`. Appends `item` to the next
+    /// frontier of the enclosing `parallel_worklist_hetero` construct.
+    /// Pushes land in a per-chunk segment merged at commit into a sorted,
+    /// deduplicated frontier, so the drain order is deterministic on every
+    /// target at any host-thread count. Traps outside a worklist launch.
+    WlPush,
 }
 
 impl Intrinsic {
@@ -261,6 +267,7 @@ impl Intrinsic {
             Intrinsic::SMin => "min",
             Intrinsic::SMax => "max",
             Intrinsic::DeviceMalloc => "device_malloc",
+            Intrinsic::WlPush => "push",
         }
     }
 
@@ -272,6 +279,7 @@ impl Intrinsic {
                 | Intrinsic::AtomicMinI32
                 | Intrinsic::AtomicCasI32
                 | Intrinsic::DeviceMalloc
+                | Intrinsic::WlPush
         )
     }
 }

@@ -33,6 +33,7 @@ pub(crate) const TRAP_UNREACHABLE: u64 = 4;
 pub(crate) const TRAP_BAD_DISPATCH: u64 = 5;
 pub(crate) const TRAP_STACK_OVERFLOW: u64 = 6;
 pub(crate) const TRAP_STEP_LIMIT: u64 = 7;
+pub(crate) const TRAP_WL_PUSH: u64 = 8;
 
 // Field offsets used by the code generator (see the layout test).
 pub(crate) const OFF_REGION_BASE: i32 = 0;
@@ -57,6 +58,11 @@ pub(crate) const OFF_GPU_BASE: i32 = 136;
 pub(crate) const OFF_LIMIT_CPU: i32 = 144;
 /// Same, for the private space.
 pub(crate) const OFF_LIMIT_PRIV: i32 = 176;
+/// Worklist push sink (`*mut Vec<i32>`), null outside worklist launches.
+/// Generated code reaches the sink only through [`h_wl_push`], so the
+/// offset is pinned by the layout test alone.
+#[allow(dead_code)]
+pub(crate) const OFF_WL_SINK: i32 = 208;
 
 /// Execution environment handed to generated code (one per host core).
 #[repr(C)]
@@ -104,6 +110,9 @@ pub struct Env {
     pub limit_cpu: [u64; 4],
     /// `priv_len - size` for sizes 1/2/4/8.
     pub limit_priv: [u64; 4],
+    /// Next-frontier push segment of the enclosing worklist round; null
+    /// outside `parallel_worklist_hetero` (where `push` traps).
+    pub wl: *mut Vec<i32>,
 }
 
 impl Env {
@@ -145,6 +154,7 @@ impl Env {
             gpu_base: GPU_BASE,
             limit_cpu: limits(region_len as u64),
             limit_priv: limits(priv_len as u64),
+            wl: std::ptr::null_mut(),
         }
     }
 
@@ -184,6 +194,7 @@ impl Env {
             TRAP_STEP_LIMIT => {
                 Trap::StepLimitExceeded { kernel: kernel.to_string(), global_id: self.global_id }
             }
+            TRAP_WL_PUSH => Trap::BadIntrinsic("push outside parallel_worklist_hetero"),
             _ => Trap::Unreachable,
         })
     }
@@ -261,6 +272,21 @@ pub(crate) extern "C" fn h_device_malloc(env: *mut Env, size: i64) -> u64 {
     base
 }
 
+/// `push(item)`: append to the bound next-frontier segment. With no
+/// worklist launch active the sink is null — record [`TRAP_WL_PUSH`];
+/// the generated code checks the trap cell after the call and bails.
+pub(crate) extern "C" fn h_wl_push(env: *mut Env, item: i64) {
+    // SAFETY: generated code passes the env it was launched with.
+    let env = unsafe { &mut *env };
+    if env.wl.is_null() {
+        env.trap_code = TRAP_WL_PUSH;
+        return;
+    }
+    // SAFETY: the launch driver keeps the segment alive and exclusively
+    // bound to this env for the whole launch.
+    unsafe { (*env.wl).push(item as i32) };
+}
+
 /// Compile-time check that `CPU_BASE` is the constant the fused
 /// range+bounds check assumes (an address below it classifies private).
 const _: () = assert!(CPU_BASE == 0x4000_0000_0000);
@@ -291,6 +317,7 @@ mod tests {
         assert_eq!(offset_of!(Env, gpu_base), OFF_GPU_BASE as usize);
         assert_eq!(offset_of!(Env, limit_cpu), OFF_LIMIT_CPU as usize);
         assert_eq!(offset_of!(Env, limit_priv), OFF_LIMIT_PRIV as usize);
+        assert_eq!(offset_of!(Env, wl), OFF_WL_SINK as usize);
     }
 
     #[test]

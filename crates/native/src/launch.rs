@@ -129,6 +129,102 @@ impl Executor {
         Ok(stats)
     }
 
+    /// Execute one round of `parallel_worklist_hetero` over the frontier
+    /// sub-range `[lo, hi)` of a `[0, grid)` frontier: work-item `i`
+    /// calls `func(body, items[i - lo])` with global work-item id `i`,
+    /// and `push`ed items are appended to `pushes` in fixed (chunk,
+    /// work-item, program) order. The caller merges segments into the
+    /// next frontier by sorting and deduplicating, so frontier contents
+    /// match the simulators' exactly.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`]; under host parallelism the lowest-work-item trap
+    /// wins, as it would serially, and a trap discards the round's
+    /// pushes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_worklist(
+        &mut self,
+        region: &mut SharedRegion,
+        nm: &NativeModule,
+        module: &Module,
+        func: FuncId,
+        body: CpuAddr,
+        lo: u32,
+        hi: u32,
+        grid: u32,
+        items: &[i32],
+        pushes: &mut Vec<i32>,
+    ) -> Result<LaunchStats, Trap> {
+        assert_eq!(items.len() as u32, hi - lo, "one frontier item per work-item");
+        let name = &module.function(func).name;
+        let entry = jit(nm.code_ptrs[func.0 as usize]);
+        let spans = span_chunks(lo, hi, self.cores);
+        let mut stats = LaunchStats::default();
+        let mut seg: Vec<i32> = Vec::new();
+        if uses_gated_ops(module, &[func]) {
+            for (core_idx, &(c_lo, c_hi)) in spans.iter().enumerate() {
+                let (rbase, rlen) = region.raw_parts_mut();
+                let privm = &mut self.privates[core_idx];
+                let mut env = Env::new(
+                    (rbase, rlen),
+                    (privm.as_mut_ptr(), privm.len()),
+                    nm.class_count,
+                    &nm.code_ptrs,
+                );
+                let (trap, insts) = run_span_wl(
+                    &mut env,
+                    entry,
+                    name,
+                    c_lo,
+                    c_hi,
+                    grid,
+                    body,
+                    self.step_budget,
+                    lo,
+                    items,
+                    &mut seg,
+                );
+                stats.insts += insts;
+                if let Some(t) = trap {
+                    return Err(t);
+                }
+            }
+        } else {
+            let (rbase, rlen) = region.raw_parts_mut();
+            let privs: Vec<(usize, usize)> =
+                self.privates.iter_mut().map(|p| (p.as_mut_ptr() as usize, p.len())).collect();
+            let region_base = rbase as usize;
+            let budget = self.step_budget;
+            let class_count = nm.class_count;
+            let code_ptrs = &nm.code_ptrs;
+            let out = concord_pool::map(self.host_threads, spans.len(), |idx| {
+                let (c_lo, c_hi) = spans[idx];
+                let (pbase, plen) = privs[idx];
+                let mut env = Env::new(
+                    (region_base as *mut u8, rlen),
+                    (pbase as *mut u8, plen),
+                    class_count,
+                    code_ptrs,
+                );
+                let mut cseg: Vec<i32> = Vec::new();
+                let (trap, insts) = run_span_wl(
+                    &mut env, entry, name, c_lo, c_hi, grid, body, budget, lo, items, &mut cseg,
+                );
+                (trap, insts, cseg)
+            });
+            for (trap, insts, mut cseg) in out {
+                stats.insts += insts;
+                if let Some(t) = trap {
+                    return Err(t);
+                }
+                seg.append(&mut cseg);
+            }
+        }
+        pushes.append(&mut seg);
+        Ok(stats)
+    }
+
     /// Execute `parallel_reduce_hetero(n, body)`: each chunk lane folds
     /// its range into a private copy of the body held in its `scratch`
     /// slot, then the copies are joined into the original sequentially —
@@ -273,6 +369,44 @@ impl Executor {
             run_span(&mut env, entry, name, c_lo, c_hi, grid, arg0[idx], budget)
         })
     }
+}
+
+/// [`run_span`] with a worklist push sink bound: work-item `i` receives
+/// frontier item `items[i - lo]` as its argument (sign-extended, as the
+/// interpreter passes it) and `push`es land in `seg`.
+#[allow(clippy::too_many_arguments)]
+fn run_span_wl(
+    env: &mut Env,
+    entry: JitFn,
+    name: &str,
+    c_lo: u32,
+    c_hi: u32,
+    grid: u32,
+    arg0: CpuAddr,
+    budget: i64,
+    lo: u32,
+    items: &[i32],
+    seg: &mut Vec<i32>,
+) -> (Option<Trap>, u64) {
+    env.wl = seg as *mut Vec<i32>;
+    let mut insts = 0u64;
+    let mut trap = None;
+    for i in c_lo..c_hi {
+        env.reset_item(i as i64, grid as i64, budget);
+        let item = items[(i - lo) as usize];
+        let args = [arg0.0, item as i64 as u64];
+        // SAFETY: `entry` is a generated function of the module whose
+        // `code_ptrs` this env carries; the args array outlives the call
+        // and the generated code only reads `params.len() <= 2` words.
+        unsafe { entry(&mut *env, args.as_ptr()) };
+        insts += (budget - env.steps.max(0)) as u64;
+        if let Some(t) = env.take_trap(name) {
+            trap = Some(t);
+            break;
+        }
+    }
+    env.wl = std::ptr::null_mut();
+    (trap, insts)
 }
 
 /// Run work items `[c_lo, c_hi)` through `entry`, stopping at the first

@@ -44,12 +44,12 @@
 
 use crate::asm::{Alu, Asm, Cc, Label, Mem, Reg, Xmm};
 use crate::env::{
-    h_device_malloc, h_exp, h_f2i, h_floor, h_fmax, h_fmin, h_pow, Env, MAX_DEPTH, OFF_CLASS_COUNT,
-    OFF_CODE_PTRS, OFF_DEPTH, OFF_GLOBAL_ID, OFF_GLOBAL_SIZE, OFF_GPU_BASE, OFF_GROUP_ID,
-    OFF_LIMIT_CPU, OFF_LIMIT_PRIV, OFF_LOCAL_ID, OFF_NFUNCS, OFF_PRIV_BASE, OFF_PRIV_LEN,
-    OFF_PRIV_SP, OFF_REGION_BASE, OFF_STEPS, OFF_TRAP_A, OFF_TRAP_B, OFF_TRAP_CODE, PRIVATE_BASE,
-    TRAP_BAD_ADDRESS, TRAP_BAD_DISPATCH, TRAP_DIV_ZERO, TRAP_STACK_OVERFLOW, TRAP_STEP_LIMIT,
-    TRAP_UNREACHABLE, TRAP_WRONG_SPACE,
+    h_device_malloc, h_exp, h_f2i, h_floor, h_fmax, h_fmin, h_pow, h_wl_push, Env, MAX_DEPTH,
+    OFF_CLASS_COUNT, OFF_CODE_PTRS, OFF_DEPTH, OFF_GLOBAL_ID, OFF_GLOBAL_SIZE, OFF_GPU_BASE,
+    OFF_GROUP_ID, OFF_LIMIT_CPU, OFF_LIMIT_PRIV, OFF_LOCAL_ID, OFF_NFUNCS, OFF_PRIV_BASE,
+    OFF_PRIV_LEN, OFF_PRIV_SP, OFF_REGION_BASE, OFF_STEPS, OFF_TRAP_A, OFF_TRAP_B, OFF_TRAP_CODE,
+    PRIVATE_BASE, TRAP_BAD_ADDRESS, TRAP_BAD_DISPATCH, TRAP_DIV_ZERO, TRAP_STACK_OVERFLOW,
+    TRAP_STEP_LIMIT, TRAP_UNREACHABLE, TRAP_WRONG_SPACE,
 };
 use crate::regalloc::{allocate, Allocation};
 use crate::CompileError;
@@ -1103,6 +1103,15 @@ impl<'a> FnLower<'a> {
                 self.a.mov_rr(Reg::Rdi, Reg::R15);
                 self.call_helper(h_device_malloc as extern "C" fn(*mut Env, i64) -> u64 as usize);
                 self.write(id, Reg::Rax);
+            }
+            WlPush => {
+                self.read_into(arg(0)?, Reg::Rsi);
+                self.a.mov_rr(Reg::Rdi, Reg::R15);
+                self.call_helper(h_wl_push as extern "C" fn(*mut Env, i64) as usize);
+                // A null sink records TRAP_WL_PUSH; bail like a trapped
+                // callee.
+                self.a.cmp_mi(self.env(OFF_TRAP_CODE), 0);
+                self.a.jcc(Cc::Ne, self.bail);
             }
             AtomicAddI32 | AtomicMinI32 | AtomicCasI32 => {
                 self.emit_atomic(id, intr, args)?;

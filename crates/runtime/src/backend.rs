@@ -123,6 +123,27 @@ pub trait DeviceBackend {
         span: Span,
     ) -> Result<LaunchStats, Trap>;
 
+    /// Run one round of `parallel_worklist_hetero`: `func(body,
+    /// items[i - span.lo])` for every `i` in `span`, appending `push`ed
+    /// items to `pushes` in the backend's fixed commit order. The runtime
+    /// merges the per-span segments into the next frontier by sorting and
+    /// deduplicating, so the frontier is identical on every backend at
+    /// any host-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`] raised by the kernel; a trap discards the round's
+    /// pushes.
+    fn launch_worklist(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        body: CpuAddr,
+        span: Span,
+        items: &[i32],
+        pushes: &mut Vec<i32>,
+    ) -> Result<LaunchStats, Trap>;
+
     /// Accumulate `span` into per-worker copies of `body`, leaving one
     /// partial per `scratch` slot. Device-level joins only (the GPU
     /// tree-reduces through local memory per warp, §3.3); the runtime
@@ -289,6 +310,39 @@ impl DeviceBackend for CpuBackend {
         Ok(stats)
     }
 
+    fn launch_worklist(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        body: CpuAddr,
+        span: Span,
+        items: &[i32],
+        pushes: &mut Vec<i32>,
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Runtime, "cpu_launch");
+        let r = self.sim.parallel_worklist_span(
+            ctx.region,
+            ctx.vtables,
+            ctx.cpu_module,
+            func,
+            body,
+            span.lo,
+            span.hi,
+            span.grid,
+            items,
+            pushes,
+        )?;
+        let stats = LaunchStats {
+            seconds: r.seconds,
+            busy_fraction: 1.0,
+            insts: r.counters.insts,
+            translations: r.counters.translations,
+            ..Default::default()
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+
     fn launch_reduce(
         &mut self,
         ctx: &mut ExecCtx<'_>,
@@ -421,6 +475,40 @@ impl DeviceBackend for GpuBackend {
             span.lo,
             span.hi,
             span.grid,
+        )?;
+        let stats = LaunchStats {
+            seconds: r.seconds,
+            busy_fraction: r.busy_fraction,
+            insts: r.insts,
+            translations: r.translations,
+            transactions: r.transactions,
+            contended: r.contended,
+            l3_hit_rate: r.l3_hit_rate,
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+
+    fn launch_worklist(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        body: CpuAddr,
+        span: Span,
+        items: &[i32],
+        pushes: &mut Vec<i32>,
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Runtime, "gpu_launch");
+        let r = self.sim.parallel_worklist_span(
+            ctx.region,
+            ctx.gpu_module,
+            func,
+            body,
+            span.lo,
+            span.hi,
+            span.grid,
+            items,
+            pushes,
         )?;
         let stats = LaunchStats {
             seconds: r.seconds,
@@ -585,6 +673,40 @@ impl DeviceBackend for NativeBackend {
             span.lo,
             span.hi,
             span.grid,
+        )?;
+        let stats = LaunchStats {
+            seconds: start.elapsed().as_secs_f64(),
+            busy_fraction: 1.0,
+            insts: r.insts,
+            ..Default::default()
+        };
+        close_launch_span(sp, span, &stats);
+        Ok(stats)
+    }
+
+    fn launch_worklist(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        func: FuncId,
+        body: CpuAddr,
+        span: Span,
+        items: &[i32],
+        pushes: &mut Vec<i32>,
+    ) -> Result<LaunchStats, Trap> {
+        let sp = ctx.tracer.span(Track::Native, "native_launch");
+        let nm = self.module();
+        let start = std::time::Instant::now();
+        let r = self.exec.parallel_worklist(
+            ctx.region,
+            &nm,
+            ctx.cpu_module,
+            func,
+            body,
+            span.lo,
+            span.hi,
+            span.grid,
+            items,
+            pushes,
         )?;
         let stats = LaunchStats {
             seconds: start.elapsed().as_secs_f64(),

@@ -277,6 +277,66 @@ impl OffloadReport {
     }
 }
 
+/// Result of one `parallel_worklist_hetero` invocation: the per-round
+/// frontier sizes (the workload's convergence shape) plus the merged
+/// offload report over all rounds.
+#[derive(Debug, Clone, Default)]
+pub struct WorklistReport {
+    /// Frontier size of each executed round, in round order. Deterministic
+    /// for every target and host-thread count: the frontier merge is
+    /// a sorted, deduplicated union of the rounds' pushes.
+    pub frontier_sizes: Vec<u32>,
+    /// Construct-level counters summed over all rounds (`exec_seconds`
+    /// adds — rounds run one after another).
+    pub offload: OffloadReport,
+}
+
+impl WorklistReport {
+    /// Number of executed rounds (empty-seed invocations run zero).
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.frontier_sizes.len()
+    }
+
+    /// Total work items drained across all rounds.
+    #[must_use]
+    pub fn total_items(&self) -> u64 {
+        self.frontier_sizes.iter().map(|&n| u64::from(n)).sum()
+    }
+
+    /// Fold one round's report into the running totals (sequential
+    /// composition: seconds add, rates come from the latest round that
+    /// has them).
+    fn absorb(&mut self, round: &OffloadReport) {
+        let acc = &mut self.offload;
+        acc.jit_seconds += round.jit_seconds;
+        acc.exec_seconds += round.exec_seconds;
+        acc.joules += round.joules;
+        acc.translations += round.translations;
+        acc.transactions += round.transactions;
+        acc.contended += round.contended;
+        acc.insts += round.insts;
+        acc.on_gpu |= round.on_gpu;
+        acc.fell_back |= round.fell_back;
+        acc.busy_fraction = round.busy_fraction;
+        acc.l3_hit_rate = round.l3_hit_rate;
+    }
+}
+
+/// SVM-backed double-buffered frontier queues for
+/// `parallel_worklist_hetero`. Each round stages the current frontier
+/// into one buffer (the canonical shared-memory image the fences cover);
+/// the merged pushes become the next round's frontier in the other
+/// buffer, and the buffers swap roles. Capacity grows in powers of two,
+/// so the allocation sequence — and with it the allocator layout every
+/// later `malloc` sees — is a deterministic function of the frontier
+/// sizes alone.
+struct FrontierQueues {
+    bufs: [CpuAddr; 2],
+    capacity: u32,
+    cur: usize,
+}
+
 /// What a construct does with its iteration space — the only difference
 /// between `parallel_for_hetero` and `parallel_reduce_hetero` once the
 /// generic offload path takes over.
@@ -709,6 +769,135 @@ impl Concord {
         self.offload_logged(class, k.operator_fn, ConstructKind::For, body, n, target, gpu_allowed)
     }
 
+    /// `parallel_worklist_hetero(body, seed, device)`: drain a frontier
+    /// worklist to empty. Round `r` runs the `operator()` of `class` once
+    /// per item of the current frontier (the item value is the kernel's
+    /// `int` argument); bodies call the `push(item)` intrinsic to feed
+    /// the next frontier. Pushes are collected in per-chunk segments and
+    /// merged into a sorted, deduplicated frontier between rounds, so
+    /// frontier contents, drain order, and every output byte are
+    /// identical on every target at any host-thread count. The construct
+    /// ends when a round pushes nothing.
+    ///
+    /// The seed is canonicalized the same way (sorted, deduplicated);
+    /// an empty seed runs zero rounds.
+    ///
+    /// # Errors
+    ///
+    /// Unknown kernel class, a gate refusal, or a runtime trap (the
+    /// trapped round's pushes are discarded).
+    pub fn parallel_worklist_hetero(
+        &mut self,
+        class: &str,
+        body: CpuAddr,
+        seed: &[i32],
+        target: Target,
+    ) -> Result<WorklistReport, RuntimeError> {
+        let k = self.kernel(class)?;
+        self.gate_launch(class, k.operator_fn, AnalysisMode::For)?;
+        // Rounds are serially dependent (each consumes the previous
+        // round's pushes), so they drain as solo waves; order them after
+        // any launches already submitted to the graph.
+        self.complete_all();
+        let gpu_allowed = !self.cpu_only.contains(class);
+        self.record_op(|| SessionOp::Worklist {
+            class: class.to_string(),
+            body,
+            seed: seed.to_vec(),
+            target,
+        });
+        let mut frontier: Vec<i32> = seed.to_vec();
+        frontier.sort_unstable();
+        frontier.dedup();
+        let mut queues: Option<FrontierQueues> = None;
+        // Suspend session journaling across the whole construct: frontier
+        // staging and device-side writes replay through the recorded
+        // `Worklist` op, not as raw `Write` records.
+        let saved = self.region.suspend_journal();
+        let res = self.run_worklist(
+            class,
+            k.operator_fn,
+            body,
+            target,
+            gpu_allowed,
+            frontier,
+            &mut queues,
+        );
+        self.region.restore_journal(saved);
+        if let Some(q) = queues {
+            // Free on every exit path, trap included.
+            let _ = self.heap.free(q.bufs[0]);
+            let _ = self.heap.free(q.bufs[1]);
+        }
+        res
+    }
+
+    /// The iterate-until-empty loop behind
+    /// [`Concord::parallel_worklist_hetero`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_worklist(
+        &mut self,
+        class: &str,
+        func: FuncId,
+        body: CpuAddr,
+        target: Target,
+        gpu_allowed: bool,
+        mut frontier: Vec<i32>,
+        queues: &mut Option<FrontierQueues>,
+    ) -> Result<WorklistReport, RuntimeError> {
+        let mut report = WorklistReport::default();
+        while !frontier.is_empty() {
+            report.frontier_sizes.push(frontier.len() as u32);
+            self.stage_frontier(queues, &frontier)?;
+            let mut pushes: Vec<i32> = Vec::new();
+            let round = self.offload_worklist_round(
+                class,
+                func,
+                body,
+                &frontier,
+                target,
+                gpu_allowed,
+                &mut pushes,
+            );
+            report.absorb(&round?);
+            // Ordered commit: the union of all chunk segments, sorted by
+            // item and deduplicated — canonical ascending drain order.
+            pushes.sort_unstable();
+            pushes.dedup();
+            frontier = pushes;
+            if let Some(q) = queues.as_mut() {
+                q.cur ^= 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Ensure queue capacity and write `items` into the current frontier
+    /// buffer (the shared-region image of the round's worklist).
+    fn stage_frontier(
+        &mut self,
+        queues: &mut Option<FrontierQueues>,
+        items: &[i32],
+    ) -> Result<(), RuntimeError> {
+        let needed = items.len() as u32;
+        if queues.as_ref().is_none_or(|q| q.capacity < needed) {
+            if let Some(q) = queues.take() {
+                self.heap.free(q.bufs[0])?;
+                self.heap.free(q.bufs[1])?;
+            }
+            let capacity = needed.next_power_of_two().max(16);
+            let a = self.heap.malloc(u64::from(capacity) * 4)?;
+            let b = self.heap.malloc(u64::from(capacity) * 4)?;
+            *queues = Some(FrontierQueues { bufs: [a, b], capacity, cur: 0 });
+        }
+        let q = queues.as_ref().expect("capacity just ensured");
+        let base = q.bufs[q.cur];
+        for (i, &item) in items.iter().enumerate() {
+            self.region.write_i32(CpuAddr(base.0 + i as u64 * 4), item)?;
+        }
+        Ok(())
+    }
+
     /// `parallel_reduce_hetero(n, body, device)`: run `operator()` over
     /// `[0, n)` accumulating into per-worker copies, then combine with
     /// `join` (hierarchically through GPU local memory when on the GPU,
@@ -999,6 +1188,12 @@ impl Concord {
                         self.parallel_for_hetero(class, *body, *n, *target)
                     });
                 }
+                SessionOp::Worklist { class, body, seed, target } => {
+                    out.push(
+                        self.parallel_worklist_hetero(class, *body, seed, *target)
+                            .map(|w| w.offload),
+                    );
+                }
             }
         }
         Ok(out)
@@ -1019,7 +1214,14 @@ impl Concord {
         &mut self,
         ops: &[SessionOp],
     ) -> Result<Vec<Result<OffloadReport, RuntimeError>>, RuntimeError> {
-        let mut submitted: Vec<Result<LaunchId, RuntimeError>> = Vec::new();
+        // A worklist construct is internally iterative and blocking, so
+        // its result is ready at submission time; `Pending` slots resolve
+        // after the final drain.
+        enum Slot {
+            Pending(Result<LaunchId, RuntimeError>),
+            Done(Result<OffloadReport, RuntimeError>),
+        }
+        let mut submitted: Vec<Slot> = Vec::new();
         for op in ops {
             match op {
                 SessionOp::Malloc { bytes, addr } => self.replay_malloc(*bytes, *addr)?,
@@ -1036,11 +1238,19 @@ impl Concord {
                         .map_err(RuntimeError::Trap)?;
                 }
                 SessionOp::Launch { class, body, n, target, reduce } => {
-                    submitted.push(if *reduce {
+                    submitted.push(Slot::Pending(if *reduce {
                         self.submit_reduce(class, *body, *n, *target)
                     } else {
                         self.submit_for(class, *body, *n, *target)
-                    });
+                    }));
+                }
+                SessionOp::Worklist { class, body, seed, target } => {
+                    // Drains every pending launch first (rounds are
+                    // serially dependent), preserving recorded order.
+                    submitted.push(Slot::Done(
+                        self.parallel_worklist_hetero(class, *body, seed, *target)
+                            .map(|w| w.offload),
+                    ));
                 }
             }
         }
@@ -1048,8 +1258,9 @@ impl Concord {
         let mut out = Vec::new();
         for s in submitted {
             out.push(match s {
-                Ok(id) => self.complete(id),
-                Err(e) => Err(e),
+                Slot::Pending(Ok(id)) => self.complete(id),
+                Slot::Pending(Err(e)) => Err(e),
+                Slot::Done(r) => r,
             });
         }
         Ok(out)
@@ -1741,6 +1952,146 @@ impl Concord {
             report.joules += meter.joules() - before;
             report.exec_seconds += join_seconds;
         }
+        report.fell_back = plan.fell_back;
+        sp.arg("seconds", report.total_seconds());
+        Ok(report)
+    }
+
+    /// One frontier round of [`Concord::parallel_worklist_hetero`]:
+    /// split `items` across the plan's parts and launch each through
+    /// [`DeviceBackend::launch_worklist`], appending every part's push
+    /// segment to `pushes` in plan order.
+    ///
+    /// Parts always run one after another (unlike `parallel_for`'s
+    /// snapshot-concurrent hybrid path): a later part observing an
+    /// earlier part's committed writes can only suppress duplicate
+    /// pushes of a guarded monotone body, and the caller's sort+dedup
+    /// merge makes the next frontier independent of that visibility.
+    #[allow(clippy::too_many_arguments)]
+    fn offload_worklist_round(
+        &mut self,
+        class: &str,
+        func: FuncId,
+        body: CpuAddr,
+        items: &[i32],
+        target: Target,
+        gpu_allowed: bool,
+        pushes: &mut Vec<i32>,
+    ) -> Result<OffloadReport, RuntimeError> {
+        let n = items.len() as u32;
+        let plan = scheduler::plan(target, n, gpu_allowed, &self.profile, class);
+        let use_native = target == Target::Native;
+        let Concord {
+            system,
+            program,
+            gpu_artifact,
+            region,
+            vtables,
+            cpu,
+            gpu,
+            native,
+            meter,
+            profile,
+            tracer,
+            ..
+        } = self;
+        let label = match plan.parts.as_slice() {
+            [(Device::Gpu, _)] => "gpu",
+            [(Device::Cpu, _)] if use_native => "native",
+            [(Device::Cpu, _)] => "cpu",
+            _ => "hybrid",
+        };
+        let mut sp = tracer.span_with(
+            Track::Runtime,
+            "parallel_worklist",
+            vec![("kernel", class.into()), ("n", i64::from(n).into()), ("device", label.into())],
+        );
+        tracer.instant(
+            Track::Sched,
+            "decision",
+            vec![
+                ("kernel", class.into()),
+                ("policy", plan.policy.into()),
+                ("gpu_fraction", plan.gpu_fraction.into()),
+                ("parts", (plan.parts.len() as i64).into()),
+                ("n", i64::from(n).into()),
+            ],
+        );
+        let mut ctx = ExecCtx {
+            region,
+            vtables,
+            cpu_module: &program.module,
+            gpu_module: &gpu_artifact.module,
+            system,
+            tracer,
+        };
+        if use_native {
+            native
+                .ensure_prepared(&mut ctx, class)
+                .map_err(|e| RuntimeError::NativeUnsupported(e.to_string()))?;
+        }
+        for &(device, _) in &plan.parts {
+            match device {
+                Device::Cpu => cpu.fence_in(&mut ctx),
+                Device::Gpu => gpu.fence_in(&mut ctx),
+            }
+        }
+        let mut launch_error = None;
+        let mut subs: Vec<(Device, u32, f64, LaunchStats)> = Vec::new();
+        for &(device, span) in &plan.parts {
+            let backend: &mut dyn DeviceBackend = match device {
+                Device::Cpu if use_native => native,
+                Device::Cpu => cpu,
+                Device::Gpu => gpu,
+            };
+            let jit_seconds = backend.prepare(&mut ctx, class, func);
+            let part_items = &items[span.lo as usize..span.hi as usize];
+            match backend.launch_worklist(&mut ctx, func, body, span, part_items, pushes) {
+                Ok(stats) => subs.push((device, span.items(), jit_seconds, stats)),
+                Err(trap) => {
+                    launch_error = Some(trap);
+                    break;
+                }
+            }
+        }
+        for &(device, _) in &plan.parts {
+            match device {
+                Device::Cpu => cpu.fence_out(&mut ctx),
+                Device::Gpu => gpu.fence_out(&mut ctx),
+            }
+        }
+        if let Some(trap) = launch_error {
+            return Err(RuntimeError::Trap(trap));
+        }
+        let mut parts_reports = Vec::new();
+        for &(device, part_n, jit_seconds, stats) in &subs {
+            let phase = match device {
+                Device::Gpu => PhaseReport {
+                    seconds: stats.seconds + jit_seconds,
+                    busy_fraction: stats.busy_fraction,
+                },
+                Device::Cpu => PhaseReport { seconds: stats.seconds, busy_fraction: 1.0 },
+            };
+            let before = meter.joules();
+            meter.record(system, device, phase);
+            let profile_class =
+                if use_native { DeviceClass::Native } else { DeviceClass::from(device) };
+            profile.record(class, profile_class, u64::from(part_n), stats.seconds);
+            parts_reports.push(OffloadReport {
+                jit_seconds,
+                exec_seconds: stats.seconds,
+                joules: meter.joules() - before,
+                on_gpu: device == Device::Gpu,
+                fell_back: false,
+                translations: stats.translations,
+                transactions: stats.transactions,
+                contended: stats.contended,
+                busy_fraction: stats.busy_fraction,
+                l3_hit_rate: stats.l3_hit_rate,
+                insts: stats.insts,
+            });
+        }
+        let mut report = OffloadReport::merge_parallel(&parts_reports);
         report.fell_back = plan.fell_back;
         sp.arg("seconds", report.total_seconds());
         Ok(report)
@@ -2597,6 +2948,163 @@ mod tests {
         let err = cc.submit_for("RacyHistogram", body, 16, Target::Cpu).unwrap_err();
         assert!(matches!(err, RuntimeError::AnalysisDenied { .. }));
         assert_eq!(cc.graph_stats().submitted, 0, "denied launches never enter the graph");
+    }
+
+    const CHAIN: &str = r#"
+        class Chain {
+        public:
+            int* dist;
+            void operator()(int v) {
+                if (v < 9) {
+                    if (dist[v + 1] < 0) {
+                        dist[v + 1] = dist[v] + 1;
+                        push(v + 1);
+                    }
+                }
+            }
+        };
+    "#;
+
+    fn chain_context(host_threads: usize) -> (Concord, CpuAddr, CpuAddr) {
+        let opts = Options { host_threads: Some(host_threads), ..Options::default() };
+        let mut cc = Concord::new(SystemConfig::ultrabook(), CHAIN, opts).unwrap();
+        let dist = cc.malloc(10 * 4).unwrap();
+        cc.region_mut().write_i32(dist, 0).unwrap();
+        for i in 1..10u64 {
+            cc.region_mut().write_i32(CpuAddr(dist.0 + i * 4), -1).unwrap();
+        }
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, dist).unwrap();
+        (cc, dist, body)
+    }
+
+    fn dist_values(cc: &Concord, dist: CpuAddr) -> Vec<i32> {
+        (0..10u64).map(|i| cc.region().read_i32(CpuAddr(dist.0 + i * 4)).unwrap()).collect()
+    }
+
+    #[test]
+    fn worklist_chain_agrees_on_every_target_and_thread_count() {
+        let targets = [
+            Target::Cpu,
+            Target::Gpu,
+            Target::Hybrid { gpu_fraction: 0.5 },
+            Target::Auto,
+            Target::Native,
+        ];
+        for target in targets {
+            for ht in [1usize, 8] {
+                let (mut cc, dist, body) = chain_context(ht);
+                let r = cc.parallel_worklist_hetero("Chain", body, &[0], target).unwrap();
+                assert_eq!(r.frontier_sizes, vec![1; 10], "{target} ht={ht}");
+                assert_eq!(r.rounds(), 10);
+                assert_eq!(r.total_items(), 10);
+                assert_eq!(
+                    dist_values(&cc, dist),
+                    (0..10).collect::<Vec<i32>>(),
+                    "{target} ht={ht}"
+                );
+                assert!(r.offload.exec_seconds > 0.0);
+                assert!(r.offload.joules > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_empty_seed_runs_zero_rounds() {
+        let (mut cc, dist, body) = chain_context(1);
+        let before = cc.heap_free_bytes();
+        let r = cc.parallel_worklist_hetero("Chain", body, &[], Target::Gpu).unwrap();
+        assert_eq!(r.rounds(), 0);
+        assert_eq!(r.total_items(), 0);
+        assert_eq!(r.offload.exec_seconds, 0.0);
+        assert_eq!(dist_values(&cc, dist)[1], -1, "no round ran");
+        assert_eq!(cc.heap_free_bytes(), before, "no queue scratch leaked");
+    }
+
+    #[test]
+    fn worklist_queue_scratch_is_released() {
+        let (mut cc, _, body) = chain_context(8);
+        let before = cc.heap_free_bytes();
+        cc.parallel_worklist_hetero("Chain", body, &[0], Target::Hybrid { gpu_fraction: 0.5 })
+            .unwrap();
+        assert_eq!(cc.heap_free_bytes(), before);
+    }
+
+    #[test]
+    fn worklist_merge_dedups_pushes_and_seed() {
+        // Every item below 9 pushes 9 — without dedup the second round
+        // would run the body once per pusher and `count[9]` would exceed 1.
+        let src = r#"
+            class Fan {
+            public:
+                int* count;
+                void operator()(int v) {
+                    count[v] = count[v] + 1;
+                    if (v < 9) { push(9); }
+                }
+            };
+        "#;
+        for target in [Target::Cpu, Target::Gpu, Target::Native] {
+            let mut cc = Concord::new(SystemConfig::ultrabook(), src, Options::default()).unwrap();
+            let count = cc.malloc(10 * 4).unwrap();
+            let body = cc.malloc(8).unwrap();
+            cc.region_mut().write_ptr(body, count).unwrap();
+            let r = cc.parallel_worklist_hetero("Fan", body, &[2, 0, 2, 1, 0], target).unwrap();
+            assert_eq!(r.frontier_sizes, vec![3, 1], "{target}");
+            for i in [0u64, 1, 2, 9] {
+                assert_eq!(
+                    cc.region().read_i32(CpuAddr(count.0 + i * 4)).unwrap(),
+                    1,
+                    "{target}: item {i} ran exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_outside_worklist_traps_everywhere() {
+        for target in [Target::Cpu, Target::Gpu, Target::Native] {
+            let (mut cc, _, body) = chain_context(1);
+            let err = cc.parallel_for_hetero("Chain", body, 4, target).unwrap_err();
+            match err {
+                RuntimeError::Trap(Trap::BadIntrinsic(_)) => {}
+                other => panic!("{target}: expected BadIntrinsic trap, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_records_and_replays_through_both_paths() {
+        let record = || {
+            let (mut cc, dist, body) = chain_context(1);
+            cc.record_session(true);
+            cc.region_mut().write_i32(CpuAddr(dist.0 + 9 * 4), -1).unwrap();
+            cc.parallel_worklist_hetero("Chain", body, &[0], Target::Gpu).unwrap();
+            (cc.take_session(), dist_values(&cc, dist))
+        };
+        let (ops, expect) = record();
+        assert!(ops.iter().any(|o| matches!(o, SessionOp::Worklist { .. })));
+        // Frontier staging must not leak into the journal as raw writes:
+        // the one recorded write is the host's own.
+        assert_eq!(
+            ops.iter().filter(|o| matches!(o, SessionOp::Write { .. })).count(),
+            1,
+            "exactly the pre-launch host write is journaled"
+        );
+
+        let (mut serial, sd, _) = chain_context(1);
+        let serial_reports = serial.replay_serial(&ops).unwrap();
+        assert_eq!(dist_values(&serial, sd), expect);
+        assert_eq!(serial_reports.len(), 1);
+
+        let (mut graph, gd, _) = chain_context(8);
+        let graph_reports = graph.replay_graph(&ops).unwrap();
+        assert_eq!(dist_values(&graph, gd), expect);
+        assert_reports_eq(
+            graph_reports[0].as_ref().unwrap(),
+            serial_reports[0].as_ref().unwrap(),
+            "replayed worklist",
+        );
     }
 
     #[test]

@@ -49,6 +49,19 @@ pub enum SessionOp {
         /// The written bytes.
         bytes: Vec<u8>,
     },
+    /// A `parallel_worklist_hetero` call. The construct is internally
+    /// iterative (and already deterministic per target), so the journal
+    /// records only the seed; frontier staging writes are not recorded.
+    Worklist {
+        /// Kernel class name.
+        class: String,
+        /// Body object address.
+        body: CpuAddr,
+        /// Seed frontier items, as passed by the caller.
+        seed: Vec<i32>,
+        /// Requested target.
+        target: Target,
+    },
     /// A `parallel_for_hetero` / `parallel_reduce_hetero` call.
     Launch {
         /// Kernel class name.

@@ -317,6 +317,47 @@ impl Client {
         self.launch("parallel_reduce", session, launch)
     }
 
+    /// Launch a `parallel_worklist` drain: `seed` is the first frontier,
+    /// and the server iterates until a round pushes nothing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::parallel_for`].
+    pub fn parallel_worklist(
+        &mut self,
+        session: u64,
+        class: &str,
+        body: u64,
+        seed: &[i32],
+        target: Option<&str>,
+    ) -> Result<WorklistOutcome, ClientError> {
+        let mut fields = vec![
+            ("type", Json::str("parallel_worklist")),
+            ("session", session.into()),
+            ("class", class.into()),
+            ("body", body.into()),
+            ("seed", Json::Arr(seed.iter().map(|&v| Json::Num(f64::from(v))).collect())),
+        ];
+        if let Some(t) = target {
+            fields.push(("target", t.into()));
+        }
+        let resp = self.call(Json::obj(fields))?;
+        let report = resp
+            .get("report")
+            .ok_or_else(|| ClientError::Protocol("report response missing `report`".to_string()))?;
+        let frontier_sizes = resp
+            .get("frontier_sizes")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(Json::as_u64)
+                    .map(|v| u32::try_from(v).unwrap_or(u32::MAX))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(WorklistOutcome { report: parse_report(report), frontier_sizes })
+    }
+
     fn launch(
         &mut self,
         kind: &str,
@@ -524,6 +565,25 @@ pub struct BatchOutcome {
     pub fences_elided: u64,
 }
 
+/// What one [`Client::parallel_worklist`] call produced: the merged
+/// offload report plus the per-round frontier sizes (the drain's
+/// deterministic schedule).
+#[derive(Debug, Clone)]
+pub struct WorklistOutcome {
+    /// Offload report merged over every drained round.
+    pub report: OffloadReport,
+    /// Items drained per round, in round order.
+    pub frontier_sizes: Vec<u32>,
+}
+
+impl WorklistOutcome {
+    /// Number of rounds the drain ran.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.frontier_sizes.len()
+    }
+}
+
 /// A connection bound to one open session — the ergonomic client surface.
 #[derive(Debug)]
 pub struct SessionHandle {
@@ -643,6 +703,21 @@ impl SessionHandle {
     /// See [`Client::parallel_reduce`].
     pub fn parallel_reduce(&mut self, launch: &Launch<'_>) -> Result<OffloadReport, ClientError> {
         self.client.parallel_reduce(self.session, launch)
+    }
+
+    /// See [`Client::parallel_worklist`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::parallel_worklist`].
+    pub fn parallel_worklist(
+        &mut self,
+        class: &str,
+        body: u64,
+        seed: &[i32],
+        target: Option<&str>,
+    ) -> Result<WorklistOutcome, ClientError> {
+        self.client.parallel_worklist(self.session, class, body, seed, target)
     }
 
     /// See [`Client::parallel_batch`].

@@ -54,7 +54,7 @@ pub mod signal;
 
 pub use client::{
     BatchEntry, BatchOutcome, Client, ClientError, Launch, OpenedSession, SessionHandle,
-    SessionOptions,
+    SessionOptions, WorklistOutcome,
 };
 pub use server::{ServeConfig, Server, ServerStats};
 

@@ -82,6 +82,11 @@ const MAX_SLEEP_MS: u64 = 5_000;
 /// Cap on one `parallel_batch` request's launch count.
 const MAX_BATCH: usize = 1_024;
 
+/// Largest accepted `parallel_worklist` seed. Seeds are one frame-encoded
+/// integer per item; real frontier seeds are a source node or the node
+/// range, both far below this.
+const MAX_SEED_ITEMS: usize = 65_536;
+
 /// Per-readiness-event read budget. One firehose connection yields the
 /// loop after this many bytes; level-triggered polling re-reports the fd
 /// so the rest is picked up next iteration, after other connections.
@@ -951,7 +956,7 @@ fn handle_frame(payload: &str, conn: &mut Conn, shared: &Arc<Shared>) {
             shared.begin_shutdown();
         }
         "open_session" | "malloc" | "free" | "write" | "read" | "write_ptr" | "close"
-        | "parallel_for" | "parallel_reduce" | "parallel_batch" | "sleep" => {
+        | "parallel_for" | "parallel_reduce" | "parallel_worklist" | "parallel_batch" | "sleep" => {
             admit(req, ty, id, conn, shared);
         }
         other => {
@@ -1341,6 +1346,61 @@ fn session_op(
             }
             .map_err(runtime_error)?;
             Ok(Json::obj(vec![("type", Json::str("report")), ("report", report_json(&report))]))
+        }
+        "parallel_worklist" => {
+            let class = req
+                .get("class")
+                .and_then(Json::as_str)
+                .ok_or((codes::BAD_REQUEST, "missing string field `class`".to_string()))?
+                .to_string();
+            let body = CpuAddr(field_u64(req, "body")?);
+            let target = match req.get("target").and_then(Json::as_str) {
+                None => session.default_target,
+                Some(s) => Target::parse(s).ok_or((
+                    codes::BAD_REQUEST,
+                    format!("bad target `{s}` (expected cpu|gpu|auto|native|hybrid[:f])"),
+                ))?,
+            };
+            let seed_json = req
+                .get("seed")
+                .and_then(Json::as_arr)
+                .ok_or((codes::BAD_REQUEST, "missing array field `seed`".to_string()))?;
+            if seed_json.len() > MAX_SEED_ITEMS {
+                return Err((
+                    codes::BAD_REQUEST,
+                    format!("`seed` exceeds the {MAX_SEED_ITEMS}-item limit"),
+                )
+                    .into());
+            }
+            let mut seed = Vec::with_capacity(seed_json.len());
+            for v in seed_json {
+                let f = v.as_f64().filter(|f| {
+                    f.fract() == 0.0 && (f64::from(i32::MIN)..=f64::from(i32::MAX)).contains(f)
+                });
+                let Some(f) = f else {
+                    return Err((
+                        codes::BAD_REQUEST,
+                        "`seed` items must be 32-bit integers".to_string(),
+                    )
+                        .into());
+                };
+                #[allow(clippy::cast_possible_truncation)]
+                seed.push(f as i32);
+            }
+            check_launch_deadline(shared, deadline)?;
+            let _inflight = InflightGuard::enter(shared);
+            let w = session
+                .cc
+                .parallel_worklist_hetero(&class, body, &seed, target)
+                .map_err(runtime_error)?;
+            Ok(Json::obj(vec![
+                ("type", Json::str("report")),
+                ("report", report_json(&w.offload)),
+                (
+                    "frontier_sizes",
+                    Json::Arr(w.frontier_sizes.iter().map(|&n| Json::from(n)).collect()),
+                ),
+            ]))
         }
         "parallel_batch" => {
             let entries = req

@@ -357,3 +357,75 @@ fn deny_gate_blocks_for_launch_of_reduce_class_at_launch_time() {
     assert_eq!(err.code(), Some("analysis_denied"), "{err}");
     server.join();
 }
+
+/// Guarded chain kernel for the worklist verb: ten rounds of a one-item
+/// frontier, so both the drained bytes and the round schedule are easy
+/// to pin.
+const CHAIN: &str = r#"
+    class Chain {
+    public:
+        int* val;
+        void operator()(int v) {
+            if (v < 9) {
+                if (val[v+1] == 0) {
+                    val[v+1] = val[v] + 1;
+                    push(v+1);
+                }
+            }
+        }
+    };
+"#;
+
+#[test]
+fn worklist_drain_through_the_server_matches_direct_execution() {
+    let server = start_server(2, 16);
+    let mut s = SessionHandle::connect(server.addr(), CHAIN, &SessionOptions::default())
+        .expect("open Chain session");
+    let val = s.malloc(10 * 4).unwrap();
+    s.write_i32(val, 1).unwrap();
+    let body = s.malloc(8).unwrap();
+    s.write_ptr(body, val).unwrap();
+
+    // Empty seed: zero rounds, nothing moves.
+    let empty = s.parallel_worklist("Chain", body, &[], Some("gpu")).expect("empty drain");
+    assert_eq!(empty.rounds(), 0);
+
+    let outcome = s.parallel_worklist("Chain", body, &[0], Some("gpu")).expect("drain");
+    assert_eq!(outcome.frontier_sizes, vec![1u32; 10], "one item per round");
+    assert!(outcome.report.on_gpu, "gpu target drains on the gpu");
+    let served = s.read(val, 10 * 4).unwrap();
+
+    // The same drain run directly in-process must agree byte for byte.
+    let direct = {
+        let mut cc = Concord::new(SystemConfig::ultrabook(), CHAIN, Options::default()).unwrap();
+        let val = cc.malloc(10 * 4).unwrap();
+        cc.region_mut().write_i32(val, 1).unwrap();
+        let body = cc.malloc(8).unwrap();
+        cc.region_mut().write_ptr(body, val).unwrap();
+        let r = cc.parallel_worklist_hetero("Chain", body, &[0], Target::Gpu).unwrap();
+        assert_eq!(r.frontier_sizes, vec![1u32; 10]);
+        cc.region().read_bytes(val.0, AddrSpace::Cpu, 10 * 4).unwrap().to_vec()
+    };
+    assert_eq!(served, direct, "served drain diverges from direct execution");
+
+    // Malformed seeds are request errors, not session poison.
+    let mut c = Client::connect(server.addr()).expect("second client");
+    let opened = c.open_session(CHAIN, &SessionOptions::default()).expect("open");
+    let err = c
+        .call(Json::obj(vec![
+            ("type", Json::str("parallel_worklist")),
+            ("session", opened.session.into()),
+            ("class", Json::str("Chain")),
+            ("body", body.into()),
+            ("seed", Json::Arr(vec![Json::Num(1.5)])),
+        ]))
+        .expect_err("fractional seed item refused");
+    assert_eq!(err.code(), Some("bad_request"), "{err}");
+    c.close_session(opened.session).expect("close second session");
+
+    // The session still works after the refused request.
+    let again = s.parallel_worklist("Chain", body, &[0], Some("cpu")).expect("drain again");
+    assert_eq!(again.frontier_sizes, vec![1], "chain saturated: round 0 pushes nothing");
+    s.close().expect("close");
+    server.join();
+}

@@ -30,6 +30,7 @@ pub mod graph;
 pub mod raytrace;
 pub mod skiplist;
 pub mod sssp;
+pub mod worklist;
 
 use concord_runtime::{Concord, OffloadReport, Options, RuntimeError, Target};
 use std::fmt;
@@ -41,6 +42,8 @@ pub enum Construct {
     ParallelFor,
     /// `parallel_reduce_hetero`.
     ParallelReduce,
+    /// `parallel_worklist_hetero`.
+    ParallelWorklist,
 }
 
 impl fmt::Display for Construct {
@@ -48,6 +51,7 @@ impl fmt::Display for Construct {
         match self {
             Construct::ParallelFor => f.write_str("parallel_for_hetero"),
             Construct::ParallelReduce => f.write_str("parallel_reduce_hetero"),
+            Construct::ParallelWorklist => f.write_str("parallel_worklist_hetero"),
         }
     }
 }
@@ -191,6 +195,21 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     ]
 }
 
+/// The frontier-driven worklist workloads (`parallel_worklist_hetero`),
+/// kept separate from the paper's Table 1 nine: they augment the flat
+/// graph variants rather than replacing their figure runs. The typed
+/// return lets callers reach [`worklist::WorklistWorkload::build_worklist`]
+/// (and from there the per-round frontier report); upcast to
+/// `Box<dyn Workload>` for the generic harness.
+pub fn worklist_workloads() -> Vec<Box<dyn worklist::WorklistWorkload>> {
+    vec![
+        Box::new(worklist::FrontierBfs),
+        Box::new(worklist::WorklistCc),
+        Box::new(worklist::DeltaSssp),
+        Box::new(worklist::KCore::default()),
+    ]
+}
+
 /// Result of one measured run.
 #[derive(Debug, Clone, Copy)]
 pub struct Measurement {
@@ -259,8 +278,18 @@ mod tests {
     }
 
     #[test]
+    fn worklist_workloads_all_use_the_worklist_construct() {
+        let ws = worklist_workloads();
+        assert_eq!(ws.len(), 4);
+        for w in ws {
+            assert_eq!(w.spec().construct, Construct::ParallelWorklist, "{}", w.spec().name);
+        }
+    }
+
+    #[test]
     fn every_workload_compiles() {
-        for w in all_workloads() {
+        let worklists = worklist_workloads().into_iter().map(|w| w as Box<dyn Workload>);
+        for w in all_workloads().into_iter().chain(worklists) {
             let s = w.spec();
             let lp = concord_frontend::compile(s.source)
                 .unwrap_or_else(|e| panic!("{} fails to compile: {e}", s.name));

@@ -1,0 +1,306 @@
+//! Differential battery for the worklist runtime: every frontier
+//! workload must leave **byte-identical** region contents, the same
+//! per-round frontier sizes, and (per target) the same report on every
+//! target in {cpu, gpu, hybrid, native} at host-thread counts 1 and 8.
+//!
+//! This is the worklist extension of the PR-3/PR-7 determinism contract:
+//! the ordered commit (sort + dedup of the per-chunk push segments)
+//! makes the *frontier schedule* — not just the fixpoint — independent
+//! of chunking, warping, and the cpu/gpu split. The battery also pins
+//! the edge cases: an empty seed runs zero rounds and touches nothing,
+//! single-item frontiers take the degenerate one-chunk path everywhere,
+//! and a trap inside a round is reported with first-trap-wins identity
+//! on every target.
+
+use concord_energy::SystemConfig;
+use concord_ir::eval::Trap;
+use concord_ir::types::AddrSpace;
+use concord_runtime::{Concord, Options, RuntimeError, Target, WorklistReport};
+use concord_svm::{CpuAddr, CPU_BASE};
+use concord_workloads::{worklist_workloads, Scale};
+
+fn fresh(source: &str, ht: usize) -> Concord {
+    let opts = Options { host_threads: Some(ht), ..Options::default() };
+    Concord::new(SystemConfig::ultrabook(), source, opts).unwrap()
+}
+
+fn region_bytes(cc: &Concord) -> Vec<u8> {
+    let cap = cc.region().capacity();
+    cc.region().read_bytes(CPU_BASE, AddrSpace::Cpu, cap).unwrap().to_vec()
+}
+
+/// Every target the battery sweeps. Native is JIT-compiled machine code;
+/// skip it on hosts the backend does not support.
+fn targets() -> Vec<Target> {
+    let mut t = vec![Target::Cpu, Target::Gpu, Target::Hybrid { gpu_fraction: 0.5 }];
+    if concord_native::supported() {
+        t.push(Target::Native);
+    }
+    t
+}
+
+/// The comparable face of a worklist report. The frontier schedule is
+/// part of the contract on every target; the offload report is fully
+/// deterministic on the simulated targets, while `Target::Native`
+/// measures real wall-clock time (and derives joules from it), so only
+/// its deterministic fields are compared.
+fn report_key(r: &WorklistReport, target: Target) -> String {
+    let o = &r.offload;
+    if matches!(target, Target::Native) {
+        format!(
+            "frontiers={:?} on_gpu={} fell_back={} translations={} transactions={} \
+             contended={} insts={}",
+            r.frontier_sizes,
+            o.on_gpu,
+            o.fell_back,
+            o.translations,
+            o.transactions,
+            o.contended,
+            o.insts
+        )
+    } else {
+        format!("frontiers={:?} offload={o:?}", r.frontier_sizes)
+    }
+}
+
+fn assert_bytes_eq(what: &str, reference: &[u8], got: &[u8]) {
+    assert_eq!(reference.len(), got.len(), "{what}: region capacity diverged");
+    if let Some(i) = (0..reference.len()).find(|&i| reference[i] != got[i]) {
+        panic!("{what}: region diverges at byte {i}: {:#04x} vs {:#04x}", reference[i], got[i]);
+    }
+}
+
+/// All four frontier workloads: region bytes and frontier schedules must
+/// match the (cpu, single-thread) reference on every target at host
+/// threads 1 and 8, and within each target the whole report must be
+/// independent of the host-thread count.
+#[test]
+fn worklist_workloads_are_byte_identical_across_targets_and_threads() {
+    for w in worklist_workloads() {
+        let spec = w.spec();
+        let name = spec.name;
+        let mut reference: Option<(Vec<u8>, Vec<u32>)> = None;
+        for target in targets() {
+            let mut per_target_key: Option<String> = None;
+            for ht in [1usize, 8] {
+                let mut cc = fresh(spec.source, ht);
+                let mut inst = w.build_worklist(&mut cc, Scale::Tiny).unwrap();
+                let r = inst
+                    .drain(&mut cc, target)
+                    .unwrap_or_else(|e| panic!("{name} on {target} (ht={ht}): {e}"));
+                inst.verify(&cc).unwrap_or_else(|e| panic!("{name} on {target} (ht={ht}): {e}"));
+                let bytes = region_bytes(&cc);
+                match &reference {
+                    None => reference = Some((bytes, r.frontier_sizes.clone())),
+                    Some((ref_bytes, ref_frontiers)) => {
+                        assert_bytes_eq(
+                            &format!("{name} on {target} (ht={ht})"),
+                            ref_bytes,
+                            &bytes,
+                        );
+                        assert_eq!(
+                            &r.frontier_sizes, ref_frontiers,
+                            "{name} on {target} (ht={ht}): frontier schedule diverged"
+                        );
+                    }
+                }
+                let key = report_key(&r, target);
+                match &per_target_key {
+                    None => per_target_key = Some(key),
+                    Some(k) => assert_eq!(
+                        &key, k,
+                        "{name} on {target}: report depends on the host-thread count"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Guarded chain: each round's sole frontier item activates the next
+/// cell, so every frontier has exactly one element for ten rounds.
+const CHAIN_SRC: &str = r#"
+    class Chain {
+    public:
+        int* val;
+        void operator()(int v) {
+            if (v < 9) {
+                if (val[v+1] == 0) {
+                    val[v+1] = val[v] + 1;
+                    push(v+1);
+                }
+            }
+        }
+    };
+"#;
+
+fn chain_context(ht: usize) -> (Concord, CpuAddr, CpuAddr) {
+    let mut cc = fresh(CHAIN_SRC, ht);
+    let val = cc.malloc(10 * 4).unwrap();
+    cc.region_mut().write_i32(val, 1).unwrap();
+    let body = cc.malloc(8).unwrap();
+    cc.region_mut().write_ptr(body, val).unwrap();
+    (cc, val, body)
+}
+
+/// An empty seed is a no-op on every target: zero rounds, no report
+/// phases, and not a single byte of the region moves.
+#[test]
+fn empty_seed_is_a_no_op_on_every_target() {
+    let mut reference_report: Option<String> = None;
+    for target in targets() {
+        for ht in [1usize, 8] {
+            let (mut cc, _val, body) = chain_context(ht);
+            let before = region_bytes(&cc);
+            let r = cc.parallel_worklist_hetero("Chain", body, &[], target).unwrap();
+            assert_eq!(r.rounds(), 0, "{target} (ht={ht}): empty seed ran a round");
+            assert!(r.frontier_sizes.is_empty());
+            assert_eq!(r.total_items(), 0);
+            assert_bytes_eq(
+                &format!("empty seed on {target} (ht={ht})"),
+                &before,
+                &region_bytes(&cc),
+            );
+            // Zero rounds launch nothing, so even the report is fully
+            // deterministic across *targets*, native included.
+            let key = format!("{r:?}");
+            match &reference_report {
+                None => reference_report = Some(key),
+                Some(k) => assert_eq!(&key, k, "{target} (ht={ht}): empty-seed report diverged"),
+            }
+        }
+    }
+}
+
+/// Ten single-item frontiers: the degenerate one-chunk, one-warp case
+/// must agree byte for byte with the multi-thread runs on every target.
+#[test]
+fn single_item_frontiers_agree_everywhere() {
+    let mut reference: Option<Vec<u8>> = None;
+    for target in targets() {
+        for ht in [1usize, 8] {
+            let (mut cc, val, body) = chain_context(ht);
+            let r = cc.parallel_worklist_hetero("Chain", body, &[0], target).unwrap();
+            assert_eq!(r.frontier_sizes, vec![1u32; 10], "{target} (ht={ht})");
+            for i in 0..10u64 {
+                let got = cc.region().read_i32(CpuAddr(val.0 + i * 4)).unwrap();
+                assert_eq!(got, i as i32 + 1, "{target} (ht={ht}): cell {i}");
+            }
+            let bytes = region_bytes(&cc);
+            match &reference {
+                None => reference = Some(bytes),
+                Some(ref_bytes) => {
+                    assert_bytes_eq(&format!("chain on {target} (ht={ht})"), ref_bytes, &bytes)
+                }
+            }
+        }
+    }
+}
+
+/// Chain variant that divides by zero when it reaches item 3 — i.e. in
+/// round 3, three committed rounds deep. The trap carries no payload, the
+/// trapping round has exactly one item, and rounds are serially
+/// dependent, so both the error and the partial region state (rounds 0-2
+/// committed, round 3 clean) are identical everywhere.
+const TRAP_CHAIN_SRC: &str = r#"
+    class TrapChain {
+    public:
+        int* val;
+        void operator()(int v) {
+            int d = val[v];
+            if (v == 3) {
+                d = d / (v - 3);
+            }
+            if (v < 9) {
+                if (val[v+1] == 0) {
+                    val[v+1] = d + 1;
+                    push(v+1);
+                }
+            }
+        }
+    };
+"#;
+
+#[test]
+fn trap_mid_drain_is_deterministic_on_every_target() {
+    let mut reference: Option<Vec<u8>> = None;
+    for target in targets() {
+        for ht in [1usize, 8] {
+            let mut cc = fresh(TRAP_CHAIN_SRC, ht);
+            let val = cc.malloc(10 * 4).unwrap();
+            cc.region_mut().write_i32(val, 1).unwrap();
+            let body = cc.malloc(8).unwrap();
+            cc.region_mut().write_ptr(body, val).unwrap();
+            let err = cc
+                .parallel_worklist_hetero("TrapChain", body, &[0], target)
+                .expect_err("round 3 divides by zero");
+            assert!(
+                matches!(err, RuntimeError::Trap(Trap::DivideByZero)),
+                "{target} (ht={ht}): expected DivideByZero, got {err:?}"
+            );
+            // Rounds 0-2 committed val[1..=3]; the trap preceded round
+            // 3's write, so val[4..] is untouched.
+            for (i, expect) in [1, 2, 3, 4, 0, 0].iter().enumerate() {
+                let got = cc.region().read_i32(CpuAddr(val.0 + i as u64 * 4)).unwrap();
+                assert_eq!(got, *expect, "{target} (ht={ht}): cell {i}");
+            }
+            let bytes = region_bytes(&cc);
+            match &reference {
+                None => reference = Some(bytes),
+                Some(ref_bytes) => {
+                    assert_bytes_eq(&format!("trap chain on {target} (ht={ht})"), ref_bytes, &bytes)
+                }
+            }
+        }
+    }
+}
+
+/// Several items of one round trap at *different* addresses (a null
+/// pointer indexed by the item). First-trap-wins must pick the lowest
+/// frontier item's fault — item 4, byte offset 16 — on every target and
+/// at every host-thread count, no matter which chunk, warp, or device
+/// half hit its fault first in wall-clock time.
+const TRAP_FAN_SRC: &str = r#"
+    class TrapFan {
+    public:
+        int* out;
+        int* bad;
+        void operator()(int v) {
+            if (v >= 4) {
+                bad[v] = v;
+            }
+            out[v] = v + 1;
+        }
+    };
+"#;
+
+#[test]
+fn first_trap_wins_within_a_round_on_every_target() {
+    for target in targets() {
+        let mut per_target: Option<RuntimeError> = None;
+        for ht in [1usize, 8] {
+            let mut cc = fresh(TRAP_FAN_SRC, ht);
+            let out = cc.malloc(16 * 4).unwrap();
+            let body = cc.malloc(16).unwrap();
+            cc.region_mut().write_ptr(body, out).unwrap();
+            // `bad` stays null: items 4..8 fault at address 4*item.
+            let seed: Vec<i32> = (0..8).collect();
+            let err = cc
+                .parallel_worklist_hetero("TrapFan", body, &seed, target)
+                .expect_err("items >= 4 dereference a null pointer");
+            // Cross-target contract: the *winning item* is the lowest
+            // trapping frontier item, so the fault address is item 4's
+            // on every device. (The `space` the null pointer is blamed
+            // on is device-specific rendering, as in parallel_for.)
+            assert!(
+                matches!(err, RuntimeError::Trap(Trap::BadAddress { addr: 16, .. })),
+                "{target} (ht={ht}): expected item 4's fault (addr 16), got {err:?}"
+            );
+            // Within a target the whole error is thread-count invariant.
+            match &per_target {
+                None => per_target = Some(err),
+                Some(r) => assert_eq!(&err, r, "{target} (ht={ht}): trap diverged across ht"),
+            }
+        }
+    }
+}
